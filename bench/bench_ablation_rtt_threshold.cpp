@@ -1,0 +1,49 @@
+// Ablation — sweep of the RTT threshold for the Castro et al. baseline
+// (the paper uses 10 ms; §4.1 shows 2 ms already flags most remotes but
+// no threshold avoids both error modes).
+#include "common.hpp"
+
+#include "opwat/infer/baseline.hpp"
+
+namespace {
+
+using namespace opwat;
+
+void print_ablation() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  const auto& vd = s.validation.test;
+
+  std::cout << "Ablation: RTT-threshold sweep for the baseline (test subset)\n";
+  util::text_table t;
+  t.header({"Threshold ms", "FPR", "FNR", "PRE", "ACC", "COV"});
+  for (const double thr : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
+    const auto base = infer::run_baseline_on(pr, {.threshold_ms = thr});
+    const auto m = eval::compute_metrics(base, vd);
+    t.row({util::fmt_double(thr, 1), util::fmt_percent(m.fpr), util::fmt_percent(m.fnr),
+           util::fmt_percent(m.pre), util::fmt_percent(m.acc), util::fmt_percent(m.cov)});
+  }
+  const auto ours = eval::compute_metrics(pr.inferences, vd);
+  t.row({"pipeline (no threshold)", util::fmt_percent(ours.fpr),
+         util::fmt_percent(ours.fnr), util::fmt_percent(ours.pre),
+         util::fmt_percent(ours.acc), util::fmt_percent(ours.cov)});
+  t.footer("No single threshold beats the multi-signal pipeline: low thresholds "
+           "flag wide-area locals as remote (FPR), high thresholds absorb nearby "
+           "remotes as local (FNR).");
+  t.print(std::cout);
+}
+
+void bm_baseline_sweep(benchmark::State& state) {
+  const auto& pr = benchx::shared_pipeline();
+  for (auto _ : state) {
+    for (const double thr : {1.0, 5.0, 10.0, 20.0}) {
+      auto base = infer::run_baseline_on(pr, {.threshold_ms = thr});
+      benchmark::DoNotOptimize(base.items().size());
+    }
+  }
+}
+BENCHMARK(bm_baseline_sweep);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_ablation)

@@ -1,0 +1,89 @@
+// §8 extension — "Beyond Pings": decouple the methodology from in-IXP
+// vantage points by deriving member-to-IXP delays from traceroute RTT
+// differences at IXP crossings (validated by Fig. 12b).
+//
+// Experiment: remove ALL vantage points from half of the studied IXPs
+// (pings become impossible there, as for most of the world's 700+ IXPs)
+// and compare
+//   (a) the ping-only pipeline, which goes blind on those IXPs, with
+//   (b) the augmented pipeline using traceroute-derived RTTs.
+#include "common.hpp"
+
+#include <set>
+
+#include "opwat/infer/step2b_traceroute_rtt.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::peering_class;
+
+void print_extension() {
+  const auto& s = benchx::shared_scenario();
+
+  // Blind half the scope: drop every VP of the odd-ranked IXPs.
+  std::set<world::ixp_id> blinded;
+  for (std::size_t i = 1; i < s.scope.size(); i += 2) blinded.insert(s.scope[i]);
+  std::vector<measure::vantage_point> vps;
+  for (const auto& vp : s.vps)
+    if (!blinded.contains(vp.ixp)) vps.push_back(vp);
+
+  const auto run = [&](bool use_ext) {
+    auto cfg = s.cfg.pipeline;
+    cfg.use_traceroute_rtt = use_ext;
+    cfg.traceroute_rtt.require_local_near = false;  // ping-free anchoring
+    return infer::run_pipeline(s.w, s.view, s.prefix2as, s.lat, vps, s.traces,
+                               s.scope, cfg);
+  };
+  const auto ping_only = run(false);
+  const auto augmented = run(true);
+
+  const auto coverage_on = [&](const infer::pipeline_result& pr,
+                               bool blinded_only) {
+    std::size_t inferred = 0, total = 0;
+    for (const auto x : s.scope) {
+      if (blinded_only != blinded.contains(x)) continue;
+      total += s.view.interfaces_of_ixp(x).size();
+      inferred += pr.count(x, peering_class::local) + pr.count(x, peering_class::remote);
+    }
+    return total ? static_cast<double>(inferred) / static_cast<double>(total) : 0.0;
+  };
+
+  std::cout << "Extension (sec. 8): traceroute-derived RTTs vs missing vantage "
+               "points\n";
+  std::cout << "IXPs blinded (all VPs removed): " << blinded.size() << "/"
+            << s.scope.size() << "\n\n";
+  util::text_table t;
+  t.header({"Pipeline", "COV @ blinded IXPs", "COV @ VP IXPs", "ACC (test subset)",
+            "PRE (test subset)"});
+  for (const auto* name : {"ping-only", "with traceroute RTTs"}) {
+    const auto& pr = std::string{name} == "ping-only" ? ping_only : augmented;
+    const auto m = eval::compute_metrics(pr.inferences, s.validation.test);
+    t.row({name, util::fmt_percent(coverage_on(pr, true)),
+           util::fmt_percent(coverage_on(pr, false)), util::fmt_percent(m.acc),
+           util::fmt_percent(m.pre)});
+  }
+  t.footer("Traceroute deltas recover coverage at IXPs without any usable VP — "
+           "the paper's plan for scaling the methodology in space and time.");
+  t.print(std::cout);
+  std::cout << "crossings used for RTT derivation: "
+            << augmented.beyond_pings.crossings_used << "/"
+            << augmented.beyond_pings.crossings_seen << ", virtual VPs: "
+            << augmented.beyond_pings.virtual_vps.size() << "\n";
+}
+
+void bm_derive_rtts(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  infer::traceroute_rtt_config cfg;
+  cfg.require_local_near = false;
+  for (auto _ : state) {
+    auto result = infer::derive_traceroute_rtts(s.view, pr.paths, pr.inferences, cfg);
+    benchmark::DoNotOptimize(result.observations.size());
+  }
+}
+BENCHMARK(bm_derive_rtts)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_extension)

@@ -1,0 +1,64 @@
+// §8 extension — longitudinal study: the paper's plan to extend §6.3's
+// one-year, five-IXP growth analysis "in space and time" by re-running
+// the inference on monthly snapshots.  Ground-truth vs inferred monthly
+// series side by side.
+#include "common.hpp"
+
+#include "opwat/eval/longitudinal.hpp"
+#include "opwat/world/evolution.hpp"
+
+namespace {
+
+using namespace opwat;
+
+constexpr int kMonths = 14;
+
+eval::scenario make_evolving_scenario() {
+  eval::scenario_config cfg;
+  cfg.world.n_ixps = 16;
+  cfg.world.n_ases = 900;
+  cfg.world.largest_ixp_members = 220;
+  cfg.world.months = kMonths;
+  cfg.traceroute_sources = 900;
+  cfg.targets_per_source = 20;
+  cfg.top_n_ixps = 8;
+  return eval::scenario::build(cfg);
+}
+
+void print_extension() {
+  const auto s = make_evolving_scenario();
+  const auto study =
+      eval::run_longitudinal_study(s, {.months = kMonths, .top_n_ixps = 5});
+
+  std::cout << "Extension (sec. 8): longitudinal inference over " << kMonths
+            << " monthly snapshots, 5 IXPs\n";
+  util::text_table t;
+  t.header({"Month", "Inferred local", "Inferred remote", "Unknown", "True local",
+            "True remote"});
+  for (const auto& mi : study.months)
+    t.row({std::to_string(mi.month), std::to_string(mi.inferred_local),
+           std::to_string(mi.inferred_remote), std::to_string(mi.unknown),
+           std::to_string(mi.truth_local), std::to_string(mi.truth_remote)});
+  t.print(std::cout);
+
+  std::cout << "inferred joins over the window: local " << study.inferred_local_joins
+            << " vs remote " << study.inferred_remote_joins << " -> ratio "
+            << util::fmt_double(study.join_ratio(), 2)
+            << "x  (paper Fig. 12a: remote ~2x local)\n";
+  std::cout << "ground-truth switches in the window: "
+            << world::count_remote_to_local_switches(s.w)
+            << "  (paper: 18 remote->local cases)\n";
+}
+
+void bm_monthly_pipeline(benchmark::State& state) {
+  const auto s = make_evolving_scenario();
+  for (auto _ : state) {
+    auto study = eval::run_longitudinal_study(s, {.months = 3, .top_n_ixps = 3});
+    benchmark::DoNotOptimize(study.months.size());
+  }
+}
+BENCHMARK(bm_monthly_pipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_extension)

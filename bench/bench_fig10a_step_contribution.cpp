@@ -1,0 +1,61 @@
+// Fig. 10a — Contribution of each inference step per IXP.  Shape targets:
+// Steps 2+3 (RTT+colo) carry the bulk of the inferences; Step 1 averages
+// ~10% (up to ~40% at reseller-heavy IXPs, zero where reselling is not
+// offered); Step 5 only fires at a minority of IXPs.
+#include "common.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::method_step;
+
+void print_fig10a() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+
+  std::cout << "Fig. 10a: contribution of each inference step per IXP\n";
+  util::text_table t;
+  t.header({"IXP", "Ifaces", "Step1 port", "Step2+3 rtt+colo", "Step4 multi-IXP",
+            "Step5 private", "Unknown"});
+  double s1_sum = 0;
+  std::size_t ixps_with_s5 = 0;
+  for (const auto x : pr.scope) {
+    const double total = static_cast<double>(s.view.interfaces_of_ixp(x).size());
+    if (total == 0) continue;
+    const auto c1 = pr.contribution(x, method_step::port_capacity);
+    const auto c3 = pr.contribution(x, method_step::rtt_colo);
+    const auto c4 = pr.contribution(x, method_step::multi_ixp);
+    const auto c5 = pr.contribution(x, method_step::private_links);
+    const auto unknown = total - static_cast<double>(c1 + c3 + c4 + c5);
+    t.row({s.w.ixps[x].name, std::to_string(static_cast<std::size_t>(total)),
+           util::fmt_percent(c1 / total), util::fmt_percent(c3 / total),
+           util::fmt_percent(c4 / total), util::fmt_percent(c5 / total),
+           util::fmt_percent(unknown / total)});
+    s1_sum += c1 / total;
+    if (c5 > 0) ++ixps_with_s5;
+  }
+  t.footer("Paper: Step 1 ~10% on average (40% at France-IX, 0 at HKIX); Steps 2+3 "
+           "and 4 dominate; Step 5 needed at 11 of 30 IXPs.");
+  t.print(std::cout);
+  std::cout << "Step-1 average contribution: "
+            << util::fmt_percent(s1_sum / static_cast<double>(pr.scope.size()))
+            << "; IXPs where Step 5 fired: " << ixps_with_s5 << "/"
+            << pr.scope.size() << "\n";
+}
+
+void bm_contributions(benchmark::State& state) {
+  const auto& pr = benchx::shared_pipeline();
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto x : pr.scope)
+      for (const auto step : {method_step::port_capacity, method_step::rtt_colo,
+                              method_step::multi_ixp, method_step::private_links})
+        total += pr.contribution(x, step);
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(bm_contributions);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig10a)

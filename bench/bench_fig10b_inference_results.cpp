@@ -1,0 +1,63 @@
+// Fig. 10b — Final inference results for the 30 largest measurable IXPs:
+// local/remote member interfaces per IXP.  Shape targets: ~28% of all
+// inferred interfaces are remote; >=10% remote at ~90% of IXPs; ~40%
+// remote at the largest IXPs.
+#include "common.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::peering_class;
+
+void print_fig10b() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+
+  std::cout << "Fig. 10b: inferences per IXP (largest first)\n";
+  util::text_table t;
+  t.header({"IXP", "Local", "Remote", "Unknown", "% Remote (of inferred)"});
+  std::size_t total_local = 0, total_remote = 0, over_10pct = 0, ranked = 0;
+  double top2_remote_share = 0;
+  for (const auto x : pr.scope) {
+    const auto local = pr.count(x, peering_class::local);
+    const auto remote = pr.count(x, peering_class::remote);
+    const auto unknown = s.view.interfaces_of_ixp(x).size() - local - remote;
+    const double share =
+        local + remote ? static_cast<double>(remote) / static_cast<double>(local + remote)
+                       : 0.0;
+    t.row({s.w.ixps[x].name, std::to_string(local), std::to_string(remote),
+           std::to_string(unknown), util::fmt_percent(share)});
+    total_local += local;
+    total_remote += remote;
+    if (share >= 0.10) ++over_10pct;
+    if (ranked < 2) top2_remote_share += share / 2.0;
+    ++ranked;
+  }
+  t.print(std::cout);
+  const double overall = static_cast<double>(total_remote) /
+                         static_cast<double>(total_local + total_remote);
+  std::cout << "overall remote share: " << util::fmt_percent(overall)
+            << "  (paper: 28%)\n";
+  std::cout << "IXPs with >=10% remote members: " << over_10pct << "/"
+            << pr.scope.size() << " = "
+            << util::fmt_percent(static_cast<double>(over_10pct) /
+                                 static_cast<double>(pr.scope.size()))
+            << "  (paper: 90%)\n";
+  std::cout << "average remote share at the two largest IXPs: "
+            << util::fmt_percent(top2_remote_share)
+            << "  (paper: ~40% at DE-CIX and AMS-IX)\n";
+}
+
+void bm_count_by_class(benchmark::State& state) {
+  const auto& pr = benchx::shared_pipeline();
+  for (auto _ : state) {
+    std::size_t remote = 0;
+    for (const auto x : pr.scope) remote += pr.count(x, peering_class::remote);
+    benchmark::DoNotOptimize(remote);
+  }
+}
+BENCHMARK(bm_count_by_class);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig10b)

@@ -1,0 +1,71 @@
+// Fig. 11b — Self-reported traffic levels of inferred local / remote /
+// hybrid members.  Shape targets: local and remote distributions are
+// similar; hybrids reach the very high traffic classes; remote peering
+// spans everything from hundreds of Mbit/s to hundreds of Gbit/s.
+#include "common.hpp"
+
+#include "opwat/eval/features.hpp"
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+
+void print_fig11b() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  const auto members = eval::classify_members(s.w, s.view, pr.inferences);
+
+  util::ecdf traffic[3];
+  for (const auto& m : members)
+    traffic[static_cast<std::size_t>(m.kind)].add(m.traffic_gbps);
+
+  std::cout << "Fig. 11b: traffic levels (Gbps, self-reported analogue) per class\n";
+  util::text_table t;
+  t.header({"Class", "N", "<0.1G", "<1G", "<10G", "<100G", "p99 Gbps"});
+  const char* names[3] = {"local", "remote", "hybrid"};
+  for (int i = 0; i < 3; ++i) {
+    const auto& e = traffic[i];
+    t.row({names[i], std::to_string(e.size()), util::fmt_percent(e.at(0.1)),
+           util::fmt_percent(e.at(1.0)), util::fmt_percent(e.at(10.0)),
+           util::fmt_percent(e.at(100.0)),
+           e.empty() ? "-" : util::fmt_double(e.quantile(0.99), 1)});
+  }
+  t.footer("Paper: local and remote traffic distributions similar; hybrids present "
+           "at very high levels; remote peers range 100s of Mbit/s - 100s of Gbit/s.");
+  t.print(std::cout);
+
+  // Country concentration, as in §6.2's headquarter statistics.
+  util::category_counter countries[3];
+  for (const auto& m : members)
+    if (!m.country.empty())
+      countries[static_cast<std::size_t>(m.kind)].add(m.country);
+  for (int i = 0; i < 3; ++i) {
+    std::string best;
+    std::size_t best_n = 0;
+    for (const auto& [c, n] : countries[i].items())
+      if (n > best_n) {
+        best = c;
+        best_n = n;
+      }
+    if (!best.empty())
+      std::cout << "most common HQ country for " << names[i] << " members: " << best
+                << " (" << util::fmt_percent(countries[i].fraction(best)) << ")\n";
+  }
+}
+
+void bm_traffic_ecdf(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  const auto members = eval::classify_members(s.w, s.view, pr.inferences);
+  for (auto _ : state) {
+    util::ecdf e;
+    for (const auto& m : members) e.add(m.traffic_gbps);
+    benchmark::DoNotOptimize(e.at(10.0));
+  }
+}
+BENCHMARK(bm_traffic_ecdf);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig11b)

@@ -1,0 +1,83 @@
+// Fig. 12a — Evolution of remote vs local peering over a 14-month window
+// (2017-07 .. 2018-09 in the paper).  Shape targets: remote peers join
+// about twice as fast as local peers in absolute counts, churn ~25% more,
+// and a handful of members switch from remote to local interconnections.
+#include "common.hpp"
+
+#include "opwat/world/evolution.hpp"
+#include "opwat/world/generator.hpp"
+
+namespace {
+
+using namespace opwat;
+
+constexpr int kMonths = 14;
+
+world::world make_evolving_world() {
+  auto cfg = world::tiny_config(1812);
+  cfg.n_ixps = 12;
+  cfg.n_ases = 900;
+  cfg.largest_ixp_members = 250;
+  cfg.months = kMonths;
+  return world::generate(cfg);
+}
+
+void print_fig12a() {
+  const auto w = make_evolving_world();
+  const auto tl = world::timeline(
+      w, kMonths, [&](const world::membership& m) { return w.truly_remote(m); });
+
+  std::cout << "Fig. 12a: monthly joins/leaves by peering type (ground-truth labels)\n";
+  util::text_table t;
+  t.header({"Month", "Local active", "Remote active", "Local joins", "Remote joins",
+            "Local leaves", "Remote leaves"});
+  std::size_t jl = 0, jr = 0, ll = 0, lr = 0;
+  for (const auto& mc : tl) {
+    t.row({std::to_string(mc.month), std::to_string(mc.local_active),
+           std::to_string(mc.remote_active), std::to_string(mc.local_joins),
+           std::to_string(mc.remote_joins), std::to_string(mc.local_leaves),
+           std::to_string(mc.remote_leaves)});
+    jl += mc.local_joins;
+    jr += mc.remote_joins;
+    ll += mc.local_leaves;
+    lr += mc.remote_leaves;
+  }
+  t.print(std::cout);
+
+  std::cout << "total joins:  local " << jl << " vs remote " << jr << " -> ratio "
+            << util::fmt_double(jl ? static_cast<double>(jr) / static_cast<double>(jl) : 0, 2)
+            << "x  (paper: remote joins ~2x local)\n";
+  const double local_base = static_cast<double>(tl.front().local_active);
+  const double remote_base = static_cast<double>(tl.front().remote_active);
+  const double leave_rate_l = local_base > 0 ? static_cast<double>(ll) / local_base : 0;
+  const double leave_rate_r = remote_base > 0 ? static_cast<double>(lr) / remote_base : 0;
+  std::cout << "departure rate: local " << util::fmt_percent(leave_rate_l)
+            << " vs remote " << util::fmt_percent(leave_rate_r)
+            << " -> remote/local ratio "
+            << util::fmt_double(leave_rate_l > 0 ? leave_rate_r / leave_rate_l : 0, 2)
+            << "  (paper: remote ~+25%)\n";
+  std::cout << "remote->local switches: " << world::count_remote_to_local_switches(w)
+            << "  (paper: 18 cases)\n";
+}
+
+void bm_timeline(benchmark::State& state) {
+  const auto w = make_evolving_world();
+  for (auto _ : state) {
+    auto tl = world::timeline(
+        w, kMonths, [&](const world::membership& m) { return w.truly_remote(m); });
+    benchmark::DoNotOptimize(tl.size());
+  }
+}
+BENCHMARK(bm_timeline);
+
+void bm_generate_with_history(benchmark::State& state) {
+  for (auto _ : state) {
+    auto w = make_evolving_world();
+    benchmark::DoNotOptimize(w.memberships.size());
+  }
+}
+BENCHMARK(bm_generate_with_history)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig12a)

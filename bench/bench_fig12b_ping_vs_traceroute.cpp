@@ -1,0 +1,85 @@
+// Fig. 12b — Comparison of ping and traceroute RTTs toward the peering
+// interfaces of the largest LG-equipped IXP (LINX LON analogue).  Shape
+// target: the two RTT patterns track each other closely, supporting the
+// "beyond pings" scale-up direction of §8.
+#include "common.hpp"
+
+#include <cmath>
+
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+
+void print_fig12b() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+
+  // Largest scoped IXP with an LG.
+  world::ixp_id target_ixp = world::k_invalid;
+  std::size_t lg_vp = 0;
+  for (const auto x : pr.scope) {
+    for (std::size_t vi = 0; vi < s.vps.size(); ++vi) {
+      if (s.vps[vi].ixp == x && s.vps[vi].type == measure::vp_type::looking_glass &&
+          s.vps[vi].alive) {
+        target_ixp = x;
+        lg_vp = vi;
+        break;
+      }
+    }
+    if (target_ixp != world::k_invalid) break;
+  }
+  if (target_ixp == world::k_invalid) {
+    std::cout << "no LG-equipped IXP in scope\n";
+    return;
+  }
+
+  const auto engine = s.make_traceroute_engine();
+  util::rng r{1212};
+  util::ecdf ping_ecdf, trace_ecdf, abs_diff;
+  for (const auto& pm : pr.rtt.campaign.measurements) {
+    if (pm.vp_index != lg_vp || !pm.responsive) continue;
+    const auto tr = engine.run_from_vp(s.vps[lg_vp].point(), pm.target, r);
+    if (!tr.reached || tr.hops.empty()) continue;
+    ping_ecdf.add(pm.rtt_min_ms);
+    trace_ecdf.add(tr.hops.back().rtt_ms);
+    abs_diff.add(std::abs(tr.hops.back().rtt_ms - pm.rtt_min_ms));
+  }
+
+  std::cout << "Fig. 12b: ping vs traceroute RTTs for " << s.w.ixps[target_ixp].name
+            << " peering interfaces (" << ping_ecdf.size() << " interfaces)\n";
+  util::text_table t;
+  t.header({"Percentile", "Ping RTT ms", "Traceroute RTT ms"});
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    t.row({util::fmt_percent(q, 0),
+           ping_ecdf.empty() ? "-" : util::fmt_double(ping_ecdf.quantile(q), 2),
+           trace_ecdf.empty() ? "-" : util::fmt_double(trace_ecdf.quantile(q), 2)});
+  }
+  t.footer("Paper: the RTT patterns from pings and traceroutes are close, enabling "
+           "traceroute-based scale-up beyond LG pings.");
+  t.print(std::cout);
+  if (!abs_diff.empty()) {
+    std::cout << "median |ping - traceroute|: "
+              << util::fmt_double(abs_diff.quantile(0.5), 2) << " ms; within 2 ms: "
+              << util::fmt_percent(abs_diff.at(2.0)) << "\n";
+  }
+}
+
+void bm_vp_traceroute(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto engine = s.make_traceroute_engine();
+  const auto& m = s.w.memberships.front();
+  const auto vp_fac = s.w.ixps[m.ixp].facilities.front();
+  const measure::net_point vp{s.w.facilities[vp_fac].location, vp_fac};
+  util::rng r{4};
+  for (auto _ : state) {
+    auto t = engine.run_from_vp(vp, m.interface_ip, r);
+    benchmark::DoNotOptimize(t.reached);
+  }
+}
+BENCHMARK(bm_vp_traceroute);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig12b)

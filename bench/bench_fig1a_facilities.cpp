@@ -1,0 +1,57 @@
+// Fig. 1a — Distribution of the number of colocation facilities per AS
+// and per IXP (source in the paper: PDB/Inflect; here: the merged noisy
+// view, i.e. the same vantage the methodology has).
+#include "common.hpp"
+
+#include <set>
+
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+
+void print_fig1a() {
+  const auto& s = benchx::shared_scenario();
+
+  util::ecdf as_facs, ixp_facs;
+  std::set<net::asn> member_ases;
+  for (const auto x : s.view.known_ixps())
+    for (const auto& e : s.view.interfaces_of_ixp(x)) member_ases.insert(e.asn);
+  for (const auto asn : member_ases)
+    as_facs.add(static_cast<double>(s.view.facilities_of_as(asn).size()));
+  for (const auto x : s.view.known_ixps()) {
+    const auto n = s.view.facilities_of_ixp(x).size();
+    if (n > 0) ixp_facs.add(static_cast<double>(n));
+  }
+
+  std::cout << "Fig. 1a: distribution of #facilities per ASN and per IXP\n";
+  util::text_table t;
+  t.header({"Entity", "N", "<=1 fac", "<=2", "<=5", "<=10", ">10"});
+  const auto row = [&](const char* name, const util::ecdf& e) {
+    t.row({name, std::to_string(e.size()), util::fmt_percent(e.at(1.0)),
+           util::fmt_percent(e.at(2.0)), util::fmt_percent(e.at(5.0)),
+           util::fmt_percent(e.at(10.0)), util::fmt_percent(1.0 - e.at(10.0))});
+  };
+  row("ASes (IXP members)", as_facs);
+  row("IXPs", ixp_facs);
+  t.footer("Paper: ~60% of IXPs and ASes present in a single facility; only ~5% in "
+           "more than 10.");
+  t.print(std::cout);
+}
+
+void bm_facility_lookup(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  std::vector<net::asn> asns;
+  for (const auto x : s.scope)
+    for (const auto& e : s.view.interfaces_of_ixp(x)) asns.push_back(e.asn);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.view.facilities_of_as(asns[i++ % asns.size()]).size());
+  }
+}
+BENCHMARK(bm_facility_lookup);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig1a)

@@ -1,0 +1,77 @@
+// Fig. 2a — Median RTTs between the facilities of a wide-area IXP
+// (NET-IX analogue), measured Y.1731-style between the IXP's own sites.
+// Shape target: for a continental footprint, the vast majority (paper:
+// 87%) of facility pairs exceed 10 ms — no RTT threshold can work there.
+#include "common.hpp"
+
+#include "opwat/geo/metro.hpp"
+#include "opwat/measure/y1731.hpp"
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+
+world::ixp_id widest_ixp(const eval::scenario& s) {
+  world::ixp_id best = world::k_invalid;
+  double best_span = -1.0;
+  for (const auto& x : s.w.ixps) {
+    const auto pts = s.w.ixp_facility_points(x.id);
+    const double span = geo::max_pairwise_distance_km(pts);
+    if (span > best_span) {
+      best_span = span;
+      best = x.id;
+    }
+  }
+  return best;
+}
+
+void print_fig2a() {
+  const auto& s = benchx::shared_scenario();
+  const auto xid = widest_ixp(s);
+  const auto& x = s.w.ixps[xid];
+  const auto matrix =
+      measure::facility_delay_matrix(s.w, s.lat, xid, 24, util::rng{2});
+
+  std::cout << "Fig. 2a: median inter-facility RTT of the widest-area IXP ("
+            << x.name << ", " << x.facilities.size() << " facilities)\n";
+  util::text_table t;
+  t.header({"Facility A", "Facility B", "Distance km", "Median RTT ms"});
+  std::size_t over_10ms = 0;
+  for (const auto& d : matrix) {
+    t.row({s.w.facilities[d.a].name, s.w.facilities[d.b].name,
+           util::fmt_double(d.distance_km, 0), util::fmt_double(d.median_rtt_ms, 2)});
+    if (d.median_rtt_ms > 10.0) ++over_10ms;
+  }
+  t.print(std::cout);
+  if (!matrix.empty()) {
+    std::cout << "pairs with median RTT > 10 ms: "
+              << util::fmt_percent(static_cast<double>(over_10ms) /
+                                   static_cast<double>(matrix.size()))
+              << "  (paper: 87% for NET-IX's 16 international sites)\n";
+  }
+  // The paper also notes sub-10ms international pairs (FRA-PRA at 7 ms).
+  for (const auto& d : matrix) {
+    if (d.median_rtt_ms < 10.0 &&
+        s.w.facilities[d.a].city != s.w.facilities[d.b].city) {
+      std::cout << "example sub-10ms cross-city pair: " << s.w.facilities[d.a].name
+                << " <-> " << s.w.facilities[d.b].name << " at "
+                << util::fmt_double(d.median_rtt_ms, 1) << " ms\n";
+      break;
+    }
+  }
+}
+
+void bm_y1731_matrix(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto xid = widest_ixp(s);
+  for (auto _ : state) {
+    auto m = measure::facility_delay_matrix(s.w, s.lat, xid, 24, util::rng{2});
+    benchmark::DoNotOptimize(m.size());
+  }
+}
+BENCHMARK(bm_y1731_matrix);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig2a)

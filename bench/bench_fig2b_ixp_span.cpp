@@ -1,0 +1,76 @@
+// Fig. 2b — Maximum distance between IXP facilities vs member count, and
+// the prevalence of wide-area IXPs: the paper finds 14.4% of IXPs (and
+// 20% of the 50 largest) have facilities in different metro areas.
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "opwat/geo/metro.hpp"
+
+namespace {
+
+using namespace opwat;
+
+void print_fig2b() {
+  const auto& s = benchx::shared_scenario();
+
+  struct row {
+    world::ixp_id id;
+    std::size_t members;
+    double span_km;
+    bool wide;
+  };
+  std::vector<row> rows;
+  for (const auto& x : s.w.ixps) {
+    const auto members = s.w.memberships_of_ixp(x.id).size();
+    if (members < 2) continue;
+    const auto pts = s.w.ixp_facility_points(x.id);
+    rows.push_back({x.id, members, geo::max_pairwise_distance_km(pts),
+                    geo::is_wide_area(pts)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const row& a, const row& b) { return a.members > b.members; });
+
+  std::cout << "Fig. 2b: max facility distance vs IXP member count\n";
+  util::text_table t;
+  t.header({"IXP", "#Members", "Max fac. distance km", "Wide-area?"});
+  for (std::size_t i = 0; i < std::min<std::size_t>(rows.size(), 15); ++i)
+    t.row({s.w.ixps[rows[i].id].name, std::to_string(rows[i].members),
+           util::fmt_double(rows[i].span_km, 0), rows[i].wide ? "yes" : "no"});
+  t.footer("(top 15 by member count shown)");
+  t.print(std::cout);
+
+  const auto wide_total = static_cast<double>(
+      std::count_if(rows.begin(), rows.end(), [](const row& r) { return r.wide; }));
+  std::cout << "wide-area IXPs: " << wide_total << "/" << rows.size() << " = "
+            << util::fmt_percent(wide_total / static_cast<double>(rows.size()))
+            << "  (paper: 64/446 = 14.4%)\n";
+  const std::size_t top = std::min<std::size_t>(rows.size(), 50);
+  const auto wide_top = static_cast<double>(std::count_if(
+      rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(top),
+      [](const row& r) { return r.wide; }));
+  std::cout << "wide-area among the " << top << " largest: "
+            << util::fmt_percent(wide_top / static_cast<double>(top))
+            << "  (paper: 10/50 = 20%)\n";
+  double max_span = 0;
+  for (const auto& r : rows) max_span = std::max(max_span, r.span_km);
+  std::cout << "largest footprint: " << util::fmt_double(max_span, 0)
+            << " km  (paper: NL-IX London-Bucharest > 1,300 km)\n";
+}
+
+void bm_wide_area_classification(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  for (auto _ : state) {
+    std::size_t wide = 0;
+    for (const auto& x : s.w.ixps) {
+      const auto pts = s.w.ixp_facility_points(x.id);
+      if (geo::is_wide_area(pts)) ++wide;
+    }
+    benchmark::DoNotOptimize(wide);
+  }
+}
+BENCHMARK(bm_wide_area_classification);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig2b)

@@ -1,0 +1,74 @@
+// Fig. 4 — Capacity of IXP ports for remote vs local peers (control
+// validation subset).  Shape targets: no local peer below the IXP's
+// minimum physical capacity; ~27% of remote peers on fractional (FE)
+// reseller ports; 100GE ports exclusively local.
+#include "common.hpp"
+
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+
+const char* capacity_class(double gbps, double cmin) {
+  if (gbps < cmin) return "fractional (<Cmin)";
+  if (gbps < 10.0) return "1GE-class";
+  if (gbps < 40.0) return "10GE-class";
+  if (gbps < 100.0) return "40GE-class";
+  return "100GE-class";
+}
+
+void print_fig4() {
+  const auto& s = benchx::shared_scenario();
+
+  util::category_counter local, remote;
+  std::size_t local_below_cmin = 0;
+  for (const auto& row : s.validation.ixps) {
+    const double cmin = s.w.ixps[row.ixp].min_physical_capacity_gbps;
+    for (const auto mid : s.w.memberships_of_ixp(row.ixp)) {
+      const auto& m = s.w.memberships[mid];
+      const infer::iface_key key{m.ixp, m.interface_ip};
+      const auto vd = s.validation.all();
+      if (!vd.contains(key)) continue;
+      const auto* cls = capacity_class(m.port_capacity_gbps, cmin);
+      if (vd.remote.contains(key)) {
+        remote.add(cls);
+      } else {
+        local.add(cls);
+        if (m.port_capacity_gbps < cmin) ++local_below_cmin;
+      }
+    }
+  }
+
+  std::cout << "Fig. 4: port capacities of validated local vs remote peers\n";
+  util::text_table t;
+  t.header({"Capacity class", "Local", "Local %", "Remote", "Remote %"});
+  for (const auto* cls : {"fractional (<Cmin)", "1GE-class", "10GE-class",
+                          "40GE-class", "100GE-class"}) {
+    t.row({cls, std::to_string(local.count(cls)), util::fmt_percent(local.fraction(cls)),
+           std::to_string(remote.count(cls)), util::fmt_percent(remote.fraction(cls))});
+  }
+  t.footer("Paper: no local peer below 1GE (Cmin); 27% of remote peers on 1FE-5FE "
+           "fractional ports; 100GE+ ports only local.");
+  t.print(std::cout);
+  std::cout << "local peers below Cmin: " << local_below_cmin << "  (must be 0)\n";
+  std::cout << "remote peers on fractional ports: "
+            << util::fmt_percent(remote.fraction("fractional (<Cmin)"))
+            << "  (paper: ~27%)\n";
+}
+
+void bm_port_classification(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  for (auto _ : state) {
+    std::size_t fractional = 0;
+    for (const auto& m : s.w.memberships)
+      if (m.port_capacity_gbps < s.w.ixps[m.ixp].min_physical_capacity_gbps)
+        ++fractional;
+    benchmark::DoNotOptimize(fractional);
+  }
+}
+BENCHMARK(bm_port_classification);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig4)

@@ -1,0 +1,81 @@
+// Fig. 6 — Inter-facility RTT as a function of distance, with the
+// v_max = 4/9 c upper-speed bound and the empirical v_min(d) log fit
+// (calibrated so the Fig. 7 example reproduces: 4 ms -> ring [299, 532] km).
+// Every Y.1731 sample must fall inside the envelope.
+#include "common.hpp"
+
+#include <cmath>
+
+#include "opwat/geo/metro.hpp"
+#include "opwat/geo/speed_model.hpp"
+#include "opwat/measure/y1731.hpp"
+
+namespace {
+
+using namespace opwat;
+
+void print_fig6() {
+  const auto& s = benchx::shared_scenario();
+
+  // Collect facility-to-facility delays from every multi-facility IXP
+  // (the paper uses NL-IX + NET-IX Y.1731 feeds).
+  std::vector<measure::facility_pair_delay> samples;
+  for (const auto& x : s.w.ixps) {
+    if (x.facilities.size() < 2) continue;
+    const auto m = measure::facility_delay_matrix(s.w, s.lat, x.id, 9,
+                                                  util::rng{x.id + 1});
+    samples.insert(samples.end(), m.begin(), m.end());
+  }
+
+  std::cout << "Fig. 6: inter-facility RTT vs distance with speed bounds\n";
+  util::text_table t;
+  t.header({"Distance km", "Median RTT ms", "min RTT bound (v_max)",
+            "max RTT bound (v_min)", "in envelope?"});
+  std::size_t inside = 0, shown = 0;
+  for (const auto& d : samples) {
+    const double lo = geo::min_rtt_ms_for_distance(d.distance_km);
+    const double hi = geo::max_rtt_ms_for_distance(d.distance_km);
+    const bool ok = d.median_rtt_ms >= lo * 0.999 && d.median_rtt_ms <= hi * 1.001;
+    if (ok) ++inside;
+    if (d.distance_km > 40.0 && shown < 14) {
+      ++shown;
+      t.row({util::fmt_double(d.distance_km, 0), util::fmt_double(d.median_rtt_ms, 2),
+             util::fmt_double(lo, 2), std::isinf(hi) ? std::string{"inf"} : util::fmt_double(hi, 2),
+             ok ? "yes" : "NO"});
+    }
+  }
+  t.footer("(sample of pairs > 40 km shown)");
+  t.print(std::cout);
+  std::cout << "samples inside the [v_min, v_max] envelope: " << inside << "/"
+            << samples.size() << "\n";
+  const auto ring = geo::feasible_ring(4.0);
+  std::cout << "Fig. 7 calibration check: 4 ms ring = ["
+            << util::fmt_double(ring.d_min_km, 0) << ", "
+            << util::fmt_double(ring.d_max_km, 0)
+            << "] km  (paper: [299, 532] km)\n";
+}
+
+void bm_feasible_ring(benchmark::State& state) {
+  double rtt = 0.1;
+  for (auto _ : state) {
+    const auto ring = geo::feasible_ring(rtt);
+    benchmark::DoNotOptimize(ring.d_min_km);
+    rtt = rtt > 100.0 ? 0.1 : rtt + 0.37;
+  }
+}
+BENCHMARK(bm_feasible_ring);
+
+void bm_geodesic(benchmark::State& state) {
+  const geo::geo_point a{52.37, 4.89};
+  geo::geo_point b{50.11, 8.68};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::geodesic_km(a, b));
+    b.lon_deg += 0.01;
+    if (b.lon_deg > 170) b.lon_deg = -170;
+  }
+}
+BENCHMARK(bm_geodesic);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig6)

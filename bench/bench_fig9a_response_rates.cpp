@@ -1,0 +1,75 @@
+// Fig. 9a — Response rates of LGs vs Atlas probes: queried vs responsive
+// interface counts per vantage point.  LGs sit inside the peering LAN and
+// answer best; Atlas probes outside the LAN lose ~25%.
+#include "common.hpp"
+
+#include <map>
+
+namespace {
+
+using namespace opwat;
+
+void print_fig9a() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+
+  struct per_vp {
+    std::size_t queried = 0, responsive = 0;
+  };
+  std::map<std::size_t, per_vp> stats;
+  for (const auto& pm : pr.rtt.campaign.measurements) {
+    auto& st = stats[pm.vp_index];
+    ++st.queried;
+    if (pm.responsive) ++st.responsive;
+  }
+
+  std::cout << "Fig. 9a: per-VP queried vs responsive interfaces\n";
+  util::text_table t;
+  t.header({"VP", "Type", "Queried", "Responsive", "Rate"});
+  double lg_q = 0, lg_r = 0, at_q = 0, at_r = 0;
+  std::size_t shown = 0;
+  for (const auto& [vi, st] : stats) {
+    const auto& vp = s.vps[vi];
+    const bool lg = vp.type == measure::vp_type::looking_glass;
+    (lg ? lg_q : at_q) += static_cast<double>(st.queried);
+    (lg ? lg_r : at_r) += static_cast<double>(st.responsive);
+    if (shown < 16) {
+      ++shown;
+      t.row({vp.name, std::string{measure::to_string(vp.type)},
+             std::to_string(st.queried), std::to_string(st.responsive),
+             st.queried ? util::fmt_percent(static_cast<double>(st.responsive) /
+                                            static_cast<double>(st.queried))
+                        : "-"});
+    }
+  }
+  t.footer("(first 16 VPs shown)");
+  t.print(std::cout);
+  std::cout << "LG aggregate response rate:    "
+            << util::fmt_percent(lg_q > 0 ? lg_r / lg_q : 0.0)
+            << "  (paper: 95%)\n";
+  std::cout << "Atlas aggregate response rate: "
+            << util::fmt_percent(at_q > 0 ? at_r / at_q : 0.0)
+            << "  (paper: 75%; 14 of 66 probes never answered)\n";
+  std::size_t dead = 0, total_atlas = 0;
+  for (const auto& vp : s.vps) {
+    if (vp.type != measure::vp_type::atlas) continue;
+    ++total_atlas;
+    if (!vp.alive) ++dead;
+  }
+  std::cout << "dead Atlas probes: " << dead << "/" << total_atlas << "\n";
+}
+
+void bm_campaign_scan(benchmark::State& state) {
+  const auto& pr = benchx::shared_pipeline();
+  for (auto _ : state) {
+    std::size_t responsive = 0;
+    for (const auto& pm : pr.rtt.campaign.measurements)
+      if (pm.responsive) ++responsive;
+    benchmark::DoNotOptimize(responsive);
+  }
+}
+BENCHMARK(bm_campaign_scan);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig9a)

@@ -1,0 +1,77 @@
+// Fig. 9c — Inference result vs number of feasible IXP facilities and
+// RTT_min per interface.  Shape target: ~94% of remote-inferred
+// interfaces have NO feasible common facility with their IXP; the small
+// remainder splits into high-RTT spurious-colocation cases and colocated
+// reseller customers caught by Step 1.
+#include "common.hpp"
+
+#include <cmath>
+
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::method_step;
+using infer::peering_class;
+
+void print_fig9c() {
+  const auto& pr = benchx::shared_pipeline();
+
+  std::size_t remote_total = 0, remote_zero_feasible = 0, remote_some_feasible = 0;
+  std::size_t remote_feasible_highrtt = 0, remote_feasible_step1 = 0;
+  util::category_counter by_class;
+  for (const auto& [key, inf] : pr.inferences.items()) {
+    if (inf.feasible_ixp_facilities < 0) continue;
+    by_class.add(std::string{to_string(inf.cls)});
+    if (inf.cls != peering_class::remote) continue;
+    ++remote_total;
+    if (inf.feasible_ixp_facilities == 0) {
+      ++remote_zero_feasible;
+    } else {
+      ++remote_some_feasible;
+      if (!std::isnan(inf.rtt_min_ms) && inf.rtt_min_ms > 2.0) ++remote_feasible_highrtt;
+      if (inf.step == method_step::port_capacity) ++remote_feasible_step1;
+    }
+  }
+
+  std::cout << "Fig. 9c: inference vs feasible facilities and RTTmin\n";
+  util::text_table t;
+  t.header({"Quantity", "Value", "Paper"});
+  const auto pct = [](std::size_t n, std::size_t d) {
+    return d == 0 ? std::string{"-"}
+                  : util::fmt_percent(static_cast<double>(n) / static_cast<double>(d));
+  };
+  t.row({"remote ifaces with 0 feasible IXP facilities",
+         pct(remote_zero_feasible, remote_total), "94%"});
+  t.row({"remote ifaces with >=1 feasible facility",
+         pct(remote_some_feasible, remote_total), "6%"});
+  t.row({"  of which RTTmin > 2 ms (spurious colocation)",
+         pct(remote_feasible_highrtt, remote_some_feasible), "40%"});
+  t.row({"  of which colocated reseller customers (Step 1)",
+         pct(remote_feasible_step1, remote_some_feasible), "(rest)"});
+  t.print(std::cout);
+}
+
+void bm_ring_evaluation(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  // Re-evaluate the ring for every observed interface (Step 3's hot loop).
+  for (auto _ : state) {
+    std::size_t feasible = 0;
+    for (const auto& [key, observations] : pr.rtt.observations) {
+      const auto member = s.view.member_of_interface(key.ip);
+      if (!member || observations.empty()) continue;
+      int n = 0;
+      (void)infer::evaluate_ring(s.view, s.vps[observations[0].vp_index], key.ixp,
+                                 *member, observations[0], {}, &n);
+      feasible += static_cast<std::size_t>(n);
+    }
+    benchmark::DoNotOptimize(feasible);
+  }
+}
+BENCHMARK(bm_ring_evaluation)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig9c)

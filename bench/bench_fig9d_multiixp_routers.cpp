@@ -1,0 +1,71 @@
+// Fig. 9d — Multi-IXP router types vs the number of next-hop IXPs.
+// Shape targets: a large share of still-unknown interfaces ride on
+// multi-IXP routers; some routers connect to 10+ IXPs; remote multi-IXP
+// routers outnumber hybrid ones.
+#include "common.hpp"
+
+#include <map>
+
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::router_kind;
+
+void print_fig9d() {
+  const auto& pr = benchx::shared_pipeline();
+
+  std::map<router_kind, util::category_counter> by_kind;
+  std::size_t multi = 0, ten_plus = 0, total_groups = 0;
+  for (const auto& r : pr.s4.routers) {
+    ++total_groups;
+    if (r.ixps.size() < 2) continue;
+    ++multi;
+    if (r.ixps.size() > 10) ++ten_plus;
+    const auto bucket = r.ixps.size() <= 2   ? "2 IXPs"
+                        : r.ixps.size() <= 5 ? "3-5 IXPs"
+                        : r.ixps.size() <= 10 ? "6-10 IXPs"
+                                              : ">10 IXPs";
+    by_kind[r.kind].add(bucket);
+  }
+
+  std::cout << "Fig. 9d: multi-IXP router types vs number of next-hop IXPs\n";
+  util::text_table t;
+  t.header({"Router type", "2 IXPs", "3-5 IXPs", "6-10 IXPs", ">10 IXPs", "Total"});
+  for (const auto kind : {router_kind::local, router_kind::remote, router_kind::hybrid,
+                          router_kind::undetermined}) {
+    const auto& c = by_kind[kind];
+    t.row({std::string{to_string(kind)}, std::to_string(c.count("2 IXPs")),
+           std::to_string(c.count("3-5 IXPs")), std::to_string(c.count("6-10 IXPs")),
+           std::to_string(c.count(">10 IXPs")), std::to_string(c.total())});
+  }
+  t.footer("Paper: ~80% of the routers of still-unknown interfaces have multiple "
+           "IXP connections, 25% of them to >10 IXPs; remote multi-IXP routers "
+           "outnumber hybrid ones.");
+  t.print(std::cout);
+  std::cout << "router groups observed: " << total_groups << ", multi-IXP: " << multi
+            << ", connecting to >10 IXPs: " << ten_plus << "\n";
+  const auto remote_n = by_kind[router_kind::remote].total();
+  const auto hybrid_n = by_kind[router_kind::hybrid].total();
+  std::cout << "remote multi-IXP routers: " << remote_n
+            << " vs hybrid: " << hybrid_n
+            << (remote_n > hybrid_n ? "  (remote > hybrid, as in the paper)" : "")
+            << "\n";
+}
+
+void bm_step4(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  const alias::resolver resolve{s.w, s.cfg.pipeline.resolver, 99};
+  for (auto _ : state) {
+    infer::inference_map inferences;
+    auto r = infer::run_step4_multi_ixp(s.view, pr.paths, resolve, s.scope, inferences);
+    benchmark::DoNotOptimize(r.routers.size());
+  }
+}
+BENCHMARK(bm_step4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_fig9d)

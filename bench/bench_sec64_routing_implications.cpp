@@ -1,0 +1,79 @@
+// §6.4 — Routing implications of remote peering at the largest studied
+// IXP (DE-CIX Frankfurt analogue).  For every inferred-remote member AS_R
+// and every other member AS_x sharing one more IXP, traceroute AS_R ->
+// AS_x and classify the crossing: hot-potato compliant (paper: 66%),
+// detour over the remote port although a closer IXP exists (18%), or a
+// missed chance to offload over the studied IXP (16%).
+#include "common.hpp"
+
+#include "opwat/eval/routing.hpp"
+
+namespace {
+
+using namespace opwat;
+using eval::routing_verdict;
+
+eval::routing_study run_study() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  const auto studied = pr.scope.front();
+
+  std::vector<net::asn> remote_members;
+  for (const auto& [key, inf] : pr.inferences.items()) {
+    if (key.ixp != studied || inf.cls != infer::peering_class::remote) continue;
+    if (const auto asn = s.view.member_of_interface(key.ip))
+      remote_members.push_back(*asn);
+  }
+  const auto engine = s.make_traceroute_engine();
+  return eval::run_routing_study(s.w, s.view, s.prefix2as, engine, studied,
+                                 remote_members, {});
+}
+
+void print_sec64() {
+  const auto& s = benchx::shared_scenario();
+  const auto study = run_study();
+
+  std::cout << "Sec. 6.4: routing implications at " << s.w.ixps[study.studied_ixp].name
+            << " (largest studied IXP)\n";
+  std::cout << "pairs examined: " << study.pairs_examined
+            << ", crossings attributed: " << study.crossings_found << "\n";
+  util::text_table t;
+  t.header({"Verdict", "Count", "Share", "Paper"});
+  const double n = static_cast<double>(study.cases.size());
+  const auto row = [&](routing_verdict v, const char* paper) {
+    const auto c = study.count(v);
+    t.row({std::string{to_string(v)}, std::to_string(c),
+           n > 0 ? util::fmt_percent(static_cast<double>(c) / n) : "-", paper});
+  };
+  row(routing_verdict::hot_potato, "66%");
+  row(routing_verdict::rp_detour, "18%");
+  row(routing_verdict::missed_rp, "16%");
+  row(routing_verdict::other, "-");
+  t.footer("Detours and missed offloads each move traffic hundreds of km away from "
+           "the latency-optimal exchange.");
+  t.print(std::cout);
+
+  // Magnitude of the detours, like the paper's "100s of km" remark.
+  double km_sum = 0;
+  std::size_t detours = 0;
+  for (const auto& c : study.cases) {
+    if (c.verdict != routing_verdict::rp_detour) continue;
+    km_sum += c.used_distance_km - c.closest_distance_km;
+    ++detours;
+  }
+  if (detours > 0)
+    std::cout << "average extra distance on rp-detours: "
+              << util::fmt_double(km_sum / static_cast<double>(detours), 0) << " km\n";
+}
+
+void bm_routing_study(benchmark::State& state) {
+  for (auto _ : state) {
+    auto study = run_study();
+    benchmark::DoNotOptimize(study.cases.size());
+  }
+}
+BENCHMARK(bm_routing_study)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_sec64)

@@ -1,0 +1,69 @@
+// Table 1 — Overview of the IXP (IPv4) dataset and contribution of each
+// data source: total / unique / conflicting prefixes and interfaces per
+// source after merging with the preference order websites > HE > PDB > PCH.
+#include "common.hpp"
+
+#include "opwat/db/merge.hpp"
+#include "opwat/db/snapshot.hpp"
+
+namespace {
+
+using namespace opwat;
+using util::fmt_count;
+using util::fmt_percent;
+
+void print_table1() {
+  const auto& s = benchx::shared_scenario();
+  const auto& view = s.view;
+
+  util::text_table t{
+      "Table 1: IXP dataset overview and contribution of each data source "
+      "(synthetic reproduction)"};
+  t.header({"Source", "Prefixes Total", "Unique", "Conflicts", "Interfaces Total",
+            "Unique", "Conflicts"});
+  for (const auto& st : view.stats()) {
+    const auto conf_pct = [&](std::size_t conflicts, std::size_t total) {
+      if (conflicts == 0 || total == 0) return std::string{"0"};
+      return std::to_string(conflicts) + " (" +
+             fmt_percent(static_cast<double>(conflicts) / static_cast<double>(total), 2) +
+             ")";
+    };
+    t.row({std::string{db::to_string(st.kind)}, fmt_count(static_cast<long long>(st.prefixes_total)),
+           fmt_count(static_cast<long long>(st.prefixes_unique)),
+           conf_pct(st.prefixes_conflicts, st.prefixes_total),
+           fmt_count(static_cast<long long>(st.interfaces_total)),
+           fmt_count(static_cast<long long>(st.interfaces_unique)),
+           conf_pct(st.interfaces_conflicts, st.interfaces_total)});
+  }
+  t.row({"Total (merged)", fmt_count(static_cast<long long>(view.prefix_count())), "-", "-",
+         fmt_count(static_cast<long long>(view.interface_count())), "-", "-"});
+  t.footer("Paper: 731 prefixes / 31,690 interfaces across 703 IXPs; conflicts "
+           "0.27-0.37% per source.  Shape target: websites contribute few unique "
+           "entries, lower-preference sources carry small conflict rates.");
+  t.print(std::cout);
+}
+
+void bm_merge(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto snaps = db::make_standard_snapshots(s.w, 11);
+  for (auto _ : state) {
+    auto view = db::merged_view::build(snaps);
+    benchmark::DoNotOptimize(view.interface_count());
+  }
+}
+BENCHMARK(bm_merge);
+
+void bm_snapshot(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  for (auto _ : state) {
+    auto snap = db::make_snapshot(s.w, db::source_kind::pdb,
+                                  db::default_noise(db::source_kind::pdb),
+                                  util::rng{42});
+    benchmark::DoNotOptimize(snap.interfaces.size());
+  }
+}
+BENCHMARK(bm_snapshot);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_table1)

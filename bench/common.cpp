@@ -1,0 +1,21 @@
+#include "common.hpp"
+
+namespace opwat::benchx {
+
+const eval::scenario& shared_scenario() {
+  static const eval::scenario s = eval::scenario::build(eval::default_scenario_config());
+  return s;
+}
+
+const infer::pipeline_result& shared_pipeline() {
+  static const infer::pipeline_result pr = shared_scenario().run_pipeline();
+  return pr;
+}
+
+bool truly_remote(const eval::scenario& s, net::ipv4_addr iface) {
+  const auto mid = s.w.membership_by_interface(iface);
+  if (!mid) return false;
+  return s.w.truly_remote(s.w.memberships[*mid]);
+}
+
+}  // namespace opwat::benchx

@@ -1,0 +1,41 @@
+// Shared infrastructure for the bench binaries.
+//
+// Every bench reproduces one table or figure of the paper from the same
+// full-size scenario (60 IXPs / 2,400 ASes / 30-IXP measurement scope) so
+// numbers are comparable across benches, then times its hot path with
+// google-benchmark.  OPWAT_BENCH_MAIN(print_fn) expands to a main() that
+// prints the reproduction and then runs the registered benchmarks.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "opwat/eval/metrics.hpp"
+#include "opwat/eval/scenario.hpp"
+#include "opwat/util/strings.hpp"
+#include "opwat/util/table.hpp"
+
+namespace opwat::benchx {
+
+/// The scenario every bench shares (built once per process).
+const eval::scenario& shared_scenario();
+
+/// The pipeline result on the shared scenario (run once per process).
+const infer::pipeline_result& shared_pipeline();
+
+/// Ground-truth remoteness of a merged-view interface (for figures that
+/// plot against the truth, e.g. Fig. 1b / Fig. 4 control-set views).
+bool truly_remote(const eval::scenario& s, net::ipv4_addr iface);
+
+}  // namespace opwat::benchx
+
+#define OPWAT_BENCH_MAIN(print_fn)                       \
+  int main(int argc, char** argv) {                      \
+    print_fn();                                          \
+    benchmark::Initialize(&argc, &argv[0]);              \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    benchmark::RunSpecifiedBenchmarks();                 \
+    benchmark::Shutdown();                               \
+    return 0;                                            \
+  }

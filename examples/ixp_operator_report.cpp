@@ -1,0 +1,75 @@
+// IXP operator report: the "remote peering portal" use case (§9).
+//
+// For one IXP, produce the report an operator (or prospective member)
+// would want: every member interface with its inferred class, the
+// evidence behind the inference (step, RTT, feasible facilities), port
+// capacity, and an aggregate member-base profile.
+//
+//   $ ./ixp_operator_report [ixp-rank]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/util/strings.hpp"
+#include "opwat/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace opwat;
+
+  const std::size_t rank = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
+
+  const auto scenario = eval::scenario::build(eval::small_scenario_config(21));
+  const auto result = scenario.run_pipeline();
+  if (result.scope.empty()) {
+    std::cerr << "no measurable IXPs in the scenario\n";
+    return 1;
+  }
+  const auto ixp = result.scope[std::min(rank, result.scope.size() - 1)];
+  const auto& x = scenario.w.ixps[ixp];
+
+  std::cout << "=== Remote peering report for " << x.name << " ===\n";
+  std::cout << "switching sites: " << x.facilities.size()
+            << ", minimum physical port: " << x.min_physical_capacity_gbps
+            << " G, reseller program: " << (x.supports_resellers ? "yes" : "no")
+            << "\n\n";
+
+  util::text_table t{"Member interfaces"};
+  t.header({"Interface", "Member", "Class", "Evidence", "RTTmin ms", "Port G"});
+  std::size_t local = 0, remote = 0, unknown = 0;
+  for (const auto& e : scenario.view.interfaces_of_ixp(ixp)) {
+    const infer::iface_key key{ixp, e.ip};
+    const auto* inf = result.inferences.find(key);
+    const auto cls = inf ? inf->cls : infer::peering_class::unknown;
+    switch (cls) {
+      case infer::peering_class::local: ++local; break;
+      case infer::peering_class::remote: ++remote; break;
+      case infer::peering_class::unknown: ++unknown; break;
+    }
+    const auto cap = scenario.view.port_capacity(e.asn, ixp);
+    t.row({e.ip.to_string(), net::to_string(e.asn), std::string{to_string(cls)},
+           inf ? std::string{to_string(inf->step)} : "-",
+           inf && !std::isnan(inf->rtt_min_ms) ? util::fmt_double(inf->rtt_min_ms, 2)
+                                               : "-",
+           cap ? util::fmt_double(*cap, 1) : "?"});
+  }
+  t.print(std::cout);
+
+  const double inferred = static_cast<double>(local + remote);
+  std::cout << "\nmember base: " << local << " local, " << remote << " remote, "
+            << unknown << " unknown";
+  if (inferred > 0)
+    std::cout << "  (remote share of inferred: "
+              << util::fmt_percent(static_cast<double>(remote) / inferred) << ")";
+  std::cout << "\n";
+
+  // Resilience note (§7): reseller ports shared by several remote peers.
+  std::size_t reseller_ports = 0;
+  for (const auto& [key, inf] : result.inferences.items())
+    if (key.ixp == ixp && inf.step == infer::method_step::port_capacity)
+      ++reseller_ports;
+  std::cout << "fractional-port (reseller) customers detected: " << reseller_ports
+            << " — these share physical ports; one port outage propagates to all "
+               "of them.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Portal snapshot export: the paper's remote-IXP-peering portal publishes
+// monthly inference snapshots; this example produces the equivalent JSON
+// document on stdout (pipe to a file or `jq`).
+//
+//   $ ./portal_export > snapshot.json
+//   $ ./portal_export --summary        # totals only, no member lists
+#include <cstring>
+#include <iostream>
+
+#include "opwat/eval/portal.hpp"
+#include "opwat/eval/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace opwat;
+
+  const bool summary_only = argc > 1 && std::strcmp(argv[1], "--summary") == 0;
+
+  const auto scenario = eval::scenario::build(eval::small_scenario_config(42));
+  const auto result = scenario.run_pipeline();
+
+  eval::portal_options opt;
+  opt.snapshot_label = "2018-04";  // the paper's measurement month
+  if (summary_only) {
+    opt.include_interfaces = false;
+    opt.include_facilities = false;
+  }
+  std::cout << eval::portal_snapshot_json(scenario, result, opt) << "\n";
+  return 0;
+}

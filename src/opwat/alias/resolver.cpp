@@ -1,0 +1,82 @@
+#include "opwat/alias/resolver.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace opwat::alias {
+
+resolver_config kapar_like() noexcept { return {.recall = 0.95, .false_merge = 0.03}; }
+
+alias_groups resolver::resolve(std::span<const net::ipv4_addr> candidates) const {
+  // Deterministic, order-independent behaviour: work on a sorted, deduped
+  // copy and derive all coin flips from stable hashes.
+  std::vector<net::ipv4_addr> ifaces{candidates.begin(), candidates.end()};
+  std::sort(ifaces.begin(), ifaces.end());
+  ifaces.erase(std::unique(ifaces.begin(), ifaces.end()), ifaces.end());
+
+  std::vector<std::size_t> parent(ifaces.size());
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const auto unite = [&](std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[std::max(a, b)] = std::min(a, b);
+  };
+
+  // Group candidates by true router.
+  std::map<world::router_id, std::vector<std::size_t>> by_router;
+  for (std::size_t i = 0; i < ifaces.size(); ++i) {
+    const auto rid = w_.router_by_interface(ifaces[i]);
+    if (rid) by_router[*rid].push_back(i);
+  }
+
+  // True aliases: recover each adjacent pair with P(recall); transitive
+  // closure happens via union-find, mirroring how MIDAR chains pairwise
+  // evidence.
+  for (const auto& [rid, members] : by_router) {
+    for (std::size_t k = 1; k < members.size(); ++k) {
+      util::rng r{util::hash_combine(
+          seed_, util::pair_hash_unordered(ifaces[members[k - 1]].value(),
+                                           ifaces[members[k]].value()))};
+      if (r.bernoulli(cfg_.recall)) unite(members[k - 1], members[k]);
+    }
+    // A second chance across the group: first<->last (MIDAR probes many
+    // pair combinations, not just a chain).
+    if (members.size() > 2) {
+      util::rng r{util::hash_combine(
+          seed_ + 1, util::pair_hash_unordered(ifaces[members.front()].value(),
+                                               ifaces[members.back()].value()))};
+      if (r.bernoulli(cfg_.recall)) unite(members.front(), members.back());
+    }
+  }
+
+  // False merges: wrongly join two routers of the same AS (the typical
+  // shared-counter failure mode).
+  std::map<world::as_id, std::vector<std::size_t>> by_as;
+  for (const auto& [rid, members] : by_router)
+    by_as[w_.routers[rid].owner].push_back(members.front());
+  for (const auto& [as, reps] : by_as) {
+    for (std::size_t k = 1; k < reps.size(); ++k) {
+      util::rng r{util::hash_combine(
+          seed_ + 2, util::pair_hash_unordered(ifaces[reps[k - 1]].value(),
+                                               ifaces[reps[k]].value()))};
+      if (r.bernoulli(cfg_.false_merge)) unite(reps[k - 1], reps[k]);
+    }
+  }
+
+  std::map<std::size_t, std::vector<net::ipv4_addr>> groups;
+  for (std::size_t i = 0; i < ifaces.size(); ++i) groups[find(i)].push_back(ifaces[i]);
+  alias_groups out;
+  out.reserve(groups.size());
+  for (auto& [root, members] : groups) out.push_back(std::move(members));
+  return out;
+}
+
+}  // namespace opwat::alias

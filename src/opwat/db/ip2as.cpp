@@ -1,0 +1,14 @@
+#include "opwat/db/ip2as.hpp"
+
+namespace opwat::db {
+
+ip2as ip2as::build(const world::world& w) {
+  ip2as m;
+  for (const auto& as : w.ases) {
+    m.table_.insert(as.backbone, as.asn);
+    for (const auto& p : as.routed_prefixes) m.table_.insert(p, as.asn);
+  }
+  return m;
+}
+
+}  // namespace opwat::db

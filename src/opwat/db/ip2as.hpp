@@ -1,0 +1,29 @@
+// IP-to-AS mapping for non-IXP address space — the analogue of the CAIDA
+// Routeviews prefix2as dataset the paper uses for traceroute AS
+// attribution (§5.2, Step 5).  Built from the routed and backbone prefixes
+// of every simulated AS.
+#pragma once
+
+#include <optional>
+
+#include "opwat/net/ipv4.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::db {
+
+class ip2as {
+ public:
+  [[nodiscard]] static ip2as build(const world::world& w);
+
+  /// Longest-prefix-match AS attribution.
+  [[nodiscard]] std::optional<net::asn> lookup(net::ipv4_addr a) const {
+    return table_.lookup(a);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  net::lpm_table<net::asn> table_;
+};
+
+}  // namespace opwat::db

@@ -1,0 +1,178 @@
+#include "opwat/db/merge.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace opwat::db {
+
+const std::vector<world::facility_id> merged_view::empty_facs_{};
+const std::vector<iface_entry> merged_view::empty_ifaces_{};
+
+merged_view merged_view::build(std::span<const snapshot> snapshots,
+                               std::vector<source_kind> order) {
+  merged_view v;
+
+  const auto find_snapshot = [&](source_kind k) -> const snapshot* {
+    for (const auto& s : snapshots)
+      if (s.kind == k) return &s;
+    return nullptr;
+  };
+
+  // --- prefixes and interfaces with preference + conflict accounting ------
+  // Key ownership: the first (most preferred) source to define a key wins.
+  std::map<std::uint32_t, std::pair<world::ixp_id, source_kind>> prefix_owner;
+  std::unordered_map<net::ipv4_addr, std::pair<net::asn, source_kind>> iface_owner;
+  std::unordered_map<net::ipv4_addr, world::ixp_id> iface_ixp;
+  // Which sources saw each key (for uniqueness accounting).
+  std::map<std::uint32_t, std::set<source_kind>> prefix_seen;
+  std::unordered_map<net::ipv4_addr, std::set<source_kind>> iface_seen;
+
+  std::map<source_kind, source_stats> stats;
+
+  for (const auto kind : order) {
+    const auto* s = find_snapshot(kind);
+    if (!s) continue;
+    auto& st = stats[kind];
+    st.kind = kind;
+    for (const auto& p : s->prefixes) {
+      ++st.prefixes_total;
+      prefix_seen[p.pfx.network().value()].insert(kind);
+      const auto [it, inserted] =
+          prefix_owner.try_emplace(p.pfx.network().value(), p.ixp, kind);
+      if (inserted) {
+        v.prefix_lookup_.insert(p.pfx, p.ixp);
+      } else if (it->second.first != p.ixp) {
+        ++st.prefixes_conflicts;
+      }
+    }
+    for (const auto& i : s->interfaces) {
+      ++st.interfaces_total;
+      iface_seen[i.ip].insert(kind);
+      const auto [it, inserted] = iface_owner.try_emplace(i.ip, i.asn, kind);
+      if (inserted) {
+        iface_ixp[i.ip] = i.ixp;
+      } else if (it->second.first != i.asn) {
+        ++st.interfaces_conflicts;
+      }
+    }
+  }
+
+  for (const auto& [key, seen] : prefix_seen)
+    if (seen.size() == 1) ++stats[*seen.begin()].prefixes_unique;
+  for (const auto& [key, seen] : iface_seen)
+    if (seen.size() == 1) ++stats[*seen.begin()].interfaces_unique;
+
+  for (const auto& [ip, owner] : iface_owner) {
+    v.iface_to_asn_[ip] = owner.first;
+    v.ifaces_by_ixp_[iface_ixp[ip]].push_back({ip, owner.first});
+    v.members_by_ixp_[iface_ixp[ip]].insert(owner.first);
+  }
+  for (auto& [x, ifaces] : v.ifaces_by_ixp_)
+    std::sort(ifaces.begin(), ifaces.end(),
+              [](const iface_entry& a, const iface_entry& b) { return a.ip < b.ip; });
+
+  v.n_prefixes_ = prefix_owner.size();
+  v.n_interfaces_ = iface_owner.size();
+
+  // --- facilities, geo, ports, meta: union with preference overwrite ------
+  // Iterate least-preferred first so better sources overwrite.
+  std::vector<source_kind> reversed{order.rbegin(), order.rend()};
+  for (const auto kind : reversed) {
+    const auto* s = find_snapshot(kind);
+    if (!s) continue;
+    for (const auto& r : s->ixp_facilities) {
+      auto& facs = v.ixp_facs_[r.ixp];
+      if (std::find(facs.begin(), facs.end(), r.fac) == facs.end()) facs.push_back(r.fac);
+    }
+    for (const auto& r : s->as_facilities) {
+      auto& facs = v.as_facs_[r.asn.value];
+      if (std::find(facs.begin(), facs.end(), r.fac) == facs.end()) facs.push_back(r.fac);
+    }
+    for (const auto& r : s->facility_geos) v.fac_geo_[r.fac] = r.location;
+    for (const auto& r : s->ports) v.ports_[{r.asn.value, r.ixp}] = r.capacity_gbps;
+    for (const auto& r : s->ixp_meta) v.meta_[r.ixp] = r;
+  }
+  // Inflect overrides coordinates for its verified subset regardless of the
+  // preference order (the paper uses it to correct PDB geodata).
+  if (const auto* inflect = find_snapshot(source_kind::inflect))
+    for (const auto& r : inflect->facility_geos) v.fac_geo_[r.fac] = r.location;
+
+  for (auto& [kind, st] : stats) v.stats_.push_back(st);
+  // Order stats like `order`.
+  std::sort(v.stats_.begin(), v.stats_.end(), [&](const auto& a, const auto& b) {
+    const auto idx = [&](source_kind k) {
+      return std::find(order.begin(), order.end(), k) - order.begin();
+    };
+    return idx(a.kind) < idx(b.kind);
+  });
+  return v;
+}
+
+std::optional<world::ixp_id> merged_view::ixp_of_address(net::ipv4_addr a) const {
+  return prefix_lookup_.lookup(a);
+}
+
+std::optional<net::asn> merged_view::member_of_interface(net::ipv4_addr a) const {
+  const auto it = iface_to_asn_.find(a);
+  if (it == iface_to_asn_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<iface_entry>& merged_view::interfaces_of_ixp(world::ixp_id x) const {
+  const auto it = ifaces_by_ixp_.find(x);
+  return it == ifaces_by_ixp_.end() ? empty_ifaces_ : it->second;
+}
+
+bool merged_view::is_member(world::ixp_id x, net::asn a) const {
+  const auto it = members_by_ixp_.find(x);
+  return it != members_by_ixp_.end() && it->second.contains(a);
+}
+
+std::vector<net::asn> merged_view::members_of_ixp(world::ixp_id x) const {
+  std::set<net::asn> uniq;
+  for (const auto& e : interfaces_of_ixp(x)) uniq.insert(e.asn);
+  return {uniq.begin(), uniq.end()};
+}
+
+const std::vector<world::facility_id>& merged_view::facilities_of_ixp(world::ixp_id x) const {
+  const auto it = ixp_facs_.find(x);
+  return it == ixp_facs_.end() ? empty_facs_ : it->second;
+}
+
+const std::vector<world::facility_id>& merged_view::facilities_of_as(net::asn a) const {
+  const auto it = as_facs_.find(a.value);
+  return it == as_facs_.end() ? empty_facs_ : it->second;
+}
+
+std::optional<geo::geo_point> merged_view::facility_location(world::facility_id f) const {
+  const auto it = fac_geo_.find(f);
+  if (it == fac_geo_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> merged_view::port_capacity(net::asn a, world::ixp_id x) const {
+  const auto it = ports_.find({a.value, x});
+  if (it == ports_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<double> merged_view::min_physical_capacity(world::ixp_id x) const {
+  const auto it = meta_.find(x);
+  if (it == meta_.end()) return std::nullopt;
+  return it->second.min_physical_capacity_gbps;
+}
+
+std::optional<std::string> merged_view::ixp_name(world::ixp_id x) const {
+  const auto it = meta_.find(x);
+  if (it == meta_.end()) return std::nullopt;
+  return it->second.name;
+}
+
+std::vector<world::ixp_id> merged_view::known_ixps() const {
+  std::set<world::ixp_id> ids;
+  for (const auto& [x, _] : ifaces_by_ixp_) ids.insert(x);
+  for (const auto& [x, _] : meta_) ids.insert(x);
+  return {ids.begin(), ids.end()};
+}
+
+}  // namespace opwat::db

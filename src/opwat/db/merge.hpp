@@ -1,0 +1,83 @@
+// Multi-source merging with the paper's preference order (§3.2):
+//
+//     IXP websites > HE > PDB > PCH
+//
+// Conflicting entries (same key, different value) are resolved in favour of
+// the higher-preference source, and counted per source to reproduce
+// Table 1.  The merged view is the ONLY IXP metadata interface the
+// inference pipeline sees.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "opwat/db/snapshot.hpp"
+
+namespace opwat::db {
+
+/// Table 1 accounting per source.
+struct source_stats {
+  source_kind kind = source_kind::pdb;
+  std::size_t prefixes_total = 0, prefixes_unique = 0, prefixes_conflicts = 0;
+  std::size_t interfaces_total = 0, interfaces_unique = 0, interfaces_conflicts = 0;
+};
+
+/// An interface on an IXP peering LAN, attributed to a member ASN.
+struct iface_entry {
+  net::ipv4_addr ip;
+  net::asn asn;
+};
+
+class merged_view {
+ public:
+  /// Merges snapshots; `order` lists sources from most to least preferred.
+  /// Snapshots whose kind is absent from `order` contribute geo data only.
+  [[nodiscard]] static merged_view build(
+      std::span<const snapshot> snapshots,
+      std::vector<source_kind> order = {source_kind::website, source_kind::he,
+                                        source_kind::pdb, source_kind::pch});
+
+  // --- pipeline-facing queries ---------------------------------------------
+
+  [[nodiscard]] std::optional<world::ixp_id> ixp_of_address(net::ipv4_addr a) const;
+  [[nodiscard]] std::optional<net::asn> member_of_interface(net::ipv4_addr a) const;
+  [[nodiscard]] const std::vector<iface_entry>& interfaces_of_ixp(world::ixp_id x) const;
+  [[nodiscard]] bool is_member(world::ixp_id x, net::asn a) const;
+  [[nodiscard]] std::vector<net::asn> members_of_ixp(world::ixp_id x) const;
+
+  [[nodiscard]] const std::vector<world::facility_id>& facilities_of_ixp(world::ixp_id x) const;
+  [[nodiscard]] const std::vector<world::facility_id>& facilities_of_as(net::asn a) const;
+  [[nodiscard]] std::optional<geo::geo_point> facility_location(world::facility_id f) const;
+
+  [[nodiscard]] std::optional<double> port_capacity(net::asn a, world::ixp_id x) const;
+  [[nodiscard]] std::optional<double> min_physical_capacity(world::ixp_id x) const;
+  [[nodiscard]] std::optional<std::string> ixp_name(world::ixp_id x) const;
+
+  [[nodiscard]] std::vector<world::ixp_id> known_ixps() const;
+  [[nodiscard]] std::size_t prefix_count() const noexcept { return n_prefixes_; }
+  [[nodiscard]] std::size_t interface_count() const noexcept { return n_interfaces_; }
+
+  [[nodiscard]] const std::vector<source_stats>& stats() const noexcept { return stats_; }
+
+ private:
+  net::lpm_table<world::ixp_id> prefix_lookup_;
+  std::unordered_map<net::ipv4_addr, net::asn> iface_to_asn_;
+  std::map<world::ixp_id, std::vector<iface_entry>> ifaces_by_ixp_;
+  std::map<world::ixp_id, std::set<net::asn>> members_by_ixp_;
+  std::map<world::ixp_id, std::vector<world::facility_id>> ixp_facs_;
+  std::unordered_map<std::uint32_t, std::vector<world::facility_id>> as_facs_;
+  std::unordered_map<std::uint32_t, geo::geo_point> fac_geo_;
+  std::map<std::pair<std::uint32_t, world::ixp_id>, double> ports_;
+  std::map<world::ixp_id, ixp_meta_record> meta_;
+  std::size_t n_prefixes_ = 0;
+  std::size_t n_interfaces_ = 0;
+  std::vector<source_stats> stats_;
+  static const std::vector<world::facility_id> empty_facs_;
+  static const std::vector<iface_entry> empty_ifaces_;
+};
+
+}  // namespace opwat::db

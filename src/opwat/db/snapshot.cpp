@@ -1,0 +1,169 @@
+#include "opwat/db/snapshot.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace opwat::db {
+
+std::string_view to_string(source_kind k) noexcept {
+  switch (k) {
+    case source_kind::website: return "Websites";
+    case source_kind::he: return "HE";
+    case source_kind::pdb: return "PDB";
+    case source_kind::pch: return "PCH";
+    case source_kind::inflect: return "Inflect";
+  }
+  return "?";
+}
+
+noise_config default_noise(source_kind k) noexcept {
+  noise_config n;
+  switch (k) {
+    case source_kind::website:
+      // Authoritative but only for IXPs that publish machine-readable data;
+      // facility lists manually extracted for the 50 largest IXPs (§3.4).
+      n.respect_publication_flags = true;
+      n.facility_top_n = 50;
+      n.drop_as_facility = 1.0;  // member colocation is not on IXP websites
+      break;
+    case source_kind::he:
+      n.drop_prefix = 0.04;
+      n.drop_interface = 0.06;
+      n.conflict_interface = 0.0027;  // Table 1: 0.27%
+      n.drop_ixp_facility = 1.0;      // HE has no facility data
+      n.drop_as_facility = 1.0;
+      n.drop_port = 1.0;
+      break;
+    case source_kind::pdb:
+      n.drop_prefix = 0.10;
+      n.drop_interface = 0.18;
+      n.conflict_interface = 0.0028;  // Table 1: 0.28%
+      n.drop_ixp_facility = 0.12;
+      n.drop_as_facility = 0.18;  // Fig. 5: no data for 18% of remote peers
+      n.spurious_reseller_facility = 0.04;
+      n.drop_port = 0.25;
+      n.stale_port = 0.03;
+      n.coord_error_fraction = 0.06;
+      n.coord_error_km = 20.0;
+      break;
+    case source_kind::pch:
+      n.drop_prefix = 0.35;
+      n.drop_interface = 0.72;
+      n.conflict_interface = 0.0037;  // Table 1: 0.37%
+      n.drop_ixp_facility = 1.0;
+      n.drop_as_facility = 1.0;
+      n.drop_port = 1.0;
+      break;
+    case source_kind::inflect:
+      // Geo verification only: corrected coordinates for a facility subset.
+      n.drop_prefix = 1.0;
+      n.drop_interface = 1.0;
+      n.drop_ixp_facility = 1.0;
+      n.drop_as_facility = 1.0;
+      n.drop_port = 1.0;
+      n.coord_error_fraction = 0.0;
+      break;
+  }
+  return n;
+}
+
+snapshot make_snapshot(const world::world& w, source_kind kind,
+                       const noise_config& noise, util::rng rng) {
+  snapshot s;
+  s.kind = kind;
+
+  const auto published = [&](const world::ixp& x) {
+    return !noise.respect_publication_flags || x.publishes_member_list;
+  };
+
+  // IXP meta + prefixes.
+  for (const auto& x : w.ixps) {
+    if (!published(x)) continue;
+    if (!rng.bernoulli(noise.drop_prefix))
+      s.prefixes.push_back({x.peering_lan, x.id});
+    s.ixp_meta.push_back({x.id, x.name, x.min_physical_capacity_gbps, x.supports_resellers});
+  }
+
+  // Member interfaces (IP -> ASN on the peering LAN).
+  for (const auto& m : w.memberships) {
+    const auto& x = w.ixps[m.ixp];
+    if (!published(x)) continue;
+    if (rng.bernoulli(noise.drop_interface)) continue;
+    net::asn asn = w.ases[m.member].asn;
+    if (rng.bernoulli(noise.conflict_interface)) {
+      // Wrong-ASN conflict: attribute the interface to another member.
+      const auto victim = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(w.ases.size()) - 1));
+      asn = w.ases[victim].asn;
+    }
+    s.interfaces.push_back({m.interface_ip, asn, m.ixp});
+  }
+
+  // IXP facility lists.
+  if (noise.drop_ixp_facility < 1.0) {
+    for (const auto& x : w.ixps) {
+      if (noise.respect_publication_flags && x.id >= noise.facility_top_n) continue;
+      for (const auto f : x.facilities)
+        if (!rng.bernoulli(noise.drop_ixp_facility)) s.ixp_facilities.push_back({x.id, f});
+    }
+  }
+
+  // AS colocation records.
+  if (noise.drop_as_facility < 1.0) {
+    for (const auto& as : w.ases) {
+      for (const auto f : as.facilities)
+        if (!rng.bernoulli(noise.drop_as_facility)) s.as_facilities.push_back({as.asn, f});
+    }
+    // Fig. 5 artifact: reseller customers listing the handoff facility.
+    if (noise.spurious_reseller_facility > 0.0) {
+      for (const auto& m : w.memberships) {
+        if (m.how != world::attachment::reseller || m.attach_facility == world::k_invalid)
+          continue;
+        if (rng.bernoulli(noise.spurious_reseller_facility))
+          s.as_facilities.push_back({w.ases[m.member].asn, m.attach_facility});
+      }
+    }
+  }
+
+  // Facility coordinates.
+  if (kind == source_kind::inflect) {
+    // Exact coordinates for a verified subset (~30%).
+    for (const auto& f : w.facilities)
+      if (rng.bernoulli(0.30)) s.facility_geos.push_back({f.id, f.location});
+  } else if (noise.drop_ixp_facility < 1.0 || noise.drop_as_facility < 1.0) {
+    for (const auto& f : w.facilities) {
+      geo::geo_point loc = f.location;
+      if (rng.bernoulli(noise.coord_error_fraction))
+        loc = geo::offset_km(loc, rng.uniform(0.0, 360.0),
+                             rng.uniform(5.0, noise.coord_error_km));
+      s.facility_geos.push_back({f.id, loc});
+    }
+  }
+
+  // Port capacities.
+  if (noise.drop_port < 1.0) {
+    for (const auto& m : w.memberships) {
+      const auto& x = w.ixps[m.ixp];
+      if (!published(x)) continue;
+      if (rng.bernoulli(noise.drop_port)) continue;
+      double cap = m.port_capacity_gbps;
+      if (rng.bernoulli(noise.stale_port))
+        cap = rng.bernoulli(0.5) ? x.min_physical_capacity_gbps : cap * 10.0;
+      s.ports.push_back({w.ases[m.member].asn, m.ixp, cap});
+    }
+  }
+
+  return s;
+}
+
+std::vector<snapshot> make_standard_snapshots(const world::world& w, std::uint64_t seed) {
+  util::rng base{seed};
+  std::vector<snapshot> out;
+  for (const auto kind : {source_kind::website, source_kind::he, source_kind::pdb,
+                          source_kind::pch, source_kind::inflect})
+    out.push_back(make_snapshot(w, kind, default_noise(kind),
+                                base.fork(static_cast<std::uint64_t>(kind))));
+  return out;
+}
+
+}  // namespace opwat::db

@@ -1,0 +1,114 @@
+// Noisy database views of the ground-truth world.
+//
+// The paper's pipeline consumes four IXP data sources (IXP websites,
+// Hurricane Electric, PeeringDB, Packet Clearing House) plus Inflect for
+// facility geolocation.  Each source is incomplete, occasionally stale and
+// occasionally wrong; Table 1 quantifies the conflicts and §3.4/Fig. 5 the
+// colocation gaps.  `make_snapshot` derives the equivalent noisy view from
+// the simulated world:
+//   - records are dropped per-source (incompleteness),
+//   - interface records flip to a wrong ASN at the per-source conflict
+//     rates of Table 1 (~0.27-0.37%),
+//   - AS-facility records are missing for ~18% of members and sometimes
+//     list the *reseller's* handoff facility instead (the Fig. 5 artifact),
+//   - port capacities can be stale,
+//   - PDB facility coordinates carry occasional errors that the Inflect
+//     view corrects (§3.4).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opwat/geo/geodesic.hpp"
+#include "opwat/net/ipv4.hpp"
+#include "opwat/util/rng.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::db {
+
+enum class source_kind : std::uint8_t { website, he, pdb, pch, inflect };
+
+[[nodiscard]] std::string_view to_string(source_kind k) noexcept;
+
+struct prefix_record {
+  net::prefix pfx;
+  world::ixp_id ixp = world::k_invalid;
+};
+
+struct interface_record {
+  net::ipv4_addr ip;
+  net::asn asn;  // may be wrong (conflict noise)
+  world::ixp_id ixp = world::k_invalid;
+};
+
+struct ixp_facility_record {
+  world::ixp_id ixp = world::k_invalid;
+  world::facility_id fac = world::k_invalid;
+};
+
+struct as_facility_record {
+  net::asn asn;
+  world::facility_id fac = world::k_invalid;
+};
+
+struct facility_geo_record {
+  world::facility_id fac = world::k_invalid;
+  geo::geo_point location;  // possibly offset from the truth
+};
+
+struct port_record {
+  net::asn asn;
+  world::ixp_id ixp = world::k_invalid;
+  double capacity_gbps = 0.0;  // possibly stale
+};
+
+struct ixp_meta_record {
+  world::ixp_id ixp = world::k_invalid;
+  std::string name;
+  double min_physical_capacity_gbps = 1.0;  // the pricing-page Cmin
+  bool supports_resellers = true;
+};
+
+struct snapshot {
+  source_kind kind = source_kind::pdb;
+  std::vector<prefix_record> prefixes;
+  std::vector<interface_record> interfaces;
+  std::vector<ixp_facility_record> ixp_facilities;
+  std::vector<as_facility_record> as_facilities;
+  std::vector<facility_geo_record> facility_geos;
+  std::vector<port_record> ports;
+  std::vector<ixp_meta_record> ixp_meta;
+};
+
+/// Per-source noise parameters.
+struct noise_config {
+  double drop_prefix = 0.0;
+  double drop_interface = 0.0;
+  double conflict_interface = 0.0;  // wrong-ASN probability
+  double drop_ixp_facility = 0.0;
+  double drop_as_facility = 0.0;
+  double spurious_reseller_facility = 0.0;  // customer lists the handoff site
+  double drop_port = 0.0;
+  double stale_port = 0.0;  // capacity replaced by an outdated value
+  double coord_error_fraction = 0.0;
+  double coord_error_km = 0.0;
+  /// Only IXPs that publish machine-readable data appear (website source).
+  bool respect_publication_flags = false;
+  /// Facility lists only for the N largest IXPs (manual website extraction).
+  std::size_t facility_top_n = SIZE_MAX;
+};
+
+/// The calibrated default noise for each source (see Table 1 / §3.4).
+[[nodiscard]] noise_config default_noise(source_kind k) noexcept;
+
+/// Derives one noisy view of the world.
+[[nodiscard]] snapshot make_snapshot(const world::world& w, source_kind kind,
+                                     const noise_config& noise, util::rng rng);
+
+/// Convenience: the standard 5-source stack with default noise, seeded off
+/// a single base seed.
+[[nodiscard]] std::vector<snapshot> make_standard_snapshots(const world::world& w,
+                                                            std::uint64_t seed);
+
+}  // namespace opwat::db

@@ -1,0 +1,46 @@
+#include "opwat/eval/features.hpp"
+
+#include <map>
+
+namespace opwat::eval {
+
+std::vector<member_features> classify_members(const world::world& w,
+                                              const db::merged_view& view,
+                                              const infer::inference_map& inf) {
+  struct tally {
+    std::size_t local = 0, remote = 0;
+  };
+  std::map<net::asn, tally> tallies;
+  for (const auto& [key, i] : inf.items()) {
+    if (i.cls == infer::peering_class::unknown) continue;
+    const auto asn = view.member_of_interface(key.ip);
+    if (!asn) continue;
+    auto& t = tallies[*asn];
+    if (i.cls == infer::peering_class::local)
+      ++t.local;
+    else
+      ++t.remote;
+  }
+
+  std::vector<member_features> out;
+  out.reserve(tallies.size());
+  for (const auto& [asn, t] : tallies) {
+    member_features f;
+    f.asn = asn;
+    f.n_local_ifaces = t.local;
+    f.n_remote_ifaces = t.remote;
+    f.kind = t.local && t.remote ? member_kind::hybrid
+                                 : (t.remote ? member_kind::remote : member_kind::local);
+    if (const auto as_id = w.as_by_asn(asn)) {
+      const auto& as = w.ases[*as_id];
+      f.customer_cone = as.customer_cone;
+      f.traffic_gbps = as.traffic_gbps;
+      f.user_population = as.user_population;
+      f.country = as.country;
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace opwat::eval

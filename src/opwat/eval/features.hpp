@@ -1,0 +1,48 @@
+// Features of remote / local / hybrid members (§6.2, Fig. 11).
+//
+// A member network is "remote" when all of its inferred IXP connections
+// are remote, "local" when all are local, and "hybrid" when it has both.
+// Per member we report the features the paper examines: CAIDA-style
+// customer cone, PDB-style self-reported traffic level, APNIC-style user
+// population, and country of headquarters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/types.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::eval {
+
+enum class member_kind : std::uint8_t { local, remote, hybrid };
+
+[[nodiscard]] constexpr std::string_view to_string(member_kind k) noexcept {
+  switch (k) {
+    case member_kind::local: return "local";
+    case member_kind::remote: return "remote";
+    case member_kind::hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+struct member_features {
+  net::asn asn;
+  member_kind kind = member_kind::local;
+  int customer_cone = 0;
+  double traffic_gbps = 0.0;
+  std::int64_t user_population = 0;
+  std::string country;
+  std::size_t n_local_ifaces = 0;
+  std::size_t n_remote_ifaces = 0;
+};
+
+/// Classifies every member AS with at least one non-unknown inference.
+/// Cone / traffic / population / country come from the world (standing in
+/// for CAIDA, PDB and APNIC datasets).
+[[nodiscard]] std::vector<member_features> classify_members(
+    const world::world& w, const db::merged_view& view,
+    const infer::inference_map& inf);
+
+}  // namespace opwat::eval

@@ -1,0 +1,75 @@
+#include "opwat/eval/longitudinal.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace opwat::eval {
+
+namespace {
+
+/// A copy of the world containing only the memberships active at `month`
+/// (the monthly-database-dump view).
+world::world world_at_month(const world::world& w, int month) {
+  world::world wm = w;
+  std::vector<world::membership> active;
+  active.reserve(wm.memberships.size());
+  for (const auto& m : wm.memberships)
+    if (w.active_at(m, month)) active.push_back(m);
+  for (std::size_t i = 0; i < active.size(); ++i)
+    active[i].id = static_cast<world::membership_id>(i);
+  wm.memberships = std::move(active);
+  wm.finalize();
+  return wm;
+}
+
+}  // namespace
+
+longitudinal_study run_longitudinal_study(const scenario& s,
+                                          const longitudinal_config& cfg) {
+  longitudinal_study out;
+  std::vector<world::ixp_id> scope = s.scope;
+  if (scope.size() > cfg.top_n_ixps) scope.resize(cfg.top_n_ixps);
+
+  std::map<infer::iface_key, infer::peering_class> prev;
+
+  for (int month = 0; month <= cfg.months; ++month) {
+    const auto wm = world_at_month(s.w, month);
+    // Fresh monthly database dump (fresh noise draw per month).
+    const auto snaps =
+        db::make_standard_snapshots(wm, s.cfg.db_seed + static_cast<std::uint64_t>(month));
+    const auto view = db::merged_view::build(snaps);
+    const auto pr = infer::run_pipeline(wm, view, s.prefix2as, s.lat, s.vps, s.traces,
+                                        scope, s.cfg.pipeline);
+
+    monthly_inference mi;
+    mi.month = month;
+    std::map<infer::iface_key, infer::peering_class> cur;
+    for (const auto& [key, inf] : pr.inferences.items()) {
+      cur[key] = inf.cls;
+      switch (inf.cls) {
+        case infer::peering_class::local: ++mi.inferred_local; break;
+        case infer::peering_class::remote: ++mi.inferred_remote; break;
+        case infer::peering_class::unknown: ++mi.unknown; break;
+      }
+    }
+    for (const auto x : scope) {
+      for (const auto mid : wm.memberships_of_ixp(x)) {
+        const auto& m = wm.memberships[mid];
+        (wm.truly_remote(m) ? mi.truth_remote : mi.truth_local)++;
+      }
+    }
+
+    if (month > 0) {
+      for (const auto& [key, cls] : cur) {
+        if (prev.contains(key)) continue;  // already present last month
+        if (cls == infer::peering_class::local) ++out.inferred_local_joins;
+        if (cls == infer::peering_class::remote) ++out.inferred_remote_joins;
+      }
+    }
+    prev = std::move(cur);
+    out.months.push_back(mi);
+  }
+  return out;
+}
+
+}  // namespace opwat::eval

@@ -1,0 +1,56 @@
+// Longitudinal study (§8): run the inference pipeline on monthly
+// snapshots of an evolving ecosystem and track the remote/local split over
+// time — the scale-up of §6.3's one-year analysis the paper proposes.
+//
+// Each month gets its own database snapshots (only memberships active that
+// month are visible, mimicking monthly PDB dumps) and its own measurement
+// campaign; the pipeline runs independently per month, and the module
+// reports inferred joins/leaves per peering class next to the ground
+// truth, so inference-tracking error is visible.
+#pragma once
+
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/world/evolution.hpp"
+
+namespace opwat::eval {
+
+struct monthly_inference {
+  int month = 0;
+  std::size_t inferred_local = 0;
+  std::size_t inferred_remote = 0;
+  std::size_t unknown = 0;
+  std::size_t truth_local = 0;
+  std::size_t truth_remote = 0;
+};
+
+struct longitudinal_config {
+  int months = 14;
+  /// Study scope: the N largest IXPs with VPs (like the paper's 5
+  /// LG-equipped IXPs in §6.3).
+  std::size_t top_n_ixps = 5;
+};
+
+struct longitudinal_study {
+  std::vector<monthly_inference> months;
+  /// Aggregate inferred joins over the window, per class.
+  std::size_t inferred_local_joins = 0;
+  std::size_t inferred_remote_joins = 0;
+
+  /// Ratio of inferred remote joins to local joins (the Fig. 12a headline;
+  /// 0 when no local joins were seen).
+  [[nodiscard]] double join_ratio() const {
+    return inferred_local_joins == 0
+               ? 0.0
+               : static_cast<double>(inferred_remote_joins) /
+                     static_cast<double>(inferred_local_joins);
+  }
+};
+
+/// Runs the pipeline once per month on month-filtered views of `s`'s
+/// world.  The world must have been generated with months > 0.
+[[nodiscard]] longitudinal_study run_longitudinal_study(const scenario& s,
+                                                        const longitudinal_config& cfg);
+
+}  // namespace opwat::eval

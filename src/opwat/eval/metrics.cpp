@@ -1,0 +1,65 @@
+#include "opwat/eval/metrics.hpp"
+
+namespace opwat::eval {
+
+void validation_sets::merge(const validation_sets& other) {
+  remote.insert(other.remote.begin(), other.remote.end());
+  local.insert(other.local.begin(), other.local.end());
+}
+
+namespace {
+
+metrics score(const infer::inference_map& inf, const validation_sets& vd,
+              infer::method_step only_step) {
+  metrics m;
+  m.vd_size = vd.size();
+  std::size_t inf_in_vd_local = 0;   // |INF ∩ VD_L|
+  std::size_t inf_in_vd_remote = 0;  // |INF ∩ VD_R|
+  std::size_t inferred_remote = 0;   // |INF_R| within VD
+
+  for (const auto& [key, i] : inf.items()) {
+    if (i.cls == infer::peering_class::unknown) continue;
+    if (only_step != infer::method_step::none && i.step != only_step) continue;
+    const bool vd_remote = vd.remote.contains(key);
+    const bool vd_local = vd.local.contains(key);
+    if (!vd_remote && !vd_local) continue;
+    ++m.inferred_in_vd;
+    if (vd_local) ++inf_in_vd_local;
+    if (vd_remote) ++inf_in_vd_remote;
+    if (i.cls == infer::peering_class::remote) {
+      ++inferred_remote;
+      if (vd_remote)
+        ++m.true_remote;
+      else
+        ++m.false_remote;
+    } else {
+      if (vd_local)
+        ++m.true_local;
+      else
+        ++m.false_local;
+    }
+  }
+
+  const auto ratio = [](std::size_t num, std::size_t den) {
+    return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
+  };
+  m.cov = ratio(m.inferred_in_vd, m.vd_size);
+  m.fpr = ratio(m.false_remote, inf_in_vd_local);
+  m.fnr = ratio(m.false_local, inf_in_vd_remote);
+  m.pre = ratio(m.true_remote, inferred_remote);
+  m.acc = ratio(m.true_remote + m.true_local, m.inferred_in_vd);
+  return m;
+}
+
+}  // namespace
+
+metrics compute_metrics(const infer::inference_map& inf, const validation_sets& vd) {
+  return score(inf, vd, infer::method_step::none);
+}
+
+metrics compute_metrics_for_step(const infer::inference_map& inf,
+                                 const validation_sets& vd, infer::method_step step) {
+  return score(inf, vd, step);
+}
+
+}  // namespace opwat::eval

@@ -1,0 +1,50 @@
+// Validation sets and metrics, exactly as defined in Table 3:
+//
+//   COV = |INF ∩ VD| / |VD|
+//   FPR = |INF_R ∩ VD_L| / |INF ∩ VD_L|
+//   FNR = |INF_L ∩ VD_R| / |INF ∩ VD_R|
+//   PRE = |INF_R ∩ VD_R| / |INF_R|          (restricted to validated ifaces)
+//   ACC = (|INF_R ∩ VD_R| + |INF_L ∩ VD_L|) / |INF|
+//
+// All sets are interface-level; inferences for peers without validation
+// data are ignored (INF is implicitly intersected with VD).
+#pragma once
+
+#include <set>
+
+#include "opwat/infer/types.hpp"
+
+namespace opwat::eval {
+
+struct validation_sets {
+  std::set<infer::iface_key> remote;  // VD_R
+  std::set<infer::iface_key> local;   // VD_L
+
+  [[nodiscard]] std::size_t size() const noexcept { return remote.size() + local.size(); }
+  [[nodiscard]] bool contains(const infer::iface_key& k) const {
+    return remote.contains(k) || local.contains(k);
+  }
+  /// Merges another validation set into this one.
+  void merge(const validation_sets& other);
+};
+
+struct metrics {
+  double cov = 0, fpr = 0, fnr = 0, pre = 0, acc = 0;
+  std::size_t inferred_in_vd = 0;  // |INF ∩ VD|
+  std::size_t vd_size = 0;
+  std::size_t true_remote = 0, false_remote = 0;  // within VD
+  std::size_t true_local = 0, false_local = 0;
+};
+
+/// Scores an inference map against validation data.  Only interfaces
+/// present in `vd` and actually inferred (non-unknown) are counted.
+[[nodiscard]] metrics compute_metrics(const infer::inference_map& inf,
+                                      const validation_sets& vd);
+
+/// Same, but restricted to inferences produced by one step (for Table 4's
+/// per-step rows).
+[[nodiscard]] metrics compute_metrics_for_step(const infer::inference_map& inf,
+                                               const validation_sets& vd,
+                                               infer::method_step step);
+
+}  // namespace opwat::eval

@@ -1,0 +1,80 @@
+#include "opwat/eval/portal.hpp"
+
+#include <cmath>
+
+#include "opwat/util/json.hpp"
+
+namespace opwat::eval {
+
+std::string portal_snapshot_json(const scenario& s, const infer::pipeline_result& pr,
+                                 const portal_options& opt) {
+  util::json_writer w;
+  w.begin_object();
+  w.key("snapshot").value(opt.snapshot_label);
+  w.key("generator").value("opwat");
+  w.key("ixps_studied").value(pr.scope.size());
+
+  std::size_t local = 0, remote = 0, unknown = 0;
+  for (const auto& [key, inf] : pr.inferences.items()) {
+    switch (inf.cls) {
+      case infer::peering_class::local: ++local; break;
+      case infer::peering_class::remote: ++remote; break;
+      case infer::peering_class::unknown: ++unknown; break;
+    }
+  }
+  w.key("totals").begin_object();
+  w.key("local").value(local);
+  w.key("remote").value(remote);
+  w.key("unknown").value(unknown);
+  w.end_object();
+
+  w.key("ixps").begin_array();
+  for (const auto x : pr.scope) {
+    const auto& ixp = s.w.ixps[x];
+    w.begin_object();
+    w.key("name").value(ixp.name);
+    w.key("peering_lan").value(ixp.peering_lan.to_string());
+    w.key("min_physical_capacity_gbps").value(ixp.min_physical_capacity_gbps);
+    w.key("local").value(pr.count(x, infer::peering_class::local));
+    w.key("remote").value(pr.count(x, infer::peering_class::remote));
+
+    if (opt.include_facilities) {
+      w.key("facilities").begin_array();
+      for (const auto f : s.view.facilities_of_ixp(x)) {
+        w.begin_object();
+        w.key("id").value(static_cast<std::uint64_t>(f));
+        if (f < s.w.facilities.size()) w.key("name").value(s.w.facilities[f].name);
+        if (const auto loc = s.view.facility_location(f)) {
+          w.key("lat").value(loc->lat_deg);
+          w.key("lon").value(loc->lon_deg);
+        }
+        w.end_object();
+      }
+      w.end_array();
+    }
+
+    if (opt.include_interfaces) {
+      w.key("members").begin_array();
+      for (const auto& e : s.view.interfaces_of_ixp(x)) {
+        const infer::iface_key key{x, e.ip};
+        const auto* inf = pr.inferences.find(key);
+        w.begin_object();
+        w.key("interface").value(e.ip.to_string());
+        w.key("asn").value(static_cast<std::uint64_t>(e.asn.value));
+        w.key("class").value(
+            std::string{to_string(inf ? inf->cls : infer::peering_class::unknown)});
+        if (inf && inf->cls != infer::peering_class::unknown)
+          w.key("evidence").value(std::string{to_string(inf->step)});
+        if (inf && !std::isnan(inf->rtt_min_ms)) w.key("rtt_min_ms").value(inf->rtt_min_ms);
+        w.end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace opwat::eval

@@ -1,0 +1,29 @@
+// Portal snapshot exporter — the paper's "Prototype and Portal" (§9):
+// the authors publish monthly snapshots of their inferences and visualize
+// the geographical footprint of IXPs and their members.  This module
+// renders one pipeline run into the equivalent machine-readable JSON
+// snapshot: per IXP, its facilities (with coordinates) and every member
+// interface with its inferred class, the evidence step, and the measured
+// minimum RTT.
+#pragma once
+
+#include <string>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/infer/pipeline.hpp"
+
+namespace opwat::eval {
+
+struct portal_options {
+  /// Snapshot label, e.g. "2018-04" (the paper publishes monthly).
+  std::string snapshot_label = "synthetic-0";
+  bool include_facilities = true;
+  bool include_interfaces = true;
+};
+
+/// Serializes the inference results for every scoped IXP.
+[[nodiscard]] std::string portal_snapshot_json(const scenario& s,
+                                               const infer::pipeline_result& pr,
+                                               const portal_options& opt = {});
+
+}  // namespace opwat::eval

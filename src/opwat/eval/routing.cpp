@@ -1,0 +1,120 @@
+#include "opwat/eval/routing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "opwat/geo/geodesic.hpp"
+#include "opwat/geo/metro.hpp"
+
+namespace opwat::eval {
+
+namespace {
+
+/// Distance from an AS's headquarters to the nearest facility of an IXP,
+/// using the merged view's (possibly imperfect) facility coordinates.
+double distance_to_ixp(const world::world& w, const db::merged_view& view,
+                       world::as_id as, world::ixp_id x) {
+  const auto& hq = w.cities[w.ases[as].hq_city].location;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto f : view.facilities_of_ixp(x)) {
+    const auto loc = view.facility_location(f);
+    if (loc) best = std::min(best, geo::geodesic_km(hq, *loc));
+  }
+  if (!std::isfinite(best)) {
+    // Fall back to ground-truth coordinates when the DB lacks geodata.
+    for (const auto f : w.ixps[x].facilities)
+      best = std::min(best, geo::geodesic_km(hq, w.facilities[f].location));
+  }
+  return best;
+}
+
+}  // namespace
+
+routing_study run_routing_study(const world::world& w, const db::merged_view& view,
+                                const db::ip2as& prefix2as,
+                                const measure::traceroute_engine& engine,
+                                world::ixp_id studied_ixp,
+                                const std::vector<net::asn>& remote_members,
+                                const routing_config& cfg) {
+  routing_study out;
+  out.studied_ixp = studied_ixp;
+  util::rng rng{cfg.seed};
+
+  // Membership sets per ASN across all IXPs the DB knows about.
+  std::map<net::asn, std::set<world::ixp_id>> member_ixps;
+  for (const auto x : view.known_ixps())
+    for (const auto& e : view.interfaces_of_ixp(x)) member_ixps[e.asn].insert(x);
+
+  const auto studied_members = view.members_of_ixp(studied_ixp);
+
+  for (const auto as_r : remote_members) {
+    const auto rit = member_ixps.find(as_r);
+    if (rit == member_ixps.end()) continue;
+    const auto as_r_id = w.as_by_asn(as_r);
+    if (!as_r_id) continue;
+
+    for (const auto as_x : studied_members) {
+      if (as_x == as_r) continue;
+      if (out.pairs_examined >= cfg.max_pairs) break;
+      const auto xit = member_ixps.find(as_x);
+      if (xit == member_ixps.end()) continue;
+
+      // Common IXPs beyond the studied one.
+      std::vector<world::ixp_id> common;
+      for (const auto x : rit->second)
+        if (xit->second.contains(x)) common.push_back(x);
+      if (common.size() < 2) continue;  // need the studied IXP + one more
+      ++out.pairs_examined;
+
+      const auto as_x_id = w.as_by_asn(as_x);
+      if (!as_x_id || w.ases[*as_x_id].routed_prefixes.empty()) continue;
+      const auto& pfx = w.ases[*as_x_id].routed_prefixes.front();
+      const auto trace = engine.run(*as_r_id, pfx.at(1), rng);
+      if (!trace || !trace->reached) continue;
+
+      const auto extraction =
+          traix::extract(std::span{&*trace, 1}, view, prefix2as);
+      world::ixp_id used = world::k_invalid;
+      for (const auto& c : extraction.crossings)
+        if (c.near_as == as_r && c.far_as == as_x) used = c.ixp;
+      if (used == world::k_invalid) continue;
+      ++out.crossings_found;
+
+      routing_case rc;
+      rc.as_r = as_r;
+      rc.as_x = as_x;
+      rc.used_ixp = used;
+      rc.closest_common_ixp = common.front();
+      rc.closest_distance_km = std::numeric_limits<double>::infinity();
+      for (const auto x : common) {
+        const double d = distance_to_ixp(w, view, *as_r_id, x);
+        if (d < rc.closest_distance_km) {
+          rc.closest_distance_km = d;
+          rc.closest_common_ixp = x;
+        }
+      }
+      rc.used_distance_km = distance_to_ixp(w, view, *as_r_id, used);
+
+      // Classification with a metro-scale tolerance: IXPs within 50 km of
+      // the best choice count as compliant.
+      const bool used_is_closest =
+          rc.used_distance_km <= rc.closest_distance_km + geo::kMetroSeparationKm;
+      if (used_is_closest)
+        rc.verdict = routing_verdict::hot_potato;
+      else if (used == studied_ixp)
+        rc.verdict = routing_verdict::rp_detour;
+      else if (rc.closest_common_ixp == studied_ixp)
+        rc.verdict = routing_verdict::missed_rp;
+      else
+        rc.verdict = routing_verdict::other;
+      out.cases.push_back(rc);
+    }
+    if (out.pairs_examined >= cfg.max_pairs) break;
+  }
+  return out;
+}
+
+}  // namespace opwat::eval

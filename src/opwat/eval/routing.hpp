@@ -1,0 +1,72 @@
+// Routing implications of remote peering at a large IXP (§6.4).
+//
+// For each inferred-remote member AS_R of the studied IXP, and each other
+// member AS_x sharing at least one more IXP with AS_R, traceroute from
+// AS_R toward AS_x's routed prefixes and classify the IXP crossing that
+// carries the traffic:
+//   - hot-potato: the crossing uses the common IXP closest to AS_R;
+//   - rp-detour: traffic crosses the studied IXP remotely although a
+//     closer common IXP exists (the paper: 18%);
+//   - missed-rp: traffic uses another IXP although the studied IXP is
+//     closest to AS_R (the paper: 16%).
+#pragma once
+
+#include <vector>
+
+#include "opwat/db/ip2as.hpp"
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/types.hpp"
+#include "opwat/measure/traceroute.hpp"
+#include "opwat/traix/crossing.hpp"
+#include "opwat/util/rng.hpp"
+
+namespace opwat::eval {
+
+enum class routing_verdict : std::uint8_t { hot_potato, rp_detour, missed_rp, other };
+
+[[nodiscard]] constexpr std::string_view to_string(routing_verdict v) noexcept {
+  switch (v) {
+    case routing_verdict::hot_potato: return "hot-potato";
+    case routing_verdict::rp_detour: return "rp-detour";
+    case routing_verdict::missed_rp: return "missed-rp";
+    case routing_verdict::other: return "other";
+  }
+  return "?";
+}
+
+struct routing_case {
+  net::asn as_r, as_x;
+  world::ixp_id used_ixp = world::k_invalid;
+  world::ixp_id closest_common_ixp = world::k_invalid;
+  double used_distance_km = 0.0;
+  double closest_distance_km = 0.0;
+  routing_verdict verdict = routing_verdict::other;
+};
+
+struct routing_study {
+  world::ixp_id studied_ixp = world::k_invalid;
+  std::size_t pairs_examined = 0;
+  std::size_t crossings_found = 0;
+  std::vector<routing_case> cases;
+
+  [[nodiscard]] std::size_t count(routing_verdict v) const {
+    std::size_t n = 0;
+    for (const auto& c : cases)
+      if (c.verdict == v) ++n;
+    return n;
+  }
+};
+
+struct routing_config {
+  std::size_t max_pairs = 4000;
+  std::uint64_t seed = 0x60d;
+};
+
+/// Runs the §6.4 study for `studied_ixp`, treating the members listed in
+/// `remote_members` (inferred by the pipeline) as the AS_R population.
+[[nodiscard]] routing_study run_routing_study(
+    const world::world& w, const db::merged_view& view, const db::ip2as& prefix2as,
+    const measure::traceroute_engine& engine, world::ixp_id studied_ixp,
+    const std::vector<net::asn>& remote_members, const routing_config& cfg);
+
+}  // namespace opwat::eval

@@ -1,0 +1,70 @@
+#include "opwat/eval/scenario.hpp"
+
+#include <algorithm>
+
+namespace opwat::eval {
+
+scenario scenario::build(const scenario_config& cfg) {
+  scenario s;
+  s.cfg = cfg;
+  s.w = world::generate(cfg.world);
+
+  const auto snapshots = db::make_standard_snapshots(s.w, cfg.db_seed);
+  s.view = db::merged_view::build(snapshots);
+  s.prefix2as = db::ip2as::build(s.w);
+  s.lat = measure::latency_model{cfg.latency_seed};
+  s.vps = measure::make_vantage_points(s.w, cfg.vps, util::rng{cfg.vp_seed});
+
+  // Traceroute corpus from member ASes (the RIPE Atlas analogue).
+  {
+    const measure::traceroute_engine engine{s.w, s.lat, cfg.traceroute};
+    util::rng tr{cfg.trace_seed};
+    auto sources = engine.connected_ases();
+    tr.shuffle(sources);
+    if (sources.size() > cfg.traceroute_sources) sources.resize(cfg.traceroute_sources);
+    s.traces = engine.campaign(sources, cfg.targets_per_source, tr);
+  }
+
+  // Scope: largest IXPs (by merged-view member interfaces) with >= 1
+  // alive VP.
+  std::vector<world::ixp_id> with_vp;
+  for (const auto& x : s.w.ixps) {
+    const bool has_vp = std::any_of(s.vps.begin(), s.vps.end(), [&](const auto& vp) {
+      return vp.ixp == x.id && vp.alive;
+    });
+    if (has_vp && !s.view.interfaces_of_ixp(x.id).empty()) with_vp.push_back(x.id);
+  }
+  std::sort(with_vp.begin(), with_vp.end(), [&](world::ixp_id a, world::ixp_id b) {
+    return s.ixp_size(a) > s.ixp_size(b);
+  });
+  if (with_vp.size() > cfg.top_n_ixps) with_vp.resize(cfg.top_n_ixps);
+  s.scope = std::move(with_vp);
+
+  s.validation = build_validation(s.w, cfg.validation, s.scope);
+  return s;
+}
+
+infer::pipeline_result scenario::run_pipeline() const { return run_pipeline(cfg.pipeline); }
+
+infer::pipeline_result scenario::run_pipeline(
+    const infer::pipeline_config& override_cfg) const {
+  return infer::run_pipeline(w, view, prefix2as, lat, vps, traces, scope, override_cfg);
+}
+
+scenario_config default_scenario_config() {
+  scenario_config cfg;
+  return cfg;
+}
+
+scenario_config small_scenario_config(std::uint64_t seed) {
+  scenario_config cfg;
+  cfg.world = world::tiny_config(seed);
+  cfg.traceroute_sources = 60;
+  cfg.targets_per_source = 25;
+  cfg.top_n_ixps = 8;
+  cfg.validation.n_operator_ixps = 3;
+  cfg.validation.n_website_ixps = 3;
+  return cfg;
+}
+
+}  // namespace opwat::eval

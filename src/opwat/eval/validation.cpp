@@ -1,0 +1,133 @@
+#include "opwat/eval/validation.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "opwat/geo/metro.hpp"
+
+namespace opwat::eval {
+
+std::vector<world::ixp_id> validation_data::test_ixps() const {
+  std::vector<world::ixp_id> out;
+  for (const auto& v : ixps)
+    if (!v.in_control) out.push_back(v.ixp);
+  return out;
+}
+
+std::vector<world::ixp_id> validation_data::control_ixps() const {
+  std::vector<world::ixp_id> out;
+  for (const auto& v : ixps)
+    if (v.in_control) out.push_back(v.ixp);
+  return out;
+}
+
+validation_data build_validation(const world::world& w, const validation_config& cfg,
+                                 std::span<const world::ixp_id> measured_scope) {
+  validation_data out;
+  util::rng rng{cfg.seed};
+  const std::set<world::ixp_id> scope{measured_scope.begin(), measured_scope.end()};
+
+  // Candidate IXPs ordered by size (ids are size-ranked by construction).
+  std::vector<world::ixp_id> in_scope, out_of_scope;
+  for (const auto& x : w.ixps) {
+    if (w.memberships_of_ixp(x.id).empty()) continue;
+    (scope.contains(x.id) ? in_scope : out_of_scope).push_back(x.id);
+  }
+  // The paper's control IXPs (EPIX, Any2, AMS-IX HK/SF, ...) are metro-
+  // concentrated; mirror that by preferring single-metro IXPs for the
+  // control pool so the §4 RTT study is comparable.
+  std::stable_sort(out_of_scope.begin(), out_of_scope.end(),
+                   [&](world::ixp_id a, world::ixp_id b) {
+                     const auto wa = geo::is_wide_area(w.ixp_facility_points(a));
+                     const auto wb = geo::is_wide_area(w.ixp_facility_points(b));
+                     return wa < wb;
+                   });
+
+  // Operators respond mostly at large IXPs; website lists require the IXP
+  // to publish port types.  Both subsets (test = measurable, control =
+  // not) are filled, like the Table 2 mix (6 operator + 9 website IXPs,
+  // 7 control + 8 test).
+  std::vector<std::pair<world::ixp_id, bool>> chosen;  // (ixp, from_operator)
+  std::size_t oper_left = cfg.n_operator_ixps;
+  std::size_t web_left = cfg.n_website_ixps;
+  const auto take_from = [&](const std::vector<world::ixp_id>& pool,
+                             std::size_t oper_quota, std::size_t web_quota) {
+    std::size_t oper = std::min(oper_quota, oper_left);
+    std::size_t web = std::min(web_quota, web_left);
+    for (const auto x : pool) {
+      if (oper > 0) {
+        chosen.push_back({x, true});
+        --oper;
+        --oper_left;
+      } else if (web > 0 && w.ixps[x].publishes_port_types) {
+        chosen.push_back({x, false});
+        --web;
+        --web_left;
+      }
+      if (oper == 0 && web == 0) break;
+    }
+  };
+  // Roughly half of each kind per subset, then spill leftovers.
+  take_from(in_scope, (cfg.n_operator_ixps + 1) / 2, (cfg.n_website_ixps + 1) / 2);
+  take_from(out_of_scope, oper_left, web_left);
+  take_from(in_scope, oper_left, web_left);
+
+  for (const auto& [xid, from_operator] : chosen) {
+    validated_ixp row;
+    row.ixp = xid;
+    row.from_operator = from_operator;
+    row.in_control = !scope.contains(xid);
+    row.facilities = w.ixps[xid].facilities.size();
+    auto& sets = row.in_control ? out.control : out.test;
+
+    for (const auto mid : w.memberships_of_ixp(xid)) {
+      const auto& m = w.memberships[mid];
+      ++row.total_peers;
+      const bool remote = w.truly_remote(m);
+      const infer::iface_key key{xid, m.interface_ip};
+
+      bool validate = false;
+      bool label_remote = remote;
+      if (from_operator) {
+        if (m.how == world::attachment::reseller)
+          validate = rng.bernoulli(cfg.operator_reseller_coverage);
+        else if (!remote)
+          validate = rng.bernoulli(cfg.operator_local_coverage);
+        // Long-cable / federation members: "what goes on beyond that
+        // cable" is invisible to the operator -> not in the list.
+      } else {
+        if (!rng.bernoulli(cfg.website_coverage)) {
+          validate = false;
+        } else if (m.port == world::port_kind::virtual_reseller) {
+          validate = true;
+          label_remote = true;
+        } else if (!remote) {
+          validate = true;
+          label_remote = false;
+        } else if (cfg.website_mislabels_long_cable) {
+          validate = true;  // physical port published -> read as local
+          label_remote = false;
+        }
+      }
+      if (!validate) continue;
+      ++row.validated;
+      if (label_remote) {
+        ++row.validated_remote;
+        sets.remote.insert(key);
+      } else {
+        ++row.validated_local;
+        sets.local.insert(key);
+      }
+    }
+    out.ixps.push_back(row);
+  }
+
+  // Largest IXPs first, like Table 2.
+  std::sort(out.ixps.begin(), out.ixps.end(),
+            [](const validated_ixp& a, const validated_ixp& b) {
+              return a.total_peers > b.total_peers;
+            });
+  return out;
+}
+
+}  // namespace opwat::eval

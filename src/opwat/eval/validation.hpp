@@ -1,0 +1,74 @@
+// Best-effort validation dataset construction (§3.5 / Table 2).
+//
+// Mirrors how the paper obtained ground truth:
+//   - operator lists: IXP operators know which members connect through
+//     resellers (virtual ports) but usually cannot see long-cable /
+//     carrier attachments "beyond that cable"; their lists cover reseller
+//     customers plus a sample of locals;
+//   - website lists: some IXPs publish the port type (physical vs virtual)
+//     per member; virtual -> remote, colocated physical -> local.
+// Validated IXPs are split into a "control" subset (no usable colocated
+// VP: used to study RTT-inference challenges, §4) and a "test" subset
+// (with VPs: used to validate the methodology end to end, §5.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "opwat/eval/metrics.hpp"
+#include "opwat/util/rng.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::eval {
+
+struct validation_config {
+  std::size_t n_operator_ixps = 6;
+  std::size_t n_website_ixps = 9;
+  /// Operator lists: reseller customers they can flag, locals they bother
+  /// to enumerate.
+  double operator_reseller_coverage = 0.95;
+  double operator_local_coverage = 0.60;
+  /// Website port-type pages cover this share of the member base.
+  double website_coverage = 0.80;
+  /// When true, physical-port remote members (long cable / federation) are
+  /// recorded as *local* in website-derived lists — the validation noise
+  /// the paper attributes its LINX LON accuracy dip to.  When false they
+  /// are simply absent from the lists.
+  bool website_mislabels_long_cable = false;
+  std::uint64_t seed = 99;
+};
+
+struct validated_ixp {
+  world::ixp_id ixp = world::k_invalid;
+  bool from_operator = false;
+  bool in_control = false;  // no usable VP: control subset
+  std::size_t facilities = 0;
+  std::size_t total_peers = 0;
+  std::size_t validated = 0;
+  std::size_t validated_local = 0;
+  std::size_t validated_remote = 0;
+};
+
+struct validation_data {
+  std::vector<validated_ixp> ixps;  // Table 2 rows
+  validation_sets control;
+  validation_sets test;
+
+  [[nodiscard]] validation_sets all() const {
+    validation_sets s = control;
+    s.merge(test);
+    return s;
+  }
+  [[nodiscard]] std::vector<world::ixp_id> test_ixps() const;
+  [[nodiscard]] std::vector<world::ixp_id> control_ixps() const;
+};
+
+/// Builds the dataset from the world's ground truth, with the
+/// operator/website coverage gaps applied.  IXPs inside `measured_scope`
+/// (those with usable colocated VPs) land in the test subset; validated
+/// IXPs outside it form the control subset, mirroring Table 2's split.
+[[nodiscard]] validation_data build_validation(
+    const world::world& w, const validation_config& cfg,
+    std::span<const world::ixp_id> measured_scope);
+
+}  // namespace opwat::eval

@@ -1,0 +1,97 @@
+#include "opwat/geo/geodesic.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace opwat::geo {
+
+namespace {
+constexpr double kDegToRad = std::numbers::pi / 180.0;
+constexpr double kRadToDeg = 180.0 / std::numbers::pi;
+constexpr double kEarthRadiusKm = 6371.0088;  // IUGG mean radius
+// WGS-84.
+constexpr double kSemiMajorKm = 6378.137;
+constexpr double kFlattening = 1.0 / 298.257223563;
+constexpr double kSemiMinorKm = kSemiMajorKm * (1.0 - kFlattening);
+}  // namespace
+
+bool is_valid(const geo_point& p) noexcept {
+  return p.lat_deg >= -90.0 && p.lat_deg <= 90.0 && p.lon_deg >= -180.0 &&
+         p.lon_deg <= 180.0 && std::isfinite(p.lat_deg) && std::isfinite(p.lon_deg);
+}
+
+double haversine_km(const geo_point& a, const geo_point& b) noexcept {
+  const double phi1 = a.lat_deg * kDegToRad;
+  const double phi2 = b.lat_deg * kDegToRad;
+  const double dphi = (b.lat_deg - a.lat_deg) * kDegToRad;
+  const double dlmb = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double s1 = std::sin(dphi / 2);
+  const double s2 = std::sin(dlmb / 2);
+  const double h = s1 * s1 + std::cos(phi1) * std::cos(phi2) * s2 * s2;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double geodesic_km(const geo_point& a, const geo_point& b) noexcept {
+  if (a == b) return 0.0;
+  const double L = (b.lon_deg - a.lon_deg) * kDegToRad;
+  const double U1 = std::atan((1.0 - kFlattening) * std::tan(a.lat_deg * kDegToRad));
+  const double U2 = std::atan((1.0 - kFlattening) * std::tan(b.lat_deg * kDegToRad));
+  const double sinU1 = std::sin(U1), cosU1 = std::cos(U1);
+  const double sinU2 = std::sin(U2), cosU2 = std::cos(U2);
+
+  double lambda = L;
+  double sin_sigma = 0, cos_sigma = 0, sigma = 0, cos_sq_alpha = 0, cos2sm = 0;
+  for (int i = 0; i < 200; ++i) {
+    const double sin_l = std::sin(lambda), cos_l = std::cos(lambda);
+    const double t1 = cosU2 * sin_l;
+    const double t2 = cosU1 * sinU2 - sinU1 * cosU2 * cos_l;
+    sin_sigma = std::sqrt(t1 * t1 + t2 * t2);
+    if (sin_sigma == 0.0) return 0.0;  // coincident
+    cos_sigma = sinU1 * sinU2 + cosU1 * cosU2 * cos_l;
+    sigma = std::atan2(sin_sigma, cos_sigma);
+    const double sin_alpha = cosU1 * cosU2 * sin_l / sin_sigma;
+    cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+    cos2sm = cos_sq_alpha != 0.0 ? cos_sigma - 2.0 * sinU1 * sinU2 / cos_sq_alpha : 0.0;
+    const double C =
+        kFlattening / 16.0 * cos_sq_alpha * (4.0 + kFlattening * (4.0 - 3.0 * cos_sq_alpha));
+    const double lambda_prev = lambda;
+    lambda = L + (1.0 - C) * kFlattening * sin_alpha *
+                     (sigma + C * sin_sigma *
+                                  (cos2sm + C * cos_sigma * (-1.0 + 2.0 * cos2sm * cos2sm)));
+    if (std::abs(lambda - lambda_prev) < 1e-12) {
+      const double u_sq = cos_sq_alpha *
+                          (kSemiMajorKm * kSemiMajorKm - kSemiMinorKm * kSemiMinorKm) /
+                          (kSemiMinorKm * kSemiMinorKm);
+      const double A =
+          1.0 + u_sq / 16384.0 * (4096.0 + u_sq * (-768.0 + u_sq * (320.0 - 175.0 * u_sq)));
+      const double B = u_sq / 1024.0 * (256.0 + u_sq * (-128.0 + u_sq * (74.0 - 47.0 * u_sq)));
+      const double d_sigma =
+          B * sin_sigma *
+          (cos2sm + B / 4.0 *
+                        (cos_sigma * (-1.0 + 2.0 * cos2sm * cos2sm) -
+                         B / 6.0 * cos2sm * (-3.0 + 4.0 * sin_sigma * sin_sigma) *
+                             (-3.0 + 4.0 * cos2sm * cos2sm)));
+      return kSemiMinorKm * A * (sigma - d_sigma);
+    }
+  }
+  return haversine_km(a, b);  // antipodal fallback
+}
+
+geo_point offset_km(const geo_point& origin, double bearing_deg,
+                    double distance_km) noexcept {
+  const double delta = distance_km / kEarthRadiusKm;
+  const double theta = bearing_deg * kDegToRad;
+  const double phi1 = origin.lat_deg * kDegToRad;
+  const double lmb1 = origin.lon_deg * kDegToRad;
+  const double phi2 = std::asin(std::sin(phi1) * std::cos(delta) +
+                                std::cos(phi1) * std::sin(delta) * std::cos(theta));
+  const double lmb2 =
+      lmb1 + std::atan2(std::sin(theta) * std::sin(delta) * std::cos(phi1),
+                        std::cos(delta) - std::sin(phi1) * std::sin(phi2));
+  geo_point out{phi2 * kRadToDeg, lmb2 * kRadToDeg};
+  while (out.lon_deg > 180.0) out.lon_deg -= 360.0;
+  while (out.lon_deg < -180.0) out.lon_deg += 360.0;
+  return out;
+}
+
+}  // namespace opwat::geo

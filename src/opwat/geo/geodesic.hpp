@@ -1,0 +1,40 @@
+// Geodesic distance on the WGS-84 ellipsoid.
+//
+// The paper applies Karney's method [53] to facility coordinates to decide
+// whether two facilities are in the same metropolitan area and to compute
+// VP-to-facility distances for the feasible-ring test (Step 3).  We provide
+// an iterative ellipsoidal inverse (Vincenty's formulation, which agrees
+// with Karney's solution to well under the accuracy the methodology needs)
+// plus a spherical haversine fallback for the rare non-converging
+// antipodal pairs.
+#pragma once
+
+#include <optional>
+
+namespace opwat::geo {
+
+/// A WGS-84 coordinate, degrees.
+struct geo_point {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+
+  friend bool operator==(const geo_point&, const geo_point&) = default;
+};
+
+/// True if latitude/longitude are inside the valid ranges.
+[[nodiscard]] bool is_valid(const geo_point& p) noexcept;
+
+/// Great-circle distance in km on a mean-radius sphere.
+[[nodiscard]] double haversine_km(const geo_point& a, const geo_point& b) noexcept;
+
+/// Ellipsoidal inverse geodesic distance in km (iterative).  Falls back to
+/// haversine when the iteration does not converge (near-antipodal pairs).
+[[nodiscard]] double geodesic_km(const geo_point& a, const geo_point& b) noexcept;
+
+/// Destination point `distance_km` away from `origin` along the initial
+/// bearing (degrees clockwise from north), on the sphere.  Used by the world
+/// generator to scatter facilities around a city centre.
+[[nodiscard]] geo_point offset_km(const geo_point& origin, double bearing_deg,
+                                  double distance_km) noexcept;
+
+}  // namespace opwat::geo

@@ -1,0 +1,82 @@
+#include "opwat/geo/metro.hpp"
+
+#include <limits>
+#include <numeric>
+
+namespace opwat::geo {
+
+bool same_metro(const geo_point& a, const geo_point& b) noexcept {
+  return geodesic_km(a, b) <= kMetroSeparationKm;
+}
+
+double max_pairwise_distance_km(std::span<const geo_point> pts) noexcept {
+  double best = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      best = std::max(best, geodesic_km(pts[i], pts[j]));
+  return best;
+}
+
+double min_distance_km(std::span<const geo_point> a,
+                       std::span<const geo_point> b) noexcept {
+  if (a.empty() || b.empty()) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : a)
+    for (const auto& q : b) best = std::min(best, geodesic_km(p, q));
+  return best;
+}
+
+double max_distance_km(std::span<const geo_point> a,
+                       std::span<const geo_point> b) noexcept {
+  double best = 0.0;
+  for (const auto& p : a)
+    for (const auto& q : b) best = std::max(best, geodesic_km(p, q));
+  return best;
+}
+
+bool is_wide_area(std::span<const geo_point> facilities) noexcept {
+  for (std::size_t i = 0; i < facilities.size(); ++i)
+    for (std::size_t j = i + 1; j < facilities.size(); ++j)
+      if (geodesic_km(facilities[i], facilities[j]) > kMetroSeparationKm) return true;
+  return false;
+}
+
+namespace {
+struct union_find {
+  std::vector<std::size_t> parent;
+  explicit union_find(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent[b < a ? a : b] = b < a ? b : a;
+  }
+};
+}  // namespace
+
+std::vector<std::size_t> metro_clusters(std::span<const geo_point> pts) {
+  union_find uf{pts.size()};
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    for (std::size_t j = i + 1; j < pts.size(); ++j)
+      if (same_metro(pts[i], pts[j])) uf.unite(i, j);
+  // Compact cluster ids in first-seen order.
+  std::vector<std::size_t> out(pts.size());
+  std::vector<std::size_t> remap(pts.size(), static_cast<std::size_t>(-1));
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const std::size_t root = uf.find(i);
+    if (remap[root] == static_cast<std::size_t>(-1)) remap[root] = next++;
+    out[i] = remap[root];
+  }
+  return out;
+}
+
+}  // namespace opwat::geo

@@ -1,0 +1,40 @@
+// Metropolitan-area rules from the paper:
+//   - a metro area is a disk of diameter 100 km (footnote 2);
+//   - facilities more than 50 km apart are in different metro areas (§4.2);
+//   - an IXP is "wide-area" iff at least two of its facilities are in
+//     different metro areas.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "opwat/geo/geodesic.hpp"
+
+namespace opwat::geo {
+
+/// Distance above which two facilities count as different metro areas (km).
+inline constexpr double kMetroSeparationKm = 50.0;
+
+/// True if the two points are within the same metropolitan area.
+[[nodiscard]] bool same_metro(const geo_point& a, const geo_point& b) noexcept;
+
+/// Greatest pairwise geodesic distance among the points (0 for < 2 points).
+[[nodiscard]] double max_pairwise_distance_km(std::span<const geo_point> pts) noexcept;
+
+/// Smallest pairwise distance between two point sets; +inf if either empty.
+[[nodiscard]] double min_distance_km(std::span<const geo_point> a,
+                                     std::span<const geo_point> b) noexcept;
+
+/// Largest pairwise distance between two point sets; 0 if either empty.
+[[nodiscard]] double max_distance_km(std::span<const geo_point> a,
+                                     std::span<const geo_point> b) noexcept;
+
+/// Wide-area test: at least two points more than kMetroSeparationKm apart.
+[[nodiscard]] bool is_wide_area(std::span<const geo_point> facilities) noexcept;
+
+/// Single-linkage clustering with the 50 km metro rule; returns the cluster
+/// index per input point.  Deterministic (union-find over sorted pairs).
+[[nodiscard]] std::vector<std::size_t> metro_clusters(std::span<const geo_point> pts);
+
+}  // namespace opwat::geo

@@ -1,0 +1,75 @@
+#include "opwat/geo/speed_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace opwat::geo {
+
+double v_min_km_per_ms(double distance_km, const speed_fit& fit) noexcept {
+  if (distance_km <= 0.0) return 0.0;
+  const double v = fit.a_km_per_ms * (std::log(distance_km) - fit.b);
+  const double cap = fit.clamp_fraction * kVMaxKmPerMs;
+  return std::min(std::max(v, 0.0), cap);
+}
+
+double min_rtt_ms_for_distance(double distance_km) noexcept {
+  if (distance_km <= 0.0) return 0.0;
+  return distance_km / kVMaxKmPerMs;
+}
+
+double max_rtt_ms_for_distance(double distance_km, const speed_fit& fit) noexcept {
+  const double v = v_min_km_per_ms(distance_km, fit);
+  if (v <= 0.0) return std::numeric_limits<double>::infinity();
+  return distance_km / v;
+}
+
+distance_ring feasible_ring(double rtt_min_ms, const speed_fit& fit) noexcept {
+  if (rtt_min_ms < 0.0) rtt_min_ms = 0.0;
+  distance_ring ring;
+  ring.d_max_km = kVMaxKmPerMs * rtt_min_ms;
+
+  // d_min is the largest d with v_min(d) * rtt >= d, i.e. the upper fixed
+  // point of g(d) = v_min(d) * rtt - d.  g is positive just above the knee
+  // e^b and eventually negative (log growth), so bisect on [knee, d_max].
+  const double knee = std::exp(fit.b);
+  if (ring.d_max_km <= knee) {
+    ring.d_min_km = 0.0;
+    return ring;
+  }
+  const auto g = [&](double d) { return v_min_km_per_ms(d, fit) * rtt_min_ms - d; };
+  double lo = knee;
+  double hi = ring.d_max_km;
+  if (g(hi) >= 0.0) {
+    // Even the speed-of-light radius is reachable at the minimum speed:
+    // the ring collapses to the outer disk boundary region.
+    ring.d_min_km = hi;
+    return ring;
+  }
+  // Make sure the bracket starts positive; otherwise no inner exclusion.
+  // Probe a few points to find a positive g (g rises from ~0 at the knee).
+  double probe = knee * 1.05;
+  bool positive_found = false;
+  for (int i = 0; i < 64 && probe < hi; ++i, probe *= 1.3) {
+    if (g(probe) > 0.0) {
+      lo = probe;
+      positive_found = true;
+      break;
+    }
+  }
+  if (!positive_found) {
+    ring.d_min_km = 0.0;
+    return ring;
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (g(mid) >= 0.0)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  ring.d_min_km = 0.5 * (lo + hi);
+  return ring;
+}
+
+}  // namespace opwat::geo

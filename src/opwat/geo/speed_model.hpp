@@ -1,0 +1,67 @@
+// RTT <-> distance conversion from the paper (§5.2, Step 3 and Fig. 6).
+//
+// Upper bound: Katz-Bassett et al. found probe packets travel at most
+// v_max = 4/9 * c.  The paper converts a measured RTT_min to a maximum
+// distance as d_max = v_max * RTT_min; the Fig. 7 worked example
+// (4 ms -> 532 km outer radius) confirms this convention, so we keep it.
+//
+// Lower bound: the paper fits v_min(d) = a * (ln d - b) to Y.1731
+// facility-to-facility delays (the published constants are unit-ambiguous;
+// we calibrate a = 27.7 km/ms, b = 3 so the Fig. 7 inner radius of 299 km
+// at 4 ms is reproduced exactly — see DESIGN.md).  d_min is the fixed
+// point of d = v_min(d) * RTT, found by bisection; below the e^b knee the
+// bound degenerates to 0 km.
+//
+// The same envelope drives the *ground truth* latency model of the
+// simulator, so Step 3's ring test faces exactly the distortion it would
+// face on real paths (paths are never faster than v_max nor slower than
+// the empirical minimum speed).
+#pragma once
+
+namespace opwat::geo {
+
+/// Speed of light in km/ms.
+inline constexpr double kSpeedOfLightKmPerMs = 299.792458;
+
+/// Katz-Bassett maximum effective packet speed, km/ms ("4/9 c").
+inline constexpr double kVMaxKmPerMs = 4.0 / 9.0 * kSpeedOfLightKmPerMs;
+
+/// Calibration of the empirical minimum-speed curve v_min(d) = a(ln d - b).
+/// The log fit is only meaningful while it stays below v_max; past that it
+/// is clamped to `clamp_fraction * v_max` (real long-haul paths are never
+/// slower than a large constant fraction of the fibre speed).
+struct speed_fit {
+  double a_km_per_ms = 27.7;
+  double b = 3.0;
+  double clamp_fraction = 0.85;
+};
+
+/// Minimum plausible effective speed at distance d (km/ms); 0 below the
+/// knee e^b, clamped to clamp_fraction * v_max at long distances.
+[[nodiscard]] double v_min_km_per_ms(double distance_km,
+                                     const speed_fit& fit = {}) noexcept;
+
+/// Fastest possible RTT for a path of geodesic length d (ms): d / v_max.
+[[nodiscard]] double min_rtt_ms_for_distance(double distance_km) noexcept;
+
+/// Slowest plausible RTT for a path of length d (ms): d / v_min(d).
+/// Distances below the knee return +infinity (no lower speed bound).
+[[nodiscard]] double max_rtt_ms_for_distance(double distance_km,
+                                             const speed_fit& fit = {}) noexcept;
+
+/// The feasible distance ring [d_min, d_max] implied by a measured RTT.
+struct distance_ring {
+  double d_min_km = 0.0;
+  double d_max_km = 0.0;
+
+  [[nodiscard]] bool contains(double d_km) const noexcept {
+    return d_km >= d_min_km && d_km <= d_max_km;
+  }
+};
+
+/// Ring implied by RTT_min per the paper's convention (d = v * RTT).
+/// Negative RTT is treated as 0.
+[[nodiscard]] distance_ring feasible_ring(double rtt_min_ms,
+                                          const speed_fit& fit = {}) noexcept;
+
+}  // namespace opwat::geo

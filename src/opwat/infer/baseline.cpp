@@ -1,0 +1,21 @@
+#include "opwat/infer/baseline.hpp"
+
+#include <cmath>
+
+namespace opwat::infer {
+
+std::size_t run_rtt_baseline(const step2_result& rtts, const baseline_config& cfg,
+                             inference_map& out) {
+  std::size_t n = 0;
+  for (const auto& [key, observations] : rtts.observations) {
+    if (observations.empty()) continue;
+    const double best = rtts.best_rtt(key);
+    if (std::isnan(best)) continue;
+    out.annotate_rtt(key, best);
+    const auto cls = best <= cfg.threshold_ms ? peering_class::local : peering_class::remote;
+    if (out.decide(key, cls, method_step::rtt_threshold)) ++n;
+  }
+  return n;
+}
+
+}  // namespace opwat::infer

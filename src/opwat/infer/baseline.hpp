@@ -1,0 +1,22 @@
+// The state-of-the-art baseline (Castro et al., CoNEXT'14): min-RTT from
+// in-IXP vantage points with TTL filters, thresholded at 10 ms (§4.1).
+// Members with a usable RTT below the threshold are local, above remote;
+// no colocation/port/topology information is used.  Reproduced here to
+// regenerate Table 4's baseline row and the ablation sweeps.
+#pragma once
+
+#include "opwat/infer/step2_rtt.hpp"
+#include "opwat/infer/types.hpp"
+
+namespace opwat::infer {
+
+struct baseline_config {
+  double threshold_ms = 10.0;
+};
+
+/// Classifies every interface with at least one usable observation.
+/// Returns the number of inferences made.
+std::size_t run_rtt_baseline(const step2_result& rtts, const baseline_config& cfg,
+                             inference_map& out);
+
+}  // namespace opwat::infer

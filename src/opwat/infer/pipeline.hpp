@@ -1,0 +1,74 @@
+// The full five-step inference pipeline (§5.2).
+//
+// Orchestrates:  Step 1 (port capacity) -> Step 2 (ping campaign with VP
+// filtering) -> Step 3 (RTT + colocation) -> Step 4 (multi-IXP routers) ->
+// Step 5 (private connectivity), with per-step provenance so every table
+// and figure of §5.3/§6 can be regenerated.  The step *order* is
+// configurable for the ablation study; measurement substeps always run
+// first since later steps consume their outputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "opwat/alias/resolver.hpp"
+#include "opwat/db/ip2as.hpp"
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/baseline.hpp"
+#include "opwat/infer/step1_port.hpp"
+#include "opwat/infer/step2_rtt.hpp"
+#include "opwat/infer/step2b_traceroute_rtt.hpp"
+#include "opwat/infer/step3_colo.hpp"
+#include "opwat/infer/step4_multiixp.hpp"
+#include "opwat/infer/step5_private.hpp"
+#include "opwat/measure/traceroute.hpp"
+
+namespace opwat::infer {
+
+struct pipeline_config {
+  /// Decision order; subsets/permutations supported for ablations.
+  std::vector<method_step> order{method_step::port_capacity, method_step::rtt_colo,
+                                 method_step::multi_ixp, method_step::private_links};
+  step2_config step2;
+  step3_config step3;
+  step5_config step5;
+  alias::resolver_config resolver;
+  /// §8 extension: after the five steps, derive RTT observations from the
+  /// traceroute corpus and re-run the ring test on remaining unknowns.
+  bool use_traceroute_rtt = false;
+  traceroute_rtt_config traceroute_rtt;
+  std::uint64_t seed = 0x0b5e55ed;
+};
+
+struct pipeline_result {
+  inference_map inferences;
+  std::vector<world::ixp_id> scope;
+  step1_stats s1;
+  step2_result rtt;
+  step3_stats s3;
+  step4_result s4;
+  step5_stats s5;
+  traix::extraction paths;
+  /// §8 extension outputs (populated when use_traceroute_rtt is set).
+  traceroute_rtt_result beyond_pings;
+  step3_stats s2b;
+
+  /// Inference counts per (IXP, step) for the Fig. 10a contribution plot.
+  [[nodiscard]] std::size_t contribution(world::ixp_id x, method_step s) const;
+  /// Inference counts per IXP and class for Fig. 10b.
+  [[nodiscard]] std::size_t count(world::ixp_id x, peering_class c) const;
+};
+
+/// Runs the pipeline over `scope` IXPs (alias resolution needs the world's
+/// ground-truth router map, exactly like MIDAR needs the real Internet).
+[[nodiscard]] pipeline_result run_pipeline(
+    const world::world& w, const db::merged_view& view, const db::ip2as& prefix2as,
+    const measure::latency_model& lat, std::span<const measure::vantage_point> vps,
+    std::span<const measure::trace> traces, std::span<const world::ixp_id> scope,
+    const pipeline_config& cfg);
+
+/// Convenience: the Castro et al. baseline on the same campaign data.
+[[nodiscard]] inference_map run_baseline_on(const pipeline_result& pr,
+                                            const baseline_config& cfg = {});
+
+}  // namespace opwat::infer

@@ -1,0 +1,25 @@
+#include "opwat/infer/step1_port.hpp"
+
+namespace opwat::infer {
+
+step1_stats run_step1_port_capacity(const db::merged_view& view,
+                                    std::span<const world::ixp_id> ixps,
+                                    inference_map& out) {
+  step1_stats st;
+  for (const auto x : ixps) {
+    const auto cmin = view.min_physical_capacity(x);
+    if (!cmin) continue;  // pricing page unavailable
+    for (const auto& e : view.interfaces_of_ixp(x)) {
+      ++st.examined;
+      const auto cap = view.port_capacity(e.asn, x);
+      if (!cap) continue;
+      if (*cap < *cmin) {
+        if (out.decide({x, e.ip}, peering_class::remote, method_step::port_capacity))
+          ++st.inferred_remote;
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace opwat::infer

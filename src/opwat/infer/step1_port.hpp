@@ -1,0 +1,27 @@
+// Step 1 — reseller customers via port capacities (§5.1.1 / §5.2).
+//
+// Fractional port capacities can only be purchased through resellers, so
+// any member whose recorded port capacity is below the IXP's minimum
+// physical port capacity (the pricing-page Cmin) must be a reseller
+// customer — hence remote by Definition 1.  High precision, low coverage;
+// runs first because it is the most reliable signal.
+#pragma once
+
+#include <span>
+
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/types.hpp"
+
+namespace opwat::infer {
+
+struct step1_stats {
+  std::size_t examined = 0;
+  std::size_t inferred_remote = 0;
+};
+
+/// Applies Step 1 over every interface of the scoped IXPs.
+step1_stats run_step1_port_capacity(const db::merged_view& view,
+                                    std::span<const world::ixp_id> ixps,
+                                    inference_map& out);
+
+}  // namespace opwat::infer

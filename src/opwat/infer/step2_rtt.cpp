@@ -1,0 +1,70 @@
+#include "opwat/infer/step2_rtt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace opwat::infer {
+
+double step2_result::best_rtt(const iface_key& k) const {
+  const auto it = observations.find(k);
+  if (it == observations.end() || it->second.empty())
+    return std::numeric_limits<double>::quiet_NaN();
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& o : it->second) best = std::min(best, o.rtt_min_ms);
+  return best;
+}
+
+step2_result run_step2_rtt(const world::world& w, const measure::latency_model& lat,
+                           std::span<const measure::vantage_point> vps,
+                           const db::merged_view& view,
+                           std::span<const world::ixp_id> ixps,
+                           const step2_config& cfg, util::rng rng,
+                           inference_map& annotate) {
+  step2_result out;
+
+  // Targets: every interface the merged DB lists for the scoped IXPs.
+  std::vector<measure::ping_target> targets;
+  const std::set<world::ixp_id> scope{ixps.begin(), ixps.end()};
+  for (const auto x : ixps)
+    for (const auto& e : view.interfaces_of_ixp(x)) targets.push_back({e.ip, x});
+  out.targets_queried = targets.size();
+
+  out.campaign = measure::run_ping_campaign(w, lat, vps, targets, cfg.ping, rng);
+
+  // VP filters.
+  std::vector<char> usable(vps.size(), 0);
+  for (std::size_t vi = 0; vi < vps.size(); ++vi) {
+    const auto& vp = vps[vi];
+    if (!vp.alive || !scope.contains(vp.ixp)) continue;
+    if (cfg.apply_mgmt_filter && vp.type == measure::vp_type::atlas &&
+        out.campaign.route_server_rtt_ms[vi] >= cfg.mgmt_filter_ms) {
+      out.mgmt_filtered_vps.push_back(vi);
+      continue;
+    }
+    usable[vi] = 1;
+    out.usable_vps.push_back(vi);
+  }
+
+  std::set<net::ipv4_addr> responsive;
+  for (const auto& pm : out.campaign.measurements) {
+    if (!pm.responsive) continue;
+    responsive.insert(pm.target);
+    if (!usable[pm.vp_index]) continue;
+    rtt_observation obs;
+    obs.vp_index = pm.vp_index;
+    obs.rtt_min_ms = pm.rtt_min_ms;
+    obs.rounded = cfg.apply_lg_rounding_correction && vps[pm.vp_index].rounds_rtt_up;
+    out.observations[{pm.ixp, pm.target}].push_back(obs);
+  }
+  out.targets_responsive = responsive.size();
+
+  for (const auto& [k, obs] : out.observations) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& o : obs) best = std::min(best, o.rtt_min_ms);
+    annotate.annotate_rtt(k, best);
+  }
+  return out;
+}
+
+}  // namespace opwat::infer

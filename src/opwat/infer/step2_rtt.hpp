@@ -1,0 +1,61 @@
+// Step 2 — ping RTT measurement campaign (§5.2).
+//
+// Runs the ping campaign from every VP colocated with the scoped IXPs,
+// applies the TTL filters, the management-LAN probe filter (Atlas probes
+// with >= 1 ms to the route server are discarded, §6.1) and the LG
+// integer-rounding correction, and aggregates the usable minimum RTT per
+// {VP, interface}.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/types.hpp"
+#include "opwat/measure/ping.hpp"
+
+namespace opwat::infer {
+
+struct step2_config {
+  measure::ping_config ping;
+  /// Atlas probes at or above this RTT to the route server are unusable.
+  double mgmt_filter_ms = 1.0;
+  bool apply_mgmt_filter = true;
+  bool apply_lg_rounding_correction = true;
+};
+
+/// One usable RTT observation for an interface.
+struct rtt_observation {
+  std::size_t vp_index = 0;
+  double rtt_min_ms = 0.0;
+  /// True when the VP rounds to whole ms: the d_min bound must then be
+  /// computed from (rtt - 1) per §6.1.
+  bool rounded = false;
+};
+
+struct step2_result {
+  /// Usable observations per interface.
+  std::map<iface_key, std::vector<rtt_observation>> observations;
+  /// The raw campaign (for Table 5 / Fig. 9a statistics).
+  measure::ping_campaign campaign;
+  /// VPs that survived the filters.
+  std::vector<std::size_t> usable_vps;
+  /// VPs discarded by the management-LAN filter.
+  std::vector<std::size_t> mgmt_filtered_vps;
+  std::size_t targets_queried = 0;
+  std::size_t targets_responsive = 0;
+
+  /// Minimum usable RTT across VPs for an interface (NaN when none).
+  [[nodiscard]] double best_rtt(const iface_key& k) const;
+};
+
+/// Builds targets from the merged view and runs the filtered campaign.
+step2_result run_step2_rtt(const world::world& w, const measure::latency_model& lat,
+                           std::span<const measure::vantage_point> vps,
+                           const db::merged_view& view,
+                           std::span<const world::ixp_id> ixps,
+                           const step2_config& cfg, util::rng rng,
+                           inference_map& annotate);
+
+}  // namespace opwat::infer

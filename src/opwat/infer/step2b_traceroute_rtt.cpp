@@ -1,0 +1,105 @@
+#include "opwat/infer/step2b_traceroute_rtt.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace opwat::infer {
+
+step2_result traceroute_rtt_result::as_step2_result() const {
+  step2_result out;
+  out.observations = observations;
+  out.targets_queried = observations.size();
+  out.targets_responsive = observations.size();
+  for (std::size_t i = 0; i < virtual_vps.size(); ++i) out.usable_vps.push_back(i);
+  return out;
+}
+
+traceroute_rtt_result derive_traceroute_rtts(const db::merged_view& view,
+                                             const traix::extraction& paths,
+                                             const inference_map& prior,
+                                             const traceroute_rtt_config& cfg) {
+  traceroute_rtt_result out;
+
+  // (asn, ixp) -> inferred-local flag, from the prior inference map.
+  const auto near_is_local = [&](net::asn as, world::ixp_id x) {
+    for (const auto& e : view.interfaces_of_ixp(x)) {
+      if (e.asn != as) continue;
+      if (prior.cls({x, e.ip}) == peering_class::local) return true;
+    }
+    return false;
+  };
+
+  // The near member's anchor facility at the IXP: a facility common to
+  // both, per the colocation DB.
+  const auto anchor_facility = [&](net::asn as,
+                                   world::ixp_id x) -> std::optional<world::facility_id> {
+    const auto& ixp_facs = view.facilities_of_ixp(x);
+    for (const auto f : view.facilities_of_as(as))
+      if (std::find(ixp_facs.begin(), ixp_facs.end(), f) != ixp_facs.end()) return f;
+    return std::nullopt;
+  };
+
+  // Virtual VP per (ixp, facility).
+  std::map<std::pair<world::ixp_id, world::facility_id>, std::size_t> vp_index;
+  const auto vp_for = [&](world::ixp_id x,
+                          world::facility_id f) -> std::optional<std::size_t> {
+    const auto it = vp_index.find({x, f});
+    if (it != vp_index.end()) return it->second;
+    const auto loc = view.facility_location(f);
+    if (!loc) return std::nullopt;
+    measure::vantage_point vp;
+    vp.name = "virtual.ixp" + std::to_string(x) + ".fac" + std::to_string(f);
+    vp.type = measure::vp_type::atlas;  // out-of-LAN semantics
+    vp.ixp = x;
+    vp.facility = f;
+    vp.location = *loc;
+    vp.in_peering_lan = false;
+    vp.rounds_rtt_up = false;
+    out.virtual_vps.push_back(std::move(vp));
+    vp_index[{x, f}] = out.virtual_vps.size() - 1;
+    return out.virtual_vps.size() - 1;
+  };
+
+  for (const auto& c : paths.crossings) {
+    ++out.crossings_seen;
+    // Locality evidence for the near member.
+    const bool local_anchor = near_is_local(c.near_as, c.ixp);
+    if (cfg.require_local_near && !local_anchor) continue;
+    const auto fac = anchor_facility(c.near_as, c.ixp);
+    if (!fac) continue;
+    if (!cfg.require_local_near && !local_anchor) {
+      // Ping-free variant: accept the colocation DB's single common
+      // facility as the anchor (weaker evidence).
+      std::size_t common = 0;
+      const auto& ixp_facs = view.facilities_of_ixp(c.ixp);
+      for (const auto f : view.facilities_of_as(c.near_as))
+        if (std::find(ixp_facs.begin(), ixp_facs.end(), f) != ixp_facs.end()) ++common;
+      if (common != 1) continue;
+    }
+    const auto vp = vp_for(c.ixp, *fac);
+    if (!vp) continue;
+
+    const double delta =
+        std::max(cfg.min_delta_ms, c.rtt_to_ixp_ip_ms - c.rtt_to_near_ip_ms);
+    rtt_observation obs;
+    obs.vp_index = *vp;
+    obs.rtt_min_ms = delta;
+    obs.rounded = false;
+    out.observations[{c.ixp, c.ixp_ip}].push_back(obs);
+    ++out.crossings_used;
+  }
+
+  // Minimum filtering: keep the smallest deltas per interface (transient
+  // queueing only inflates the difference).
+  for (auto& [key, obs] : out.observations) {
+    std::sort(obs.begin(), obs.end(),
+              [](const rtt_observation& a, const rtt_observation& b) {
+                return a.rtt_min_ms < b.rtt_min_ms;
+              });
+    if (obs.size() > cfg.max_observations_per_iface)
+      obs.resize(cfg.max_observations_per_iface);
+  }
+  return out;
+}
+
+}  // namespace opwat::infer

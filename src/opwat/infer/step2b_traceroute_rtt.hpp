@@ -1,0 +1,62 @@
+// "Beyond Pings" (§8): traceroute-derived RTT observations.
+//
+// Ping-based Step 2 needs a vantage point inside the IXP, which exists for
+// only a fraction of IXPs and is unstable over time.  The paper proposes
+// deriving the member-to-IXP delay from traceroutes taken ANYWHERE: in an
+// IXP crossing ... -> IP_near -> IP_ixp -> ..., the difference between the
+// RTT at the peering-LAN hop and the RTT at the preceding hop approximates
+// the delay between the two member routers.  When the near-side member is
+// known to be LOCAL (previously inferred, or evidenced by colocation), the
+// near router sits in an IXP facility, so the delta approximates the far
+// member's RTT to that facility — exactly what Step 3 needs, without any
+// in-IXP vantage point (Fig. 12b validates the approximation).
+//
+// The derived observations are expressed as synthetic "virtual VPs"
+// located at the near member's facility, so the unchanged Step-3 ring
+// logic consumes them directly.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/step2_rtt.hpp"
+#include "opwat/infer/types.hpp"
+#include "opwat/measure/vantage.hpp"
+#include "opwat/traix/crossing.hpp"
+
+namespace opwat::infer {
+
+struct traceroute_rtt_config {
+  /// Deltas below this are treated as same-facility noise floor.
+  double min_delta_ms = 0.0;
+  /// Require the near-side member to be inferred local already; when
+  /// false, a near member with exactly one common facility with the IXP
+  /// (per the colocation DB) is accepted too.
+  bool require_local_near = true;
+  /// Keep at most this many observations per interface (smallest deltas
+  /// first — minimum filtering, like RTT_min).
+  std::size_t max_observations_per_iface = 4;
+};
+
+struct traceroute_rtt_result {
+  /// Synthetic VPs placed at the near members' facilities.  Observation
+  /// vp_index values refer to THIS vector.
+  std::vector<measure::vantage_point> virtual_vps;
+  std::map<iface_key, std::vector<rtt_observation>> observations;
+  std::size_t crossings_seen = 0;
+  std::size_t crossings_used = 0;
+
+  /// Packs the derived observations into a step2_result so that
+  /// run_step3_colo can consume them unchanged.
+  [[nodiscard]] step2_result as_step2_result() const;
+};
+
+/// Derives RTT observations from the traceroute corpus.  `prior` supplies
+/// the local anchors (the ping-based pipeline's inferences); pass an empty
+/// map with require_local_near = false for the fully ping-free variant.
+[[nodiscard]] traceroute_rtt_result derive_traceroute_rtts(
+    const db::merged_view& view, const traix::extraction& paths,
+    const inference_map& prior, const traceroute_rtt_config& cfg = {});
+
+}  // namespace opwat::infer

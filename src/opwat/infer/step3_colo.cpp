@@ -1,0 +1,89 @@
+#include "opwat/infer/step3_colo.hpp"
+
+#include <algorithm>
+
+#include "opwat/geo/geodesic.hpp"
+
+namespace opwat::infer {
+
+ring_verdict evaluate_ring(const db::merged_view& view,
+                           const measure::vantage_point& vp, world::ixp_id ixp,
+                           net::asn member, const rtt_observation& obs,
+                           const geo::speed_fit& fit, int* n_feasible_ixp) {
+  // Outer radius from the measured RTT; inner radius from the corrected
+  // RTT when the VP rounds up to integer milliseconds (§6.1).
+  const auto outer = geo::feasible_ring(obs.rtt_min_ms, fit);
+  const double rtt_for_dmin =
+      obs.rounded ? std::max(0.0, obs.rtt_min_ms - 1.0) : obs.rtt_min_ms;
+  const auto inner = geo::feasible_ring(rtt_for_dmin, fit);
+  const geo::distance_ring ring{inner.d_min_km, outer.d_max_km};
+
+  const auto in_ring = [&](world::facility_id f) -> bool {
+    const auto loc = view.facility_location(f);
+    if (!loc) return false;
+    return ring.contains(geo::geodesic_km(vp.location, *loc));
+  };
+
+  int feasible_ixp = 0;
+  bool member_at_feasible_ixp_fac = false;
+  for (const auto f : view.facilities_of_ixp(ixp)) {
+    if (!in_ring(f)) continue;
+    ++feasible_ixp;
+    const auto& member_facs = view.facilities_of_as(member);
+    if (std::find(member_facs.begin(), member_facs.end(), f) != member_facs.end())
+      member_at_feasible_ixp_fac = true;
+  }
+  if (n_feasible_ixp) *n_feasible_ixp = feasible_ixp;
+
+  if (feasible_ixp == 0) return ring_verdict::remote;
+  if (member_at_feasible_ixp_fac) return ring_verdict::local;
+
+  // Member present at a feasible facility where the IXP is not present?
+  const auto& ixp_facs = view.facilities_of_ixp(ixp);
+  for (const auto f : view.facilities_of_as(member)) {
+    if (std::find(ixp_facs.begin(), ixp_facs.end(), f) != ixp_facs.end()) continue;
+    if (in_ring(f)) return ring_verdict::remote;
+  }
+  return ring_verdict::unknown;
+}
+
+step3_stats run_step3_colo(const db::merged_view& view,
+                           std::span<const measure::vantage_point> vps,
+                           const step2_result& rtts, const step3_config& cfg,
+                           inference_map& out) {
+  step3_stats st;
+  for (const auto& [key, observations] : rtts.observations) {
+    if (out.cls(key) != peering_class::unknown) continue;
+    const auto member = view.member_of_interface(key.ip);
+    if (!member) continue;
+
+    bool any_local = false;
+    bool any_remote = false;
+    int best_feasible = -1;
+    for (const auto& obs : observations) {
+      int n_feasible = 0;
+      const auto v = evaluate_ring(view, vps[obs.vp_index], key.ixp, *member, obs,
+                                   cfg.fit, &n_feasible);
+      best_feasible = std::max(best_feasible, n_feasible);
+      if (v == ring_verdict::local) any_local = true;
+      if (v == ring_verdict::remote) any_remote = true;
+    }
+    if (best_feasible >= 0) out.annotate_feasible(key, best_feasible);
+
+    // Any local evidence wins: a single VP placing the member inside a
+    // common facility is conclusive, while remote verdicts can be caused
+    // by a distant VP of a wide-area IXP.
+    if (any_local) {
+      out.decide(key, peering_class::local, cfg.provenance);
+      ++st.decided_local;
+    } else if (any_remote) {
+      out.decide(key, peering_class::remote, cfg.provenance);
+      ++st.decided_remote;
+    } else {
+      ++st.left_unknown;
+    }
+  }
+  return st;
+}
+
+}  // namespace opwat::infer

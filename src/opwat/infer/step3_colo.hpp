@@ -1,0 +1,56 @@
+// Step 3 — colocation-informed RTT interpretation (§5.2, Fig. 7).
+//
+// For every interface with a usable RTT, compute the feasible distance
+// ring [d_min, d_max] around each VP (d_max = v_max * RTT; d_min from the
+// empirical minimum-speed fixed point; LG-rounded RTTs use RTT-1 for the
+// d_min side).  Intersect the ring with the IXP's facility footprint and
+// the member's colocation records:
+//   - no feasible IXP facility                        -> remote
+//   - member colocated at a feasible IXP facility     -> local
+//   - member at a feasible non-IXP facility           -> remote
+//   - IXP feasible but member's whereabouts unknown   -> no inference
+// This is what neutralizes both wide-area-IXP false positives and
+// nearby-remote false negatives of the plain RTT threshold (§4).
+#pragma once
+
+#include <span>
+
+#include "opwat/db/merge.hpp"
+#include "opwat/geo/speed_model.hpp"
+#include "opwat/infer/step2_rtt.hpp"
+#include "opwat/infer/types.hpp"
+#include "opwat/measure/vantage.hpp"
+
+namespace opwat::infer {
+
+struct step3_config {
+  geo::speed_fit fit;
+  /// Provenance recorded on decisions (the §8 traceroute-RTT variant runs
+  /// the same rules under a different label).
+  method_step provenance = method_step::rtt_colo;
+};
+
+struct step3_stats {
+  std::size_t decided_local = 0;
+  std::size_t decided_remote = 0;
+  std::size_t left_unknown = 0;
+};
+
+step3_stats run_step3_colo(const db::merged_view& view,
+                           std::span<const measure::vantage_point> vps,
+                           const step2_result& rtts, const step3_config& cfg,
+                           inference_map& out);
+
+/// The per-VP verdict used internally; exposed for tests and Fig. 9c.
+enum class ring_verdict : std::uint8_t { local, remote, unknown };
+
+/// Evaluates the Step-3 rules for one observation.  `n_feasible_ixp` is
+/// filled with the number of IXP facilities inside the ring.
+[[nodiscard]] ring_verdict evaluate_ring(const db::merged_view& view,
+                                         const measure::vantage_point& vp,
+                                         world::ixp_id ixp, net::asn member,
+                                         const rtt_observation& obs,
+                                         const geo::speed_fit& fit,
+                                         int* n_feasible_ixp);
+
+}  // namespace opwat::infer

@@ -1,0 +1,206 @@
+#include "opwat/infer/step4_multiixp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "opwat/geo/geodesic.hpp"
+
+namespace opwat::infer {
+
+namespace {
+
+using fac_list = std::vector<world::facility_id>;
+
+bool have_common_facility(const fac_list& a, const fac_list& b) {
+  for (const auto f : a)
+    if (std::find(b.begin(), b.end(), f) != b.end()) return true;
+  return false;
+}
+
+double min_fac_distance(const db::merged_view& view, const fac_list& a,
+                        const fac_list& b) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto fa : a) {
+    const auto la = view.facility_location(fa);
+    if (!la) continue;
+    for (const auto fb : b) {
+      const auto lb = view.facility_location(fb);
+      if (!lb) continue;
+      best = std::min(best, geo::geodesic_km(*la, *lb));
+    }
+  }
+  return best;
+}
+
+double max_fac_distance(const db::merged_view& view, const fac_list& a,
+                        const fac_list& b) {
+  double best = -1.0;
+  for (const auto fa : a) {
+    const auto la = view.facility_location(fa);
+    if (!la) continue;
+    for (const auto fb : b) {
+      const auto lb = view.facility_location(fb);
+      if (!lb) continue;
+      best = std::max(best, geo::geodesic_km(*la, *lb));
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+step4_result run_step4_multi_ixp(const db::merged_view& view,
+                                 const traix::extraction& paths,
+                                 const alias::resolver& resolve,
+                                 std::span<const world::ixp_id> scope,
+                                 inference_map& out) {
+  step4_result result;
+  const std::set<world::ixp_id> in_scope{scope.begin(), scope.end()};
+
+  // Candidate interfaces per member AS, and the IXPs each is adjacent to.
+  std::map<net::asn, std::set<net::ipv4_addr>> cand;
+  std::map<std::pair<net::asn, net::ipv4_addr>, std::set<world::ixp_id>> iface_ixps;
+  for (const auto& adj : paths.adjacencies) {
+    cand[adj.member_as].insert(adj.member_ip);
+    iface_ixps[{adj.member_as, adj.member_ip}].insert(adj.ixp);
+  }
+
+  // Interfaces of (asn, ixp) in the merged view, for label lookup and
+  // propagation.
+  const auto keys_of = [&](net::asn as, world::ixp_id x) {
+    std::vector<iface_key> keys;
+    for (const auto& e : view.interfaces_of_ixp(x))
+      if (e.asn == as) keys.push_back({x, e.ip});
+    return keys;
+  };
+  const auto label_of = [&](net::asn as, world::ixp_id x) {
+    bool any_local = false, any_remote = false;
+    for (const auto& k : keys_of(as, x)) {
+      const auto c = out.cls(k);
+      any_local |= c == peering_class::local;
+      any_remote |= c == peering_class::remote;
+    }
+    if (any_local) return peering_class::local;
+    if (any_remote) return peering_class::remote;
+    return peering_class::unknown;
+  };
+  const auto decide_all = [&](net::asn as, world::ixp_id x, peering_class c) {
+    std::size_t n = 0;
+    for (const auto& k : keys_of(as, x))
+      if (out.decide(k, c, method_step::multi_ixp)) ++n;
+    return n;
+  };
+
+  for (const auto& [asn, ifaces] : cand) {
+    const std::vector<net::ipv4_addr> iface_vec{ifaces.begin(), ifaces.end()};
+    const auto groups = resolve.resolve(iface_vec);
+
+    for (const auto& group : groups) {
+      std::set<world::ixp_id> ixps;
+      for (const auto& ip : group) {
+        const auto it = iface_ixps.find({asn, ip});
+        if (it != iface_ixps.end()) ixps.insert(it->second.begin(), it->second.end());
+      }
+      inferred_router rec;
+      rec.owner = asn;
+      rec.interfaces = group;
+      rec.ixps.assign(ixps.begin(), ixps.end());
+      if (ixps.size() < 2) {
+        rec.kind = router_kind::single_ixp;
+        result.routers.push_back(std::move(rec));
+        continue;
+      }
+
+      std::vector<world::ixp_id> local_anchors, remote_anchors, unresolved;
+      for (const auto x : ixps) {
+        switch (label_of(asn, x)) {
+          case peering_class::local: local_anchors.push_back(x); break;
+          case peering_class::remote: remote_anchors.push_back(x); break;
+          case peering_class::unknown:
+            // Propagate only into the studied IXPs.
+            if (in_scope.contains(x)) unresolved.push_back(x);
+            break;
+        }
+      }
+
+      const auto& as_facs = view.facilities_of_as(asn);
+
+      if (!local_anchors.empty()) {
+        // Cases 1 and 3.
+        for (const auto j : unresolved) {
+          const auto& j_facs = view.facilities_of_ixp(j);
+          bool shared = false;
+          for (const auto l : local_anchors)
+            if (have_common_facility(view.facilities_of_ixp(l), j_facs)) shared = true;
+          if (shared) {
+            result.decided += decide_all(asn, j, peering_class::local);  // case 1
+            continue;
+          }
+          // Case 3(a): no common facility with any local anchor; 3(b) is
+          // implied when the L<->J distance exceeds the member's maximum
+          // distance from L — both collapse to "remote" here.
+          const auto l = local_anchors.front();
+          fac_list common_l;
+          for (const auto f : as_facs) {
+            const auto& l_facs = view.facilities_of_ixp(l);
+            if (std::find(l_facs.begin(), l_facs.end(), f) != l_facs.end())
+              common_l.push_back(f);
+          }
+          const double dmax_member_l = max_fac_distance(view, common_l, common_l);
+          const double dist_l_j =
+              min_fac_distance(view, view.facilities_of_ixp(l), j_facs);
+          const bool cond_3b = dmax_member_l >= 0.0 && dist_l_j > dmax_member_l;
+          (void)cond_3b;  // 3(a) already held; recorded for completeness
+          result.decided += decide_all(asn, j, peering_class::remote);
+        }
+      } else if (!remote_anchors.empty()) {
+        // Case 2.
+        const auto r = remote_anchors.front();
+        const auto& r_facs = view.facilities_of_ixp(r);
+        bool all_common = true;
+        for (const auto x : ixps)
+          for (const auto y : ixps)
+            if (x < y &&
+                !have_common_facility(view.facilities_of_ixp(x), view.facilities_of_ixp(y)))
+              all_common = false;
+        const double dmin_member_r = min_fac_distance(view, as_facs, r_facs);
+        for (const auto j : unresolved) {
+          if (all_common) {
+            result.decided += decide_all(asn, j, peering_class::remote);  // 2(a)
+            continue;
+          }
+          const double dmax_j_r =
+              max_fac_distance(view, view.facilities_of_ixp(j), r_facs);
+          if (dmax_j_r >= 0.0 && std::isfinite(dmin_member_r) &&
+              dmax_j_r < dmin_member_r)
+            result.decided += decide_all(asn, j, peering_class::remote);  // 2(b)
+        }
+      }
+
+      // Final router kind for the Fig. 9d statistics.
+      bool any_local = false, any_remote = false, any_unknown = false;
+      for (const auto x : ixps) {
+        switch (label_of(asn, x)) {
+          case peering_class::local: any_local = true; break;
+          case peering_class::remote: any_remote = true; break;
+          case peering_class::unknown: any_unknown = true; break;
+        }
+      }
+      if (any_local && any_remote)
+        rec.kind = router_kind::hybrid;
+      else if (any_local && !any_unknown)
+        rec.kind = router_kind::local;
+      else if (any_remote && !any_unknown)
+        rec.kind = router_kind::remote;
+      else
+        rec.kind = router_kind::undetermined;
+      result.routers.push_back(std::move(rec));
+    }
+  }
+  return result;
+}
+
+}  // namespace opwat::infer

@@ -1,0 +1,57 @@
+// Step 4 — multi-IXP router inference (§5.1.3 / §5.2, Fig. 3).
+//
+// From traceroute {member-interface, IXP} adjacencies, alias-resolve each
+// member's interfaces into routers.  A router adjacent to two or more
+// IXPs is a multi-IXP router; labels established by earlier steps at one
+// of its IXPs propagate to the others under facility-distance consistency
+// conditions:
+//   case 1 (local):  anchor local at L, L and J share a facility -> J local
+//   case 3 (hybrid): anchor local at L, no common facility (3a) or the
+//                    L<->J facility distance exceeds the member's maximum
+//                    possible distance from L (3b)                -> J remote
+//   case 2 (remote): anchor remote at R; all involved IXPs share a
+//                    facility (2a), or every J facility is closer to R
+//                    than the member can possibly be (2b)         -> J remote
+#pragma once
+
+#include <span>
+
+#include "opwat/alias/resolver.hpp"
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/types.hpp"
+#include "opwat/traix/crossing.hpp"
+
+namespace opwat::infer {
+
+enum class router_kind : std::uint8_t { single_ixp, local, remote, hybrid, undetermined };
+
+[[nodiscard]] constexpr std::string_view to_string(router_kind k) noexcept {
+  switch (k) {
+    case router_kind::single_ixp: return "single-IXP";
+    case router_kind::local: return "local";
+    case router_kind::remote: return "remote";
+    case router_kind::hybrid: return "hybrid";
+    case router_kind::undetermined: return "undetermined";
+  }
+  return "?";
+}
+
+struct inferred_router {
+  net::asn owner;
+  std::vector<net::ipv4_addr> interfaces;
+  std::vector<world::ixp_id> ixps;  // next-hop IXPs seen in traceroutes
+  router_kind kind = router_kind::undetermined;
+};
+
+struct step4_result {
+  std::vector<inferred_router> routers;
+  std::size_t decided = 0;
+};
+
+step4_result run_step4_multi_ixp(const db::merged_view& view,
+                                 const traix::extraction& paths,
+                                 const alias::resolver& resolve,
+                                 std::span<const world::ixp_id> scope,
+                                 inference_map& out);
+
+}  // namespace opwat::infer

@@ -1,0 +1,142 @@
+#include "opwat/infer/step5_private.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "opwat/geo/geodesic.hpp"
+
+namespace opwat::infer {
+
+namespace {
+
+/// Feasible IXP facilities for an interface: union over the usable RTT
+/// observations' rings; all known IXP facilities when no RTT is available.
+std::vector<world::facility_id> feasible_ixp_facilities(
+    const db::merged_view& view, std::span<const measure::vantage_point> vps,
+    const step2_result& rtts, const iface_key& key, const geo::speed_fit& fit) {
+  const auto& all = view.facilities_of_ixp(key.ixp);
+  const auto it = rtts.observations.find(key);
+  if (it == rtts.observations.end() || it->second.empty())
+    return all;
+  std::set<world::facility_id> feasible;
+  for (const auto& obs : it->second) {
+    const auto outer = geo::feasible_ring(obs.rtt_min_ms, fit);
+    const double rtt_dmin = obs.rounded ? std::max(0.0, obs.rtt_min_ms - 1.0)
+                                        : obs.rtt_min_ms;
+    const auto inner = geo::feasible_ring(rtt_dmin, fit);
+    const geo::distance_ring ring{inner.d_min_km, outer.d_max_km};
+    for (const auto f : all) {
+      const auto loc = view.facility_location(f);
+      if (loc && ring.contains(geo::geodesic_km(vps[obs.vp_index].location, *loc)))
+        feasible.insert(f);
+    }
+  }
+  return {feasible.begin(), feasible.end()};
+}
+
+}  // namespace
+
+step5_stats run_step5_private(const db::merged_view& view,
+                              const traix::extraction& paths,
+                              const alias::resolver& resolve,
+                              std::span<const measure::vantage_point> vps,
+                              const step2_result& rtts,
+                              std::span<const world::ixp_id> scope,
+                              const step5_config& cfg, inference_map& out) {
+  step5_stats st;
+
+  // Candidate interface sets per AS: IXP-adjacent + private endpoints.
+  std::map<net::asn, std::set<net::ipv4_addr>> cand;
+  for (const auto& adj : paths.adjacencies) cand[adj.member_as].insert(adj.member_ip);
+  for (const auto& pl : paths.private_links) {
+    cand[pl.as_a].insert(pl.ip_a);
+    cand[pl.as_b].insert(pl.ip_b);
+  }
+  // Private neighbours per interface.
+  std::map<net::ipv4_addr, std::set<net::asn>> neighbors_of_iface;
+  for (const auto& pl : paths.private_links) {
+    neighbors_of_iface[pl.ip_a].insert(pl.as_b);
+    neighbors_of_iface[pl.ip_b].insert(pl.as_a);
+  }
+
+  // Collect the still-unknown interfaces of the scoped IXPs.
+  std::vector<std::pair<iface_key, net::asn>> todo;
+  for (const auto x : scope)
+    for (const auto& e : view.interfaces_of_ixp(x)) {
+      const iface_key key{x, e.ip};
+      if (out.cls(key) == peering_class::unknown) todo.push_back({key, e.asn});
+    }
+
+  for (const auto& [key, asn] : todo) {
+    auto it = cand.find(asn);
+    if (it == cand.end()) {
+      ++st.no_inference;
+      continue;
+    }
+    // Alias-resolve the member's interfaces together with the LAN address
+    // under inference, then pick the router carrying that address.
+    std::vector<net::ipv4_addr> ifaces{it->second.begin(), it->second.end()};
+    if (std::find(ifaces.begin(), ifaces.end(), key.ip) == ifaces.end())
+      ifaces.push_back(key.ip);
+    const auto groups = resolve.resolve(ifaces);
+    const std::vector<net::ipv4_addr>* router_group = nullptr;
+    for (const auto& g : groups)
+      if (std::find(g.begin(), g.end(), key.ip) != g.end()) router_group = &g;
+    if (!router_group) {
+      ++st.no_inference;
+      continue;
+    }
+
+    std::set<net::asn> neighbors;
+    for (const auto& ip : *router_group) {
+      const auto nit = neighbors_of_iface.find(ip);
+      if (nit != neighbors_of_iface.end())
+        neighbors.insert(nit->second.begin(), nit->second.end());
+    }
+    if (neighbors.size() < cfg.min_neighbors) {
+      ++st.no_inference;
+      continue;
+    }
+
+    // Facility vote across the neighbourhood.
+    std::map<world::facility_id, std::size_t> votes;
+    for (const auto n : neighbors) {
+      std::set<world::facility_id> facs;
+      for (const auto f : view.facilities_of_as(n)) facs.insert(f);
+      for (const auto f : facs) ++votes[f];
+    }
+    if (votes.empty()) {
+      ++st.no_inference;
+      continue;
+    }
+    // F_common: facilities shared by a majority of neighbours; when no
+    // facility reaches a majority, fall back to the plurality set.
+    const std::size_t majority = neighbors.size() / 2 + 1;
+    std::vector<world::facility_id> f_common;
+    for (const auto& [f, n] : votes)
+      if (n >= majority) f_common.push_back(f);
+    if (f_common.empty()) {
+      std::size_t best = 0;
+      for (const auto& [f, n] : votes) best = std::max(best, n);
+      for (const auto& [f, n] : votes)
+        if (n == best) f_common.push_back(f);
+    }
+
+    const auto f_ixp = feasible_ixp_facilities(view, vps, rtts, key, cfg.fit);
+    std::size_t overlap = 0;
+    for (const auto f : f_common)
+      if (std::find(f_ixp.begin(), f_ixp.end(), f) != f_ixp.end()) ++overlap;
+
+    if (overlap == 1) {
+      out.decide(key, peering_class::local, method_step::private_links);
+      ++st.decided_local;
+    } else {
+      out.decide(key, peering_class::remote, method_step::private_links);
+      ++st.decided_remote;
+    }
+  }
+  return st;
+}
+
+}  // namespace opwat::infer

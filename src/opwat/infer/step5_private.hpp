@@ -1,0 +1,45 @@
+// Step 5 — localization via private connectivity (§5.1.4 / §5.2).
+//
+// Last-resort heuristic, a Constrained-Facility-Search-style vote: for a
+// still-unknown member interface, alias-resolve the member's interfaces
+// (IXP-adjacent and private), find the router carrying the interface,
+// collect its private AS neighbours, and look up the facilities most of
+// those neighbours occupy.  If exactly one IXP facility is common to the
+// feasible IXP footprint and the neighbourhood's facilities, the member is
+// local; otherwise remote.
+#pragma once
+
+#include <span>
+
+#include "opwat/alias/resolver.hpp"
+#include "opwat/db/merge.hpp"
+#include "opwat/geo/speed_model.hpp"
+#include "opwat/infer/step2_rtt.hpp"
+#include "opwat/infer/types.hpp"
+#include "opwat/measure/vantage.hpp"
+#include "opwat/traix/crossing.hpp"
+
+namespace opwat::infer {
+
+struct step5_config {
+  geo::speed_fit fit;
+  /// Minimum number of private neighbours required to vote; a single
+  /// neighbour is too noisy for a majority argument.
+  std::size_t min_neighbors = 2;
+};
+
+struct step5_stats {
+  std::size_t decided_local = 0;
+  std::size_t decided_remote = 0;
+  std::size_t no_inference = 0;
+};
+
+step5_stats run_step5_private(const db::merged_view& view,
+                              const traix::extraction& paths,
+                              const alias::resolver& resolve,
+                              std::span<const measure::vantage_point> vps,
+                              const step2_result& rtts,
+                              std::span<const world::ixp_id> scope,
+                              const step5_config& cfg, inference_map& out);
+
+}  // namespace opwat::infer

@@ -1,0 +1,112 @@
+// Shared types of the inference pipeline (§5).
+//
+// Inferences are keyed per *interface* on an IXP peering LAN — the same
+// granularity as the paper's validation (a member can be local at one IXP
+// and remote at another, or even have several ports at one IXP).
+#pragma once
+
+#include <compare>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "opwat/net/ipv4.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::infer {
+
+enum class peering_class : std::uint8_t { unknown, local, remote };
+
+enum class method_step : std::uint8_t {
+  none,
+  port_capacity,    // Step 1
+  rtt_colo,         // Steps 2+3
+  multi_ixp,        // Step 4
+  private_links,    // Step 5
+  rtt_threshold,    // Castro et al. baseline
+  traceroute_rtt,   // §8 extension: traceroute-derived RTT + colocation
+};
+
+[[nodiscard]] constexpr std::string_view to_string(peering_class c) noexcept {
+  switch (c) {
+    case peering_class::unknown: return "unknown";
+    case peering_class::local: return "local";
+    case peering_class::remote: return "remote";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr std::string_view to_string(method_step s) noexcept {
+  switch (s) {
+    case method_step::none: return "none";
+    case method_step::port_capacity: return "port-capacity";
+    case method_step::rtt_colo: return "rtt+colo";
+    case method_step::multi_ixp: return "multi-ixp";
+    case method_step::private_links: return "private-links";
+    case method_step::rtt_threshold: return "rtt-threshold";
+    case method_step::traceroute_rtt: return "traceroute-rtt";
+  }
+  return "?";
+}
+
+/// An interface on an IXP: the unit of inference.
+struct iface_key {
+  world::ixp_id ixp = world::k_invalid;
+  net::ipv4_addr ip;
+  auto operator<=>(const iface_key&) const noexcept = default;
+};
+
+struct inference {
+  peering_class cls = peering_class::unknown;
+  method_step step = method_step::none;
+  /// Minimum usable RTT observed for the interface (NaN when none).
+  double rtt_min_ms = std::numeric_limits<double>::quiet_NaN();
+  /// Count of IXP facilities inside the feasible ring (-1 = not computed).
+  int feasible_ixp_facilities = -1;
+};
+
+class inference_map {
+ public:
+  /// Sets the class only if the interface is still unknown; returns true
+  /// when the call decided the interface.  Steps never overwrite earlier
+  /// steps (the pipeline order encodes trust, §5.2).
+  bool decide(const iface_key& k, peering_class cls, method_step step) {
+    auto& inf = items_[k];
+    if (inf.cls != peering_class::unknown) return false;
+    inf.cls = cls;
+    inf.step = step;
+    return true;
+  }
+
+  void annotate_rtt(const iface_key& k, double rtt_min_ms) {
+    items_[k].rtt_min_ms = rtt_min_ms;
+  }
+  void annotate_feasible(const iface_key& k, int n) {
+    items_[k].feasible_ixp_facilities = n;
+  }
+
+  [[nodiscard]] const inference* find(const iface_key& k) const {
+    const auto it = items_.find(k);
+    return it == items_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] peering_class cls(const iface_key& k) const {
+    const auto* inf = find(k);
+    return inf ? inf->cls : peering_class::unknown;
+  }
+
+  [[nodiscard]] const std::map<iface_key, inference>& items() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] std::size_t count(peering_class c) const {
+    std::size_t n = 0;
+    for (const auto& [k, inf] : items_)
+      if (inf.cls == c) ++n;
+    return n;
+  }
+
+ private:
+  std::map<iface_key, inference> items_;
+};
+
+}  // namespace opwat::infer

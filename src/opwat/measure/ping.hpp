@@ -1,0 +1,64 @@
+// Ping campaign engine (§3.1, §5.2 Step 2).
+//
+// From every vantage point inside an IXP, ping every member interface of
+// that IXP repeatedly (the paper: every 2 h for 2 days = 24 rounds), apply
+// the TTL-match and TTL-switch filters of Castro et al., and keep the
+// minimum RTT per {VP, interface} pair.  The engine also measures each
+// VP's RTT to the IXP route server, which Step 2 uses to discard
+// management-LAN Atlas probes (RTT >= 1 ms to the route server).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "opwat/measure/latency_model.hpp"
+#include "opwat/measure/vantage.hpp"
+#include "opwat/net/ipv4.hpp"
+#include "opwat/util/rng.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::measure {
+
+struct ping_config {
+  int rounds = 24;
+  double iface_response_rate_lg = 0.95;     // Table 5: 95% responsive via LGs
+  double iface_response_rate_atlas = 0.75;  // Table 5: 75% responsive via Atlas
+  double offsubnet_reply_rate = 0.01;       // dropped by the TTL-match filter
+  double ttl_switch_rate = 0.005;           // series dropped by TTL-switch
+  bool apply_ttl_filters = true;
+};
+
+/// A ping target: an interface on some IXP's peering LAN.
+struct ping_target {
+  net::ipv4_addr ip;
+  world::ixp_id ixp = world::k_invalid;
+};
+
+/// Aggregated result for one {VP, interface} pair.
+struct ping_measurement {
+  std::size_t vp_index = 0;
+  net::ipv4_addr target;
+  world::ixp_id ixp = world::k_invalid;
+  bool responsive = false;
+  double rtt_min_ms = std::numeric_limits<double>::infinity();
+  int samples_total = 0;
+  int samples_kept = 0;
+};
+
+struct ping_campaign {
+  std::vector<ping_measurement> measurements;
+  /// RTT from each VP (parallel to the input span) to its IXP route server.
+  std::vector<double> route_server_rtt_ms;
+};
+
+/// Runs the campaign.  Target interfaces are pinged from every alive VP
+/// whose `ixp` matches the target's; ground-truth RTTs come from the
+/// latency model via the interface's true router position in `w`.
+[[nodiscard]] ping_campaign run_ping_campaign(const world::world& w,
+                                              const latency_model& lat,
+                                              std::span<const vantage_point> vps,
+                                              std::span<const ping_target> targets,
+                                              const ping_config& cfg, util::rng rng);
+
+}  // namespace opwat::measure

@@ -1,0 +1,258 @@
+#include "opwat/measure/traceroute.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+namespace opwat::measure {
+
+traceroute_engine::traceroute_engine(const world::world& w, const latency_model& lat,
+                                     traceroute_config cfg)
+    : w_(w), lat_(lat), cfg_(cfg) {
+  as_memberships_.assign(w.ases.size(), {});
+  ixp_memberships_.assign(w.ixps.size(), {});
+  as_private_.assign(w.ases.size(), {});
+  for (const auto& m : w.memberships) {
+    as_memberships_[m.member].push_back(m.id);
+    ixp_memberships_[m.ixp].push_back(m.id);
+  }
+  for (std::size_t i = 0; i < w.private_links.size(); ++i) {
+    as_private_[w.private_links[i].a].push_back(i);
+    as_private_[w.private_links[i].b].push_back(i);
+  }
+  for (const auto& as : w.ases)
+    if (!as_memberships_[as.id].empty() || !as_private_[as.id].empty())
+      connected_.push_back(as.id);
+  for (const auto& as : w.ases)
+    for (const auto& p : as.routed_prefixes) routed_lookup_.insert(p, as.id);
+}
+
+net::ipv4_addr traceroute_engine::egress_iface(world::router_id rid,
+                                               std::uint64_t tag) const {
+  const auto& rt = w_.routers[rid];
+  if (rt.interfaces.empty()) return net::ipv4_addr{0};
+  const auto idx = util::hash_combine(rid, tag) % rt.interfaces.size();
+  return rt.interfaces[idx];
+}
+
+const traceroute_engine::bfs_tree& traceroute_engine::tree_for(world::as_id src) const {
+  if (tree_cache_.src == src && !tree_cache_.seen.empty()) return tree_cache_;
+  // Full BFS over the bipartite AS<->IXP graph plus private edges.
+  // Private interconnects are explored first: networks prefer their
+  // (cheaper, dedicated) private links over IXP fabric when both exist.
+  bfs_tree t;
+  t.src = src;
+  t.parent_edge.assign(w_.ases.size(), {});
+  t.parent_as.assign(w_.ases.size(), world::k_invalid);
+  t.seen.assign(w_.ases.size(), 0);
+  std::vector<char> ixp_seen(w_.ixps.size(), 0);
+  std::vector<int> depth(w_.ases.size(), 0);
+
+  std::deque<world::as_id> queue;
+  queue.push_back(src);
+  t.seen[src] = 1;
+
+  while (!queue.empty()) {
+    const auto u = queue.front();
+    queue.pop_front();
+    if (depth[u] >= cfg_.max_as_hops) continue;
+
+    const auto visit = [&](world::as_id v, const as_edge& e) {
+      if (t.seen[v]) return;
+      t.seen[v] = 1;
+      t.parent_edge[v] = e;
+      t.parent_as[v] = u;
+      depth[v] = depth[u] + 1;
+      queue.push_back(v);
+    };
+
+    for (const auto pidx : as_private_[u]) {
+      const auto& pl = w_.private_links[pidx];
+      const auto v = pl.a == u ? pl.b : pl.a;
+      as_edge e;
+      e.to = v;
+      e.via_private = pidx;
+      visit(v, e);
+    }
+    for (const auto mid : as_memberships_[u]) {
+      const auto x = w_.memberships[mid].ixp;
+      if (ixp_seen[x]) continue;
+      ixp_seen[x] = 1;
+      for (const auto mid2 : ixp_memberships_[x]) {
+        const auto v = w_.memberships[mid2].member;
+        if (v == u) continue;
+        as_edge e;
+        e.to = v;
+        e.via_ixp = x;
+        visit(v, e);
+      }
+    }
+  }
+  tree_cache_ = std::move(t);
+  return tree_cache_;
+}
+
+std::optional<std::vector<traceroute_engine::as_edge>> traceroute_engine::find_path(
+    world::as_id src, world::as_id dst) const {
+  if (src == dst) return std::vector<as_edge>{};
+  const auto& t = tree_for(src);
+  if (!t.seen[dst]) return std::nullopt;
+  std::vector<as_edge> path;
+  for (world::as_id cur = dst; cur != src; cur = t.parent_as[cur])
+    path.push_back(t.parent_edge[cur]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<trace> traceroute_engine::run(world::as_id src, net::ipv4_addr dst,
+                                            util::rng& r) const {
+  const auto dst_as = routed_lookup_.lookup(dst);
+  if (!dst_as || src >= w_.ases.size()) return std::nullopt;
+  const auto as_path = find_path(src, *dst_as);
+  if (!as_path) return std::nullopt;
+
+  trace t;
+  t.src_as = src;
+  t.dst = dst;
+
+  // Membership of an AS at an IXP (first match).
+  const auto membership_at = [&](world::as_id as, world::ixp_id x) -> const world::membership* {
+    for (const auto mid : as_memberships_[as])
+      if (w_.memberships[mid].ixp == x) return &w_.memberships[mid];
+    return nullptr;
+  };
+
+  // The router an AS uses to take edge e out of itself.
+  const auto egress_router = [&](world::as_id as, const as_edge& e) -> world::router_id {
+    if (e.via_ixp != world::k_invalid) {
+      const auto* m = membership_at(as, e.via_ixp);
+      return m ? m->router : world::k_invalid;
+    }
+    const auto& pl = w_.private_links[e.via_private];
+    return pl.a == as ? pl.router_a : pl.router_b;
+  };
+
+  double cum_rtt = 0.3;  // departure through the source network
+  std::optional<net_point> prev_point;
+
+  const auto emit = [&](net::ipv4_addr ip, const net_point& at) {
+    if (prev_point) cum_rtt += lat_.base_rtt_ms(*prev_point, at, 1);
+    prev_point = at;
+    hop h;
+    h.rtt_ms = cum_rtt + r.exponential(0.15);
+    if (r.bernoulli(cfg_.star_rate)) {
+      h.star = true;
+    } else {
+      h.ip = ip;
+    }
+    t.hops.push_back(h);
+  };
+
+  if (as_path->empty()) {
+    // Intra-AS destination.
+    if (as_memberships_[src].empty() && as_private_[src].empty()) return std::nullopt;
+    const auto rid = !as_memberships_[src].empty()
+                         ? w_.memberships[as_memberships_[src].front()].router
+                         : w_.private_links[as_private_[src].front()].router_a;
+    const auto p = latency_model::point_of_router(w_, rid);
+    emit(egress_iface(rid, 0), p);
+    emit(dst, p);
+    t.reached = true;
+    return t;
+  }
+
+  // Source hop: the egress interface of the router taking the first edge.
+  world::as_id cur_as = src;
+  {
+    const auto rid = egress_router(src, as_path->front());
+    if (rid == world::k_invalid) return std::nullopt;
+    emit(egress_iface(rid, 0), latency_model::point_of_router(w_, rid));
+  }
+
+  for (std::size_t i = 0; i < as_path->size(); ++i) {
+    const auto& e = (*as_path)[i];
+    const auto v = e.to;
+    world::router_id ingress_router = world::k_invalid;
+
+    if (e.via_ixp != world::k_invalid) {
+      const auto* m = membership_at(v, e.via_ixp);
+      if (!m) return std::nullopt;
+      ingress_router = m->router;
+      emit(m->interface_ip, latency_model::point_of_router(w_, m->router));
+    } else {
+      const auto& pl = w_.private_links[e.via_private];
+      const bool v_is_a = pl.a == v;
+      ingress_router = v_is_a ? pl.router_a : pl.router_b;
+      emit(v_is_a ? pl.ip_a : pl.ip_b,
+           latency_model::point_of_router(w_, ingress_router));
+    }
+
+    const bool is_last = i + 1 == as_path->size();
+    if (is_last) {
+      // Destination address inside v.
+      emit(t.dst, latency_model::point_of_router(w_, ingress_router));
+      t.reached = true;
+    } else {
+      // Internal hop: the egress interface toward the next edge.  Emitted
+      // even when ingress == egress router (routers answer with the
+      // outgoing interface), which is what lets traIXroute see the triplet.
+      const auto rid = egress_router(v, (*as_path)[i + 1]);
+      if (rid == world::k_invalid) return std::nullopt;
+      net::ipv4_addr ip = egress_iface(rid, i + 1);
+      // Third-party artifact: a different router in the same facility
+      // answers instead.
+      if (r.bernoulli(cfg_.third_party_rate)) {
+        const auto& rt = w_.routers[rid];
+        if (rt.facility) {
+          for (const auto& other : w_.routers) {
+            if (other.id != rid && other.facility == rt.facility &&
+                !other.interfaces.empty()) {
+              ip = other.interfaces.front();
+              break;
+            }
+          }
+        }
+      }
+      emit(ip, latency_model::point_of_router(w_, rid));
+    }
+    cur_as = v;
+  }
+  (void)cur_as;
+  return t;
+}
+
+std::vector<trace> traceroute_engine::campaign(std::span<const world::as_id> sources,
+                                               std::size_t targets_per_src,
+                                               util::rng& r) const {
+  std::vector<trace> out;
+  for (const auto src : sources) {
+    for (std::size_t k = 0; k < targets_per_src; ++k) {
+      const auto dst_as = connected_[static_cast<std::size_t>(
+          r.uniform_int(0, static_cast<std::int64_t>(connected_.size()) - 1))];
+      const auto& prefixes = w_.ases[dst_as].routed_prefixes;
+      if (prefixes.empty()) continue;
+      const auto& p = prefixes[static_cast<std::size_t>(
+          r.uniform_int(0, static_cast<std::int64_t>(prefixes.size()) - 1))];
+      auto t = run(src, p.at(1), r);
+      if (t) out.push_back(std::move(*t));
+    }
+  }
+  return out;
+}
+
+trace traceroute_engine::run_from_vp(const net_point& vp_point,
+                                     net::ipv4_addr member_iface, util::rng& r) const {
+  trace t;
+  t.dst = member_iface;
+  const auto rid = w_.router_by_interface(member_iface);
+  if (!rid) return t;
+  const auto target = latency_model::point_of_router(w_, *rid);
+  hop h;
+  h.ip = member_iface;
+  h.rtt_ms = lat_.sample_rtt_ms(vp_point, target, r);
+  t.hops.push_back(h);
+  t.reached = true;
+  return t;
+}
+
+}  // namespace opwat::measure

@@ -1,0 +1,105 @@
+// Traceroute path synthesis over the simulated peering fabric (§3.1).
+//
+// Paths are computed at the AS level over the bipartite AS<->IXP
+// membership graph plus private facility interconnects, then expanded to
+// IP hops with the exact semantics traIXroute expects (§3.3): when a path
+// enters member B of IXP x coming from member A, the hop sequence is
+//     ... , <A's egress interface> , <B's address on x's peering LAN> ,
+//     <B's internal interface> , ...
+// The engine injects the classic artifacts the paper has to tolerate:
+// missing hops (stars), occasional third-party interfaces, and per-hop
+// RTT noise.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "opwat/measure/latency_model.hpp"
+#include "opwat/net/ipv4.hpp"
+#include "opwat/util/rng.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::measure {
+
+struct hop {
+  net::ipv4_addr ip;
+  double rtt_ms = 0.0;
+  bool star = false;  // no reply at this hop
+};
+
+struct trace {
+  world::as_id src_as = world::k_invalid;
+  net::ipv4_addr dst;
+  std::vector<hop> hops;
+  bool reached = false;
+};
+
+struct traceroute_config {
+  double star_rate = 0.04;
+  double third_party_rate = 0.015;
+  int max_as_hops = 5;
+};
+
+class traceroute_engine {
+ public:
+  traceroute_engine(const world::world& w, const latency_model& lat,
+                    traceroute_config cfg = {});
+
+  /// Traceroute from a router of `src` toward `dst` (resolved to its AS
+  /// via routed prefixes).  Returns std::nullopt when no route exists over
+  /// the simulated fabric.
+  [[nodiscard]] std::optional<trace> run(world::as_id src, net::ipv4_addr dst,
+                                         util::rng& r) const;
+
+  /// Campaign: traceroutes from each source AS to `targets_per_src`
+  /// random routed addresses (the RIPE-Atlas-corpus analogue).
+  [[nodiscard]] std::vector<trace> campaign(std::span<const world::as_id> sources,
+                                            std::size_t targets_per_src,
+                                            util::rng& r) const;
+
+  /// Traceroute from an in-IXP vantage point to a member interface on the
+  /// same LAN (used for the Fig. 12b ping-vs-traceroute comparison).
+  [[nodiscard]] trace run_from_vp(const net_point& vp_point, net::ipv4_addr member_iface,
+                                  util::rng& r) const;
+
+  /// ASes that have at least one IXP membership or private link (useful
+  /// sources/destinations).
+  [[nodiscard]] const std::vector<world::as_id>& connected_ases() const noexcept {
+    return connected_;
+  }
+
+ private:
+  struct as_edge {
+    world::as_id to;
+    // Exactly one of the two is valid:
+    world::ixp_id via_ixp = world::k_invalid;
+    std::size_t via_private = static_cast<std::size_t>(-1);
+  };
+
+  struct bfs_tree {
+    world::as_id src = world::k_invalid;
+    std::vector<as_edge> parent_edge;
+    std::vector<world::as_id> parent_as;
+    std::vector<char> seen;
+  };
+
+  [[nodiscard]] std::optional<std::vector<as_edge>> find_path(world::as_id src,
+                                                              world::as_id dst) const;
+  const bfs_tree& tree_for(world::as_id src) const;
+  [[nodiscard]] net::ipv4_addr egress_iface(world::router_id rid, std::uint64_t tag) const;
+
+  const world::world& w_;
+  const latency_model& lat_;
+  traceroute_config cfg_;
+  // Adjacency: AS -> memberships (IXPs), AS -> private link indices.
+  std::vector<std::vector<world::membership_id>> as_memberships_;
+  std::vector<std::vector<std::size_t>> as_private_;
+  std::vector<std::vector<world::membership_id>> ixp_memberships_;
+  std::vector<world::as_id> connected_;
+  net::lpm_table<world::as_id> routed_lookup_;
+  // Single-entry BFS-tree cache: campaigns iterate source by source.
+  mutable bfs_tree tree_cache_;
+};
+
+}  // namespace opwat::measure

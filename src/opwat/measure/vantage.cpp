@@ -1,0 +1,46 @@
+#include "opwat/measure/vantage.hpp"
+
+namespace opwat::measure {
+
+std::string_view to_string(vp_type t) noexcept {
+  return t == vp_type::looking_glass ? "LG" : "Atlas";
+}
+
+std::vector<vantage_point> make_vantage_points(const world::world& w,
+                                               const vp_config& cfg, util::rng rng) {
+  std::vector<vantage_point> vps;
+  for (const auto& x : w.ixps) {
+    if (x.facilities.empty()) continue;
+    if (x.has_looking_glass) {
+      vantage_point vp;
+      vp.name = "lg." + x.name;
+      vp.type = vp_type::looking_glass;
+      vp.ixp = x.id;
+      vp.facility = x.facilities.front();
+      vp.location = w.facilities[vp.facility].location;
+      vp.in_peering_lan = true;
+      vp.rounds_rtt_up = rng.bernoulli(cfg.lg_round_fraction);
+      vps.push_back(std::move(vp));
+    }
+    const auto n_atlas = static_cast<std::size_t>(rng.exponential(cfg.atlas_per_ixp_mean));
+    for (std::size_t k = 0; k < n_atlas; ++k) {
+      vantage_point vp;
+      vp.type = vp_type::atlas;
+      vp.name = "atlas." + x.name + "." + std::to_string(k + 1);
+      vp.ixp = x.id;
+      vp.facility = x.facilities[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(x.facilities.size()) - 1))];
+      vp.location = w.facilities[vp.facility].location;
+      vp.in_peering_lan = false;
+      vp.alive = !rng.bernoulli(cfg.atlas_dead_fraction);
+      if (rng.bernoulli(cfg.atlas_mgmt_fraction)) {
+        vp.in_mgmt_lan = true;
+        vp.mgmt_extra_ms = rng.uniform(cfg.mgmt_extra_ms_lo, cfg.mgmt_extra_ms_hi);
+      }
+      vps.push_back(std::move(vp));
+    }
+  }
+  return vps;
+}
+
+}  // namespace opwat::measure

@@ -1,0 +1,55 @@
+// Vantage points for the ping campaigns (§3.1).
+//
+// Two flavours, mirroring the paper:
+//   - Looking glasses (LGs): interfaces directly inside the IXP peering
+//     LAN.  High response rates; many LGs round RTTs up to whole
+//     milliseconds (§6.1 Step 2), which Step 2 must correct for.
+//   - RIPE Atlas probes: colocated in an IXP facility but NOT inside the
+//     peering LAN; some sit in a management LAN with structurally inflated
+//     RTTs and must be filtered out via the route-server test; some never
+//     answer at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opwat/measure/latency_model.hpp"
+#include "opwat/util/rng.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::measure {
+
+enum class vp_type : std::uint8_t { looking_glass, atlas };
+
+[[nodiscard]] std::string_view to_string(vp_type t) noexcept;
+
+struct vantage_point {
+  std::string name;
+  vp_type type = vp_type::looking_glass;
+  world::ixp_id ixp = world::k_invalid;        // the IXP it can measure
+  world::facility_id facility = world::k_invalid;
+  geo::geo_point location;
+  bool in_peering_lan = false;
+  bool in_mgmt_lan = false;     // inflated-RTT Atlas probes
+  double mgmt_extra_ms = 0.0;   // structural inflation for mgmt-LAN probes
+  bool alive = true;            // some Atlas probes never respond
+  bool rounds_rtt_up = false;   // LG integer-millisecond rounding
+
+  [[nodiscard]] net_point point() const { return {location, facility}; }
+};
+
+struct vp_config {
+  double atlas_per_ixp_mean = 1.4;
+  double atlas_mgmt_fraction = 0.30;   // probes in a management LAN
+  double atlas_dead_fraction = 0.20;   // probes that never answer (14/66)
+  double lg_round_fraction = 0.55;     // LGs that round RTTs up
+  double mgmt_extra_ms_lo = 2.0;
+  double mgmt_extra_ms_hi = 35.0;
+};
+
+/// Generates the VP population for every IXP in the world.
+[[nodiscard]] std::vector<vantage_point> make_vantage_points(const world::world& w,
+                                                             const vp_config& cfg,
+                                                             util::rng rng);
+
+}  // namespace opwat::measure

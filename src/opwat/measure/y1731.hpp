@@ -1,0 +1,30 @@
+// Y.1731-style inter-facility performance monitoring (§4.2, Fig. 2a/6).
+//
+// Wide-area IXPs such as NET-IX and NL-IX measure delay between their own
+// sites with precisely timestamped test frames.  The simulator's analogue
+// samples the latency model between every facility pair of an IXP and
+// reports the per-pair median RTT, which feeds the Fig. 2a matrix and the
+// Fig. 6 speed-envelope calibration.
+#pragma once
+
+#include <vector>
+
+#include "opwat/measure/latency_model.hpp"
+#include "opwat/util/rng.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::measure {
+
+struct facility_pair_delay {
+  world::facility_id a = world::k_invalid;
+  world::facility_id b = world::k_invalid;
+  double distance_km = 0.0;
+  double median_rtt_ms = 0.0;
+};
+
+/// Pairwise facility delay matrix for one IXP (upper triangle).
+[[nodiscard]] std::vector<facility_pair_delay> facility_delay_matrix(
+    const world::world& w, const latency_model& lat, world::ixp_id ixp,
+    int samples_per_pair, util::rng rng);
+
+}  // namespace opwat::measure

@@ -1,0 +1,19 @@
+#include "opwat/net/ip_alloc.hpp"
+
+namespace opwat::net {
+
+prefix prefix_allocator::allocate(int len) {
+  if (len < pool_.length() || len > 32)
+    throw std::invalid_argument{"prefix_allocator: requested length outside pool"};
+  const std::uint64_t block = std::uint64_t{1} << (32 - len);
+  // Align the cursor up to the block size.
+  std::uint64_t start = (cursor_ + block - 1) & ~(block - 1);
+  const std::uint64_t pool_end =
+      static_cast<std::uint64_t>(pool_.network().value()) + pool_.size();
+  if (start + block > pool_end)
+    throw std::length_error{"prefix_allocator: pool exhausted"};
+  cursor_ = start + block;
+  return prefix{ipv4_addr{static_cast<std::uint32_t>(start)}, len};
+}
+
+}  // namespace opwat::net

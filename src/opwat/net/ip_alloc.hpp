@@ -1,0 +1,38 @@
+// Sequential allocator of synthetic IPv4 space for the generated world.
+//
+// IXP peering LANs come out of 193.0.0.0/8-style "public" space, member
+// backbone/private interconnects out of other blocks, so that address
+// classes never collide and prefix lookups behave like the real datasets.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "opwat/net/ipv4.hpp"
+
+namespace opwat::net {
+
+/// Hands out consecutive, non-overlapping prefixes from a parent block.
+class prefix_allocator {
+ public:
+  explicit prefix_allocator(prefix pool) : pool_(pool), cursor_(pool.network().value()) {}
+
+  /// Allocates the next /len prefix; throws std::length_error on exhaustion.
+  [[nodiscard]] prefix allocate(int len);
+
+  [[nodiscard]] const prefix& pool() const noexcept { return pool_; }
+
+ private:
+  prefix pool_;
+  std::uint64_t cursor_;
+};
+
+/// The standard pools used by the world generator.
+struct address_plan {
+  prefix_allocator ixp_lans{prefix{ipv4_addr{193, 0, 0, 0}, 8}};
+  prefix_allocator backbone{prefix{ipv4_addr{10, 0, 0, 0}, 8}};
+  prefix_allocator interconnect{prefix{ipv4_addr{172, 16, 0, 0}, 12}};
+  prefix_allocator routed{prefix{ipv4_addr{41, 0, 0, 0}, 8}};
+};
+
+}  // namespace opwat::net

@@ -1,0 +1,91 @@
+#include "opwat/net/ipv4.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "opwat/util/strings.hpp"
+
+namespace opwat::net {
+
+std::optional<ipv4_addr> ipv4_addr::parse(std::string_view s) noexcept {
+  std::uint32_t acc = 0;
+  int octets = 0;
+  std::uint32_t cur = 0;
+  bool have_digit = false;
+  for (const char c : s) {
+    if (c >= '0' && c <= '9') {
+      cur = cur * 10 + static_cast<std::uint32_t>(c - '0');
+      if (cur > 255) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || octets >= 3) return std::nullopt;
+      acc = (acc << 8) | cur;
+      cur = 0;
+      have_digit = false;
+      ++octets;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || octets != 3) return std::nullopt;
+  acc = (acc << 8) | cur;
+  return ipv4_addr{acc};
+}
+
+std::string ipv4_addr::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (value_ >> 24) & 0xff,
+                (value_ >> 16) & 0xff, (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+prefix::prefix(ipv4_addr addr, int length) : length_(length) {
+  if (length < 0 || length > 32) throw std::invalid_argument{"prefix length out of range"};
+  const std::uint32_t m = length == 0 ? 0 : (~std::uint32_t{0} << (32 - length));
+  network_ = ipv4_addr{addr.value() & m};
+}
+
+std::optional<prefix> prefix::parse(std::string_view cidr) noexcept {
+  const auto slash = cidr.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = ipv4_addr::parse(cidr.substr(0, slash));
+  if (!addr) return std::nullopt;
+  int len = 0;
+  const auto len_str = cidr.substr(slash + 1);
+  if (len_str.empty() || len_str.size() > 2) return std::nullopt;
+  for (const char c : len_str) {
+    if (c < '0' || c > '9') return std::nullopt;
+    len = len * 10 + (c - '0');
+  }
+  if (len > 32) return std::nullopt;
+  return prefix{*addr, len};
+}
+
+std::uint32_t prefix::mask() const noexcept {
+  return length_ == 0 ? 0 : (~std::uint32_t{0} << (32 - length_));
+}
+
+bool prefix::contains(ipv4_addr a) const noexcept {
+  return (a.value() & mask()) == network_.value();
+}
+
+bool prefix::contains(const prefix& other) const noexcept {
+  return other.length() >= length_ && contains(other.network());
+}
+
+std::uint64_t prefix::size() const noexcept {
+  return std::uint64_t{1} << (32 - length_);
+}
+
+ipv4_addr prefix::at(std::uint64_t i) const {
+  if (i >= size()) throw std::out_of_range{"prefix::at: index beyond prefix size"};
+  return ipv4_addr{network_.value() + static_cast<std::uint32_t>(i)};
+}
+
+std::string prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+std::string to_string(asn a) { return "AS" + std::to_string(a.value); }
+
+}  // namespace opwat::net

@@ -1,0 +1,133 @@
+// IPv4 addresses, CIDR prefixes and a longest-prefix-match table.
+//
+// The simulator assigns synthetic address space to IXP peering LANs,
+// member routers and private interconnects; the inference pipeline only
+// ever sees these addresses (never ground-truth object identities), the
+// same way the paper's pipeline sees raw IPs from traceroute/ping.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace opwat::net {
+
+/// An IPv4 address (host byte order internally).
+class ipv4_addr {
+ public:
+  constexpr ipv4_addr() = default;
+  constexpr explicit ipv4_addr(std::uint32_t value) noexcept : value_(value) {}
+  constexpr ipv4_addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parses dotted-quad notation; std::nullopt on malformed input.
+  [[nodiscard]] static std::optional<ipv4_addr> parse(std::string_view s) noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+
+  constexpr auto operator<=>(const ipv4_addr&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix.  Invariant: address bits below the mask are zero.
+class prefix {
+ public:
+  constexpr prefix() = default;
+  /// Normalizes the address to the network address of the prefix.
+  prefix(ipv4_addr addr, int length);
+
+  [[nodiscard]] static std::optional<prefix> parse(std::string_view cidr) noexcept;
+
+  [[nodiscard]] bool contains(ipv4_addr a) const noexcept;
+  [[nodiscard]] bool contains(const prefix& other) const noexcept;
+  [[nodiscard]] ipv4_addr network() const noexcept { return network_; }
+  [[nodiscard]] int length() const noexcept { return length_; }
+  /// Number of addresses covered (2^(32-len)).
+  [[nodiscard]] std::uint64_t size() const noexcept;
+  /// i-th host address in the prefix (0 = network address).
+  [[nodiscard]] ipv4_addr at(std::uint64_t i) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::uint32_t mask() const noexcept;
+
+  auto operator<=>(const prefix&) const noexcept = default;
+
+ private:
+  ipv4_addr network_{};
+  int length_ = 0;
+};
+
+/// Longest-prefix-match table mapping prefixes to values of type T.
+/// Insertions with an equal prefix overwrite.  Lookup walks from /32
+/// down to /0 over per-length exact-match maps.
+template <typename T>
+class lpm_table {
+ public:
+  void insert(const prefix& p, T value) {
+    tables_[p.length()][p.network().value()] = std::move(value);
+    if (p.length() < min_len_) min_len_ = p.length();
+    if (p.length() > max_len_) max_len_ = p.length();
+    ++count_;
+  }
+
+  [[nodiscard]] std::optional<T> lookup(ipv4_addr a) const {
+    for (int len = max_len_; len >= min_len_; --len) {
+      const auto& t = tables_[len];
+      if (t.empty()) continue;
+      const std::uint32_t key =
+          len == 0 ? 0u : (a.value() & (~std::uint32_t{0} << (32 - len)));
+      const auto it = t.find(key);
+      if (it != t.end()) return it->second;
+    }
+    return std::nullopt;
+  }
+
+  /// Exact-prefix lookup.
+  [[nodiscard]] std::optional<T> exact(const prefix& p) const {
+    const auto& t = tables_[p.length()];
+    const auto it = t.find(p.network().value());
+    if (it != t.end()) return it->second;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+
+ private:
+  std::map<std::uint32_t, T> tables_[33];
+  int min_len_ = 32;
+  int max_len_ = 0;
+  std::size_t count_ = 0;
+};
+
+/// Autonomous System number: a strong type so ASNs, ids and counts cannot
+/// be mixed up silently.
+struct asn {
+  std::uint32_t value = 0;
+  constexpr auto operator<=>(const asn&) const noexcept = default;
+};
+
+[[nodiscard]] std::string to_string(asn a);
+
+}  // namespace opwat::net
+
+template <>
+struct std::hash<opwat::net::ipv4_addr> {
+  std::size_t operator()(const opwat::net::ipv4_addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<opwat::net::asn> {
+  std::size_t operator()(const opwat::net::asn& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

@@ -1,0 +1,68 @@
+#include "opwat/traix/crossing.hpp"
+
+#include <optional>
+
+namespace opwat::traix {
+
+namespace {
+
+/// AS attribution of a hop: IXP interfaces resolve through the merged
+/// view's interface table, everything else through prefix2as.
+std::optional<net::asn> as_of(net::ipv4_addr ip, const db::merged_view& view,
+                              const db::ip2as& prefix2as) {
+  if (const auto a = view.member_of_interface(ip)) return a;
+  if (view.ixp_of_address(ip)) return std::nullopt;  // unmapped LAN address
+  return prefix2as.lookup(ip);
+}
+
+}  // namespace
+
+extraction extract(std::span<const measure::trace> traces, const db::merged_view& view,
+                   const db::ip2as& prefix2as) {
+  extraction out;
+  for (const auto& t : traces) {
+    const auto& hops = t.hops;
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      if (hops[i].star) continue;
+      const auto ixp = view.ixp_of_address(hops[i].ip);
+
+      // --- Step-4 adjacency: previous hop owned by a member of this IXP.
+      if (ixp && i >= 1 && !hops[i - 1].star && !view.ixp_of_address(hops[i - 1].ip)) {
+        const auto prev_as = as_of(hops[i - 1].ip, view, prefix2as);
+        if (prev_as && view.is_member(*ixp, *prev_as))
+          out.adjacencies.push_back({hops[i - 1].ip, *prev_as, *ixp});
+      }
+
+      // --- Full triplet rule.
+      if (ixp && i >= 1 && i + 1 < hops.size() && !hops[i - 1].star && !hops[i + 1].star) {
+        const auto as2 = view.member_of_interface(hops[i].ip);
+        const auto as1 = as_of(hops[i - 1].ip, view, prefix2as);
+        const auto as3 = as_of(hops[i + 1].ip, view, prefix2as);
+        if (as1 && as2 && as3 && *as2 == *as3 && *as1 != *as2 &&
+            view.is_member(*ixp, *as1) && view.is_member(*ixp, *as2)) {
+          ixp_crossing c;
+          c.ixp = *ixp;
+          c.near_as = *as1;
+          c.far_as = *as2;
+          c.near_ip = hops[i - 1].ip;
+          c.ixp_ip = hops[i].ip;
+          c.rtt_to_ixp_ip_ms = hops[i].rtt_ms;
+          c.rtt_to_near_ip_ms = hops[i - 1].rtt_ms;
+          out.crossings.push_back(c);
+        }
+      }
+
+      // --- Step-5 private adjacency: consecutive non-IXP hops in
+      // different ASes.
+      if (i >= 1 && !hops[i - 1].star && !ixp && !view.ixp_of_address(hops[i - 1].ip)) {
+        const auto as_a = prefix2as.lookup(hops[i - 1].ip);
+        const auto as_b = prefix2as.lookup(hops[i].ip);
+        if (as_a && as_b && *as_a != *as_b)
+          out.private_links.push_back({hops[i - 1].ip, hops[i].ip, *as_a, *as_b});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace opwat::traix

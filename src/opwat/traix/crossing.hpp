@@ -1,0 +1,62 @@
+// traIXroute-style IXP crossing detection (§3.3).
+//
+// A crossing is detected in an IP path when a triplet (IP1, IP2, IP3)
+// satisfies:
+//   (i)   IP2 belongs to an IXP peering prefix and is assigned to the same
+//         AS as IP3,
+//   (ii)  the AS of IP1 differs from the AS of IP2,
+//   (iii) both ASes are members of the IXP owning IP2's prefix.
+// The module also extracts the looser {IPx, IXP-interface} adjacency pairs
+// that Step 4 (multi-IXP routers) consumes, and the private (non-IXP)
+// AS-level adjacencies that Step 5 consumes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "opwat/db/ip2as.hpp"
+#include "opwat/db/merge.hpp"
+#include "opwat/measure/traceroute.hpp"
+
+namespace opwat::traix {
+
+struct ixp_crossing {
+  world::ixp_id ixp = world::k_invalid;
+  net::asn near_as;                // member entering the IXP
+  net::asn far_as;                 // member owning the IXP interface
+  net::ipv4_addr near_ip;          // IP1
+  net::ipv4_addr ixp_ip;           // IP2 (on the peering LAN)
+  double rtt_to_ixp_ip_ms = 0.0;   // traceroute RTT at the LAN hop
+  double rtt_to_near_ip_ms = 0.0;  // traceroute RTT at the preceding hop
+};
+
+/// {IPx, IXP} adjacency: a member-owned interface immediately preceding an
+/// address of that IXP's peering LAN (Step 4 input).
+struct member_ixp_adjacency {
+  net::ipv4_addr member_ip;
+  net::asn member_as;
+  world::ixp_id ixp = world::k_invalid;
+};
+
+/// A private (non-IXP) interconnection seen in a path: consecutive hops in
+/// different ASes with no peering LAN in between (Step 5 input).
+struct private_adjacency {
+  net::ipv4_addr ip_a;
+  net::ipv4_addr ip_b;
+  net::asn as_a;
+  net::asn as_b;
+};
+
+struct extraction {
+  std::vector<ixp_crossing> crossings;
+  std::vector<member_ixp_adjacency> adjacencies;
+  std::vector<private_adjacency> private_links;
+};
+
+/// Runs the triplet rule and the Step-4/Step-5 extractors over a corpus.
+/// `view` supplies IXP prefixes/memberships; `prefix2as` attributes
+/// non-IXP addresses.
+[[nodiscard]] extraction extract(std::span<const measure::trace> traces,
+                                 const db::merged_view& view, const db::ip2as& prefix2as);
+
+}  // namespace opwat::traix

@@ -1,0 +1,64 @@
+#include "opwat/util/csv.hpp"
+
+#include <ostream>
+
+namespace opwat::util {
+
+namespace {
+bool needs_quotes(std::string_view f) {
+  return f.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+std::string quote(std::string_view f) {
+  std::string out = "\"";
+  for (const char c : f) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void csv_writer::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os_ << ',';
+    if (needs_quotes(fields[i]))
+      os_ << quote(fields[i]);
+    else
+      os_ << fields[i];
+  }
+  os_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace opwat::util

@@ -1,0 +1,25 @@
+// Minimal CSV reader/writer (RFC-4180-style quoting).  Used to dump the
+// simulator's datasets and bench results to disk for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opwat::util {
+
+/// Writes rows of string fields, quoting when required.
+class csv_writer {
+ public:
+  explicit csv_writer(std::ostream& os) : os_(os) {}
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Parses one CSV line into fields, honouring quotes and escaped quotes.
+[[nodiscard]] std::vector<std::string> parse_csv_line(std::string_view line);
+
+}  // namespace opwat::util

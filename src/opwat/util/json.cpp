@@ -1,0 +1,126 @@
+#include "opwat/util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace opwat::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_writer::prepare_for_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!depth_.empty() && has_element_.back()) out_ += ',';
+  if (!has_element_.empty()) has_element_.back() = true;
+}
+
+json_writer& json_writer::begin_object() {
+  prepare_for_value();
+  out_ += '{';
+  depth_.push_back('{');
+  has_element_.push_back(false);
+  return *this;
+}
+
+json_writer& json_writer::end_object() {
+  out_ += '}';
+  depth_.pop_back();
+  has_element_.pop_back();
+  return *this;
+}
+
+json_writer& json_writer::begin_array() {
+  prepare_for_value();
+  out_ += '[';
+  depth_.push_back('[');
+  has_element_.push_back(false);
+  return *this;
+}
+
+json_writer& json_writer::end_array() {
+  out_ += ']';
+  depth_.pop_back();
+  has_element_.pop_back();
+  return *this;
+}
+
+json_writer& json_writer::key(std::string_view k) {
+  if (!has_element_.empty() && has_element_.back()) out_ += ',';
+  if (!has_element_.empty()) has_element_.back() = true;
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+json_writer& json_writer::value(std::string_view v) {
+  prepare_for_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+  return *this;
+}
+
+json_writer& json_writer::value(double v) {
+  prepare_for_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out_ += buf;
+  return *this;
+}
+
+json_writer& json_writer::value(std::int64_t v) {
+  prepare_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+json_writer& json_writer::value(std::uint64_t v) {
+  prepare_for_value();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+json_writer& json_writer::value(bool v) {
+  prepare_for_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+json_writer& json_writer::null() {
+  prepare_for_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace opwat::util

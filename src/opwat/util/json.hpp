@@ -1,0 +1,56 @@
+// Minimal streaming JSON writer (RFC 8259 escaping), used by the portal
+// snapshot exporter.  Write-only by design: the library never parses
+// untrusted JSON.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opwat::util {
+
+/// Escapes a string for inclusion in a JSON document (without quotes).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Composable JSON value builder.
+//
+//  json_writer w;
+//  w.begin_object();
+//  w.key("name").value("AMS-IX");
+//  w.key("members").begin_array();
+//  w.value(42).value(43);
+//  w.end_array();
+//  w.end_object();
+//  std::string doc = w.str();
+class json_writer {
+ public:
+  json_writer& begin_object();
+  json_writer& end_object();
+  json_writer& begin_array();
+  json_writer& end_array();
+  json_writer& key(std::string_view k);
+  json_writer& value(std::string_view v);
+  json_writer& value(const char* v) { return value(std::string_view{v}); }
+  json_writer& value(double v);
+  json_writer& value(std::int64_t v);
+  json_writer& value(std::uint64_t v);
+  json_writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  json_writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  json_writer& value(bool v);
+  json_writer& null();
+
+  /// The finished document.  Valid once all containers are closed.
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] bool complete() const noexcept { return depth_.empty() && !out_.empty(); }
+
+ private:
+  void prepare_for_value();
+  std::string out_;
+  // Per level: whether at least one element was emitted.
+  std::vector<bool> has_element_;
+  std::vector<char> depth_;  // '{' or '['
+  bool pending_key_ = false;
+};
+
+}  // namespace opwat::util

@@ -1,0 +1,124 @@
+#include "opwat/util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace opwat::util {
+
+std::uint64_t stable_hash(std::string_view s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+rng::rng(std::uint64_t seed) noexcept : seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& w : s_) w = splitmix64(x++);
+}
+
+std::uint64_t rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+rng rng::fork(std::uint64_t tag) const noexcept {
+  return rng{hash_combine(seed_, tag)};
+}
+
+rng rng::fork(std::string_view tag) const noexcept {
+  return fork(stable_hash(tag));
+}
+
+double rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free Lemire-style bounded draw is overkill here; modulo bias is
+  // negligible for the ranges the simulator uses, but avoid it anyway.
+  const std::uint64_t threshold = (~range + 1) % range;  // (2^64 - range) % range
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return lo + static_cast<std::int64_t>(r % range);
+  }
+}
+
+bool rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+double rng::exponential(double mean) noexcept {
+  if (mean <= 0.0) return 0.0;
+  return -mean * std::log1p(-uniform01());
+}
+
+double rng::normal(double mu, double sigma) noexcept {
+  const double u1 = 1.0 - uniform01();
+  const double u2 = uniform01();
+  return mu + sigma * std::sqrt(-2.0 * std::log(u1)) *
+                  std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double rng::pareto(double x_m, double alpha) noexcept {
+  return x_m / std::pow(1.0 - uniform01(), 1.0 / alpha);
+}
+
+std::int64_t rng::zipf(std::int64_t n, double s) noexcept {
+  if (n <= 1) return 1;
+  // Inverse-CDF on a discretized power law; fine for simulation purposes.
+  const double u = uniform01();
+  const double x = std::pow(static_cast<double>(n), 1.0 - s);
+  const double v = std::pow(u * (x - 1.0) + 1.0, 1.0 / (1.0 - s));
+  const auto k = static_cast<std::int64_t>(v);
+  return std::clamp<std::int64_t>(k, 1, n);
+}
+
+std::size_t rng::weighted_index(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (const double w : weights) total += w > 0 ? w : 0;
+  if (total <= 0.0) return 0;
+  double r = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0 ? weights[i] : 0;
+    if (r < w) return i;
+    r -= w;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> rng::sample_indices(std::size_t n, std::size_t k) noexcept {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  if (k >= n) return idx;
+  // Partial Fisher-Yates.
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto j = static_cast<std::size_t>(
+        uniform_int(static_cast<std::int64_t>(i), static_cast<std::int64_t>(n) - 1));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace opwat::util

@@ -1,0 +1,105 @@
+// Deterministic random number generation for the opwat simulator.
+//
+// Everything stochastic in the library flows through `rng`, a small
+// xoshiro256++ engine seeded explicitly.  Hierarchical determinism is
+// provided by `fork(tag)`: a child stream whose sequence depends only on
+// the parent seed and the tag, never on how many draws the parent made.
+// This keeps experiments reproducible when modules are reordered.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace opwat::util {
+
+/// SplitMix64 step; used for seeding and for stable hashing.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stable (process-independent) hash combiner.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return splitmix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Stable hash of a string (FNV-1a folded through splitmix64).
+[[nodiscard]] std::uint64_t stable_hash(std::string_view s) noexcept;
+
+/// Stable hash of an unordered pair; hash(a,b) == hash(b,a).
+[[nodiscard]] constexpr std::uint64_t pair_hash_unordered(std::uint64_t a,
+                                                          std::uint64_t b) noexcept {
+  const std::uint64_t lo = a < b ? a : b;
+  const std::uint64_t hi = a < b ? b : a;
+  return hash_combine(splitmix64(lo), hi);
+}
+
+/// xoshiro256++ engine.  Satisfies UniformRandomBitGenerator.
+class rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit rng(std::uint64_t seed = 0x5eed) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+
+  result_type operator()() noexcept { return next(); }
+  std::uint64_t next() noexcept;
+
+  /// Child stream derived from (parent seed, tag); independent of draw count.
+  [[nodiscard]] rng fork(std::uint64_t tag) const noexcept;
+  [[nodiscard]] rng fork(std::string_view tag) const noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+  /// Bernoulli trial.
+  bool bernoulli(double p) noexcept;
+  /// Exponential with the given mean (mean <= 0 returns 0).
+  double exponential(double mean) noexcept;
+  /// Standard normal via Box-Muller.
+  double normal(double mu, double sigma) noexcept;
+  /// Pareto (power-law) sample with minimum x_m and shape alpha.
+  double pareto(double x_m, double alpha) noexcept;
+  /// Zipf-like integer in [1, n] with exponent s (approximate, via rejection).
+  std::int64_t zipf(std::int64_t n, double s) noexcept;
+
+  /// Pick an index in [0, weights.size()) proportionally to weights.
+  std::size_t weighted_index(std::span<const double> weights) noexcept;
+
+  template <typename T>
+  const T& pick(std::span<const T> items) noexcept {
+    return items[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k >= n returns all of them).
+  [[nodiscard]] std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k) noexcept;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace opwat::util

@@ -1,0 +1,126 @@
+#include "opwat/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace opwat::util {
+
+ecdf::ecdf(std::vector<double> samples) : values_(std::move(samples)), sorted_(false) {
+  ensure_sorted();
+}
+
+void ecdf::add(double v) {
+  values_.push_back(v);
+  sorted_ = false;
+}
+
+void ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double ecdf::at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+double ecdf::quantile(double q) const {
+  if (values_.empty()) throw std::invalid_argument{"ecdf::quantile on empty ECDF"};
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = std::max(1.0, std::ceil(q * static_cast<double>(values_.size())));
+  const auto idx = static_cast<std::size_t>(rank) - 1;
+  return values_[std::min(idx, values_.size() - 1)];
+}
+
+double ecdf::min() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.front();
+}
+
+double ecdf::max() const {
+  ensure_sorted();
+  return values_.empty() ? 0.0 : values_.back();
+}
+
+std::vector<std::pair<double, double>> ecdf::curve() const {
+  ensure_sorted();
+  std::vector<std::pair<double, double>> out;
+  const double n = static_cast<double>(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i + 1 < values_.size() && values_[i + 1] == values_[i]) continue;
+    out.emplace_back(values_[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+summary summarize(std::span<const double> samples) {
+  summary s;
+  if (samples.empty()) return s;
+  std::vector<double> v(samples.begin(), samples.end());
+  std::sort(v.begin(), v.end());
+  s.count = v.size();
+  s.min = v.front();
+  s.max = v.back();
+  double sum = 0;
+  for (const double x : v) sum += x;
+  s.mean = sum / static_cast<double>(v.size());
+  const auto q = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(v.size())) - 1);
+    return v[std::min(idx, v.size() - 1)];
+  };
+  s.median = q(0.5);
+  s.p90 = q(0.9);
+  s.p99 = q(0.99);
+  return s;
+}
+
+double median(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  std::vector<double> v(samples.begin(), samples.end());
+  const auto mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end());
+  double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return (lo + hi) / 2.0;
+}
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0 || !(hi > lo)) throw std::invalid_argument{"histogram: bad range"};
+}
+
+void histogram::add(double v) {
+  const double t = (v - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double histogram::bin_hi(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) / static_cast<double>(counts_.size());
+}
+
+std::size_t category_counter::count(const std::string& key) const {
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double category_counter::fraction(const std::string& key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+}  // namespace opwat::util

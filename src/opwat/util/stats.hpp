@@ -1,0 +1,83 @@
+// Descriptive statistics used by the measurement and evaluation modules:
+// empirical CDFs, quantiles, histograms and simple summaries.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace opwat::util {
+
+/// Empirical cumulative distribution function over double samples.
+class ecdf {
+ public:
+  ecdf() = default;
+  explicit ecdf(std::vector<double> samples);
+
+  void add(double v);
+
+  /// Fraction of samples <= x.  Empty ECDF evaluates to 0.
+  [[nodiscard]] double at(double x) const;
+
+  /// q-th quantile, q in [0,1] (nearest-rank).  Requires non-empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_ ? values_.size() : values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+  /// (x, F(x)) pairs evaluated at each distinct sample; for plotting/printing.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve() const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+/// min / max / mean / median / p90 / p99 of a sample set.
+struct summary {
+  std::size_t count = 0;
+  double min = 0, max = 0, mean = 0, median = 0, p90 = 0, p99 = 0;
+};
+[[nodiscard]] summary summarize(std::span<const double> samples);
+
+/// Median of a sample set (0 for empty input).
+[[nodiscard]] double median(std::span<const double> samples);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets;
+/// out-of-range samples clamp to the edge buckets.
+class histogram {
+ public:
+  histogram(double lo, double hi, std::size_t bins);
+  void add(double v);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Counter over string categories, printable in sorted order.
+class category_counter {
+ public:
+  void add(const std::string& key, std::size_t n = 1) { counts_[key] += n; total_ += n; }
+  [[nodiscard]] std::size_t count(const std::string& key) const;
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] double fraction(const std::string& key) const;
+  [[nodiscard]] const std::map<std::string, std::size_t>& items() const noexcept { return counts_; }
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace opwat::util

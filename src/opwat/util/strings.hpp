@@ -1,0 +1,34 @@
+// Small string helpers used across the library (no std::format on GCC 12).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opwat::util {
+
+/// Split `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Join items with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// printf-style double formatting with fixed decimals.
+[[nodiscard]] std::string fmt_double(double v, int decimals);
+
+/// "12.3%"-style percentage from a ratio in [0,1].
+[[nodiscard]] std::string fmt_percent(double ratio, int decimals = 1);
+
+/// Thousands-separated integer, e.g. 31690 -> "31,690".
+[[nodiscard]] std::string fmt_count(long long v);
+
+/// True if `s` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+}  // namespace opwat::util

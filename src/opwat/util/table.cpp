@@ -1,0 +1,111 @@
+#include "opwat/util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "opwat/util/strings.hpp"
+
+namespace opwat::util {
+
+text_table::text_table(std::string title) : title_(std::move(title)) {}
+
+text_table& text_table::header(std::vector<std::string> cols) {
+  header_ = std::move(cols);
+  return *this;
+}
+
+text_table& text_table::row(std::vector<std::string> cols) {
+  rows_.push_back(std::move(cols));
+  return *this;
+}
+
+text_table& text_table::footer(std::string note) {
+  footers_.push_back(std::move(note));
+  return *this;
+}
+
+void text_table::print(std::ostream& os) const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> widths(ncols, 0);
+  const auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::size_t total = 0;
+  for (const auto w : widths) total += w + 3;
+  const std::string rule(total > 1 ? total - 1 : 1, '-');
+
+  if (!title_.empty()) os << title_ << '\n';
+  os << rule << '\n';
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << c << std::string(widths[i] - c.size(), ' ');
+      if (i + 1 < ncols) os << " | ";
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    os << rule << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  os << rule << '\n';
+  for (const auto& f : footers_) os << f << '\n';
+}
+
+std::string text_table::str() const {
+  std::ostringstream oss;
+  print(oss);
+  return oss.str();
+}
+
+bar_chart::bar_chart(std::string title, int width)
+    : title_(std::move(title)), width_(width > 0 ? width : 50) {}
+
+bar_chart& bar_chart::bar(std::string label, double value, std::string annotation) {
+  entries_.push_back({std::move(label), value, std::move(annotation)});
+  return *this;
+}
+
+void bar_chart::print(std::ostream& os) const {
+  if (!title_.empty()) os << title_ << '\n';
+  double vmax = 0;
+  std::size_t lmax = 0;
+  for (const auto& e : entries_) {
+    vmax = std::max(vmax, e.value);
+    lmax = std::max(lmax, e.label.size());
+  }
+  for (const auto& e : entries_) {
+    const int n = vmax > 0 ? static_cast<int>(e.value / vmax * width_ + 0.5) : 0;
+    os << e.label << std::string(lmax - e.label.size(), ' ') << " | "
+       << std::string(static_cast<std::size_t>(n), '#');
+    os << ' ' << fmt_double(e.value, 2);
+    if (!e.annotation.empty()) os << "  (" << e.annotation << ')';
+    os << '\n';
+  }
+}
+
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<std::pair<double, double>>& xy,
+                  const std::vector<double>& probe_points) {
+  os << name << ":\n";
+  for (const double x : probe_points) {
+    // Step interpolation: last y with sample x' <= x.
+    double y = 0.0;
+    for (const auto& [px, py] : xy) {
+      if (px <= x)
+        y = py;
+      else
+        break;
+    }
+    os << "  x=" << fmt_double(x, 2) << "  y=" << fmt_double(y, 4) << '\n';
+  }
+}
+
+}  // namespace opwat::util

@@ -1,0 +1,57 @@
+// ASCII table / chart rendering for the benchmark harnesses.  Every bench
+// binary reproduces one table or figure of the paper and prints it with
+// these helpers so the output is directly comparable to the publication.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace opwat::util {
+
+/// Column-aligned ASCII table with a title, header row and optional footer.
+class text_table {
+ public:
+  explicit text_table(std::string title = {});
+
+  text_table& header(std::vector<std::string> cols);
+  text_table& row(std::vector<std::string> cols);
+  text_table& footer(std::string note);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::string> footers_;
+};
+
+/// Horizontal ASCII bar chart: label, value, bar scaled to the max value.
+class bar_chart {
+ public:
+  explicit bar_chart(std::string title = {}, int width = 50);
+  bar_chart& bar(std::string label, double value, std::string annotation = {});
+  void print(std::ostream& os) const;
+
+ private:
+  struct entry {
+    std::string label;
+    double value;
+    std::string annotation;
+  };
+  std::string title_;
+  int width_;
+  std::vector<entry> entries_;
+};
+
+/// Prints an (x, y) series as a compact fixed-step listing, for ECDF-style
+/// figures: the series is sampled at the requested x probe points.
+void print_series(std::ostream& os, const std::string& name,
+                  const std::vector<std::pair<double, double>>& xy,
+                  const std::vector<double>& probe_points);
+
+}  // namespace opwat::util

@@ -1,0 +1,28 @@
+// Embedded table of real-world cities used to place facilities, IXPs and
+// AS headquarters.  Weights reflect rough interconnection-hub importance
+// (Amsterdam/Frankfurt/London-class hubs host the largest IXPs), so the
+// generated ecosystem has the same geographic skew the paper measures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "opwat/geo/geodesic.hpp"
+
+namespace opwat::world {
+
+struct city_info {
+  std::string_view name;
+  std::string_view country;  // ISO-3166 alpha-2
+  geo::geo_point location;
+  double hub_weight;  // relative probability mass for hosting infrastructure
+};
+
+/// The full embedded city table (sorted by descending hub weight).
+[[nodiscard]] std::span<const city_info> city_table() noexcept;
+
+/// Lookup by name; nullptr when absent.
+[[nodiscard]] const city_info* find_city(std::string_view name) noexcept;
+
+}  // namespace opwat::world

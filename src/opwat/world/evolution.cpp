@@ -1,0 +1,132 @@
+#include "opwat/world/evolution.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "opwat/world/generator.hpp"
+
+namespace opwat::world {
+
+namespace {
+
+/// Next unused host index on the IXP's peering LAN.
+std::uint64_t next_lan_host(const world& w, ixp_id ixp) {
+  const auto& lan = w.ixps[ixp].peering_lan;
+  std::uint64_t max_idx = 9;  // hosts below .10 are reserved (route server etc.)
+  for (const auto& m : w.memberships) {
+    if (m.ixp != ixp) continue;
+    const std::uint64_t idx = m.interface_ip.value() - lan.network().value();
+    max_idx = std::max(max_idx, idx);
+  }
+  return max_idx + 1;
+}
+
+}  // namespace
+
+void assign_membership_history(world& w, const gen_config& cfg, util::rng& r) {
+  const int months = cfg.months;
+  if (months <= 0) return;
+
+  // Fraction of the final member base that joined during the observation
+  // window, per peering type.  Joins are spread uniformly over the window.
+  const double f_local = std::min(0.5, cfg.monthly_local_join_rate * months);
+  const double f_remote = std::min(0.8, cfg.monthly_remote_join_rate * months);
+  const double l_local = std::min(0.4, cfg.monthly_local_leave_rate * months);
+  const double l_remote = std::min(0.5, cfg.monthly_remote_leave_rate * months);
+
+  std::vector<membership_id> switch_candidates;
+
+  for (auto& m : w.memberships) {
+    const bool remote = w.truly_remote(m);
+    const double f_join = remote ? f_remote : f_local;
+    const double f_leave = remote ? l_remote : l_local;
+    if (r.bernoulli(f_join))
+      m.joined_month = static_cast<int>(r.uniform_int(1, months));
+    else
+      m.joined_month = 0;
+    if (r.bernoulli(f_leave)) {
+      const int lm = static_cast<int>(r.uniform_int(m.joined_month + 1, months + 1));
+      m.left_month = lm;
+    }
+    if (remote && m.left_month < 0 && m.how == attachment::reseller &&
+        r.bernoulli(cfg.monthly_remote_to_local_rate * months))
+      switch_candidates.push_back(m.id);
+  }
+
+  // Remote -> local switches: the remote membership ends and a colocated
+  // one begins the same month, on a router at the IXP.
+  for (const auto mid : switch_candidates) {
+    auto& old_m = w.memberships[mid];
+    const int sw_month = static_cast<int>(
+        r.uniform_int(std::max(1, old_m.joined_month + 1), months));
+    old_m.left_month = sw_month;
+
+    const auto& x = w.ixps[old_m.ixp];
+    const auto fac = x.facilities[static_cast<std::size_t>(
+        r.uniform_int(0, static_cast<std::int64_t>(x.facilities.size()) - 1))];
+
+    // New router colocated at the IXP facility.
+    router rt;
+    rt.id = static_cast<router_id>(w.routers.size());
+    rt.owner = old_m.member;
+    rt.facility = fac;
+    rt.city = w.facilities[fac].city;
+    w.routers.push_back(rt);
+
+    auto& as_facs = w.ases[old_m.member].facilities;
+    if (std::find(as_facs.begin(), as_facs.end(), fac) == as_facs.end())
+      as_facs.push_back(fac);
+
+    membership nm;
+    nm.id = static_cast<membership_id>(w.memberships.size());
+    nm.member = old_m.member;
+    nm.ixp = old_m.ixp;
+    nm.router = rt.id;
+    nm.interface_ip = x.peering_lan.at(next_lan_host(w, old_m.ixp));
+    nm.port_capacity_gbps = x.min_physical_capacity_gbps;
+    nm.port = port_kind::physical;
+    nm.how = attachment::colocated;
+    nm.attach_facility = fac;
+    nm.joined_month = sw_month;
+    w.memberships.push_back(nm);
+  }
+}
+
+std::vector<monthly_counts> timeline(
+    const world& w, int months,
+    const std::function<bool(const membership&)>& is_remote_fn) {
+  std::vector<monthly_counts> out;
+  out.reserve(static_cast<std::size_t>(months) + 1);
+  for (int month = 0; month <= months; ++month) {
+    monthly_counts mc;
+    mc.month = month;
+    for (const auto& m : w.memberships) {
+      const bool remote = is_remote_fn(m);
+      if (w.active_at(m, month)) (remote ? mc.remote_active : mc.local_active)++;
+      if (m.joined_month == month && month > 0)
+        (remote ? mc.remote_joins : mc.local_joins)++;
+      if (m.left_month == month) (remote ? mc.remote_leaves : mc.local_leaves)++;
+    }
+    out.push_back(mc);
+  }
+  return out;
+}
+
+std::size_t count_remote_to_local_switches(const world& w) {
+  // A switch is a (member, ixp) pair with a remote membership ending at
+  // month t and a colocated membership starting at month t.
+  std::map<std::pair<as_id, ixp_id>, std::vector<const membership*>> groups;
+  for (const auto& m : w.memberships) groups[{m.member, m.ixp}].push_back(&m);
+  std::size_t switches = 0;
+  for (const auto& [key, mm] : groups) {
+    for (const auto* a : mm)
+      for (const auto* b : mm)
+        if (a != b && is_remote(a->how) && !is_remote(b->how) &&
+            a->left_month >= 0 && a->left_month == b->joined_month)
+          ++switches;
+  }
+  return switches;
+}
+
+}  // namespace opwat::world

@@ -1,0 +1,43 @@
+// Temporal dimension of the ecosystem (§6.3 / Fig. 12a).
+//
+// The generator can stamp every membership with a join month and an
+// optional leave month so that monthly snapshots reproduce the paper's
+// findings: remote peers join roughly twice as fast as local peers
+// (in absolute new-member counts), churn ~25% more, and a handful of
+// members switch from a remote to a local interconnection.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "opwat/util/rng.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::world {
+
+struct gen_config;  // from generator.hpp
+
+/// Stamps join/leave months onto the memberships of `w` (months taken from
+/// cfg.months).  Also materializes remote->local switches as a leave plus a
+/// colocated re-join of the same AS at the same IXP.
+void assign_membership_history(world& w, const gen_config& cfg, util::rng& r);
+
+struct monthly_counts {
+  int month = 0;
+  std::size_t local_active = 0, remote_active = 0;
+  std::size_t local_joins = 0, remote_joins = 0;
+  std::size_t local_leaves = 0, remote_leaves = 0;
+};
+
+/// Builds the per-month series using the caller's labelling function
+/// (ground truth or pipeline inference), so measured and true growth can
+/// be compared like the paper compares inference vs. operator reports.
+[[nodiscard]] std::vector<monthly_counts> timeline(
+    const world& w, int months,
+    const std::function<bool(const membership&)>& is_remote_fn);
+
+/// Count of memberships that left as remote and re-joined as local in the
+/// same month (the paper found 18 such switches).
+[[nodiscard]] std::size_t count_remote_to_local_switches(const world& w);
+
+}  // namespace opwat::world

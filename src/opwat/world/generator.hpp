@@ -1,0 +1,111 @@
+// Seeded generator of the synthetic interconnection ecosystem.
+//
+// The generator is calibrated against every distribution the paper
+// publishes, so that the inference problem is statistically as hard as the
+// real one:
+//   - IXP member counts follow a Zipf-like law (largest ~ 800 members,
+//     matching Table 2 / §1);
+//   - ~14.4% of IXPs are wide-area (two facilities > 50 km apart, §4.2);
+//   - ~60% of ASes are present in a single facility (Fig. 1a);
+//   - the global remote share targets ~28%, rising to ~40% at the largest
+//     IXPs (Fig. 10b);
+//   - ~27% of remote peers buy fractional (sub-1GE) reseller ports while
+//     no local peer is below the IXP's minimum physical capacity (Fig. 4);
+//   - ~5% of reseller customers are nevertheless colocated with the IXP
+//     (the Fig. 5 artifact class), and a small share of remote peers sit
+//     within 1 ms of the IXP (Fig. 1b);
+//   - a configurable share of ASes consolidates multiple IXP memberships
+//     onto a single border router (multi-IXP routers, Fig. 3 / Fig. 9d).
+#pragma once
+
+#include <cstdint>
+
+#include "opwat/world/world.hpp"
+
+namespace opwat::world {
+
+struct gen_config {
+  std::uint64_t seed = 42;
+
+  std::size_t n_cities = 140;  // drawn from the embedded table (max 140)
+  std::size_t n_ixps = 60;
+  std::size_t n_ases = 3200;
+  std::size_t n_resellers = 14;
+
+  // Facilities per city scale with the city's hub weight.
+  double facilities_per_hub_weight = 0.8;
+
+  // IXP size distribution: members(rank r) ~ largest * r^-zipf_exponent.
+  std::size_t largest_ixp_members = 800;
+  std::size_t smallest_ixp_members = 30;
+  double zipf_exponent = 0.9;
+
+  double wide_area_fraction = 0.144;
+  std::size_t wide_area_extra_cities_max = 6;
+  double wide_area_reach_km = 2500.0;
+
+  double federation_pair_fraction = 0.08;
+  double reseller_support_fraction = 0.8;
+  double looking_glass_fraction = 0.55;
+  double publishes_member_list_fraction = 0.7;
+  double publishes_port_types_fraction = 0.45;
+  double ten_gig_min_capacity_fraction = 0.15;  // IXPs whose Cmin is 10GE
+
+  // Remote-share calibration (global target ~0.28 including collector
+  // networks; big IXPs ~0.40).
+  double remote_share_smallest = 0.08;
+  double remote_share_largest = 0.30;
+
+  // Split of remote memberships by attachment type.
+  double reseller_share_among_remote = 0.62;
+  double long_cable_share_among_remote = 0.26;  // remainder: federation
+
+  // Of reseller customers: colocated-with-IXP anyway (Fig. 5 artifact).
+  double colocated_reseller_fraction = 0.05;
+  // Of reseller customers: fractional (sub-1GE) port (drives Fig. 4 and
+  // Step 1's coverage).
+  double fractional_port_share = 0.38;
+
+  // Remote member distance mix (drives Fig. 1b's 18% < 1 ms).
+  double remote_same_metro_fraction = 0.20;
+  double remote_regional_fraction = 0.36;  // 100..1300 km
+  // remainder: long-haul.
+
+  double single_facility_as_fraction = 0.60;
+
+  // Router consolidation.
+  double multi_ixp_same_router_prob = 0.65;
+  double hybrid_router_prob = 0.18;
+
+  // "Collector" networks: reseller customers that buy virtual ports at
+  // many IXPs and reach them all through one border router — the Fig. 9d
+  // tail (routers with >10 next-hop IXPs) and the §7 resilience concern.
+  std::size_t remote_collector_count = 24;
+  std::size_t collector_min_ixps = 8;
+  std::size_t collector_max_ixps = 18;
+
+  // Private interconnection density.
+  double private_link_prob = 0.10;
+  std::size_t max_private_links_per_facility = 500;
+  double tethered_private_fraction = 0.04;
+
+  // Temporal dimension (for the Fig. 12a evolution study): months of
+  // history; when 0 every membership exists for the whole simulation.
+  int months = 0;
+  double monthly_local_join_rate = 0.005;  // per existing local member
+  // Calibrated so that ABSOLUTE remote joins are ~2x local joins despite
+  // the ~28/72 remote/local split (Fig. 12a): 2 * (0.72/0.28) * local rate.
+  double monthly_remote_join_rate = 0.026;
+  double monthly_local_leave_rate = 0.0028;
+  double monthly_remote_leave_rate = 0.0035;  // +25% churn (§6.3)
+  double monthly_remote_to_local_rate = 0.002;
+};
+
+/// Builds a fully consistent world; throws std::runtime_error when the
+/// configuration cannot be satisfied (e.g. more IXPs than address space).
+[[nodiscard]] world generate(const gen_config& cfg);
+
+/// A small configuration for unit tests: a handful of IXPs, fast to build.
+[[nodiscard]] gen_config tiny_config(std::uint64_t seed = 7);
+
+}  // namespace opwat::world

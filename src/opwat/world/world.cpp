@@ -1,0 +1,95 @@
+#include "opwat/world/world.hpp"
+
+#include <stdexcept>
+
+namespace opwat::world {
+
+const std::vector<membership_id> world::empty_{};
+
+std::string_view to_string(attachment a) noexcept {
+  switch (a) {
+    case attachment::colocated: return "colocated";
+    case attachment::reseller: return "reseller";
+    case attachment::long_cable: return "long-cable";
+    case attachment::federation: return "federation";
+  }
+  return "?";
+}
+
+void world::finalize() {
+  by_ixp_.assign(ixps.size(), {});
+  by_as_.assign(ases.size(), {});
+  asn_index_.clear();
+  iface_index_.clear();
+  router_iface_index_.clear();
+  lan_lookup_ = {};
+
+  for (const auto& as : ases) asn_index_[as.asn.value] = as.id;
+  for (const auto& m : memberships) {
+    if (m.ixp >= ixps.size() || m.member >= ases.size())
+      throw std::logic_error{"world::finalize: membership references unknown entity"};
+    by_ixp_[m.ixp].push_back(m.id);
+    by_as_[m.member].push_back(m.id);
+    iface_index_[m.interface_ip] = m.id;
+  }
+  for (const auto& x : ixps) lan_lookup_.insert(x.peering_lan, x.id);
+  for (const auto& r : routers)
+    for (const auto& ip : r.interfaces) router_iface_index_[ip] = r.id;
+  // IXP LAN interfaces also live on the member's router.
+  for (const auto& m : memberships) router_iface_index_[m.interface_ip] = m.router;
+}
+
+geo::geo_point world::router_location(const router& r) const {
+  if (r.facility) return facilities.at(*r.facility).location;
+  return cities.at(r.city).location;
+}
+
+geo::geo_point world::member_router_location(const membership& m) const {
+  return router_location(routers.at(m.router));
+}
+
+std::vector<geo::geo_point> world::ixp_facility_points(ixp_id id) const {
+  std::vector<geo::geo_point> pts;
+  for (const auto f : ixps.at(id).facilities) pts.push_back(facilities.at(f).location);
+  return pts;
+}
+
+std::vector<geo::geo_point> world::as_facility_points(as_id id) const {
+  std::vector<geo::geo_point> pts;
+  for (const auto f : ases.at(id).facilities) pts.push_back(facilities.at(f).location);
+  return pts;
+}
+
+const std::vector<membership_id>& world::memberships_of_ixp(ixp_id id) const {
+  if (id >= by_ixp_.size()) return empty_;
+  return by_ixp_[id];
+}
+
+const std::vector<membership_id>& world::memberships_of_as(as_id id) const {
+  if (id >= by_as_.size()) return empty_;
+  return by_as_[id];
+}
+
+std::optional<as_id> world::as_by_asn(net::asn a) const {
+  const auto it = asn_index_.find(a.value);
+  if (it == asn_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<membership_id> world::membership_by_interface(net::ipv4_addr ip) const {
+  const auto it = iface_index_.find(ip);
+  if (it == iface_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<router_id> world::router_by_interface(net::ipv4_addr ip) const {
+  const auto it = router_iface_index_.find(ip);
+  if (it == router_iface_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ixp_id> world::ixp_of_lan_address(net::ipv4_addr ip) const {
+  return lan_lookup_.lookup(ip);
+}
+
+}  // namespace opwat::world

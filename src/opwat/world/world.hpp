@@ -1,0 +1,202 @@
+// Ground-truth model of the simulated interconnection ecosystem: cities,
+// colocation facilities, IXPs (including wide-area IXPs and federations),
+// autonomous systems, port resellers, border routers, IXP memberships and
+// private interconnects.
+//
+// The inference pipeline NEVER reads this structure directly; it consumes
+// the noisy database views (opwat::db) and the measurement engines
+// (opwat::measure), exactly as the paper's methodology consumes PeeringDB,
+// IXP websites, pings and traceroutes.  The ground truth is used only for
+// (a) driving the simulators and (b) scoring inferences.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opwat/geo/geodesic.hpp"
+#include "opwat/net/ipv4.hpp"
+
+namespace opwat::world {
+
+using city_id = std::uint32_t;
+using facility_id = std::uint32_t;
+using ixp_id = std::uint32_t;
+using as_id = std::uint32_t;
+using reseller_id = std::uint32_t;
+using router_id = std::uint32_t;
+using membership_id = std::uint32_t;
+using federation_id = std::uint32_t;
+
+inline constexpr std::uint32_t k_invalid = std::numeric_limits<std::uint32_t>::max();
+
+struct city {
+  city_id id = k_invalid;
+  std::string name;
+  std::string country;
+  geo::geo_point location;
+  double hub_weight = 1.0;
+};
+
+struct facility {
+  facility_id id = k_invalid;
+  std::string name;
+  city_id city = k_invalid;
+  geo::geo_point location;
+};
+
+/// How a member's port reaches the IXP switching fabric.
+enum class attachment : std::uint8_t {
+  colocated,   // router in an IXP facility, physical port  -> local
+  reseller,    // virtual port through a port reseller      -> remote
+  long_cable,  // own/carrier L2 circuit into the IXP       -> remote
+  federation,  // access via a federated sister IXP         -> remote
+};
+
+[[nodiscard]] constexpr bool is_remote(attachment a) noexcept {
+  return a != attachment::colocated;
+}
+
+[[nodiscard]] std::string_view to_string(attachment a) noexcept;
+
+enum class port_kind : std::uint8_t { physical, virtual_reseller };
+
+struct reseller {
+  reseller_id id = k_invalid;
+  std::string name;
+  net::asn asn;
+  std::vector<ixp_id> ixps;               // where it sells ports
+  std::vector<facility_id> handoff_facs;  // one handoff facility per IXP (parallel)
+};
+
+struct ixp {
+  ixp_id id = k_invalid;
+  std::string name;
+  city_id home_city = k_invalid;
+  std::vector<facility_id> facilities;  // switching-fabric sites
+  net::prefix peering_lan;
+  net::ipv4_addr route_server_ip;
+  double min_physical_capacity_gbps = 1.0;  // Cmin from the pricing page
+  std::vector<double> port_options_gbps;    // physical port menu
+  bool supports_resellers = true;
+  std::optional<federation_id> federation;
+  bool has_looking_glass = false;
+  bool publishes_member_list = false;  // machine-readable Euro-IX export
+  bool publishes_port_types = false;   // physical-vs-virtual visible on website
+};
+
+struct autonomous_system {
+  as_id id = k_invalid;
+  net::asn asn;
+  std::string name;
+  city_id hq_city = k_invalid;
+  std::string country;
+  std::vector<facility_id> facilities;  // true colocation presence
+  std::vector<net::prefix> routed_prefixes;
+  net::prefix backbone;  // internal addressing used on router interfaces
+  int customer_cone = 1;
+  double traffic_gbps = 0.1;
+  std::int64_t user_population = 0;
+};
+
+/// A border router.  `facility` is set when the router sits in a known
+/// colocation facility; otherwise the router is at the AS's premises in
+/// `city` (typical for reseller customers).
+struct router {
+  router_id id = k_invalid;
+  as_id owner = k_invalid;
+  std::optional<facility_id> facility;
+  city_id city = k_invalid;
+  std::vector<net::ipv4_addr> interfaces;  // all non-IXP-LAN interfaces
+};
+
+struct membership {
+  membership_id id = k_invalid;
+  as_id member = k_invalid;
+  ixp_id ixp = k_invalid;
+  router_id router = k_invalid;
+  net::ipv4_addr interface_ip;  // address on the IXP peering LAN
+  double port_capacity_gbps = 1.0;
+  port_kind port = port_kind::physical;
+  attachment how = attachment::colocated;
+  std::optional<reseller_id> via;
+  /// Facility where the member's circuit lands on the IXP fabric.
+  facility_id attach_facility = k_invalid;
+  /// Month index when the member joined (0 = start of the simulation).
+  int joined_month = 0;
+  /// Month index when the member left, or -1 while active.
+  int left_month = -1;
+};
+
+/// A private (non-IXP) interconnection between two routers colocated in
+/// the same facility (or tethered across nearby facilities).
+struct private_link {
+  as_id a = k_invalid, b = k_invalid;
+  router_id router_a = k_invalid, router_b = k_invalid;
+  facility_id fac = k_invalid;
+  net::ipv4_addr ip_a, ip_b;  // the /31 endpoints, from each AS's backbone
+  bool tethered = false;      // true when the ends are in different facilities
+};
+
+class world {
+ public:
+  std::vector<city> cities;
+  std::vector<facility> facilities;
+  std::vector<ixp> ixps;
+  std::vector<autonomous_system> ases;
+  std::vector<reseller> resellers;
+  std::vector<router> routers;
+  std::vector<membership> memberships;
+  std::vector<private_link> private_links;
+
+  /// Rebuilds all lookup indices; must be called after structural changes.
+  void finalize();
+
+  // --- ground-truth queries -------------------------------------------------
+
+  /// Definition 1: remote iff not colocated or via a reseller.
+  [[nodiscard]] bool truly_remote(const membership& m) const noexcept {
+    return is_remote(m.how);
+  }
+
+  /// Geographic position of the member's router for this membership.
+  [[nodiscard]] geo::geo_point member_router_location(const membership& m) const;
+
+  /// Geographic position of a router.
+  [[nodiscard]] geo::geo_point router_location(const router& r) const;
+
+  /// Facility coordinates of an IXP's switching sites.
+  [[nodiscard]] std::vector<geo::geo_point> ixp_facility_points(ixp_id id) const;
+
+  /// Facility coordinates of an AS's colocation presence.
+  [[nodiscard]] std::vector<geo::geo_point> as_facility_points(as_id id) const;
+
+  // --- indices ---------------------------------------------------------------
+
+  [[nodiscard]] const std::vector<membership_id>& memberships_of_ixp(ixp_id id) const;
+  [[nodiscard]] const std::vector<membership_id>& memberships_of_as(as_id id) const;
+  [[nodiscard]] std::optional<as_id> as_by_asn(net::asn a) const;
+  [[nodiscard]] std::optional<membership_id> membership_by_interface(net::ipv4_addr ip) const;
+  [[nodiscard]] std::optional<router_id> router_by_interface(net::ipv4_addr ip) const;
+  [[nodiscard]] std::optional<ixp_id> ixp_of_lan_address(net::ipv4_addr ip) const;
+
+  /// Memberships active at the given month (joined <= month, not yet left).
+  [[nodiscard]] bool active_at(const membership& m, int month) const noexcept {
+    return m.joined_month <= month && (m.left_month < 0 || m.left_month > month);
+  }
+
+ private:
+  std::vector<std::vector<membership_id>> by_ixp_;
+  std::vector<std::vector<membership_id>> by_as_;
+  std::unordered_map<std::uint32_t, as_id> asn_index_;
+  std::unordered_map<net::ipv4_addr, membership_id> iface_index_;
+  std::unordered_map<net::ipv4_addr, router_id> router_iface_index_;
+  net::lpm_table<ixp_id> lan_lookup_;
+  static const std::vector<membership_id> empty_;
+};
+
+}  // namespace opwat::world

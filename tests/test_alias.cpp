@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "opwat/alias/resolver.hpp"
+#include "opwat/world/generator.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::alias;
+
+class AliasTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    w_ = new world::world{world::generate(world::tiny_config(71))};
+  }
+  static void TearDownTestSuite() { delete w_; }
+
+  /// All interfaces of a router with at least `n` interfaces.
+  static const world::router* router_with_ifaces(std::size_t n) {
+    for (const auto& r : w_->routers)
+      if (r.interfaces.size() >= n) return &r;
+    return nullptr;
+  }
+  static world::world* w_;
+};
+
+world::world* AliasTest::w_ = nullptr;
+
+TEST_F(AliasTest, PerfectRecallRecoversRouters) {
+  const resolver r{*w_, {.recall = 1.0, .false_merge = 0.0}, 1};
+  const auto* rt = router_with_ifaces(3);
+  ASSERT_TRUE(rt);
+  const auto groups = r.resolve(rt->interfaces);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), rt->interfaces.size());
+}
+
+TEST_F(AliasTest, ZeroRecallKeepsSingletons) {
+  const resolver r{*w_, {.recall = 0.0, .false_merge = 0.0}, 1};
+  const auto* rt = router_with_ifaces(3);
+  ASSERT_TRUE(rt);
+  const auto groups = r.resolve(rt->interfaces);
+  EXPECT_EQ(groups.size(), rt->interfaces.size());
+}
+
+TEST_F(AliasTest, NoFalseMergeAcrossRouters) {
+  const resolver r{*w_, {.recall = 1.0, .false_merge = 0.0}, 1};
+  // Interfaces of two different routers of two different ASes.
+  std::vector<net::ipv4_addr> ifaces;
+  world::as_id owner_a = world::k_invalid;
+  for (const auto& rt : w_->routers) {
+    if (rt.interfaces.size() < 2) continue;
+    if (owner_a == world::k_invalid) {
+      owner_a = rt.owner;
+      ifaces.insert(ifaces.end(), rt.interfaces.begin(), rt.interfaces.end());
+    } else if (rt.owner != owner_a) {
+      ifaces.insert(ifaces.end(), rt.interfaces.begin(), rt.interfaces.end());
+      break;
+    }
+  }
+  const auto groups = r.resolve(ifaces);
+  EXPECT_EQ(groups.size(), 2u);
+  // Each group must be homogeneous in ground truth.
+  for (const auto& g : groups) {
+    std::set<world::router_id> rids;
+    for (const auto ip : g) {
+      const auto rid = w_->router_by_interface(ip);
+      ASSERT_TRUE(rid);
+      rids.insert(*rid);
+    }
+    EXPECT_EQ(rids.size(), 1u);
+  }
+}
+
+TEST_F(AliasTest, GroupsPartitionTheInput) {
+  const resolver r{*w_, resolver_config{}, 5};
+  std::vector<net::ipv4_addr> ifaces;
+  for (std::size_t i = 0; i < 6 && i < w_->routers.size(); ++i)
+    for (const auto ip : w_->routers[i].interfaces) ifaces.push_back(ip);
+  const auto groups = r.resolve(ifaces);
+  std::set<net::ipv4_addr> seen;
+  std::size_t total = 0;
+  for (const auto& g : groups) {
+    total += g.size();
+    for (const auto ip : g) EXPECT_TRUE(seen.insert(ip).second) << "duplicate in groups";
+  }
+  std::set<net::ipv4_addr> uniq{ifaces.begin(), ifaces.end()};
+  EXPECT_EQ(total, uniq.size());
+}
+
+TEST_F(AliasTest, DeterministicAcrossCallsAndOrder) {
+  const resolver r{*w_, resolver_config{}, 9};
+  const auto* rt = router_with_ifaces(3);
+  ASSERT_TRUE(rt);
+  auto shuffled = rt->interfaces;
+  std::reverse(shuffled.begin(), shuffled.end());
+  const auto g1 = r.resolve(rt->interfaces);
+  const auto g2 = r.resolve(shuffled);
+  ASSERT_EQ(g1.size(), g2.size());
+  for (std::size_t i = 0; i < g1.size(); ++i) EXPECT_EQ(g1[i], g2[i]);
+}
+
+TEST_F(AliasTest, UnknownInterfacesBecomeSingletons) {
+  const resolver r{*w_, {.recall = 1.0, .false_merge = 0.0}, 2};
+  const std::vector<net::ipv4_addr> ifaces{net::ipv4_addr{198, 51, 100, 1},
+                                           net::ipv4_addr{198, 51, 100, 2}};
+  const auto groups = r.resolve(ifaces);
+  EXPECT_EQ(groups.size(), 2u);
+}
+
+TEST_F(AliasTest, KaparLikeTradesPrecisionForRecall) {
+  const auto k = kapar_like();
+  const resolver_config midar{};
+  EXPECT_GT(k.recall, midar.recall);
+  EXPECT_GT(k.false_merge, midar.false_merge);
+}
+
+// Property: duplicate inputs never crash and dedupe.
+TEST_F(AliasTest, DuplicateInputsDeduplicated) {
+  const resolver r{*w_, resolver_config{}, 3};
+  const auto* rt = router_with_ifaces(2);
+  ASSERT_TRUE(rt);
+  std::vector<net::ipv4_addr> doubled = rt->interfaces;
+  doubled.insert(doubled.end(), rt->interfaces.begin(), rt->interfaces.end());
+  const auto groups = r.resolve(doubled);
+  std::size_t total = 0;
+  for (const auto& g : groups) total += g.size();
+  EXPECT_EQ(total, rt->interfaces.size());
+}
+
+class AliasRecallSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AliasRecallSweep, GroupCountDecreasesWithRecall) {
+  const auto w = world::generate(world::tiny_config(81));
+  std::vector<net::ipv4_addr> ifaces;
+  for (const auto& rt : w.routers)
+    for (const auto ip : rt.interfaces) ifaces.push_back(ip);
+  ifaces.resize(std::min<std::size_t>(ifaces.size(), 120));
+
+  const resolver lo{w, {.recall = 0.0, .false_merge = 0.0}, 4};
+  const resolver hi{w, {.recall = GetParam(), .false_merge = 0.0}, 4};
+  EXPECT_LE(hi.resolve(ifaces).size(), lo.resolve(ifaces).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Recalls, AliasRecallSweep,
+                         ::testing::Values(0.3, 0.6, 0.8, 0.95, 1.0));
+
+}  // namespace

@@ -1,0 +1,136 @@
+// The §8 "Beyond Pings" extension: traceroute-derived RTT observations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opwat/eval/metrics.hpp"
+#include "opwat/eval/scenario.hpp"
+#include "opwat/infer/step2b_traceroute_rtt.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::method_step;
+using infer::peering_class;
+
+class BeyondPingsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(61))};
+    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+  }
+  static void TearDownTestSuite() {
+    delete pr_;
+    delete s_;
+  }
+  static eval::scenario* s_;
+  static infer::pipeline_result* pr_;
+};
+
+eval::scenario* BeyondPingsTest::s_ = nullptr;
+infer::pipeline_result* BeyondPingsTest::pr_ = nullptr;
+
+TEST_F(BeyondPingsTest, DerivesObservationsFromCrossings) {
+  const auto result =
+      infer::derive_traceroute_rtts(s_->view, pr_->paths, pr_->inferences, {});
+  EXPECT_GT(result.crossings_seen, 0u);
+  EXPECT_GT(result.crossings_used, 0u);
+  EXPECT_LE(result.crossings_used, result.crossings_seen);
+  EXPECT_FALSE(result.observations.empty());
+  EXPECT_FALSE(result.virtual_vps.empty());
+}
+
+TEST_F(BeyondPingsTest, ObservationsAreWellFormed) {
+  const auto result =
+      infer::derive_traceroute_rtts(s_->view, pr_->paths, pr_->inferences, {});
+  for (const auto& [key, obs] : result.observations) {
+    EXPECT_LE(obs.size(), infer::traceroute_rtt_config{}.max_observations_per_iface);
+    for (const auto& o : obs) {
+      EXPECT_LT(o.vp_index, result.virtual_vps.size());
+      EXPECT_GE(o.rtt_min_ms, 0.0);
+      EXPECT_FALSE(o.rounded);
+      // The virtual VP belongs to the interface's IXP.
+      EXPECT_EQ(result.virtual_vps[o.vp_index].ixp, key.ixp);
+    }
+    // Sorted ascending (minimum filtering).
+    for (std::size_t i = 1; i < obs.size(); ++i)
+      EXPECT_GE(obs[i].rtt_min_ms, obs[i - 1].rtt_min_ms);
+  }
+}
+
+TEST_F(BeyondPingsTest, VirtualVpsSitAtIxpFacilities) {
+  const auto result =
+      infer::derive_traceroute_rtts(s_->view, pr_->paths, pr_->inferences, {});
+  for (const auto& vp : result.virtual_vps) {
+    const auto& facs = s_->view.facilities_of_ixp(vp.ixp);
+    EXPECT_NE(std::find(facs.begin(), facs.end(), vp.facility), facs.end());
+    EXPECT_FALSE(vp.in_peering_lan);
+    EXPECT_TRUE(vp.alive);
+  }
+}
+
+TEST_F(BeyondPingsTest, PingFreeVariantProducesMore) {
+  infer::traceroute_rtt_config loose;
+  loose.require_local_near = false;
+  const infer::inference_map empty;
+  const auto strict =
+      infer::derive_traceroute_rtts(s_->view, pr_->paths, pr_->inferences, {});
+  const auto free_form = infer::derive_traceroute_rtts(s_->view, pr_->paths, empty, loose);
+  // Without ping-based anchors nothing passes the strict gate...
+  const auto strict_no_prior =
+      infer::derive_traceroute_rtts(s_->view, pr_->paths, empty, {});
+  EXPECT_EQ(strict_no_prior.crossings_used, 0u);
+  // ...while the colocation-anchored variant still works.
+  EXPECT_GT(free_form.crossings_used, 0u);
+  (void)strict;
+}
+
+TEST_F(BeyondPingsTest, PipelineFlagAddsCoverage) {
+  auto cfg = s_->cfg.pipeline;
+  cfg.use_traceroute_rtt = true;
+  const auto augmented = s_->run_pipeline(cfg);
+  // The extension can only add decisions (it annotates extra interfaces,
+  // so raw unknown-entry counts are not comparable).
+  const auto decided = [](const infer::pipeline_result& pr) {
+    return pr.inferences.count(peering_class::local) +
+           pr.inferences.count(peering_class::remote);
+  };
+  EXPECT_GE(decided(augmented), decided(*pr_));
+  // Provenance recorded under the extension's own label.
+  bool found = false;
+  for (const auto& [key, inf] : augmented.inferences.items())
+    if (inf.step == method_step::traceroute_rtt) found = true;
+  EXPECT_EQ(found, augmented.s2b.decided_local + augmented.s2b.decided_remote > 0);
+}
+
+TEST_F(BeyondPingsTest, AugmentedPipelineKeepsAccuracy) {
+  auto cfg = s_->cfg.pipeline;
+  cfg.use_traceroute_rtt = true;
+  const auto augmented = s_->run_pipeline(cfg);
+  const auto base_m = eval::compute_metrics(pr_->inferences, s_->validation.test);
+  const auto aug_m = eval::compute_metrics(augmented.inferences, s_->validation.test);
+  EXPECT_GE(aug_m.cov + 1e-9, base_m.cov);
+  EXPECT_GT(aug_m.acc, 0.75);
+}
+
+TEST_F(BeyondPingsTest, DeltaApproximatesMemberToIxpRtt) {
+  // For crossings whose near member is local with a known facility, the
+  // delta must be close to the far member's true RTT to that facility.
+  const auto result =
+      infer::derive_traceroute_rtts(s_->view, pr_->paths, pr_->inferences, {});
+  std::size_t checked = 0, close = 0;
+  for (const auto& [key, obs] : result.observations) {
+    const auto rid = s_->w.router_by_interface(key.ip);
+    if (!rid || obs.empty()) continue;
+    const auto& vp = result.virtual_vps[obs.front().vp_index];
+    const auto truth = s_->lat.base_rtt_ms(
+        vp.point(), measure::latency_model::point_of_router(s_->w, *rid));
+    ++checked;
+    // Within jitter noise + path asymmetry tolerance.
+    if (std::abs(obs.front().rtt_min_ms - truth) < std::max(2.0, truth * 0.5)) ++close;
+  }
+  ASSERT_GT(checked, 0u);
+  EXPECT_GT(static_cast<double>(close) / static_cast<double>(checked), 0.6);
+}
+
+}  // namespace

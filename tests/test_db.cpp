@@ -1,0 +1,206 @@
+// Snapshot noise, preference-order merging and Table 1 conflict accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "opwat/db/ip2as.hpp"
+#include "opwat/db/merge.hpp"
+#include "opwat/db/snapshot.hpp"
+#include "opwat/world/generator.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::db;
+
+world::world make_world(std::uint64_t seed = 17) {
+  return world::generate(world::tiny_config(seed));
+}
+
+noise_config no_noise() { return {}; }
+
+TEST(Snapshot, NoNoiseIsComplete) {
+  const auto w = make_world();
+  const auto s = make_snapshot(w, source_kind::pdb, no_noise(), util::rng{1});
+  EXPECT_EQ(s.prefixes.size(), w.ixps.size());
+  EXPECT_EQ(s.interfaces.size(), w.memberships.size());
+  EXPECT_EQ(s.ports.size(), w.memberships.size());
+  // Every interface attributed correctly when conflict rate is 0.
+  for (const auto& i : s.interfaces) {
+    const auto mid = w.membership_by_interface(i.ip);
+    ASSERT_TRUE(mid);
+    EXPECT_EQ(w.ases[w.memberships[*mid].member].asn, i.asn);
+  }
+}
+
+TEST(Snapshot, DropRatesReduceRecords) {
+  const auto w = make_world();
+  noise_config n;
+  n.drop_interface = 0.5;
+  const auto s = make_snapshot(w, source_kind::pdb, n, util::rng{2});
+  EXPECT_LT(s.interfaces.size(), w.memberships.size());
+  EXPECT_GT(s.interfaces.size(), w.memberships.size() / 4);
+}
+
+TEST(Snapshot, ConflictsFlipAsns) {
+  const auto w = make_world();
+  noise_config n;
+  n.conflict_interface = 1.0;  // every record wrong (statistically)
+  const auto s = make_snapshot(w, source_kind::pdb, n, util::rng{3});
+  std::size_t wrong = 0;
+  for (const auto& i : s.interfaces) {
+    const auto mid = w.membership_by_interface(i.ip);
+    if (w.ases[w.memberships[*mid].member].asn != i.asn) ++wrong;
+  }
+  EXPECT_GT(wrong, s.interfaces.size() / 2);
+}
+
+TEST(Snapshot, WebsiteRespectsPublicationFlag) {
+  const auto w = make_world();
+  const auto s =
+      make_snapshot(w, source_kind::website, default_noise(source_kind::website),
+                    util::rng{4});
+  std::set<world::ixp_id> published;
+  for (const auto& x : w.ixps)
+    if (x.publishes_member_list) published.insert(x.id);
+  for (const auto& i : s.interfaces) EXPECT_TRUE(published.contains(i.ixp));
+  for (const auto& p : s.prefixes) EXPECT_TRUE(published.contains(p.ixp));
+}
+
+TEST(Snapshot, SpuriousResellerFacilityRecords) {
+  const auto w = make_world();
+  noise_config n;
+  n.spurious_reseller_facility = 1.0;
+  const auto s = make_snapshot(w, source_kind::pdb, n, util::rng{5});
+  // Every reseller customer must now appear present at its handoff site.
+  for (const auto& m : w.memberships) {
+    if (m.how != world::attachment::reseller) continue;
+    const auto asn = w.ases[m.member].asn;
+    const bool found = std::any_of(
+        s.as_facilities.begin(), s.as_facilities.end(),
+        [&](const auto& r) { return r.asn == asn && r.fac == m.attach_facility; });
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Snapshot, DefaultNoiseProfilesDiffer) {
+  EXPECT_GT(default_noise(source_kind::pch).drop_interface,
+            default_noise(source_kind::he).drop_interface);
+  EXPECT_EQ(default_noise(source_kind::he).drop_port, 1.0);
+  EXPECT_LT(default_noise(source_kind::pdb).drop_port, 1.0);
+}
+
+TEST(Merge, PreferenceOrderResolvesConflicts) {
+  const auto w = make_world();
+  // HE carries a deliberately wrong ASN for one interface; the website is
+  // correct.  The merged view must keep the website's attribution.
+  auto web = make_snapshot(w, source_kind::website, no_noise(), util::rng{6});
+  auto he = make_snapshot(w, source_kind::he, no_noise(), util::rng{7});
+  ASSERT_FALSE(he.interfaces.empty());
+  const auto victim_ip = he.interfaces.front().ip;
+  const auto true_asn = he.interfaces.front().asn;
+  he.interfaces.front().asn = net::asn{4242};
+
+  const std::vector<snapshot> snaps{web, he};
+  const auto view = merged_view::build(snaps);
+  EXPECT_EQ(view.member_of_interface(victim_ip), true_asn);
+
+  // And the conflict is charged to HE.
+  for (const auto& st : view.stats())
+    if (st.kind == source_kind::he) EXPECT_EQ(st.interfaces_conflicts, 1u);
+}
+
+TEST(Merge, LowerPreferenceFillsGaps) {
+  const auto w = make_world();
+  auto web = make_snapshot(w, source_kind::website, no_noise(), util::rng{8});
+  auto pch = make_snapshot(w, source_kind::pch, no_noise(), util::rng{9});
+  // Remove an interface from the website view; PCH still has it.
+  ASSERT_FALSE(web.interfaces.empty());
+  const auto missing = web.interfaces.back();
+  web.interfaces.pop_back();
+  const std::vector<snapshot> snaps{web, pch};
+  const auto view = merged_view::build(snaps);
+  EXPECT_EQ(view.member_of_interface(missing.ip), missing.asn);
+}
+
+TEST(Merge, UniqueAccounting) {
+  const auto w = make_world();
+  auto web = make_snapshot(w, source_kind::website, no_noise(), util::rng{10});
+  // A second source with zero records: everything is unique to websites.
+  snapshot empty;
+  empty.kind = source_kind::pch;
+  const std::vector<snapshot> snaps{web, empty};
+  const auto view = merged_view::build(snaps);
+  for (const auto& st : view.stats()) {
+    if (st.kind == source_kind::website) {
+      EXPECT_EQ(st.interfaces_unique, st.interfaces_total);
+      EXPECT_EQ(st.prefixes_unique, st.prefixes_total);
+    }
+  }
+}
+
+TEST(Merge, PrefixLookupCoversLans) {
+  const auto w = make_world();
+  const auto snaps = make_standard_snapshots(w, 99);
+  const auto view = merged_view::build(snaps);
+  std::size_t hits = 0;
+  for (const auto& m : w.memberships)
+    if (view.ixp_of_address(m.interface_ip) == m.ixp) ++hits;
+  // Prefix drop rates are low; nearly all LANs must resolve.
+  EXPECT_GT(hits, w.memberships.size() * 8 / 10);
+}
+
+TEST(Merge, PortCapacityPreference) {
+  const auto w = make_world();
+  // Website (authoritative) says Cmin; PDB says something stale.
+  ASSERT_FALSE(w.memberships.empty());
+  const auto& m = w.memberships.front();
+  const auto asn = w.ases[m.member].asn;
+  snapshot web;
+  web.kind = source_kind::website;
+  web.ports.push_back({asn, m.ixp, 1.0});
+  snapshot pdb;
+  pdb.kind = source_kind::pdb;
+  pdb.ports.push_back({asn, m.ixp, 10.0});
+  const std::vector<snapshot> snaps{web, pdb};
+  const auto view = merged_view::build(snaps);
+  EXPECT_EQ(view.port_capacity(asn, m.ixp), 1.0);
+}
+
+TEST(Merge, InflectOverridesCoordinates) {
+  const auto w = make_world();
+  snapshot pdb;
+  pdb.kind = source_kind::pdb;
+  pdb.facility_geos.push_back({0, {10.0, 10.0}});  // wrong
+  snapshot inflect;
+  inflect.kind = source_kind::inflect;
+  inflect.facility_geos.push_back({0, w.facilities[0].location});
+  const std::vector<snapshot> snaps{pdb, inflect};
+  const auto view = merged_view::build(snaps);
+  const auto loc = view.facility_location(0);
+  ASSERT_TRUE(loc);
+  EXPECT_NEAR(loc->lat_deg, w.facilities[0].location.lat_deg, 1e-9);
+}
+
+TEST(Merge, StandardStackProducesStats) {
+  const auto w = make_world();
+  const auto snaps = make_standard_snapshots(w, 1);
+  const auto view = merged_view::build(snaps);
+  EXPECT_EQ(view.stats().size(), 4u);  // website, he, pdb, pch (not inflect)
+  EXPECT_GT(view.prefix_count(), 0u);
+  EXPECT_GT(view.interface_count(), 0u);
+  EXPECT_FALSE(view.known_ixps().empty());
+}
+
+TEST(Ip2As, ResolvesRoutedAndBackbone) {
+  const auto w = make_world();
+  const auto t = ip2as::build(w);
+  for (const auto& as : w.ases) {
+    EXPECT_EQ(t.lookup(as.backbone.at(1)), as.asn);
+    for (const auto& p : as.routed_prefixes) EXPECT_EQ(t.lookup(p.at(1)), as.asn);
+  }
+  // IXP LAN space is not attributed to any AS.
+  EXPECT_FALSE(t.lookup(w.ixps[0].peering_lan.at(5)));
+}
+
+}  // namespace

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "opwat/world/evolution.hpp"
+#include "opwat/world/generator.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::world;
+
+gen_config evo_config(std::uint64_t seed, int months = 14) {
+  auto cfg = tiny_config(seed);
+  cfg.n_ases = 500;
+  cfg.n_ixps = 10;
+  cfg.largest_ixp_members = 150;
+  cfg.months = months;
+  return cfg;
+}
+
+TEST(Evolution, HistoryIsWellFormed) {
+  const auto w = generate(evo_config(4));
+  for (const auto& m : w.memberships) {
+    EXPECT_GE(m.joined_month, 0);
+    EXPECT_LE(m.joined_month, 14);
+    if (m.left_month >= 0) EXPECT_GT(m.left_month, m.joined_month);
+  }
+}
+
+TEST(Evolution, NoHistoryWhenMonthsZero) {
+  const auto w = generate(evo_config(4, 0));
+  for (const auto& m : w.memberships) {
+    EXPECT_EQ(m.joined_month, 0);
+    EXPECT_EQ(m.left_month, -1);
+  }
+}
+
+TEST(Evolution, ActiveAtRespectsWindow) {
+  const auto w = generate(evo_config(4));
+  membership m;
+  m.joined_month = 3;
+  m.left_month = 8;
+  EXPECT_FALSE(w.active_at(m, 2));
+  EXPECT_TRUE(w.active_at(m, 3));
+  EXPECT_TRUE(w.active_at(m, 7));
+  EXPECT_FALSE(w.active_at(m, 8));  // departure month: already gone
+}
+
+TEST(Evolution, TimelineAccountingConsistent) {
+  const auto w = generate(evo_config(9));
+  const auto tl = timeline(w, 14, [&](const membership& m) { return w.truly_remote(m); });
+  ASSERT_EQ(tl.size(), 15u);
+  // Active counts evolve by joins - leaves.
+  for (std::size_t t = 1; t < tl.size(); ++t) {
+    EXPECT_EQ(tl[t].local_active,
+              tl[t - 1].local_active + tl[t].local_joins - tl[t].local_leaves);
+    EXPECT_EQ(tl[t].remote_active,
+              tl[t - 1].remote_active + tl[t].remote_joins - tl[t].remote_leaves);
+  }
+}
+
+TEST(Evolution, RemoteJoinsDominateLocalJoins) {
+  // The paper's Fig. 12a finding: remote peers drive IXP growth (~2x the
+  // local join counts).  Aggregate across the window to damp noise.
+  const auto w = generate(evo_config(10));
+  const auto tl = timeline(w, 14, [&](const membership& m) { return w.truly_remote(m); });
+  std::size_t jl = 0, jr = 0;
+  for (const auto& mc : tl) {
+    jl += mc.local_joins;
+    jr += mc.remote_joins;
+  }
+  EXPECT_GT(jr, jl) << "remote joins should outnumber local joins";
+}
+
+TEST(Evolution, SwitchesMaterialized) {
+  auto cfg = evo_config(12);
+  cfg.monthly_remote_to_local_rate = 0.01;  // force a visible count
+  const auto w = generate(cfg);
+  EXPECT_GT(count_remote_to_local_switches(w), 0u);
+}
+
+TEST(Evolution, SwitchCreatesColocatedRejoin) {
+  auto cfg = evo_config(12);
+  cfg.monthly_remote_to_local_rate = 0.01;
+  const auto w = generate(cfg);
+  // Every switch pair: remote leaves at t, colocated joins at t.
+  for (const auto& m : w.memberships) {
+    if (m.joined_month == 0 || m.how != attachment::colocated) continue;
+    for (const auto& old : w.memberships) {
+      if (old.member == m.member && old.ixp == m.ixp && old.id != m.id &&
+          is_remote(old.how) && old.left_month == m.joined_month) {
+        // The re-join must be properly colocated.
+        const auto& as = w.ases[m.member];
+        EXPECT_NE(std::find(as.facilities.begin(), as.facilities.end(),
+                            m.attach_facility),
+                  as.facilities.end());
+      }
+    }
+  }
+}
+
+TEST(Evolution, TimelineWithCustomLabelFunction) {
+  const auto w = generate(evo_config(13));
+  // Label everything local: remote columns must be zero.
+  const auto tl = timeline(w, 14, [](const membership&) { return false; });
+  for (const auto& mc : tl) {
+    EXPECT_EQ(mc.remote_active, 0u);
+    EXPECT_EQ(mc.remote_joins, 0u);
+  }
+}
+
+class EvolutionSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvolutionSeedSweep, JoinsNeverExceedMembershipCount) {
+  const auto w = generate(evo_config(GetParam()));
+  const auto tl = timeline(w, 14, [&](const membership& m) { return w.truly_remote(m); });
+  std::size_t joins = 0, leaves = 0;
+  for (const auto& mc : tl) {
+    joins += mc.local_joins + mc.remote_joins;
+    leaves += mc.local_leaves + mc.remote_leaves;
+  }
+  EXPECT_LE(joins, w.memberships.size());
+  EXPECT_LE(leaves, w.memberships.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvolutionSeedSweep, ::testing::Values(1, 7, 23, 77));
+
+}  // namespace

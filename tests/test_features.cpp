@@ -1,0 +1,95 @@
+// Member classification (§6.2): local / remote / hybrid member networks
+// and their features.
+#include <gtest/gtest.h>
+
+#include "opwat/eval/features.hpp"
+#include "opwat/eval/scenario.hpp"
+
+namespace {
+
+using namespace opwat;
+using eval::member_kind;
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(17))};
+    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+    members_ = new std::vector<eval::member_features>{
+        eval::classify_members(s_->w, s_->view, pr_->inferences)};
+  }
+  static void TearDownTestSuite() {
+    delete members_;
+    delete pr_;
+    delete s_;
+  }
+  static eval::scenario* s_;
+  static infer::pipeline_result* pr_;
+  static std::vector<eval::member_features>* members_;
+};
+
+eval::scenario* FeaturesTest::s_ = nullptr;
+infer::pipeline_result* FeaturesTest::pr_ = nullptr;
+std::vector<eval::member_features>* FeaturesTest::members_ = nullptr;
+
+TEST_F(FeaturesTest, EveryClassifiedMemberHasInferences) {
+  for (const auto& m : *members_) {
+    EXPECT_GT(m.n_local_ifaces + m.n_remote_ifaces, 0u);
+  }
+}
+
+TEST_F(FeaturesTest, KindMatchesInterfaceCounts) {
+  for (const auto& m : *members_) {
+    if (m.kind == member_kind::hybrid) {
+      EXPECT_GT(m.n_local_ifaces, 0u);
+      EXPECT_GT(m.n_remote_ifaces, 0u);
+    } else if (m.kind == member_kind::local) {
+      EXPECT_GT(m.n_local_ifaces, 0u);
+      EXPECT_EQ(m.n_remote_ifaces, 0u);
+    } else {
+      EXPECT_EQ(m.n_local_ifaces, 0u);
+      EXPECT_GT(m.n_remote_ifaces, 0u);
+    }
+  }
+}
+
+TEST_F(FeaturesTest, NoDuplicateMembers) {
+  std::set<std::uint32_t> seen;
+  for (const auto& m : *members_) EXPECT_TRUE(seen.insert(m.asn.value).second);
+}
+
+TEST_F(FeaturesTest, FeaturesPopulatedFromWorld) {
+  std::size_t with_features = 0;
+  for (const auto& m : *members_) {
+    if (m.customer_cone > 0 && !m.country.empty()) ++with_features;
+  }
+  // Nearly all classified ASNs exist in the world (a few conflict-noise
+  // ASNs may not resolve).
+  EXPECT_GT(with_features, members_->size() * 9 / 10);
+}
+
+TEST_F(FeaturesTest, AllThreeKindsAppear) {
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& m : *members_) ++counts[static_cast<int>(m.kind)];
+  EXPECT_GT(counts[0], 0u) << "no local members";
+  EXPECT_GT(counts[1], 0u) << "no remote members";
+  // Hybrids require an AS with both kinds of inferred memberships; in a
+  // small world this can be rare but should exist with consolidation on.
+  EXPECT_GE(counts[2], 0u);
+}
+
+TEST_F(FeaturesTest, LocalMembersDominate) {
+  // The paper: 63.7% local / 23.4% remote / 12.9% hybrid.
+  std::size_t local = 0;
+  for (const auto& m : *members_)
+    if (m.kind == member_kind::local) ++local;
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(members_->size()), 0.4);
+}
+
+TEST_F(FeaturesTest, KindNamesRender) {
+  EXPECT_EQ(to_string(member_kind::local), "local");
+  EXPECT_EQ(to_string(member_kind::remote), "remote");
+  EXPECT_EQ(to_string(member_kind::hybrid), "hybrid");
+}
+
+}  // namespace

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "opwat/geo/geodesic.hpp"
+#include "opwat/world/cities.hpp"
+
+namespace {
+
+using namespace opwat::geo;
+using opwat::world::find_city;
+
+TEST(Geodesic, ZeroForIdenticalPoints) {
+  const geo_point p{52.37, 4.89};
+  EXPECT_DOUBLE_EQ(geodesic_km(p, p), 0.0);
+  EXPECT_DOUBLE_EQ(haversine_km(p, p), 0.0);
+}
+
+TEST(Geodesic, KnownDistanceAmsterdamLondon) {
+  const auto* ams = find_city("Amsterdam");
+  const auto* lon = find_city("London");
+  ASSERT_TRUE(ams && lon);
+  const double d = geodesic_km(ams->location, lon->location);
+  EXPECT_NEAR(d, 358.0, 15.0);  // great-circle ~357 km
+}
+
+TEST(Geodesic, KnownDistanceLondonBucharest) {
+  // NL-IX's London and Bucharest sites are "over 1,300 km" apart (§4.2).
+  const auto* lon = find_city("London");
+  const auto* buc = find_city("Bucharest");
+  ASSERT_TRUE(lon && buc);
+  EXPECT_GT(geodesic_km(lon->location, buc->location), 1300.0);
+  EXPECT_LT(geodesic_km(lon->location, buc->location), 2300.0);
+}
+
+TEST(Geodesic, KnownDistanceFrankfurtPrague) {
+  // Fig. 2a example: FRA-PRA are close (7 ms RTT) -> ~400 km.
+  const auto* fra = find_city("Frankfurt");
+  const auto* pra = find_city("Prague");
+  ASSERT_TRUE(fra && pra);
+  EXPECT_NEAR(geodesic_km(fra->location, pra->location), 410.0, 40.0);
+}
+
+TEST(Geodesic, Symmetry) {
+  const geo_point a{48.85, 2.35}, b{-33.87, 151.21};
+  EXPECT_NEAR(geodesic_km(a, b), geodesic_km(b, a), 1e-6);
+}
+
+TEST(Geodesic, AgreesWithHaversineWithinFlatteningError) {
+  const geo_point a{52.37, 4.89}, b{40.71, -74.01};
+  const double g = geodesic_km(a, b);
+  const double h = haversine_km(a, b);
+  EXPECT_NEAR(g, h, h * 0.01);  // ellipsoidal correction < 1%
+}
+
+TEST(Geodesic, AntipodalDoesNotHang) {
+  const geo_point a{0.0, 0.0}, b{0.0, 179.9999};
+  const double d = geodesic_km(a, b);
+  EXPECT_GT(d, 19000.0);
+  EXPECT_LT(d, 20100.0);
+}
+
+TEST(Geodesic, Validity) {
+  EXPECT_TRUE(is_valid({0, 0}));
+  EXPECT_TRUE(is_valid({-90, 180}));
+  EXPECT_FALSE(is_valid({-91, 0}));
+  EXPECT_FALSE(is_valid({0, 181}));
+}
+
+TEST(OffsetKm, DistanceMatchesRequest) {
+  const geo_point origin{50.0, 8.0};
+  for (const double dist : {1.0, 10.0, 100.0, 500.0}) {
+    const auto p = offset_km(origin, 45.0, dist);
+    EXPECT_NEAR(geodesic_km(origin, p), dist, dist * 0.01 + 0.1);
+  }
+}
+
+TEST(OffsetKm, WrapsLongitude) {
+  const geo_point origin{0.0, 179.5};
+  const auto p = offset_km(origin, 90.0, 200.0);
+  EXPECT_LE(p.lon_deg, 180.0);
+  EXPECT_GE(p.lon_deg, -180.0);
+}
+
+// Property: triangle inequality over city triples.
+struct Triple {
+  const char* a;
+  const char* b;
+  const char* c;
+};
+
+class TriangleInequality : public ::testing::TestWithParam<Triple> {};
+
+TEST_P(TriangleInequality, Holds) {
+  const auto [an, bn, cn] = GetParam();
+  const auto *a = find_city(an), *b = find_city(bn), *c = find_city(cn);
+  ASSERT_TRUE(a && b && c);
+  const double ab = geodesic_km(a->location, b->location);
+  const double bc = geodesic_km(b->location, c->location);
+  const double ac = geodesic_km(a->location, c->location);
+  EXPECT_LE(ac, ab + bc + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(CityTriples, TriangleInequality,
+                         ::testing::Values(Triple{"Amsterdam", "Frankfurt", "London"},
+                                           Triple{"Tokyo", "Singapore", "Sydney"},
+                                           Triple{"New York", "London", "Moscow"},
+                                           Triple{"Sao Paulo", "Lagos", "Paris"},
+                                           Triple{"Seattle", "Honolulu", "Auckland"}));
+
+TEST(Cities, TableIsWellFormed) {
+  const auto table = opwat::world::city_table();
+  EXPECT_GE(table.size(), 100u);
+  for (const auto& c : table) {
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_EQ(c.country.size(), 2u);
+    EXPECT_TRUE(is_valid(c.location)) << c.name;
+    EXPECT_GT(c.hub_weight, 0.0);
+  }
+}
+
+TEST(Cities, LookupByName) {
+  EXPECT_NE(find_city("Frankfurt"), nullptr);
+  EXPECT_EQ(find_city("Atlantis"), nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,131 @@
+// JSON writer and the portal snapshot exporter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opwat/eval/portal.hpp"
+#include "opwat/util/json.hpp"
+
+namespace {
+
+using namespace opwat;
+using util::json_escape;
+using util::json_writer;
+
+TEST(JsonEscape, PassesPlainText) { EXPECT_EQ(json_escape("hello"), "hello"); }
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(json_escape(std::string_view{"\x01", 1}), "\\u0001");
+}
+
+TEST(JsonWriter, EmptyObject) {
+  json_writer w;
+  w.begin_object().end_object();
+  EXPECT_EQ(w.str(), "{}");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriter, ObjectWithMixedValues) {
+  json_writer w;
+  w.begin_object();
+  w.key("s").value("x");
+  w.key("i").value(42);
+  w.key("d").value(1.5);
+  w.key("b").value(true);
+  w.key("n").null();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"s":"x","i":42,"d":1.5,"b":true,"n":null})");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  json_writer w;
+  w.begin_object();
+  w.key("list").begin_array();
+  w.value(1).value(2);
+  w.begin_object().key("k").value("v").end_object();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"list":[1,2,{"k":"v"}]})");
+}
+
+TEST(JsonWriter, TopLevelArray) {
+  json_writer w;
+  w.begin_array().value("a").value("b").end_array();
+  EXPECT_EQ(w.str(), R"(["a","b"])");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  json_writer w;
+  w.begin_array().value(std::nan("")).end_array();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriter, IncompleteIsFlagged) {
+  json_writer w;
+  w.begin_object();
+  EXPECT_FALSE(w.complete());
+}
+
+class PortalTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(55))};
+    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+  }
+  static void TearDownTestSuite() {
+    delete pr_;
+    delete s_;
+  }
+  static eval::scenario* s_;
+  static infer::pipeline_result* pr_;
+};
+
+eval::scenario* PortalTest::s_ = nullptr;
+infer::pipeline_result* PortalTest::pr_ = nullptr;
+
+TEST_F(PortalTest, SnapshotContainsEveryScopedIxp) {
+  const auto doc = eval::portal_snapshot_json(*s_, *pr_, {.snapshot_label = "t-1"});
+  EXPECT_NE(doc.find(R"("snapshot":"t-1")"), std::string::npos);
+  for (const auto x : pr_->scope)
+    EXPECT_NE(doc.find("\"" + s_->w.ixps[x].name + "\""), std::string::npos)
+        << s_->w.ixps[x].name;
+}
+
+TEST_F(PortalTest, TotalsMatchInferenceMap) {
+  const auto doc = eval::portal_snapshot_json(*s_, *pr_);
+  const auto expect_count = [&](const char* key, std::size_t n) {
+    const std::string needle = std::string{"\""} + key + "\":" + std::to_string(n);
+    EXPECT_NE(doc.find(needle), std::string::npos) << needle;
+  };
+  expect_count("local", pr_->inferences.count(infer::peering_class::local));
+  expect_count("remote", pr_->inferences.count(infer::peering_class::remote));
+}
+
+TEST_F(PortalTest, InterfacesCarryClassAndEvidence) {
+  const auto doc = eval::portal_snapshot_json(*s_, *pr_);
+  EXPECT_NE(doc.find(R"("class":"local")"), std::string::npos);
+  EXPECT_NE(doc.find(R"("class":"remote")"), std::string::npos);
+  EXPECT_NE(doc.find(R"("evidence":)"), std::string::npos);
+  EXPECT_NE(doc.find(R"("rtt_min_ms":)"), std::string::npos);
+}
+
+TEST_F(PortalTest, OptionsTrimSections) {
+  eval::portal_options opt;
+  opt.include_interfaces = false;
+  opt.include_facilities = false;
+  const auto doc = eval::portal_snapshot_json(*s_, *pr_, opt);
+  EXPECT_EQ(doc.find(R"("members":)"), std::string::npos);
+  EXPECT_EQ(doc.find(R"("facilities":)"), std::string::npos);
+}
+
+TEST_F(PortalTest, GeographicFootprintIncluded) {
+  const auto doc = eval::portal_snapshot_json(*s_, *pr_);
+  EXPECT_NE(doc.find(R"("lat":)"), std::string::npos);
+  EXPECT_NE(doc.find(R"("lon":)"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,91 @@
+// The §8 longitudinal study: per-month inference over an evolving world.
+#include <gtest/gtest.h>
+
+#include "opwat/eval/longitudinal.hpp"
+
+namespace {
+
+using namespace opwat;
+
+class LongitudinalTest : public ::testing::Test {
+ protected:
+  static constexpr int kMonths = 10;
+
+  static void SetUpTestSuite() {
+    auto cfg = eval::small_scenario_config(83);
+    cfg.world.months = kMonths;
+    cfg.world.n_ases = 400;
+    cfg.world.largest_ixp_members = 120;
+    s_ = new eval::scenario{eval::scenario::build(cfg)};
+    study_ = new eval::longitudinal_study{
+        eval::run_longitudinal_study(*s_, {.months = kMonths, .top_n_ixps = 4})};
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete s_;
+  }
+  static eval::scenario* s_;
+  static eval::longitudinal_study* study_;
+};
+
+eval::scenario* LongitudinalTest::s_ = nullptr;
+eval::longitudinal_study* LongitudinalTest::study_ = nullptr;
+
+TEST_F(LongitudinalTest, OneEntryPerMonth) {
+  ASSERT_EQ(study_->months.size(), static_cast<std::size_t>(kMonths) + 1);
+  for (int m = 0; m <= kMonths; ++m) EXPECT_EQ(study_->months[m].month, m);
+}
+
+TEST_F(LongitudinalTest, InferredCountsTrackTruth) {
+  for (const auto& mi : study_->months) {
+    const auto inferred = mi.inferred_local + mi.inferred_remote;
+    const auto truth = mi.truth_local + mi.truth_remote;
+    ASSERT_GT(truth, 0u);
+    // Coverage stays high throughout the window.
+    EXPECT_GT(static_cast<double>(inferred) / static_cast<double>(truth), 0.6)
+        << "month " << mi.month;
+    // The inferred remote share lands near the true share.
+    if (inferred > 0) {
+      const double inf_share = static_cast<double>(mi.inferred_remote) /
+                               static_cast<double>(inferred);
+      const double true_share =
+          static_cast<double>(mi.truth_remote) / static_cast<double>(truth);
+      EXPECT_NEAR(inf_share, true_share, 0.15) << "month " << mi.month;
+    }
+  }
+}
+
+TEST_F(LongitudinalTest, MemberBaseGrows) {
+  const auto& first = study_->months.front();
+  const auto& last = study_->months.back();
+  EXPECT_GE(last.truth_local + last.truth_remote,
+            first.truth_local + first.truth_remote);
+}
+
+TEST_F(LongitudinalTest, RemoteJoinsObserved) {
+  EXPECT_GT(study_->inferred_remote_joins, 0u);
+}
+
+TEST_F(LongitudinalTest, JoinRatioFavoursRemote) {
+  // Fig. 12a through the inference lens: remote joins dominate.  Small
+  // windows are noisy, so only require the direction.
+  if (study_->inferred_local_joins > 3)
+    EXPECT_GT(study_->join_ratio(), 1.0);
+}
+
+TEST(LongitudinalEdge, ZeroMonthWorldStillRuns) {
+  auto cfg = eval::small_scenario_config(84);
+  cfg.world.months = 0;
+  const auto s = eval::scenario::build(cfg);
+  const auto study = eval::run_longitudinal_study(s, {.months = 2, .top_n_ixps = 2});
+  ASSERT_EQ(study.months.size(), 3u);
+  // Without membership history no real joins exist; a handful of phantom
+  // joins from monthly DB-dump churn (records dropped one month, present
+  // the next) are a modelled artifact, not growth.
+  const auto phantom = study.inferred_local_joins + study.inferred_remote_joins;
+  const auto base = study.months.front().inferred_local +
+                    study.months.front().inferred_remote;
+  EXPECT_LE(phantom, std::max<std::size_t>(3, base / 20));
+}
+
+}  // namespace

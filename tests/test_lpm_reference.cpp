@@ -1,0 +1,94 @@
+// Reference-model property tests: the LPM table against a brute-force
+// linear scan, and the merge layer against an order-independent oracle.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "opwat/net/ipv4.hpp"
+#include "opwat/util/rng.hpp"
+
+namespace {
+
+using namespace opwat::net;
+using opwat::util::rng;
+
+/// Brute-force longest-prefix match used as the oracle.
+class linear_lpm {
+ public:
+  void insert(const prefix& p, int v) {
+    for (auto& [q, val] : entries_)
+      if (q == p) {
+        val = v;
+        return;
+      }
+    entries_.push_back({p, v});
+  }
+  [[nodiscard]] std::optional<int> lookup(ipv4_addr a) const {
+    std::optional<int> best;
+    int best_len = -1;
+    for (const auto& [p, v] : entries_) {
+      if (p.contains(a) && p.length() > best_len) {
+        best_len = p.length();
+        best = v;
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::vector<std::pair<prefix, int>> entries_;
+};
+
+class LpmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LpmFuzz, MatchesLinearReference) {
+  rng r{GetParam()};
+  lpm_table<int> fast;
+  linear_lpm slow;
+  // Random prefix set, biased toward nested structures.
+  for (int i = 0; i < 300; ++i) {
+    const auto base = static_cast<std::uint32_t>(r.next());
+    const auto len = static_cast<int>(r.uniform_int(4, 30));
+    const prefix p{ipv4_addr{base}, len};
+    fast.insert(p, i);
+    slow.insert(p, i);
+    // Insert a sub-prefix of an existing one half the time.
+    if (r.bernoulli(0.5)) {
+      const auto sublen = std::min(32, len + static_cast<int>(r.uniform_int(1, 6)));
+      const prefix sub{ipv4_addr{base | static_cast<std::uint32_t>(r.next() & 0xffff)},
+                       sublen};
+      fast.insert(sub, 1000 + i);
+      slow.insert(sub, 1000 + i);
+    }
+  }
+  // Probe random addresses plus boundary addresses of inserted prefixes.
+  for (int i = 0; i < 3000; ++i) {
+    const ipv4_addr probe{static_cast<std::uint32_t>(r.next())};
+    EXPECT_EQ(fast.lookup(probe), slow.lookup(probe)) << probe.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpmFuzz, ::testing::Values(1, 2, 3, 4, 5, 99));
+
+class PrefixContainsFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PrefixContainsFuzz, ContainsIsConsistentWithMasks) {
+  rng r{GetParam()};
+  for (int i = 0; i < 2000; ++i) {
+    const auto base = static_cast<std::uint32_t>(r.next());
+    const auto len = static_cast<int>(r.uniform_int(0, 32));
+    const prefix p{ipv4_addr{base}, len};
+    const ipv4_addr probe{static_cast<std::uint32_t>(r.next())};
+    const bool expected =
+        len == 0 || ((probe.value() ^ p.network().value()) >> (32 - len)) == 0;
+    EXPECT_EQ(p.contains(probe), expected);
+    // A prefix always contains its own network and last address.
+    EXPECT_TRUE(p.contains(p.network()));
+    EXPECT_TRUE(p.contains(p.at(p.size() - 1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixContainsFuzz, ::testing::Values(7, 8, 9));
+
+}  // namespace

@@ -1,0 +1,148 @@
+// Table 3 metric definitions on hand-constructed inference/validation sets.
+#include <gtest/gtest.h>
+
+#include "opwat/eval/metrics.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::eval;
+using infer::iface_key;
+using infer::inference_map;
+using infer::method_step;
+using infer::peering_class;
+
+iface_key key(std::uint32_t n) { return {0, net::ipv4_addr{n}}; }
+
+TEST(Metrics, PerfectInference) {
+  inference_map inf;
+  validation_sets vd;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const bool remote = i < 4;
+    inf.decide(key(i), remote ? peering_class::remote : peering_class::local,
+               method_step::rtt_colo);
+    (remote ? vd.remote : vd.local).insert(key(i));
+  }
+  const auto m = compute_metrics(inf, vd);
+  EXPECT_DOUBLE_EQ(m.cov, 1.0);
+  EXPECT_DOUBLE_EQ(m.acc, 1.0);
+  EXPECT_DOUBLE_EQ(m.pre, 1.0);
+  EXPECT_DOUBLE_EQ(m.fpr, 0.0);
+  EXPECT_DOUBLE_EQ(m.fnr, 0.0);
+}
+
+TEST(Metrics, HandComputedMix) {
+  // VD: 4 remote (r0..r3), 6 local (l0..l5).
+  // INF: r0,r1 -> remote (TP); r2 -> local (FN); r3 unknown;
+  //      l0..l3 -> local (TN); l4 -> remote (FP); l5 unknown.
+  inference_map inf;
+  validation_sets vd;
+  for (std::uint32_t i = 0; i < 4; ++i) vd.remote.insert(key(i));
+  for (std::uint32_t i = 10; i < 16; ++i) vd.local.insert(key(i));
+  inf.decide(key(0), peering_class::remote, method_step::rtt_colo);
+  inf.decide(key(1), peering_class::remote, method_step::rtt_colo);
+  inf.decide(key(2), peering_class::local, method_step::rtt_colo);
+  for (std::uint32_t i = 10; i < 14; ++i)
+    inf.decide(key(i), peering_class::local, method_step::rtt_colo);
+  inf.decide(key(14), peering_class::remote, method_step::rtt_colo);
+
+  const auto m = compute_metrics(inf, vd);
+  EXPECT_DOUBLE_EQ(m.cov, 8.0 / 10.0);          // 8 of 10 validated inferred
+  EXPECT_DOUBLE_EQ(m.fpr, 1.0 / 5.0);           // 1 FP of 5 inferred VD_L
+  EXPECT_DOUBLE_EQ(m.fnr, 1.0 / 3.0);           // 1 FN of 3 inferred VD_R
+  EXPECT_DOUBLE_EQ(m.pre, 2.0 / 3.0);           // 2 TP of 3 inferred-remote
+  EXPECT_DOUBLE_EQ(m.acc, (2.0 + 4.0) / 8.0);   // (TP+TN)/|INF∩VD|
+  EXPECT_EQ(m.inferred_in_vd, 8u);
+  EXPECT_EQ(m.vd_size, 10u);
+}
+
+TEST(Metrics, InferencesOutsideVdIgnored) {
+  inference_map inf;
+  validation_sets vd;
+  vd.remote.insert(key(1));
+  inf.decide(key(1), peering_class::remote, method_step::rtt_colo);
+  inf.decide(key(99), peering_class::remote, method_step::rtt_colo);  // not in VD
+  const auto m = compute_metrics(inf, vd);
+  EXPECT_DOUBLE_EQ(m.pre, 1.0);
+  EXPECT_EQ(m.inferred_in_vd, 1u);
+}
+
+TEST(Metrics, UnknownDoesNotCount) {
+  inference_map inf;
+  validation_sets vd;
+  vd.remote.insert(key(1));
+  inf.annotate_rtt(key(1), 5.0);  // creates an entry but leaves it unknown
+  const auto m = compute_metrics(inf, vd);
+  EXPECT_DOUBLE_EQ(m.cov, 0.0);
+  EXPECT_EQ(m.inferred_in_vd, 0u);
+}
+
+TEST(Metrics, EmptyValidationYieldsZeros) {
+  inference_map inf;
+  inf.decide(key(0), peering_class::remote, method_step::rtt_colo);
+  const auto m = compute_metrics(inf, {});
+  EXPECT_DOUBLE_EQ(m.cov, 0.0);
+  EXPECT_DOUBLE_EQ(m.acc, 0.0);
+}
+
+TEST(Metrics, PerStepRestriction) {
+  inference_map inf;
+  validation_sets vd;
+  vd.remote.insert(key(0));
+  vd.remote.insert(key(1));
+  inf.decide(key(0), peering_class::remote, method_step::port_capacity);
+  inf.decide(key(1), peering_class::remote, method_step::rtt_colo);
+  const auto m1 = compute_metrics_for_step(inf, vd, method_step::port_capacity);
+  EXPECT_EQ(m1.inferred_in_vd, 1u);
+  EXPECT_DOUBLE_EQ(m1.cov, 0.5);
+  const auto all = compute_metrics(inf, vd);
+  EXPECT_EQ(all.inferred_in_vd, 2u);
+}
+
+TEST(Metrics, AccIdentity) {
+  // ACC * |INF| == TP + TN by construction.
+  inference_map inf;
+  validation_sets vd;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const bool remote = i % 3 == 0;
+    (remote ? vd.remote : vd.local).insert(key(i));
+    const bool correct = i % 4 != 0;
+    const auto cls = (remote == correct) ? peering_class::remote : peering_class::local;
+    inf.decide(key(i), cls, method_step::rtt_colo);
+  }
+  const auto m = compute_metrics(inf, vd);
+  EXPECT_NEAR(m.acc * static_cast<double>(m.inferred_in_vd),
+              static_cast<double>(m.true_remote + m.true_local), 1e-9);
+}
+
+TEST(InferenceMap, DecideDoesNotOverwrite) {
+  inference_map inf;
+  EXPECT_TRUE(inf.decide(key(0), peering_class::remote, method_step::port_capacity));
+  EXPECT_FALSE(inf.decide(key(0), peering_class::local, method_step::rtt_colo));
+  EXPECT_EQ(inf.cls(key(0)), peering_class::remote);
+  EXPECT_EQ(inf.find(key(0))->step, method_step::port_capacity);
+}
+
+TEST(InferenceMap, CountsByClass) {
+  inference_map inf;
+  inf.decide(key(0), peering_class::remote, method_step::rtt_colo);
+  inf.decide(key(1), peering_class::local, method_step::rtt_colo);
+  inf.decide(key(2), peering_class::local, method_step::rtt_colo);
+  inf.annotate_rtt(key(3), 1.0);
+  EXPECT_EQ(inf.count(peering_class::remote), 1u);
+  EXPECT_EQ(inf.count(peering_class::local), 2u);
+  EXPECT_EQ(inf.count(peering_class::unknown), 1u);
+}
+
+TEST(ValidationSets, MergeAndContains) {
+  validation_sets a, b;
+  a.remote.insert(key(0));
+  b.local.insert(key(1));
+  a.merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.contains(key(0)));
+  EXPECT_TRUE(a.contains(key(1)));
+  EXPECT_FALSE(a.contains(key(2)));
+}
+
+}  // namespace

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opwat/geo/metro.hpp"
+#include "opwat/world/cities.hpp"
+
+namespace {
+
+using namespace opwat::geo;
+using opwat::world::find_city;
+
+geo_point near(const geo_point& p, double km, double bearing = 90.0) {
+  return offset_km(p, bearing, km);
+}
+
+TEST(Metro, SameMetroWithin50km) {
+  const geo_point ams = find_city("Amsterdam")->location;
+  EXPECT_TRUE(same_metro(ams, near(ams, 10.0)));
+  EXPECT_TRUE(same_metro(ams, near(ams, 49.0)));
+  EXPECT_FALSE(same_metro(ams, near(ams, 60.0)));
+}
+
+TEST(Metro, AmsterdamRotterdamAreDistinct) {
+  // The paper's Rotterdam example: ~57 km from Amsterdam -> remote despite
+  // low RTT.
+  const geo_point ams = find_city("Amsterdam")->location;
+  const geo_point rot = find_city("Rotterdam")->location;
+  EXPECT_FALSE(same_metro(ams, rot));
+}
+
+TEST(Metro, MaxPairwiseDistance) {
+  const geo_point a{50, 8};
+  const std::vector<geo_point> pts{a, near(a, 10), near(a, 30)};
+  EXPECT_NEAR(max_pairwise_distance_km(pts), 30.0, 1.0);
+  EXPECT_DOUBLE_EQ(max_pairwise_distance_km(std::vector<geo_point>{a}), 0.0);
+  EXPECT_DOUBLE_EQ(max_pairwise_distance_km({}), 0.0);
+}
+
+TEST(Metro, MinMaxDistanceBetweenSets) {
+  const geo_point a{50, 8};
+  const std::vector<geo_point> s1{a, near(a, 5)};
+  const std::vector<geo_point> s2{near(a, 100), near(a, 200)};
+  EXPECT_NEAR(min_distance_km(s1, s2), 95.0, 2.0);
+  EXPECT_NEAR(max_distance_km(s1, s2), 200.0, 2.0);
+  EXPECT_TRUE(std::isinf(min_distance_km(s1, {})));
+  EXPECT_DOUBLE_EQ(max_distance_km({}, s2), 0.0);
+}
+
+TEST(Metro, WideAreaDetection) {
+  const geo_point fra = find_city("Frankfurt")->location;
+  // Single-metro IXP: all facilities within the city.
+  const std::vector<geo_point> metro_ixp{fra, near(fra, 8), near(fra, 20)};
+  EXPECT_FALSE(is_wide_area(metro_ixp));
+  // NET-IX-style continental footprint.
+  const std::vector<geo_point> wide{fra, find_city("Sofia")->location};
+  EXPECT_TRUE(is_wide_area(wide));
+  EXPECT_FALSE(is_wide_area({}));
+  EXPECT_FALSE(is_wide_area(std::vector<geo_point>{fra}));
+}
+
+TEST(Metro, ClustersGroupNearbyPoints) {
+  const geo_point fra = find_city("Frankfurt")->location;
+  const geo_point lon = find_city("London")->location;
+  const std::vector<geo_point> pts{fra, near(fra, 5), lon, near(lon, 12), near(fra, 30)};
+  const auto clusters = metro_clusters(pts);
+  ASSERT_EQ(clusters.size(), 5u);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[0], clusters[4]);
+  EXPECT_EQ(clusters[2], clusters[3]);
+  EXPECT_NE(clusters[0], clusters[2]);
+}
+
+TEST(Metro, ClusterIdsAreCompactAndFirstSeen) {
+  const geo_point a{10, 10};
+  const geo_point b{40, 40};
+  const auto clusters = metro_clusters(std::vector<geo_point>{a, b, a});
+  EXPECT_EQ(clusters[0], 0u);
+  EXPECT_EQ(clusters[1], 1u);
+  EXPECT_EQ(clusters[2], 0u);
+}
+
+// Property: wide-area iff max pairwise distance exceeds the threshold.
+class WideAreaConsistency : public ::testing::TestWithParam<double> {};
+
+TEST_P(WideAreaConsistency, MatchesPairwiseDistance) {
+  const geo_point base{48.0, 11.0};
+  const std::vector<geo_point> pts{base, near(base, GetParam())};
+  EXPECT_EQ(is_wide_area(pts),
+            max_pairwise_distance_km(pts) > kMetroSeparationKm);
+}
+
+INSTANTIATE_TEST_SUITE_P(Spans, WideAreaConsistency,
+                         ::testing::Values(1.0, 25.0, 49.0, 51.0, 80.0, 500.0));
+
+}  // namespace

@@ -1,0 +1,176 @@
+// End-to-end assertions of the paper's headline SHAPES on a generated
+// scenario: who wins, by roughly what factor, and where the crossovers
+// fall.  These are the regression guards for the reproduction itself.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opwat/eval/metrics.hpp"
+#include "opwat/eval/scenario.hpp"
+#include "opwat/geo/metro.hpp"
+#include "opwat/geo/speed_model.hpp"
+#include "opwat/measure/ping.hpp"
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::peering_class;
+
+class PaperShapes : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Mid-size scenario: large enough for stable fractions, small enough
+    // for test time.
+    eval::scenario_config cfg;
+    cfg.world.n_ixps = 24;
+    cfg.world.n_ases = 1200;
+    cfg.world.largest_ixp_members = 300;
+    cfg.world.remote_collector_count = 10;  // scale with the smaller world
+    cfg.traceroute_sources = 1200;
+    cfg.targets_per_source = 25;
+    cfg.top_n_ixps = 12;
+    s_ = new eval::scenario{eval::scenario::build(cfg)};
+    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+  }
+  static void TearDownTestSuite() {
+    delete pr_;
+    delete s_;
+  }
+  static eval::scenario* s_;
+  static infer::pipeline_result* pr_;
+};
+
+eval::scenario* PaperShapes::s_ = nullptr;
+infer::pipeline_result* PaperShapes::pr_ = nullptr;
+
+TEST_F(PaperShapes, GroundTruthRemoteShareNearPaper) {
+  // Paper: 28% of inferred interfaces are remote.
+  std::size_t remote = 0;
+  for (const auto& m : s_->w.memberships)
+    if (s_->w.truly_remote(m)) ++remote;
+  const double share =
+      static_cast<double>(remote) / static_cast<double>(s_->w.memberships.size());
+  EXPECT_GT(share, 0.18);
+  EXPECT_LT(share, 0.40);
+}
+
+TEST_F(PaperShapes, PipelineBeatsBaselineOnEveryMetric) {
+  // Table 4's crossover: the combined pipeline wins FPR, FNR, PRE and ACC.
+  const auto& vd = s_->validation.test;
+  const auto ours = eval::compute_metrics(pr_->inferences, vd);
+  const auto base = eval::compute_metrics(infer::run_baseline_on(*pr_), vd);
+  EXPECT_LT(ours.fpr, base.fpr + 1e-9);
+  EXPECT_LT(ours.fnr, base.fnr);
+  EXPECT_GT(ours.pre, base.pre);
+  EXPECT_GT(ours.acc, base.acc);
+}
+
+TEST_F(PaperShapes, CombinedMetricsInPaperBallpark) {
+  // Paper: ~95% ACC/PRE, ~93% COV.
+  const auto m = eval::compute_metrics(pr_->inferences, s_->validation.test);
+  EXPECT_GT(m.acc, 0.90);
+  EXPECT_GT(m.pre, 0.85);
+  EXPECT_GT(m.cov, 0.85);
+}
+
+TEST_F(PaperShapes, BaselineFnrExplodesOnNearbyRemotes) {
+  // Paper: baseline FNR 25.7% vs combined 7.2% — a multiple.
+  const auto& vd = s_->validation.test;
+  const auto ours = eval::compute_metrics(pr_->inferences, vd);
+  const auto base = eval::compute_metrics(infer::run_baseline_on(*pr_), vd);
+  EXPECT_GT(base.fnr, 2.0 * ours.fnr);
+}
+
+TEST_F(PaperShapes, FractionalPortsAreRemoteOnly) {
+  // Fig. 4: no local peer below the IXP's minimum physical capacity.
+  for (const auto& m : s_->w.memberships) {
+    if (m.port_capacity_gbps < s_->w.ixps[m.ixp].min_physical_capacity_gbps)
+      EXPECT_TRUE(s_->w.truly_remote(m));
+  }
+}
+
+TEST_F(PaperShapes, SomeRemotePeersLookLocalOnRtt) {
+  // Fig. 1b: a visible share of remote peers sits within 10 ms.
+  std::size_t remote_seen = 0, remote_fast = 0;
+  for (const auto& [key, inf] : pr_->inferences.items()) {
+    if (std::isnan(inf.rtt_min_ms)) continue;
+    const auto mid = s_->w.membership_by_interface(key.ip);
+    if (!mid || !s_->w.truly_remote(s_->w.memberships[*mid])) continue;
+    ++remote_seen;
+    if (inf.rtt_min_ms < 10.0) ++remote_fast;
+  }
+  ASSERT_GT(remote_seen, 20u);
+  const double share =
+      static_cast<double>(remote_fast) / static_cast<double>(remote_seen);
+  EXPECT_GT(share, 0.10) << "no nearby remotes: the RTT-threshold trap vanished";
+  EXPECT_LT(share, 0.80);
+}
+
+TEST_F(PaperShapes, WideAreaIxpsExistInMeaningfulShare) {
+  // Fig. 2b: ~14% of IXPs are wide-area.
+  std::size_t wide = 0, counted = 0;
+  for (const auto& x : s_->w.ixps) {
+    if (s_->w.memberships_of_ixp(x.id).size() < 2) continue;
+    ++counted;
+    if (geo::is_wide_area(s_->w.ixp_facility_points(x.id))) ++wide;
+  }
+  ASSERT_GT(counted, 0u);
+  const double share = static_cast<double>(wide) / static_cast<double>(counted);
+  EXPECT_GT(share, 0.03);
+  EXPECT_LT(share, 0.40);
+}
+
+TEST_F(PaperShapes, StepContributionsFollowPaperOrdering) {
+  // Fig. 10a: Steps 2+3 dominate; Step 1 contributes a minority.
+  std::size_t s1 = 0, s23 = 0;
+  for (const auto x : pr_->scope) {
+    s1 += pr_->contribution(x, infer::method_step::port_capacity);
+    s23 += pr_->contribution(x, infer::method_step::rtt_colo);
+  }
+  EXPECT_GT(s23, s1);
+  const auto inferred = pr_->inferences.count(peering_class::local) +
+                        pr_->inferences.count(peering_class::remote);
+  EXPECT_GT(static_cast<double>(s1) / static_cast<double>(inferred), 0.01);
+  EXPECT_LT(static_cast<double>(s1) / static_cast<double>(inferred), 0.35);
+}
+
+TEST_F(PaperShapes, RemoteShareRisesWithIxpSize) {
+  // §6.1: the largest IXPs have the highest remote shares (network
+  // effect).  Compare the top third vs the bottom third of the scope.
+  const auto share_of = [&](std::size_t from, std::size_t to) {
+    std::size_t local = 0, remote = 0;
+    for (std::size_t i = from; i < to && i < pr_->scope.size(); ++i) {
+      local += pr_->count(pr_->scope[i], peering_class::local);
+      remote += pr_->count(pr_->scope[i], peering_class::remote);
+    }
+    return local + remote ? static_cast<double>(remote) /
+                                static_cast<double>(local + remote)
+                          : 0.0;
+  };
+  const auto n = pr_->scope.size();
+  EXPECT_GT(share_of(0, n / 3) + 0.08, share_of(2 * n / 3, n));
+}
+
+TEST_F(PaperShapes, LgRoundingObservedInCampaign) {
+  // §6.1: many LG minimum RTTs are exactly integer milliseconds.
+  std::size_t lg_measurements = 0, integer_valued = 0;
+  for (const auto& pm : pr_->rtt.campaign.measurements) {
+    if (!pm.responsive) continue;
+    if (s_->vps[pm.vp_index].type != measure::vp_type::looking_glass) continue;
+    ++lg_measurements;
+    if (pm.rtt_min_ms == std::floor(pm.rtt_min_ms)) ++integer_valued;
+  }
+  ASSERT_GT(lg_measurements, 50u);
+  EXPECT_GT(static_cast<double>(integer_valued) / static_cast<double>(lg_measurements),
+            0.2);
+}
+
+TEST_F(PaperShapes, UnknownRateMatchesCoverageTarget) {
+  // Paper coverage 93% -> unknowns are a sliver, not a mass.
+  const auto unknown = pr_->inferences.count(peering_class::unknown);
+  const auto total = pr_->inferences.items().size();
+  EXPECT_LT(static_cast<double>(unknown) / static_cast<double>(total), 0.20);
+}
+
+}  // namespace

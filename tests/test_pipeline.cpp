@@ -1,0 +1,188 @@
+// End-to-end integration: the full pipeline on a generated scenario,
+// scored against ground-truth validation — the Table 4 experiment in
+// miniature.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opwat/eval/metrics.hpp"
+#include "opwat/eval/scenario.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::infer;
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto cfg = eval::small_scenario_config(7);
+    s_ = new eval::scenario{eval::scenario::build(cfg)};
+    pr_ = new pipeline_result{s_->run_pipeline()};
+  }
+  static void TearDownTestSuite() {
+    delete pr_;
+    delete s_;
+  }
+  static eval::scenario* s_;
+  static pipeline_result* pr_;
+};
+
+eval::scenario* PipelineTest::s_ = nullptr;
+pipeline_result* PipelineTest::pr_ = nullptr;
+
+TEST_F(PipelineTest, ScopeIsSortedBySize) {
+  for (std::size_t i = 1; i < pr_->scope.size(); ++i)
+    EXPECT_GE(s_->ixp_size(pr_->scope[i - 1]), s_->ixp_size(pr_->scope[i]));
+}
+
+TEST_F(PipelineTest, InferencesOnlyWithinScope) {
+  const std::set<world::ixp_id> scope{pr_->scope.begin(), pr_->scope.end()};
+  for (const auto& [key, inf] : pr_->inferences.items())
+    EXPECT_TRUE(scope.contains(key.ixp));
+}
+
+TEST_F(PipelineTest, HighAccuracyAgainstGroundTruth) {
+  const auto vd = s_->validation.test;
+  const auto m = eval::compute_metrics(pr_->inferences, vd);
+  EXPECT_GT(m.acc, 0.85) << "pipeline accuracy collapsed";
+  EXPECT_GT(m.cov, 0.70) << "pipeline coverage collapsed";
+  // Loose bounds: the tiny validation set makes single misclassifications
+  // worth several points (the strict shape guards live in
+  // test_paper_shapes.cpp on a mid-size world).
+  EXPECT_LT(m.fpr, 0.15);
+  EXPECT_LT(m.fnr, 0.30);
+}
+
+TEST_F(PipelineTest, BeatsRttBaselineOnAccuracy) {
+  const auto vd = s_->validation.test;
+  const auto ours = eval::compute_metrics(pr_->inferences, vd);
+  const auto base = eval::compute_metrics(run_baseline_on(*pr_), vd);
+  EXPECT_GE(ours.acc, base.acc);
+}
+
+TEST_F(PipelineTest, BaselineSuffersOnFalseNegatives) {
+  // Nearby remote peers break the 10 ms threshold (§4.1).
+  const auto vd = s_->validation.test;
+  const auto ours = eval::compute_metrics(pr_->inferences, vd);
+  const auto base = eval::compute_metrics(run_baseline_on(*pr_), vd);
+  EXPECT_GT(base.fnr, ours.fnr);
+}
+
+TEST_F(PipelineTest, EveryInferenceCarriesProvenance) {
+  for (const auto& [key, inf] : pr_->inferences.items()) {
+    if (inf.cls == peering_class::unknown) continue;
+    EXPECT_NE(inf.step, method_step::none);
+  }
+}
+
+TEST_F(PipelineTest, Step1InferencesAreTrulyResellerCustomers) {
+  // Port-capacity inferences are the pipeline's most precise signal.
+  std::size_t checked = 0, correct = 0;
+  for (const auto& [key, inf] : pr_->inferences.items()) {
+    if (inf.step != method_step::port_capacity) continue;
+    const auto mid = s_->w.membership_by_interface(key.ip);
+    if (!mid) continue;
+    ++checked;
+    if (s_->w.truly_remote(s_->w.memberships[*mid])) ++correct;
+  }
+  if (checked > 0)
+    EXPECT_GE(static_cast<double>(correct) / static_cast<double>(checked), 0.9);
+}
+
+TEST_F(PipelineTest, RttAnnotationsArePlausible) {
+  for (const auto& [key, inf] : pr_->inferences.items()) {
+    if (std::isnan(inf.rtt_min_ms)) continue;
+    EXPECT_GT(inf.rtt_min_ms, 0.0);
+    EXPECT_LT(inf.rtt_min_ms, 1000.0);
+  }
+}
+
+TEST_F(PipelineTest, ContributionsSumToInferences) {
+  std::size_t total = 0;
+  for (const auto x : pr_->scope)
+    for (const auto step : {method_step::port_capacity, method_step::rtt_colo,
+                            method_step::multi_ixp, method_step::private_links})
+      total += pr_->contribution(x, step);
+  EXPECT_EQ(total, pr_->inferences.count(peering_class::local) +
+                       pr_->inferences.count(peering_class::remote));
+}
+
+TEST_F(PipelineTest, CountsPerIxpConsistent) {
+  std::size_t local = 0, remote = 0;
+  for (const auto x : pr_->scope) {
+    local += pr_->count(x, peering_class::local);
+    remote += pr_->count(x, peering_class::remote);
+  }
+  EXPECT_EQ(local, pr_->inferences.count(peering_class::local));
+  EXPECT_EQ(remote, pr_->inferences.count(peering_class::remote));
+}
+
+TEST_F(PipelineTest, DeterministicAcrossRuns) {
+  const auto pr2 = s_->run_pipeline();
+  EXPECT_EQ(pr2.inferences.count(peering_class::local),
+            pr_->inferences.count(peering_class::local));
+  EXPECT_EQ(pr2.inferences.count(peering_class::remote),
+            pr_->inferences.count(peering_class::remote));
+  for (const auto& [key, inf] : pr_->inferences.items()) {
+    const auto* other = pr2.inferences.find(key);
+    ASSERT_TRUE(other);
+    EXPECT_EQ(other->cls, inf.cls);
+    EXPECT_EQ(other->step, inf.step);
+  }
+}
+
+TEST_F(PipelineTest, MgmtFilteredVpsAreAtlas) {
+  for (const auto vi : pr_->rtt.mgmt_filtered_vps)
+    EXPECT_EQ(s_->vps[vi].type, measure::vp_type::atlas);
+}
+
+TEST_F(PipelineTest, UsableVpsAreAliveAndScoped) {
+  const std::set<world::ixp_id> scope{pr_->scope.begin(), pr_->scope.end()};
+  for (const auto vi : pr_->rtt.usable_vps) {
+    EXPECT_TRUE(s_->vps[vi].alive);
+    EXPECT_TRUE(scope.contains(s_->vps[vi].ixp));
+  }
+}
+
+TEST_F(PipelineTest, StepOrderAblationStillWorks) {
+  // Decisions in a different order must still produce sane output (the
+  // ablation bench sweeps this; here we guard it doesn't crash/regress).
+  infer::pipeline_config cfg = s_->cfg.pipeline;
+  cfg.order = {method_step::rtt_colo, method_step::port_capacity,
+               method_step::multi_ixp, method_step::private_links};
+  const auto pr2 = s_->run_pipeline(cfg);
+  const auto vd = s_->validation.test;
+  const auto m = eval::compute_metrics(pr2.inferences, vd);
+  EXPECT_GT(m.acc, 0.75);
+}
+
+TEST_F(PipelineTest, SubsetOfStepsLowersCoverage) {
+  infer::pipeline_config cfg = s_->cfg.pipeline;
+  cfg.order = {method_step::port_capacity};
+  const auto pr2 = s_->run_pipeline(cfg);
+  EXPECT_LT(pr2.inferences.count(peering_class::local) +
+                pr2.inferences.count(peering_class::remote),
+            pr_->inferences.count(peering_class::local) +
+                pr_->inferences.count(peering_class::remote));
+}
+
+// Seed sweep: the pipeline keeps beating the baseline across worlds.
+class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeedSweep, AccuracyHoldsAcrossSeeds) {
+  auto cfg = eval::small_scenario_config(GetParam());
+  const auto s = eval::scenario::build(cfg);
+  const auto pr = s.run_pipeline();
+  const auto vd = s.validation.test;
+  const auto m = eval::compute_metrics(pr.inferences, vd);
+  EXPECT_GT(m.acc, 0.80) << "seed " << GetParam();
+  // Tiny worlds may lack wide-area IXPs / nearby remotes, letting the
+  // baseline luck out; allow statistical noise but not a collapse.
+  const auto base = eval::compute_metrics(run_baseline_on(pr), vd);
+  EXPECT_GE(m.acc + 0.05, base.acc) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeedSweep, ::testing::Values(1, 2, 3, 13));
+
+}  // namespace

@@ -1,0 +1,130 @@
+// The §6.4 routing-implications study.
+#include <gtest/gtest.h>
+
+#include "opwat/eval/routing.hpp"
+#include "opwat/geo/metro.hpp"
+#include "opwat/eval/scenario.hpp"
+
+namespace {
+
+using namespace opwat;
+using eval::routing_verdict;
+
+class RoutingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(29))};
+    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+    studied_ = pr_->scope.front();
+    std::vector<net::asn> remote_members;
+    for (const auto& [key, inf] : pr_->inferences.items())
+      if (key.ixp == studied_ && inf.cls == infer::peering_class::remote)
+        if (const auto asn = s_->view.member_of_interface(key.ip))
+          remote_members.push_back(*asn);
+    engine_ = new measure::traceroute_engine{s_->make_traceroute_engine()};
+    study_ = new eval::routing_study{eval::run_routing_study(
+        s_->w, s_->view, s_->prefix2as, *engine_, studied_, remote_members, {})};
+  }
+  static void TearDownTestSuite() {
+    delete study_;
+    delete engine_;
+    delete pr_;
+    delete s_;
+  }
+  static eval::scenario* s_;
+  static infer::pipeline_result* pr_;
+  static measure::traceroute_engine* engine_;
+  static eval::routing_study* study_;
+  static world::ixp_id studied_;
+};
+
+eval::scenario* RoutingTest::s_ = nullptr;
+infer::pipeline_result* RoutingTest::pr_ = nullptr;
+measure::traceroute_engine* RoutingTest::engine_ = nullptr;
+eval::routing_study* RoutingTest::study_ = nullptr;
+world::ixp_id RoutingTest::studied_ = world::k_invalid;
+
+TEST_F(RoutingTest, StudyProducesCases) {
+  EXPECT_GT(study_->pairs_examined, 0u);
+  EXPECT_GT(study_->crossings_found, 0u);
+  EXPECT_FALSE(study_->cases.empty());
+}
+
+TEST_F(RoutingTest, VerdictCountsSumToCases) {
+  const auto total = study_->count(routing_verdict::hot_potato) +
+                     study_->count(routing_verdict::rp_detour) +
+                     study_->count(routing_verdict::missed_rp) +
+                     study_->count(routing_verdict::other);
+  EXPECT_EQ(total, study_->cases.size());
+}
+
+TEST_F(RoutingTest, CasesAreWellFormed) {
+  for (const auto& c : study_->cases) {
+    EXPECT_NE(c.as_r, c.as_x);
+    EXPECT_NE(c.used_ixp, world::k_invalid);
+    EXPECT_NE(c.closest_common_ixp, world::k_invalid);
+    EXPECT_GE(c.used_distance_km, 0.0);
+    EXPECT_GE(c.closest_distance_km, 0.0);
+    // The closest common IXP can never be farther than the used one plus
+    // the classification tolerance.
+    EXPECT_LE(c.closest_distance_km, c.used_distance_km + 1e-6);
+  }
+}
+
+TEST_F(RoutingTest, VerdictsConsistentWithDistances) {
+  for (const auto& c : study_->cases) {
+    switch (c.verdict) {
+      case routing_verdict::hot_potato:
+        EXPECT_LE(c.used_distance_km,
+                  c.closest_distance_km + geo::kMetroSeparationKm + 1e-6);
+        break;
+      case routing_verdict::rp_detour:
+        EXPECT_EQ(c.used_ixp, studied_);
+        EXPECT_GT(c.used_distance_km, c.closest_distance_km);
+        break;
+      case routing_verdict::missed_rp:
+        EXPECT_NE(c.used_ixp, studied_);
+        EXPECT_EQ(c.closest_common_ixp, studied_);
+        break;
+      case routing_verdict::other:
+        break;
+    }
+  }
+}
+
+TEST_F(RoutingTest, HotPotatoIsTheCommonCase) {
+  // The paper finds 66% hot-potato compliance; in any sane topology the
+  // compliant case should be the plurality.
+  const auto hp = study_->count(routing_verdict::hot_potato);
+  EXPECT_GE(hp, study_->count(routing_verdict::rp_detour));
+  EXPECT_GE(hp, study_->count(routing_verdict::missed_rp));
+}
+
+TEST_F(RoutingTest, MaxPairsRespected) {
+  eval::routing_config cfg;
+  cfg.max_pairs = 10;
+  std::vector<net::asn> remote_members;
+  for (const auto& [key, inf] : pr_->inferences.items())
+    if (key.ixp == studied_ && inf.cls == infer::peering_class::remote)
+      if (const auto asn = s_->view.member_of_interface(key.ip))
+        remote_members.push_back(*asn);
+  const auto small = eval::run_routing_study(s_->w, s_->view, s_->prefix2as, *engine_,
+                                             studied_, remote_members, cfg);
+  EXPECT_LE(small.pairs_examined, 10u);
+}
+
+TEST_F(RoutingTest, EmptyRemoteSetYieldsEmptyStudy) {
+  const auto empty = eval::run_routing_study(s_->w, s_->view, s_->prefix2as, *engine_,
+                                             studied_, {}, {});
+  EXPECT_EQ(empty.pairs_examined, 0u);
+  EXPECT_TRUE(empty.cases.empty());
+}
+
+TEST_F(RoutingTest, VerdictNamesRender) {
+  EXPECT_EQ(to_string(routing_verdict::hot_potato), "hot-potato");
+  EXPECT_EQ(to_string(routing_verdict::rp_detour), "rp-detour");
+  EXPECT_EQ(to_string(routing_verdict::missed_rp), "missed-rp");
+  EXPECT_EQ(to_string(routing_verdict::other), "other");
+}
+
+}  // namespace

@@ -1,0 +1,89 @@
+// The one-call experiment scenario builder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "opwat/eval/scenario.hpp"
+
+namespace {
+
+using namespace opwat;
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(77))};
+  }
+  static void TearDownTestSuite() { delete s_; }
+  static eval::scenario* s_;
+};
+
+eval::scenario* ScenarioTest::s_ = nullptr;
+
+TEST_F(ScenarioTest, AllLayersPopulated) {
+  EXPECT_FALSE(s_->w.memberships.empty());
+  EXPECT_GT(s_->view.interface_count(), 0u);
+  EXPECT_GT(s_->prefix2as.size(), 0u);
+  EXPECT_FALSE(s_->vps.empty());
+  EXPECT_FALSE(s_->traces.empty());
+  EXPECT_FALSE(s_->scope.empty());
+  EXPECT_FALSE(s_->validation.ixps.empty());
+}
+
+TEST_F(ScenarioTest, ScopeHasUsableVps) {
+  for (const auto x : s_->scope) {
+    const bool has_vp = std::any_of(s_->vps.begin(), s_->vps.end(), [&](const auto& vp) {
+      return vp.ixp == x && vp.alive;
+    });
+    EXPECT_TRUE(has_vp) << "scoped IXP " << x << " has no alive VP";
+  }
+}
+
+TEST_F(ScenarioTest, ScopeSortedBySizeAndBounded) {
+  EXPECT_LE(s_->scope.size(), s_->cfg.top_n_ixps);
+  for (std::size_t i = 1; i < s_->scope.size(); ++i)
+    EXPECT_GE(s_->ixp_size(s_->scope[i - 1]), s_->ixp_size(s_->scope[i]));
+}
+
+TEST_F(ScenarioTest, ScopeEntriesDistinct) {
+  const std::set<world::ixp_id> uniq{s_->scope.begin(), s_->scope.end()};
+  EXPECT_EQ(uniq.size(), s_->scope.size());
+}
+
+TEST_F(ScenarioTest, TracesReachDestinations) {
+  std::size_t reached = 0;
+  for (const auto& t : s_->traces)
+    if (t.reached) ++reached;
+  EXPECT_GT(reached, s_->traces.size() / 2);
+}
+
+TEST_F(ScenarioTest, BuildIsDeterministic) {
+  const auto again = eval::scenario::build(eval::small_scenario_config(77));
+  EXPECT_EQ(again.scope, s_->scope);
+  EXPECT_EQ(again.traces.size(), s_->traces.size());
+  EXPECT_EQ(again.view.interface_count(), s_->view.interface_count());
+  EXPECT_EQ(again.validation.test.size(), s_->validation.test.size());
+}
+
+TEST_F(ScenarioTest, DifferentSeedsChangeTheWorld) {
+  const auto other = eval::scenario::build(eval::small_scenario_config(78));
+  EXPECT_NE(other.w.memberships.size(), 0u);
+  const bool differs = other.w.memberships.size() != s_->w.memberships.size() ||
+                       other.traces.size() != s_->traces.size();
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(ScenarioTest, TracerouteEngineBinds) {
+  const auto engine = s_->make_traceroute_engine();
+  EXPECT_FALSE(engine.connected_ases().empty());
+}
+
+TEST_F(ScenarioTest, DefaultConfigIsFullSize) {
+  const auto cfg = eval::default_scenario_config();
+  EXPECT_GE(cfg.world.n_ixps, 50u);
+  EXPECT_GE(cfg.world.n_ases, 2000u);
+  EXPECT_EQ(cfg.top_n_ixps, 30u);  // "the 30 largest IXPs" (§6)
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opwat/geo/speed_model.hpp"
+#include "opwat/measure/latency_model.hpp"
+
+namespace {
+
+using namespace opwat::geo;
+
+TEST(SpeedModel, VMaxIsFourNinthsC) {
+  EXPECT_NEAR(kVMaxKmPerMs, 4.0 / 9.0 * 299.792458, 1e-9);
+}
+
+TEST(SpeedModel, Fig7OuterRadius) {
+  // The paper's worked example: RTT_min = 4 ms -> d_max = 532 km.
+  const auto ring = feasible_ring(4.0);
+  EXPECT_NEAR(ring.d_max_km, 532.0, 2.0);
+}
+
+TEST(SpeedModel, Fig7InnerRadius) {
+  // Same example: d_min ~= 299 km from the calibrated v_min fit.
+  const auto ring = feasible_ring(4.0);
+  EXPECT_NEAR(ring.d_min_km, 299.0, 6.0);
+}
+
+TEST(SpeedModel, VMinBelowKneeIsZero) {
+  EXPECT_DOUBLE_EQ(v_min_km_per_ms(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(v_min_km_per_ms(10.0), 0.0);  // below e^3 ~ 20 km
+  EXPECT_GT(v_min_km_per_ms(50.0), 0.0);
+}
+
+TEST(SpeedModel, VMinClampedBelowVMax) {
+  // Without clamping the log fit would exceed v_max near ~2,500 km.
+  for (const double d : {100.0, 1000.0, 5000.0, 20000.0})
+    EXPECT_LT(v_min_km_per_ms(d), kVMaxKmPerMs);
+}
+
+TEST(SpeedModel, VMinMonotoneNondecreasing) {
+  double prev = 0.0;
+  for (double d = 10.0; d < 20000.0; d *= 1.5) {
+    const double v = v_min_km_per_ms(d);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SpeedModel, RingZeroRttIsDegenerate) {
+  const auto ring = feasible_ring(0.0);
+  EXPECT_DOUBLE_EQ(ring.d_min_km, 0.0);
+  EXPECT_DOUBLE_EQ(ring.d_max_km, 0.0);
+  EXPECT_TRUE(ring.contains(0.0));
+}
+
+TEST(SpeedModel, NegativeRttTreatedAsZero) {
+  const auto ring = feasible_ring(-3.0);
+  EXPECT_DOUBLE_EQ(ring.d_max_km, 0.0);
+}
+
+TEST(SpeedModel, SmallRttHasNoInnerExclusion) {
+  // Below ~1.5 ms the minimum-speed bound cannot exclude nearby targets.
+  const auto ring = feasible_ring(0.1);
+  EXPECT_DOUBLE_EQ(ring.d_min_km, 0.0);
+  EXPECT_GT(ring.d_max_km, 10.0);
+}
+
+TEST(SpeedModel, RttDistanceBoundsConsistent) {
+  EXPECT_DOUBLE_EQ(min_rtt_ms_for_distance(0.0), 0.0);
+  EXPECT_NEAR(min_rtt_ms_for_distance(kVMaxKmPerMs), 1.0, 1e-9);
+  EXPECT_TRUE(std::isinf(max_rtt_ms_for_distance(10.0)));  // below knee
+  EXPECT_GT(max_rtt_ms_for_distance(500.0), min_rtt_ms_for_distance(500.0));
+}
+
+// Property: the ring implied by any RTT always contains the distance a
+// packet travelling at an admissible speed would cover.
+class RingContainsAdmissibleDistances : public ::testing::TestWithParam<double> {};
+
+TEST_P(RingContainsAdmissibleDistances, Contains) {
+  const double rtt = GetParam();
+  const auto ring = feasible_ring(rtt);
+  // Fastest admissible: v_max.
+  EXPECT_TRUE(ring.contains(ring.d_max_km));
+  // A mid-speed path.
+  const double d_mid = 0.7 * kVMaxKmPerMs * rtt;
+  if (v_min_km_per_ms(d_mid) * rtt <= d_mid) EXPECT_TRUE(ring.contains(d_mid));
+  // Ring is well-formed.
+  EXPECT_LE(ring.d_min_km, ring.d_max_km);
+  EXPECT_GE(ring.d_min_km, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rtts, RingContainsAdmissibleDistances,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0, 15.0, 40.0, 120.0));
+
+// Property: the ground-truth latency model never produces RTTs outside
+// the feasible envelope Step 3 assumes — the core soundness link between
+// the simulator and the methodology.
+class LatencyEnvelope : public ::testing::TestWithParam<double> {};
+
+TEST_P(LatencyEnvelope, BaseRttWithinEnvelope) {
+  const double d = GetParam();
+  const opwat::measure::latency_model lat{1234};
+  const geo_point a{50.0, 8.0};
+  for (int trial = 0; trial < 25; ++trial) {
+    const geo_point b = offset_km(a, trial * 14.0, d);
+    const opwat::measure::net_point pa{a, std::nullopt}, pb{b, std::nullopt};
+    const double rtt = lat.base_rtt_ms(pa, pb, trial);
+    // Never faster than v_max over the geodesic...
+    EXPECT_GE(rtt, d / kVMaxKmPerMs) << "d=" << d;
+    // ...and the implied ring must contain the true distance.
+    const auto ring = feasible_ring(rtt);
+    EXPECT_TRUE(ring.contains(d)) << "d=" << d << " rtt=" << rtt << " ring=["
+                                  << ring.d_min_km << "," << ring.d_max_km << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LatencyEnvelope,
+                         ::testing::Values(2.0, 30.0, 80.0, 200.0, 600.0, 1500.0,
+                                           4000.0, 9000.0));
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "opwat/util/stats.hpp"
+
+namespace {
+
+using namespace opwat::util;
+
+TEST(Ecdf, EmptyEvaluatesToZero) {
+  ecdf e;
+  EXPECT_EQ(e.at(5.0), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Ecdf, BasicFractions) {
+  ecdf e{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(e.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(e.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(e.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(e.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(e.at(100.0), 1.0);
+}
+
+TEST(Ecdf, AddKeepsOrderIndependence) {
+  ecdf e;
+  e.add(3.0);
+  e.add(1.0);
+  e.add(2.0);
+  EXPECT_DOUBLE_EQ(e.at(1.5), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(e.min(), 1.0);
+  EXPECT_DOUBLE_EQ(e.max(), 3.0);
+}
+
+TEST(Ecdf, QuantileNearestRank) {
+  ecdf e{{10, 20, 30, 40, 50}};
+  EXPECT_DOUBLE_EQ(e.quantile(0.0), 10);
+  EXPECT_DOUBLE_EQ(e.quantile(0.5), 30);
+  EXPECT_DOUBLE_EQ(e.quantile(1.0), 50);
+}
+
+TEST(Ecdf, QuantileOnEmptyThrows) {
+  ecdf e;
+  EXPECT_THROW((void)e.quantile(0.5), std::invalid_argument);
+}
+
+TEST(Ecdf, CurveIsMonotone) {
+  ecdf e{{5, 1, 3, 3, 2, 8}};
+  const auto c = e.curve();
+  for (std::size_t i = 1; i < c.size(); ++i) {
+    EXPECT_LT(c[i - 1].first, c[i].first);
+    EXPECT_LT(c[i - 1].second, c[i].second);
+  }
+  EXPECT_DOUBLE_EQ(c.back().second, 1.0);
+}
+
+TEST(Median, OddAndEven) {
+  const double odd[] = {5, 1, 9};
+  EXPECT_DOUBLE_EQ(median(odd), 5);
+  const double even[] = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Summarize, Basics) {
+  const double v[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 10u);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 10);
+  EXPECT_DOUBLE_EQ(s.mean, 5.5);
+  EXPECT_DOUBLE_EQ(s.median, 5);
+  EXPECT_DOUBLE_EQ(s.p90, 9);
+}
+
+TEST(Summarize, EmptyIsZeroed) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  histogram h{0.0, 10.0, 5};
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamps to bin 0
+  h.add(15.0);  // clamps to bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, BadRangeThrows) {
+  EXPECT_THROW((histogram{0.0, 0.0, 5}), std::invalid_argument);
+  EXPECT_THROW((histogram{0.0, 1.0, 0}), std::invalid_argument);
+}
+
+TEST(CategoryCounter, CountsAndFractions) {
+  category_counter c;
+  c.add("local", 3);
+  c.add("remote");
+  EXPECT_EQ(c.total(), 4u);
+  EXPECT_EQ(c.count("local"), 3u);
+  EXPECT_EQ(c.count("missing"), 0u);
+  EXPECT_DOUBLE_EQ(c.fraction("remote"), 0.25);
+}
+
+TEST(CategoryCounter, EmptyFractionIsZero) {
+  category_counter c;
+  EXPECT_DOUBLE_EQ(c.fraction("x"), 0.0);
+}
+
+// Property: ECDF at its own quantile is at least q.
+class EcdfQuantileProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(EcdfQuantileProperty, AtQuantileGeQ) {
+  ecdf e{{0.3, 1.7, 2.2, 2.2, 5.9, 8.8, 9.1, 12.0}};
+  const double q = GetParam();
+  EXPECT_GE(e.at(e.quantile(q)), q - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, EcdfQuantileProperty,
+                         ::testing::Values(0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0));
+
+}  // namespace

@@ -1,0 +1,461 @@
+// Hand-built scenario tests for each inference step: the Fig. 3 multi-IXP
+// router cases, the Step-3 feasible-ring rules (Fig. 7), the Step-1 port
+// rule and the Step-5 facility vote.
+#include <gtest/gtest.h>
+
+#include "opwat/alias/resolver.hpp"
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/baseline.hpp"
+#include "opwat/infer/step1_port.hpp"
+#include "opwat/infer/step3_colo.hpp"
+#include "opwat/infer/step4_multiixp.hpp"
+#include "opwat/infer/step5_private.hpp"
+#include "opwat/world/cities.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::infer;
+
+constexpr net::asn kMember{100};
+constexpr net::asn kNeighbor1{201};
+constexpr net::asn kNeighbor2{202};
+
+// Facility ids in the hand-built world.
+constexpr world::facility_id kFacAms = 0;     // IXP facility, Amsterdam
+constexpr world::facility_id kFacLon = 1;     // IXP facility, London (wide-area)
+constexpr world::facility_id kFacAmsOther = 2;  // non-IXP facility, Amsterdam
+constexpr world::facility_id kFacPar = 3;     // non-IXP facility, Paris
+
+geo::geo_point city(const char* name) { return world::find_city(name)->location; }
+
+/// A single wide-area IXP (id 0, facilities AMS + LON) with one member
+/// interface 193.0.0.10 owned by AS100; second IXP (id 1) used by the
+/// multi-IXP tests.
+db::merged_view make_view(double member_cap = 1.0, double cmin = 1.0,
+                          std::vector<world::facility_id> member_facs = {kFacAms},
+                          std::vector<world::facility_id> n1_facs = {kFacAms},
+                          std::vector<world::facility_id> n2_facs = {kFacAms}) {
+  db::snapshot s;
+  s.kind = db::source_kind::website;
+  s.prefixes.push_back({*net::prefix::parse("193.0.0.0/24"), 0});
+  s.prefixes.push_back({*net::prefix::parse("193.0.1.0/24"), 1});
+  s.interfaces.push_back({*net::ipv4_addr::parse("193.0.0.10"), kMember, 0});
+  s.interfaces.push_back({*net::ipv4_addr::parse("193.0.1.10"), kMember, 1});
+  s.ixp_facilities.push_back({0, kFacAms});
+  s.ixp_facilities.push_back({0, kFacLon});
+  s.ixp_facilities.push_back({1, kFacAms});  // IXP1 shares the AMS site
+  for (const auto f : member_facs) s.as_facilities.push_back({kMember, f});
+  for (const auto f : n1_facs) s.as_facilities.push_back({kNeighbor1, f});
+  for (const auto f : n2_facs) s.as_facilities.push_back({kNeighbor2, f});
+  s.facility_geos.push_back({kFacAms, city("Amsterdam")});
+  s.facility_geos.push_back({kFacLon, city("London")});
+  s.facility_geos.push_back({kFacAmsOther, geo::offset_km(city("Amsterdam"), 90, 8)});
+  s.facility_geos.push_back({kFacPar, city("Paris")});
+  s.ports.push_back({kMember, 0, member_cap});
+  s.ixp_meta.push_back({0, "IX-test", cmin, true});
+  s.ixp_meta.push_back({1, "IX-test-2", cmin, true});
+  const std::vector<db::snapshot> snaps{s};
+  return db::merged_view::build(snaps);
+}
+
+measure::vantage_point ams_vp() {
+  measure::vantage_point vp;
+  vp.name = "lg.test";
+  vp.type = measure::vp_type::looking_glass;
+  vp.ixp = 0;
+  vp.facility = kFacAms;
+  vp.location = city("Amsterdam");
+  vp.in_peering_lan = true;
+  return vp;
+}
+
+iface_key member_key() { return {0, *net::ipv4_addr::parse("193.0.0.10")}; }
+
+// ---------------------------------------------------------------------------
+// Step 1.
+
+TEST(Step1, FractionalPortIsRemote) {
+  const auto view = make_view(/*member_cap=*/0.1, /*cmin=*/1.0);
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  const auto st = run_step1_port_capacity(view, scope, out);
+  EXPECT_EQ(st.inferred_remote, 1u);
+  EXPECT_EQ(out.cls(member_key()), peering_class::remote);
+  EXPECT_EQ(out.find(member_key())->step, method_step::port_capacity);
+}
+
+TEST(Step1, FullPortMakesNoInference) {
+  const auto view = make_view(/*member_cap=*/10.0, /*cmin=*/1.0);
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  run_step1_port_capacity(view, scope, out);
+  EXPECT_EQ(out.cls(member_key()), peering_class::unknown);
+}
+
+TEST(Step1, ExactlyCminIsNotFractional) {
+  const auto view = make_view(/*member_cap=*/1.0, /*cmin=*/1.0);
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  run_step1_port_capacity(view, scope, out);
+  EXPECT_EQ(out.cls(member_key()), peering_class::unknown);
+}
+
+TEST(Step1, TenGigCminCatchesOneGigResellerPort) {
+  const auto view = make_view(/*member_cap=*/1.0, /*cmin=*/10.0);
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  run_step1_port_capacity(view, scope, out);
+  EXPECT_EQ(out.cls(member_key()), peering_class::remote);
+}
+
+// ---------------------------------------------------------------------------
+// Step 3 (evaluate_ring): the Fig. 7 wide-area geometry.
+
+rtt_observation obs(double rtt, bool rounded = false) {
+  return {.vp_index = 0, .rtt_min_ms = rtt, .rounded = rounded};
+}
+
+TEST(Step3, SubMillisecondColocatedIsLocal) {
+  const auto view = make_view();
+  int feas = 0;
+  const auto v = evaluate_ring(view, ams_vp(), 0, kMember, obs(0.3), {}, &feas);
+  EXPECT_EQ(v, ring_verdict::local);
+  EXPECT_GE(feas, 1);
+}
+
+TEST(Step3, WideAreaMemberAtDistantSiteIsLocal) {
+  // Fig. 7: 4 ms from Amsterdam puts London (~357 km) inside the ring
+  // [299, 532] km; a member colocated there is LOCAL despite the "high"
+  // RTT that the 2 ms threshold would call remote.
+  const auto view = make_view(1.0, 1.0, {kFacLon});
+  int feas = 0;
+  const auto v = evaluate_ring(view, ams_vp(), 0, kMember, obs(4.0), {}, &feas);
+  EXPECT_EQ(v, ring_verdict::local);
+  EXPECT_EQ(feas, 1);  // only London feasible at 4 ms
+}
+
+TEST(Step3, NoFeasibleIxpFacilityIsRemote) {
+  // 50 ms from Amsterdam: both AMS (0 km) and LON (357 km) fall outside
+  // the ring [~5400, 6660] km.
+  const auto view = make_view();
+  int feas = 0;
+  const auto v = evaluate_ring(view, ams_vp(), 0, kMember, obs(50.0), {}, &feas);
+  EXPECT_EQ(v, ring_verdict::remote);
+  EXPECT_EQ(feas, 0);
+}
+
+TEST(Step3, MemberAtFeasibleNonIxpFacilityIsRemote) {
+  // Low RTT, but the member's only presence is a nearby NON-IXP facility:
+  // the Rotterdam case — close yet remote.
+  const auto view = make_view(1.0, 1.0, {kFacAmsOther});
+  const auto v = evaluate_ring(view, ams_vp(), 0, kMember, obs(0.5), {}, nullptr);
+  EXPECT_EQ(v, ring_verdict::remote);
+}
+
+TEST(Step3, FeasibleIxpButUnknownMemberLocationIsUnknown) {
+  // Member's colocation data absent (or only infeasible): no inference.
+  const auto view = make_view(1.0, 1.0, {kFacPar});  // Paris not feasible at 0.5 ms
+  const auto v = evaluate_ring(view, ams_vp(), 0, kMember, obs(0.5), {}, nullptr);
+  EXPECT_EQ(v, ring_verdict::unknown);
+}
+
+TEST(Step3, MemberAtAmsNotFeasibleAtFourMs) {
+  // 4 ms cannot come from the same metro: the colocated-at-AMS member is
+  // NOT placed local by this observation (inner ring excludes AMS).
+  const auto view = make_view(1.0, 1.0, {kFacAms});
+  const auto v = evaluate_ring(view, ams_vp(), 0, kMember, obs(4.0), {}, nullptr);
+  EXPECT_NE(v, ring_verdict::local);
+}
+
+TEST(Step3, RoundedRttRelaxesInnerBound) {
+  // A rounded 1 ms reading must not exclude the same-facility member:
+  // d_min is computed from RTT-1 = 0 ms.
+  const auto view = make_view(1.0, 1.0, {kFacAms});
+  const auto v = evaluate_ring(view, ams_vp(), 0, kMember, obs(1.0, true), {}, nullptr);
+  EXPECT_EQ(v, ring_verdict::local);
+}
+
+TEST(Step3, RunAggregatesVotesAcrossVps) {
+  const auto view = make_view();
+  const std::vector<measure::vantage_point> vps{ams_vp()};
+  step2_result rtts;
+  rtts.observations[member_key()] = {obs(0.3)};
+  inference_map out;
+  const auto st = run_step3_colo(view, vps, rtts, {}, out);
+  EXPECT_EQ(st.decided_local, 1u);
+  EXPECT_EQ(out.cls(member_key()), peering_class::local);
+  EXPECT_EQ(out.find(member_key())->step, method_step::rtt_colo);
+  EXPECT_GE(out.find(member_key())->feasible_ixp_facilities, 1);
+}
+
+TEST(Step3, LocalEvidenceBeatsRemoteVote) {
+  // One VP sees the member locally, another (far wide-area site) votes
+  // remote: local wins (§5.2's wide-area false-positive fix).
+  const auto view = make_view();
+  auto vp_lon = ams_vp();
+  vp_lon.facility = kFacLon;
+  vp_lon.location = city("London");
+  const std::vector<measure::vantage_point> vps{ams_vp(), vp_lon};
+  step2_result rtts;
+  rtts.observations[member_key()] = {
+      {.vp_index = 0, .rtt_min_ms = 0.3, .rounded = false},  // AMS: local
+      {.vp_index = 1, .rtt_min_ms = 40.0, .rounded = false}  // LON: looks remote
+  };
+  inference_map out;
+  run_step3_colo(view, vps, rtts, {}, out);
+  EXPECT_EQ(out.cls(member_key()), peering_class::local);
+}
+
+TEST(Step3, DoesNotOverwriteStep1) {
+  const auto view = make_view(0.1, 1.0);
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  run_step1_port_capacity(view, scope, out);
+  const std::vector<measure::vantage_point> vps{ams_vp()};
+  step2_result rtts;
+  rtts.observations[member_key()] = {obs(0.3)};  // would say local
+  run_step3_colo(view, vps, rtts, {}, out);
+  EXPECT_EQ(out.cls(member_key()), peering_class::remote);
+  EXPECT_EQ(out.find(member_key())->step, method_step::port_capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Step 4: hand-built world with one AS whose router touches two IXPs.
+
+constexpr world::ixp_id kScope[] = {0, 1};
+
+struct multi_ixp_fixture {
+  world::world w;
+  db::merged_view view = make_view();
+  traix::extraction paths;
+
+  multi_ixp_fixture() {
+    world::autonomous_system as;
+    as.id = 0;
+    as.asn = kMember;
+    as.backbone = *net::prefix::parse("10.0.0.0/20");
+    w.ases.push_back(as);
+    world::router rt;
+    rt.id = 0;
+    rt.owner = 0;
+    rt.city = 0;
+    rt.interfaces = {*net::ipv4_addr::parse("10.0.0.1"),
+                     *net::ipv4_addr::parse("10.0.0.2")};
+    w.routers.push_back(rt);
+    world::city c;
+    c.id = 0;
+    c.name = "Amsterdam";
+    c.location = city("Amsterdam");
+    w.cities.push_back(c);
+    w.finalize();
+    // Adjacencies: the same router's interfaces seen entering IXP0 and
+    // IXP1 (whose member interfaces exist in the view).
+    paths.adjacencies.push_back({*net::ipv4_addr::parse("10.0.0.1"), kMember, 0});
+    paths.adjacencies.push_back({*net::ipv4_addr::parse("10.0.0.2"), kMember, 1});
+  }
+};
+
+TEST(Step4, LocalAnchorPropagatesViaSharedFacility) {
+  // Fig. 3a: IXP0 and IXP1 share the AMS facility; AS inferred local at
+  // IXP0 -> local at IXP1.
+  multi_ixp_fixture f;
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  out.decide({0, *net::ipv4_addr::parse("193.0.0.10")}, peering_class::local,
+             method_step::rtt_colo);
+  const auto st = run_step4_multi_ixp(f.view, f.paths, resolve, kScope, out);
+  EXPECT_EQ(out.cls({1, *net::ipv4_addr::parse("193.0.1.10")}), peering_class::local);
+  EXPECT_GE(st.decided, 1u);
+  bool found_local_router = false;
+  for (const auto& r : st.routers)
+    if (r.ixps.size() == 2 && r.kind == router_kind::local) found_local_router = true;
+  EXPECT_TRUE(found_local_router);
+}
+
+TEST(Step4, RemoteAnchorPropagatesWhenIxpsShareFacility) {
+  // Fig. 3b via condition 2(a).
+  multi_ixp_fixture f;
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  out.decide({0, *net::ipv4_addr::parse("193.0.0.10")}, peering_class::remote,
+             method_step::port_capacity);
+  run_step4_multi_ixp(f.view, f.paths, resolve, kScope, out);
+  EXPECT_EQ(out.cls({1, *net::ipv4_addr::parse("193.0.1.10")}), peering_class::remote);
+}
+
+TEST(Step4, NoAnchorNoDecision) {
+  multi_ixp_fixture f;
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  const auto st = run_step4_multi_ixp(f.view, f.paths, resolve, kScope, out);
+  EXPECT_EQ(st.decided, 0u);
+  EXPECT_EQ(out.cls({1, *net::ipv4_addr::parse("193.0.1.10")}), peering_class::unknown);
+  bool found_undetermined = false;
+  for (const auto& r : st.routers)
+    if (r.kind == router_kind::undetermined) found_undetermined = true;
+  EXPECT_TRUE(found_undetermined);
+}
+
+TEST(Step4, SplitAliasesPreventPropagation) {
+  // With recall 0 the two interfaces stay separate routers: no multi-IXP
+  // router, no propagation.
+  multi_ixp_fixture f;
+  const alias::resolver resolve{f.w, {.recall = 0.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  out.decide({0, *net::ipv4_addr::parse("193.0.0.10")}, peering_class::local,
+             method_step::rtt_colo);
+  const auto st = run_step4_multi_ixp(f.view, f.paths, resolve, kScope, out);
+  EXPECT_EQ(st.decided, 0u);
+  EXPECT_EQ(out.cls({1, *net::ipv4_addr::parse("193.0.1.10")}), peering_class::unknown);
+}
+
+TEST(Step4, HybridRouterClassification) {
+  // Anchors local at IXP0 and remote at IXP1 -> hybrid router (Fig. 3c).
+  multi_ixp_fixture f;
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  out.decide({0, *net::ipv4_addr::parse("193.0.0.10")}, peering_class::local,
+             method_step::rtt_colo);
+  out.decide({1, *net::ipv4_addr::parse("193.0.1.10")}, peering_class::remote,
+             method_step::port_capacity);
+  const auto st = run_step4_multi_ixp(f.view, f.paths, resolve, kScope, out);
+  bool found_hybrid = false;
+  for (const auto& r : st.routers)
+    if (r.kind == router_kind::hybrid) found_hybrid = true;
+  EXPECT_TRUE(found_hybrid);
+}
+
+// ---------------------------------------------------------------------------
+// Step 5: facility vote via private neighbours.
+
+struct step5_fixture {
+  world::world w;
+  traix::extraction paths;
+  std::vector<measure::vantage_point> vps{ams_vp()};
+  step2_result rtts;  // empty: all IXP facilities considered feasible
+
+  step5_fixture() {
+    // The member AS with one router carrying the LAN interface and a
+    // private interface.
+    world::autonomous_system as;
+    as.id = 0;
+    as.asn = kMember;
+    as.backbone = *net::prefix::parse("10.0.0.0/20");
+    w.ases.push_back(as);
+    world::router rt;
+    rt.id = 0;
+    rt.owner = 0;
+    rt.city = 0;
+    rt.interfaces = {*net::ipv4_addr::parse("10.0.0.1"),
+                     *net::ipv4_addr::parse("193.0.0.10")};
+    w.routers.push_back(rt);
+    world::city c;
+    c.id = 0;
+    c.name = "Amsterdam";
+    c.location = city("Amsterdam");
+    w.cities.push_back(c);
+    w.finalize();
+    // Private adjacencies from the member's private interface to the two
+    // neighbours.
+    paths.private_links.push_back({*net::ipv4_addr::parse("10.0.0.1"),
+                                   *net::ipv4_addr::parse("10.1.0.1"), kMember,
+                                   kNeighbor1});
+    paths.private_links.push_back({*net::ipv4_addr::parse("10.0.0.1"),
+                                   *net::ipv4_addr::parse("10.2.0.1"), kMember,
+                                   kNeighbor2});
+  }
+};
+
+TEST(Step5, NeighborsAtIxpFacilityVoteLocal) {
+  step5_fixture f;
+  // Neighbours are both at the AMS IXP facility; member colocation data
+  // removed so steps 1-3 could not decide.
+  const auto view = make_view(1.0, 1.0, {kFacPar}, {kFacAms}, {kFacAms});
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  const auto st = run_step5_private(view, f.paths, resolve, f.vps, f.rtts, scope,
+                                    {}, out);
+  EXPECT_EQ(st.decided_local, 1u);
+  EXPECT_EQ(out.cls(member_key()), peering_class::local);
+  EXPECT_EQ(out.find(member_key())->step, method_step::private_links);
+}
+
+TEST(Step5, NeighborsElsewhereVoteRemote) {
+  step5_fixture f;
+  // Neighbours cluster at a non-IXP facility: zero overlap -> remote.
+  const auto view = make_view(1.0, 1.0, {kFacPar}, {kFacPar}, {kFacPar});
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  const auto st = run_step5_private(view, f.paths, resolve, f.vps, f.rtts, scope,
+                                    {}, out);
+  EXPECT_EQ(st.decided_remote, 1u);
+  EXPECT_EQ(out.cls(member_key()), peering_class::remote);
+}
+
+TEST(Step5, NoPrivateNeighborsNoInference) {
+  step5_fixture f;
+  f.paths.private_links.clear();
+  const auto view = make_view(1.0, 1.0, {kFacPar});
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  const world::ixp_id scope[] = {0};
+  const auto st = run_step5_private(view, f.paths, resolve, f.vps, f.rtts, scope,
+                                    {}, out);
+  EXPECT_EQ(st.decided_local + st.decided_remote, 0u);
+  EXPECT_GE(st.no_inference, 1u);
+  EXPECT_EQ(out.cls(member_key()), peering_class::unknown);
+}
+
+TEST(Step5, SkipsAlreadyDecidedInterfaces) {
+  step5_fixture f;
+  const auto view = make_view(1.0, 1.0, {kFacPar}, {kFacAms}, {kFacAms});
+  const alias::resolver resolve{f.w, {.recall = 1.0, .false_merge = 0.0}, 1};
+  inference_map out;
+  out.decide(member_key(), peering_class::remote, method_step::port_capacity);
+  const world::ixp_id scope[] = {0};
+  run_step5_private(view, f.paths, resolve, f.vps, f.rtts, scope, {}, out);
+  EXPECT_EQ(out.find(member_key())->step, method_step::port_capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline.
+
+TEST(Baseline, ThresholdClassification) {
+  step2_result rtts;
+  rtts.observations[{0, net::ipv4_addr{1}}] = {obs(3.0)};
+  rtts.observations[{0, net::ipv4_addr{2}}] = {obs(25.0)};
+  inference_map out;
+  const auto n = run_rtt_baseline(rtts, {.threshold_ms = 10.0}, out);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(out.cls({0, net::ipv4_addr{1}}), peering_class::local);
+  EXPECT_EQ(out.cls({0, net::ipv4_addr{2}}), peering_class::remote);
+}
+
+TEST(Baseline, UsesMinimumAcrossVps) {
+  step2_result rtts;
+  rtts.observations[{0, net::ipv4_addr{1}}] = {obs(30.0), obs(5.0)};
+  inference_map out;
+  run_rtt_baseline(rtts, {.threshold_ms = 10.0}, out);
+  EXPECT_EQ(out.cls({0, net::ipv4_addr{1}}), peering_class::local);
+}
+
+TEST(Baseline, NearbyRemoteIsTheFalseNegativeMode) {
+  // The §4.1 insight: a remote peer 50 km away yields ~1 ms and the
+  // threshold calls it local — exactly the failure Step 3 fixes.
+  step2_result rtts;
+  rtts.observations[member_key()] = {obs(0.9)};
+  inference_map base_out;
+  run_rtt_baseline(rtts, {}, base_out);
+  EXPECT_EQ(base_out.cls(member_key()), peering_class::local);
+
+  const auto view = make_view(1.0, 1.0, {kFacAmsOther});  // truly remote nearby
+  const std::vector<measure::vantage_point> vps{ams_vp()};
+  inference_map colo_out;
+  run_step3_colo(view, vps, rtts, {}, colo_out);
+  EXPECT_EQ(colo_out.cls(member_key()), peering_class::remote);
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "opwat/util/csv.hpp"
+#include "opwat/util/table.hpp"
+
+namespace {
+
+using namespace opwat::util;
+
+TEST(TextTable, RendersHeaderAndRows) {
+  text_table t{"Demo"};
+  t.header({"name", "value"}).row({"alpha", "1"}).row({"bb", "22"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  text_table t;
+  t.header({"a", "b", "c"}).row({"only-one"});
+  EXPECT_NO_THROW((void)t.str());
+}
+
+TEST(TextTable, FooterAppears) {
+  text_table t;
+  t.row({"x"}).footer("note: synthetic");
+  EXPECT_NE(t.str().find("note: synthetic"), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMax) {
+  std::ostringstream os;
+  bar_chart c{"Chart", 10};
+  c.bar("big", 100.0).bar("half", 50.0, "ann");
+  c.print(os);
+  const auto s = os.str();
+  EXPECT_NE(s.find("##########"), std::string::npos);  // full bar
+  EXPECT_NE(s.find("#####"), std::string::npos);
+  EXPECT_NE(s.find("(ann)"), std::string::npos);
+}
+
+TEST(BarChart, ZeroValuesRenderEmpty) {
+  std::ostringstream os;
+  bar_chart c{"Z", 10};
+  c.bar("zero", 0.0);
+  EXPECT_NO_THROW(c.print(os));
+}
+
+TEST(PrintSeries, StepInterpolation) {
+  std::ostringstream os;
+  print_series(os, "ecdf", {{1.0, 0.5}, {2.0, 1.0}}, {0.5, 1.5, 3.0});
+  const auto s = os.str();
+  EXPECT_NE(s.find("y=0.0000"), std::string::npos);
+  EXPECT_NE(s.find("y=0.5000"), std::string::npos);
+  EXPECT_NE(s.find("y=1.0000"), std::string::npos);
+}
+
+TEST(Csv, WriterQuotesSpecials) {
+  std::ostringstream os;
+  csv_writer w{os};
+  w.row({"plain", "with,comma", "with\"quote", "multi\nline"});
+  const auto s = os.str();
+  EXPECT_NE(s.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(s.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Csv, ParseSimple) {
+  const auto f = parse_csv_line("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(Csv, ParseQuoted) {
+  const auto f = parse_csv_line(R"(x,"a,b","c""d")");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "a,b");
+  EXPECT_EQ(f[2], "c\"d");
+}
+
+TEST(Csv, ParseEmptyFields) {
+  const auto f = parse_csv_line(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& x : f) EXPECT_TRUE(x.empty());
+}
+
+// Property: write-then-parse roundtrips arbitrary fields.
+class CsvRoundtrip : public ::testing::TestWithParam<std::vector<std::string>> {};
+
+TEST_P(CsvRoundtrip, Roundtrips) {
+  std::ostringstream os;
+  csv_writer w{os};
+  w.row(GetParam());
+  auto line = os.str();
+  if (!line.empty() && line.back() == '\n') line.pop_back();
+  EXPECT_EQ(parse_csv_line(line), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CsvRoundtrip,
+    ::testing::Values(std::vector<std::string>{"a", "b"},
+                      std::vector<std::string>{"he,llo", "wo\"rld"},
+                      std::vector<std::string>{"", "", ""},
+                      std::vector<std::string>{"comma,quote\",both"}));
+
+}  // namespace
