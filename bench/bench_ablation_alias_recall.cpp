@@ -33,7 +33,7 @@ void print_ablation() {
   for (const auto& v : variants) {
     auto cfg = s.cfg.pipeline;
     cfg.resolver = v.cfg;
-    const auto pr = s.run_pipeline(cfg);
+    const auto pr = s.run_inference(cfg);
     const auto m = eval::compute_metrics(pr.inferences, vd);
     t.row({v.name, std::to_string(pr.s4.decided),
            std::to_string(pr.s5.decided_local + pr.s5.decided_remote),

@@ -11,6 +11,8 @@ using namespace opwat;
 
 void print_ablation() {
   const auto base = benchx::shared_scenario();  // copy config + world reuse
+  // One validated engine, re-run against each degraded DB variant.
+  const auto engine = infer::pipeline_builder::from_config(base.cfg.pipeline).build();
 
   std::cout << "Ablation: colocation-data incompleteness sweep (test subset)\n";
   util::text_table t;
@@ -28,9 +30,8 @@ void print_ablation() {
                                         seed.fork(static_cast<std::uint64_t>(kind))));
     }
     const auto view = db::merged_view::build(snaps);
-    const auto pr = infer::run_pipeline(base.w, view, base.prefix2as, base.lat,
-                                        base.vps, base.traces, base.scope,
-                                        base.cfg.pipeline);
+    const auto pr = engine.run({base.w, view, base.prefix2as, base.lat, base.vps,
+                                base.traces, base.scope});
     const auto m = eval::compute_metrics(pr.inferences, base.validation.test);
     t.row({util::fmt_percent(drop, 0), util::fmt_percent(m.fpr),
            util::fmt_percent(m.fnr), util::fmt_percent(m.pre),

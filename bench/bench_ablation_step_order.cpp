@@ -48,9 +48,9 @@ void print_ablation() {
   util::text_table t;
   t.header({"Order", "FPR", "FNR", "PRE", "ACC", "COV"});
   for (const auto& order : orders) {
-    auto cfg = s.cfg.pipeline;
-    cfg.order = order;
-    const auto pr = s.run_pipeline(cfg);
+    // The decision order is just a builder argument now.
+    const auto pr = s.run_inference(
+        infer::pipeline_builder::from_config(s.cfg.pipeline).order(order).build());
     const auto m = eval::compute_metrics(pr.inferences, vd);
     t.row({order_name(order), util::fmt_percent(m.fpr), util::fmt_percent(m.fnr),
            util::fmt_percent(m.pre), util::fmt_percent(m.acc), util::fmt_percent(m.cov)});
@@ -64,7 +64,7 @@ void print_ablation() {
 void bm_pipeline_paper_order(benchmark::State& state) {
   const auto& s = benchx::shared_scenario();
   for (auto _ : state) {
-    auto pr = s.run_pipeline();
+    auto pr = s.run_inference();
     benchmark::DoNotOptimize(pr.inferences.items().size());
   }
 }

@@ -30,7 +30,7 @@ void print_ablation() {
     auto cfg = s.cfg.pipeline;
     cfg.step2.apply_mgmt_filter = v.mgmt_filter;
     cfg.step2.apply_lg_rounding_correction = v.rounding_correction;
-    const auto pr = s.run_pipeline(cfg);
+    const auto pr = s.run_inference(cfg);
     const auto m = eval::compute_metrics(pr.inferences, vd);
     t.row({v.name, std::to_string(pr.rtt.usable_vps.size()), util::fmt_percent(m.fpr),
            util::fmt_percent(m.fnr), util::fmt_percent(m.pre), util::fmt_percent(m.acc),
@@ -48,7 +48,7 @@ void bm_pipeline_no_filters(benchmark::State& state) {
   cfg.step2.apply_mgmt_filter = false;
   cfg.step2.apply_lg_rounding_correction = false;
   for (auto _ : state) {
-    auto pr = s.run_pipeline(cfg);
+    auto pr = s.run_inference(cfg);
     benchmark::DoNotOptimize(pr.inferences.items().size());
   }
 }

@@ -32,8 +32,8 @@ void print_extension() {
     auto cfg = s.cfg.pipeline;
     cfg.use_traceroute_rtt = use_ext;
     cfg.traceroute_rtt.require_local_near = false;  // ping-free anchoring
-    return infer::run_pipeline(s.w, s.view, s.prefix2as, s.lat, vps, s.traces,
-                               s.scope, cfg);
+    return infer::pipeline_builder::from_config(cfg).build().run(
+        {s.w, s.view, s.prefix2as, s.lat, vps, s.traces, s.scope});
   };
   const auto ping_only = run(false);
   const auto augmented = run(true);

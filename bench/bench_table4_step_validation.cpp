@@ -61,7 +61,7 @@ void print_table4() {
 void bm_full_pipeline(benchmark::State& state) {
   const auto& s = benchx::shared_scenario();
   for (auto _ : state) {
-    auto pr = s.run_pipeline();
+    auto pr = s.run_inference();
     benchmark::DoNotOptimize(pr.inferences.items().size());
   }
 }

@@ -8,7 +8,7 @@ const eval::scenario& shared_scenario() {
 }
 
 const infer::pipeline_result& shared_pipeline() {
-  static const infer::pipeline_result pr = shared_scenario().run_pipeline();
+  static const infer::pipeline_result pr = shared_scenario().run_inference();
   return pr;
 }
 

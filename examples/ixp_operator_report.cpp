@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   const std::size_t rank = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
 
   const auto scenario = eval::scenario::build(eval::small_scenario_config(21));
-  const auto result = scenario.run_pipeline();
+  const auto result = scenario.run_inference();
   if (result.scope.empty()) {
     std::cerr << "no measurable IXPs in the scenario\n";
     return 1;
@@ -47,10 +47,11 @@ int main(int argc, char** argv) {
       case infer::peering_class::unknown: ++unknown; break;
     }
     const auto cap = scenario.view.port_capacity(e.asn, ixp);
+    // RTT evidence is kept even for undecided interfaces.
+    const double rtt = result.inferences.rtt_min_ms(key);
     t.row({e.ip.to_string(), net::to_string(e.asn), std::string{to_string(cls)},
            inf ? std::string{to_string(inf->step)} : "-",
-           inf && !std::isnan(inf->rtt_min_ms) ? util::fmt_double(inf->rtt_min_ms, 2)
-                                               : "-",
+           !std::isnan(rtt) ? util::fmt_double(rtt, 2) : "-",
            cap ? util::fmt_double(*cap, 1) : "?"});
   }
   t.print(std::cout);

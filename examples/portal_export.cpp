@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const bool summary_only = argc > 1 && std::strcmp(argv[1], "--summary") == 0;
 
   const auto scenario = eval::scenario::build(eval::small_scenario_config(42));
-  const auto result = scenario.run_pipeline();
+  const auto result = scenario.run_inference();
 
   eval::portal_options opt;
   opt.snapshot_label = "2018-04";  // the paper's measurement month

@@ -5,6 +5,7 @@
 //
 // This is the 60-second tour of the library: world -> noisy DB views ->
 // ping/traceroute measurements -> inference -> validation metrics.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 
@@ -27,11 +28,39 @@ int main(int argc, char** argv) {
             << " memberships; measuring " << scenario.scope.size()
             << " IXPs from " << scenario.vps.size() << " vantage points\n\n";
 
-  // 2. Run the pipeline: Step 1 (port capacity) -> Steps 2+3 (RTT +
-  //    colocation) -> Step 4 (multi-IXP routers) -> Step 5 (private links).
-  const auto result = scenario.run_pipeline();
+  // 2. Assemble the inference engine with the fluent builder — Step 1
+  //    (port capacity) -> Steps 2+3 (RTT + colocation) -> Step 4
+  //    (multi-IXP routers) -> Step 5 (private links) — and run it.  The
+  //    ping campaign and traceroute path extraction the steps depend on
+  //    are inserted automatically.
+  const auto engine = infer::engine()
+                          .with_step("port-capacity")
+                          .with_step("rtt-colo")
+                          .with_step("multi-ixp")
+                          .with_step("private-links")
+                          .seed(scenario.cfg.pipeline.seed)
+                          .build();
+  const auto result = scenario.run_inference(engine);
 
-  // 3. Per-IXP summary.
+  // 3. The engine ledger: provenance and cost of every step, straight
+  //    from the result.
+  {
+    const auto steps = engine.steps();
+    util::text_table ledger{"Engine ledger"};
+    ledger.header({"Step", "Paper", "Batches", "Local", "Remote", "ms"});
+    for (const auto& tr : result.trace) {
+      const auto info = std::find_if(steps.begin(), steps.end(),
+                                     [&](const auto& si) { return si.name == tr.step; });
+      ledger.row({tr.step, info != steps.end() ? info->paper_section : "",
+                  std::to_string(tr.invocations), std::to_string(tr.decided_local),
+                  std::to_string(tr.decided_remote),
+                  util::fmt_double(tr.elapsed_ms, 2)});
+    }
+    ledger.print(std::cout);
+    std::cout << "\n";
+  }
+
+  // 4. Per-IXP summary.
   util::text_table t{"Inference results"};
   t.header({"IXP", "local", "remote", "unknown"});
   for (const auto x : result.scope) {
@@ -43,7 +72,7 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
-  // 4. Score against the (partial, operator/website-style) validation data.
+  // 5. Score against the (partial, operator/website-style) validation data.
   const auto metrics = eval::compute_metrics(result.inferences, scenario.validation.test);
   std::cout << "\nvalidation (test subset, " << scenario.validation.test.size()
             << " interfaces):\n"
@@ -51,7 +80,7 @@ int main(int argc, char** argv) {
             << "  precision " << util::fmt_percent(metrics.pre) << "\n"
             << "  coverage  " << util::fmt_percent(metrics.cov) << "\n";
 
-  // 5. Compare with the RTT-threshold baseline.
+  // 6. Compare with the RTT-threshold baseline.
   const auto baseline = infer::run_baseline_on(result);
   const auto base_metrics = eval::compute_metrics(baseline, scenario.validation.test);
   std::cout << "baseline (10 ms RTT threshold):\n"

@@ -17,7 +17,7 @@ int main() {
   using namespace opwat;
 
   const auto scenario = eval::scenario::build(eval::small_scenario_config(33));
-  const auto result = scenario.run_pipeline();
+  const auto result = scenario.run_inference();
   if (result.scope.empty()) {
     std::cerr << "no measurable IXPs\n";
     return 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 namespace opwat::eval {
 
@@ -30,7 +31,12 @@ longitudinal_study run_longitudinal_study(const scenario& s,
   std::vector<world::ixp_id> scope = s.scope;
   if (scope.size() > cfg.top_n_ixps) scope.resize(cfg.top_n_ixps);
 
-  std::map<infer::iface_key, infer::peering_class> prev;
+  // One validated engine, reused across the monthly runs.
+  const auto eng = infer::pipeline_builder::from_config(s.cfg.pipeline).build();
+
+  // Interfaces present in last month's database dump: a decision on an
+  // interface absent from it is a member join (Fig. 12a's unit).
+  std::set<infer::iface_key> prev_present;
 
   for (int month = 0; month <= cfg.months; ++month) {
     const auto wm = world_at_month(s.w, month);
@@ -38,20 +44,19 @@ longitudinal_study run_longitudinal_study(const scenario& s,
     const auto snaps =
         db::make_standard_snapshots(wm, s.cfg.db_seed + static_cast<std::uint64_t>(month));
     const auto view = db::merged_view::build(snaps);
-    const auto pr = infer::run_pipeline(wm, view, s.prefix2as, s.lat, s.vps, s.traces,
-                                        scope, s.cfg.pipeline);
+    const auto pr =
+        eng.run({wm, view, s.prefix2as, s.lat, s.vps, s.traces, scope});
 
     monthly_inference mi;
     mi.month = month;
-    std::map<infer::iface_key, infer::peering_class> cur;
-    for (const auto& [key, inf] : pr.inferences.items()) {
-      cur[key] = inf.cls;
-      switch (inf.cls) {
-        case infer::peering_class::local: ++mi.inferred_local; break;
-        case infer::peering_class::remote: ++mi.inferred_remote; break;
-        case infer::peering_class::unknown: ++mi.unknown; break;
-      }
-    }
+    mi.inferred_local = pr.inferences.count(infer::peering_class::local);
+    mi.inferred_remote = pr.inferences.count(infer::peering_class::remote);
+    // Undecided = member interfaces of the studied IXPs minus decisions.
+    std::set<infer::iface_key> present;
+    for (const auto x : scope)
+      for (const auto& e : view.interfaces_of_ixp(x)) present.insert({x, e.ip});
+    mi.unknown =
+        present.size() - std::min(present.size(), mi.inferred_local + mi.inferred_remote);
     for (const auto x : scope) {
       for (const auto mid : wm.memberships_of_ixp(x)) {
         const auto& m = wm.memberships[mid];
@@ -60,13 +65,13 @@ longitudinal_study run_longitudinal_study(const scenario& s,
     }
 
     if (month > 0) {
-      for (const auto& [key, cls] : cur) {
-        if (prev.contains(key)) continue;  // already present last month
-        if (cls == infer::peering_class::local) ++out.inferred_local_joins;
-        if (cls == infer::peering_class::remote) ++out.inferred_remote_joins;
+      for (const auto& [key, inf] : pr.inferences.items()) {
+        if (prev_present.contains(key)) continue;  // already present last month
+        if (inf.cls == infer::peering_class::local) ++out.inferred_local_joins;
+        if (inf.cls == infer::peering_class::remote) ++out.inferred_remote_joins;
       }
     }
-    prev = std::move(cur);
+    prev_present = std::move(present);
     out.months.push_back(mi);
   }
   return out;

@@ -1,5 +1,6 @@
 #include "opwat/eval/portal.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "opwat/util/json.hpp"
@@ -14,14 +15,11 @@ std::string portal_snapshot_json(const scenario& s, const infer::pipeline_result
   w.key("generator").value("opwat");
   w.key("ixps_studied").value(pr.scope.size());
 
-  std::size_t local = 0, remote = 0, unknown = 0;
-  for (const auto& [key, inf] : pr.inferences.items()) {
-    switch (inf.cls) {
-      case infer::peering_class::local: ++local; break;
-      case infer::peering_class::remote: ++remote; break;
-      case infer::peering_class::unknown: ++unknown; break;
-    }
-  }
+  const std::size_t local = pr.inferences.count(infer::peering_class::local);
+  const std::size_t remote = pr.inferences.count(infer::peering_class::remote);
+  std::size_t iface_total = 0;
+  for (const auto x : pr.scope) iface_total += s.view.interfaces_of_ixp(x).size();
+  const std::size_t unknown = iface_total - std::min(iface_total, local + remote);
   w.key("totals").begin_object();
   w.key("local").value(local);
   w.key("remote").value(remote);
@@ -65,7 +63,9 @@ std::string portal_snapshot_json(const scenario& s, const infer::pipeline_result
             std::string{to_string(inf ? inf->cls : infer::peering_class::unknown)});
         if (inf && inf->cls != infer::peering_class::unknown)
           w.key("evidence").value(std::string{to_string(inf->step)});
-        if (inf && !std::isnan(inf->rtt_min_ms)) w.key("rtt_min_ms").value(inf->rtt_min_ms);
+        // Measurement evidence is exported even for undecided members.
+        const double rtt = pr.inferences.rtt_min_ms(key);
+        if (!std::isnan(rtt)) w.key("rtt_min_ms").value(rtt);
         w.end_object();
       }
       w.end_array();

@@ -44,11 +44,20 @@ scenario scenario::build(const scenario_config& cfg) {
   return s;
 }
 
-infer::pipeline_result scenario::run_pipeline() const { return run_pipeline(cfg.pipeline); }
+infer::pipeline_result scenario::run_inference() const {
+  return run_inference(cfg.pipeline);
+}
+
+infer::pipeline_result scenario::run_inference(
+    const infer::pipeline_config& override_cfg) const {
+  return infer::pipeline_builder::from_config(override_cfg).build().run(inputs());
+}
+
+infer::pipeline_result scenario::run_pipeline() const { return run_inference(); }
 
 infer::pipeline_result scenario::run_pipeline(
     const infer::pipeline_config& override_cfg) const {
-  return infer::run_pipeline(w, view, prefix2as, lat, vps, traces, scope, override_cfg);
+  return run_inference(override_cfg);
 }
 
 scenario_config default_scenario_config() {

@@ -10,7 +10,7 @@
 #include "opwat/db/merge.hpp"
 #include "opwat/db/snapshot.hpp"
 #include "opwat/eval/validation.hpp"
-#include "opwat/infer/pipeline.hpp"
+#include "opwat/infer/engine.hpp"
 #include "opwat/measure/latency_model.hpp"
 #include "opwat/measure/traceroute.hpp"
 #include "opwat/measure/vantage.hpp"
@@ -51,8 +51,26 @@ struct scenario {
   /// Builds everything except the pipeline run.
   [[nodiscard]] static scenario build(const scenario_config& cfg);
 
-  /// Runs the pipeline with the scenario's (or an overridden) config.
+  /// The scenario's data, bundled for an engine run (spans are valid
+  /// while the scenario lives).
+  [[nodiscard]] infer::engine_inputs inputs() const {
+    return {w, view, prefix2as, lat, vps, traces, scope};
+  }
+
+  /// Runs the inference engine with the scenario's (or an overridden)
+  /// config, or with a caller-assembled engine.
+  [[nodiscard]] infer::pipeline_result run_inference() const;
+  [[nodiscard]] infer::pipeline_result run_inference(
+      const infer::pipeline_config& override_cfg) const;
+  [[nodiscard]] infer::pipeline_result run_inference(
+      const infer::inference_engine& eng) const {
+    return eng.run(inputs());
+  }
+
+  /// Deprecated shims over run_inference (same output).
+  [[deprecated("use scenario::run_inference()")]]
   [[nodiscard]] infer::pipeline_result run_pipeline() const;
+  [[deprecated("use scenario::run_inference(cfg)")]]
   [[nodiscard]] infer::pipeline_result run_pipeline(
       const infer::pipeline_config& override_cfg) const;
 

@@ -5,16 +5,19 @@
 namespace opwat::infer {
 
 std::size_t run_rtt_baseline(const step2_result& rtts, const baseline_config& cfg,
-                             inference_map& out) {
+                             inference_map& out,
+                             std::span<const world::ixp_id> only) {
   std::size_t n = 0;
-  for (const auto& [key, observations] : rtts.observations) {
-    if (observations.empty()) continue;
+  const auto classify = [&](const iface_key& key,
+                            const std::vector<rtt_observation>& observations) {
+    if (observations.empty()) return;
     const double best = rtts.best_rtt(key);
-    if (std::isnan(best)) continue;
+    if (std::isnan(best)) return;
     out.annotate_rtt(key, best);
     const auto cls = best <= cfg.threshold_ms ? peering_class::local : peering_class::remote;
     if (out.decide(key, cls, method_step::rtt_threshold)) ++n;
-  }
+  };
+  for_each_scoped_observation(rtts.observations, only, classify);
   return n;
 }
 

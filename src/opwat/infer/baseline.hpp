@@ -5,6 +5,8 @@
 // regenerate Table 4's baseline row and the ablation sweeps.
 #pragma once
 
+#include <span>
+
 #include "opwat/infer/step2_rtt.hpp"
 #include "opwat/infer/types.hpp"
 
@@ -15,8 +17,11 @@ struct baseline_config {
 };
 
 /// Classifies every interface with at least one usable observation.
-/// Returns the number of inferences made.
+/// A non-empty `only` restricts classification to interfaces of those
+/// IXPs (used by the engine's scope batching).  Returns the number of
+/// inferences made.
 std::size_t run_rtt_baseline(const step2_result& rtts, const baseline_config& cfg,
-                             inference_map& out);
+                             inference_map& out,
+                             std::span<const world::ixp_id> only = {});
 
 }  // namespace opwat::infer

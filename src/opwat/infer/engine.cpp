@@ -1,0 +1,229 @@
+#include "opwat/infer/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+
+namespace opwat::infer {
+
+namespace {
+
+/// Builtin producer of a data product, for auto-insertion.
+std::string_view producer_of(std::string_view product) noexcept {
+  if (product == "rtt") return "ping-campaign";
+  if (product == "paths") return "path-extraction";
+  return "";
+}
+
+}  // namespace
+
+std::string_view step_name_of(method_step s) noexcept {
+  switch (s) {
+    case method_step::none: return "";
+    case method_step::port_capacity: return "port-capacity";
+    case method_step::rtt_colo: return "rtt-colo";
+    case method_step::multi_ixp: return "multi-ixp";
+    case method_step::private_links: return "private-links";
+    case method_step::rtt_threshold: return "rtt-threshold";
+    case method_step::traceroute_rtt: return "traceroute-rtt";
+  }
+  return "";
+}
+
+pipeline_builder pipeline_builder::from_config(const pipeline_config& cfg) {
+  pipeline_builder b;
+  b.cfg_ = cfg;
+  // The monolithic pipeline ran the measurement substrate unconditionally
+  // and, like its order loop, treated traceroute_rtt as the flag-gated
+  // epilogue rather than an order entry.
+  b.with_step("ping-campaign").with_step("path-extraction");
+  for (const auto s : cfg.order) {
+    if (s == method_step::none || s == method_step::traceroute_rtt) continue;
+    b.with_step(step_name_of(s));
+  }
+  if (cfg.use_traceroute_rtt) b.with_step("traceroute-rtt");
+  return b;
+}
+
+pipeline_builder& pipeline_builder::with_step(std::string_view name) {
+  steps_.push_back({registry_->make(name),
+                    [reg = registry_, n = std::string{name}] { return reg->make(n); }});
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::with_step(std::shared_ptr<inference_step> step) {
+  if (!step) throw std::invalid_argument("pipeline_builder: null step");
+  steps_.push_back({std::move(step), nullptr});
+  return *this;
+}
+
+std::vector<pipeline_builder::planned_step> pipeline_builder::keep_measurement_steps() {
+  std::vector<planned_step> kept;
+  for (auto& s : steps_)
+    if (s.prototype->kind() == step_kind::measurement) kept.push_back(std::move(s));
+  return kept;
+}
+
+pipeline_builder& pipeline_builder::order(std::initializer_list<std::string_view> names) {
+  steps_ = keep_measurement_steps();
+  for (const auto name : names) with_step(name);
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::order(std::span<const method_step> steps) {
+  steps_ = keep_measurement_steps();
+  cfg_.order.assign(steps.begin(), steps.end());
+  // Mirror the legacy semantics exactly: none and traceroute_rtt order
+  // entries are no-ops, and the §8 extension is the flag-gated epilogue —
+  // so from_config(cfg).order(perm) == from_config(cfg with order=perm).
+  for (const auto s : steps) {
+    if (s == method_step::none || s == method_step::traceroute_rtt) continue;
+    with_step(step_name_of(s));
+  }
+  if (cfg_.use_traceroute_rtt) with_step("traceroute-rtt");
+  return *this;
+}
+
+pipeline_builder& pipeline_builder::seed(std::uint64_t seed) {
+  cfg_.seed = seed;
+  return *this;
+}
+pipeline_builder& pipeline_builder::batch_size(std::size_t n) {
+  cfg_.batch_size = n;
+  return *this;
+}
+pipeline_builder& pipeline_builder::step2(const step2_config& cfg) {
+  cfg_.step2 = cfg;
+  return *this;
+}
+pipeline_builder& pipeline_builder::step3(const step3_config& cfg) {
+  cfg_.step3 = cfg;
+  return *this;
+}
+pipeline_builder& pipeline_builder::step5(const step5_config& cfg) {
+  cfg_.step5 = cfg;
+  return *this;
+}
+pipeline_builder& pipeline_builder::resolver(const alias::resolver_config& cfg) {
+  cfg_.resolver = cfg;
+  return *this;
+}
+pipeline_builder& pipeline_builder::baseline(const baseline_config& cfg) {
+  cfg_.baseline = cfg;
+  return *this;
+}
+pipeline_builder& pipeline_builder::traceroute_rtt(const traceroute_rtt_config& cfg) {
+  cfg_.traceroute_rtt = cfg;
+  return *this;
+}
+
+inference_engine pipeline_builder::build() const {
+  // Registry steps are instantiated fresh per build so engines never
+  // alias each other's (or the builder's) step objects; caller-supplied
+  // steps have no factory and are shared by contract.
+  std::vector<std::shared_ptr<inference_step>> chain;
+  chain.reserve(steps_.size());
+  for (const auto& s : steps_) chain.push_back(s.make ? s.make() : s.prototype);
+
+  // Auto-insert builtin measurement steps for unproduced inputs (front of
+  // the chain, stable order).
+  {
+    std::set<std::string_view> produced, present;
+    for (const auto& s : chain) {
+      present.insert(s->name());
+      for (const auto out : s->outputs()) produced.insert(out);
+    }
+    std::vector<std::shared_ptr<inference_step>> missing;
+    for (const auto& s : chain) {
+      for (const auto in : s->inputs()) {
+        if (produced.contains(in)) continue;
+        const auto maker = producer_of(in);
+        if (maker.empty() || present.contains(maker) || !registry_->contains(maker))
+          continue;  // leave for the dependency check below to report
+        missing.push_back(registry_->make(maker));
+        present.insert(missing.back()->name());
+        for (const auto out : missing.back()->outputs()) produced.insert(out);
+      }
+    }
+    chain.insert(chain.begin(), std::make_move_iterator(missing.begin()),
+                 std::make_move_iterator(missing.end()));
+  }
+
+  // No step may appear twice: decisions are first-write-wins, so a
+  // repeated step is a configuration error, not a way to run it harder.
+  {
+    std::set<std::string_view> seen;
+    for (const auto& s : chain)
+      if (!seen.insert(s->name()).second)
+        throw std::invalid_argument("pipeline_builder: duplicate step '" +
+                                    std::string{s->name()} + "'");
+  }
+
+  // Every declared input must be produced by an EARLIER step.
+  {
+    std::set<std::string_view> produced;
+    for (const auto& s : chain) {
+      for (const auto in : s->inputs())
+        if (!produced.contains(in))
+          throw std::invalid_argument("pipeline_builder: step '" +
+                                      std::string{s->name()} + "' consumes '" +
+                                      std::string{in} +
+                                      "' before any step produces it");
+      for (const auto out : s->outputs()) produced.insert(out);
+    }
+  }
+
+  return inference_engine{std::move(chain), cfg_};
+}
+
+std::vector<step_info> inference_engine::steps() const {
+  std::vector<step_info> out;
+  out.reserve(steps_.size());
+  for (const auto& s : steps_)
+    out.push_back({std::string{s->name()}, s->kind(), s->granularity(),
+                   std::string{s->paper_section()}});
+  return out;
+}
+
+pipeline_result inference_engine::run(const engine_inputs& in) const {
+  using clock = std::chrono::steady_clock;
+
+  pipeline_result pr;
+  pr.scope.assign(in.scope.begin(), in.scope.end());
+  step_context ctx{in, cfg_, pr, util::rng{cfg_.seed}};
+
+  const std::size_t batch =
+      cfg_.batch_size == 0 ? in.scope.size() : cfg_.batch_size;
+
+  for (const auto& step : steps_) {
+    step_trace tr;
+    tr.step = std::string{step->name()};
+    const auto local0 = pr.inferences.count(peering_class::local);
+    const auto remote0 = pr.inferences.count(peering_class::remote);
+    const auto t0 = clock::now();
+
+    if (step->granularity() == step_granularity::per_ixp && batch < in.scope.size()) {
+      for (std::size_t from = 0; from < in.scope.size(); from += batch) {
+        const auto n = std::min(batch, in.scope.size() - from);
+        ctx.batch = in.scope.subspan(from, n);
+        step->run(ctx);
+        ++tr.invocations;
+      }
+      ctx.batch = in.scope;
+    } else {
+      ctx.batch = in.scope;
+      step->run(ctx);
+      tr.invocations = 1;
+    }
+
+    tr.elapsed_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+    tr.decided_local = pr.inferences.count(peering_class::local) - local0;
+    tr.decided_remote = pr.inferences.count(peering_class::remote) - remote0;
+    pr.trace.push_back(std::move(tr));
+  }
+  return pr;
+}
+
+}  // namespace opwat::infer

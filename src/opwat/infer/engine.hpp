@@ -1,0 +1,132 @@
+// The composable inference engine (§5.2 as an API).
+//
+// Replaces the monolithic run_pipeline() free function: steps come from a
+// registry (or are supplied as custom objects), a fluent builder
+// assembles and validates the chain, and the engine executes it over the
+// IXP scope in batches while keeping a per-step timing + provenance
+// ledger in the result.
+//
+//   const auto eng = infer::engine()
+//                        .with_step("port-capacity")
+//                        .with_step("rtt-colo")
+//                        .with_step("multi-ixp")
+//                        .with_step("private-links")
+//                        .seed(42)
+//                        .build();
+//   const auto pr = eng.run({w, view, prefix2as, lat, vps, traces, scope});
+//   const auto* ledger = pr.trace_for("rtt-colo");
+//
+// Measurement steps a chain depends on ("ping-campaign" for "rtt",
+// "path-extraction" for "paths") are inserted automatically when absent.
+#pragma once
+
+#include <initializer_list>
+#include <memory>
+#include <string>
+
+#include "opwat/infer/registry.hpp"
+
+namespace opwat::infer {
+
+/// Descriptive view of a configured step (for reports, docs and tests).
+struct step_info {
+  std::string name;
+  step_kind kind = step_kind::decision;
+  step_granularity granularity = step_granularity::per_ixp;
+  std::string paper_section;
+};
+
+/// An immutable, reusable executor for one validated step chain.
+class inference_engine {
+ public:
+  /// Executes the chain over `in.scope`.  Per-IXP steps run once per
+  /// scope batch (cfg.batch_size; 0 = single batch), cross-IXP steps see
+  /// the full scope — results are identical for any batch size.
+  [[nodiscard]] pipeline_result run(const engine_inputs& in) const;
+
+  /// The validated chain, in execution order.
+  [[nodiscard]] std::vector<step_info> steps() const;
+
+ private:
+  friend class pipeline_builder;
+  inference_engine(std::vector<std::shared_ptr<inference_step>> steps,
+                   pipeline_config cfg) noexcept
+      : steps_(std::move(steps)), cfg_(std::move(cfg)) {}
+
+  std::vector<std::shared_ptr<inference_step>> steps_;
+  pipeline_config cfg_;
+};
+
+/// Fluent assembler for an inference_engine.
+///
+/// build() validates the chain: duplicate steps and inputs consumed
+/// before any earlier step produces them are rejected with
+/// std::invalid_argument; with_step(name) rejects names the registry does
+/// not know immediately.
+class pipeline_builder {
+ public:
+  /// Builds against the default (builtin) registry.
+  pipeline_builder() : registry_(&default_registry()) {}
+  /// Builds against a custom registry (e.g. with plugged-in heuristics).
+  explicit pipeline_builder(const step_registry& reg) : registry_(&reg) {}
+
+  /// The legacy pipeline_config, translated: decision order, step
+  /// configs, seed, the §8 extension flag and batch size.  The two
+  /// measurement steps are always present, as in the monolithic pipeline.
+  [[nodiscard]] static pipeline_builder from_config(const pipeline_config& cfg);
+
+  /// Appends a registry step by name.  Every build() instantiates a
+  /// fresh object from the registry factory, so engines never share step
+  /// state with each other or with the builder.
+  pipeline_builder& with_step(std::string_view name);
+  /// Appends a caller-supplied step object (plugin path; the name must
+  /// still be unique within the chain).  The object is shared by every
+  /// engine built from this builder and reused across runs — custom
+  /// steps must be stateless across runs (or reset themselves in run()).
+  pipeline_builder& with_step(std::shared_ptr<inference_step> step);
+
+  /// Replaces the decision chain with the named steps, in order —
+  /// explicit full control (flag-gated steps are NOT re-appended).
+  /// Previously added measurement steps are kept in front.
+  pipeline_builder& order(std::initializer_list<std::string_view> names);
+  /// Same, from the legacy method_step enum (ablation benches sweep
+  /// these), with legacy semantics: none and traceroute_rtt entries are
+  /// no-ops and the §8 step is re-appended when use_traceroute_rtt is
+  /// set, so from_config(cfg).order(perm) == from_config(cfg with
+  /// order=perm).
+  pipeline_builder& order(std::span<const method_step> steps);
+
+  pipeline_builder& seed(std::uint64_t seed);
+  pipeline_builder& batch_size(std::size_t n);
+  pipeline_builder& step2(const step2_config& cfg);
+  pipeline_builder& step3(const step3_config& cfg);
+  pipeline_builder& step5(const step5_config& cfg);
+  pipeline_builder& resolver(const alias::resolver_config& cfg);
+  pipeline_builder& baseline(const baseline_config& cfg);
+  pipeline_builder& traceroute_rtt(const traceroute_rtt_config& cfg);
+
+  /// Validates and freezes the chain.
+  [[nodiscard]] inference_engine build() const;
+
+ private:
+  /// A chain entry: registry steps carry their factory (fresh instance
+  /// per build); caller-supplied steps carry only the shared object.
+  struct planned_step {
+    std::shared_ptr<inference_step> prototype;
+    step_registry::factory make;  // null for caller-supplied steps
+  };
+
+  std::vector<planned_step> keep_measurement_steps();
+
+  const step_registry* registry_;
+  std::vector<planned_step> steps_;
+  pipeline_config cfg_;
+};
+
+/// Entry point of the fluent API: engine().with_step(...)....build().
+[[nodiscard]] inline pipeline_builder engine() { return pipeline_builder{}; }
+
+/// Registry name of a legacy method_step ("" for none).
+[[nodiscard]] std::string_view step_name_of(method_step s) noexcept;
+
+}  // namespace opwat::infer

@@ -1,5 +1,9 @@
 #include "opwat/infer/pipeline.hpp"
 
+#include <algorithm>
+
+#include "opwat/infer/engine.hpp"
+
 namespace opwat::infer {
 
 std::size_t pipeline_result::contribution(world::ixp_id x, method_step s) const {
@@ -16,6 +20,14 @@ std::size_t pipeline_result::count(world::ixp_id x, peering_class c) const {
   return n;
 }
 
+const step_trace* pipeline_result::trace_for(std::string_view step) const {
+  const auto it = std::find_if(trace.begin(), trace.end(),
+                               [&](const step_trace& t) { return t.step == step; });
+  return it == trace.end() ? nullptr : &*it;
+}
+
+// Deprecated shim: the monolithic entry point is now a one-liner over the
+// engine; output is identical to the equivalent builder chain.
 pipeline_result run_pipeline(const world::world& w, const db::merged_view& view,
                              const db::ip2as& prefix2as,
                              const measure::latency_model& lat,
@@ -23,54 +35,8 @@ pipeline_result run_pipeline(const world::world& w, const db::merged_view& view,
                              std::span<const measure::trace> traces,
                              std::span<const world::ixp_id> scope,
                              const pipeline_config& cfg) {
-  pipeline_result pr;
-  pr.scope.assign(scope.begin(), scope.end());
-  util::rng root{cfg.seed};
-
-  // Measurement substrate: campaign + traceroute extraction run up front;
-  // the decision steps below consume them in the configured order.
-  pr.rtt = run_step2_rtt(w, lat, vps, view, scope, cfg.step2, root.fork("ping"),
-                         pr.inferences);
-  pr.paths = traix::extract(traces, view, prefix2as);
-
-  const alias::resolver resolve{w, cfg.resolver, root.fork("alias").seed()};
-
-  for (const auto step : cfg.order) {
-    switch (step) {
-      case method_step::port_capacity:
-        pr.s1 = run_step1_port_capacity(view, scope, pr.inferences);
-        break;
-      case method_step::rtt_colo:
-        pr.s3 = run_step3_colo(view, vps, pr.rtt, cfg.step3, pr.inferences);
-        break;
-      case method_step::multi_ixp:
-        pr.s4 = run_step4_multi_ixp(view, pr.paths, resolve, scope, pr.inferences);
-        break;
-      case method_step::private_links:
-        pr.s5 = run_step5_private(view, pr.paths, resolve, vps, pr.rtt, scope,
-                                  cfg.step5, pr.inferences);
-        break;
-      case method_step::rtt_threshold:
-        run_rtt_baseline(pr.rtt, {}, pr.inferences);
-        break;
-      case method_step::none:
-      case method_step::traceroute_rtt:
-        break;
-    }
-  }
-
-  // §8 "Beyond Pings": derive member-to-IXP delays from the traceroute
-  // corpus and apply the Step-3 ring rules to interfaces still unknown.
-  if (cfg.use_traceroute_rtt) {
-    pr.beyond_pings =
-        derive_traceroute_rtts(view, pr.paths, pr.inferences, cfg.traceroute_rtt);
-    step3_config colo_cfg = cfg.step3;
-    colo_cfg.provenance = method_step::traceroute_rtt;
-    const auto packed = pr.beyond_pings.as_step2_result();
-    pr.s2b = run_step3_colo(view, pr.beyond_pings.virtual_vps, packed, colo_cfg,
-                            pr.inferences);
-  }
-  return pr;
+  return pipeline_builder::from_config(cfg).build().run(
+      {w, view, prefix2as, lat, vps, traces, scope});
 }
 
 inference_map run_baseline_on(const pipeline_result& pr, const baseline_config& cfg) {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "opwat/alias/resolver.hpp"
@@ -33,11 +34,17 @@ struct pipeline_config {
   step3_config step3;
   step5_config step5;
   alias::resolver_config resolver;
+  baseline_config baseline;
   /// §8 extension: after the five steps, derive RTT observations from the
   /// traceroute corpus and re-run the ring test on remaining unknowns.
   bool use_traceroute_rtt = false;
   traceroute_rtt_config traceroute_rtt;
   std::uint64_t seed = 0x0b5e55ed;
+  /// Scope-batch size for per-IXP steps; 0 = one batch over the whole
+  /// scope.  Partition-independent steps produce identical results for
+  /// any batch size — the knob exists so a later PR can run batches on
+  /// worker shards without touching callers.
+  std::size_t batch_size = 0;
 };
 
 struct pipeline_result {
@@ -52,15 +59,27 @@ struct pipeline_result {
   /// §8 extension outputs (populated when use_traceroute_rtt is set).
   traceroute_rtt_result beyond_pings;
   step3_stats s2b;
+  /// Per-step timing + provenance ledger, in execution order (one entry
+  /// per engine step, measurement steps included).
+  std::vector<step_trace> trace;
 
   /// Inference counts per (IXP, step) for the Fig. 10a contribution plot.
   [[nodiscard]] std::size_t contribution(world::ixp_id x, method_step s) const;
   /// Inference counts per IXP and class for Fig. 10b.
   [[nodiscard]] std::size_t count(world::ixp_id x, peering_class c) const;
+  /// Ledger entry of a step by registry name; nullptr when the step did
+  /// not run.
+  [[nodiscard]] const step_trace* trace_for(std::string_view step) const;
 };
 
 /// Runs the pipeline over `scope` IXPs (alias resolution needs the world's
 /// ground-truth router map, exactly like MIDAR needs the real Internet).
+///
+/// Deprecated shim over the composable engine API: prefer
+///   engine().with_step("port-capacity")... .build().run({...})
+/// or pipeline_builder::from_config(cfg) (see opwat/infer/engine.hpp).
+/// Output is identical to the engine run with the same config.
+[[deprecated("use infer::engine() / pipeline_builder (opwat/infer/engine.hpp)")]]
 [[nodiscard]] pipeline_result run_pipeline(
     const world::world& w, const db::merged_view& view, const db::ip2as& prefix2as,
     const measure::latency_model& lat, std::span<const measure::vantage_point> vps,

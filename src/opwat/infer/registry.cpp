@@ -1,0 +1,196 @@
+#include "opwat/infer/registry.hpp"
+
+#include <stdexcept>
+
+namespace opwat::infer {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Measurement substrate.
+
+/// Step 2's campaign (§5.2/§6.1): pings from every usable VP, TTL +
+/// management-LAN filters, LG rounding correction.  Produces the "rtt"
+/// product every RTT-consuming decision step reads.
+class ping_campaign_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "ping-campaign"; }
+  step_kind kind() const noexcept override { return step_kind::measurement; }
+  step_granularity granularity() const noexcept override {
+    return step_granularity::cross_ixp;
+  }
+  std::vector<std::string_view> outputs() const override { return {"rtt"}; }
+  std::string_view paper_section() const noexcept override { return "sec. 5.2, 6.1"; }
+
+  void run(step_context& ctx) override {
+    ctx.result.rtt = run_step2_rtt(ctx.w, ctx.lat, ctx.vps, ctx.view, ctx.scope,
+                                   ctx.cfg.step2, ctx.fork("ping"),
+                                   ctx.result.inferences);
+  }
+};
+
+/// traIXroute-style IXP-crossing and private-link extraction from the
+/// traceroute corpus.  Produces the "paths" product.
+class path_extraction_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "path-extraction"; }
+  step_kind kind() const noexcept override { return step_kind::measurement; }
+  step_granularity granularity() const noexcept override {
+    return step_granularity::cross_ixp;
+  }
+  std::vector<std::string_view> outputs() const override { return {"paths"}; }
+  std::string_view paper_section() const noexcept override { return "sec. 5.1.3"; }
+
+  void run(step_context& ctx) override {
+    ctx.result.paths = traix::extract(ctx.traces, ctx.view, ctx.prefix2as);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Decision steps.
+
+/// Step 1: fractional port capacities only exist through resellers.
+class port_capacity_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "port-capacity"; }
+  std::string_view paper_section() const noexcept override { return "sec. 5.1.1"; }
+
+  void run(step_context& ctx) override {
+    ctx.result.s1 += run_step1_port_capacity(ctx.view, ctx.batch,
+                                             ctx.result.inferences);
+  }
+};
+
+/// Steps 2+3: feasible-ring interpretation of the campaign RTTs against
+/// the colocation footprint.
+class rtt_colo_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "rtt-colo"; }
+  std::vector<std::string_view> inputs() const override { return {"rtt"}; }
+  std::string_view paper_section() const noexcept override { return "sec. 5.1.2, 5.2"; }
+
+  void run(step_context& ctx) override {
+    ctx.result.s3 += run_step3_colo(ctx.view, ctx.vps, ctx.result.rtt,
+                                    ctx.cfg.step3, ctx.result.inferences, ctx.batch);
+  }
+};
+
+/// Step 4: label propagation over alias-resolved multi-IXP routers.
+class multi_ixp_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "multi-ixp"; }
+  step_granularity granularity() const noexcept override {
+    return step_granularity::cross_ixp;
+  }
+  std::vector<std::string_view> inputs() const override { return {"paths"}; }
+  std::string_view paper_section() const noexcept override { return "sec. 5.1.3"; }
+
+  void run(step_context& ctx) override {
+    ctx.result.s4 = run_step4_multi_ixp(ctx.view, ctx.result.paths, ctx.resolver(),
+                                        ctx.scope, ctx.result.inferences);
+  }
+};
+
+/// Step 5: constrained-facility-search vote over private neighbours.
+class private_links_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "private-links"; }
+  step_granularity granularity() const noexcept override {
+    return step_granularity::cross_ixp;
+  }
+  std::vector<std::string_view> inputs() const override { return {"paths", "rtt"}; }
+  std::string_view paper_section() const noexcept override { return "sec. 5.1.4"; }
+
+  void run(step_context& ctx) override {
+    ctx.result.s5 = run_step5_private(ctx.view, ctx.result.paths, ctx.resolver(),
+                                      ctx.vps, ctx.result.rtt, ctx.scope,
+                                      ctx.cfg.step5, ctx.result.inferences);
+  }
+};
+
+/// The Castro et al. 10 ms RTT-threshold baseline, registered as just
+/// another step so ablations compose it like the paper steps.
+class rtt_threshold_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "rtt-threshold"; }
+  std::vector<std::string_view> inputs() const override { return {"rtt"}; }
+  std::string_view paper_section() const noexcept override { return "sec. 4.1"; }
+
+  void run(step_context& ctx) override {
+    run_rtt_baseline(ctx.result.rtt, ctx.cfg.baseline, ctx.result.inferences,
+                     ctx.batch);
+  }
+};
+
+/// §8 "Beyond Pings": derive member-to-IXP delays from traceroute RTT
+/// deltas at IXP crossings and re-run the ring rules on the remaining
+/// unknowns via synthetic virtual VPs.
+class traceroute_rtt_step final : public inference_step {
+ public:
+  std::string_view name() const noexcept override { return "traceroute-rtt"; }
+  step_granularity granularity() const noexcept override {
+    return step_granularity::cross_ixp;
+  }
+  std::vector<std::string_view> inputs() const override { return {"paths"}; }
+  std::string_view paper_section() const noexcept override { return "sec. 8"; }
+
+  void run(step_context& ctx) override {
+    ctx.result.beyond_pings = derive_traceroute_rtts(
+        ctx.view, ctx.result.paths, ctx.result.inferences, ctx.cfg.traceroute_rtt);
+    step3_config colo_cfg = ctx.cfg.step3;
+    colo_cfg.provenance = method_step::traceroute_rtt;
+    const auto packed = ctx.result.beyond_pings.as_step2_result();
+    ctx.result.s2b = run_step3_colo(ctx.view, ctx.result.beyond_pings.virtual_vps,
+                                    packed, colo_cfg, ctx.result.inferences);
+  }
+};
+
+}  // namespace
+
+void step_registry::add(std::string name, factory make) {
+  const auto [it, inserted] = factories_.emplace(std::move(name), std::move(make));
+  if (!inserted)
+    throw std::invalid_argument("step_registry: duplicate step name '" + it->first +
+                                "'");
+}
+
+bool step_registry::contains(std::string_view name) const {
+  return factories_.find(name) != factories_.end();
+}
+
+std::shared_ptr<inference_step> step_registry::make(std::string_view name) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end())
+    throw std::invalid_argument("step_registry: unknown step '" + std::string{name} +
+                                "'");
+  return it->second();
+}
+
+std::vector<std::string> step_registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, make] : factories_) out.push_back(name);
+  return out;
+}
+
+void register_builtin_steps(step_registry& reg) {
+  reg.add("ping-campaign", [] { return std::make_shared<ping_campaign_step>(); });
+  reg.add("path-extraction", [] { return std::make_shared<path_extraction_step>(); });
+  reg.add("port-capacity", [] { return std::make_shared<port_capacity_step>(); });
+  reg.add("rtt-colo", [] { return std::make_shared<rtt_colo_step>(); });
+  reg.add("multi-ixp", [] { return std::make_shared<multi_ixp_step>(); });
+  reg.add("private-links", [] { return std::make_shared<private_links_step>(); });
+  reg.add("rtt-threshold", [] { return std::make_shared<rtt_threshold_step>(); });
+  reg.add("traceroute-rtt", [] { return std::make_shared<traceroute_rtt_step>(); });
+}
+
+step_registry& default_registry() {
+  static step_registry reg = [] {
+    step_registry r;
+    register_builtin_steps(r);
+    return r;
+  }();
+  return reg;
+}
+
+}  // namespace opwat::infer

@@ -1,0 +1,45 @@
+// Registry of named inference steps.
+//
+// The five paper steps, the Castro et al. RTT-threshold baseline and the
+// §8 traceroute-RTT extension all register here uniformly; external
+// heuristics (à la traIXroute's pluggable detection rules) can be added
+// the same way and then referenced by name from a pipeline_builder.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "opwat/infer/step.hpp"
+
+namespace opwat::infer {
+
+class step_registry {
+ public:
+  using factory = std::function<std::shared_ptr<inference_step>()>;
+
+  /// Registers a factory under `name`; throws std::invalid_argument on a
+  /// duplicate registration.
+  void add(std::string name, factory make);
+
+  [[nodiscard]] bool contains(std::string_view name) const;
+  /// Instantiates the named step; throws std::invalid_argument when the
+  /// name is unknown.
+  [[nodiscard]] std::shared_ptr<inference_step> make(std::string_view name) const;
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, factory, std::less<>> factories_;
+};
+
+/// Registers the builtin steps (ping-campaign, path-extraction,
+/// port-capacity, rtt-colo, multi-ixp, private-links, rtt-threshold,
+/// traceroute-rtt) into `reg`.
+void register_builtin_steps(step_registry& reg);
+
+/// The process-wide registry, pre-populated with the builtin steps.
+[[nodiscard]] step_registry& default_registry();
+
+}  // namespace opwat::infer

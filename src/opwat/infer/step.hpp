@@ -1,0 +1,121 @@
+// The composable inference-step interface.
+//
+// The §5.2 methodology is a *chain* of heuristics whose order and subsets
+// are themselves experimental variables (Table 4, Fig. 10a).  Each
+// heuristic — the five paper steps, the Castro et al. RTT-threshold
+// baseline and the §8 traceroute-RTT extension — implements
+// `inference_step` and runs against a `step_context` that bundles every
+// input the monolithic run_pipeline() used to thread through seven
+// positional arguments.  Steps declare what they consume and produce so
+// the pipeline_builder can validate an order before anything runs.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "opwat/infer/pipeline.hpp"
+#include "opwat/util/rng.hpp"
+
+namespace opwat::infer {
+
+/// Measurement steps build the evidence substrate (ping campaign,
+/// traceroute extraction); decision steps classify interfaces from it.
+enum class step_kind : std::uint8_t { measurement, decision };
+
+/// Batchable steps decide each IXP independently: the engine may invoke
+/// them once per scope batch (and, later, per worker shard) with
+/// identical results.  Cross-IXP steps propagate evidence between IXPs
+/// (multi-IXP routers, private-link votes) and always see the full scope.
+enum class step_granularity : std::uint8_t { per_ixp, cross_ixp };
+
+/// Everything a pipeline run reads: the measured world, the merged
+/// database view, prefix-to-AS mapping, the latency model behind the
+/// synthetic campaigns, vantage points, the traceroute corpus and the
+/// studied IXPs.  Spans refer to caller-owned storage that must outlive
+/// the run.
+struct engine_inputs {
+  const world::world& w;
+  const db::merged_view& view;
+  const db::ip2as& prefix2as;
+  const measure::latency_model& lat;
+  std::span<const measure::vantage_point> vps;
+  std::span<const measure::trace> traces;
+  std::span<const world::ixp_id> scope;
+};
+
+/// Shared state handed to every step: the run inputs, the configuration,
+/// the accumulating pipeline_result (inference map, per-step stats,
+/// measurement products) and deterministic utilities (tagged rng forks, a
+/// lazily built alias resolver).
+class step_context {
+ public:
+  step_context(const engine_inputs& in, const pipeline_config& cfg,
+               pipeline_result& result, util::rng root) noexcept
+      : w(in.w), view(in.view), prefix2as(in.prefix2as), lat(in.lat), vps(in.vps),
+        traces(in.traces), scope(in.scope), batch(in.scope), cfg(cfg),
+        result(result), root_(root) {}
+
+  step_context(const step_context&) = delete;
+  step_context& operator=(const step_context&) = delete;
+
+  const world::world& w;
+  const db::merged_view& view;
+  const db::ip2as& prefix2as;
+  const measure::latency_model& lat;
+  std::span<const measure::vantage_point> vps;
+  std::span<const measure::trace> traces;
+  /// The full studied scope.
+  std::span<const world::ixp_id> scope;
+  /// The slice a per-IXP step should operate on in this invocation
+  /// (equals `scope` for cross-IXP steps and unbatched runs).
+  std::span<const world::ixp_id> batch;
+  const pipeline_config& cfg;
+  pipeline_result& result;
+
+  /// Deterministic child stream for a step-specific purpose.  Forks
+  /// depend only on (run seed, tag), never on draw counts, so step
+  /// reordering keeps experiments reproducible.
+  [[nodiscard]] util::rng fork(std::string_view tag) const noexcept {
+    return root_.fork(tag);
+  }
+
+  /// The alias resolver shared by topology steps (built on first use with
+  /// the run's "alias" stream, exactly as the monolithic pipeline did).
+  [[nodiscard]] const alias::resolver& resolver() {
+    if (!resolver_)
+      resolver_.emplace(w, cfg.resolver, root_.fork("alias").seed());
+    return *resolver_;
+  }
+
+ private:
+  util::rng root_;
+  std::optional<alias::resolver> resolver_;
+};
+
+/// One pluggable stage of the inference engine.
+class inference_step {
+ public:
+  virtual ~inference_step() = default;
+
+  /// Stable registry name (also the ledger key), e.g. "rtt-colo".
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual step_kind kind() const noexcept {
+    return step_kind::decision;
+  }
+  [[nodiscard]] virtual step_granularity granularity() const noexcept {
+    return step_granularity::per_ixp;
+  }
+  /// Data dependencies, as product tags ("rtt", "paths").  The builder
+  /// verifies each input is produced by an earlier step in the chain and
+  /// auto-inserts the builtin measurement steps when missing.
+  [[nodiscard]] virtual std::vector<std::string_view> inputs() const { return {}; }
+  [[nodiscard]] virtual std::vector<std::string_view> outputs() const { return {}; }
+  /// Paper anchor for docs and reports, e.g. "§5.1.1".
+  [[nodiscard]] virtual std::string_view paper_section() const noexcept { return ""; }
+
+  virtual void run(step_context& ctx) = 0;
+};
+
+}  // namespace opwat::infer

@@ -17,6 +17,12 @@ namespace opwat::infer {
 struct step1_stats {
   std::size_t examined = 0;
   std::size_t inferred_remote = 0;
+
+  step1_stats& operator+=(const step1_stats& o) noexcept {
+    examined += o.examined;
+    inferred_remote += o.inferred_remote;
+    return *this;
+  }
 };
 
 /// Applies Step 1 over every interface of the scoped IXPs.

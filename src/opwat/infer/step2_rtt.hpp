@@ -58,4 +58,22 @@ step2_result run_step2_rtt(const world::world& w, const measure::latency_model& 
                            const step2_config& cfg, util::rng rng,
                            inference_map& annotate);
 
+/// Invokes fn(key, observations) for every observation of the scoped
+/// IXPs (empty `only` = all).  Observations are keyed (ixp, ip), so each
+/// scoped IXP is a contiguous map range; per-interface consumers are
+/// partition-independent under any scope batching.
+template <typename Fn>
+void for_each_scoped_observation(
+    const std::map<iface_key, std::vector<rtt_observation>>& observations,
+    std::span<const world::ixp_id> only, Fn&& fn) {
+  if (only.empty()) {
+    for (const auto& [key, obs] : observations) fn(key, obs);
+    return;
+  }
+  for (const auto x : only)
+    for (auto it = observations.lower_bound(iface_key{x, net::ipv4_addr{}});
+         it != observations.end() && it->first.ixp == x; ++it)
+      fn(it->first, it->second);
+}
+
 }  // namespace opwat::infer

@@ -50,12 +50,14 @@ ring_verdict evaluate_ring(const db::merged_view& view,
 step3_stats run_step3_colo(const db::merged_view& view,
                            std::span<const measure::vantage_point> vps,
                            const step2_result& rtts, const step3_config& cfg,
-                           inference_map& out) {
+                           inference_map& out,
+                           std::span<const world::ixp_id> only) {
   step3_stats st;
-  for (const auto& [key, observations] : rtts.observations) {
-    if (out.cls(key) != peering_class::unknown) continue;
+  const auto judge = [&](const iface_key& key,
+                         const std::vector<rtt_observation>& observations) {
+    if (out.cls(key) != peering_class::unknown) return;
     const auto member = view.member_of_interface(key.ip);
-    if (!member) continue;
+    if (!member) return;
 
     bool any_local = false;
     bool any_remote = false;
@@ -82,7 +84,8 @@ step3_stats run_step3_colo(const db::merged_view& view,
     } else {
       ++st.left_unknown;
     }
-  }
+  };
+  for_each_scoped_observation(rtts.observations, only, judge);
   return st;
 }
 

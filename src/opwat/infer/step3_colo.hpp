@@ -34,12 +34,22 @@ struct step3_stats {
   std::size_t decided_local = 0;
   std::size_t decided_remote = 0;
   std::size_t left_unknown = 0;
+
+  step3_stats& operator+=(const step3_stats& o) noexcept {
+    decided_local += o.decided_local;
+    decided_remote += o.decided_remote;
+    left_unknown += o.left_unknown;
+    return *this;
+  }
 };
 
+/// A non-empty `only` restricts the ring test to interfaces of those IXPs
+/// (used by the engine's scope batching).
 step3_stats run_step3_colo(const db::merged_view& view,
                            std::span<const measure::vantage_point> vps,
                            const step2_result& rtts, const step3_config& cfg,
-                           inference_map& out);
+                           inference_map& out,
+                           std::span<const world::ixp_id> only = {});
 
 /// The per-VP verdict used internally; exposed for tests and Fig. 9c.
 enum class ring_verdict : std::uint8_t { local, remote, unknown };

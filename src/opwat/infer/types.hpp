@@ -5,11 +5,13 @@
 // and remote at another, or even have several ports at one IXP).
 #pragma once
 
+#include <array>
 #include <compare>
 #include <limits>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "opwat/net/ipv4.hpp"
 #include "opwat/world/world.hpp"
@@ -50,6 +52,18 @@ enum class method_step : std::uint8_t {
   return "?";
 }
 
+/// Per-step execution ledger entry: every engine run records, for each
+/// step in chain order, how often it was invoked (once per scope batch
+/// for batchable steps), how long it took, and which decisions it is
+/// responsible for — the provenance behind Fig. 10a without a rescan.
+struct step_trace {
+  std::string step;               ///< registry name, e.g. "rtt-colo"
+  std::size_t invocations = 0;    ///< batch invocations (1 for cross-IXP steps)
+  double elapsed_ms = 0.0;        ///< wall-clock time across invocations
+  std::size_t decided_local = 0;  ///< decisions this step contributed
+  std::size_t decided_remote = 0;
+};
+
 /// An interface on an IXP: the unit of inference.
 struct iface_key {
   world::ixp_id ixp = world::k_invalid;
@@ -68,24 +82,45 @@ struct inference {
 
 class inference_map {
  public:
-  /// Sets the class only if the interface is still unknown; returns true
+  /// Sets the class only if the interface is still undecided; returns true
   /// when the call decided the interface.  Steps never overwrite earlier
-  /// steps (the pipeline order encodes trust, §5.2).
+  /// steps (the pipeline order encodes trust, §5.2).  Asking for
+  /// `peering_class::unknown` is a no-op: `items()` holds decided
+  /// interfaces only.
   bool decide(const iface_key& k, peering_class cls, method_step step) {
-    auto& inf = items_[k];
-    if (inf.cls != peering_class::unknown) return false;
+    if (cls == peering_class::unknown) return false;
+    const auto [it, inserted] = items_.try_emplace(k);
+    if (!inserted) return false;
+    auto& inf = it->second;
+    if (const auto a = pending_.find(k); a != pending_.end()) {
+      inf.rtt_min_ms = a->second.rtt_min_ms;
+      inf.feasible_ixp_facilities = a->second.feasible_ixp_facilities;
+      pending_.erase(a);
+    }
     inf.cls = cls;
     inf.step = step;
+    ++counts_[static_cast<std::size_t>(cls)];
     return true;
   }
 
+  /// Annotations attach measurement evidence without deciding the
+  /// interface: for an undecided key they are parked in a side store (no
+  /// phantom `unknown` entry is created) and folded in when — if ever —
+  /// a step decides it.
   void annotate_rtt(const iface_key& k, double rtt_min_ms) {
-    items_[k].rtt_min_ms = rtt_min_ms;
+    if (const auto it = items_.find(k); it != items_.end())
+      it->second.rtt_min_ms = rtt_min_ms;
+    else
+      pending_[k].rtt_min_ms = rtt_min_ms;
   }
   void annotate_feasible(const iface_key& k, int n) {
-    items_[k].feasible_ixp_facilities = n;
+    if (const auto it = items_.find(k); it != items_.end())
+      it->second.feasible_ixp_facilities = n;
+    else
+      pending_[k].feasible_ixp_facilities = n;
   }
 
+  /// Decided entry for the interface; nullptr while undecided.
   [[nodiscard]] const inference* find(const iface_key& k) const {
     const auto it = items_.find(k);
     return it == items_.end() ? nullptr : &it->second;
@@ -94,19 +129,39 @@ class inference_map {
     const auto* inf = find(k);
     return inf ? inf->cls : peering_class::unknown;
   }
+  /// Minimum usable RTT annotation, decided or not (NaN when none).
+  [[nodiscard]] double rtt_min_ms(const iface_key& k) const {
+    if (const auto* inf = find(k)) return inf->rtt_min_ms;
+    const auto it = pending_.find(k);
+    return it == pending_.end() ? std::numeric_limits<double>::quiet_NaN()
+                                : it->second.rtt_min_ms;
+  }
+  /// Feasible-ring annotation, decided or not (-1 when not computed).
+  [[nodiscard]] int feasible_facilities(const iface_key& k) const {
+    if (const auto* inf = find(k)) return inf->feasible_ixp_facilities;
+    const auto it = pending_.find(k);
+    return it == pending_.end() ? -1 : it->second.feasible_ixp_facilities;
+  }
 
+  /// Decided interfaces only (annotated-but-undecided keys live in the
+  /// pending store and never inflate these totals).
   [[nodiscard]] const std::map<iface_key, inference>& items() const noexcept {
     return items_;
   }
-  [[nodiscard]] std::size_t count(peering_class c) const {
-    std::size_t n = 0;
-    for (const auto& [k, inf] : items_)
-      if (inf.cls == c) ++n;
-    return n;
+  [[nodiscard]] std::size_t count(peering_class c) const noexcept {
+    return counts_[static_cast<std::size_t>(c)];
   }
 
  private:
+  struct annotation {
+    double rtt_min_ms = std::numeric_limits<double>::quiet_NaN();
+    int feasible_ixp_facilities = -1;
+  };
+
   std::map<iface_key, inference> items_;
+  std::map<iface_key, annotation> pending_;
+  /// Per-class decision counters, updated in decide(): count() is O(1).
+  std::array<std::size_t, 3> counts_{};
 };
 
 }  // namespace opwat::infer

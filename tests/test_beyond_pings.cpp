@@ -17,7 +17,7 @@ class BeyondPingsTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(61))};
-    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+    pr_ = new infer::pipeline_result{s_->run_inference()};
   }
   static void TearDownTestSuite() {
     delete pr_;
@@ -88,7 +88,7 @@ TEST_F(BeyondPingsTest, PingFreeVariantProducesMore) {
 TEST_F(BeyondPingsTest, PipelineFlagAddsCoverage) {
   auto cfg = s_->cfg.pipeline;
   cfg.use_traceroute_rtt = true;
-  const auto augmented = s_->run_pipeline(cfg);
+  const auto augmented = s_->run_inference(cfg);
   // The extension can only add decisions (it annotates extra interfaces,
   // so raw unknown-entry counts are not comparable).
   const auto decided = [](const infer::pipeline_result& pr) {
@@ -106,7 +106,7 @@ TEST_F(BeyondPingsTest, PipelineFlagAddsCoverage) {
 TEST_F(BeyondPingsTest, AugmentedPipelineKeepsAccuracy) {
   auto cfg = s_->cfg.pipeline;
   cfg.use_traceroute_rtt = true;
-  const auto augmented = s_->run_pipeline(cfg);
+  const auto augmented = s_->run_inference(cfg);
   const auto base_m = eval::compute_metrics(pr_->inferences, s_->validation.test);
   const auto aug_m = eval::compute_metrics(augmented.inferences, s_->validation.test);
   EXPECT_GE(aug_m.cov + 1e-9, base_m.cov);

@@ -1,0 +1,313 @@
+// The composable inference-engine API: step registry, builder
+// validation, per-step ledger, and equivalence of the fluent engine with
+// the legacy run_pipeline() shim across order permutations and scope
+// batch sizes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/infer/engine.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::infer;
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+TEST(StepRegistry, BuiltinsRegistered) {
+  auto& reg = default_registry();
+  for (const char* name :
+       {"ping-campaign", "path-extraction", "port-capacity", "rtt-colo",
+        "multi-ixp", "private-links", "rtt-threshold", "traceroute-rtt"})
+    EXPECT_TRUE(reg.contains(name)) << name;
+
+  const auto step = reg.make("rtt-colo");
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->name(), "rtt-colo");
+  EXPECT_EQ(step->kind(), step_kind::decision);
+  EXPECT_EQ(step->granularity(), step_granularity::per_ixp);
+
+  const auto campaign = reg.make("ping-campaign");
+  EXPECT_EQ(campaign->kind(), step_kind::measurement);
+  EXPECT_EQ(campaign->granularity(), step_granularity::cross_ixp);
+}
+
+TEST(StepRegistry, UnknownNameThrows) {
+  EXPECT_THROW((void)default_registry().make("no-such-step"), std::invalid_argument);
+}
+
+TEST(StepRegistry, DuplicateRegistrationThrows) {
+  step_registry reg;
+  register_builtin_steps(reg);
+  EXPECT_THROW(
+      reg.add("rtt-colo", [] { return default_registry().make("rtt-colo"); }),
+      std::invalid_argument);
+}
+
+TEST(StepRegistry, LegacyEnumMapsToRegistryNames) {
+  for (const auto s : {method_step::port_capacity, method_step::rtt_colo,
+                       method_step::multi_ixp, method_step::private_links,
+                       method_step::rtt_threshold, method_step::traceroute_rtt})
+    EXPECT_TRUE(default_registry().contains(step_name_of(s))) << to_string(s);
+  EXPECT_EQ(step_name_of(method_step::none), "");
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation.
+
+TEST(PipelineBuilder, RejectsUnknownStepName) {
+  EXPECT_THROW(engine().with_step("bogus-step"), std::invalid_argument);
+}
+
+TEST(PipelineBuilder, RejectsDuplicateStep) {
+  auto b = engine().with_step("port-capacity").with_step("port-capacity");
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(PipelineBuilder, RejectsNullStep) {
+  EXPECT_THROW(engine().with_step(std::shared_ptr<inference_step>{}),
+               std::invalid_argument);
+}
+
+TEST(PipelineBuilder, AutoInsertsMeasurementSteps) {
+  const auto eng = engine().with_step("rtt-colo").with_step("multi-ixp").build();
+  const auto steps = eng.steps();
+  ASSERT_EQ(steps.size(), 4u);
+  // Producers are prepended before their consumers.
+  EXPECT_EQ(steps[0].name, "ping-campaign");
+  EXPECT_EQ(steps[1].name, "path-extraction");
+  EXPECT_EQ(steps[2].name, "rtt-colo");
+  EXPECT_EQ(steps[3].name, "multi-ixp");
+}
+
+TEST(PipelineBuilder, RejectsUnsatisfiableInput) {
+  struct needy_step final : inference_step {
+    std::string_view name() const noexcept override { return "needy"; }
+    std::vector<std::string_view> inputs() const override { return {"no-such-product"}; }
+    void run(step_context&) override {}
+  };
+  auto b = engine().with_step(std::make_shared<needy_step>());
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(PipelineBuilder, RejectsConsumerBeforeExplicitProducer) {
+  // "rtt" is produced, but only AFTER the step that consumes it.
+  auto b = engine().with_step("rtt-colo").with_step("ping-campaign");
+  EXPECT_THROW((void)b.build(), std::invalid_argument);
+}
+
+TEST(PipelineBuilder, OrderReplacesDecisionChainKeepsMeasurements) {
+  const auto eng = engine()
+                       .with_step("ping-campaign")
+                       .with_step("path-extraction")
+                       .with_step("private-links")
+                       .order({"port-capacity", "rtt-colo"})
+                       .build();
+  const auto steps = eng.steps();
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_EQ(steps[0].name, "ping-campaign");
+  EXPECT_EQ(steps[1].name, "path-extraction");
+  EXPECT_EQ(steps[2].name, "port-capacity");
+  EXPECT_EQ(steps[3].name, "rtt-colo");
+}
+
+TEST(PipelineBuilder, StepsCarryPaperSections) {
+  const auto eng = pipeline_builder::from_config({}).build();
+  for (const auto& s : eng.steps())
+    EXPECT_FALSE(s.paper_section.empty()) << s.name;
+}
+
+// ---------------------------------------------------------------------------
+// Engine vs. legacy shim equivalence.
+
+class EngineEquivalence : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(7))};
+  }
+  static void TearDownTestSuite() {
+    delete s_;
+    s_ = nullptr;
+  }
+
+  static pipeline_result run_legacy(const pipeline_config& cfg) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    return run_pipeline(s_->w, s_->view, s_->prefix2as, s_->lat, s_->vps,
+                        s_->traces, s_->scope, cfg);
+#pragma GCC diagnostic pop
+  }
+
+  static void expect_same_result(const pipeline_result& a, const pipeline_result& b) {
+    EXPECT_EQ(a.scope, b.scope);
+    ASSERT_EQ(a.inferences.items().size(), b.inferences.items().size());
+    auto ita = a.inferences.items().begin();
+    auto itb = b.inferences.items().begin();
+    for (; ita != a.inferences.items().end(); ++ita, ++itb) {
+      EXPECT_EQ(ita->first, itb->first);
+      EXPECT_EQ(ita->second.cls, itb->second.cls);
+      EXPECT_EQ(ita->second.step, itb->second.step);
+      EXPECT_EQ(ita->second.feasible_ixp_facilities,
+                itb->second.feasible_ixp_facilities);
+      if (std::isnan(ita->second.rtt_min_ms))
+        EXPECT_TRUE(std::isnan(itb->second.rtt_min_ms));
+      else
+        EXPECT_DOUBLE_EQ(ita->second.rtt_min_ms, itb->second.rtt_min_ms);
+    }
+    EXPECT_EQ(a.s1.examined, b.s1.examined);
+    EXPECT_EQ(a.s1.inferred_remote, b.s1.inferred_remote);
+    EXPECT_EQ(a.s3.decided_local, b.s3.decided_local);
+    EXPECT_EQ(a.s3.decided_remote, b.s3.decided_remote);
+    EXPECT_EQ(a.s3.left_unknown, b.s3.left_unknown);
+    EXPECT_EQ(a.s4.decided, b.s4.decided);
+    EXPECT_EQ(a.s5.decided_local + a.s5.decided_remote,
+              b.s5.decided_local + b.s5.decided_remote);
+  }
+
+  static eval::scenario* s_;
+};
+
+eval::scenario* EngineEquivalence::s_ = nullptr;
+
+TEST_F(EngineEquivalence, ShimMatchesFromConfigEngine) {
+  const auto cfg = s_->cfg.pipeline;
+  expect_same_result(run_legacy(cfg),
+                     pipeline_builder::from_config(cfg).build().run(s_->inputs()));
+}
+
+TEST_F(EngineEquivalence, ShimMatchesFluentChain) {
+  const auto pr = engine()
+                      .with_step("port-capacity")
+                      .with_step("rtt-colo")
+                      .with_step("multi-ixp")
+                      .with_step("private-links")
+                      .seed(s_->cfg.pipeline.seed)
+                      .build()
+                      .run(s_->inputs());
+  expect_same_result(run_legacy(s_->cfg.pipeline), pr);
+}
+
+TEST_F(EngineEquivalence, OrderPermutationsMatchShim) {
+  const std::vector<std::vector<method_step>> orders{
+      {method_step::rtt_colo, method_step::port_capacity, method_step::multi_ixp,
+       method_step::private_links},
+      {method_step::private_links, method_step::multi_ixp, method_step::rtt_colo,
+       method_step::port_capacity},
+      {method_step::port_capacity, method_step::rtt_colo},
+      {method_step::rtt_threshold},
+      {method_step::rtt_colo},
+  };
+  for (const auto& order : orders) {
+    auto cfg = s_->cfg.pipeline;
+    cfg.order = order;
+    expect_same_result(run_legacy(cfg),
+                       pipeline_builder::from_config(s_->cfg.pipeline)
+                           .order(order)
+                           .build()
+                           .run(s_->inputs()));
+  }
+}
+
+TEST_F(EngineEquivalence, TracerouteRttExtensionMatchesShim) {
+  auto cfg = s_->cfg.pipeline;
+  cfg.use_traceroute_rtt = true;
+  cfg.traceroute_rtt.require_local_near = false;
+  const auto eng = pipeline_builder::from_config(cfg).build();
+  EXPECT_EQ(eng.steps().back().name, "traceroute-rtt");
+  const auto pr = eng.run(s_->inputs());
+  expect_same_result(run_legacy(cfg), pr);
+  EXPECT_EQ(pr.s2b.decided_local + pr.s2b.decided_remote,
+            run_legacy(cfg).s2b.decided_local + run_legacy(cfg).s2b.decided_remote);
+}
+
+TEST_F(EngineEquivalence, OrderAfterFromConfigKeepsFlaggedExtension) {
+  // order(span<method_step>) mirrors legacy semantics: re-ordering the
+  // decision steps must not silently drop the flag-gated §8 epilogue.
+  auto cfg = s_->cfg.pipeline;
+  cfg.use_traceroute_rtt = true;
+  cfg.traceroute_rtt.require_local_near = false;
+  const std::vector<method_step> perm{method_step::rtt_colo, method_step::port_capacity,
+                                      method_step::multi_ixp, method_step::private_links};
+  const auto eng = pipeline_builder::from_config(cfg).order(perm).build();
+  EXPECT_EQ(eng.steps().back().name, "traceroute-rtt");
+  auto perm_cfg = cfg;
+  perm_cfg.order = perm;
+  expect_same_result(run_legacy(perm_cfg), eng.run(s_->inputs()));
+}
+
+TEST_F(EngineEquivalence, BatchedExecutionMatchesUnbatched) {
+  const auto whole = s_->run_inference();
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    auto cfg = s_->cfg.pipeline;
+    cfg.batch_size = batch;
+    const auto sliced = s_->run_inference(cfg);
+    expect_same_result(whole, sliced);
+    // Per-IXP steps really ran once per batch.
+    const auto* tr = sliced.trace_for("port-capacity");
+    ASSERT_NE(tr, nullptr);
+    EXPECT_EQ(tr->invocations, (s_->scope.size() + batch - 1) / batch);
+    // Cross-IXP steps saw the whole scope in one call.
+    const auto* multi = sliced.trace_for("multi-ixp");
+    ASSERT_NE(multi, nullptr);
+    EXPECT_EQ(multi->invocations, 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ledger.
+
+TEST_F(EngineEquivalence, TraceLedgerCoversEveryStep) {
+  const auto pr = s_->run_inference();
+  ASSERT_EQ(pr.trace.size(), 6u);  // 2 measurement + 4 decision steps
+  EXPECT_EQ(pr.trace[0].step, "ping-campaign");
+  EXPECT_EQ(pr.trace[1].step, "path-extraction");
+
+  std::size_t local = 0, remote = 0;
+  for (const auto& t : pr.trace) {
+    EXPECT_GE(t.invocations, 1u);
+    EXPECT_GE(t.elapsed_ms, 0.0);
+    local += t.decided_local;
+    remote += t.decided_remote;
+  }
+  // Every decision is attributed to exactly one ledger entry.
+  EXPECT_EQ(local, pr.inferences.count(peering_class::local));
+  EXPECT_EQ(remote, pr.inferences.count(peering_class::remote));
+
+  // Measurement steps never decide.
+  EXPECT_EQ(pr.trace[0].decided_local + pr.trace[0].decided_remote, 0u);
+  // The ledger agrees with the per-step stats structs.
+  const auto* colo = pr.trace_for("rtt-colo");
+  ASSERT_NE(colo, nullptr);
+  EXPECT_EQ(colo->decided_local, pr.s3.decided_local);
+  EXPECT_EQ(colo->decided_remote, pr.s3.decided_remote);
+  EXPECT_EQ(pr.trace_for("never-ran"), nullptr);
+}
+
+TEST_F(EngineEquivalence, CustomStepParticipates) {
+  // A plugged-in heuristic: classifies nothing but proves custom steps
+  // flow through context, execution and ledger like builtins.
+  struct count_step final : inference_step {
+    std::string_view name() const noexcept override { return "census"; }
+    std::vector<std::string_view> inputs() const override { return {"rtt"}; }
+    void run(step_context& ctx) override {
+      (void)ctx.result.rtt.observations.size();  // touch the produced product
+      ran = true;
+    }
+    bool ran = false;
+  };
+  const auto census = std::make_shared<count_step>();
+  const auto pr = engine()
+                      .with_step("port-capacity")
+                      .with_step(census)
+                      .build()
+                      .run(s_->inputs());
+  EXPECT_TRUE(census->ran);
+  ASSERT_NE(pr.trace_for("census"), nullptr);
+  EXPECT_EQ(pr.trace_for("census")->decided_local, 0u);
+}
+
+}  // namespace

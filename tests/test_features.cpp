@@ -14,7 +14,7 @@ class FeaturesTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(17))};
-    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+    pr_ = new infer::pipeline_result{s_->run_inference()};
     members_ = new std::vector<eval::member_features>{
         eval::classify_members(s_->w, s_->view, pr_->inferences)};
   }

@@ -74,7 +74,7 @@ class PortalTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(55))};
-    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+    pr_ = new infer::pipeline_result{s_->run_inference()};
   }
   static void TearDownTestSuite() {
     delete pr_;

@@ -131,7 +131,16 @@ TEST(InferenceMap, CountsByClass) {
   inf.annotate_rtt(key(3), 1.0);
   EXPECT_EQ(inf.count(peering_class::remote), 1u);
   EXPECT_EQ(inf.count(peering_class::local), 2u);
-  EXPECT_EQ(inf.count(peering_class::unknown), 1u);
+  // Annotating an undecided interface must NOT create a phantom entry:
+  // items() and the class counts track decisions only.
+  EXPECT_EQ(inf.count(peering_class::unknown), 0u);
+  EXPECT_EQ(inf.items().size(), 3u);
+  EXPECT_EQ(inf.find(key(3)), nullptr);
+  EXPECT_DOUBLE_EQ(inf.rtt_min_ms(key(3)), 1.0);
+  // The parked annotation is folded in when a step decides the key.
+  inf.decide(key(3), peering_class::local, method_step::rtt_colo);
+  ASSERT_NE(inf.find(key(3)), nullptr);
+  EXPECT_DOUBLE_EQ(inf.find(key(3))->rtt_min_ms, 1.0);
 }
 
 TEST(ValidationSets, MergeAndContains) {

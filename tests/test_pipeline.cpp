@@ -18,7 +18,7 @@ class PipelineTest : public ::testing::Test {
   static void SetUpTestSuite() {
     auto cfg = eval::small_scenario_config(7);
     s_ = new eval::scenario{eval::scenario::build(cfg)};
-    pr_ = new pipeline_result{s_->run_pipeline()};
+    pr_ = new pipeline_result{s_->run_inference()};
   }
   static void TearDownTestSuite() {
     delete pr_;
@@ -119,7 +119,7 @@ TEST_F(PipelineTest, CountsPerIxpConsistent) {
 }
 
 TEST_F(PipelineTest, DeterministicAcrossRuns) {
-  const auto pr2 = s_->run_pipeline();
+  const auto pr2 = s_->run_inference();
   EXPECT_EQ(pr2.inferences.count(peering_class::local),
             pr_->inferences.count(peering_class::local));
   EXPECT_EQ(pr2.inferences.count(peering_class::remote),
@@ -151,7 +151,7 @@ TEST_F(PipelineTest, StepOrderAblationStillWorks) {
   infer::pipeline_config cfg = s_->cfg.pipeline;
   cfg.order = {method_step::rtt_colo, method_step::port_capacity,
                method_step::multi_ixp, method_step::private_links};
-  const auto pr2 = s_->run_pipeline(cfg);
+  const auto pr2 = s_->run_inference(cfg);
   const auto vd = s_->validation.test;
   const auto m = eval::compute_metrics(pr2.inferences, vd);
   EXPECT_GT(m.acc, 0.75);
@@ -160,7 +160,7 @@ TEST_F(PipelineTest, StepOrderAblationStillWorks) {
 TEST_F(PipelineTest, SubsetOfStepsLowersCoverage) {
   infer::pipeline_config cfg = s_->cfg.pipeline;
   cfg.order = {method_step::port_capacity};
-  const auto pr2 = s_->run_pipeline(cfg);
+  const auto pr2 = s_->run_inference(cfg);
   EXPECT_LT(pr2.inferences.count(peering_class::local) +
                 pr2.inferences.count(peering_class::remote),
             pr_->inferences.count(peering_class::local) +
@@ -173,7 +173,7 @@ class PipelineSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(PipelineSeedSweep, AccuracyHoldsAcrossSeeds) {
   auto cfg = eval::small_scenario_config(GetParam());
   const auto s = eval::scenario::build(cfg);
-  const auto pr = s.run_pipeline();
+  const auto pr = s.run_inference();
   const auto vd = s.validation.test;
   const auto m = eval::compute_metrics(pr.inferences, vd);
   EXPECT_GT(m.acc, 0.80) << "seed " << GetParam();

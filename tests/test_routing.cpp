@@ -14,7 +14,7 @@ class RoutingTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(29))};
-    pr_ = new infer::pipeline_result{s_->run_pipeline()};
+    pr_ = new infer::pipeline_result{s_->run_inference()};
     studied_ = pr_->scope.front();
     std::vector<net::asn> remote_members;
     for (const auto& [key, inf] : pr_->inferences.items())
