@@ -1,0 +1,108 @@
+// Threads-vs-speedup for the parallel sharded executor.
+//
+// Runs the full inference pipeline on the shared (large) scenario under
+// the serial backend and under the parallel backend at 1/2/4/8 worker
+// threads, prints a table plus a machine-readable JSON blob, and
+// registers google-benchmark timers for the same sweep.  The JSON also
+// lands in the file named by OPWAT_BENCH_JSON when set (the CI smoke
+// step uploads it as a workflow artifact), so the perf claim is a
+// measured artifact, not an assertion.
+//
+// Determinism note: every configuration below produces a bit-identical
+// pipeline_result (tests/test_parallel.cpp enforces it); only wall-clock
+// time may differ.
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <thread>
+
+#include "opwat/util/json.hpp"
+
+namespace {
+
+using namespace opwat;
+
+constexpr std::size_t k_thread_sweep[] = {1, 2, 4, 8};
+constexpr int k_repetitions = 3;
+
+/// Best-of-N wall time of one pipeline run (0 threads = serial backend).
+double best_ms(const eval::scenario& s, std::size_t threads) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < k_repetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto pr =
+        threads == 0 ? s.run_inference() : s.run_inference_parallel(threads);
+    benchmark::DoNotOptimize(&pr);
+    best = std::min(best, std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count());
+  }
+  return best;
+}
+
+void print_scaling() {
+  const auto& s = benchx::shared_scenario();
+  const double serial_ms = best_ms(s, 0);
+
+  util::json_writer w;
+  w.begin_object();
+  w.key("bench").value("parallel_scaling");
+  w.key("scope_ixps").value(static_cast<std::uint64_t>(s.scope.size()));
+  w.key("hardware_concurrency")
+      .value(static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+  w.key("repetitions").value(k_repetitions);
+  w.key("serial_ms").value(serial_ms);
+  w.key("results").begin_array();
+
+  util::text_table t{"Parallel sharded executor: threads vs speedup"};
+  t.header({"backend", "threads", "ms", "speedup vs serial"});
+  t.row({"serial", "1", util::fmt_double(serial_ms, 1), "1.00x"});
+  for (const auto threads : k_thread_sweep) {
+    const double ms = best_ms(s, threads);
+    const double speedup = serial_ms / ms;
+    t.row({"parallel", std::to_string(threads), util::fmt_double(ms, 1),
+           util::fmt_double(speedup, 2) + "x"});
+    w.begin_object();
+    w.key("threads").value(static_cast<std::uint64_t>(threads));
+    w.key("ms").value(ms);
+    w.key("speedup").value(speedup);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  t.footer("speedup is hardware-bound: ~1x on a single-core host, "
+           "scaling with cores elsewhere");
+  t.print(std::cout);
+  std::cout << "\nJSON: " << w.str() << "\n";
+
+  if (const char* path = std::getenv("OPWAT_BENCH_JSON")) {
+    std::ofstream out{path};
+    out << w.str() << "\n";
+    std::cout << "(written to " << path << ")\n";
+  }
+}
+
+void BM_pipeline(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto pr =
+        threads == 0 ? s.run_inference() : s.run_inference_parallel(threads);
+    benchmark::DoNotOptimize(&pr);
+  }
+}
+BENCHMARK(BM_pipeline)
+    ->Arg(0)  // serial backend
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_scaling)

@@ -1,9 +1,17 @@
 #include "common.hpp"
 
+#include <cstdlib>
+#include <string_view>
+
 namespace opwat::benchx {
 
 const eval::scenario& shared_scenario() {
-  static const eval::scenario s = eval::scenario::build(eval::default_scenario_config());
+  static const eval::scenario s = [] {
+    const char* scale = std::getenv("OPWAT_BENCH_SCALE");
+    if (scale && std::string_view{scale} == "tiny")
+      return eval::scenario::build(eval::small_scenario_config());
+    return eval::scenario::build(eval::default_scenario_config());
+  }();
   return s;
 }
 

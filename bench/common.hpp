@@ -18,7 +18,10 @@
 
 namespace opwat::benchx {
 
-/// The scenario every bench shares (built once per process).
+/// The scenario every bench shares (built once per process).  Setting
+/// OPWAT_BENCH_SCALE=tiny in the environment swaps in the small test
+/// scenario — the CI smoke path, where benches must only prove they run
+/// and emit their artifacts, not produce paper-scale numbers.
 const eval::scenario& shared_scenario();
 
 /// The pipeline result on the shared scenario (run once per process).

@@ -53,6 +53,13 @@ infer::pipeline_result scenario::run_inference(
   return infer::pipeline_builder::from_config(override_cfg).build().run(inputs());
 }
 
+infer::pipeline_result scenario::run_inference_parallel(std::size_t threads) const {
+  auto cfg2 = cfg.pipeline;
+  cfg2.execution = infer::parallelism::parallel;
+  cfg2.threads = threads;
+  return run_inference(cfg2);
+}
+
 infer::pipeline_result scenario::run_pipeline() const { return run_inference(); }
 
 infer::pipeline_result scenario::run_pipeline(

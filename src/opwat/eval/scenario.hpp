@@ -62,6 +62,10 @@ struct scenario {
   [[nodiscard]] infer::pipeline_result run_inference() const;
   [[nodiscard]] infer::pipeline_result run_inference(
       const infer::pipeline_config& override_cfg) const;
+  /// Same, on the parallel backend with `threads` workers (0 = hardware
+  /// concurrency).  Bit-identical to the serial run of the same config.
+  [[nodiscard]] infer::pipeline_result run_inference_parallel(
+      std::size_t threads = 0) const;
   [[nodiscard]] infer::pipeline_result run_inference(
       const infer::inference_engine& eng) const {
     return eng.run(inputs());

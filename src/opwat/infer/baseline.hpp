@@ -18,8 +18,12 @@ struct baseline_config {
 
 /// Classifies every interface with at least one usable observation.
 /// A non-empty `only` restricts classification to interfaces of those
-/// IXPs (used by the engine's scope batching).  Returns the number of
-/// inferences made.
+/// IXPs (used by the engine's scope batching and parallel shards).
+/// Returns the number of inferences made.
+///
+/// Shard contract (parallel executor): reads `rtts` only and touches only
+/// keys of `only` IXPs — concurrent calls on disjoint scopes with
+/// per-shard maps are race-free and merge exactly.
 std::size_t run_rtt_baseline(const step2_result& rtts, const baseline_config& cfg,
                              inference_map& out,
                              std::span<const world::ixp_id> only = {});

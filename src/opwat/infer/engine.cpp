@@ -5,6 +5,8 @@
 #include <set>
 #include <stdexcept>
 
+#include "opwat/infer/executor.hpp"
+
 namespace opwat::infer {
 
 namespace {
@@ -91,6 +93,15 @@ pipeline_builder& pipeline_builder::seed(std::uint64_t seed) {
 }
 pipeline_builder& pipeline_builder::batch_size(std::size_t n) {
   cfg_.batch_size = n;
+  return *this;
+}
+pipeline_builder& pipeline_builder::threads(std::size_t n) {
+  cfg_.execution = parallelism::parallel;
+  cfg_.threads = n;
+  return *this;
+}
+pipeline_builder& pipeline_builder::execution(parallelism mode) {
+  cfg_.execution = mode;
   return *this;
 }
 pipeline_builder& pipeline_builder::step2(const step2_config& cfg) {
@@ -191,10 +202,8 @@ pipeline_result inference_engine::run(const engine_inputs& in) const {
 
   pipeline_result pr;
   pr.scope.assign(in.scope.begin(), in.scope.end());
-  step_context ctx{in, cfg_, pr, util::rng{cfg_.seed}};
-
-  const std::size_t batch =
-      cfg_.batch_size == 0 ? in.scope.size() : cfg_.batch_size;
+  const auto exec = make_executor(cfg_);
+  step_context ctx{in, cfg_, pr, util::rng{cfg_.seed}, nullptr, exec->pool()};
 
   for (const auto& step : steps_) {
     step_trace tr;
@@ -203,15 +212,11 @@ pipeline_result inference_engine::run(const engine_inputs& in) const {
     const auto remote0 = pr.inferences.count(peering_class::remote);
     const auto t0 = clock::now();
 
-    if (step->granularity() == step_granularity::per_ixp && batch < in.scope.size()) {
-      for (std::size_t from = 0; from < in.scope.size(); from += batch) {
-        const auto n = std::min(batch, in.scope.size() - from);
-        ctx.batch = in.scope.subspan(from, n);
-        step->run(ctx);
-        ++tr.invocations;
-      }
-      ctx.batch = in.scope;
+    if (step->granularity() == step_granularity::per_ixp) {
+      tr.invocations = exec->run_step(*step, ctx, in);
     } else {
+      // Cross-IXP steps propagate evidence between IXPs and run on the
+      // barrier path: the whole scope, the merged result, one thread.
       ctx.batch = in.scope;
       step->run(ctx);
       tr.invocations = 1;

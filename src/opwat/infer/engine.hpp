@@ -39,9 +39,15 @@ struct step_info {
 /// An immutable, reusable executor for one validated step chain.
 class inference_engine {
  public:
-  /// Executes the chain over `in.scope`.  Per-IXP steps run once per
-  /// scope batch (cfg.batch_size; 0 = single batch), cross-IXP steps see
-  /// the full scope — results are identical for any batch size.
+  /// Executes the chain over `in.scope`.  Per-IXP steps go through the
+  /// configured executor — the serial batch loop by default, scope
+  /// shards on a worker pool with a deterministic merge under
+  /// threads(n)/parallelism::parallel — while cross-IXP steps always see
+  /// the full scope on the barrier path.  Results are bit-identical for
+  /// any batch size, backend and thread count, provided steps key their
+  /// randomness per entity (fork(tag).fork(ixp/ip), as every builtin
+  /// does) rather than per partition (step_context::shard_fork, which is
+  /// thread- and order-invariant but batch-partition-keyed by design).
   [[nodiscard]] pipeline_result run(const engine_inputs& in) const;
 
   /// The validated chain, in execution order.
@@ -98,6 +104,13 @@ class pipeline_builder {
 
   pipeline_builder& seed(std::uint64_t seed);
   pipeline_builder& batch_size(std::size_t n);
+  /// Selects the parallel backend with `n` worker threads (0 = hardware
+  /// concurrency).  Per-IXP steps fan out over IXP shards; cross-IXP
+  /// steps stay on the barrier path.  Results are bit-identical to the
+  /// serial backend for any n (see opwat/infer/executor.hpp).
+  pipeline_builder& threads(std::size_t n);
+  /// Explicit backend selection (parallelism::serial is the default).
+  pipeline_builder& execution(parallelism mode);
   pipeline_builder& step2(const step2_config& cfg);
   pipeline_builder& step3(const step3_config& cfg);
   pipeline_builder& step5(const step5_config& cfg);

@@ -1,0 +1,92 @@
+#include "opwat/infer/executor.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+namespace opwat::infer {
+
+std::size_t serial_executor::run_step(inference_step& step, step_context& ctx,
+                                      const engine_inputs& in) {
+  const std::size_t batch =
+      ctx.cfg.batch_size == 0 ? in.scope.size() : ctx.cfg.batch_size;
+  if (batch >= in.scope.size()) {
+    ctx.batch = in.scope;
+    step.run(ctx);
+    return 1;
+  }
+  std::size_t invocations = 0;
+  for (std::size_t from = 0; from < in.scope.size(); from += batch) {
+    ctx.batch = in.scope.subspan(from, std::min(batch, in.scope.size() - from));
+    step.run(ctx);
+    ++invocations;
+  }
+  ctx.batch = in.scope;
+  return invocations;
+}
+
+parallel_executor::parallel_executor(const pipeline_config& cfg)
+    : ixps_per_shard_(cfg.batch_size == 0 ? 1 : cfg.batch_size),
+      pool_(cfg.threads) {}
+
+std::size_t parallel_executor::run_step(inference_step& step, step_context& ctx,
+                                        const engine_inputs& in) {
+  const auto scope = in.scope;
+  const std::size_t n_shards =
+      scope.empty() ? 0 : (scope.size() + ixps_per_shard_ - 1) / ixps_per_shard_;
+  if (n_shards == 0) {
+    // Empty scope: nothing to shard; mirror the serial executor's single
+    // empty-batch invocation.
+    ctx.batch = scope;
+    step.run(ctx);
+    return 1;
+  }
+  // Even a single shard goes through the shard machinery so the
+  // step_context contract (shard-local result, null pool) holds for any
+  // scope size.
+
+  // Shard setup runs on the caller: each shard gets a private
+  // pipeline_result whose inference map is the slice of the IXPs it
+  // owns, and a context whose read side is the frozen run-level result.
+  pipeline_result& base = ctx.result;
+  struct shard_state {
+    std::span<const world::ixp_id> ixps;
+    pipeline_result local;
+    std::optional<step_context> ctx;
+  };
+  std::vector<shard_state> shards(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i) {
+    auto& sh = shards[i];
+    const auto from = i * ixps_per_shard_;
+    sh.ixps = scope.subspan(from, std::min(ixps_per_shard_, scope.size() - from));
+    sh.local.inferences = base.inferences.slice(sh.ixps);
+    sh.ctx.emplace(in, ctx.cfg, sh.local, ctx.root(), &base);
+    sh.ctx->batch = sh.ixps;
+  }
+
+  pool_.parallel_for(n_shards,
+                     [&](std::size_t i) { step.run(*shards[i].ctx); });
+
+  // Deterministic merge: fixed scope order, regardless of which thread
+  // finished which shard when.  Per-IXP steps may write the inference
+  // map, the additive stats blocks and the campaign partials; the
+  // cross-IXP-only products (paths, s4, s5, beyond_pings) stay on the
+  // barrier path and are never populated here.
+  for (auto& sh : shards) {
+    base.inferences.replace_slice(sh.ixps, std::move(sh.local.inferences));
+    base.s1 += sh.local.s1;
+    base.s3 += sh.local.s3;
+    base.s2b += sh.local.s2b;
+    base.rtt.merge_from(std::move(sh.local.rtt));
+  }
+  ctx.batch = scope;
+  return n_shards;
+}
+
+std::unique_ptr<executor> make_executor(const pipeline_config& cfg) {
+  if (cfg.execution == parallelism::parallel)
+    return std::make_unique<parallel_executor>(cfg);
+  return std::make_unique<serial_executor>();
+}
+
+}  // namespace opwat::infer

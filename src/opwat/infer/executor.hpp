@@ -1,0 +1,75 @@
+// Execution backends for the inference engine's per-IXP fan-out.
+//
+// The engine delegates every per-IXP step to an executor:
+//
+//  - serial_executor — the scope-batch loop the engine always had: one
+//    thread, cfg.batch_size IXPs per invocation (0 = the whole scope).
+//
+//  - parallel_executor — splits the scope into shards (cfg.batch_size
+//    IXPs per shard; 0 = one IXP per shard), runs each shard on a
+//    thread pool against a shard-local step_context (a sliced inference
+//    map, fresh per-step stats, shard-keyed rng streams, and the frozen
+//    run-level result as the read side), then merges the shard deltas
+//    back IN FIXED SCOPE ORDER.  Every merge is exact — inference-map
+//    slices are disjoint by construction, stats add commutatively, and
+//    campaign partials interleave by VP index — so a parallel run is
+//    bit-identical to the serial run of the same config and seed, for
+//    any thread count and any shard completion order, in everything but
+//    the ledger's `invocations` field, which reports the actual
+//    partition (one shard per IXP here vs. one batch serially).
+//
+// Cross-IXP steps never reach an executor; the engine runs them on the
+// barrier path.  They may still fan out internally over a non-IXP axis
+// through step_context::pool() (path extraction shards the trace
+// corpus), which the parallel executor exposes and the serial one does
+// not.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "opwat/infer/step.hpp"
+#include "opwat/util/thread_pool.hpp"
+
+namespace opwat::infer {
+
+class executor {
+ public:
+  virtual ~executor() = default;
+
+  /// Runs a per-IXP step over the full scope, leaving `ctx.result` in
+  /// the same state a single-threaded full-scope run would.  Returns the
+  /// number of batch/shard invocations (the ledger's `invocations`).
+  virtual std::size_t run_step(inference_step& step, step_context& ctx,
+                               const engine_inputs& in) = 0;
+
+  /// Worker pool for cross-IXP steps that parallelize internally; null
+  /// when the backend is serial.
+  [[nodiscard]] virtual util::thread_pool* pool() noexcept { return nullptr; }
+};
+
+class serial_executor final : public executor {
+ public:
+  std::size_t run_step(inference_step& step, step_context& ctx,
+                       const engine_inputs& in) override;
+};
+
+class parallel_executor final : public executor {
+ public:
+  /// Uses cfg.threads workers (0 = hardware concurrency) and
+  /// cfg.batch_size IXPs per shard (0 = one IXP per shard).
+  explicit parallel_executor(const pipeline_config& cfg);
+
+  std::size_t run_step(inference_step& step, step_context& ctx,
+                       const engine_inputs& in) override;
+  [[nodiscard]] util::thread_pool* pool() noexcept override { return &pool_; }
+
+ private:
+  std::size_t ixps_per_shard_;
+  util::thread_pool pool_;
+};
+
+/// The backend selected by cfg.execution.
+[[nodiscard]] std::unique_ptr<executor> make_executor(const pipeline_config& cfg);
+
+}  // namespace opwat::infer

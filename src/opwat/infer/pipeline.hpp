@@ -8,6 +8,7 @@
 // first since later steps consume their outputs.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,13 @@
 
 namespace opwat::infer {
 
+/// Execution backend of the engine's per-IXP fan-out (see
+/// opwat/infer/executor.hpp).  The serial backend is the default; the
+/// parallel backend shards per-IXP steps over a thread pool and merges
+/// the shard deltas deterministically, so both produce bit-identical
+/// pipeline_results for the same config and seed.
+enum class parallelism : std::uint8_t { serial, parallel };
+
 struct pipeline_config {
   /// Decision order; subsets/permutations supported for ablations.
   std::vector<method_step> order{method_step::port_capacity, method_step::rtt_colo,
@@ -41,10 +49,17 @@ struct pipeline_config {
   traceroute_rtt_config traceroute_rtt;
   std::uint64_t seed = 0x0b5e55ed;
   /// Scope-batch size for per-IXP steps; 0 = one batch over the whole
-  /// scope.  Partition-independent steps produce identical results for
-  /// any batch size — the knob exists so a later PR can run batches on
-  /// worker shards without touching callers.
+  /// scope under the serial backend, one IXP per shard under the
+  /// parallel backend.  Per-IXP steps are partition-independent, so
+  /// results are identical for any batch size.
   std::size_t batch_size = 0;
+  /// Execution backend: parallelism::parallel fans per-IXP steps out
+  /// over scope shards on a worker pool (cross-IXP steps stay on the
+  /// barrier path) and merges shard deltas in fixed scope order.
+  parallelism execution = parallelism::serial;
+  /// Worker threads for the parallel backend (0 = hardware concurrency).
+  /// The thread count never changes results — only wall-clock time.
+  std::size_t threads = 0;
 };
 
 struct pipeline_result {

@@ -12,25 +12,30 @@ namespace {
 /// Step 2's campaign (§5.2/§6.1): pings from every usable VP, TTL +
 /// management-LAN filters, LG rounding correction.  Produces the "rtt"
 /// product every RTT-consuming decision step reads.
+///
+/// Per-IXP: a VP only pings its own IXP's members, and every draw is
+/// keyed by (campaign seed, VP, target) rather than by draw order, so
+/// running the campaign per scope batch/shard and merging the partials
+/// reproduces the full-scope campaign byte for byte.
 class ping_campaign_step final : public inference_step {
  public:
   std::string_view name() const noexcept override { return "ping-campaign"; }
   step_kind kind() const noexcept override { return step_kind::measurement; }
-  step_granularity granularity() const noexcept override {
-    return step_granularity::cross_ixp;
-  }
   std::vector<std::string_view> outputs() const override { return {"rtt"}; }
   std::string_view paper_section() const noexcept override { return "sec. 5.2, 6.1"; }
 
   void run(step_context& ctx) override {
-    ctx.result.rtt = run_step2_rtt(ctx.w, ctx.lat, ctx.vps, ctx.view, ctx.scope,
-                                   ctx.cfg.step2, ctx.fork("ping"),
-                                   ctx.result.inferences);
+    ctx.result.rtt.merge_from(run_step2_rtt(ctx.w, ctx.lat, ctx.vps, ctx.view,
+                                            ctx.batch, ctx.cfg.step2,
+                                            ctx.fork("ping"),
+                                            ctx.result.inferences));
   }
 };
 
 /// traIXroute-style IXP-crossing and private-link extraction from the
-/// traceroute corpus.  Produces the "paths" product.
+/// traceroute corpus.  Produces the "paths" product.  Cross-IXP (the
+/// corpus is not an IXP axis), but fans out over trace chunks on the
+/// parallel executor's pool when one is available.
 class path_extraction_step final : public inference_step {
  public:
   std::string_view name() const noexcept override { return "path-extraction"; }
@@ -42,7 +47,8 @@ class path_extraction_step final : public inference_step {
   std::string_view paper_section() const noexcept override { return "sec. 5.1.3"; }
 
   void run(step_context& ctx) override {
-    ctx.result.paths = traix::extract(ctx.traces, ctx.view, ctx.prefix2as);
+    ctx.result.paths = traix::extract(ctx.traces, ctx.view, ctx.prefix2as,
+                                      ctx.pool());
   }
 };
 
@@ -70,7 +76,7 @@ class rtt_colo_step final : public inference_step {
   std::string_view paper_section() const noexcept override { return "sec. 5.1.2, 5.2"; }
 
   void run(step_context& ctx) override {
-    ctx.result.s3 += run_step3_colo(ctx.view, ctx.vps, ctx.result.rtt,
+    ctx.result.s3 += run_step3_colo(ctx.view, ctx.vps, ctx.shared().rtt,
                                     ctx.cfg.step3, ctx.result.inferences, ctx.batch);
   }
 };
@@ -86,7 +92,7 @@ class multi_ixp_step final : public inference_step {
   std::string_view paper_section() const noexcept override { return "sec. 5.1.3"; }
 
   void run(step_context& ctx) override {
-    ctx.result.s4 = run_step4_multi_ixp(ctx.view, ctx.result.paths, ctx.resolver(),
+    ctx.result.s4 = run_step4_multi_ixp(ctx.view, ctx.shared().paths, ctx.resolver(),
                                         ctx.scope, ctx.result.inferences);
   }
 };
@@ -102,8 +108,8 @@ class private_links_step final : public inference_step {
   std::string_view paper_section() const noexcept override { return "sec. 5.1.4"; }
 
   void run(step_context& ctx) override {
-    ctx.result.s5 = run_step5_private(ctx.view, ctx.result.paths, ctx.resolver(),
-                                      ctx.vps, ctx.result.rtt, ctx.scope,
+    ctx.result.s5 = run_step5_private(ctx.view, ctx.shared().paths, ctx.resolver(),
+                                      ctx.vps, ctx.shared().rtt, ctx.scope,
                                       ctx.cfg.step5, ctx.result.inferences);
   }
 };
@@ -117,7 +123,7 @@ class rtt_threshold_step final : public inference_step {
   std::string_view paper_section() const noexcept override { return "sec. 4.1"; }
 
   void run(step_context& ctx) override {
-    run_rtt_baseline(ctx.result.rtt, ctx.cfg.baseline, ctx.result.inferences,
+    run_rtt_baseline(ctx.shared().rtt, ctx.cfg.baseline, ctx.result.inferences,
                      ctx.batch);
   }
 };
@@ -136,7 +142,7 @@ class traceroute_rtt_step final : public inference_step {
 
   void run(step_context& ctx) override {
     ctx.result.beyond_pings = derive_traceroute_rtts(
-        ctx.view, ctx.result.paths, ctx.result.inferences, ctx.cfg.traceroute_rtt);
+        ctx.view, ctx.shared().paths, ctx.result.inferences, ctx.cfg.traceroute_rtt);
     step3_config colo_cfg = ctx.cfg.step3;
     colo_cfg.provenance = method_step::traceroute_rtt;
     const auto packed = ctx.result.beyond_pings.as_step2_result();

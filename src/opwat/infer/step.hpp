@@ -18,6 +18,10 @@
 #include "opwat/infer/pipeline.hpp"
 #include "opwat/util/rng.hpp"
 
+namespace opwat::util {
+class thread_pool;
+}
+
 namespace opwat::infer {
 
 /// Measurement steps build the evidence substrate (ping campaign,
@@ -49,13 +53,22 @@ struct engine_inputs {
 /// the accumulating pipeline_result (inference map, per-step stats,
 /// measurement products) and deterministic utilities (tagged rng forks, a
 /// lazily built alias resolver).
+///
+/// Write/read split for the parallel executor: steps WRITE through
+/// `result` and READ earlier steps' products (rtt, paths, …) through
+/// `shared()`.  On the serial and barrier paths both are the same
+/// object; inside a parallel shard, `result` is a shard-local delta (a
+/// sliced inference map plus fresh stats) while `shared()` is the frozen
+/// run-level result — so concurrent shards never share mutable state.
 class step_context {
  public:
   step_context(const engine_inputs& in, const pipeline_config& cfg,
-               pipeline_result& result, util::rng root) noexcept
+               pipeline_result& result, util::rng root,
+               const pipeline_result* shared = nullptr,
+               util::thread_pool* pool = nullptr) noexcept
       : w(in.w), view(in.view), prefix2as(in.prefix2as), lat(in.lat), vps(in.vps),
         traces(in.traces), scope(in.scope), batch(in.scope), cfg(cfg),
-        result(result), root_(root) {}
+        result(result), shared_(shared), pool_(pool), root_(root) {}
 
   step_context(const step_context&) = delete;
   step_context& operator=(const step_context&) = delete;
@@ -72,7 +85,22 @@ class step_context {
   /// (equals `scope` for cross-IXP steps and unbatched runs).
   std::span<const world::ixp_id> batch;
   const pipeline_config& cfg;
+  /// The write side: the run-level result on the serial/barrier path, a
+  /// shard-local delta inside a parallel shard (merged deterministically
+  /// by the executor afterwards).
   pipeline_result& result;
+
+  /// The read side: the merged products of the steps that already ran.
+  /// Always read rtt/paths/… through here, never through `result` — on
+  /// a parallel shard the delta's product slots are empty.
+  [[nodiscard]] const pipeline_result& shared() const noexcept {
+    return shared_ ? *shared_ : result;
+  }
+
+  /// Worker pool of the parallel executor, for cross-IXP steps that fan
+  /// out over a non-IXP axis (path extraction shards the trace corpus).
+  /// Null on the serial path and inside per-IXP shards.
+  [[nodiscard]] util::thread_pool* pool() const noexcept { return pool_; }
 
   /// Deterministic child stream for a step-specific purpose.  Forks
   /// depend only on (run seed, tag), never on draw counts, so step
@@ -80,6 +108,21 @@ class step_context {
   [[nodiscard]] util::rng fork(std::string_view tag) const noexcept {
     return root_.fork(tag);
   }
+
+  /// Per-shard named stream: depends only on (run seed, tag, first IXP
+  /// of the current batch) — the same no matter which thread runs the
+  /// shard or in what order shards execute.  NOTE it IS keyed by the
+  /// batch partition: serial unbatched runs are one batch, so a step
+  /// drawing from shard_fork sees different streams under different
+  /// batch_size/backend choices.  For draws that must be invariant
+  /// across partitions too (the guarantee all builtin steps meet), key
+  /// per entity instead: fork(tag).fork(ixp) / fork(tag).fork(ip).
+  [[nodiscard]] util::rng shard_fork(std::string_view tag) const noexcept {
+    return root_.stream(tag, batch.empty() ? ~0ULL : batch.front());
+  }
+
+  /// The run's root stream (for executors building shard contexts).
+  [[nodiscard]] util::rng root() const noexcept { return root_; }
 
   /// The alias resolver shared by topology steps (built on first use with
   /// the run's "alias" stream, exactly as the monolithic pipeline did).
@@ -90,6 +133,8 @@ class step_context {
   }
 
  private:
+  const pipeline_result* shared_ = nullptr;
+  util::thread_pool* pool_ = nullptr;
   util::rng root_;
   std::optional<alias::resolver> resolver_;
 };

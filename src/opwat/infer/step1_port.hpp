@@ -26,6 +26,10 @@ struct step1_stats {
 };
 
 /// Applies Step 1 over every interface of the scoped IXPs.
+///
+/// Shard contract (parallel executor): reads `view` only, touches only
+/// keys of `ixps`, and draws no randomness — concurrent calls on
+/// disjoint scopes with per-shard maps are race-free and merge exactly.
 step1_stats run_step1_port_capacity(const db::merged_view& view,
                                     std::span<const world::ixp_id> ixps,
                                     inference_map& out);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <set>
 
 namespace opwat::infer {
@@ -15,6 +16,51 @@ double step2_result::best_rtt(const iface_key& k) const {
   return best;
 }
 
+void step2_result::merge_from(step2_result&& part) {
+  observations.merge(part.observations);
+
+  // Both measurement lists are ordered by VP index (the campaign's outer
+  // loop); a stable in-place merge restores the global VP-major order.
+  const auto mid = static_cast<std::ptrdiff_t>(campaign.measurements.size());
+  campaign.measurements.insert(
+      campaign.measurements.end(),
+      std::make_move_iterator(part.campaign.measurements.begin()),
+      std::make_move_iterator(part.campaign.measurements.end()));
+  std::inplace_merge(campaign.measurements.begin(),
+                     campaign.measurements.begin() + mid, campaign.measurements.end(),
+                     [](const measure::ping_measurement& a,
+                        const measure::ping_measurement& b) {
+                       return a.vp_index < b.vp_index;
+                     });
+
+  // A VP's route-server RTT is finite only in the partial that covered
+  // its IXP (+inf in every other, since the campaign skips VPs whose
+  // IXP has no targets); the element-wise min keeps the finite value.
+  // When a VP is measured by several partials the draws are keyed by
+  // (seed, vp), so the candidates are bitwise identical anyway.
+  if (campaign.route_server_rtt_ms.empty()) {
+    campaign.route_server_rtt_ms = std::move(part.campaign.route_server_rtt_ms);
+  } else {
+    const auto n = std::min(campaign.route_server_rtt_ms.size(),
+                            part.campaign.route_server_rtt_ms.size());
+    for (std::size_t i = 0; i < n; ++i)
+      campaign.route_server_rtt_ms[i] = std::min(
+          campaign.route_server_rtt_ms[i], part.campaign.route_server_rtt_ms[i]);
+  }
+
+  const auto merge_sorted = [](std::vector<std::size_t>& into,
+                               std::vector<std::size_t>&& from) {
+    const auto m = static_cast<std::ptrdiff_t>(into.size());
+    into.insert(into.end(), from.begin(), from.end());
+    std::inplace_merge(into.begin(), into.begin() + m, into.end());
+  };
+  merge_sorted(usable_vps, std::move(part.usable_vps));
+  merge_sorted(mgmt_filtered_vps, std::move(part.mgmt_filtered_vps));
+
+  targets_queried += part.targets_queried;
+  targets_responsive += part.targets_responsive;
+}
+
 step2_result run_step2_rtt(const world::world& w, const measure::latency_model& lat,
                            std::span<const measure::vantage_point> vps,
                            const db::merged_view& view,
@@ -24,19 +70,27 @@ step2_result run_step2_rtt(const world::world& w, const measure::latency_model& 
   step2_result out;
 
   // Targets: every interface the merged DB lists for the scoped IXPs.
+  // IXPs contributing at least one target are the ones whose VPs the
+  // campaign will actually measure.
   std::vector<measure::ping_target> targets;
-  const std::set<world::ixp_id> scope{ixps.begin(), ixps.end()};
-  for (const auto x : ixps)
-    for (const auto& e : view.interfaces_of_ixp(x)) targets.push_back({e.ip, x});
+  std::set<world::ixp_id> measured_ixps;
+  for (const auto x : ixps) {
+    const auto& ifaces = view.interfaces_of_ixp(x);
+    if (!ifaces.empty()) measured_ixps.insert(x);
+    for (const auto& e : ifaces) targets.push_back({e.ip, x});
+  }
   out.targets_queried = targets.size();
 
   out.campaign = measure::run_ping_campaign(w, lat, vps, targets, cfg.ping, rng);
 
-  // VP filters.
+  // VP filters.  A scoped IXP with no listed interface produced no
+  // targets, so its VPs were never measured (route-server RTT is +inf) —
+  // they are neither usable nor mgmt-filtered, just absent, exactly as
+  // in a run where the IXP is out of scope.
   std::vector<char> usable(vps.size(), 0);
   for (std::size_t vi = 0; vi < vps.size(); ++vi) {
     const auto& vp = vps[vi];
-    if (!vp.alive || !scope.contains(vp.ixp)) continue;
+    if (!vp.alive || !measured_ixps.contains(vp.ixp)) continue;
     if (cfg.apply_mgmt_filter && vp.type == measure::vp_type::atlas &&
         out.campaign.route_server_rtt_ms[vi] >= cfg.mgmt_filter_ms) {
       out.mgmt_filtered_vps.push_back(vi);

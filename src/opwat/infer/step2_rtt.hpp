@@ -48,6 +48,17 @@ struct step2_result {
 
   /// Minimum usable RTT across VPs for an interface (NaN when none).
   [[nodiscard]] double best_rtt(const iface_key& k) const;
+
+  /// Folds in a campaign run over a disjoint IXP subset (the engine's
+  /// batch/shard path).  The merge is exact: observation keys are
+  /// (ixp, ip) so subsets never collide, measurements interleave by VP
+  /// index (a VP pings only its own IXP, so indices are disjoint too),
+  /// and a VP's route-server RTT is finite only in the partial covering
+  /// its IXP (element-wise min keeps it; candidates measured twice are
+  /// bitwise identical since draws are keyed by (seed, vp)).  Merging
+  /// the per-IXP partials therefore reproduces the full-scope result
+  /// byte for byte, in any merge order.
+  void merge_from(step2_result&& part);
 };
 
 /// Builds targets from the merged view and runs the filtered campaign.

@@ -44,7 +44,11 @@ struct step3_stats {
 };
 
 /// A non-empty `only` restricts the ring test to interfaces of those IXPs
-/// (used by the engine's scope batching).
+/// (used by the engine's scope batching and parallel shards).
+///
+/// Shard contract (parallel executor): reads view/vps/rtts only, touches
+/// only keys of `only` IXPs, and draws no randomness — concurrent calls
+/// on disjoint scopes with per-shard maps are race-free and merge exactly.
 step3_stats run_step3_colo(const db::merged_view& view,
                            std::span<const measure::vantage_point> vps,
                            const step2_result& rtts, const step3_config& cfg,

@@ -48,6 +48,9 @@ struct step4_result {
   std::size_t decided = 0;
 };
 
+/// Barrier-path step: router labels propagate evidence BETWEEN the scoped
+/// IXPs, so the engine never shards this over the scope — it runs once,
+/// single-threaded, against the merged run-level result.
 step4_result run_step4_multi_ixp(const db::merged_view& view,
                                  const traix::extraction& paths,
                                  const alias::resolver& resolve,

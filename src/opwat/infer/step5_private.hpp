@@ -34,6 +34,9 @@ struct step5_stats {
   std::size_t no_inference = 0;
 };
 
+/// Barrier-path step: the constrained-facility vote reads neighbours'
+/// classifications across IXPs, so the engine never shards this over the
+/// scope — it runs once, single-threaded, against the merged result.
 step5_stats run_step5_private(const db::merged_view& view,
                               const traix::extraction& paths,
                               const alias::resolver& resolve,

@@ -1,0 +1,64 @@
+#include "opwat/infer/types.hpp"
+
+#include <cassert>
+
+namespace opwat::infer {
+
+namespace {
+
+/// First possible key of an IXP's contiguous range ((ixp, ip) ordering).
+[[nodiscard]] iface_key range_begin(world::ixp_id x) noexcept {
+  return iface_key{x, net::ipv4_addr{}};
+}
+
+}  // namespace
+
+inference_map inference_map::slice(std::span<const world::ixp_id> ixps) const {
+  inference_map out;
+  for (const auto x : ixps) {
+    for (auto it = items_.lower_bound(range_begin(x));
+         it != items_.end() && it->first.ixp == x; ++it) {
+      out.items_.emplace(it->first, it->second);
+      ++out.counts_[static_cast<std::size_t>(it->second.cls)];
+    }
+    for (auto it = pending_.lower_bound(range_begin(x));
+         it != pending_.end() && it->first.ixp == x; ++it)
+      out.pending_.emplace(it->first, it->second);
+  }
+  return out;
+}
+
+void inference_map::replace_slice(std::span<const world::ixp_id> ixps,
+                                  inference_map&& delta) {
+  for (const auto x : ixps) {
+    for (auto it = items_.lower_bound(range_begin(x));
+         it != items_.end() && it->first.ixp == x;) {
+      --counts_[static_cast<std::size_t>(it->second.cls)];
+      it = items_.erase(it);
+    }
+    for (auto it = pending_.lower_bound(range_begin(x));
+         it != pending_.end() && it->first.ixp == x;)
+      it = pending_.erase(it);
+  }
+  // Counters follow the items actually inserted, not delta's own tally,
+  // so count(c) equals the item tally afterwards even for a hand-built
+  // delta.  A collision (a delta key outside `ixps` that the base
+  // already holds — the erased ranges cannot collide) violates the call
+  // contract: the base entry wins and the asserts flag it in Debug.
+  for (const auto& [key, inf] : delta.items_)
+    if (items_.emplace(key, inf).second)
+      ++counts_[static_cast<std::size_t>(inf.cls)];
+  pending_.merge(delta.pending_);
+  assert(delta.pending_.empty());
+  assert(([&] {
+    auto tally = decltype(counts_){};
+    for (const auto& [key, inf] : items_)
+      ++tally[static_cast<std::size_t>(inf.cls)];
+    return tally == counts_;
+  }()));
+  delta.counts_ = {};
+  delta.items_.clear();
+  delta.pending_.clear();
+}
+
+}  // namespace opwat::infer

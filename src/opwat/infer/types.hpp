@@ -10,6 +10,7 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -151,6 +152,28 @@ class inference_map {
   [[nodiscard]] std::size_t count(peering_class c) const noexcept {
     return counts_[static_cast<std::size_t>(c)];
   }
+
+  // --- shard merging (parallel executor) ------------------------------------
+  //
+  // Keys are (ixp, ip) and the map is ordered, so every IXP owns one
+  // contiguous range of both the decided items and the pending side
+  // store.  The parallel executor copies each shard's ranges out with
+  // slice(), lets the shard decide/annotate on its private copy, and
+  // folds the copy back with replace_slice() — per-class counters and
+  // pending annotations move with the entries, so merged counts never
+  // drift from the item tally (count(c) == the number of items of class
+  // c, always).
+
+  /// Deep-copies the decided entries and pending annotations of the given
+  /// IXPs into a fresh map whose counters tally exactly the copied items.
+  [[nodiscard]] inference_map slice(std::span<const world::ixp_id> ixps) const;
+
+  /// Replaces this map's entries for the given IXPs with `delta`'s:
+  /// erases the current ranges (decrementing their counters), then
+  /// splices in `delta`'s items and pending annotations (incrementing
+  /// counters per spliced item).  Every key in `delta` must belong to one
+  /// of `ixps`; `delta` is left empty.
+  void replace_slice(std::span<const world::ixp_id> ixps, inference_map&& delta);
 
  private:
   struct annotation {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <set>
 
 namespace opwat::measure {
 
@@ -29,9 +30,16 @@ ping_campaign run_ping_campaign(const world::world& w, const latency_model& lat,
   ping_campaign out;
   out.route_server_rtt_ms.assign(vps.size(), std::numeric_limits<double>::infinity());
 
+  // A VP only pings its own IXP's members, so VPs whose IXP has no
+  // target have nothing to measure — skipping them keeps a scope-sharded
+  // campaign (the engine's parallel executor) from re-sampling every
+  // VP's route-server RTT once per shard.
+  std::set<world::ixp_id> target_ixps;
+  for (const auto& tgt : targets) target_ixps.insert(tgt.ixp);
+
   for (std::size_t vi = 0; vi < vps.size(); ++vi) {
     const auto& vp = vps[vi];
-    if (!vp.alive) continue;
+    if (!vp.alive || !target_ixps.contains(vp.ixp)) continue;
     auto vr = rng.fork(vi);
 
     // Route-server RTT (used by the management-LAN filter).

@@ -54,7 +54,11 @@ struct ping_campaign {
 
 /// Runs the campaign.  Target interfaces are pinged from every alive VP
 /// whose `ixp` matches the target's; ground-truth RTTs come from the
-/// latency model via the interface's true router position in `w`.
+/// latency model via the interface's true router position in `w`.  VPs
+/// whose IXP appears in no target are skipped entirely (their
+/// route-server RTT stays +inf).  Every draw is keyed by (rng seed, VP
+/// index, target ip) — never by iteration order — so campaigns over
+/// target subsets reproduce the full campaign's values exactly.
 [[nodiscard]] ping_campaign run_ping_campaign(const world::world& w,
                                               const latency_model& lat,
                                               std::span<const vantage_point> vps,

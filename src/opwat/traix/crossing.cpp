@@ -1,5 +1,6 @@
 #include "opwat/traix/crossing.hpp"
 
+#include <algorithm>
 #include <optional>
 
 namespace opwat::traix {
@@ -18,7 +19,40 @@ std::optional<net::asn> as_of(net::ipv4_addr ip, const db::merged_view& view,
 }  // namespace
 
 extraction extract(std::span<const measure::trace> traces, const db::merged_view& view,
-                   const db::ip2as& prefix2as) {
+                   const db::ip2as& prefix2as, util::thread_pool* pool) {
+  // Parallel path: contiguous chunks, extracted independently, then
+  // concatenated in chunk order — identical bytes to the serial sweep.
+  if (pool && pool->size() > 1 && traces.size() >= 2 * pool->size()) {
+    // A few chunks per worker evens out corpora whose trace lengths vary.
+    const std::size_t n_chunks =
+        std::min(traces.size(), std::max<std::size_t>(1, pool->size() * 4));
+    const std::size_t per = (traces.size() + n_chunks - 1) / n_chunks;
+    std::vector<extraction> parts((traces.size() + per - 1) / per);
+    pool->parallel_for(parts.size(), [&](std::size_t i) {
+      const auto from = i * per;
+      parts[i] = extract(traces.subspan(from, std::min(per, traces.size() - from)),
+                         view, prefix2as, nullptr);
+    });
+    extraction out;
+    std::size_t nc = 0, na = 0, np = 0;
+    for (const auto& p : parts) {
+      nc += p.crossings.size();
+      na += p.adjacencies.size();
+      np += p.private_links.size();
+    }
+    out.crossings.reserve(nc);
+    out.adjacencies.reserve(na);
+    out.private_links.reserve(np);
+    for (auto& p : parts) {
+      out.crossings.insert(out.crossings.end(), p.crossings.begin(), p.crossings.end());
+      out.adjacencies.insert(out.adjacencies.end(), p.adjacencies.begin(),
+                             p.adjacencies.end());
+      out.private_links.insert(out.private_links.end(), p.private_links.begin(),
+                               p.private_links.end());
+    }
+    return out;
+  }
+
   extraction out;
   for (const auto& t : traces) {
     const auto& hops = t.hops;

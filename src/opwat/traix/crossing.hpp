@@ -17,6 +17,7 @@
 #include "opwat/db/ip2as.hpp"
 #include "opwat/db/merge.hpp"
 #include "opwat/measure/traceroute.hpp"
+#include "opwat/util/thread_pool.hpp"
 
 namespace opwat::traix {
 
@@ -56,7 +57,13 @@ struct extraction {
 /// Runs the triplet rule and the Step-4/Step-5 extractors over a corpus.
 /// `view` supplies IXP prefixes/memberships; `prefix2as` attributes
 /// non-IXP addresses.
+///
+/// Traces are independent and the output vectors follow corpus order, so
+/// a non-null `pool` fans the corpus out in contiguous chunks and
+/// concatenates the per-chunk extractions in chunk order — byte-identical
+/// to the single-threaded sweep for any pool size or chunking.
 [[nodiscard]] extraction extract(std::span<const measure::trace> traces,
-                                 const db::merged_view& view, const db::ip2as& prefix2as);
+                                 const db::merged_view& view, const db::ip2as& prefix2as,
+                                 util::thread_pool* pool = nullptr);
 
 }  // namespace opwat::traix

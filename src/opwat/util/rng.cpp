@@ -46,6 +46,10 @@ rng rng::fork(std::string_view tag) const noexcept {
   return fork(stable_hash(tag));
 }
 
+rng rng::stream(std::string_view name, std::uint64_t index) const noexcept {
+  return fork(stable_hash(name)).fork(index);
+}
+
 double rng::uniform01() noexcept {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }

@@ -58,6 +58,13 @@ class rng {
   [[nodiscard]] rng fork(std::uint64_t tag) const noexcept;
   [[nodiscard]] rng fork(std::string_view tag) const noexcept;
 
+  /// Named stream family: a child keyed by (parent seed, name, index),
+  /// equal to fork(name).fork(index).  This is the per-shard primitive of
+  /// the parallel executor — stream("ping", shard_key) yields the same
+  /// bits for a shard no matter which thread runs it, how many shards
+  /// exist, or in what order they execute.
+  [[nodiscard]] rng stream(std::string_view name, std::uint64_t index) const noexcept;
+
   /// Uniform double in [0, 1).
   double uniform01() noexcept;
   /// Uniform double in [lo, hi).

@@ -1,0 +1,65 @@
+// A small fixed-size worker pool for data-parallel fan-out.
+//
+// Deliberately work-stealing-free: the only primitive is parallel_for,
+// which hands out indices from a shared atomic counter.  That is exactly
+// what the inference engine's shard executor needs — shards are
+// independent and similar in cost, so a ticket counter beats per-worker
+// deques in both simplicity and determinism of the memory-order story
+// (claim via fetch_add, publish via the completion latch).
+//
+// Workers are started once and reused across parallel_for calls; the
+// caller blocks until every index has been processed and every worker has
+// checked back in, so shard state written inside the body is safely
+// visible to the caller afterwards (release on the latch, acquire on the
+// wait).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace opwat::util {
+
+class thread_pool {
+ public:
+  /// Starts `threads` workers (0 = std::thread::hardware_concurrency()).
+  explicit thread_pool(std::size_t threads = 0);
+  ~thread_pool();
+
+  thread_pool(const thread_pool&) = delete;
+  thread_pool& operator=(const thread_pool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for every i in [0, n), distributed over the workers.
+  /// Blocks until all n indices completed.  If any invocation throws, the
+  /// first exception is rethrown here after the loop has drained (the
+  /// remaining indices still run).  Reentrant calls from inside a body
+  /// are not supported.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex m_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+
+  // Current job: published under m_, indices then claimed lock-free.
+  std::uint64_t epoch_ = 0;  ///< bumped per parallel_for; workers wait on it
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};
+  std::size_t workers_done_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace opwat::util

@@ -31,9 +31,15 @@ TEST(StepRegistry, BuiltinsRegistered) {
   EXPECT_EQ(step->kind(), step_kind::decision);
   EXPECT_EQ(step->granularity(), step_granularity::per_ixp);
 
+  // The campaign is per-IXP shardable (a VP only pings its own IXP and
+  // draws are keyed per (seed, VP, target)); path extraction stays on
+  // the barrier path and parallelizes over traces instead.
   const auto campaign = reg.make("ping-campaign");
   EXPECT_EQ(campaign->kind(), step_kind::measurement);
-  EXPECT_EQ(campaign->granularity(), step_granularity::cross_ixp);
+  EXPECT_EQ(campaign->granularity(), step_granularity::per_ixp);
+  const auto paths = reg.make("path-extraction");
+  EXPECT_EQ(paths->kind(), step_kind::measurement);
+  EXPECT_EQ(paths->granularity(), step_granularity::cross_ixp);
 }
 
 TEST(StepRegistry, UnknownNameThrows) {

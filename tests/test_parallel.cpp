@@ -1,0 +1,436 @@
+// The parallel sharded executor: bit-identical results across executors,
+// thread counts and scope orders; exact shard merging of the inference
+// map and the campaign; per-shard rng streams; and a many-small-IXP
+// stress run (the TSan gate for the executor's memory-order story).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/infer/engine.hpp"
+#include "opwat/infer/executor.hpp"
+#include "opwat/traix/crossing.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::infer;
+
+// ---------------------------------------------------------------------------
+// Bitwise comparison of the deterministic parts of a pipeline_result
+// (everything except wall-clock timings).
+
+void expect_bit_identical(const pipeline_result& a, const pipeline_result& b,
+                          bool compare_scope = true, bool compare_trace = true) {
+  if (compare_scope) EXPECT_EQ(a.scope, b.scope);
+
+  // Classifications: every field of every entry.
+  ASSERT_EQ(a.inferences.items().size(), b.inferences.items().size());
+  auto ita = a.inferences.items().begin();
+  auto itb = b.inferences.items().begin();
+  for (; ita != a.inferences.items().end(); ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first);
+    EXPECT_EQ(ita->second.cls, itb->second.cls);
+    EXPECT_EQ(ita->second.step, itb->second.step);
+    EXPECT_EQ(ita->second.feasible_ixp_facilities, itb->second.feasible_ixp_facilities);
+    if (std::isnan(ita->second.rtt_min_ms))
+      EXPECT_TRUE(std::isnan(itb->second.rtt_min_ms));
+    else
+      EXPECT_EQ(ita->second.rtt_min_ms, itb->second.rtt_min_ms);  // exact bits
+  }
+
+  // O(1) per-class counters.
+  for (const auto c :
+       {peering_class::unknown, peering_class::local, peering_class::remote})
+    EXPECT_EQ(a.inferences.count(c), b.inferences.count(c));
+
+  // Campaign product, including raw measurement ordering.
+  EXPECT_EQ(a.rtt.usable_vps, b.rtt.usable_vps);
+  EXPECT_EQ(a.rtt.mgmt_filtered_vps, b.rtt.mgmt_filtered_vps);
+  EXPECT_EQ(a.rtt.targets_queried, b.rtt.targets_queried);
+  EXPECT_EQ(a.rtt.targets_responsive, b.rtt.targets_responsive);
+  ASSERT_EQ(a.rtt.campaign.measurements.size(), b.rtt.campaign.measurements.size());
+  for (std::size_t i = 0; i < a.rtt.campaign.measurements.size(); ++i) {
+    const auto& ma = a.rtt.campaign.measurements[i];
+    const auto& mb = b.rtt.campaign.measurements[i];
+    EXPECT_EQ(ma.vp_index, mb.vp_index);
+    EXPECT_EQ(ma.target, mb.target);
+    EXPECT_EQ(ma.responsive, mb.responsive);
+    EXPECT_EQ(ma.samples_kept, mb.samples_kept);
+    if (ma.responsive) EXPECT_EQ(ma.rtt_min_ms, mb.rtt_min_ms);
+  }
+  ASSERT_EQ(a.rtt.observations.size(), b.rtt.observations.size());
+
+  // Path extraction, in corpus order.
+  ASSERT_EQ(a.paths.crossings.size(), b.paths.crossings.size());
+  for (std::size_t i = 0; i < a.paths.crossings.size(); ++i) {
+    EXPECT_EQ(a.paths.crossings[i].ixp, b.paths.crossings[i].ixp);
+    EXPECT_EQ(a.paths.crossings[i].ixp_ip, b.paths.crossings[i].ixp_ip);
+  }
+  EXPECT_EQ(a.paths.adjacencies.size(), b.paths.adjacencies.size());
+  EXPECT_EQ(a.paths.private_links.size(), b.paths.private_links.size());
+
+  // Per-step stats blocks.
+  EXPECT_EQ(a.s1.examined, b.s1.examined);
+  EXPECT_EQ(a.s1.inferred_remote, b.s1.inferred_remote);
+  EXPECT_EQ(a.s3.decided_local, b.s3.decided_local);
+  EXPECT_EQ(a.s3.decided_remote, b.s3.decided_remote);
+  EXPECT_EQ(a.s3.left_unknown, b.s3.left_unknown);
+  EXPECT_EQ(a.s4.decided, b.s4.decided);
+  EXPECT_EQ(a.s5.decided_local, b.s5.decided_local);
+  EXPECT_EQ(a.s5.decided_remote, b.s5.decided_remote);
+
+  // The ledger's deterministic fields (elapsed_ms is wall-clock).
+  if (compare_trace) {
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i) {
+      EXPECT_EQ(a.trace[i].step, b.trace[i].step);
+      EXPECT_EQ(a.trace[i].invocations, b.trace[i].invocations);
+      EXPECT_EQ(a.trace[i].decided_local, b.trace[i].decided_local);
+      EXPECT_EQ(a.trace[i].decided_remote, b.trace[i].decided_remote);
+    }
+  }
+}
+
+class ParallelExecutor : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(7))};
+  }
+  static void TearDownTestSuite() {
+    delete s_;
+    s_ = nullptr;
+  }
+  static eval::scenario* s_;
+};
+
+eval::scenario* ParallelExecutor::s_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Determinism suite.
+
+TEST_F(ParallelExecutor, BitIdenticalAcrossThreadCounts) {
+  const auto serial = s_->run_inference();
+  const auto p1 = s_->run_inference_parallel(1);
+  const auto p2 = s_->run_inference_parallel(2);
+  const auto p8 = s_->run_inference_parallel(8);
+  // Parallel runs are bit-identical to each other, ledger included...
+  expect_bit_identical(p1, p2);
+  expect_bit_identical(p1, p8);
+  // ...and to the serial run in everything except invocation counts
+  // (serial runs per-IXP steps as one batch, parallel as one shard per
+  // IXP — the partition, not the thread count, sets `invocations`).
+  expect_bit_identical(serial, p8, true, false);
+  const auto* campaign = p8.trace_for("ping-campaign");
+  ASSERT_NE(campaign, nullptr);
+  EXPECT_EQ(campaign->invocations, s_->scope.size());
+}
+
+TEST_F(ParallelExecutor, ThreadCountBeyondShardsIsFine) {
+  // More workers than shards (and than hardware) must change nothing.
+  const auto few = s_->run_inference_parallel(2);
+  const auto many = s_->run_inference_parallel(64);
+  expect_bit_identical(few, many);
+}
+
+TEST_F(ParallelExecutor, ShuffledScopeSameClassifications) {
+  // Shard creation order follows the scope; shuffling it must not change
+  // any classification, annotation or counter (the result map is keyed,
+  // merges are exact, and per-shard streams are keyed by IXP id).
+  const auto baseline = s_->run_inference_parallel(4);
+
+  auto shuffled = s_->scope;
+  util::rng r{123};
+  r.shuffle(shuffled);
+  ASSERT_NE(shuffled, s_->scope);
+
+  auto in = s_->inputs();
+  in.scope = shuffled;
+  const auto cfg = [&] {
+    auto c = s_->cfg.pipeline;
+    c.execution = parallelism::parallel;
+    c.threads = 4;
+    return c;
+  }();
+  const auto pr = pipeline_builder::from_config(cfg).build().run(in);
+  // Scope and ledger order differ by construction; the decided world
+  // must not.
+  expect_bit_identical(baseline, pr, false, false);
+}
+
+TEST_F(ParallelExecutor, BatchSizeShardsMatchPerIxpShards) {
+  auto cfg = s_->cfg.pipeline;
+  cfg.execution = parallelism::parallel;
+  cfg.threads = 3;
+  cfg.batch_size = 3;  // 3 IXPs per shard instead of 1
+  const auto chunked = s_->run_inference(cfg);
+  expect_bit_identical(s_->run_inference_parallel(3), chunked, true, false);
+  const auto* tr = chunked.trace_for("port-capacity");
+  ASSERT_NE(tr, nullptr);
+  EXPECT_EQ(tr->invocations, (s_->scope.size() + 2) / 3);
+}
+
+TEST_F(ParallelExecutor, TracerouteRttExtensionUnderParallel) {
+  auto cfg = s_->cfg.pipeline;
+  cfg.use_traceroute_rtt = true;
+  cfg.traceroute_rtt.require_local_near = false;
+  const auto serial = s_->run_inference(cfg);
+  cfg.execution = parallelism::parallel;
+  cfg.threads = 4;
+  const auto parallel = s_->run_inference(cfg);
+  expect_bit_identical(serial, parallel, true, false);
+  EXPECT_EQ(serial.s2b.decided_local + serial.s2b.decided_remote,
+            parallel.s2b.decided_local + parallel.s2b.decided_remote);
+}
+
+TEST_F(ParallelExecutor, FluentThreadsKnob) {
+  const auto pr = engine()
+                      .with_step("port-capacity")
+                      .with_step("rtt-colo")
+                      .seed(s_->cfg.pipeline.seed)
+                      .threads(2)
+                      .build()
+                      .run(s_->inputs());
+  const auto serial = engine()
+                          .with_step("port-capacity")
+                          .with_step("rtt-colo")
+                          .seed(s_->cfg.pipeline.seed)
+                          .build()
+                          .run(s_->inputs());
+  expect_bit_identical(serial, pr, true, false);
+}
+
+// ---------------------------------------------------------------------------
+// Per-shard context contract.
+
+TEST_F(ParallelExecutor, ShardContextsNeverShareMutableState) {
+  // A custom per-IXP step that records which result object and which
+  // batches it saw: under the parallel executor every invocation must
+  // get a shard-local result (never the run-level one) and exactly the
+  // IXPs of its shard.
+  struct probe_step final : inference_step {
+    std::string_view name() const noexcept override { return "probe"; }
+    void run(step_context& ctx) override {
+      const std::lock_guard lock{m};
+      sinks.insert(&ctx.result);
+      shared_seen.insert(&ctx.shared());
+      for (const auto x : ctx.batch) ixps_seen.push_back(x);
+      EXPECT_NE(&ctx.result, &ctx.shared());
+      EXPECT_EQ(ctx.pool(), nullptr);  // shards must not nest fan-out
+    }
+    std::mutex m;
+    std::set<const pipeline_result*> sinks;
+    std::set<const pipeline_result*> shared_seen;
+    std::vector<world::ixp_id> ixps_seen;
+  };
+  const auto probe = std::make_shared<probe_step>();
+  (void)engine()
+      .with_step(probe)
+      .threads(4)
+      .seed(1)
+      .build()
+      .run(s_->inputs());
+  EXPECT_EQ(probe->sinks.size(), s_->scope.size());      // one delta per shard
+  EXPECT_EQ(probe->shared_seen.size(), 1u);              // one frozen base
+  std::vector<world::ixp_id> sorted_scope{s_->scope.begin(), s_->scope.end()};
+  std::sort(sorted_scope.begin(), sorted_scope.end());
+  std::sort(probe->ixps_seen.begin(), probe->ixps_seen.end());
+  EXPECT_EQ(probe->ixps_seen, sorted_scope);             // exact partition
+}
+
+TEST_F(ParallelExecutor, SingleShardStillGetsShardContext) {
+  // batch_size >= scope collapses the fan-out to one shard; the shard
+  // contract (delta result, frozen shared, no nested pool) must hold
+  // regardless, so custom steps behave the same for any scope size.
+  struct contract_step final : inference_step {
+    std::string_view name() const noexcept override { return "contract"; }
+    void run(step_context& ctx) override {
+      EXPECT_NE(&ctx.result, &ctx.shared());
+      EXPECT_EQ(ctx.pool(), nullptr);
+      EXPECT_EQ(ctx.batch.size(), ctx.scope.size());
+      ++runs;
+    }
+    int runs = 0;
+  };
+  const auto probe = std::make_shared<contract_step>();
+  (void)engine()
+      .with_step(probe)
+      .threads(2)
+      .batch_size(s_->scope.size())
+      .seed(1)
+      .build()
+      .run(s_->inputs());
+  EXPECT_EQ(probe->runs, 1);
+}
+
+TEST_F(ParallelExecutor, ShardForkIsThreadAndOrderInvariant) {
+  // A custom step that uses the per-shard stream to annotate: the drawn
+  // values must be identical for any thread count (streams are keyed by
+  // (seed, tag, first IXP of the shard), not by schedule).
+  struct drawing_step final : inference_step {
+    std::string_view name() const noexcept override { return "drawer"; }
+    void run(step_context& ctx) override {
+      auto r = ctx.shard_fork("draw");
+      for (const auto x : ctx.batch)
+        for (const auto& e : ctx.view.interfaces_of_ixp(x))
+          ctx.result.inferences.annotate_rtt({x, e.ip}, r.uniform(0.0, 10.0));
+    }
+  };
+  const auto run_with = [&](std::size_t threads) {
+    auto b = engine().with_step(std::make_shared<drawing_step>()).seed(9);
+    if (threads > 0) b.threads(threads);
+    return b.build().run(s_->inputs());
+  };
+  const auto p2 = run_with(2);
+  const auto p8 = run_with(8);
+  for (const auto x : s_->scope)
+    for (const auto& e : s_->view.interfaces_of_ixp(x)) {
+      const iface_key k{x, e.ip};
+      EXPECT_EQ(p2.inferences.rtt_min_ms(k), p8.inferences.rtt_min_ms(k));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge machinery.
+
+TEST(InferenceMapMerge, SliceCopiesDecisionsPendingAndCounters) {
+  inference_map m;
+  m.decide({1, net::ipv4_addr{10}}, peering_class::local, method_step::rtt_colo);
+  m.decide({1, net::ipv4_addr{11}}, peering_class::remote, method_step::port_capacity);
+  m.decide({2, net::ipv4_addr{20}}, peering_class::remote, method_step::rtt_colo);
+  m.annotate_rtt({1, net::ipv4_addr{12}}, 3.5);  // pending, undecided
+
+  const world::ixp_id one[] = {1};
+  const auto s = m.slice(one);
+  EXPECT_EQ(s.items().size(), 2u);
+  EXPECT_EQ(s.count(peering_class::local), 1u);
+  EXPECT_EQ(s.count(peering_class::remote), 1u);
+  EXPECT_EQ(s.rtt_min_ms({1, net::ipv4_addr{12}}), 3.5);  // pending came along
+  EXPECT_EQ(s.find({2, net::ipv4_addr{20}}), nullptr);    // other IXP stays out
+}
+
+TEST(InferenceMapMerge, ReplaceSliceKeepsCountersExact) {
+  inference_map base;
+  base.decide({1, net::ipv4_addr{10}}, peering_class::local, method_step::rtt_colo);
+  base.decide({2, net::ipv4_addr{20}}, peering_class::remote, method_step::rtt_colo);
+  base.annotate_rtt({1, net::ipv4_addr{11}}, 7.0);
+
+  const world::ixp_id one[] = {1};
+  auto delta = base.slice(one);
+  // The shard decides the previously pending interface (annotation must
+  // fold in) and adds a new decision.
+  delta.decide({1, net::ipv4_addr{11}}, peering_class::remote, method_step::rtt_threshold);
+  delta.decide({1, net::ipv4_addr{12}}, peering_class::local, method_step::rtt_colo);
+
+  base.replace_slice(one, std::move(delta));
+
+  // Counters must equal the item tally exactly — the drift this merge
+  // path is designed to prevent.
+  std::size_t local = 0, remote = 0;
+  for (const auto& [k, inf] : base.items()) {
+    if (inf.cls == peering_class::local) ++local;
+    if (inf.cls == peering_class::remote) ++remote;
+  }
+  EXPECT_EQ(base.count(peering_class::local), local);
+  EXPECT_EQ(base.count(peering_class::remote), remote);
+  EXPECT_EQ(local, 2u);
+  EXPECT_EQ(remote, 2u);
+  EXPECT_EQ(base.rtt_min_ms({1, net::ipv4_addr{11}}), 7.0);
+  EXPECT_EQ(base.cls({2, net::ipv4_addr{20}}), peering_class::remote);  // untouched
+}
+
+TEST(InferenceMapMerge, ReplaceSliceOnAnnotatedSameInterface) {
+  // Both the base (via an earlier cross-IXP step) and the shard annotate
+  // the same undecided interface; after the merge exactly one pending
+  // record must remain and no unknown entry may appear.
+  inference_map base;
+  base.annotate_rtt({3, net::ipv4_addr{30}}, 5.0);
+
+  const world::ixp_id three[] = {3};
+  auto delta = base.slice(three);
+  delta.annotate_rtt({3, net::ipv4_addr{30}}, 4.0);  // shard refines the RTT
+  delta.annotate_feasible({3, net::ipv4_addr{30}}, 2);
+  base.replace_slice(three, std::move(delta));
+
+  EXPECT_EQ(base.items().size(), 0u);  // still undecided: no phantom entries
+  EXPECT_EQ(base.count(peering_class::unknown), 0u);
+  EXPECT_EQ(base.rtt_min_ms({3, net::ipv4_addr{30}}), 4.0);
+  EXPECT_EQ(base.feasible_facilities({3, net::ipv4_addr{30}}), 2);
+
+  // A later decision folds the merged annotations in.
+  base.decide({3, net::ipv4_addr{30}}, peering_class::remote, method_step::rtt_colo);
+  EXPECT_EQ(base.find({3, net::ipv4_addr{30}})->rtt_min_ms, 4.0);
+  EXPECT_EQ(base.find({3, net::ipv4_addr{30}})->feasible_ixp_facilities, 2);
+  EXPECT_EQ(base.count(peering_class::remote), 1u);
+}
+
+TEST(Step2MergeFrom, InterleavesByVpIndexAnyOrder) {
+  using measure::ping_measurement;
+  const auto part = [](std::initializer_list<std::size_t> vps) {
+    step2_result r;
+    for (const auto vi : vps) {
+      ping_measurement pm;
+      pm.vp_index = vi;
+      r.campaign.measurements.push_back(pm);
+      r.usable_vps.push_back(vi);
+    }
+    r.targets_queried = vps.size();
+    return r;
+  };
+  // VP indices are disjoint across shards (a VP belongs to one IXP).
+  step2_result ab;
+  ab.merge_from(part({0, 3, 5}));
+  ab.merge_from(part({1, 4}));
+  step2_result ba;
+  ba.merge_from(part({1, 4}));
+  ba.merge_from(part({0, 3, 5}));
+  ASSERT_EQ(ab.campaign.measurements.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_EQ(ab.campaign.measurements[i].vp_index, ba.campaign.measurements[i].vp_index);
+  EXPECT_EQ(ab.usable_vps, (std::vector<std::size_t>{0, 1, 3, 4, 5}));
+  EXPECT_EQ(ab.targets_queried, 5u);
+}
+
+TEST_F(ParallelExecutor, PathExtractionPoolMatchesSerial) {
+  util::thread_pool pool{4};
+  const auto serial = traix::extract(s_->traces, s_->view, s_->prefix2as);
+  const auto pooled = traix::extract(s_->traces, s_->view, s_->prefix2as, &pool);
+  ASSERT_EQ(serial.crossings.size(), pooled.crossings.size());
+  for (std::size_t i = 0; i < serial.crossings.size(); ++i) {
+    EXPECT_EQ(serial.crossings[i].ixp_ip, pooled.crossings[i].ixp_ip);
+    EXPECT_EQ(serial.crossings[i].rtt_to_ixp_ip_ms, pooled.crossings[i].rtt_to_ixp_ip_ms);
+  }
+  ASSERT_EQ(serial.adjacencies.size(), pooled.adjacencies.size());
+  for (std::size_t i = 0; i < serial.adjacencies.size(); ++i)
+    EXPECT_EQ(serial.adjacencies[i].member_ip, pooled.adjacencies[i].member_ip);
+  ASSERT_EQ(serial.private_links.size(), pooled.private_links.size());
+  for (std::size_t i = 0; i < serial.private_links.size(); ++i)
+    EXPECT_EQ(serial.private_links[i].ip_a, pooled.private_links[i].ip_a);
+}
+
+// ---------------------------------------------------------------------------
+// Stress: many small IXPs, one shard each, all workers busy — the load
+// under which TSan would flag any executor/merge race.
+
+TEST(ParallelStress, ManySmallIxpsUnderContention) {
+  auto cfg = eval::small_scenario_config(21);
+  cfg.world.n_ixps = 36;
+  cfg.world.n_ases = 700;
+  cfg.world.largest_ixp_members = 60;
+  cfg.world.smallest_ixp_members = 8;
+  cfg.top_n_ixps = 36;
+  const auto s = eval::scenario::build(cfg);
+  ASSERT_GE(s.scope.size(), 16u);
+
+  const auto serial = s.run_inference();
+  for (int round = 0; round < 3; ++round)
+    expect_bit_identical(serial, s.run_inference_parallel(8), true, false);
+}
+
+}  // namespace

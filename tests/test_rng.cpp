@@ -42,6 +42,28 @@ TEST(Rng, ForkByStringMatchesRepeatedCall) {
   EXPECT_NE(a.fork("ping").next(), a.fork("pong").next());
 }
 
+TEST(Rng, StreamEqualsForkOfFork) {
+  // stream(name, i) is documented as fork(name).fork(i): the per-shard
+  // streams of the parallel executor must be reconstructible that way.
+  rng a{7};
+  EXPECT_EQ(a.stream("ping", 3).next(), a.fork("ping").fork(3).next());
+}
+
+TEST(Rng, StreamIndependentOfDrawsAndOtherStreams) {
+  rng a{7}, b{7};
+  (void)a.next();
+  (void)a.stream("other", 1).next();
+  EXPECT_EQ(a.stream("shard", 5).next(), b.stream("shard", 5).next());
+}
+
+TEST(Rng, StreamsDifferAcrossNamesAndIndices) {
+  rng a{7};
+  std::set<std::uint64_t> firsts;
+  for (std::uint64_t i = 0; i < 64; ++i) firsts.insert(a.stream("shard", i).next());
+  EXPECT_EQ(firsts.size(), 64u);
+  EXPECT_NE(a.stream("shard", 0).next(), a.stream("drahs", 0).next());
+}
+
 TEST(Rng, Uniform01InRange) {
   rng r{3};
   for (int i = 0; i < 10000; ++i) {
