@@ -1,0 +1,235 @@
+// Catalog serving throughput: ingest cost and queries/sec for the §9
+// portal query shapes over the serve catalog.
+//
+// Measures, on the shared scenario (OPWAT_BENCH_SCALE=tiny swaps in the
+// small smoke scenario; the default is the full paper-scale one):
+//   - ingest: pipeline_result -> columnar epoch (ms, rows/sec);
+//   - indexed counts: per-(IXP, class) lookups across the whole scope;
+//   - group-by: remote members per evidence step;
+//   - ECDF: RTT distribution of remote members;
+//   - filtered page: metro + class filter with pagination;
+//   - diff: cross-epoch appeared/disappeared/reclassified scan.
+//
+// Prints a table plus a machine-readable JSON blob, and writes the JSON
+// to the file named by OPWAT_BENCH_JSON when set (the CI bench-smoke
+// step uploads it as a workflow artifact next to the parallel-scaling
+// one), so the serving-throughput claim is a measured artifact.
+#include "common.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "opwat/serve/query.hpp"
+#include "opwat/util/json.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::peering_class;
+
+constexpr int k_ingest_repetitions = 5;
+
+serve::catalog make_two_epoch_catalog() {
+  const auto& s = benchx::shared_scenario();
+  serve::catalog cat;
+  cat.ingest(s.w, s.view, benchx::shared_pipeline(), "A");
+  // A perturbed second epoch (different pipeline seed) so diff queries
+  // have real appeared/reclassified work to do.
+  auto cfg = s.cfg.pipeline;
+  cfg.seed ^= 0x9e3779b97f4a7c15ull;
+  cat.ingest(s.w, s.view, s.run_inference(cfg), "B");
+  return cat;
+}
+
+const serve::catalog& two_epoch_catalog() {
+  static const serve::catalog cat = make_two_epoch_catalog();
+  return cat;
+}
+
+/// Busiest *mapped* metro of epoch A's remote members (stable filter
+/// target); "" when every remote member is unmapped — the "(unmapped)"
+/// display bucket is not a filterable metro name.
+std::string busiest_remote_metro(const serve::catalog& cat) {
+  for (const auto& g : serve::query(cat)
+                           .epoch("A")
+                           .cls(peering_class::remote)
+                           .by_metro()
+                           .group_counts())
+    if (cat.metro_by_name(g.key)) return g.key;
+  return {};
+}
+
+double elapsed_ms(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+void print_catalog_query() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+
+  // --- ingest ---------------------------------------------------------------
+  double ingest_best_ms = std::numeric_limits<double>::infinity();
+  std::size_t rows = 0;
+  for (int rep = 0; rep < k_ingest_repetitions; ++rep) {
+    serve::catalog fresh;
+    const auto t0 = std::chrono::steady_clock::now();
+    fresh.ingest(s.w, s.view, pr, "ingest");
+    const double ms = elapsed_ms(t0);
+    ingest_best_ms = std::min(ingest_best_ms, ms);
+    rows = fresh.of("ingest").rows();
+    benchmark::DoNotOptimize(&fresh);
+  }
+
+  const auto& cat = two_epoch_catalog();
+  const std::string metro = busiest_remote_metro(cat);
+
+  // --- query workloads ------------------------------------------------------
+  struct workload {
+    const char* name;
+    std::size_t (*run)(const serve::catalog&, const std::string&);
+  };
+  const workload workloads[] = {
+      {"indexed_count_per_ixp_class",
+       [](const serve::catalog& c, const std::string&) {
+         std::size_t n = 0;
+         const auto& ep = c.of("A");
+         for (const auto& b : ep.blocks()) {
+           n += ep.count(b.ixp, peering_class::remote);
+           n += ep.count(b.ixp, peering_class::local);
+         }
+         return n;
+       }},
+      {"group_remote_by_step",
+       [](const serve::catalog& c, const std::string&) {
+         return serve::query(c)
+             .epoch("A")
+             .cls(peering_class::remote)
+             .by_step()
+             .group_counts()
+             .size();
+       }},
+      {"rtt_ecdf_remote",
+       [](const serve::catalog& c, const std::string&) {
+         return serve::query(c).epoch("A").cls(peering_class::remote).rtt_ecdf(20).size();
+       }},
+      {"metro_filter_page",
+       [](const serve::catalog& c, const std::string& m) {
+         auto qb = serve::query(c).epoch("A").cls(peering_class::remote);
+         if (!m.empty()) qb.metro(m);
+         return qb.sort_by_rtt().page(0, 25).rows().size();
+       }},
+      {"diff_epochs",
+       [](const serve::catalog& c, const std::string&) {
+         const auto d = serve::diff_epochs(c, "A", "B");
+         return d.appeared.size() + d.disappeared.size() + d.reclassified.size();
+       }},
+  };
+
+  util::json_writer w;
+  w.begin_object();
+  w.key("bench").value("catalog_query");
+  const char* scale = std::getenv("OPWAT_BENCH_SCALE");
+  w.key("scale").value(scale && std::string_view{scale} == "tiny" ? "tiny" : "paper");
+  w.key("rows_per_epoch").value(static_cast<std::uint64_t>(rows));
+  w.key("ixps").value(static_cast<std::uint64_t>(cat.of("A").blocks().size()));
+  w.key("ingest_ms").value(ingest_best_ms);
+  w.key("ingest_rows_per_sec")
+      .value(ingest_best_ms > 0.0
+                 ? static_cast<double>(rows) / (ingest_best_ms / 1e3)
+                 : 0.0);
+  w.key("queries").begin_array();
+
+  util::text_table t{"Catalog serving throughput"};
+  t.header({"query", "iterations", "total ms", "queries/sec"});
+  t.row({"(ingest)", std::to_string(k_ingest_repetitions),
+         util::fmt_double(ingest_best_ms, 2) + " (best)",
+         util::fmt_double(ingest_best_ms > 0.0 ? 1e3 / ingest_best_ms : 0.0, 1)});
+  for (const auto& wl : workloads) {
+    // Calibrate the iteration count so each workload runs ~200 ms.
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t sink = wl.run(cat, metro);
+    const double once_ms = std::max(1e-4, elapsed_ms(t0));
+    const auto iters = static_cast<std::size_t>(
+        std::clamp(200.0 / once_ms, 1.0, 100000.0));
+    const auto t1 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) sink += wl.run(cat, metro);
+    const double total_ms = std::max(1e-4, elapsed_ms(t1));
+    benchmark::DoNotOptimize(sink);
+    const double qps = static_cast<double>(iters) / (total_ms / 1e3);
+
+    t.row({wl.name, std::to_string(iters), util::fmt_double(total_ms, 2),
+           util::fmt_double(qps, 1)});
+    w.begin_object();
+    w.key("query").value(wl.name);
+    w.key("iterations").value(static_cast<std::uint64_t>(iters));
+    w.key("total_ms").value(total_ms);
+    w.key("queries_per_sec").value(qps);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  t.footer("indexed counts answer from per-block counters; the scans touch one "
+           "columnar epoch");
+  t.print(std::cout);
+  std::cout << "\nJSON: " << w.str() << "\n";
+
+  if (const char* path = std::getenv("OPWAT_BENCH_JSON")) {
+    std::ofstream out{path};
+    out << w.str() << "\n";
+    std::cout << "(written to " << path << ")\n";
+  }
+}
+
+void BM_ingest(benchmark::State& state) {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  for (auto _ : state) {
+    serve::catalog fresh;
+    fresh.ingest(s.w, s.view, pr, "ingest");
+    benchmark::DoNotOptimize(&fresh);
+  }
+}
+BENCHMARK(BM_ingest)->Unit(benchmark::kMillisecond);
+
+void BM_indexed_counts(benchmark::State& state) {
+  const auto& ep = two_epoch_catalog().of("A");
+  for (auto _ : state) {
+    std::size_t n = 0;
+    for (const auto& b : ep.blocks()) n += ep.count(b.ixp, peering_class::remote);
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_indexed_counts);
+
+void BM_group_by_step(benchmark::State& state) {
+  const auto& cat = two_epoch_catalog();
+  for (auto _ : state) {
+    const auto g = serve::query(cat)
+                       .epoch("A")
+                       .cls(peering_class::remote)
+                       .by_step()
+                       .group_counts();
+    benchmark::DoNotOptimize(&g);
+  }
+}
+BENCHMARK(BM_group_by_step);
+
+void BM_diff_epochs(benchmark::State& state) {
+  const auto& cat = two_epoch_catalog();
+  for (auto _ : state) {
+    const auto d = serve::diff_epochs(cat, "A", "B");
+    benchmark::DoNotOptimize(&d);
+  }
+}
+BENCHMARK(BM_diff_epochs)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_catalog_query)

@@ -2,7 +2,13 @@
 // Steps 2+3 (RTT+colo) carry the bulk of the inferences; Step 1 averages
 // ~10% (up to ~40% at reseller-heavy IXPs, zero where reselling is not
 // offered); Step 5 only fires at a minority of IXPs.
+//
+// Counts are served from the shared catalog epoch's per-(IXP, step)
+// indexes (bit-identical to pipeline_result::contribution); the timer
+// compares the indexed path against the fluent query API.
 #include "common.hpp"
+
+#include "opwat/serve/query.hpp"
 
 namespace {
 
@@ -10,8 +16,8 @@ using namespace opwat;
 using infer::method_step;
 
 void print_fig10a() {
-  const auto& s = benchx::shared_scenario();
-  const auto& pr = benchx::shared_pipeline();
+  const auto& cat = benchx::shared_catalog();
+  const auto& ep = cat.of(benchx::k_shared_epoch);
 
   std::cout << "Fig. 10a: contribution of each inference step per IXP\n";
   util::text_table t;
@@ -19,15 +25,15 @@ void print_fig10a() {
             "Step5 private", "Unknown"});
   double s1_sum = 0;
   std::size_t ixps_with_s5 = 0;
-  for (const auto x : pr.scope) {
-    const double total = static_cast<double>(s.view.interfaces_of_ixp(x).size());
+  for (const auto& b : ep.blocks()) {
+    const double total = static_cast<double>(b.end - b.begin);
     if (total == 0) continue;
-    const auto c1 = pr.contribution(x, method_step::port_capacity);
-    const auto c3 = pr.contribution(x, method_step::rtt_colo);
-    const auto c4 = pr.contribution(x, method_step::multi_ixp);
-    const auto c5 = pr.contribution(x, method_step::private_links);
+    const auto c1 = ep.contribution(b.ixp, method_step::port_capacity);
+    const auto c3 = ep.contribution(b.ixp, method_step::rtt_colo);
+    const auto c4 = ep.contribution(b.ixp, method_step::multi_ixp);
+    const auto c5 = ep.contribution(b.ixp, method_step::private_links);
     const auto unknown = total - static_cast<double>(c1 + c3 + c4 + c5);
-    t.row({s.w.ixps[x].name, std::to_string(static_cast<std::size_t>(total)),
+    t.row({cat.ixps()[b.ixp].name, std::to_string(static_cast<std::size_t>(total)),
            util::fmt_percent(c1 / total), util::fmt_percent(c3 / total),
            util::fmt_percent(c4 / total), util::fmt_percent(c5 / total),
            util::fmt_percent(unknown / total)});
@@ -38,23 +44,41 @@ void print_fig10a() {
            "and 4 dominate; Step 5 needed at 11 of 30 IXPs.");
   t.print(std::cout);
   std::cout << "Step-1 average contribution: "
-            << util::fmt_percent(s1_sum / static_cast<double>(pr.scope.size()))
+            << util::fmt_percent(s1_sum / static_cast<double>(ep.blocks().size()))
             << "; IXPs where Step 5 fired: " << ixps_with_s5 << "/"
-            << pr.scope.size() << "\n";
+            << ep.blocks().size() << "\n";
 }
 
-void bm_contributions(benchmark::State& state) {
-  const auto& pr = benchx::shared_pipeline();
+void bm_contributions_indexed(benchmark::State& state) {
+  const auto& ep = benchx::shared_catalog().of(benchx::k_shared_epoch);
   for (auto _ : state) {
     std::size_t total = 0;
-    for (const auto x : pr.scope)
+    for (const auto& b : ep.blocks())
       for (const auto step : {method_step::port_capacity, method_step::rtt_colo,
                               method_step::multi_ixp, method_step::private_links})
-        total += pr.contribution(x, step);
+        total += ep.contribution(b.ixp, step);
     benchmark::DoNotOptimize(total);
   }
 }
-BENCHMARK(bm_contributions);
+BENCHMARK(bm_contributions_indexed);
+
+void bm_contributions_query_api(benchmark::State& state) {
+  const auto& cat = benchx::shared_catalog();
+  const auto& ep = cat.of(benchx::k_shared_epoch);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (const auto& b : ep.blocks())
+      for (const auto step : {method_step::port_capacity, method_step::rtt_colo,
+                              method_step::multi_ixp, method_step::private_links})
+        total += serve::query(cat)
+                     .epoch(benchx::k_shared_epoch)
+                     .at_ixp(cat.ixps()[b.ixp].id)
+                     .step(step)
+                     .count();
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(bm_contributions_query_api);
 
 }  // namespace
 

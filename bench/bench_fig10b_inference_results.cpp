@@ -2,6 +2,9 @@
 // local/remote member interfaces per IXP.  Shape targets: ~28% of all
 // inferred interfaces are remote; >=10% remote at ~90% of IXPs; ~40%
 // remote at the largest IXPs.
+//
+// Counts are served from the shared catalog epoch's per-(IXP, class)
+// indexes (bit-identical to pipeline_result::count).
 #include "common.hpp"
 
 namespace {
@@ -10,22 +13,22 @@ using namespace opwat;
 using infer::peering_class;
 
 void print_fig10b() {
-  const auto& s = benchx::shared_scenario();
-  const auto& pr = benchx::shared_pipeline();
+  const auto& cat = benchx::shared_catalog();
+  const auto& ep = cat.of(benchx::k_shared_epoch);
 
   std::cout << "Fig. 10b: inferences per IXP (largest first)\n";
   util::text_table t;
   t.header({"IXP", "Local", "Remote", "Unknown", "% Remote (of inferred)"});
   std::size_t total_local = 0, total_remote = 0, over_10pct = 0, ranked = 0;
   double top2_remote_share = 0;
-  for (const auto x : pr.scope) {
-    const auto local = pr.count(x, peering_class::local);
-    const auto remote = pr.count(x, peering_class::remote);
-    const auto unknown = s.view.interfaces_of_ixp(x).size() - local - remote;
+  for (const auto& b : ep.blocks()) {
+    const auto local = ep.count(b.ixp, peering_class::local);
+    const auto remote = ep.count(b.ixp, peering_class::remote);
+    const auto unknown = ep.count(b.ixp, peering_class::unknown);
     const double share =
         local + remote ? static_cast<double>(remote) / static_cast<double>(local + remote)
                        : 0.0;
-    t.row({s.w.ixps[x].name, std::to_string(local), std::to_string(remote),
+    t.row({cat.ixps()[b.ixp].name, std::to_string(local), std::to_string(remote),
            std::to_string(unknown), util::fmt_percent(share)});
     total_local += local;
     total_remote += remote;
@@ -39,9 +42,9 @@ void print_fig10b() {
   std::cout << "overall remote share: " << util::fmt_percent(overall)
             << "  (paper: 28%)\n";
   std::cout << "IXPs with >=10% remote members: " << over_10pct << "/"
-            << pr.scope.size() << " = "
+            << ep.blocks().size() << " = "
             << util::fmt_percent(static_cast<double>(over_10pct) /
-                                 static_cast<double>(pr.scope.size()))
+                                 static_cast<double>(ep.blocks().size()))
             << "  (paper: 90%)\n";
   std::cout << "average remote share at the two largest IXPs: "
             << util::fmt_percent(top2_remote_share)
@@ -49,10 +52,10 @@ void print_fig10b() {
 }
 
 void bm_count_by_class(benchmark::State& state) {
-  const auto& pr = benchx::shared_pipeline();
+  const auto& ep = benchx::shared_catalog().of(benchx::k_shared_epoch);
   for (auto _ : state) {
     std::size_t remote = 0;
-    for (const auto x : pr.scope) remote += pr.count(x, peering_class::remote);
+    for (const auto& b : ep.blocks()) remote += ep.count(b.ixp, peering_class::remote);
     benchmark::DoNotOptimize(remote);
   }
 }

@@ -20,6 +20,16 @@ const infer::pipeline_result& shared_pipeline() {
   return pr;
 }
 
+const serve::catalog& shared_catalog() {
+  static const serve::catalog cat = [] {
+    const auto& s = shared_scenario();
+    serve::catalog c;
+    c.ingest(s.w, s.view, shared_pipeline(), k_shared_epoch);
+    return c;
+  }();
+  return cat;
+}
+
 bool truly_remote(const eval::scenario& s, net::ipv4_addr iface) {
   const auto mid = s.w.membership_by_interface(iface);
   if (!mid) return false;

@@ -13,6 +13,7 @@
 
 #include "opwat/eval/metrics.hpp"
 #include "opwat/eval/scenario.hpp"
+#include "opwat/serve/catalog.hpp"
 #include "opwat/util/strings.hpp"
 #include "opwat/util/table.hpp"
 
@@ -26,6 +27,12 @@ const eval::scenario& shared_scenario();
 
 /// The pipeline result on the shared scenario (run once per process).
 const infer::pipeline_result& shared_pipeline();
+
+/// The shared pipeline result ingested as epoch "bench" of a serve
+/// catalog (built once per process): the store the figure benches query
+/// instead of rescanning the pipeline result.
+const serve::catalog& shared_catalog();
+inline constexpr const char* k_shared_epoch = "bench";
 
 /// Ground-truth remoteness of a merged-view interface (for figures that
 /// plot against the truth, e.g. Fig. 1b / Fig. 4 control-set views).

@@ -3,7 +3,9 @@
 // For one IXP, produce the report an operator (or prospective member)
 // would want: every member interface with its inferred class, the
 // evidence behind the inference (step, RTT, feasible facilities), port
-// capacity, and an aggregate member-base profile.
+// capacity, and an aggregate member-base profile.  Everything is served
+// from a catalog epoch through the fluent query API — the pipeline
+// result is ingested once and never rescanned.
 //
 //   $ ./ixp_operator_report [ixp-rank]
 #include <cmath>
@@ -11,11 +13,13 @@
 #include <iostream>
 
 #include "opwat/eval/scenario.hpp"
+#include "opwat/serve/query.hpp"
 #include "opwat/util/strings.hpp"
 #include "opwat/util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace opwat;
+  using infer::peering_class;
 
   const std::size_t rank = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 0;
 
@@ -25,37 +29,35 @@ int main(int argc, char** argv) {
     std::cerr << "no measurable IXPs in the scenario\n";
     return 1;
   }
-  const auto ixp = result.scope[std::min(rank, result.scope.size() - 1)];
-  const auto& x = scenario.w.ixps[ixp];
 
-  std::cout << "=== Remote peering report for " << x.name << " ===\n";
+  serve::catalog cat;
+  cat.ingest(scenario.w, scenario.view, result, "report");
+  const auto& ep = cat.of("report");
+
+  const auto& block = ep.blocks()[std::min(rank, ep.blocks().size() - 1)];
+  const auto& entry = cat.ixps()[block.ixp];
+  const auto& x = scenario.w.ixps[entry.id];
+
+  std::cout << "=== Remote peering report for " << entry.name << " ===\n";
   std::cout << "switching sites: " << x.facilities.size()
-            << ", minimum physical port: " << x.min_physical_capacity_gbps
+            << ", minimum physical port: " << entry.min_physical_capacity_gbps
             << " G, reseller program: " << (x.supports_resellers ? "yes" : "no")
-            << "\n\n";
+            << ", metro: " << cat.metro_name(entry.metro) << "\n\n";
 
   util::text_table t{"Member interfaces"};
   t.header({"Interface", "Member", "Class", "Evidence", "RTTmin ms", "Port G"});
-  std::size_t local = 0, remote = 0, unknown = 0;
-  for (const auto& e : scenario.view.interfaces_of_ixp(ixp)) {
-    const infer::iface_key key{ixp, e.ip};
-    const auto* inf = result.inferences.find(key);
-    const auto cls = inf ? inf->cls : infer::peering_class::unknown;
-    switch (cls) {
-      case infer::peering_class::local: ++local; break;
-      case infer::peering_class::remote: ++remote; break;
-      case infer::peering_class::unknown: ++unknown; break;
-    }
-    const auto cap = scenario.view.port_capacity(e.asn, ixp);
-    // RTT evidence is kept even for undecided interfaces.
-    const double rtt = result.inferences.rtt_min_ms(key);
-    t.row({e.ip.to_string(), net::to_string(e.asn), std::string{to_string(cls)},
-           inf ? std::string{to_string(inf->step)} : "-",
-           !std::isnan(rtt) ? util::fmt_double(rtt, 2) : "-",
-           cap ? util::fmt_double(*cap, 1) : "?"});
+  for (const auto& row : serve::query(cat).epoch("report").at_ixp(entry.id).rows()) {
+    t.row({row.ip.to_string(), net::to_string(row.asn),
+           std::string{to_string(row.cls)},
+           row.cls != peering_class::unknown ? std::string{to_string(row.step)} : "-",
+           !std::isnan(row.rtt_min_ms) ? util::fmt_double(row.rtt_min_ms, 2) : "-",
+           !std::isnan(row.port_gbps) ? util::fmt_double(row.port_gbps, 1) : "?"});
   }
   t.print(std::cout);
 
+  const auto local = ep.count(block.ixp, peering_class::local);
+  const auto remote = ep.count(block.ixp, peering_class::remote);
+  const auto unknown = ep.count(block.ixp, peering_class::unknown);
   const double inferred = static_cast<double>(local + remote);
   std::cout << "\nmember base: " << local << " local, " << remote << " remote, "
             << unknown << " unknown";
@@ -65,12 +67,28 @@ int main(int argc, char** argv) {
   std::cout << "\n";
 
   // Resilience note (§7): reseller ports shared by several remote peers.
-  std::size_t reseller_ports = 0;
-  for (const auto& [key, inf] : result.inferences.items())
-    if (key.ixp == ixp && inf.step == infer::method_step::port_capacity)
-      ++reseller_ports;
+  const auto reseller_ports = serve::query(cat)
+                                  .epoch("report")
+                                  .at_ixp(entry.id)
+                                  .step(infer::method_step::port_capacity)
+                                  .count();
   std::cout << "fractional-port (reseller) customers detected: " << reseller_ports
             << " — these share physical ports; one port outage propagates to all "
                "of them.\n";
+
+  // Where do this IXP's remote members sit?  A one-liner with the
+  // catalog: group the remote rows by member metro.
+  const auto metros = serve::query(cat)
+                          .epoch("report")
+                          .at_ixp(entry.id)
+                          .cls(peering_class::remote)
+                          .by_metro()
+                          .top(5)
+                          .group_counts();
+  if (!metros.empty()) {
+    std::cout << "top remote-member metros:";
+    for (const auto& g : metros) std::cout << "  " << g.key << " (" << g.count << ")";
+    std::cout << "\n";
+  }
   return 0;
 }

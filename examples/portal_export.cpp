@@ -1,29 +1,84 @@
 // Portal snapshot export: the paper's remote-IXP-peering portal publishes
-// monthly inference snapshots; this example produces the equivalent JSON
-// document on stdout (pipe to a file or `jq`).
+// monthly inference snapshots; this example runs the pipeline, ingests
+// the result as one epoch of a serve::catalog, and renders that epoch as
+// the equivalent JSON document on stdout (pipe to a file or `jq`).
 //
 //   $ ./portal_export > snapshot.json
-//   $ ./portal_export --summary        # totals only, no member lists
+//   $ ./portal_export --summary                  # totals only, no member lists
+//   $ ./portal_export --scale paper --seed 7     # full-size scenario, seed 7
+//   $ ./portal_export --label 2018-05            # epoch/snapshot label
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "opwat/eval/portal.hpp"
 #include "opwat/eval/scenario.hpp"
+#include "opwat/serve/catalog.hpp"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--summary] [--scale small|paper] [--seed N] [--label S]\n";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace opwat;
 
-  const bool summary_only = argc > 1 && std::strcmp(argv[1], "--summary") == 0;
+  bool summary_only = false;
+  std::string scale = "small";
+  std::uint64_t seed = 42;
+  std::string label = "2018-04";  // the paper's measurement month
 
-  const auto scenario = eval::scenario::build(eval::small_scenario_config(42));
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--summary") {
+      summary_only = true;
+    } else if (arg == "--scale") {
+      scale = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--label") {
+      label = next();
+    } else {
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  eval::scenario_config cfg;
+  if (scale == "small") {
+    cfg = eval::small_scenario_config(seed);
+  } else if (scale == "paper") {
+    cfg = eval::default_scenario_config();
+    cfg.world.seed = seed;
+  } else {
+    usage(argv[0]);
+    return 2;
+  }
+
+  const auto scenario = eval::scenario::build(cfg);
   const auto result = scenario.run_inference();
 
+  serve::catalog cat;
+  cat.ingest(scenario.w, scenario.view, result, label);
+
   eval::portal_options opt;
-  opt.snapshot_label = "2018-04";  // the paper's measurement month
+  opt.snapshot_label = label;
   if (summary_only) {
     opt.include_interfaces = false;
     opt.include_facilities = false;
   }
-  std::cout << eval::portal_snapshot_json(scenario, result, opt) << "\n";
+  std::cout << eval::portal_snapshot_json(cat, label, opt) << "\n";
   return 0;
 }

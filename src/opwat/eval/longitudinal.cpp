@@ -1,8 +1,9 @@
 #include "opwat/eval/longitudinal.hpp"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <cstdio>
+
+#include "opwat/serve/query.hpp"
 
 namespace opwat::eval {
 
@@ -25,6 +26,12 @@ world::world world_at_month(const world::world& w, int month) {
 
 }  // namespace
 
+std::string longitudinal_epoch_label(int month) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "month-%02d", month);
+  return buf;
+}
+
 longitudinal_study run_longitudinal_study(const scenario& s,
                                           const longitudinal_config& cfg) {
   longitudinal_study out;
@@ -33,10 +40,6 @@ longitudinal_study run_longitudinal_study(const scenario& s,
 
   // One validated engine, reused across the monthly runs.
   const auto eng = infer::pipeline_builder::from_config(s.cfg.pipeline).build();
-
-  // Interfaces present in last month's database dump: a decision on an
-  // interface absent from it is a member join (Fig. 12a's unit).
-  std::set<infer::iface_key> prev_present;
 
   for (int month = 0; month <= cfg.months; ++month) {
     const auto wm = world_at_month(s.w, month);
@@ -47,16 +50,17 @@ longitudinal_study run_longitudinal_study(const scenario& s,
     const auto pr =
         eng.run({wm, view, s.prefix2as, s.lat, s.vps, s.traces, scope});
 
+    // The monthly snapshot becomes one catalog epoch; all counting below
+    // is epoch queries, not pipeline rescans.
+    const auto label = longitudinal_epoch_label(month);
+    const auto eid = out.epochs.ingest(wm, view, pr, label);
+    const auto& ep = out.epochs.at(eid);
+
     monthly_inference mi;
     mi.month = month;
-    mi.inferred_local = pr.inferences.count(infer::peering_class::local);
-    mi.inferred_remote = pr.inferences.count(infer::peering_class::remote);
-    // Undecided = member interfaces of the studied IXPs minus decisions.
-    std::set<infer::iface_key> present;
-    for (const auto x : scope)
-      for (const auto& e : view.interfaces_of_ixp(x)) present.insert({x, e.ip});
-    mi.unknown =
-        present.size() - std::min(present.size(), mi.inferred_local + mi.inferred_remote);
+    mi.inferred_local = ep.total(infer::peering_class::local);
+    mi.inferred_remote = ep.total(infer::peering_class::remote);
+    mi.unknown = ep.total(infer::peering_class::unknown);
     for (const auto x : scope) {
       for (const auto mid : wm.memberships_of_ixp(x)) {
         const auto& m = wm.memberships[mid];
@@ -65,13 +69,13 @@ longitudinal_study run_longitudinal_study(const scenario& s,
     }
 
     if (month > 0) {
-      for (const auto& [key, inf] : pr.inferences.items()) {
-        if (prev_present.contains(key)) continue;  // already present last month
-        if (inf.cls == infer::peering_class::local) ++out.inferred_local_joins;
-        if (inf.cls == infer::peering_class::remote) ++out.inferred_remote_joins;
-      }
+      // A decision on an interface absent from last month's dump is a
+      // member join (Fig. 12a's unit) — exactly the diff's appeared set.
+      const auto d =
+          serve::diff_epochs(out.epochs, longitudinal_epoch_label(month - 1), label);
+      out.inferred_local_joins += d.appeared_of(infer::peering_class::local);
+      out.inferred_remote_joins += d.appeared_of(infer::peering_class::remote);
     }
-    prev_present = std::move(present);
     out.months.push_back(mi);
   }
   return out;

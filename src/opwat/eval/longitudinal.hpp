@@ -4,14 +4,20 @@
 //
 // Each month gets its own database snapshots (only memberships active that
 // month are visible, mimicking monthly PDB dumps) and its own measurement
-// campaign; the pipeline runs independently per month, and the module
-// reports inferred joins/leaves per peering class next to the ground
-// truth, so inference-tracking error is visible.
+// campaign; the pipeline runs independently per month, every monthly run
+// is ingested as one epoch of a serve::catalog ("month-00", "month-01",
+// ...), and the join accounting is a cross-epoch diff query
+// (serve::diff_epochs): an inferred join is an interface that appeared
+// relative to the previous month's epoch, counted per peering class.
+// The populated catalog ships in the result, so callers can run any
+// further §9-style query (per-metro splits, reclassification history,
+// portal exports of any month) without re-running the pipeline.
 #pragma once
 
 #include <vector>
 
 #include "opwat/eval/scenario.hpp"
+#include "opwat/serve/catalog.hpp"
 #include "opwat/world/evolution.hpp"
 
 namespace opwat::eval {
@@ -34,9 +40,12 @@ struct longitudinal_config {
 
 struct longitudinal_study {
   std::vector<monthly_inference> months;
-  /// Aggregate inferred joins over the window, per class.
+  /// Aggregate inferred joins over the window, per class (appeared
+  /// interfaces between consecutive epochs).
   std::size_t inferred_local_joins = 0;
   std::size_t inferred_remote_joins = 0;
+  /// One epoch per studied month, labelled "month-00", "month-01", ...
+  serve::catalog epochs;
 
   /// Ratio of inferred remote joins to local joins (the Fig. 12a headline;
   /// 0 when no local joins were seen).
@@ -47,6 +56,9 @@ struct longitudinal_study {
                      static_cast<double>(inferred_local_joins);
   }
 };
+
+/// Epoch label of a study month ("month-07").
+[[nodiscard]] std::string longitudinal_epoch_label(int month);
 
 /// Runs the pipeline once per month on month-filtered views of `s`'s
 /// world.  The world must have been generated with months > 0.

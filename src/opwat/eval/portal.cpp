@@ -1,50 +1,49 @@
 #include "opwat/eval/portal.hpp"
 
-#include <algorithm>
 #include <cmath>
 
 #include "opwat/util/json.hpp"
 
 namespace opwat::eval {
 
-std::string portal_snapshot_json(const scenario& s, const infer::pipeline_result& pr,
+std::string portal_snapshot_json(const serve::catalog& cat, std::string_view epoch_label,
                                  const portal_options& opt) {
+  const auto& ep = cat.of(epoch_label);
+  using infer::peering_class;
+
   util::json_writer w;
   w.begin_object();
-  w.key("snapshot").value(opt.snapshot_label);
+  w.key("snapshot").value(ep.label());
   w.key("generator").value("opwat");
-  w.key("ixps_studied").value(pr.scope.size());
+  w.key("ixps_studied").value(static_cast<std::uint64_t>(ep.blocks().size()));
 
-  const std::size_t local = pr.inferences.count(infer::peering_class::local);
-  const std::size_t remote = pr.inferences.count(infer::peering_class::remote);
-  std::size_t iface_total = 0;
-  for (const auto x : pr.scope) iface_total += s.view.interfaces_of_ixp(x).size();
-  const std::size_t unknown = iface_total - std::min(iface_total, local + remote);
   w.key("totals").begin_object();
-  w.key("local").value(local);
-  w.key("remote").value(remote);
-  w.key("unknown").value(unknown);
+  w.key("local").value(static_cast<std::uint64_t>(ep.total(peering_class::local)));
+  w.key("remote").value(static_cast<std::uint64_t>(ep.total(peering_class::remote)));
+  w.key("unknown").value(static_cast<std::uint64_t>(ep.total(peering_class::unknown)));
   w.end_object();
 
   w.key("ixps").begin_array();
-  for (const auto x : pr.scope) {
-    const auto& ixp = s.w.ixps[x];
+  for (const auto& b : ep.blocks()) {
+    const auto& ixp = cat.ixps()[b.ixp];
     w.begin_object();
     w.key("name").value(ixp.name);
-    w.key("peering_lan").value(ixp.peering_lan.to_string());
+    w.key("peering_lan").value(ixp.peering_lan);
     w.key("min_physical_capacity_gbps").value(ixp.min_physical_capacity_gbps);
-    w.key("local").value(pr.count(x, infer::peering_class::local));
-    w.key("remote").value(pr.count(x, infer::peering_class::remote));
+    w.key("local").value(
+        static_cast<std::uint64_t>(b.by_class[static_cast<std::size_t>(peering_class::local)]));
+    w.key("remote").value(static_cast<std::uint64_t>(
+        b.by_class[static_cast<std::size_t>(peering_class::remote)]));
 
     if (opt.include_facilities) {
       w.key("facilities").begin_array();
-      for (const auto f : s.view.facilities_of_ixp(x)) {
+      for (const auto& f : b.facilities) {
         w.begin_object();
-        w.key("id").value(static_cast<std::uint64_t>(f));
-        if (f < s.w.facilities.size()) w.key("name").value(s.w.facilities[f].name);
-        if (const auto loc = s.view.facility_location(f)) {
-          w.key("lat").value(loc->lat_deg);
-          w.key("lon").value(loc->lon_deg);
+        w.key("id").value(static_cast<std::uint64_t>(f.id));
+        if (f.has_name) w.key("name").value(f.name);
+        if (f.has_location) {
+          w.key("lat").value(f.lat_deg);
+          w.key("lon").value(f.lon_deg);
         }
         w.end_object();
       }
@@ -53,18 +52,17 @@ std::string portal_snapshot_json(const scenario& s, const infer::pipeline_result
 
     if (opt.include_interfaces) {
       w.key("members").begin_array();
-      for (const auto& e : s.view.interfaces_of_ixp(x)) {
-        const infer::iface_key key{x, e.ip};
-        const auto* inf = pr.inferences.find(key);
+      for (std::size_t i = b.begin; i < b.end; ++i) {
+        const auto cls = static_cast<peering_class>(ep.cls_col()[i]);
         w.begin_object();
-        w.key("interface").value(e.ip.to_string());
-        w.key("asn").value(static_cast<std::uint64_t>(e.asn.value));
-        w.key("class").value(
-            std::string{to_string(inf ? inf->cls : infer::peering_class::unknown)});
-        if (inf && inf->cls != infer::peering_class::unknown)
-          w.key("evidence").value(std::string{to_string(inf->step)});
+        w.key("interface").value(net::ipv4_addr{ep.ip_col()[i]}.to_string());
+        w.key("asn").value(static_cast<std::uint64_t>(ep.asn_col()[i]));
+        w.key("class").value(std::string{to_string(cls)});
+        if (cls != peering_class::unknown)
+          w.key("evidence").value(std::string{
+              to_string(static_cast<infer::method_step>(ep.step_col()[i]))});
         // Measurement evidence is exported even for undecided members.
-        const double rtt = pr.inferences.rtt_min_ms(key);
+        const double rtt = ep.rtt_col()[i];
         if (!std::isnan(rtt)) w.key("rtt_min_ms").value(rtt);
         w.end_object();
       }
@@ -75,6 +73,13 @@ std::string portal_snapshot_json(const scenario& s, const infer::pipeline_result
   w.end_array();
   w.end_object();
   return w.str();
+}
+
+std::string portal_snapshot_json(const scenario& s, const infer::pipeline_result& pr,
+                                 const portal_options& opt) {
+  serve::catalog cat;
+  cat.ingest(s.w, s.view, pr, opt.snapshot_label);
+  return portal_snapshot_json(cat, opt.snapshot_label, opt);
 }
 
 }  // namespace opwat::eval

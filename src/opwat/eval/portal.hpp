@@ -1,27 +1,42 @@
 // Portal snapshot exporter — the paper's "Prototype and Portal" (§9):
 // the authors publish monthly snapshots of their inferences and visualize
 // the geographical footprint of IXPs and their members.  This module
-// renders one pipeline run into the equivalent machine-readable JSON
+// renders one catalog epoch into the equivalent machine-readable JSON
 // snapshot: per IXP, its facilities (with coordinates) and every member
 // interface with its inferred class, the evidence step, and the measured
 // minimum RTT.
+//
+// The renderer reads ONLY the serve catalog (opwat/serve/catalog.hpp);
+// the scenario+pipeline overload is a convenience that ingests into a
+// one-epoch catalog first, with byte-identical output.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "opwat/eval/scenario.hpp"
 #include "opwat/infer/pipeline.hpp"
+#include "opwat/serve/catalog.hpp"
 
 namespace opwat::eval {
 
 struct portal_options {
   /// Snapshot label, e.g. "2018-04" (the paper publishes monthly).
+  /// Used as the epoch label by the scenario+pipeline overload; the
+  /// catalog overload always prints the epoch's own label.
   std::string snapshot_label = "synthetic-0";
   bool include_facilities = true;
   bool include_interfaces = true;
 };
 
-/// Serializes the inference results for every scoped IXP.
+/// Serializes one ingested epoch of the catalog.  Throws
+/// std::invalid_argument for unknown epoch labels.
+[[nodiscard]] std::string portal_snapshot_json(const serve::catalog& cat,
+                                               std::string_view epoch_label,
+                                               const portal_options& opt = {});
+
+/// Convenience: ingest `pr` as epoch `opt.snapshot_label` of a temporary
+/// catalog and serialize it.
 [[nodiscard]] std::string portal_snapshot_json(const scenario& s,
                                                const infer::pipeline_result& pr,
                                                const portal_options& opt = {});

@@ -60,13 +60,6 @@ infer::pipeline_result scenario::run_inference_parallel(std::size_t threads) con
   return run_inference(cfg2);
 }
 
-infer::pipeline_result scenario::run_pipeline() const { return run_inference(); }
-
-infer::pipeline_result scenario::run_pipeline(
-    const infer::pipeline_config& override_cfg) const {
-  return run_inference(override_cfg);
-}
-
 scenario_config default_scenario_config() {
   scenario_config cfg;
   return cfg;

@@ -71,13 +71,6 @@ struct scenario {
     return eng.run(inputs());
   }
 
-  /// Deprecated shims over run_inference (same output).
-  [[deprecated("use scenario::run_inference()")]]
-  [[nodiscard]] infer::pipeline_result run_pipeline() const;
-  [[deprecated("use scenario::run_inference(cfg)")]]
-  [[nodiscard]] infer::pipeline_result run_pipeline(
-      const infer::pipeline_config& override_cfg) const;
-
   /// A traceroute engine bound to this scenario (valid while it lives).
   [[nodiscard]] measure::traceroute_engine make_traceroute_engine() const {
     return measure::traceroute_engine{w, lat, cfg.traceroute};

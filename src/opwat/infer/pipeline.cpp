@@ -6,37 +6,20 @@
 
 namespace opwat::infer {
 
+// Thin shims over the inference map's per-IXP tallies (the same indexed
+// store the serve catalog ingests): no rescans, O(log #IXPs).
 std::size_t pipeline_result::contribution(world::ixp_id x, method_step s) const {
-  std::size_t n = 0;
-  for (const auto& [k, inf] : inferences.items())
-    if (k.ixp == x && inf.step == s && inf.cls != peering_class::unknown) ++n;
-  return n;
+  return inferences.contribution(x, s);
 }
 
 std::size_t pipeline_result::count(world::ixp_id x, peering_class c) const {
-  std::size_t n = 0;
-  for (const auto& [k, inf] : inferences.items())
-    if (k.ixp == x && inf.cls == c) ++n;
-  return n;
+  return inferences.count(x, c);
 }
 
 const step_trace* pipeline_result::trace_for(std::string_view step) const {
   const auto it = std::find_if(trace.begin(), trace.end(),
                                [&](const step_trace& t) { return t.step == step; });
   return it == trace.end() ? nullptr : &*it;
-}
-
-// Deprecated shim: the monolithic entry point is now a one-liner over the
-// engine; output is identical to the equivalent builder chain.
-pipeline_result run_pipeline(const world::world& w, const db::merged_view& view,
-                             const db::ip2as& prefix2as,
-                             const measure::latency_model& lat,
-                             std::span<const measure::vantage_point> vps,
-                             std::span<const measure::trace> traces,
-                             std::span<const world::ixp_id> scope,
-                             const pipeline_config& cfg) {
-  return pipeline_builder::from_config(cfg).build().run(
-      {w, view, prefix2as, lat, vps, traces, scope});
 }
 
 inference_map run_baseline_on(const pipeline_result& pr, const baseline_config& cfg) {

@@ -87,20 +87,6 @@ struct pipeline_result {
   [[nodiscard]] const step_trace* trace_for(std::string_view step) const;
 };
 
-/// Runs the pipeline over `scope` IXPs (alias resolution needs the world's
-/// ground-truth router map, exactly like MIDAR needs the real Internet).
-///
-/// Deprecated shim over the composable engine API: prefer
-///   engine().with_step("port-capacity")... .build().run({...})
-/// or pipeline_builder::from_config(cfg) (see opwat/infer/engine.hpp).
-/// Output is identical to the engine run with the same config.
-[[deprecated("use infer::engine() / pipeline_builder (opwat/infer/engine.hpp)")]]
-[[nodiscard]] pipeline_result run_pipeline(
-    const world::world& w, const db::merged_view& view, const db::ip2as& prefix2as,
-    const measure::latency_model& lat, std::span<const measure::vantage_point> vps,
-    std::span<const measure::trace> traces, std::span<const world::ixp_id> scope,
-    const pipeline_config& cfg);
-
 /// Convenience: the Castro et al. baseline on the same campaign data.
 [[nodiscard]] inference_map run_baseline_on(const pipeline_result& pr,
                                             const baseline_config& cfg = {});

@@ -1,5 +1,6 @@
 #include "opwat/infer/types.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace opwat::infer {
@@ -16,10 +17,14 @@ namespace {
 inference_map inference_map::slice(std::span<const world::ixp_id> ixps) const {
   inference_map out;
   for (const auto x : ixps) {
+    ixp_tally* tally = nullptr;  // materialized on the first copied item
     for (auto it = items_.lower_bound(range_begin(x));
          it != items_.end() && it->first.ixp == x; ++it) {
       out.items_.emplace(it->first, it->second);
       ++out.counts_[static_cast<std::size_t>(it->second.cls)];
+      if (!tally) tally = &out.by_ixp_[x];
+      ++tally->by_class[static_cast<std::size_t>(it->second.cls)];
+      ++tally->by_step[static_cast<std::size_t>(it->second.step)];
     }
     for (auto it = pending_.lower_bound(range_begin(x));
          it != pending_.end() && it->first.ixp == x; ++it)
@@ -36,6 +41,8 @@ void inference_map::replace_slice(std::span<const world::ixp_id> ixps,
       --counts_[static_cast<std::size_t>(it->second.cls)];
       it = items_.erase(it);
     }
+    // The whole range of x is gone, so its tally is exactly zero now.
+    by_ixp_.erase(x);
     for (auto it = pending_.lower_bound(range_begin(x));
          it != pending_.end() && it->first.ixp == x;)
       it = pending_.erase(it);
@@ -46,19 +53,39 @@ void inference_map::replace_slice(std::span<const world::ixp_id> ixps,
   // already holds — the erased ranges cannot collide) violates the call
   // contract: the base entry wins and the asserts flag it in Debug.
   for (const auto& [key, inf] : delta.items_)
-    if (items_.emplace(key, inf).second)
+    if (items_.emplace(key, inf).second) {
       ++counts_[static_cast<std::size_t>(inf.cls)];
+      auto& tally = by_ixp_[key.ixp];
+      ++tally.by_class[static_cast<std::size_t>(inf.cls)];
+      ++tally.by_step[static_cast<std::size_t>(inf.step)];
+    }
   pending_.merge(delta.pending_);
   assert(delta.pending_.empty());
   assert(([&] {
     auto tally = decltype(counts_){};
-    for (const auto& [key, inf] : items_)
+    auto per_ixp = decltype(by_ixp_){};
+    for (const auto& [key, inf] : items_) {
       ++tally[static_cast<std::size_t>(inf.cls)];
-    return tally == counts_;
+      ++per_ixp[key.ixp].by_class[static_cast<std::size_t>(inf.cls)];
+      ++per_ixp[key.ixp].by_step[static_cast<std::size_t>(inf.step)];
+    }
+    const auto live = [](const auto& m) {
+      std::size_t n = 0;
+      for (const auto& [x, t] : m)
+        for (const auto c : t.by_class) n += c;
+      return n;
+    };
+    return tally == counts_ && live(per_ixp) == live(by_ixp_) &&
+           std::all_of(per_ixp.begin(), per_ixp.end(), [&](const auto& kv) {
+             const auto it = by_ixp_.find(kv.first);
+             return it != by_ixp_.end() && it->second.by_class == kv.second.by_class &&
+                    it->second.by_step == kv.second.by_step;
+           });
   }()));
   delta.counts_ = {};
   delta.items_.clear();
   delta.pending_.clear();
+  delta.by_ixp_.clear();
 }
 
 }  // namespace opwat::infer

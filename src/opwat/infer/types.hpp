@@ -31,6 +31,10 @@ enum class method_step : std::uint8_t {
   traceroute_rtt,   // §8 extension: traceroute-derived RTT + colocation
 };
 
+/// Enumerator counts, for dense per-class / per-step count arrays.
+inline constexpr std::size_t k_n_peering_classes = 3;
+inline constexpr std::size_t k_n_method_steps = 7;
+
 [[nodiscard]] constexpr std::string_view to_string(peering_class c) noexcept {
   switch (c) {
     case peering_class::unknown: return "unknown";
@@ -101,6 +105,9 @@ class inference_map {
     inf.cls = cls;
     inf.step = step;
     ++counts_[static_cast<std::size_t>(cls)];
+    auto& tally = by_ixp_[k.ixp];
+    ++tally.by_class[static_cast<std::size_t>(cls)];
+    ++tally.by_step[static_cast<std::size_t>(step)];
     return true;
   }
 
@@ -153,6 +160,19 @@ class inference_map {
     return counts_[static_cast<std::size_t>(c)];
   }
 
+  /// Decisions of one IXP by class — O(log #IXPs) via the per-IXP
+  /// tallies maintained in decide(); this is the indexed store behind
+  /// pipeline_result::count and the serve-catalog ingest.
+  [[nodiscard]] std::size_t count(world::ixp_id x, peering_class c) const noexcept {
+    const auto it = by_ixp_.find(x);
+    return it == by_ixp_.end() ? 0 : it->second.by_class[static_cast<std::size_t>(c)];
+  }
+  /// Decisions of one IXP by evidence step (Fig. 10a), same index.
+  [[nodiscard]] std::size_t contribution(world::ixp_id x, method_step s) const noexcept {
+    const auto it = by_ixp_.find(x);
+    return it == by_ixp_.end() ? 0 : it->second.by_step[static_cast<std::size_t>(s)];
+  }
+
   // --- shard merging (parallel executor) ------------------------------------
   //
   // Keys are (ixp, ip) and the map is ordered, so every IXP owns one
@@ -180,11 +200,18 @@ class inference_map {
     double rtt_min_ms = std::numeric_limits<double>::quiet_NaN();
     int feasible_ixp_facilities = -1;
   };
+  /// Per-IXP decision tallies (by class and by evidence step), updated
+  /// in decide() and moved with entries by slice()/replace_slice().
+  struct ixp_tally {
+    std::array<std::size_t, k_n_peering_classes> by_class{};
+    std::array<std::size_t, k_n_method_steps> by_step{};
+  };
 
   std::map<iface_key, inference> items_;
   std::map<iface_key, annotation> pending_;
   /// Per-class decision counters, updated in decide(): count() is O(1).
-  std::array<std::size_t, 3> counts_{};
+  std::array<std::size_t, k_n_peering_classes> counts_{};
+  std::map<world::ixp_id, ixp_tally> by_ixp_;
 };
 
 }  // namespace opwat::infer

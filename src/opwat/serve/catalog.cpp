@@ -1,0 +1,185 @@
+#include "opwat/serve/catalog.hpp"
+
+#include <stdexcept>
+
+namespace opwat::serve {
+
+// --- epoch -------------------------------------------------------------------
+
+const epoch::block* epoch::block_of(ixp_ref x) const noexcept {
+  const auto it = block_index_.find(x);
+  return it == block_index_.end() ? nullptr : &blocks_[it->second];
+}
+
+std::size_t epoch::count(ixp_ref x, infer::peering_class c) const noexcept {
+  const auto* b = block_of(x);
+  return b ? b->by_class[static_cast<std::size_t>(c)] : 0;
+}
+
+std::size_t epoch::contribution(ixp_ref x, infer::method_step s) const noexcept {
+  const auto* b = block_of(x);
+  return b ? b->by_step[static_cast<std::size_t>(s)] : 0;
+}
+
+iface_row epoch::row(std::size_t i) const {
+  iface_row r;
+  r.ip = net::ipv4_addr{ip_[i]};
+  r.ixp = world_ixp(ixp_[i]);
+  r.asn = net::asn{asn_[i]};
+  r.cls = static_cast<infer::peering_class>(cls_[i]);
+  r.step = static_cast<infer::method_step>(step_[i]);
+  r.rtt_min_ms = rtt_[i];
+  r.feasible_facilities = feasible_[i];
+  r.port_gbps = port_[i];
+  r.metro = metro_[i];
+  return r;
+}
+
+world::ixp_id epoch::world_ixp(ixp_ref x) const noexcept {
+  const auto it = world_ids_.find(x);
+  return it == world_ids_.end() ? world::k_invalid : it->second;
+}
+
+// --- catalog -----------------------------------------------------------------
+
+metro_ref catalog::intern_metro(std::string_view name) {
+  if (name.empty()) return k_no_metro;
+  if (const auto it = metro_by_name_.find(name); it != metro_by_name_.end())
+    return it->second;
+  const auto ref = static_cast<metro_ref>(metros_.size());
+  metros_.emplace_back(name);
+  metro_by_name_.emplace(metros_.back(), ref);
+  return ref;
+}
+
+ixp_ref catalog::intern_ixp(const world::world& w, world::ixp_id id) {
+  if (const auto it = ixp_by_id_.find(id); it != ixp_by_id_.end()) return it->second;
+  const auto& x = w.ixps[id];
+  ixp_entry e;
+  e.id = id;
+  e.name = x.name;
+  e.peering_lan = x.peering_lan.to_string();
+  e.min_physical_capacity_gbps = x.min_physical_capacity_gbps;
+  if (x.home_city < w.cities.size()) e.metro = intern_metro(w.cities[x.home_city].name);
+  const auto ref = static_cast<ixp_ref>(ixps_.size());
+  ixps_.push_back(std::move(e));
+  ixp_by_id_.emplace(id, ref);
+  ixp_by_name_.emplace(ixps_.back().name, ref);
+  return ref;
+}
+
+epoch_id catalog::ingest(const world::world& w, const db::merged_view& view,
+                         const infer::pipeline_result& pr, std::string_view label) {
+  if (by_label_.find(label) != by_label_.end())
+    throw std::invalid_argument("catalog: epoch label already ingested: " +
+                                std::string{label});
+
+  epoch ep;
+  ep.label_ = label;
+
+  // Member-metro labels are per-ASN; resolve each ASN once per ingest.
+  std::unordered_map<std::uint32_t, metro_ref> asn_metro;
+  const auto metro_of_asn = [&](net::asn a) {
+    if (const auto it = asn_metro.find(a.value); it != asn_metro.end()) return it->second;
+    metro_ref m = k_no_metro;
+    if (const auto as = w.as_by_asn(a)) {
+      const auto city = w.ases[*as].hq_city;
+      if (city < w.cities.size()) m = intern_metro(w.cities[city].name);
+    }
+    asn_metro.emplace(a.value, m);
+    return m;
+  };
+
+  for (const auto x : pr.scope) {
+    const auto ref = intern_ixp(w, x);
+    epoch::block b;
+    b.ixp = ref;
+    b.begin = ep.ip_.size();
+    for (const auto f : view.facilities_of_ixp(x)) {
+      facility_entry fe;
+      fe.id = f;
+      if (f < w.facilities.size()) {
+        fe.name = w.facilities[f].name;
+        fe.has_name = true;
+      }
+      if (const auto loc = view.facility_location(f)) {
+        fe.has_location = true;
+        fe.lat_deg = loc->lat_deg;
+        fe.lon_deg = loc->lon_deg;
+      }
+      b.facilities.push_back(std::move(fe));
+    }
+    for (const auto& e : view.interfaces_of_ixp(x)) {
+      const infer::iface_key key{x, e.ip};
+      const auto* inf = pr.inferences.find(key);
+      const auto cls = inf ? inf->cls : infer::peering_class::unknown;
+      const auto step = inf ? inf->step : infer::method_step::none;
+      ep.ip_.push_back(e.ip.value());
+      ep.ixp_.push_back(ref);
+      ep.asn_.push_back(e.asn.value);
+      ep.metro_.push_back(metro_of_asn(e.asn));
+      ep.cls_.push_back(static_cast<std::uint8_t>(cls));
+      ep.step_.push_back(static_cast<std::uint8_t>(step));
+      ep.rtt_.push_back(pr.inferences.rtt_min_ms(key));
+      ep.feasible_.push_back(pr.inferences.feasible_facilities(key));
+      const auto port = view.port_capacity(e.asn, x);
+      ep.port_.push_back(port ? *port : std::numeric_limits<double>::quiet_NaN());
+      ++b.by_class[static_cast<std::size_t>(cls)];
+      if (cls != infer::peering_class::unknown)
+        ++b.by_step[static_cast<std::size_t>(step)];
+      ++ep.totals_[static_cast<std::size_t>(cls)];
+    }
+    b.end = ep.ip_.size();
+    ep.block_index_.emplace(ref, ep.blocks_.size());
+    ep.world_ids_.emplace(ref, x);
+    ep.blocks_.push_back(std::move(b));
+  }
+
+  const auto id = static_cast<epoch_id>(epochs_.size());
+  by_label_.emplace(std::string{label}, id);
+  epochs_.push_back(std::move(ep));
+  return id;
+}
+
+std::optional<epoch_id> catalog::find(std::string_view label) const {
+  const auto it = by_label_.find(label);
+  if (it == by_label_.end()) return std::nullopt;
+  return it->second;
+}
+
+const epoch& catalog::of(std::string_view label) const {
+  const auto id = find(label);
+  if (!id) throw std::invalid_argument("catalog: unknown epoch label: " + std::string{label});
+  return epochs_[*id];
+}
+
+std::vector<std::string> catalog::labels() const {
+  std::vector<std::string> out;
+  out.reserve(epochs_.size());
+  for (const auto& e : epochs_) out.push_back(e.label_);
+  return out;
+}
+
+std::optional<ixp_ref> catalog::ixp_by_name(std::string_view name) const {
+  const auto it = ixp_by_name_.find(name);
+  if (it == ixp_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ixp_ref> catalog::ixp_by_id(world::ixp_id id) const {
+  const auto it = ixp_by_id_.find(id);
+  if (it == ixp_by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<metro_ref> catalog::metro_by_name(std::string_view name) const {
+  const auto it = metro_by_name_.find(name);
+  if (it == metro_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view catalog::metro_name(metro_ref m) const noexcept {
+  return m < metros_.size() ? std::string_view{metros_[m]} : std::string_view{};
+}
+
+}  // namespace opwat::serve

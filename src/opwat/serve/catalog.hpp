@@ -1,0 +1,214 @@
+// Epoch-versioned catalog of remote-peering inferences — the serving
+// side of the paper's "Prototype and Portal" (§9).
+//
+// The portal publishes monthly snapshots that users query by IXP,
+// member and location.  A `catalog` ingests `infer::pipeline_result`s —
+// one *epoch* per snapshot label, e.g. "2018-04" — into a compact
+// columnar store: IXP and metro names are interned into catalog-wide
+// dictionaries, member rows live in per-epoch column vectors sorted by
+// (scope position, view order), and every epoch carries per-(IXP,
+// class) and per-(IXP, evidence-step) count indexes so the Fig. 10a/10b
+// aggregates are O(1) lookups instead of full rescans.
+//
+// Consumers never touch the pipeline structures again: the portal
+// exporter, the longitudinal study, the operator examples and the
+// figure benches all render from the catalog (opwat/serve/query.hpp is
+// the fluent query layer on top).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "opwat/db/merge.hpp"
+#include "opwat/infer/pipeline.hpp"
+#include "opwat/world/world.hpp"
+
+namespace opwat::serve {
+
+/// Transparent string hashing so label/name lookups take string_views
+/// without allocating a temporary std::string per call (epoch
+/// resolution is on the query hot path).
+struct string_hash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+template <typename T>
+using string_map = std::unordered_map<std::string, T, string_hash, std::equal_to<>>;
+
+using epoch_id = std::uint32_t;
+/// Index into the catalog-wide IXP dictionary (interned across epochs).
+using ixp_ref = std::uint32_t;
+/// Index into the catalog-wide metro dictionary (interned city names).
+using metro_ref = std::uint32_t;
+
+inline constexpr metro_ref k_no_metro = std::numeric_limits<metro_ref>::max();
+
+/// Dictionary entry for one IXP (shared by every epoch that contains it).
+struct ixp_entry {
+  world::ixp_id id = world::k_invalid;
+  std::string name;
+  std::string peering_lan;
+  double min_physical_capacity_gbps = 0.0;
+  /// Metro of the IXP's home city.
+  metro_ref metro = k_no_metro;
+};
+
+/// A switching-fabric site of an IXP, as the DB view exposed it at
+/// ingest time (names come from the ground-truth world, like the
+/// portal's labels; location is the view's geo record when present).
+struct facility_entry {
+  world::facility_id id = world::k_invalid;
+  std::string name;
+  bool has_name = false;
+  bool has_location = false;
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// One member-interface row, materialized from the columns.  Rows cover
+/// EVERY interface the merged view attributed to a scoped IXP — decided
+/// or not — so unknown totals need no external rescan.
+struct iface_row {
+  net::ipv4_addr ip;
+  world::ixp_id ixp = world::k_invalid;
+  net::asn asn{};
+  infer::peering_class cls = infer::peering_class::unknown;
+  infer::method_step step = infer::method_step::none;
+  /// Minimum usable RTT (NaN when unmeasured).
+  double rtt_min_ms = std::numeric_limits<double>::quiet_NaN();
+  /// Feasible-ring facility count (-1 when not computed).
+  int feasible_facilities = -1;
+  /// Port capacity from the merged view (NaN when unpublished).
+  double port_gbps = std::numeric_limits<double>::quiet_NaN();
+  /// Metro of the member AS's headquarters (k_no_metro when unmapped).
+  metro_ref metro = k_no_metro;
+
+  [[nodiscard]] infer::iface_key key() const noexcept { return {ixp, ip}; }
+};
+
+/// One ingested snapshot: columnar member rows plus per-IXP indexes.
+/// Row order is canonical and deterministic — IXPs in pipeline-scope
+/// order, interfaces in merged-view order — and every query result is
+/// defined in terms of it.
+class epoch {
+ public:
+  /// Per-IXP slice of the epoch: the contiguous row range [begin, end),
+  /// the facility list, and the count indexes.
+  struct block {
+    ixp_ref ixp = 0;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::vector<facility_entry> facilities;
+    std::array<std::size_t, infer::k_n_peering_classes> by_class{};
+    /// Decided rows only, keyed by evidence step (== Fig. 10a bars).
+    std::array<std::size_t, infer::k_n_method_steps> by_step{};
+  };
+
+  [[nodiscard]] const std::string& label() const noexcept { return label_; }
+  [[nodiscard]] std::size_t rows() const noexcept { return ip_.size(); }
+  [[nodiscard]] const std::vector<block>& blocks() const noexcept { return blocks_; }
+  /// Block of an IXP by dictionary ref; nullptr when the epoch does not
+  /// contain it.
+  [[nodiscard]] const block* block_of(ixp_ref x) const noexcept;
+
+  /// Epoch-wide row count per class (unknown included) — O(1).
+  [[nodiscard]] std::size_t total(infer::peering_class c) const noexcept {
+    return totals_[static_cast<std::size_t>(c)];
+  }
+  /// Rows of one IXP per class — O(1) after the block lookup.
+  [[nodiscard]] std::size_t count(ixp_ref x, infer::peering_class c) const noexcept;
+  /// Decided rows of one IXP per evidence step (the Fig. 10a number).
+  [[nodiscard]] std::size_t contribution(ixp_ref x, infer::method_step s) const noexcept;
+
+  /// Materializes row `i` (canonical order).
+  [[nodiscard]] iface_row row(std::size_t i) const;
+
+  // Raw column access for scan-style queries (all vectors have rows()
+  // elements, in canonical order).
+  [[nodiscard]] const std::vector<std::uint32_t>& ip_col() const noexcept { return ip_; }
+  [[nodiscard]] const std::vector<ixp_ref>& ixp_col() const noexcept { return ixp_; }
+  [[nodiscard]] const std::vector<std::uint32_t>& asn_col() const noexcept { return asn_; }
+  [[nodiscard]] const std::vector<metro_ref>& metro_col() const noexcept { return metro_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& cls_col() const noexcept { return cls_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& step_col() const noexcept { return step_; }
+  [[nodiscard]] const std::vector<double>& rtt_col() const noexcept { return rtt_; }
+  [[nodiscard]] const std::vector<std::int32_t>& feasible_col() const noexcept {
+    return feasible_;
+  }
+  [[nodiscard]] const std::vector<double>& port_col() const noexcept { return port_; }
+
+  /// World IXP id of a row's IXP (resolved through the owning catalog's
+  /// dictionary at ingest time and cached per block).
+  [[nodiscard]] world::ixp_id world_ixp(ixp_ref x) const noexcept;
+
+ private:
+  friend class catalog;
+
+  std::string label_;
+  std::vector<std::uint32_t> ip_;
+  std::vector<ixp_ref> ixp_;
+  std::vector<std::uint32_t> asn_;
+  std::vector<metro_ref> metro_;
+  std::vector<std::uint8_t> cls_;
+  std::vector<std::uint8_t> step_;
+  std::vector<double> rtt_;
+  std::vector<std::int32_t> feasible_;
+  std::vector<double> port_;
+  std::vector<block> blocks_;
+  std::unordered_map<ixp_ref, std::size_t> block_index_;
+  std::unordered_map<ixp_ref, world::ixp_id> world_ids_;
+  std::array<std::size_t, infer::k_n_peering_classes> totals_{};
+};
+
+/// The versioned store: one epoch per ingested snapshot label, shared
+/// IXP/metro dictionaries across epochs.  Ingest is the ONLY mutation;
+/// everything else is read-only and safe to share across query threads.
+class catalog {
+ public:
+  /// Ingests one pipeline run as a new epoch.  `pr.scope` defines the
+  /// IXP order; the merged view defines each IXP's member rows (decided
+  /// or not) and facility list; the ground-truth world supplies display
+  /// names and metro labels exactly as the portal exporter always did.
+  /// Throws std::invalid_argument when `label` is already ingested.
+  epoch_id ingest(const world::world& w, const db::merged_view& view,
+                  const infer::pipeline_result& pr, std::string_view label);
+
+  [[nodiscard]] std::size_t epoch_count() const noexcept { return epochs_.size(); }
+  /// Epoch by id; throws std::out_of_range.
+  [[nodiscard]] const epoch& at(epoch_id e) const { return epochs_.at(e); }
+  [[nodiscard]] std::optional<epoch_id> find(std::string_view label) const;
+  /// Epoch by label; throws std::invalid_argument for unknown labels.
+  [[nodiscard]] const epoch& of(std::string_view label) const;
+  /// Ingested labels, in ingest order.
+  [[nodiscard]] std::vector<std::string> labels() const;
+
+  [[nodiscard]] const std::vector<ixp_entry>& ixps() const noexcept { return ixps_; }
+  [[nodiscard]] const std::vector<std::string>& metros() const noexcept { return metros_; }
+  [[nodiscard]] std::optional<ixp_ref> ixp_by_name(std::string_view name) const;
+  [[nodiscard]] std::optional<ixp_ref> ixp_by_id(world::ixp_id id) const;
+  [[nodiscard]] std::optional<metro_ref> metro_by_name(std::string_view name) const;
+  /// Metro display name ("" for k_no_metro).
+  [[nodiscard]] std::string_view metro_name(metro_ref m) const noexcept;
+
+ private:
+  metro_ref intern_metro(std::string_view name);
+  ixp_ref intern_ixp(const world::world& w, world::ixp_id id);
+
+  std::vector<epoch> epochs_;
+  string_map<epoch_id> by_label_;
+  std::vector<ixp_entry> ixps_;
+  std::unordered_map<std::uint32_t, ixp_ref> ixp_by_id_;
+  string_map<ixp_ref> ixp_by_name_;
+  std::vector<std::string> metros_;
+  string_map<metro_ref> metro_by_name_;
+};
+
+}  // namespace opwat::serve

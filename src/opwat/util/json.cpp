@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace opwat::util {
 
@@ -30,13 +31,24 @@ std::string json_escape(std::string_view s) {
   return out;
 }
 
+void json_writer::fail(const char* what) {
+  throw std::logic_error(std::string{"json_writer: "} + what);
+}
+
+void json_writer::element_separator() {
+  if (!depth_.empty() && has_element_.back()) out_ += ',';
+  if (!has_element_.empty()) has_element_.back() = true;
+}
+
 void json_writer::prepare_for_value() {
   if (pending_key_) {
     pending_key_ = false;
     return;
   }
-  if (!depth_.empty() && has_element_.back()) out_ += ',';
-  if (!has_element_.empty()) has_element_.back() = true;
+  if (!depth_.empty() && depth_.back() == '{')
+    fail("value inside an object requires a key()");
+  if (depth_.empty() && !out_.empty()) fail("document is already complete");
+  element_separator();
 }
 
 json_writer& json_writer::begin_object() {
@@ -48,6 +60,9 @@ json_writer& json_writer::begin_object() {
 }
 
 json_writer& json_writer::end_object() {
+  if (pending_key_) fail("end_object() with a dangling key()");
+  if (depth_.empty() || depth_.back() != '{')
+    fail("end_object() without an open object");
   out_ += '}';
   depth_.pop_back();
   has_element_.pop_back();
@@ -63,6 +78,9 @@ json_writer& json_writer::begin_array() {
 }
 
 json_writer& json_writer::end_array() {
+  if (pending_key_) fail("end_array() with a dangling key()");
+  if (depth_.empty() || depth_.back() != '[')
+    fail("end_array() without an open array");
   out_ += ']';
   depth_.pop_back();
   has_element_.pop_back();
@@ -70,8 +88,9 @@ json_writer& json_writer::end_array() {
 }
 
 json_writer& json_writer::key(std::string_view k) {
-  if (!has_element_.empty() && has_element_.back()) out_ += ',';
-  if (!has_element_.empty()) has_element_.back() = true;
+  if (pending_key_) fail("key() while another key is pending");
+  if (depth_.empty() || depth_.back() != '{') fail("key() outside an object");
+  element_separator();
   out_ += '"';
   out_ += json_escape(k);
   out_ += "\":";

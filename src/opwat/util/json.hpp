@@ -23,6 +23,14 @@ namespace opwat::util {
 //  w.end_array();
 //  w.end_object();
 //  std::string doc = w.str();
+//
+// Misuse can only ever produce invalid JSON, so it throws
+// std::logic_error instead of emitting garbage silently:
+//   - key() outside an object, or while another key is pending;
+//   - a value (or nested container) inside an object without a key();
+//   - end_object()/end_array() mismatched with the open container, or
+//     with a dangling key();
+//   - any write after the top-level value closed the document.
 class json_writer {
  public:
   json_writer& begin_object();
@@ -45,7 +53,12 @@ class json_writer {
   [[nodiscard]] bool complete() const noexcept { return depth_.empty() && !out_.empty(); }
 
  private:
+  /// Comma/has-element bookkeeping shared by key() and values.
+  void element_separator();
+  /// element_separator() plus the value-position misuse checks.
   void prepare_for_value();
+  [[noreturn]] static void fail(const char* what);
+
   std::string out_;
   // Per level: whether at least one element was emitted.
   std::vector<bool> has_element_;

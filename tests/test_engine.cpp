@@ -1,7 +1,8 @@
 // The composable inference-engine API: step registry, builder
 // validation, per-step ledger, and equivalence of the fluent engine with
-// the legacy run_pipeline() shim across order permutations and scope
-// batch sizes.
+// pipeline_builder::from_config() across order permutations and scope
+// batch sizes (the pin the legacy run_pipeline() shims carried before
+// their removal).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -140,12 +141,10 @@ class EngineEquivalence : public ::testing::Test {
     s_ = nullptr;
   }
 
-  static pipeline_result run_legacy(const pipeline_config& cfg) {
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    return run_pipeline(s_->w, s_->view, s_->prefix2as, s_->lat, s_->vps,
-                        s_->traces, s_->scope, cfg);
-#pragma GCC diagnostic pop
+  /// The config-translated engine run: the reference every fluent chain
+  /// must match (formerly the run_pipeline() shim's code path).
+  static pipeline_result run_config(const pipeline_config& cfg) {
+    return pipeline_builder::from_config(cfg).build().run(s_->inputs());
   }
 
   static void expect_same_result(const pipeline_result& a, const pipeline_result& b) {
@@ -179,13 +178,7 @@ class EngineEquivalence : public ::testing::Test {
 
 eval::scenario* EngineEquivalence::s_ = nullptr;
 
-TEST_F(EngineEquivalence, ShimMatchesFromConfigEngine) {
-  const auto cfg = s_->cfg.pipeline;
-  expect_same_result(run_legacy(cfg),
-                     pipeline_builder::from_config(cfg).build().run(s_->inputs()));
-}
-
-TEST_F(EngineEquivalence, ShimMatchesFluentChain) {
+TEST_F(EngineEquivalence, FluentChainMatchesFromConfigEngine) {
   const auto pr = engine()
                       .with_step("port-capacity")
                       .with_step("rtt-colo")
@@ -194,10 +187,10 @@ TEST_F(EngineEquivalence, ShimMatchesFluentChain) {
                       .seed(s_->cfg.pipeline.seed)
                       .build()
                       .run(s_->inputs());
-  expect_same_result(run_legacy(s_->cfg.pipeline), pr);
+  expect_same_result(run_config(s_->cfg.pipeline), pr);
 }
 
-TEST_F(EngineEquivalence, OrderPermutationsMatchShim) {
+TEST_F(EngineEquivalence, OrderPermutationsMatchConfigTranslation) {
   const std::vector<std::vector<method_step>> orders{
       {method_step::rtt_colo, method_step::port_capacity, method_step::multi_ixp,
        method_step::private_links},
@@ -210,7 +203,7 @@ TEST_F(EngineEquivalence, OrderPermutationsMatchShim) {
   for (const auto& order : orders) {
     auto cfg = s_->cfg.pipeline;
     cfg.order = order;
-    expect_same_result(run_legacy(cfg),
+    expect_same_result(run_config(cfg),
                        pipeline_builder::from_config(s_->cfg.pipeline)
                            .order(order)
                            .build()
@@ -218,16 +211,17 @@ TEST_F(EngineEquivalence, OrderPermutationsMatchShim) {
   }
 }
 
-TEST_F(EngineEquivalence, TracerouteRttExtensionMatchesShim) {
+TEST_F(EngineEquivalence, TracerouteRttExtensionMatchesConfigTranslation) {
   auto cfg = s_->cfg.pipeline;
   cfg.use_traceroute_rtt = true;
   cfg.traceroute_rtt.require_local_near = false;
   const auto eng = pipeline_builder::from_config(cfg).build();
   EXPECT_EQ(eng.steps().back().name, "traceroute-rtt");
   const auto pr = eng.run(s_->inputs());
-  expect_same_result(run_legacy(cfg), pr);
+  const auto ref = run_config(cfg);
+  expect_same_result(ref, pr);
   EXPECT_EQ(pr.s2b.decided_local + pr.s2b.decided_remote,
-            run_legacy(cfg).s2b.decided_local + run_legacy(cfg).s2b.decided_remote);
+            ref.s2b.decided_local + ref.s2b.decided_remote);
 }
 
 TEST_F(EngineEquivalence, OrderAfterFromConfigKeepsFlaggedExtension) {
@@ -242,7 +236,7 @@ TEST_F(EngineEquivalence, OrderAfterFromConfigKeepsFlaggedExtension) {
   EXPECT_EQ(eng.steps().back().name, "traceroute-rtt");
   auto perm_cfg = cfg;
   perm_cfg.order = perm;
-  expect_same_result(run_legacy(perm_cfg), eng.run(s_->inputs()));
+  expect_same_result(run_config(perm_cfg), eng.run(s_->inputs()));
 }
 
 TEST_F(EngineEquivalence, BatchedExecutionMatchesUnbatched) {

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "opwat/eval/portal.hpp"
 #include "opwat/util/json.hpp"
@@ -68,6 +69,75 @@ TEST(JsonWriter, IncompleteIsFlagged) {
   json_writer w;
   w.begin_object();
   EXPECT_FALSE(w.complete());
+}
+
+// --- misuse is rejected instead of silently emitting invalid JSON ----------
+
+TEST(JsonWriterMisuse, KeyOutsideObjectThrows) {
+  {
+    json_writer w;
+    EXPECT_THROW(w.key("k"), std::logic_error);  // top level
+  }
+  {
+    json_writer w;
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), std::logic_error);  // inside an array
+  }
+}
+
+TEST(JsonWriterMisuse, DoubleKeyThrows) {
+  json_writer w;
+  w.begin_object();
+  w.key("a");
+  EXPECT_THROW(w.key("b"), std::logic_error);
+}
+
+TEST(JsonWriterMisuse, ValueInObjectWithoutKeyThrows) {
+  json_writer w;
+  w.begin_object();
+  EXPECT_THROW(w.value(1), std::logic_error);
+  EXPECT_THROW(w.begin_array(), std::logic_error);
+  EXPECT_THROW(w.begin_object(), std::logic_error);
+  EXPECT_THROW(w.null(), std::logic_error);
+}
+
+TEST(JsonWriterMisuse, DanglingKeyAtEndThrows) {
+  json_writer w;
+  w.begin_object();
+  w.key("orphan");
+  EXPECT_THROW(w.end_object(), std::logic_error);
+  // Supplying the value heals the writer.
+  w.value(1).end_object();
+  EXPECT_EQ(w.str(), R"({"orphan":1})");
+  EXPECT_TRUE(w.complete());
+}
+
+TEST(JsonWriterMisuse, MismatchedEndThrows) {
+  {
+    json_writer w;
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+  {
+    json_writer w;
+    w.begin_array();
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+  {
+    json_writer w;
+    EXPECT_THROW(w.end_object(), std::logic_error);  // nothing open
+    EXPECT_THROW(w.end_array(), std::logic_error);
+  }
+}
+
+TEST(JsonWriterMisuse, WritesAfterCompleteDocumentThrow) {
+  json_writer w;
+  w.begin_object().end_object();
+  ASSERT_TRUE(w.complete());
+  EXPECT_THROW(w.value(1), std::logic_error);
+  EXPECT_THROW(w.begin_object(), std::logic_error);
+  EXPECT_THROW(w.begin_array(), std::logic_error);
+  EXPECT_EQ(w.str(), "{}");  // the finished document is untouched
 }
 
 class PortalTest : public ::testing::Test {
