@@ -1,0 +1,233 @@
+// Catalog persistence + concurrent serving throughput: the durable
+// .opwatc snapshot format (opwat/serve/store.hpp) and the RCU
+// shared_catalog (opwat/serve/shared_catalog.hpp).
+//
+// Measures, on the shared scenario (OPWAT_BENCH_SCALE=tiny swaps in the
+// small smoke scenario):
+//   - save: catalog -> .opwatc bytes on disk (ms, MB/s, file size);
+//   - load: .opwatc -> queryable catalog (ms, MB/s);
+//   - append_epoch: extending an existing snapshot by one epoch;
+//   - concurrent serving: N reader threads issuing portal-style queries
+//     against shared_catalog snapshots while a writer publishes new
+//     epochs — queries/sec under ingest, the §9 many-users claim.
+//
+// Prints a table plus a machine-readable JSON blob; writes the JSON to
+// $OPWAT_BENCH_JSON and the snapshot file to $OPWAT_BENCH_SNAPSHOT when
+// set (the CI bench-smoke step uploads both as workflow artifacts).
+#include "common.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "opwat/serve/query.hpp"
+#include "opwat/serve/shared_catalog.hpp"
+#include "opwat/serve/store.hpp"
+#include "opwat/util/json.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::peering_class;
+
+constexpr int k_io_repetitions = 3;
+constexpr int k_readers = 3;
+constexpr int k_writer_epochs = 4;
+
+double elapsed_ms(const std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   t0)
+      .count();
+}
+
+std::string snapshot_path() {
+  if (const char* p = std::getenv("OPWAT_BENCH_SNAPSHOT")) return p;
+  return "catalog_io.opwatc";
+}
+
+serve::catalog make_catalog() {
+  const auto& s = benchx::shared_scenario();
+  serve::catalog cat;
+  cat.ingest(s.w, s.view, benchx::shared_pipeline(), "A");
+  return cat;
+}
+
+std::size_t file_size(const std::string& path) {
+  std::ifstream f{path, std::ios::binary | std::ios::ate};
+  return f ? static_cast<std::size_t>(f.tellg()) : 0;
+}
+
+double mb_per_sec(std::size_t bytes, double ms) {
+  return ms > 0.0 ? (static_cast<double>(bytes) / 1e6) / (ms / 1e3) : 0.0;
+}
+
+void print_catalog_io() {
+  const auto& s = benchx::shared_scenario();
+  const auto& pr = benchx::shared_pipeline();
+  const auto cat = make_catalog();
+  const auto path = snapshot_path();
+
+  // --- save / load ----------------------------------------------------------
+  double save_best_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < k_io_repetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    cat.save(path);
+    save_best_ms = std::min(save_best_ms, elapsed_ms(t0));
+  }
+  const auto bytes = file_size(path);
+
+  double load_best_ms = std::numeric_limits<double>::infinity();
+  std::size_t loaded_rows = 0;
+  for (int rep = 0; rep < k_io_repetitions; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto loaded = serve::catalog::load(path);
+    load_best_ms = std::min(load_best_ms, elapsed_ms(t0));
+    loaded_rows = loaded.of("A").rows();
+    benchmark::DoNotOptimize(&loaded);
+  }
+
+  // --- append_epoch ---------------------------------------------------------
+  // Extend a single-epoch file by one epoch (same pipeline result under
+  // a new label: append cost is serialization + prefix check, not
+  // inference).
+  double append_best_ms = std::numeric_limits<double>::infinity();
+  const std::string append_path = path + ".append";
+  for (int rep = 0; rep < k_io_repetitions; ++rep) {
+    serve::catalog two = make_catalog();
+    two.save(append_path);
+    const auto eid = two.ingest(s.w, s.view, pr, "B");
+    const auto t0 = std::chrono::steady_clock::now();
+    two.append_epoch(append_path, eid);
+    append_best_ms = std::min(append_best_ms, elapsed_ms(t0));
+  }
+  std::remove(append_path.c_str());
+
+  // --- queries/sec under concurrent ingest ----------------------------------
+  serve::shared_catalog sc{make_catalog()};
+  std::atomic<bool> writer_done{false};
+  std::atomic<std::size_t> queries{0};
+
+  // Readers run (and are counted) ONLY while the writer is publishing,
+  // so queries/sec genuinely measures the under-ingest regime rather
+  // than an uncontended tail after the last epoch landed.
+  std::vector<std::thread> readers;
+  readers.reserve(k_readers);
+  for (int t = 0; t < k_readers; ++t) {
+    readers.emplace_back([&] {
+      std::size_t n = 0;
+      do {
+        const auto snap = sc.snapshot();
+        const auto label = snap->labels().back();
+        auto q = serve::query(*snap).epoch(label).cls(peering_class::remote);
+        benchmark::DoNotOptimize(q.count());
+        const auto groups =
+            serve::query(*snap).epoch(label).cls(peering_class::remote).by_step().group_counts();
+        benchmark::DoNotOptimize(&groups);
+        n += 2;
+      } while (!writer_done.load(std::memory_order_acquire));
+      queries.fetch_add(n, std::memory_order_relaxed);
+    });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::thread writer{[&] {
+    for (int e = 0; e < k_writer_epochs; ++e)
+      sc.ingest(s.w, s.view, pr, "w-" + std::to_string(e));
+    writer_done.store(true, std::memory_order_release);
+  }};
+  writer.join();
+  const double ingest_window_ms = elapsed_ms(t0);
+  for (auto& r : readers) r.join();
+  const double qps = ingest_window_ms > 0.0
+                         ? static_cast<double>(queries.load()) /
+                               (ingest_window_ms / 1e3)
+                         : 0.0;
+
+  // --- report ---------------------------------------------------------------
+  util::text_table t{"Catalog persistence & concurrent serving"};
+  t.header({"metric", "value"});
+  t.row({"file size", std::to_string(bytes) + " B (" +
+                          std::to_string(loaded_rows) + " rows/epoch)"});
+  t.row({"save", util::fmt_double(save_best_ms, 2) + " ms (" +
+                     util::fmt_double(mb_per_sec(bytes, save_best_ms), 1) + " MB/s)"});
+  t.row({"load", util::fmt_double(load_best_ms, 2) + " ms (" +
+                     util::fmt_double(mb_per_sec(bytes, load_best_ms), 1) + " MB/s)"});
+  t.row({"append_epoch", util::fmt_double(append_best_ms, 2) + " ms"});
+  t.row({"concurrent ingest window", util::fmt_double(ingest_window_ms, 2) + " ms (" +
+                                         std::to_string(k_writer_epochs) + " epochs)"});
+  t.row({"queries/sec under ingest",
+         util::fmt_double(qps, 1) + " (" + std::to_string(k_readers) + " readers)"});
+  t.footer("readers query immutable RCU snapshots; the writer copies, ingests "
+           "and publishes with a brief pointer swap");
+  t.print(std::cout);
+
+  util::json_writer w;
+  w.begin_object();
+  w.key("bench").value("catalog_io");
+  const char* scale = std::getenv("OPWAT_BENCH_SCALE");
+  w.key("scale").value(scale && std::string_view{scale} == "tiny" ? "tiny" : "paper");
+  w.key("snapshot_path").value(path);
+  w.key("file_bytes").value(static_cast<std::uint64_t>(bytes));
+  w.key("rows_per_epoch").value(static_cast<std::uint64_t>(loaded_rows));
+  w.key("save_ms").value(save_best_ms);
+  w.key("save_mb_per_sec").value(mb_per_sec(bytes, save_best_ms));
+  w.key("load_ms").value(load_best_ms);
+  w.key("load_mb_per_sec").value(mb_per_sec(bytes, load_best_ms));
+  w.key("append_ms").value(append_best_ms);
+  w.key("concurrent").begin_object();
+  w.key("readers").value(static_cast<std::uint64_t>(k_readers));
+  w.key("writer_epochs").value(static_cast<std::uint64_t>(k_writer_epochs));
+  w.key("queries_during_ingest").value(static_cast<std::uint64_t>(queries.load()));
+  w.key("ingest_window_ms").value(ingest_window_ms);
+  w.key("queries_per_sec").value(qps);
+  w.end_object();
+  w.end_object();
+
+  std::cout << "\nJSON: " << w.str() << "\n";
+  if (const char* out_path = std::getenv("OPWAT_BENCH_JSON")) {
+    std::ofstream out{out_path};
+    out << w.str() << "\n";
+    std::cout << "(written to " << out_path << ")\n";
+  }
+  std::cout << "(snapshot written to " << path << ")\n";
+}
+
+void BM_save(benchmark::State& state) {
+  const auto cat = make_catalog();
+  const auto path = snapshot_path() + ".bm";
+  for (auto _ : state) cat.save(path);
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_save)->Unit(benchmark::kMillisecond);
+
+void BM_load(benchmark::State& state) {
+  const auto cat = make_catalog();
+  const auto path = snapshot_path() + ".bm";
+  cat.save(path);
+  for (auto _ : state) {
+    const auto loaded = serve::catalog::load(path);
+    benchmark::DoNotOptimize(&loaded);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_load)->Unit(benchmark::kMillisecond);
+
+void BM_snapshot_acquire(benchmark::State& state) {
+  const serve::shared_catalog sc{make_catalog()};
+  for (auto _ : state) {
+    const auto snap = sc.snapshot();
+    benchmark::DoNotOptimize(snap.get());
+  }
+}
+BENCHMARK(BM_snapshot_acquire);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_catalog_io)

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 
 #include "opwat/serve/query.hpp"
+#include "opwat/serve/store.hpp"
 
 namespace opwat::eval {
 
@@ -38,23 +40,49 @@ longitudinal_study run_longitudinal_study(const scenario& s,
   std::vector<world::ixp_id> scope = s.scope;
   if (scope.size() > cfg.top_n_ixps) scope.resize(cfg.top_n_ixps);
 
+  // Resume: epochs already persisted skip their pipeline run below.  A
+  // missing file means a fresh study; anything wrong with a file that
+  // IS there (unreadable, truncated, bit rot, wrong version) must
+  // surface instead of being silently recomputed — and overwritten —
+  // over.
+  bool store_exists = false;
+  if (!cfg.store_path.empty() && std::filesystem::exists(cfg.store_path)) {
+    out.epochs = serve::catalog::load(cfg.store_path);
+    store_exists = true;
+  }
+
   // One validated engine, reused across the monthly runs.
   const auto eng = infer::pipeline_builder::from_config(s.cfg.pipeline).build();
 
   for (int month = 0; month <= cfg.months; ++month) {
-    const auto wm = world_at_month(s.w, month);
-    // Fresh monthly database dump (fresh noise draw per month).
-    const auto snaps =
-        db::make_standard_snapshots(wm, s.cfg.db_seed + static_cast<std::uint64_t>(month));
-    const auto view = db::merged_view::build(snaps);
-    const auto pr =
-        eng.run({wm, view, s.prefix2as, s.lat, s.vps, s.traces, scope});
-
-    // The monthly snapshot becomes one catalog epoch; all counting below
-    // is epoch queries, not pipeline rescans.
     const auto label = longitudinal_epoch_label(month);
-    const auto eid = out.epochs.ingest(wm, view, pr, label);
-    const auto& ep = out.epochs.at(eid);
+    const auto wm = world_at_month(s.w, month);
+
+    const auto resumed = out.epochs.find(label);
+    if (!resumed) {
+      // Fresh monthly database dump (fresh noise draw per month).
+      const auto snaps = db::make_standard_snapshots(
+          wm, s.cfg.db_seed + static_cast<std::uint64_t>(month));
+      const auto view = db::merged_view::build(snaps);
+      const auto pr =
+          eng.run({wm, view, s.prefix2as, s.lat, s.vps, s.traces, scope});
+      const auto eid = out.epochs.ingest(wm, view, pr, label);
+      if (!cfg.store_path.empty()) {
+        // Extend the store one month at a time (byte-identical to a
+        // full save of the prefix — see opwat/serve/store.hpp).
+        if (store_exists) {
+          out.epochs.append_epoch(cfg.store_path, eid);
+        } else {
+          out.epochs.save(cfg.store_path);
+          store_exists = true;
+        }
+      }
+    }
+
+    // The monthly snapshot is one catalog epoch — computed just now or
+    // loaded from the store; all counting below is epoch queries, not
+    // pipeline rescans, so it works identically either way.
+    const auto& ep = out.epochs.of(label);
 
     monthly_inference mi;
     mi.month = month;

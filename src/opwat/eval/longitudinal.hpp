@@ -36,6 +36,16 @@ struct longitudinal_config {
   /// Study scope: the N largest IXPs with VPs (like the paper's 5
   /// LG-equipped IXPs in §6.3).
   std::size_t top_n_ixps = 5;
+  /// When non-empty, the study persists its epoch catalog to this
+  /// .opwatc snapshot (opwat/serve/store.hpp) and RESUMES from it:
+  /// months whose epoch label is already in the file skip the pipeline
+  /// entirely (their counts are read back from the stored epoch), and
+  /// each newly-computed month is appended to the file as it finishes —
+  /// so a 14-month study interrupted after month 9 redoes nothing, and
+  /// next month's run only computes the new month.  The file must come
+  /// from the SAME scenario and config (labels are positional); the
+  /// caller owns that contract, exactly as with any resumed dataset.
+  std::string store_path;
 };
 
 struct longitudinal_study {

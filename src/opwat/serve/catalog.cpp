@@ -40,6 +40,26 @@ world::ixp_id epoch::world_ixp(ixp_ref x) const noexcept {
   return it == world_ids_.end() ? world::k_invalid : it->second;
 }
 
+void epoch::rebuild_indexes(const std::vector<ixp_entry>& dict) {
+  block_index_.clear();
+  world_ids_.clear();
+  totals_ = {};
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    auto& b = blocks_[bi];
+    b.by_class = {};
+    b.by_step = {};
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      const auto cls = static_cast<std::size_t>(cls_[i]);
+      ++b.by_class[cls];
+      if (static_cast<infer::peering_class>(cls_[i]) != infer::peering_class::unknown)
+        ++b.by_step[static_cast<std::size_t>(step_[i])];
+      ++totals_[cls];
+    }
+    block_index_.emplace(b.ixp, bi);
+    world_ids_.emplace(b.ixp, dict[b.ixp].id);
+  }
+}
+
 // --- catalog -----------------------------------------------------------------
 
 metro_ref catalog::intern_metro(std::string_view name) {
@@ -68,11 +88,21 @@ ixp_ref catalog::intern_ixp(const world::world& w, world::ixp_id id) {
   return ref;
 }
 
+ixp_ref catalog::intern_loaded_ixp(const ixp_entry& e, std::string_view metro) {
+  if (const auto it = ixp_by_id_.find(e.id); it != ixp_by_id_.end()) return it->second;
+  const auto ref = static_cast<ixp_ref>(ixps_.size());
+  ixps_.push_back(e);
+  ixps_.back().metro = intern_metro(metro);
+  ixp_by_id_.emplace(e.id, ref);
+  ixp_by_name_.emplace(ixps_.back().name, ref);
+  return ref;
+}
+
 epoch_id catalog::ingest(const world::world& w, const db::merged_view& view,
                          const infer::pipeline_result& pr, std::string_view label) {
   if (by_label_.find(label) != by_label_.end())
-    throw std::invalid_argument("catalog: epoch label already ingested: " +
-                                std::string{label});
+    throw catalog_error("catalog: epoch label already ingested: " +
+                        std::string{label});
 
   epoch ep;
   ep.label_ = label;
@@ -134,6 +164,9 @@ epoch_id catalog::ingest(const world::world& w, const db::merged_view& view,
     ep.world_ids_.emplace(ref, x);
     ep.blocks_.push_back(std::move(b));
   }
+
+  ep.ixp_watermark_ = static_cast<std::uint32_t>(ixps_.size());
+  ep.metro_watermark_ = static_cast<std::uint32_t>(metros_.size());
 
   const auto id = static_cast<epoch_id>(epochs_.size());
   by_label_.emplace(std::string{label}, id);

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -30,6 +31,14 @@
 #include "opwat/world/world.hpp"
 
 namespace opwat::serve {
+
+/// Catalog-level misuse: ingesting an epoch label that is already
+/// present, or merging a snapshot file whose labels collide with
+/// in-memory epochs.  Derives from std::invalid_argument so pre-typed
+/// call sites keep catching it.
+struct catalog_error : std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
 
 /// Transparent string hashing so label/name lookups take string_views
 /// without allocating a temporary std::string per call (epoch
@@ -149,8 +158,20 @@ class epoch {
   /// dictionary at ingest time and cached per block).
   [[nodiscard]] world::ixp_id world_ixp(ixp_ref x) const noexcept;
 
+  /// Sizes of the catalog dictionaries right after this epoch was
+  /// ingested.  Entries in [previous epoch's watermark, this watermark)
+  /// were interned BY this epoch — the delta the snapshot format
+  /// (opwat/serve/store.hpp) serializes per epoch record, which is what
+  /// makes `append_epoch` write exactly the same bytes a full `save`
+  /// would.
+  [[nodiscard]] std::uint32_t ixp_watermark() const noexcept { return ixp_watermark_; }
+  [[nodiscard]] std::uint32_t metro_watermark() const noexcept {
+    return metro_watermark_;
+  }
+
  private:
   friend class catalog;
+  friend class store;
 
   std::string label_;
   std::vector<std::uint32_t> ip_;
@@ -166,6 +187,13 @@ class epoch {
   std::unordered_map<ixp_ref, std::size_t> block_index_;
   std::unordered_map<ixp_ref, world::ixp_id> world_ids_;
   std::array<std::size_t, infer::k_n_peering_classes> totals_{};
+  std::uint32_t ixp_watermark_ = 0;
+  std::uint32_t metro_watermark_ = 0;
+
+  /// Rebuilds block_index_, world_ids_, per-block counters and totals_
+  /// from the columns and block ranges (the snapshot loader persists
+  /// only columns + block shells and re-derives every index).
+  void rebuild_indexes(const std::vector<ixp_entry>& dict);
 };
 
 /// The versioned store: one epoch per ingested snapshot label, shared
@@ -177,9 +205,33 @@ class catalog {
   /// IXP order; the merged view defines each IXP's member rows (decided
   /// or not) and facility list; the ground-truth world supplies display
   /// names and metro labels exactly as the portal exporter always did.
-  /// Throws std::invalid_argument when `label` is already ingested.
+  /// Throws catalog_error when `label` is already ingested.
   epoch_id ingest(const world::world& w, const db::merged_view& view,
                   const infer::pipeline_result& pr, std::string_view label);
+
+  // --- persistence (implemented in opwat/serve/store.cpp) -------------------
+  // The on-disk snapshot format (.opwatc) is versioned, checksummed and
+  // columnar; opwat/serve/store.hpp documents the layout and the typed
+  // store_error that every malformed input raises.
+
+  /// Writes the whole catalog to `path`, replacing any existing file.
+  /// Saving the same catalog twice produces byte-identical files.
+  void save(const std::string& path) const;
+  /// Reads a catalog back from `path`.  Throws store_error on malformed
+  /// input (bad magic/version, truncation, checksum mismatch) and
+  /// catalog_error when the file itself carries duplicate epoch labels.
+  [[nodiscard]] static catalog load(const std::string& path);
+  /// Appends epoch `e` of this catalog to the snapshot at `path` — the
+  /// longitudinal extend-one-month-at-a-time path.  The file must
+  /// contain exactly this catalog's epochs [0, e) (labels are checked);
+  /// the resulting file is byte-identical to a full save() of epochs
+  /// [0, e].  Throws store_error on malformed files or prefix mismatch.
+  void append_epoch(const std::string& path, epoch_id e) const;
+  /// Loads the snapshot at `path` and appends its epochs to this
+  /// catalog, re-interning dictionaries (refs are remapped, so the file
+  /// may come from an unrelated catalog of the same world).  Throws
+  /// catalog_error when any incoming label is already ingested.
+  void merge_from(const std::string& path);
 
   [[nodiscard]] std::size_t epoch_count() const noexcept { return epochs_.size(); }
   /// Epoch by id; throws std::out_of_range.
@@ -199,8 +251,16 @@ class catalog {
   [[nodiscard]] std::string_view metro_name(metro_ref m) const noexcept;
 
  private:
+  friend class store;
+
   metro_ref intern_metro(std::string_view name);
   ixp_ref intern_ixp(const world::world& w, world::ixp_id id);
+  /// Interns a dictionary entry loaded/merged from a snapshot (keyed by
+  /// world id like intern_ixp, but the entry's fields come from the
+  /// file, not a live world).  `metro` is the entry's metro display
+  /// name, resolved in the SOURCE catalog (e.metro is a source ref and
+  /// is re-interned here).
+  ixp_ref intern_loaded_ixp(const ixp_entry& e, std::string_view metro);
 
   std::vector<epoch> epochs_;
   string_map<epoch_id> by_label_;

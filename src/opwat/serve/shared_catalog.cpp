@@ -1,0 +1,68 @@
+#include "opwat/serve/shared_catalog.hpp"
+
+#include <type_traits>
+#include <utility>
+
+namespace opwat::serve {
+
+shared_catalog::shared_catalog() : current_(std::make_shared<const catalog>()) {}
+
+shared_catalog::shared_catalog(catalog initial)
+    : current_(std::make_shared<const catalog>(std::move(initial))) {}
+
+std::shared_ptr<const catalog> shared_catalog::snapshot() const {
+  const std::shared_lock<std::shared_mutex> lock{ptr_lock_};
+  return current_;
+}
+
+void shared_catalog::publish(std::shared_ptr<const catalog> next) {
+  const std::unique_lock<std::shared_mutex> lock{ptr_lock_};
+  current_ = std::move(next);
+}
+
+template <typename Fn>
+auto shared_catalog::update(Fn&& fn) {
+  // Writers serialize here; the base snapshot is taken under the writer
+  // lock so two concurrent ingests compose instead of losing one, and
+  // the (potentially large) catalog copy + mutation happen while
+  // readers are completely unimpeded.
+  const std::lock_guard<std::mutex> writer{writer_};
+  auto next = std::make_shared<catalog>(*snapshot());
+  if constexpr (std::is_void_v<decltype(fn(*next))>) {
+    fn(*next);
+    publish(std::move(next));
+  } else {
+    auto result = fn(*next);
+    publish(std::move(next));
+    return result;
+  }
+}
+
+epoch_id shared_catalog::ingest(const world::world& w, const db::merged_view& view,
+                                const infer::pipeline_result& pr,
+                                std::string_view label) {
+  return update([&](catalog& c) { return c.ingest(w, view, pr, label); });
+}
+
+void shared_catalog::load(const std::string& path) {
+  // The file is parsed before anything is published: a malformed
+  // snapshot throws out of catalog::load and readers keep the old view.
+  auto loaded = std::make_shared<const catalog>(catalog::load(path));
+  const std::lock_guard<std::mutex> writer{writer_};
+  publish(std::move(loaded));
+}
+
+void shared_catalog::merge_from(const std::string& path) {
+  update([&](catalog& c) { c.merge_from(path); });
+}
+
+void shared_catalog::save(const std::string& path) const { snapshot()->save(path); }
+
+void shared_catalog::clear() {
+  const std::lock_guard<std::mutex> writer{writer_};
+  publish(std::make_shared<const catalog>());
+}
+
+std::size_t shared_catalog::epoch_count() const { return snapshot()->epoch_count(); }
+
+}  // namespace opwat::serve

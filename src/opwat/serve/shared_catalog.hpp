@@ -1,0 +1,86 @@
+// Snapshot-isolated concurrent access to a serve catalog — the step
+// from "one catalog per process" toward serving many portal users while
+// new months are being ingested.
+//
+// Model: read-copy-update over an immutable catalog.
+//
+//   - Readers call snapshot() and get a `std::shared_ptr<const
+//     catalog>`: a fully-published, immutable catalog they can run the
+//     fluent queries (opwat/serve/query.hpp) on for as long as they
+//     hold the pointer, with no torn state ever — a snapshot either
+//     contains an epoch completely or not at all.  Acquiring the
+//     snapshot is one brief shared-lock pointer copy; every query after
+//     that runs on the immutable snapshot with no locks at all.
+//   - The writer (ingest / merge_from / load / clear) copies the
+//     current catalog, mutates the private copy OUTSIDE any lock
+//     readers touch, and publishes it by swapping the shared pointer
+//     under a short exclusive lock.  Writers serialize among
+//     themselves; readers are never blocked for the duration of an
+//     ingest, only for the pointer swap.
+//
+// (An std::atomic<std::shared_ptr> publish was the first cut, but
+// libstdc++ 12's _Sp_atomic trips TSan's race detector; the shared-
+// mutex pointer copy is equivalent here and sanitizer-clean — epochs
+// arrive monthly, queries arrive constantly, so the snapshot-acquire
+// cost is noise.  bench_catalog_io measures it.)
+//
+// Cost model: publishing copies the whole catalog (columns are flat
+// vectors, so this is a handful of memcpys), which is the right trade
+// for the portal workload.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "opwat/serve/catalog.hpp"
+
+namespace opwat::serve {
+
+class shared_catalog {
+ public:
+  /// Starts with an empty catalog (snapshot() never returns null).
+  shared_catalog();
+  /// Starts from an already-populated catalog.
+  explicit shared_catalog(catalog initial);
+
+  /// The current fully-published snapshot: immutable, and stays valid
+  /// for the life of the pointer, unaffected by concurrent ingests.
+  [[nodiscard]] std::shared_ptr<const catalog> snapshot() const;
+
+  /// Ingests one pipeline run as a new epoch and publishes the result
+  /// (see catalog::ingest).  Throws catalog_error on duplicate labels —
+  /// in that case nothing is published.
+  epoch_id ingest(const world::world& w, const db::merged_view& view,
+                  const infer::pipeline_result& pr, std::string_view label);
+
+  /// Replaces the published catalog with the snapshot file at `path`.
+  void load(const std::string& path);
+  /// Merges the snapshot file at `path` into the published catalog
+  /// (see catalog::merge_from) and publishes the result.
+  void merge_from(const std::string& path);
+  /// Saves the current snapshot to `path` (readers are not blocked;
+  /// concurrent ingests published during the save are not included).
+  void save(const std::string& path) const;
+  /// Publishes an empty catalog.
+  void clear();
+
+  /// Epoch count of the current snapshot (a convenience; like every
+  /// read it can be stale by the time the caller acts on it — grab a
+  /// snapshot() for consistent multi-step reads).
+  [[nodiscard]] std::size_t epoch_count() const;
+
+ private:
+  /// Copy-mutate-publish: runs `fn(catalog&)` on a private copy of the
+  /// current catalog under the writer lock, then swaps it in.
+  template <typename Fn>
+  auto update(Fn&& fn);
+  void publish(std::shared_ptr<const catalog> next);
+
+  mutable std::shared_mutex ptr_lock_;  ///< guards ONLY the pointer swap/copy
+  std::shared_ptr<const catalog> current_;
+  std::mutex writer_;  ///< serializes copy-mutate-publish cycles
+};
+
+}  // namespace opwat::serve

@@ -1,0 +1,577 @@
+// .opwatc reader/writer.  See store.hpp for the layout; the invariant
+// this file maintains is that EVERY byte of a snapshot is covered by a
+// checksum (header CRC or a section CRC), every length is bounds-checked
+// before use, and every decoded value is validated against the ranges
+// the in-memory catalog guarantees — so a malformed file of any kind
+// raises store_error (or catalog_error for label collisions) instead of
+// corrupting the process.
+#include "opwat/serve/store.hpp"
+
+#include <bit>
+#include <fstream>
+#include <limits>
+#include <unordered_set>
+#include <utility>
+
+#include "opwat/util/checksum.hpp"
+
+namespace opwat::serve {
+
+std::string_view to_string(store_errc e) noexcept {
+  switch (e) {
+    case store_errc::io: return "io";
+    case store_errc::bad_magic: return "bad_magic";
+    case store_errc::bad_version: return "bad_version";
+    case store_errc::truncated: return "truncated";
+    case store_errc::checksum_mismatch: return "checksum_mismatch";
+    case store_errc::corrupt: return "corrupt";
+    case store_errc::mismatch: return "mismatch";
+  }
+  return "unknown";
+}
+
+store_error::store_error(store_errc kind, const std::string& msg)
+    : std::runtime_error("opwatc [" + std::string{to_string(kind)} + "]: " + msg),
+      kind_(kind) {}
+
+namespace {
+
+[[noreturn]] void fail(store_errc k, const std::string& msg) {
+  throw store_error(k, msg);
+}
+
+// --- section ids (fixed order within every epoch record) ---------------------
+
+constexpr std::uint32_t k_sec_meta = 1;
+constexpr std::uint32_t k_sec_ixp_dict = 2;
+constexpr std::uint32_t k_sec_metro_dict = 3;
+constexpr std::uint32_t k_sec_blocks = 4;
+constexpr std::uint32_t k_sec_columns = 5;
+
+constexpr const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case k_sec_meta: return "meta";
+    case k_sec_ixp_dict: return "ixp_dict";
+    case k_sec_metro_dict: return "metro_dict";
+    case k_sec_blocks: return "blocks";
+    case k_sec_columns: return "columns";
+  }
+  return "?";
+}
+
+// --- little-endian encode helpers -------------------------------------------
+
+void put_u8(std::string& b, std::uint8_t v) { b.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_f64(std::string& b, double v) { put_u64(b, std::bit_cast<std::uint64_t>(v)); }
+
+void put_str(std::string& b, std::string_view s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  b.append(s);
+}
+
+std::uint32_t get_u32_at(std::string_view b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t{static_cast<unsigned char>(b[off + i])} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64_at(std::string_view b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t{static_cast<unsigned char>(b[off + i])} << (8 * i);
+  return v;
+}
+
+/// Bounds-checked decoder over one buffer.  `kind` is what an overrun
+/// means here: `truncated` for the file-level walk, `corrupt` for a
+/// section payload (its length and CRC already checked out, so running
+/// off its end means the encoded data is inconsistent).
+class reader {
+ public:
+  reader(std::string_view bytes, store_errc kind, std::string ctx)
+      : bytes_(bytes), kind_(kind), ctx_(std::move(ctx)) {}
+
+  std::uint8_t u8() { return static_cast<unsigned char>(*take(1)); }
+  std::uint32_t u32() { return get_u32_at({take(4), 4}, 0); }
+  std::uint64_t u64() { return get_u64_at({take(8), 8}, 0); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string_view str() {
+    const auto n = u32();
+    return {take(n), n};
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - off_; }
+  void expect_exhausted() const {
+    if (off_ != bytes_.size()) fail(kind_, ctx_ + ": trailing bytes");
+  }
+
+ private:
+  const char* take(std::size_t n) {
+    if (n > remaining()) fail(kind_, ctx_ + ": data ends early");
+    const char* p = bytes_.data() + off_;
+    off_ += n;
+    return p;
+  }
+
+  std::string_view bytes_;
+  std::size_t off_ = 0;
+  store_errc kind_;
+  std::string ctx_;
+};
+
+std::string encode_header(std::uint32_t epoch_count) {
+  std::string b{k_store_magic};
+  put_u32(b, k_store_version);
+  put_u32(b, epoch_count);
+  put_u32(b, util::crc32(b.data(), b.size()));
+  return b;
+}
+
+/// Patches the epoch count (and the header CRC) of an already-written
+/// header in place — the append_epoch publish step.
+void patch_header_count(std::fstream& f, std::uint32_t epoch_count) {
+  const auto header = encode_header(epoch_count);
+  f.seekp(0);
+  f.write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+std::uint32_t parse_header(std::string_view bytes) {
+  if (bytes.size() < k_store_header_size)
+    fail(store_errc::truncated, "file smaller than the header");
+  if (bytes.substr(0, k_store_magic.size()) != k_store_magic)
+    fail(store_errc::bad_magic, "not an .opwatc snapshot (bad magic)");
+  const auto stored_crc = get_u32_at(bytes, 16);
+  if (stored_crc != util::crc32(bytes.data(), 16))
+    fail(store_errc::checksum_mismatch, "header checksum mismatch");
+  const auto version = get_u32_at(bytes, 8);
+  if (version != k_store_version)
+    fail(store_errc::bad_version,
+         "format version " + std::to_string(version) + " (this build reads version " +
+             std::to_string(k_store_version) + ")");
+  return get_u32_at(bytes, 12);  // epoch count
+}
+
+void append_section(std::string& out, std::uint32_t id, std::string_view payload) {
+  put_u32(out, id);
+  put_u64(out, payload.size());
+  put_u32(out, util::crc32(payload));
+  out.append(payload);
+}
+
+/// Reads one section's frame at `off`, verifies id / bounds / CRC, and
+/// returns the payload view, advancing `off` past it.
+std::string_view read_section(std::string_view bytes, std::size_t& off,
+                              std::uint32_t expected_id, const std::string& ctx) {
+  if (bytes.size() - off < k_store_section_header_size)
+    fail(store_errc::truncated, ctx + ": file ends inside a section header");
+  const auto id = get_u32_at(bytes, off);
+  const auto len = get_u64_at(bytes, off + 4);
+  const auto crc = get_u32_at(bytes, off + 12);
+  off += k_store_section_header_size;
+  if (id != expected_id)
+    fail(store_errc::corrupt, ctx + ": expected section " +
+                                  std::string{section_name(expected_id)} + ", found id " +
+                                  std::to_string(id));
+  if (len > bytes.size() - off)
+    fail(store_errc::truncated,
+         ctx + ": " + section_name(id) + " payload extends past end of file");
+  const std::string_view payload = bytes.substr(off, len);
+  off += len;
+  if (crc != util::crc32(payload))
+    fail(store_errc::checksum_mismatch,
+         ctx + ": " + section_name(id) + " section checksum mismatch");
+  return payload;
+}
+
+/// Bytes per row across the nine column vectors (ip, ixp, asn, metro:
+/// u32; cls, step: u8; rtt, port: f64; feasible: i32).
+constexpr std::size_t k_row_bytes = 4 * 4 + 2 * 1 + 8 + 4 + 8;
+
+std::string read_file(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  if (!f) fail(store_errc::io, "cannot open " + path);
+  std::string bytes{std::istreambuf_iterator<char>{f}, std::istreambuf_iterator<char>{}};
+  if (f.bad()) fail(store_errc::io, "read error on " + path);
+  return bytes;
+}
+
+}  // namespace
+
+// The friend of catalog/epoch that implements the persistence members.
+class store {
+ public:
+  static std::string encode_record(const catalog& c, const epoch& ep,
+                                   std::uint32_t prev_ixp_wm,
+                                   std::uint32_t prev_metro_wm) {
+    std::string out;
+
+    std::string meta;
+    put_str(meta, ep.label_);
+    put_u64(meta, ep.ip_.size());
+    put_u64(meta, ep.blocks_.size());
+    put_u32(meta, ep.ixp_watermark_);
+    put_u32(meta, ep.metro_watermark_);
+    append_section(out, k_sec_meta, meta);
+
+    std::string dict;
+    for (std::uint32_t r = prev_ixp_wm; r < ep.ixp_watermark_; ++r) {
+      const auto& e = c.ixps_[r];
+      put_u32(dict, e.id);
+      put_str(dict, e.name);
+      put_str(dict, e.peering_lan);
+      put_f64(dict, e.min_physical_capacity_gbps);
+      put_u32(dict, e.metro);
+    }
+    append_section(out, k_sec_ixp_dict, dict);
+
+    std::string metros;
+    for (std::uint32_t m = prev_metro_wm; m < ep.metro_watermark_; ++m)
+      put_str(metros, c.metros_[m]);
+    append_section(out, k_sec_metro_dict, metros);
+
+    std::string blocks;
+    for (const auto& b : ep.blocks_) {
+      put_u32(blocks, b.ixp);
+      put_u64(blocks, b.begin);
+      put_u64(blocks, b.end);
+      put_u64(blocks, b.facilities.size());
+      for (const auto& fe : b.facilities) {
+        put_u32(blocks, fe.id);
+        put_u8(blocks, static_cast<std::uint8_t>((fe.has_name ? 1 : 0) |
+                                                 (fe.has_location ? 2 : 0)));
+        if (fe.has_name) put_str(blocks, fe.name);
+        if (fe.has_location) {
+          put_f64(blocks, fe.lat_deg);
+          put_f64(blocks, fe.lon_deg);
+        }
+      }
+    }
+    append_section(out, k_sec_blocks, blocks);
+
+    std::string cols;
+    cols.reserve(ep.ip_.size() * k_row_bytes);
+    for (const auto v : ep.ip_) put_u32(cols, v);
+    for (const auto v : ep.ixp_) put_u32(cols, v);
+    for (const auto v : ep.asn_) put_u32(cols, v);
+    for (const auto v : ep.metro_) put_u32(cols, v);
+    for (const auto v : ep.cls_) put_u8(cols, v);
+    for (const auto v : ep.step_) put_u8(cols, v);
+    for (const auto v : ep.rtt_) put_f64(cols, v);
+    for (const auto v : ep.feasible_) put_u32(cols, static_cast<std::uint32_t>(v));
+    for (const auto v : ep.port_) put_f64(cols, v);
+    append_section(out, k_sec_columns, cols);
+
+    return out;
+  }
+
+  /// Decodes one epoch record at `off`, interning its dictionary deltas
+  /// into `c` and validating every ref/enum against them.
+  static epoch decode_record(catalog& c, std::string_view bytes, std::size_t& off,
+                             std::size_t index) {
+    const std::string ctx = "epoch record " + std::to_string(index);
+    const auto bad = [&](const std::string& msg) -> void {
+      fail(store_errc::corrupt, ctx + ": " + msg);
+    };
+
+    epoch ep;
+    std::size_t rows = 0;
+    std::size_t nblocks = 0;
+
+    // --- meta -----------------------------------------------------------
+    {
+      reader r{read_section(bytes, off, k_sec_meta, ctx), store_errc::corrupt,
+               ctx + " (meta)"};
+      ep.label_ = std::string{r.str()};
+      const auto rows64 = r.u64();
+      const auto nblocks64 = r.u64();
+      ep.ixp_watermark_ = r.u32();
+      ep.metro_watermark_ = r.u32();
+      r.expect_exhausted();
+      if (ep.label_.empty()) bad("empty epoch label");
+      if (ep.ixp_watermark_ < c.ixps_.size() || ep.metro_watermark_ < c.metros_.size())
+        bad("dictionary watermark goes backwards");
+      // Anything the file itself could not hold is inconsistent — this
+      // also keeps the reserves below from over-allocating on a lying
+      // count before the columns section's exact-size check runs.
+      if (rows64 > bytes.size() || nblocks64 > bytes.size())
+        bad("row/block count larger than the file");
+      rows = static_cast<std::size_t>(rows64);
+      nblocks = static_cast<std::size_t>(nblocks64);
+    }
+
+    // --- dictionary deltas ----------------------------------------------
+    {
+      reader r{read_section(bytes, off, k_sec_ixp_dict, ctx), store_errc::corrupt,
+               ctx + " (ixp_dict)"};
+      while (c.ixps_.size() < ep.ixp_watermark_) {
+        ixp_entry e;
+        e.id = r.u32();
+        e.name = std::string{r.str()};
+        e.peering_lan = std::string{r.str()};
+        e.min_physical_capacity_gbps = r.f64();
+        e.metro = r.u32();
+        if (e.metro != k_no_metro && e.metro >= ep.metro_watermark_)
+          bad("IXP dictionary entry references an unknown metro");
+        if (c.ixp_by_id_.count(e.id) != 0) bad("duplicate IXP id in dictionary");
+        const auto ref = static_cast<ixp_ref>(c.ixps_.size());
+        c.ixp_by_id_.emplace(e.id, ref);
+        c.ixps_.push_back(std::move(e));
+        c.ixp_by_name_.emplace(c.ixps_.back().name, ref);
+      }
+      r.expect_exhausted();
+    }
+    {
+      reader r{read_section(bytes, off, k_sec_metro_dict, ctx), store_errc::corrupt,
+               ctx + " (metro_dict)"};
+      while (c.metros_.size() < ep.metro_watermark_) {
+        const auto name = r.str();
+        if (name.empty() || c.metro_by_name_.find(name) != c.metro_by_name_.end())
+          bad("empty or duplicate metro name in dictionary");
+        const auto ref = static_cast<metro_ref>(c.metros_.size());
+        c.metros_.emplace_back(name);
+        c.metro_by_name_.emplace(c.metros_.back(), ref);
+      }
+      r.expect_exhausted();
+    }
+
+    // --- blocks ---------------------------------------------------------
+    {
+      reader r{read_section(bytes, off, k_sec_blocks, ctx), store_errc::corrupt,
+               ctx + " (blocks)"};
+      ep.blocks_.reserve(nblocks);
+      std::unordered_set<ixp_ref> seen;
+      std::size_t prev_end = 0;
+      while (ep.blocks_.size() < nblocks) {
+        epoch::block b;
+        b.ixp = r.u32();
+        b.begin = r.u64();
+        b.end = r.u64();
+        if (b.ixp >= ep.ixp_watermark_) bad("block references an unknown IXP");
+        if (!seen.insert(b.ixp).second) bad("duplicate IXP block");
+        if (b.begin != prev_end || b.end < b.begin || b.end > rows)
+          bad("block row ranges are not contiguous");
+        prev_end = b.end;
+        const auto nfac = r.u64();
+        for (std::uint64_t i = 0; i < nfac; ++i) {
+          facility_entry fe;
+          fe.id = r.u32();
+          const auto flags = r.u8();
+          if ((flags & ~3u) != 0) bad("unknown facility flags");
+          fe.has_name = (flags & 1u) != 0;
+          fe.has_location = (flags & 2u) != 0;
+          if (fe.has_name) fe.name = std::string{r.str()};
+          if (fe.has_location) {
+            fe.lat_deg = r.f64();
+            fe.lon_deg = r.f64();
+          }
+          b.facilities.push_back(std::move(fe));
+        }
+        ep.blocks_.push_back(std::move(b));
+      }
+      r.expect_exhausted();
+      if (prev_end != rows) bad("blocks do not cover every row");
+    }
+
+    // --- columns --------------------------------------------------------
+    {
+      const auto payload = read_section(bytes, off, k_sec_columns, ctx);
+      if (payload.size() % k_row_bytes != 0 || payload.size() / k_row_bytes != rows)
+        bad("columns section size does not match the row count");
+      reader r{payload, store_errc::corrupt, ctx + " (columns)"};
+      const auto fill_u32 = [&](std::vector<std::uint32_t>& col) {
+        col.resize(rows);
+        for (auto& v : col) v = r.u32();
+      };
+      const auto fill_u8 = [&](std::vector<std::uint8_t>& col) {
+        col.resize(rows);
+        for (auto& v : col) v = r.u8();
+      };
+      const auto fill_f64 = [&](std::vector<double>& col) {
+        col.resize(rows);
+        for (auto& v : col) v = r.f64();
+      };
+      fill_u32(ep.ip_);
+      fill_u32(ep.ixp_);
+      fill_u32(ep.asn_);
+      fill_u32(ep.metro_);
+      fill_u8(ep.cls_);
+      fill_u8(ep.step_);
+      fill_f64(ep.rtt_);
+      ep.feasible_.resize(rows);
+      for (auto& v : ep.feasible_) v = static_cast<std::int32_t>(r.u32());
+      fill_f64(ep.port_);
+      r.expect_exhausted();
+
+      for (std::size_t i = 0; i < rows; ++i) {
+        if (ep.cls_[i] >= infer::k_n_peering_classes) bad("peering class out of range");
+        if (ep.step_[i] >= infer::k_n_method_steps) bad("method step out of range");
+        if (ep.metro_[i] != k_no_metro && ep.metro_[i] >= ep.metro_watermark_)
+          bad("row references an unknown metro");
+      }
+      for (const auto& b : ep.blocks_)
+        for (std::size_t i = b.begin; i < b.end; ++i)
+          if (ep.ixp_[i] != b.ixp) bad("row IXP disagrees with its block");
+    }
+
+    ep.rebuild_indexes(c.ixps_);
+    return ep;
+  }
+
+  static void save(const catalog& c, const std::string& path) {
+    std::string bytes = encode_header(static_cast<std::uint32_t>(c.epochs_.size()));
+    std::uint32_t prev_ixp = 0;
+    std::uint32_t prev_metro = 0;
+    for (const auto& ep : c.epochs_) {
+      bytes += encode_record(c, ep, prev_ixp, prev_metro);
+      prev_ixp = ep.ixp_watermark_;
+      prev_metro = ep.metro_watermark_;
+    }
+    std::ofstream f{path, std::ios::binary | std::ios::trunc};
+    if (!f) fail(store_errc::io, "cannot open " + path + " for writing");
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f.flush();
+    if (!f.good()) fail(store_errc::io, "write error on " + path);
+  }
+
+  static catalog load(const std::string& path) {
+    const std::string bytes = read_file(path);
+    const auto epoch_count = parse_header(bytes);
+    catalog c;
+    std::size_t off = k_store_header_size;
+    for (std::uint32_t i = 0; i < epoch_count; ++i) {
+      epoch ep = decode_record(c, bytes, off, i);
+      if (c.by_label_.find(ep.label_) != c.by_label_.end())
+        throw catalog_error("opwatc: duplicate epoch label in snapshot: " + ep.label_);
+      c.by_label_.emplace(ep.label_, static_cast<epoch_id>(c.epochs_.size()));
+      c.epochs_.push_back(std::move(ep));
+    }
+    if (off != bytes.size())
+      fail(store_errc::corrupt, "trailing bytes after the last epoch record");
+    return c;
+  }
+
+  static void append(const catalog& c, const std::string& path, epoch_id e) {
+    if (e >= c.epochs_.size())
+      throw std::out_of_range("append_epoch: catalog has no epoch " + std::to_string(e));
+    const std::string bytes = read_file(path);
+    const auto file_epochs = parse_header(bytes);
+    if (file_epochs != e)
+      fail(store_errc::mismatch, "file holds " + std::to_string(file_epochs) +
+                                     " epochs; appending epoch " + std::to_string(e) +
+                                     " requires exactly that many");
+
+    // The file must be THIS catalog's prefix: labels and dictionary
+    // watermarks are cross-checked record by record (payload bytes of
+    // the non-meta sections are trusted to their CRCs, which
+    // read_section verifies while skipping).
+    std::size_t off = k_store_header_size;
+    for (std::uint32_t i = 0; i < file_epochs; ++i) {
+      const std::string ctx = "epoch record " + std::to_string(i);
+      reader r{read_section(bytes, off, k_sec_meta, ctx), store_errc::corrupt,
+               ctx + " (meta)"};
+      const auto label = r.str();
+      r.u64();  // rows
+      r.u64();  // blocks
+      const auto ixp_wm = r.u32();
+      const auto metro_wm = r.u32();
+      const auto& ours = c.epochs_[i];
+      if (label != ours.label_ || ixp_wm != ours.ixp_watermark_ ||
+          metro_wm != ours.metro_watermark_)
+        fail(store_errc::mismatch,
+             ctx + ": file epoch \"" + std::string{label} +
+                 "\" is not this catalog's epoch \"" + ours.label_ + "\"");
+      for (const auto id : {k_sec_ixp_dict, k_sec_metro_dict, k_sec_blocks, k_sec_columns})
+        read_section(bytes, off, id, ctx);
+    }
+    if (off != bytes.size())
+      fail(store_errc::corrupt, "trailing bytes after the last epoch record");
+
+    const std::uint32_t prev_ixp = e == 0 ? 0 : c.epochs_[e - 1].ixp_watermark_;
+    const std::uint32_t prev_metro = e == 0 ? 0 : c.epochs_[e - 1].metro_watermark_;
+    const auto record = encode_record(c, c.epochs_[e], prev_ixp, prev_metro);
+
+    std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
+    if (!f) fail(store_errc::io, "cannot open " + path + " for appending");
+    f.seekp(0, std::ios::end);
+    f.write(record.data(), static_cast<std::streamsize>(record.size()));
+    // Publish: the epoch count (under the header CRC) is patched last,
+    // so a crash mid-append leaves a file whose count ignores the
+    // partial record — load() then reports the trailing bytes.
+    patch_header_count(f, static_cast<std::uint32_t>(e) + 1);
+    f.flush();
+    if (!f.good()) fail(store_errc::io, "write error on " + path);
+  }
+
+  static void merge(catalog& dst, const std::string& path) {
+    const catalog src = load(path);
+    for (const auto& ep : src.epochs_)
+      if (dst.by_label_.find(ep.label_) != dst.by_label_.end())
+        throw catalog_error("opwatc: merge would duplicate epoch label: " + ep.label_);
+
+    // Remap refs epoch by epoch so each merged epoch's dictionary
+    // watermark stays a valid delta boundary for future saves.
+    std::vector<ixp_ref> ixp_map(src.ixps_.size());
+    std::vector<metro_ref> metro_map(src.metros_.size());
+    std::uint32_t done_ixp = 0;
+    std::uint32_t done_metro = 0;
+    for (const auto& src_ep : src.epochs_) {
+      for (; done_metro < src_ep.metro_watermark_; ++done_metro)
+        metro_map[done_metro] = dst.intern_metro(src.metros_[done_metro]);
+      for (; done_ixp < src_ep.ixp_watermark_; ++done_ixp)
+        ixp_map[done_ixp] =
+            dst.intern_loaded_ixp(src.ixps_[done_ixp],
+                                  src.metro_name(src.ixps_[done_ixp].metro));
+
+      epoch ep = src_ep;
+      const auto remap_metro = [&](metro_ref m) {
+        return m == k_no_metro ? k_no_metro : metro_map[m];
+      };
+      for (auto& x : ep.ixp_) x = ixp_map[x];
+      for (auto& m : ep.metro_) m = remap_metro(m);
+      for (auto& b : ep.blocks_) b.ixp = ixp_map[b.ixp];
+      ep.ixp_watermark_ = static_cast<std::uint32_t>(dst.ixps_.size());
+      ep.metro_watermark_ = static_cast<std::uint32_t>(dst.metros_.size());
+      ep.rebuild_indexes(dst.ixps_);
+      dst.by_label_.emplace(ep.label_, static_cast<epoch_id>(dst.epochs_.size()));
+      dst.epochs_.push_back(std::move(ep));
+    }
+  }
+};
+
+void catalog::save(const std::string& path) const { store::save(*this, path); }
+
+catalog catalog::load(const std::string& path) { return store::load(path); }
+
+void catalog::append_epoch(const std::string& path, epoch_id e) const {
+  store::append(*this, path, e);
+}
+
+void catalog::merge_from(const std::string& path) { store::merge(*this, path); }
+
+std::vector<std::size_t> store_section_boundaries(std::string_view bytes) {
+  parse_header(bytes);
+  std::vector<std::size_t> out{k_store_header_size};
+  std::size_t off = k_store_header_size;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < k_store_section_header_size)
+      fail(store_errc::truncated, "file ends inside a section header");
+    const auto len = get_u64_at(bytes, off + 4);
+    if (len > bytes.size() - off - k_store_section_header_size)
+      fail(store_errc::truncated, "section payload extends past end of file");
+    off += k_store_section_header_size + len;
+    out.push_back(off);
+  }
+  return out;
+}
+
+}  // namespace opwat::serve

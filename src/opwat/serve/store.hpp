@@ -1,0 +1,98 @@
+// Durable snapshot format for the serve catalog (.opwatc) — the
+// persistence layer behind catalog::save / catalog::load /
+// catalog::append_epoch / catalog::merge_from (declared in
+// opwat/serve/catalog.hpp, implemented here).
+//
+// The portal (§9) publishes monthly inference snapshots; a catalog file
+// makes those epochs survive process restarts so a longitudinal study
+// can extend an existing store one month at a time instead of
+// recomputing every epoch from scratch.
+//
+// Layout (all integers little-endian, fixed width):
+//
+//   header        magic "OPWATCAT" (8B) | format version u32 |
+//                 epoch count u32 | CRC-32 of the preceding 16 bytes
+//   epoch record  one per epoch, in ingest order; each record is five
+//                 sections, in this order:
+//                   1 meta        label, row/block counts, dictionary
+//                                 watermarks after this epoch
+//                   2 ixp_dict    the IXP dictionary entries this epoch
+//                                 interned (delta vs previous epoch)
+//                   3 metro_dict  ditto for metro display names
+//                   4 blocks      per-IXP row ranges + facility lists
+//                   5 columns     the nine column vectors, one after
+//                                 another (ip, ixp, asn, metro, class,
+//                                 step, rtt, feasible, port)
+//
+// Every section is framed as  id u32 | payload length u64 | payload
+// CRC-32 u32 | payload  — so a bit flip anywhere is caught by a
+// checksum, a truncation by a bounds check, and an oversized length by
+// the remaining-bytes check; malformed input always raises the typed
+// store_error below, never UB.  Count indexes (per-block class/step
+// tallies, epoch totals) are NOT stored: the loader re-derives them
+// from the columns, so they can never disagree with the data.
+//
+// Because each record carries only its dictionary *delta* (the
+// watermark trick — see epoch::ixp_watermark), appending epoch N to an
+// existing file writes exactly the bytes a full save() of epochs
+// [0, N] would, and saving the same catalog twice is byte-identical.
+//
+// Versioning policy: the format version is bumped on any incompatible
+// layout change; load() rejects unknown versions with
+// store_errc::bad_version rather than guessing.  There is no
+// best-effort migration — snapshots are cheap to regenerate from the
+// pipeline, expensive to misread silently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opwat/serve/catalog.hpp"
+
+namespace opwat::serve {
+
+/// Why a snapshot failed to read/write.
+enum class store_errc : std::uint8_t {
+  io,                 ///< file could not be opened / read / written
+  bad_magic,          ///< not an .opwatc file
+  bad_version,        ///< format version this build does not understand
+  truncated,          ///< file ends inside a header, section or payload
+  checksum_mismatch,  ///< a CRC-32 check failed (bit rot / tampering)
+  corrupt,            ///< framing is intact but the data is inconsistent
+  mismatch,           ///< append_epoch: file is not this catalog's prefix
+};
+
+[[nodiscard]] std::string_view to_string(store_errc e) noexcept;
+
+/// Typed error for every malformed-snapshot condition.  what() carries
+/// the kind plus a human-readable location ("epoch 3, columns section").
+class store_error : public std::runtime_error {
+ public:
+  store_error(store_errc kind, const std::string& msg);
+  [[nodiscard]] store_errc kind() const noexcept { return kind_; }
+
+ private:
+  store_errc kind_;
+};
+
+/// Format constants, exposed for tests and tooling.
+inline constexpr std::string_view k_store_magic = "OPWATCAT";
+inline constexpr std::uint32_t k_store_version = 1;
+/// magic + version + epoch count + header CRC.
+inline constexpr std::size_t k_store_header_size = 20;
+/// section id + payload length + payload CRC.
+inline constexpr std::size_t k_store_section_header_size = 16;
+
+/// Byte offsets of every section header in `bytes`, plus the end
+/// offset, walking the framing only (lengths, no checksums).  The
+/// corruption-injection tests truncate a valid file at each of these
+/// boundaries and assert the loader throws.  Throws store_error when
+/// the framing itself is unwalkable.
+[[nodiscard]] std::vector<std::size_t> store_section_boundaries(
+    std::string_view bytes);
+
+}  // namespace opwat::serve

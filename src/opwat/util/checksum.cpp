@@ -1,0 +1,30 @@
+#include "opwat/util/checksum.hpp"
+
+#include <array>
+
+namespace opwat::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto k_table = make_crc32_table();
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < len; ++i) c = k_table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace opwat::util

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-section
+// integrity check of the serve-catalog snapshot format (opwat/serve/
+// store.hpp).  A bit flip anywhere in a checksummed payload changes the
+// CRC, so a corrupted snapshot fails loudly instead of materializing
+// garbage rows.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace opwat::util {
+
+/// CRC-32 of `len` bytes starting at `data`, seeded by `seed` (pass a
+/// previous result to checksum data in chunks).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t len,
+                                  std::uint32_t seed = 0) noexcept;
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes,
+                                         std::uint32_t seed = 0) noexcept {
+  return crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace opwat::util

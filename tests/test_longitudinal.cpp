@@ -1,7 +1,12 @@
 // The §8 longitudinal study: per-month inference over an evolving world.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
 #include "opwat/eval/longitudinal.hpp"
+#include "opwat/serve/store.hpp"
 
 namespace {
 
@@ -71,6 +76,78 @@ TEST_F(LongitudinalTest, JoinRatioFavoursRemote) {
   // windows are noisy, so only require the direction.
   if (study_->inferred_local_joins > 3)
     EXPECT_GT(study_->join_ratio(), 1.0);
+}
+
+void expect_same_study(const eval::longitudinal_study& a,
+                       const eval::longitudinal_study& b) {
+  ASSERT_EQ(a.months.size(), b.months.size());
+  for (std::size_t m = 0; m < a.months.size(); ++m) {
+    EXPECT_EQ(a.months[m].inferred_local, b.months[m].inferred_local) << m;
+    EXPECT_EQ(a.months[m].inferred_remote, b.months[m].inferred_remote) << m;
+    EXPECT_EQ(a.months[m].unknown, b.months[m].unknown) << m;
+    EXPECT_EQ(a.months[m].truth_local, b.months[m].truth_local) << m;
+    EXPECT_EQ(a.months[m].truth_remote, b.months[m].truth_remote) << m;
+  }
+  EXPECT_EQ(a.inferred_local_joins, b.inferred_local_joins);
+  EXPECT_EQ(a.inferred_remote_joins, b.inferred_remote_joins);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>{f}, std::istreambuf_iterator<char>{}};
+}
+
+TEST_F(LongitudinalTest, StorePathPersistsAndResumes) {
+  const eval::longitudinal_config base_cfg{.months = 4, .top_n_ixps = 2};
+  const auto baseline = eval::run_longitudinal_study(*s_, base_cfg);
+
+  // First run with a store: same numbers, and the epochs land on disk.
+  auto cfg = base_cfg;
+  cfg.store_path = testing::TempDir() + "longitudinal.opwatc";
+  std::remove(cfg.store_path.c_str());  // never resume a stale run's file
+  const auto persisted = eval::run_longitudinal_study(*s_, cfg);
+  expect_same_study(baseline, persisted);
+  const auto stored = serve::catalog::load(cfg.store_path);
+  EXPECT_EQ(stored.epoch_count(), 5u);
+  EXPECT_EQ(stored.labels().back(), eval::longitudinal_epoch_label(4));
+
+  // Second run resumes every month from the file (no pipeline work) and
+  // must neither change the results nor rewrite the store.
+  const auto image = slurp(cfg.store_path);
+  const auto resumed = eval::run_longitudinal_study(*s_, cfg);
+  expect_same_study(baseline, resumed);
+  EXPECT_EQ(slurp(cfg.store_path), image);
+}
+
+TEST_F(LongitudinalTest, StoreResumeExtendsShorterRun) {
+  // A 2-month study persists months 0-2; rerunning with months=4 only
+  // computes the missing months and lands on the same numbers.
+  auto cfg = eval::longitudinal_config{.months = 2, .top_n_ixps = 2};
+  cfg.store_path = testing::TempDir() + "longitudinal_extend.opwatc";
+  std::remove(cfg.store_path.c_str());
+  (void)eval::run_longitudinal_study(*s_, cfg);
+  EXPECT_EQ(serve::catalog::load(cfg.store_path).epoch_count(), 3u);
+
+  cfg.months = 4;
+  const auto extended = eval::run_longitudinal_study(*s_, cfg);
+  EXPECT_EQ(serve::catalog::load(cfg.store_path).epoch_count(), 5u);
+  const auto baseline =
+      eval::run_longitudinal_study(*s_, {.months = 4, .top_n_ixps = 2});
+  expect_same_study(baseline, extended);
+}
+
+TEST_F(LongitudinalTest, CorruptStoreIsNotSilentlyRecomputed) {
+  auto cfg = eval::longitudinal_config{.months = 1, .top_n_ixps = 2};
+  cfg.store_path = testing::TempDir() + "longitudinal_corrupt.opwatc";
+  std::remove(cfg.store_path.c_str());
+  (void)eval::run_longitudinal_study(*s_, cfg);
+  // Truncate the store mid-file: the next run must surface the typed
+  // error instead of quietly rebuilding over possibly-good data.
+  const auto image = slurp(cfg.store_path);
+  std::ofstream f{cfg.store_path, std::ios::binary | std::ios::trunc};
+  f.write(image.data(), static_cast<std::streamsize>(image.size() / 2));
+  f.close();
+  EXPECT_THROW(eval::run_longitudinal_study(*s_, cfg), serve::store_error);
 }
 
 TEST(LongitudinalEdge, ZeroMonthWorldStillRuns) {

@@ -1,0 +1,218 @@
+// Snapshot-isolated concurrent serving (opwat/serve/shared_catalog.hpp).
+// Pins the RCU contract: reader threads issue fluent queries against
+// snapshots while a writer ingests epochs; every result corresponds to
+// a fully-published snapshot (never a torn one), held snapshots are
+// immutable, and failed writes publish nothing.  This suite runs in the
+// TSan CI job — the atomic publish/acquire pair is the code under test.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/serve/query.hpp"
+#include "opwat/serve/shared_catalog.hpp"
+#include "opwat/serve/store.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::peering_class;
+
+std::string epoch_label(std::size_t e) { return "epoch-" + std::to_string(e); }
+
+/// Scenario plus one pre-computed pipeline result per epoch, so the
+/// concurrency test's writer spends its time in ingest/publish (the
+/// code under test), not in the inference pipeline.
+struct corpus {
+  static constexpr std::size_t k_epochs = 5;
+
+  eval::scenario s;
+  std::vector<infer::pipeline_result> prs;
+
+  static corpus build() {
+    auto cfg = eval::small_scenario_config(29);
+    cfg.world.n_ases = 400;
+    cfg.world.largest_ixp_members = 120;
+    corpus c{eval::scenario::build(cfg), {}};
+    auto pcfg = c.s.cfg.pipeline;
+    for (std::size_t e = 0; e < k_epochs; ++e) {
+      c.prs.push_back(c.s.run_inference(pcfg));
+      pcfg.seed += 1;
+    }
+    return c;
+  }
+};
+
+class SharedCatalogTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { c_ = new corpus{corpus::build()}; }
+  static void TearDownTestSuite() {
+    delete c_;
+    c_ = nullptr;
+  }
+  static corpus* c_;
+};
+
+corpus* SharedCatalogTest::c_ = nullptr;
+
+// --- single-threaded semantics ----------------------------------------------
+
+TEST_F(SharedCatalogTest, IngestMatchesPlainCatalog) {
+  serve::shared_catalog sc;
+  serve::catalog plain;
+  for (std::size_t e = 0; e < 2; ++e) {
+    sc.ingest(c_->s.w, c_->s.view, c_->prs[e], epoch_label(e));
+    plain.ingest(c_->s.w, c_->s.view, c_->prs[e], epoch_label(e));
+  }
+  const auto snap = sc.snapshot();
+  ASSERT_EQ(snap->labels(), plain.labels());
+  for (const auto& label : plain.labels()) {
+    EXPECT_EQ(serve::query(*snap).epoch(label).count(),
+              serve::query(plain).epoch(label).count());
+    EXPECT_EQ(snap->of(label).total(peering_class::remote),
+              plain.of(label).total(peering_class::remote));
+  }
+}
+
+TEST_F(SharedCatalogTest, SnapshotIsolation) {
+  serve::shared_catalog sc;
+  sc.ingest(c_->s.w, c_->s.view, c_->prs[0], epoch_label(0));
+  const auto before = sc.snapshot();
+  sc.ingest(c_->s.w, c_->s.view, c_->prs[1], epoch_label(1));
+  // The held snapshot still sees exactly one epoch; a fresh one sees two.
+  EXPECT_EQ(before->epoch_count(), 1u);
+  EXPECT_EQ(sc.snapshot()->epoch_count(), 2u);
+  EXPECT_FALSE(before->find(epoch_label(1)).has_value());
+}
+
+TEST_F(SharedCatalogTest, FailedIngestPublishesNothing) {
+  serve::shared_catalog sc;
+  sc.ingest(c_->s.w, c_->s.view, c_->prs[0], "dup");
+  const auto before = sc.snapshot();
+  EXPECT_THROW(sc.ingest(c_->s.w, c_->s.view, c_->prs[1], "dup"),
+               serve::catalog_error);
+  // The published pointer did not move: readers keep the old view.
+  EXPECT_EQ(sc.snapshot().get(), before.get());
+  EXPECT_EQ(sc.epoch_count(), 1u);
+}
+
+TEST_F(SharedCatalogTest, PersistenceRoundTripThroughHandle) {
+  const auto path = testing::TempDir() + "shared_catalog.opwatc";
+  serve::shared_catalog writer;
+  writer.ingest(c_->s.w, c_->s.view, c_->prs[0], epoch_label(0));
+  writer.save(path);
+
+  serve::shared_catalog reader;
+  reader.load(path);
+  EXPECT_EQ(reader.snapshot()->labels(), writer.snapshot()->labels());
+
+  writer.clear();
+  EXPECT_EQ(writer.epoch_count(), 0u);
+  writer.merge_from(path);
+  EXPECT_EQ(writer.epoch_count(), 1u);
+}
+
+// --- the concurrency gate ----------------------------------------------------
+
+TEST_F(SharedCatalogTest, ConcurrentReadersSeeOnlyPublishedSnapshots) {
+  // Expected per-epoch invariants, computed up front from plain
+  // catalogs: total rows and remote totals per label.
+  std::vector<std::size_t> rows_of(corpus::k_epochs);
+  std::vector<std::size_t> remote_of(corpus::k_epochs);
+  {
+    serve::catalog plain;
+    for (std::size_t e = 0; e < corpus::k_epochs; ++e) {
+      const auto id = plain.ingest(c_->s.w, c_->s.view, c_->prs[e], epoch_label(e));
+      rows_of[e] = plain.at(id).rows();
+      remote_of[e] = plain.at(id).total(peering_class::remote);
+    }
+  }
+
+  serve::shared_catalog sc;
+  sc.ingest(c_->s.w, c_->s.view, c_->prs[0], epoch_label(0));
+
+  constexpr int k_readers = 4;
+  std::atomic<bool> writer_done{false};
+  std::atomic<std::size_t> reads{0};
+  std::vector<std::string> failures(k_readers);
+
+  std::vector<std::thread> readers;
+  readers.reserve(k_readers);
+  for (int t = 0; t < k_readers; ++t) {
+    readers.emplace_back([&, t] {
+      std::size_t local_reads = 0;
+      std::size_t max_seen = 1;
+      while (!writer_done.load(std::memory_order_acquire) || local_reads < 50) {
+        const auto snap = sc.snapshot();
+        const auto n = snap->epoch_count();
+        // Published snapshots only: the epoch count is in range, never
+        // goes backwards within this reader, and every epoch present is
+        // complete (its row and remote counts match the precomputed
+        // truth, and its queries are self-consistent).
+        if (n < 1 || n > corpus::k_epochs) {
+          failures[t] = "epoch count out of range: " + std::to_string(n);
+          break;
+        }
+        if (n < max_seen) {
+          failures[t] = "snapshot went backwards";
+          break;
+        }
+        max_seen = n;
+        const auto e = local_reads % n;  // rotate over the published epochs
+        const auto& ep = snap->at(static_cast<serve::epoch_id>(e));
+        if (ep.label() != epoch_label(e) || ep.rows() != rows_of[e] ||
+            ep.total(peering_class::remote) != remote_of[e]) {
+          failures[t] = "torn epoch " + std::to_string(e);
+          break;
+        }
+        const auto remote = serve::query(*snap)
+                                .epoch(epoch_label(e))
+                                .cls(peering_class::remote)
+                                .count();
+        if (remote != remote_of[e]) {
+          failures[t] = "query disagrees with published epoch";
+          break;
+        }
+        ++local_reads;
+      }
+      reads.fetch_add(local_reads, std::memory_order_relaxed);
+    });
+  }
+
+  std::thread writer{[&] {
+    for (std::size_t e = 1; e < corpus::k_epochs; ++e)
+      sc.ingest(c_->s.w, c_->s.view, c_->prs[e], epoch_label(e));
+    writer_done.store(true, std::memory_order_release);
+  }};
+
+  writer.join();
+  for (auto& r : readers) r.join();
+
+  for (int t = 0; t < k_readers; ++t) EXPECT_EQ(failures[t], "") << "reader " << t;
+  EXPECT_EQ(sc.epoch_count(), corpus::k_epochs);
+  EXPECT_GE(reads.load(), static_cast<std::size_t>(k_readers) * 50);
+}
+
+TEST_F(SharedCatalogTest, ConcurrentWritersCompose) {
+  // Two writer threads ingesting disjoint label sets: writer
+  // serialization must make both land (no lost updates).
+  serve::shared_catalog sc;
+  const auto ingest_range = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t e = lo; e < hi; ++e)
+      sc.ingest(c_->s.w, c_->s.view, c_->prs[e], epoch_label(e));
+  };
+  std::thread a{[&] { ingest_range(0, 2); }};
+  std::thread b{[&] { ingest_range(2, 4); }};
+  a.join();
+  b.join();
+  const auto snap = sc.snapshot();
+  ASSERT_EQ(snap->epoch_count(), 4u);
+  for (std::size_t e = 0; e < 4; ++e)
+    EXPECT_TRUE(snap->find(epoch_label(e)).has_value()) << e;
+}
+
+}  // namespace

@@ -1,0 +1,493 @@
+// The durable catalog snapshot format (opwat/serve/store.hpp).  Pins
+//   - save -> load -> every query (counts, filters, group-by, ECDF,
+//     pagination, diff_epochs) identical to the in-memory catalog, for
+//     several seeds / scales / epoch counts;
+//   - determinism: saving twice is byte-identical, save -> load -> save
+//     is byte-identical, and incremental append_epoch produces exactly
+//     the bytes of a full save;
+//   - corruption safety: truncation at every section boundary and bit
+//     flips across header / dictionary / column regions raise the typed
+//     store_error (never UB — the suite runs under ASan/UBSan in CI);
+//   - duplicate epoch labels are a typed catalog_error, on ingest and
+//     on merging a file whose labels collide with in-memory epochs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/serve/query.hpp"
+#include "opwat/serve/shared_catalog.hpp"
+#include "opwat/serve/store.hpp"
+#include "opwat/util/checksum.hpp"
+
+namespace {
+
+using namespace opwat;
+using infer::method_step;
+using infer::peering_class;
+
+constexpr peering_class k_classes[] = {peering_class::unknown, peering_class::local,
+                                       peering_class::remote};
+constexpr method_step k_steps[] = {method_step::none,          method_step::port_capacity,
+                                   method_step::rtt_colo,      method_step::multi_ixp,
+                                   method_step::private_links, method_step::rtt_threshold,
+                                   method_step::traceroute_rtt};
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  EXPECT_TRUE(f.good()) << path;
+  return {std::istreambuf_iterator<char>{f}, std::istreambuf_iterator<char>{}};
+}
+
+void write_bytes(const std::string& path, std::string_view bytes) {
+  std::ofstream f{path, std::ios::binary | std::ios::trunc};
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good()) << path;
+}
+
+/// Doubles compare equal including the NaN sentinels the columns use.
+bool same_double(double a, double b) {
+  return (std::isnan(a) && std::isnan(b)) || a == b;
+}
+
+/// Row equality across two catalogs: metro refs are dictionary-local, so
+/// they compare by display name.
+void expect_rows_equal(const serve::catalog& ca, const std::vector<serve::iface_row>& a,
+                       const serve::catalog& cb,
+                       const std::vector<serve::iface_row>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ip.value(), b[i].ip.value()) << "row " << i;
+    EXPECT_EQ(a[i].ixp, b[i].ixp) << "row " << i;
+    EXPECT_EQ(a[i].asn.value, b[i].asn.value) << "row " << i;
+    EXPECT_EQ(a[i].cls, b[i].cls) << "row " << i;
+    EXPECT_EQ(a[i].step, b[i].step) << "row " << i;
+    EXPECT_TRUE(same_double(a[i].rtt_min_ms, b[i].rtt_min_ms)) << "row " << i;
+    EXPECT_EQ(a[i].feasible_facilities, b[i].feasible_facilities) << "row " << i;
+    EXPECT_TRUE(same_double(a[i].port_gbps, b[i].port_gbps)) << "row " << i;
+    EXPECT_EQ(ca.metro_name(a[i].metro), cb.metro_name(b[i].metro)) << "row " << i;
+  }
+}
+
+/// Every query shape the fluent API offers, asked of both catalogs and
+/// compared — the round-trip property.
+void expect_catalogs_equivalent(const serve::catalog& a, const serve::catalog& b) {
+  ASSERT_EQ(a.labels(), b.labels());
+  ASSERT_EQ(a.metros(), b.metros());
+  ASSERT_EQ(a.ixps().size(), b.ixps().size());
+  for (std::size_t i = 0; i < a.ixps().size(); ++i) {
+    EXPECT_EQ(a.ixps()[i].id, b.ixps()[i].id);
+    EXPECT_EQ(a.ixps()[i].name, b.ixps()[i].name);
+    EXPECT_EQ(a.ixps()[i].peering_lan, b.ixps()[i].peering_lan);
+    EXPECT_EQ(a.ixps()[i].min_physical_capacity_gbps,
+              b.ixps()[i].min_physical_capacity_gbps);
+    EXPECT_EQ(a.metro_name(a.ixps()[i].metro), b.metro_name(b.ixps()[i].metro));
+  }
+
+  for (const auto& label : a.labels()) {
+    const auto& ea = a.of(label);
+    const auto& eb = b.of(label);
+    ASSERT_EQ(ea.rows(), eb.rows()) << label;
+    ASSERT_EQ(ea.blocks().size(), eb.blocks().size()) << label;
+    for (std::size_t bi = 0; bi < ea.blocks().size(); ++bi) {
+      const auto& ba = ea.blocks()[bi];
+      const auto& bb = eb.blocks()[bi];
+      EXPECT_EQ(ea.world_ixp(ba.ixp), eb.world_ixp(bb.ixp));
+      EXPECT_EQ(ba.begin, bb.begin);
+      EXPECT_EQ(ba.end, bb.end);
+      ASSERT_EQ(ba.facilities.size(), bb.facilities.size());
+      for (std::size_t fi = 0; fi < ba.facilities.size(); ++fi) {
+        EXPECT_EQ(ba.facilities[fi].id, bb.facilities[fi].id);
+        EXPECT_EQ(ba.facilities[fi].name, bb.facilities[fi].name);
+        EXPECT_EQ(ba.facilities[fi].has_name, bb.facilities[fi].has_name);
+        EXPECT_EQ(ba.facilities[fi].has_location, bb.facilities[fi].has_location);
+        EXPECT_EQ(ba.facilities[fi].lat_deg, bb.facilities[fi].lat_deg);
+        EXPECT_EQ(ba.facilities[fi].lon_deg, bb.facilities[fi].lon_deg);
+      }
+      for (const auto c : k_classes)
+        EXPECT_EQ(ea.count(ba.ixp, c), eb.count(bb.ixp, c)) << label;
+      for (const auto s : k_steps)
+        EXPECT_EQ(ea.contribution(ba.ixp, s), eb.contribution(bb.ixp, s)) << label;
+    }
+    for (const auto c : k_classes) EXPECT_EQ(ea.total(c), eb.total(c)) << label;
+
+    // Full row sets, canonical and RTT-sorted, plus pagination tiling.
+    const auto qa = [&] { return serve::query(a).epoch(label); };
+    const auto qb = [&] { return serve::query(b).epoch(label); };
+    expect_rows_equal(a, qa().rows(), b, qb().rows());
+    expect_rows_equal(a, qa().sort_by_rtt().rows(), b, qb().sort_by_rtt().rows());
+    expect_rows_equal(a, qa().cls(peering_class::remote).page(3, 7).rows(), b,
+                      qb().cls(peering_class::remote).page(3, 7).rows());
+    EXPECT_EQ(qa().cls(peering_class::remote).count(),
+              qb().cls(peering_class::remote).count());
+    EXPECT_EQ(qa().rtt_between(0.0, 2.0).count(), qb().rtt_between(0.0, 2.0).count());
+
+    // Every group-by shape.
+    const auto groups_equal = [&](serve::query ga, serve::query gb) {
+      const auto ra = ga.group_counts();
+      const auto rb = gb.group_counts();
+      ASSERT_EQ(ra.size(), rb.size()) << label;
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].key, rb[i].key) << label;
+        EXPECT_EQ(ra[i].count, rb[i].count) << label;
+      }
+    };
+    groups_equal(qa().by_ixp(), qb().by_ixp());
+    groups_equal(qa().by_asn(), qb().by_asn());
+    groups_equal(qa().by_metro(), qb().by_metro());
+    groups_equal(qa().by_class(), qb().by_class());
+    groups_equal(qa().cls(peering_class::remote).by_step(),
+                 qb().cls(peering_class::remote).by_step());
+
+    const auto ecdf_a = qa().cls(peering_class::remote).rtt_ecdf(12);
+    const auto ecdf_b = qb().cls(peering_class::remote).rtt_ecdf(12);
+    ASSERT_EQ(ecdf_a.size(), ecdf_b.size()) << label;
+    for (std::size_t i = 0; i < ecdf_a.size(); ++i) {
+      EXPECT_EQ(ecdf_a[i].upper_ms, ecdf_b[i].upper_ms);
+      EXPECT_EQ(ecdf_a[i].cum_count, ecdf_b[i].cum_count);
+      EXPECT_EQ(ecdf_a[i].fraction, ecdf_b[i].fraction);
+    }
+  }
+
+  // Cross-epoch diffs between every consecutive label pair.
+  const auto labels = a.labels();
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    const auto da = serve::diff_epochs(a, labels[i - 1], labels[i]);
+    const auto db = serve::diff_epochs(b, labels[i - 1], labels[i]);
+    expect_rows_equal(a, da.appeared, b, db.appeared);
+    expect_rows_equal(a, da.disappeared, b, db.disappeared);
+    ASSERT_EQ(da.reclassified.size(), db.reclassified.size());
+    for (std::size_t r = 0; r < da.reclassified.size(); ++r) {
+      EXPECT_EQ(da.reclassified[r].before.cls, db.reclassified[r].before.cls);
+      EXPECT_EQ(da.reclassified[r].after.cls, db.reclassified[r].after.cls);
+      EXPECT_EQ(da.reclassified[r].after.ip.value(),
+                db.reclassified[r].after.ip.value());
+    }
+  }
+}
+
+/// Scenario + N perturbed pipeline runs, ingested as epochs e00..eNN.
+/// Kept around so tests can replay ingest (append/merge determinism).
+struct corpus {
+  eval::scenario s;
+  std::vector<infer::pipeline_result> prs;
+  std::vector<std::string> labels;
+  serve::catalog cat;
+
+  static corpus build(std::uint64_t seed, std::size_t n_epochs, std::size_t n_ases,
+                      std::size_t largest_ixp_members) {
+    auto cfg = eval::small_scenario_config(seed);
+    if (n_ases != 0) cfg.world.n_ases = n_ases;
+    if (largest_ixp_members != 0) cfg.world.largest_ixp_members = largest_ixp_members;
+    corpus c{eval::scenario::build(cfg), {}, {}, {}};
+    auto pcfg = c.s.cfg.pipeline;
+    for (std::size_t e = 0; e < n_epochs; ++e) {
+      c.prs.push_back(c.s.run_inference(pcfg));
+      c.labels.push_back("e0" + std::to_string(e));
+      c.cat.ingest(c.s.w, c.s.view, c.prs.back(), c.labels.back());
+      pcfg.seed += 1;  // each epoch is a genuinely different run
+    }
+    return c;
+  }
+};
+
+class StoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    c_ = new corpus{corpus::build(91, 3, 0, 0)};
+    path_ = temp_path("store_main.opwatc");
+    c_->cat.save(path_);
+    bytes_ = new std::string{read_bytes(path_)};
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    delete c_;
+    bytes_ = nullptr;
+    c_ = nullptr;
+  }
+
+  static corpus* c_;
+  static std::string path_;
+  static std::string* bytes_;  ///< the valid on-disk image, for mutation tests
+};
+
+corpus* StoreTest::c_ = nullptr;
+std::string StoreTest::path_;
+std::string* StoreTest::bytes_ = nullptr;
+
+// --- round-trip property -----------------------------------------------------
+
+TEST_F(StoreTest, RoundTripReproducesEveryQuery) {
+  const auto loaded = serve::catalog::load(path_);
+  expect_catalogs_equivalent(c_->cat, loaded);
+}
+
+TEST_F(StoreTest, RoundTripOtherSeedsAndScales) {
+  // Smaller worlds, different seeds, different epoch counts: the same
+  // property must hold across the parameter space, including the
+  // single-epoch store.
+  struct sweep {
+    std::uint64_t seed;
+    std::size_t epochs, ases, members;
+  };
+  for (const auto& [seed, epochs, ases, members] :
+       {sweep{7, 1, 300, 90}, sweep{131, 2, 400, 120}}) {
+    const auto c = corpus::build(seed, epochs, ases, members);
+    const auto p = temp_path("store_sweep_" + std::to_string(seed) + ".opwatc");
+    c.cat.save(p);
+    const auto loaded = serve::catalog::load(p);
+    expect_catalogs_equivalent(c.cat, loaded);
+  }
+}
+
+TEST_F(StoreTest, EmptyCatalogRoundTrips) {
+  const serve::catalog empty;
+  const auto p = temp_path("store_empty.opwatc");
+  empty.save(p);
+  const auto loaded = serve::catalog::load(p);
+  EXPECT_EQ(loaded.epoch_count(), 0u);
+  EXPECT_TRUE(loaded.labels().empty());
+}
+
+// --- byte-identity determinism ----------------------------------------------
+
+TEST_F(StoreTest, SecondSaveIsByteIdentical) {
+  const auto p = temp_path("store_again.opwatc");
+  c_->cat.save(p);
+  EXPECT_EQ(read_bytes(p), *bytes_);
+}
+
+TEST_F(StoreTest, SaveLoadSaveIsByteIdentical) {
+  const auto loaded = serve::catalog::load(path_);
+  const auto p = temp_path("store_reload.opwatc");
+  loaded.save(p);
+  EXPECT_EQ(read_bytes(p), *bytes_);
+}
+
+TEST_F(StoreTest, IncrementalAppendMatchesFullSave) {
+  // Replay the ingest one epoch at a time, extending the file with
+  // append_epoch after the initial save: the final file must be
+  // byte-identical to the full save of the complete catalog.
+  const auto p = temp_path("store_incremental.opwatc");
+  serve::catalog inc;
+  for (std::size_t e = 0; e < c_->prs.size(); ++e) {
+    const auto eid = inc.ingest(c_->s.w, c_->s.view, c_->prs[e], c_->labels[e]);
+    if (e == 0)
+      inc.save(p);
+    else
+      inc.append_epoch(p, eid);
+  }
+  EXPECT_EQ(read_bytes(p), *bytes_);
+}
+
+TEST_F(StoreTest, ResumeFromFileThenAppend) {
+  // The longitudinal workflow: load yesterday's store, ingest one more
+  // epoch, append it — the file again equals a full save.
+  const auto p = temp_path("store_resume.opwatc");
+  write_bytes(p, *bytes_);
+  auto resumed = serve::catalog::load(p);
+  auto pcfg = c_->s.cfg.pipeline;
+  pcfg.seed += 99;
+  const auto pr = c_->s.run_inference(pcfg);
+  const auto eid = resumed.ingest(c_->s.w, c_->s.view, pr, "e99");
+  resumed.append_epoch(p, eid);
+
+  const auto full = temp_path("store_resume_full.opwatc");
+  resumed.save(full);
+  EXPECT_EQ(read_bytes(p), read_bytes(full));
+  expect_catalogs_equivalent(resumed, serve::catalog::load(p));
+}
+
+// --- append prefix checking --------------------------------------------------
+
+TEST_F(StoreTest, AppendRejectsWrongEpochPosition) {
+  const auto p = temp_path("store_appendpos.opwatc");
+  write_bytes(p, *bytes_);
+  // The file already holds epochs 0..2; appending epoch 1 again is a
+  // prefix mismatch, as is an epoch id the catalog does not have.
+  try {
+    c_->cat.append_epoch(p, 1);
+    FAIL() << "expected store_error";
+  } catch (const serve::store_error& e) {
+    EXPECT_EQ(e.kind(), serve::store_errc::mismatch);
+  }
+  EXPECT_THROW(c_->cat.append_epoch(p, 57), std::out_of_range);
+}
+
+TEST_F(StoreTest, AppendRejectsForeignFile) {
+  // A file whose epochs are NOT this catalog's prefix (different
+  // labels) must be refused, not silently extended.
+  const auto other = corpus::build(7, 1, 300, 90);
+  serve::catalog relabelled;
+  relabelled.ingest(other.s.w, other.s.view, other.prs[0], "foreign");
+  const auto p = temp_path("store_foreign.opwatc");
+  relabelled.save(p);
+
+  serve::catalog two;
+  two.ingest(other.s.w, other.s.view, other.prs[0], "mine");
+  auto pcfg = other.s.cfg.pipeline;
+  pcfg.seed += 1;
+  const auto pr2 = other.s.run_inference(pcfg);
+  const auto eid = two.ingest(other.s.w, other.s.view, pr2, "mine-2");
+  try {
+    two.append_epoch(p, eid);
+    FAIL() << "expected store_error";
+  } catch (const serve::store_error& e) {
+    EXPECT_EQ(e.kind(), serve::store_errc::mismatch);
+  }
+}
+
+// --- duplicate labels (typed) ------------------------------------------------
+
+TEST_F(StoreTest, DuplicateIngestLabelIsTypedError) {
+  serve::catalog cat;
+  cat.ingest(c_->s.w, c_->s.view, c_->prs[0], "dup");
+  EXPECT_THROW(cat.ingest(c_->s.w, c_->s.view, c_->prs[1], "dup"),
+               serve::catalog_error);
+  // catalog_error derives from std::invalid_argument, so pre-typed
+  // call sites keep working.
+  EXPECT_THROW(cat.ingest(c_->s.w, c_->s.view, c_->prs[1], "dup"),
+               std::invalid_argument);
+  EXPECT_EQ(cat.epoch_count(), 1u);
+}
+
+TEST_F(StoreTest, MergeCollidingLabelsIsTypedError) {
+  auto loaded = serve::catalog::load(path_);
+  // Merging the very file the catalog came from collides on every label.
+  EXPECT_THROW(loaded.merge_from(path_), serve::catalog_error);
+  EXPECT_EQ(loaded.epoch_count(), c_->cat.epoch_count());  // nothing merged
+}
+
+TEST_F(StoreTest, MergeIntoEmptyAndPopulatedCatalogs) {
+  serve::catalog fresh;
+  fresh.merge_from(path_);
+  expect_catalogs_equivalent(c_->cat, fresh);
+
+  // Merging into a catalog that already interned its own dictionaries
+  // exercises the ref remapping path.
+  serve::catalog busy;
+  auto pcfg = c_->s.cfg.pipeline;
+  pcfg.seed += 7;
+  const auto pr = c_->s.run_inference(pcfg);
+  busy.ingest(c_->s.w, c_->s.view, pr, "resident");
+  busy.merge_from(path_);
+  ASSERT_EQ(busy.epoch_count(), c_->cat.epoch_count() + 1);
+  for (const auto& label : c_->cat.labels()) {
+    const auto rows_orig = serve::query(c_->cat).epoch(label).rows();
+    const auto rows_merged = serve::query(busy).epoch(label).rows();
+    expect_rows_equal(c_->cat, rows_orig, busy, rows_merged);
+  }
+}
+
+// --- corruption injection ----------------------------------------------------
+
+/// Loading `bytes` (written to a scratch file) must raise the typed
+/// store taxonomy — store_error or catalog_error — with a non-empty
+/// message, and never crash (ASan/UBSan watches this suite in CI).
+void expect_typed_load_failure(const std::string& bytes, const std::string& what) {
+  const auto p = temp_path("store_corrupt.opwatc");
+  write_bytes(p, bytes);
+  try {
+    const auto loaded = serve::catalog::load(p);
+    FAIL() << "load accepted corrupt input: " << what << " (epochs "
+           << loaded.epoch_count() << ")";
+  } catch (const serve::store_error& e) {
+    EXPECT_GT(std::string_view{e.what()}.size(), 10u) << what;
+  } catch (const serve::catalog_error& e) {
+    EXPECT_GT(std::string_view{e.what()}.size(), 10u) << what;
+  }
+}
+
+TEST_F(StoreTest, TruncationAtEverySectionBoundaryFails) {
+  const auto boundaries = serve::store_section_boundaries(*bytes_);
+  ASSERT_GT(boundaries.size(), 3u);
+  for (const auto b : boundaries) {
+    if (b == bytes_->size()) continue;  // the full file is valid
+    expect_typed_load_failure(bytes_->substr(0, b),
+                              "truncated at section boundary " + std::to_string(b));
+    // ... and mid-section-header / one byte short of the boundary.
+    expect_typed_load_failure(bytes_->substr(0, b + 7),
+                              "truncated inside section header after " +
+                                  std::to_string(b));
+  }
+  for (std::size_t cut = 0; cut < serve::k_store_header_size; cut += 3)
+    expect_typed_load_failure(bytes_->substr(0, cut),
+                              "truncated inside file header at " + std::to_string(cut));
+}
+
+TEST_F(StoreTest, BitFlipsAnywhereFail) {
+  const auto boundaries = serve::store_section_boundaries(*bytes_);
+  // Candidate offsets: the whole header, every section header, and a
+  // stride across every payload region (dictionaries, blocks, columns).
+  std::vector<std::size_t> offsets;
+  for (std::size_t o = 0; o < serve::k_store_header_size; ++o) offsets.push_back(o);
+  for (const auto b : boundaries)
+    for (std::size_t o = b; o < b + serve::k_store_section_header_size &&
+                            o < bytes_->size();
+         ++o)
+      offsets.push_back(o);
+  for (std::size_t o = 0; o < bytes_->size(); o += 31) offsets.push_back(o);
+
+  for (const auto o : offsets) {
+    for (const unsigned bit : {0u, 7u}) {
+      std::string flipped = *bytes_;
+      flipped[o] = static_cast<char>(static_cast<unsigned char>(flipped[o]) ^
+                                     (1u << bit));
+      expect_typed_load_failure(flipped, "bit " + std::to_string(bit) + " at offset " +
+                                             std::to_string(o));
+    }
+  }
+}
+
+TEST_F(StoreTest, UnknownFormatVersionIsRejected) {
+  // A well-formed header (valid CRC) from a future format version.
+  std::string future = *bytes_;
+  future[8] = 9;  // version u32 little-endian low byte
+  const auto crc = util::crc32(future.data(), 16);
+  for (int i = 0; i < 4; ++i)
+    future[16 + i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  const auto p = temp_path("store_future.opwatc");
+  write_bytes(p, future);
+  try {
+    (void)serve::catalog::load(p);
+    FAIL() << "expected store_error";
+  } catch (const serve::store_error& e) {
+    EXPECT_EQ(e.kind(), serve::store_errc::bad_version);
+    EXPECT_NE(std::string_view{e.what()}.find("version"), std::string_view::npos);
+  }
+}
+
+TEST_F(StoreTest, MissingFileIsIoError) {
+  try {
+    (void)serve::catalog::load(temp_path("no_such_file.opwatc"));
+    FAIL() << "expected store_error";
+  } catch (const serve::store_error& e) {
+    EXPECT_EQ(e.kind(), serve::store_errc::io);
+  }
+}
+
+TEST_F(StoreTest, TrailingGarbageIsRejected) {
+  expect_typed_load_failure(*bytes_ + std::string(13, '\0'), "trailing garbage");
+}
+
+// --- crc32 -------------------------------------------------------------------
+
+TEST(Crc32, KnownVectorsAndChunking) {
+  EXPECT_EQ(util::crc32(nullptr, 0), 0u);
+  EXPECT_EQ(util::crc32("123456789"), 0xCBF43926u);
+  // Chunked == whole, via the seed parameter.
+  const std::string_view s = "o peer, where art thou?";
+  const auto whole = util::crc32(s);
+  const auto first = util::crc32(s.substr(0, 9));
+  EXPECT_EQ(util::crc32(s.substr(9), first), whole);
+}
+
+}  // namespace
