@@ -1,5 +1,8 @@
 #include "opwat/serve/catalog.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <numeric>
 #include <stdexcept>
 
 namespace opwat::serve {
@@ -48,16 +51,62 @@ void epoch::rebuild_indexes(const std::vector<ixp_entry>& dict) {
     auto& b = blocks_[bi];
     b.by_class = {};
     b.by_step = {};
+    b.zone = {};
+    auto& z = b.zone;
+    metro_ref metro_hi = 0;
+    bool any_metro = false;
     for (std::size_t i = b.begin; i < b.end; ++i) {
       const auto cls = static_cast<std::size_t>(cls_[i]);
       ++b.by_class[cls];
-      if (static_cast<infer::peering_class>(cls_[i]) != infer::peering_class::unknown)
+      if (static_cast<infer::peering_class>(cls_[i]) != infer::peering_class::unknown) {
         ++b.by_step[static_cast<std::size_t>(step_[i])];
+        z.step_mask |= static_cast<std::uint8_t>(1u << step_[i]);
+      }
       ++totals_[cls];
+      z.cls_mask |= static_cast<std::uint8_t>(1u << cls_[i]);
+      z.asn_min = std::min(z.asn_min, asn_[i]);
+      z.asn_max = std::max(z.asn_max, asn_[i]);
+      const double r = rtt_[i];
+      if (!std::isnan(r)) {
+        z.any_measured_rtt = true;
+        z.rtt_min_ms = std::min(z.rtt_min_ms, r);
+        z.rtt_max_ms = std::max(z.rtt_max_ms, r);
+      }
+      const auto m = metro_[i];
+      if (m == k_no_metro) {
+        z.any_unmapped_metro = true;
+      } else {
+        metro_hi = std::max(metro_hi, m);
+        any_metro = true;
+      }
+    }
+    if (any_metro) {
+      z.metro_bits.assign((metro_hi >> 6) + 1, 0);
+      for (std::size_t i = b.begin; i < b.end; ++i)
+        if (metro_[i] != k_no_metro)
+          z.metro_bits[metro_[i] >> 6] |= std::uint64_t{1} << (metro_[i] & 63u);
     }
     block_index_.emplace(b.ixp, bi);
     world_ids_.emplace(b.ixp, dict[b.ixp].id);
   }
+
+  // Permutation indexes.  Tie-breaking on the canonical index makes
+  // both total orders, so one ASN's run (and one IP's run inside a
+  // block) is itself in canonical order.
+  asn_perm_.resize(ip_.size());
+  std::iota(asn_perm_.begin(), asn_perm_.end(), std::uint32_t{0});
+  std::sort(asn_perm_.begin(), asn_perm_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return asn_[a] != asn_[b] ? asn_[a] < asn_[b] : a < b;
+            });
+  ip_perm_.resize(ip_.size());
+  std::iota(ip_perm_.begin(), ip_perm_.end(), std::uint32_t{0});
+  for (const auto& b : blocks_)
+    std::sort(ip_perm_.begin() + static_cast<std::ptrdiff_t>(b.begin),
+              ip_perm_.begin() + static_cast<std::ptrdiff_t>(b.end),
+              [this](std::uint32_t a, std::uint32_t c) {
+                return ip_[a] != ip_[c] ? ip_[a] < ip_[c] : a < c;
+              });
 }
 
 // --- catalog -----------------------------------------------------------------
@@ -154,16 +203,14 @@ epoch_id catalog::ingest(const world::world& w, const db::merged_view& view,
       ep.feasible_.push_back(pr.inferences.feasible_facilities(key));
       const auto port = view.port_capacity(e.asn, x);
       ep.port_.push_back(port ? *port : std::numeric_limits<double>::quiet_NaN());
-      ++b.by_class[static_cast<std::size_t>(cls)];
-      if (cls != infer::peering_class::unknown)
-        ++b.by_step[static_cast<std::size_t>(step)];
-      ++ep.totals_[static_cast<std::size_t>(cls)];
     }
     b.end = ep.ip_.size();
-    ep.block_index_.emplace(ref, ep.blocks_.size());
-    ep.world_ids_.emplace(ref, x);
     ep.blocks_.push_back(std::move(b));
   }
+
+  // One derivation path for every index (counters, zone maps,
+  // permutations), shared with the snapshot loader and merge_from.
+  ep.rebuild_indexes(ixps_);
 
   ep.ixp_watermark_ = static_cast<std::uint32_t>(ixps_.size());
   ep.metro_watermark_ = static_cast<std::uint32_t>(metros_.size());

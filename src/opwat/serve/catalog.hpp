@@ -112,6 +112,30 @@ class epoch {
   /// Per-IXP slice of the epoch: the contiguous row range [begin, end),
   /// the facility list, and the count indexes.
   struct block {
+    /// Zone map: per-block min/max bounds and presence bitsets over the
+    /// block's rows.  The vectorized engine (opwat/serve/exec.hpp)
+    /// consults it to skip whole blocks without touching a single row.
+    /// Rebuilt by rebuild_indexes alongside the counters; never
+    /// serialized (the .opwatc loader re-derives it from the columns).
+    struct zone_map {
+      double rtt_min_ms = std::numeric_limits<double>::infinity();
+      double rtt_max_ms = -std::numeric_limits<double>::infinity();
+      std::uint32_t asn_min = std::numeric_limits<std::uint32_t>::max();
+      std::uint32_t asn_max = 0;
+      std::uint8_t cls_mask = 0;   ///< bit per peering_class present
+      std::uint8_t step_mask = 0;  ///< bit per method_step among DECIDED rows
+      bool any_measured_rtt = false;
+      bool any_unmapped_metro = false;
+      /// Bit per metro_ref present among the block's rows.
+      std::vector<std::uint64_t> metro_bits;
+
+      [[nodiscard]] bool metro_present(metro_ref m) const noexcept {
+        if (m == k_no_metro) return any_unmapped_metro;
+        return (m >> 6) < metro_bits.size() &&
+               ((metro_bits[m >> 6] >> (m & 63u)) & 1u) != 0;
+      }
+    };
+
     ixp_ref ixp = 0;
     std::size_t begin = 0;
     std::size_t end = 0;
@@ -119,6 +143,7 @@ class epoch {
     std::array<std::size_t, infer::k_n_peering_classes> by_class{};
     /// Decided rows only, keyed by evidence step (== Fig. 10a bars).
     std::array<std::size_t, infer::k_n_method_steps> by_step{};
+    zone_map zone;
   };
 
   [[nodiscard]] const std::string& label() const noexcept { return label_; }
@@ -154,6 +179,23 @@ class epoch {
   }
   [[nodiscard]] const std::vector<double>& port_col() const noexcept { return port_; }
 
+  // Permutation indexes (immutable after rebuild_indexes, like every
+  // other index; rows() must fit std::uint32_t, which the ingest and
+  // snapshot paths guarantee).
+  /// Row indices sorted by (member ASN, canonical index): member()
+  /// point lookups binary-search this, and one ASN's rows form a
+  /// contiguous run that is already in canonical order.
+  [[nodiscard]] const std::vector<std::uint32_t>& asn_perm() const noexcept {
+    return asn_perm_;
+  }
+  /// Row indices where each block's [begin, end) range is sorted by
+  /// (interface IP, canonical index).  Rows are block-contiguous by
+  /// IXP, so diff_epochs joins two epochs with one sort-merge pass per
+  /// block pair instead of ordered containers.
+  [[nodiscard]] const std::vector<std::uint32_t>& ip_perm() const noexcept {
+    return ip_perm_;
+  }
+
   /// World IXP id of a row's IXP (resolved through the owning catalog's
   /// dictionary at ingest time and cached per block).
   [[nodiscard]] world::ixp_id world_ixp(ixp_ref x) const noexcept;
@@ -187,12 +229,17 @@ class epoch {
   std::unordered_map<ixp_ref, std::size_t> block_index_;
   std::unordered_map<ixp_ref, world::ixp_id> world_ids_;
   std::array<std::size_t, infer::k_n_peering_classes> totals_{};
+  std::vector<std::uint32_t> asn_perm_;
+  std::vector<std::uint32_t> ip_perm_;
   std::uint32_t ixp_watermark_ = 0;
   std::uint32_t metro_watermark_ = 0;
 
-  /// Rebuilds block_index_, world_ids_, per-block counters and totals_
-  /// from the columns and block ranges (the snapshot loader persists
-  /// only columns + block shells and re-derives every index).
+  /// Rebuilds block_index_, world_ids_, per-block counters, totals_,
+  /// zone maps and the ASN/IP permutation indexes from the columns and
+  /// block ranges.  The single index-derivation path: ingest,
+  /// merge_from and the snapshot loader (which persists only columns +
+  /// block shells) all call it, so the indexes can never disagree with
+  /// the columns.
   void rebuild_indexes(const std::vector<ixp_entry>& dict);
 };
 

@@ -15,6 +15,14 @@
 // metro / class / step), rtt_ecdf().  Row retrieval: rows() with
 // deterministic sort and pagination.
 //
+// Execution: queries run on the vectorized batch engine
+// (opwat/serve/exec.hpp — selection vectors, zone-map block skipping,
+// permutation-index member lookups, partial top-k selection) by
+// default.  engine(exec::mode::reference) switches to the retained
+// row-at-a-time evaluator, which is the byte-identity oracle: both
+// engines return identical bytes for every query, pinned by
+// tests/test_exec.cpp and the CI bench result-diff gate.
+//
 // Determinism guarantees (tests/test_serve.cpp pins them):
 //   - rows() returns canonical epoch order (IXPs in pipeline-scope
 //     order, interfaces in merged-view order) unless sort_by_rtt() is
@@ -29,6 +37,7 @@
 // reclassified interfaces between two snapshots.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -36,14 +45,9 @@
 #include <vector>
 
 #include "opwat/serve/catalog.hpp"
+#include "opwat/serve/exec.hpp"
 
 namespace opwat::serve {
-
-/// One group-by bucket: display key and row count.
-struct group_count {
-  std::string key;
-  std::size_t count = 0;
-};
 
 /// One ECDF point: cumulative rows with RTT <= upper_ms.
 struct ecdf_point {
@@ -69,7 +73,8 @@ class query {
   query& cls(infer::peering_class c);
   /// Filters to decided rows whose evidence is `s`.
   query& step(infer::method_step s);
-  /// Keeps measured rows with lo_ms <= RTT <= hi_ms.
+  /// Keeps measured rows with lo_ms <= RTT <= hi_ms.  NaN bounds throw
+  /// std::invalid_argument immediately (typo guard).
   query& rtt_between(double lo_ms, double hi_ms);
 
   // Group-by shape for group_counts().
@@ -86,6 +91,16 @@ class query {
   /// Deterministic pagination window over the sorted row order.
   query& page(std::size_t offset, std::size_t limit);
 
+  /// Selects the execution engine (default: exec::mode::vectorized).
+  /// The reference evaluator is the retained row-at-a-time scan — every
+  /// result is byte-identical, it is just slower; tests and the CI
+  /// bench gate diff the two.
+  query& engine(exec::mode m);
+  /// Accumulates scan accounting (rows scanned / skipped, blocks
+  /// skipped) of subsequent executions into *st.  Vectorized engine
+  /// only; pass nullptr to stop collecting.
+  query& collect_stats(exec::stats* st);
+
   /// Matching row count.  Uses the per-(IXP, class) / per-(IXP, step)
   /// epoch indexes when the filter shape allows, scanning otherwise.
   [[nodiscard]] std::size_t count() const;
@@ -100,11 +115,14 @@ class query {
   enum class group_key : std::uint8_t { none, ixp, asn, metro, cls, step };
 
   [[nodiscard]] const serve::epoch& resolve_epoch() const;
+  [[nodiscard]] exec::predicates predicates() const;
+  // Retained row-at-a-time reference evaluator (exec::mode::reference).
   [[nodiscard]] bool matches(const serve::epoch& ep, std::size_t i) const;
   /// Row indices of the selection, in canonical / sorted order.
   [[nodiscard]] std::vector<std::size_t> matching(const serve::epoch& ep) const;
   template <typename Fn>
   void for_each_match(const serve::epoch& ep, Fn&& fn) const;
+  [[nodiscard]] std::vector<group_count> reference_groups(const serve::epoch& ep) const;
 
   const catalog* cat_;
   std::optional<std::string> epoch_label_;
@@ -119,6 +137,8 @@ class query {
   bool sort_asc_ = true;
   std::size_t offset_ = 0;
   std::optional<std::size_t> limit_;
+  exec::mode mode_ = exec::mode::vectorized;
+  exec::stats* stats_ = nullptr;
 };
 
 /// An interface whose class changed between two epochs.
@@ -136,15 +156,29 @@ struct epoch_diff {
   std::vector<iface_row> appeared;
   std::vector<iface_row> disappeared;
   std::vector<reclassification> reclassified;
+  /// Per-class tally of `appeared`, filled while the diff is built so
+  /// appeared_of() is O(1) (the longitudinal study calls it per month
+  /// per class).
+  std::array<std::size_t, infer::k_n_peering_classes> appeared_by_class{};
 
   /// Appeared rows carrying class `c` — the per-class join count the
   /// longitudinal study (eval::run_longitudinal_study) aggregates.
-  [[nodiscard]] std::size_t appeared_of(infer::peering_class c) const noexcept;
+  [[nodiscard]] std::size_t appeared_of(infer::peering_class c) const noexcept {
+    return appeared_by_class[static_cast<std::size_t>(c)];
+  }
 };
 
-/// Diffs two ingested epochs; throws std::invalid_argument for unknown
-/// labels.
+/// Diffs two ingested epochs with one sort-merge pass per block pair
+/// over the (IXP, IP)-sorted permutation indexes; throws
+/// std::invalid_argument for unknown labels.
 [[nodiscard]] epoch_diff diff_epochs(const catalog& cat, std::string_view from,
                                      std::string_view to);
+
+/// The retained ordered-container reference implementation of
+/// diff_epochs — the byte-identity oracle the sort-merge join is
+/// pinned against (tests/test_exec.cpp, CI bench result diff).
+[[nodiscard]] epoch_diff diff_epochs_reference(const catalog& cat,
+                                               std::string_view from,
+                                               std::string_view to);
 
 }  // namespace opwat::serve

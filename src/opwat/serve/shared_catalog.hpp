@@ -27,6 +27,13 @@
 // Cost model: publishing copies the whole catalog (columns are flat
 // vectors, so this is a handful of memcpys), which is the right trade
 // for the portal workload.
+//
+// The vectorized query engine's auxiliary structures — zone maps and
+// the ASN/IP permutation indexes (opwat/serve/exec.hpp) — are built by
+// epoch::rebuild_indexes before an epoch becomes reachable and are
+// immutable afterwards, so they ride the published snapshot exactly
+// like the columns: readers consult them lock-free while a writer
+// prepares the next catalog copy.
 #pragma once
 
 #include <memory>

@@ -423,6 +423,11 @@ class store {
           if (ep.ixp_[i] != b.ixp) bad("row IXP disagrees with its block");
     }
 
+    // Count indexes, zone maps and the ASN/IP permutation indexes are
+    // never serialized: the loader re-derives every index from the
+    // columns (same path as ingest/merge_from), so the .opwatc format
+    // is unchanged by the vectorized engine and indexes can never
+    // disagree with the data.
     ep.rebuild_indexes(c.ixps_);
     return ep;
   }

@@ -262,6 +262,37 @@ TEST_F(ServeTest, DefaultEpochIsLatest) {
   EXPECT_EQ(q().count(), cat_->of("2018-05").rows());
 }
 
+TEST_F(ServeTest, VectorizedEngineMatchesReferenceOnPortalShapes) {
+  // The canned portal shapes on both engines (tests/test_exec.cpp has
+  // the randomized property suite; this is the smoke-level pin close to
+  // the query API tests).
+  const auto rows_eq = [](const std::vector<serve::iface_row>& a,
+                          const std::vector<serve::iface_row>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].ip, b[i].ip);
+      EXPECT_EQ(a[i].cls, b[i].cls);
+    }
+  };
+  const auto vec = [] { return q().engine(serve::exec::mode::vectorized); };
+  const auto ref = [] { return q().engine(serve::exec::mode::reference); };
+  EXPECT_EQ(vec().epoch("2018-04").cls(peering_class::remote).count(),
+            ref().epoch("2018-04").cls(peering_class::remote).count());
+  rows_eq(vec().epoch("2018-04").cls(peering_class::remote).sort_by_rtt().page(0, 10)
+              .rows(),
+          ref().epoch("2018-04").cls(peering_class::remote).sort_by_rtt().page(0, 10)
+              .rows());
+  const auto gv =
+      vec().epoch("2018-04").cls(peering_class::remote).by_step().group_counts();
+  const auto gr =
+      ref().epoch("2018-04").cls(peering_class::remote).by_step().group_counts();
+  ASSERT_EQ(gv.size(), gr.size());
+  for (std::size_t i = 0; i < gv.size(); ++i) {
+    EXPECT_EQ(gv[i].key, gr[i].key);
+    EXPECT_EQ(gv[i].count, gr[i].count);
+  }
+}
+
 TEST_F(ServeTest, MemberFilterMatchesBruteForce) {
   const auto& ep = cat_->of("2018-04");
   // Pick the ASN of the first row.
