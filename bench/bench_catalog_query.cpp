@@ -95,6 +95,8 @@ bench_ctx make_ctx(const serve::catalog& cat) {
   for (const auto a : ep.asn_col()) ++freq[a];
   std::size_t best = 0;
   std::uint32_t best_asn = 0;
+  // opwat-lint: allow(unordered-iter): max-reduction with a total (count,
+  // asn) tie-break picks the same winner in any visit order
   for (const auto& [a, n] : freq)
     if (n > best || (n == best && a < best_asn)) {
       best = n;

@@ -1,0 +1,112 @@
+// opwatc_fsck: offline integrity checker for .opwatc catalog snapshots.
+//
+//   $ ./opwatc_fsck catalog.opwatc
+//
+// Walks the snapshot through every defensive layer the library has —
+// section framing, CRC-verified decode, then the full deep audit
+// (opwat/serve/audit.cpp): dictionary/watermark consistency, block
+// framing, count indexes, zone maps and permutation indexes — and
+// prints a per-section report.  Unlike the automatic audit inside
+// catalog::load (active only in Debug / -DOPWAT_AUDIT=ON builds), fsck
+// always runs the deep checks, so a Release build of this binary is a
+// complete verifier.
+//
+// Exit status encodes the failure kind so scripts can branch on it:
+//   0            snapshot is fully consistent
+//   2            usage / file-system error
+//   10 + errc    store_error with that store_errc (10 = io, 11 =
+//                bad_magic, 12 = bad_version, 13 = truncated, 14 =
+//                checksum_mismatch, 15 = corrupt, 16 = mismatch)
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "opwat/serve/query.hpp"
+#include "opwat/serve/store.hpp"
+
+namespace {
+
+void section(const std::string& name, const std::string& detail) {
+  std::cout << "  [ ok ] " << name;
+  if (!detail.empty()) std::cout << ": " << detail;
+  std::cout << "\n";
+}
+
+[[noreturn]] void fail_section(const std::string& name,
+                               const opwat::serve::store_error& e) {
+  std::cout << "  [FAIL] " << name << ": " << e.what() << "\n";
+  std::cout << "fsck: " << opwat::serve::to_string(e.kind()) << "\n";
+  std::exit(10 + static_cast<int>(e.kind()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opwat;
+
+  if (argc != 2) {
+    std::cerr << "usage: opwatc_fsck <catalog.opwatc>\n";
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::cout << "opwatc_fsck: " << path << "\n";
+
+  // 1. Raw bytes + section framing (lengths only, no checksums yet).
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "opwatc_fsck: cannot open " << path << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    bytes = ss.str();
+  }
+  try {
+    const auto bounds = serve::store_section_boundaries(bytes);
+    section("framing", std::to_string(bounds.size() - 1) + " sections, " +
+                           std::to_string(bytes.size()) + " bytes");
+  } catch (const serve::store_error& e) {
+    fail_section("framing", e);
+  }
+
+  // 2. Full decode: magic, version, per-section CRC-32, payload shapes.
+  serve::catalog cat;
+  try {
+    cat = serve::catalog::load(path);
+    section("decode", std::to_string(cat.epoch_count()) + " epochs, " +
+                          std::to_string(cat.ixps().size()) + " IXPs, " +
+                          std::to_string(cat.metros().size()) + " metros");
+  } catch (const serve::store_error& e) {
+    fail_section("decode", e);
+  }
+
+  // 3. Per-epoch deep audit: columns, block framing, count indexes,
+  //    zone maps, permutation indexes, watermark bounds.
+  for (serve::epoch_id e = 0; e < cat.epoch_count(); ++e) {
+    const auto& ep = cat.at(e);
+    const std::string name = "epoch " + std::to_string(e) + " (" + ep.label() + ")";
+    try {
+      ep.audit(cat);
+      section(name, std::to_string(ep.rows()) + " rows, " +
+                        std::to_string(ep.blocks().size()) + " blocks");
+    } catch (const serve::store_error& err) {
+      fail_section(name, err);
+    }
+  }
+
+  // 4. Catalog-level cross-epoch checks: dictionary lookup tables,
+  //    label index, watermark monotonicity across the epoch sequence.
+  try {
+    cat.audit();
+    section("catalog", "dictionaries and watermark chain consistent");
+  } catch (const serve::store_error& e) {
+    fail_section("catalog", e);
+  }
+
+  std::cout << "fsck: clean\n";
+  return 0;
+}

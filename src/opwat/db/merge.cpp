@@ -59,9 +59,13 @@ merged_view merged_view::build(std::span<const snapshot> snapshots,
 
   for (const auto& [key, seen] : prefix_seen)
     if (seen.size() == 1) ++stats[*seen.begin()].prefixes_unique;
+  // opwat-lint: allow(unordered-iter): pure per-source counter increments —
+  // commutative, so visit order cannot reach the merged view
   for (const auto& [key, seen] : iface_seen)
     if (seen.size() == 1) ++stats[*seen.begin()].interfaces_unique;
 
+  // opwat-lint: allow(unordered-iter): writes land in keyed maps/sets and
+  // ifaces_by_ixp_ is sorted by IP right below, erasing the visit order
   for (const auto& [ip, owner] : iface_owner) {
     v.iface_to_asn_[ip] = owner.first;
     v.ifaces_by_ixp_[iface_ixp[ip]].push_back({ip, owner.first});

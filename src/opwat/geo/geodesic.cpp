@@ -46,11 +46,15 @@ double geodesic_km(const geo_point& a, const geo_point& b) noexcept {
     const double t1 = cosU2 * sin_l;
     const double t2 = cosU1 * sinU2 - sinU1 * cosU2 * cos_l;
     sin_sigma = std::sqrt(t1 * t1 + t2 * t2);
-    if (sin_sigma == 0.0) return 0.0;  // coincident
+    // coincident points: exact-zero guard against the 0/0 below
+    // opwat-lint: allow(float-compare): only exact 0.0 divides by zero here
+    if (sin_sigma == 0.0) return 0.0;
     cos_sigma = sinU1 * sinU2 + cosU1 * cosU2 * cos_l;
     sigma = std::atan2(sin_sigma, cos_sigma);
     const double sin_alpha = cosU1 * cosU2 * sin_l / sin_sigma;
     cos_sq_alpha = 1.0 - sin_alpha * sin_alpha;
+    // opwat-lint: allow(float-compare): equatorial-path guard — only an
+    // exact 0.0 denominator is invalid in the Vincenty term
     cos2sm = cos_sq_alpha != 0.0 ? cos_sigma - 2.0 * sinU1 * sinU2 / cos_sq_alpha : 0.0;
     const double C =
         kFlattening / 16.0 * cos_sq_alpha * (4.0 + kFlattening * (4.0 - 3.0 * cos_sq_alpha));

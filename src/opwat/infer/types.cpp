@@ -1,7 +1,8 @@
 #include "opwat/infer/types.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "opwat/util/contracts.hpp"
 
 namespace opwat::infer {
 
@@ -51,7 +52,8 @@ void inference_map::replace_slice(std::span<const world::ixp_id> ixps,
   // so count(c) equals the item tally afterwards even for a hand-built
   // delta.  A collision (a delta key outside `ixps` that the base
   // already holds — the erased ranges cannot collide) violates the call
-  // contract: the base entry wins and the asserts flag it in Debug.
+  // contract: the base entry wins and the contract checks flag it in
+  // Debug and audit builds.
   for (const auto& [key, inf] : delta.items_)
     if (items_.emplace(key, inf).second) {
       ++counts_[static_cast<std::size_t>(inf.cls)];
@@ -60,8 +62,11 @@ void inference_map::replace_slice(std::span<const world::ixp_id> ixps,
       ++tally.by_step[static_cast<std::size_t>(inf.step)];
     }
   pending_.merge(delta.pending_);
-  assert(delta.pending_.empty());
-  assert(([&] {
+  OPWAT_ASSERT(delta.pending_.empty(),
+               "replace_slice: delta pending keys collide with the base");
+  // Deep recount: side-effect-free (builds fresh tallies, mutates
+  // nothing) and compiled out entirely in plain Release builds.
+  OPWAT_INVARIANT(([&] {
     auto tally = decltype(counts_){};
     auto per_ixp = decltype(by_ixp_){};
     for (const auto& [key, inf] : items_) {
@@ -81,7 +86,8 @@ void inference_map::replace_slice(std::span<const world::ixp_id> ixps,
              return it != by_ixp_.end() && it->second.by_class == kv.second.by_class &&
                     it->second.by_step == kv.second.by_step;
            });
-  }()));
+  }()),
+                  "replace_slice: class/step tallies diverged from items");
   delta.counts_ = {};
   delta.items_.clear();
   delta.pending_.clear();

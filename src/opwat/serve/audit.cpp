@@ -1,0 +1,259 @@
+// Deep consistency audits for the serving catalog — epoch::audit and
+// catalog::audit (declared in opwat/serve/catalog.hpp).
+//
+// Every derived structure (count indexes, zone maps, permutation
+// indexes, dictionary lookup maps, watermarks) is re-derived from the
+// columns with the same rules rebuild_indexes uses and compared field
+// by field, so a corrupt snapshot, a broken index rebuild or a bad
+// hand-mutation is caught AT the invariant instead of surfacing as a
+// subtly wrong query three calls later.  Violations throw store_error
+// with store_errc::corrupt and a message naming the epoch, the section
+// and the first broken invariant — the same typed error surface the
+// snapshot loader uses, so examples/opwatc_fsck reports both framing
+// and semantic corruption uniformly.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "opwat/serve/catalog.hpp"
+#include "opwat/serve/store.hpp"
+
+namespace opwat::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& where, const std::string& what) {
+  throw store_error{store_errc::corrupt, "audit: " + where + ": " + what};
+}
+
+}  // namespace
+
+void epoch::audit(const catalog& owner) const {
+  const std::string where = "epoch \"" + label_ + "\"";
+  const auto n = ip_.size();
+  const auto columns_sized = [&](std::size_t size, const char* name) {
+    if (size != n)
+      fail(where, std::string{"columns: "} + name + " column has " +
+                      std::to_string(size) + " entries, expected " +
+                      std::to_string(n));
+  };
+  columns_sized(ixp_.size(), "ixp");
+  columns_sized(asn_.size(), "asn");
+  columns_sized(metro_.size(), "metro");
+  columns_sized(cls_.size(), "class");
+  columns_sized(step_.size(), "step");
+  columns_sized(rtt_.size(), "rtt");
+  columns_sized(feasible_.size(), "feasible");
+  columns_sized(port_.size(), "port");
+
+  // --- dictionary refs and watermarks ---------------------------------------
+  if (ixp_watermark_ > owner.ixps().size())
+    fail(where, "meta: IXP watermark " + std::to_string(ixp_watermark_) +
+                    " exceeds dictionary size " +
+                    std::to_string(owner.ixps().size()));
+  if (metro_watermark_ > owner.metros().size())
+    fail(where, "meta: metro watermark " + std::to_string(metro_watermark_) +
+                    " exceeds dictionary size " +
+                    std::to_string(owner.metros().size()));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ixp_[i] >= ixp_watermark_)
+      fail(where, "columns: row " + std::to_string(i) + " IXP ref " +
+                      std::to_string(ixp_[i]) + " is not below the watermark " +
+                      std::to_string(ixp_watermark_));
+    if (metro_[i] != k_no_metro && metro_[i] >= metro_watermark_)
+      fail(where, "columns: row " + std::to_string(i) + " metro ref " +
+                      std::to_string(metro_[i]) +
+                      " is not below the watermark " +
+                      std::to_string(metro_watermark_));
+    if (cls_[i] >= infer::k_n_peering_classes)
+      fail(where, "columns: row " + std::to_string(i) + " class value " +
+                      std::to_string(cls_[i]) + " is out of range");
+    if (step_[i] >= infer::k_n_method_steps)
+      fail(where, "columns: row " + std::to_string(i) + " step value " +
+                      std::to_string(step_[i]) + " is out of range");
+  }
+
+  // --- block framing ---------------------------------------------------------
+  std::size_t expect_begin = 0;
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    const auto& b = blocks_[bi];
+    if (b.begin != expect_begin)
+      fail(where, "blocks: block " + std::to_string(bi) + " begins at row " +
+                      std::to_string(b.begin) + ", expected " +
+                      std::to_string(expect_begin));
+    if (b.end < b.begin)
+      fail(where, "blocks: block " + std::to_string(bi) + " ends before it begins");
+    expect_begin = b.end;
+    if (b.ixp >= ixp_watermark_)
+      fail(where, "blocks: block " + std::to_string(bi) + " IXP ref " +
+                      std::to_string(b.ixp) + " is not below the watermark");
+    for (std::size_t i = b.begin; i < b.end; ++i)
+      if (ixp_[i] != b.ixp)
+        fail(where, "blocks: row " + std::to_string(i) +
+                        " IXP ref disagrees with its block");
+    const auto it = block_index_.find(b.ixp);
+    if (it == block_index_.end() || it->second != bi)
+      fail(where, "blocks: block index does not map IXP ref " +
+                      std::to_string(b.ixp) + " to block " + std::to_string(bi));
+    const auto wit = world_ids_.find(b.ixp);
+    if (wit == world_ids_.end() || wit->second != owner.ixps()[b.ixp].id)
+      fail(where, "blocks: world-id cache disagrees with the dictionary for "
+                  "IXP ref " +
+                      std::to_string(b.ixp));
+  }
+  if (expect_begin != n)
+    fail(where, "blocks: blocks cover " + std::to_string(expect_begin) +
+                    " rows, columns hold " + std::to_string(n));
+  if (block_index_.size() != blocks_.size())
+    fail(where, "blocks: duplicate IXP ref across blocks");
+  if (world_ids_.size() != blocks_.size())
+    fail(where, "blocks: world-id cache entry count disagrees with blocks");
+
+  // --- count indexes and zone maps -------------------------------------------
+  std::array<std::size_t, infer::k_n_peering_classes> totals{};
+  for (const auto& b : blocks_) {
+    std::array<std::size_t, infer::k_n_peering_classes> by_class{};
+    std::array<std::size_t, infer::k_n_method_steps> by_step{};
+    block::zone_map z;
+    metro_ref metro_hi = 0;
+    bool any_metro = false;
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      const auto cls = static_cast<std::size_t>(cls_[i]);
+      ++by_class[cls];
+      ++totals[cls];
+      if (static_cast<infer::peering_class>(cls_[i]) != infer::peering_class::unknown) {
+        ++by_step[static_cast<std::size_t>(step_[i])];
+        z.step_mask |= static_cast<std::uint8_t>(1u << step_[i]);
+      }
+      z.cls_mask |= static_cast<std::uint8_t>(1u << cls_[i]);
+      z.asn_min = std::min(z.asn_min, asn_[i]);
+      z.asn_max = std::max(z.asn_max, asn_[i]);
+      if (!std::isnan(rtt_[i])) {
+        z.any_measured_rtt = true;
+        z.rtt_min_ms = std::min(z.rtt_min_ms, rtt_[i]);
+        z.rtt_max_ms = std::max(z.rtt_max_ms, rtt_[i]);
+      }
+      if (metro_[i] == k_no_metro) {
+        z.any_unmapped_metro = true;
+      } else {
+        metro_hi = std::max(metro_hi, metro_[i]);
+        any_metro = true;
+      }
+    }
+    if (any_metro) {
+      z.metro_bits.assign((metro_hi >> 6) + 1, 0);
+      for (std::size_t i = b.begin; i < b.end; ++i)
+        if (metro_[i] != k_no_metro)
+          z.metro_bits[metro_[i] >> 6] |= std::uint64_t{1} << (metro_[i] & 63u);
+    }
+    const std::string bwhere =
+        where + ", block of IXP ref " + std::to_string(b.ixp);
+    if (b.by_class != by_class)
+      fail(bwhere, "count index: per-class counts disagree with a recount");
+    if (b.by_step != by_step)
+      fail(bwhere, "count index: per-step counts disagree with a recount");
+    if (b.zone.rtt_min_ms != z.rtt_min_ms || b.zone.rtt_max_ms != z.rtt_max_ms ||
+        b.zone.any_measured_rtt != z.any_measured_rtt)
+      fail(bwhere, "zone map: RTT bounds disagree with the rtt column");
+    if (b.zone.asn_min != z.asn_min || b.zone.asn_max != z.asn_max)
+      fail(bwhere, "zone map: ASN bounds disagree with the asn column");
+    if (b.zone.cls_mask != z.cls_mask || b.zone.step_mask != z.step_mask)
+      fail(bwhere, "zone map: class/step masks disagree with the columns");
+    if (b.zone.metro_bits != z.metro_bits ||
+        b.zone.any_unmapped_metro != z.any_unmapped_metro)
+      fail(bwhere, "zone map: metro bitset disagrees with the metro column");
+  }
+  if (totals != totals_)
+    fail(where, "count index: epoch totals disagree with a recount");
+
+  // --- permutation indexes ----------------------------------------------------
+  const auto check_perm = [&](const std::vector<std::uint32_t>& perm,
+                              const char* name) {
+    if (perm.size() != n)
+      fail(where, std::string{name} + ": has " + std::to_string(perm.size()) +
+                      " entries, expected " + std::to_string(n));
+    std::vector<bool> seen(n, false);
+    for (const auto r : perm) {
+      if (r >= n || seen[r])
+        fail(where, std::string{name} + ": not a permutation of the row indices");
+      seen[r] = true;
+    }
+  };
+  check_perm(asn_perm_, "asn permutation index");
+  check_perm(ip_perm_, "ip permutation index");
+  for (std::size_t i = 1; i < n; ++i) {
+    const auto a = asn_perm_[i - 1];
+    const auto b = asn_perm_[i];
+    if (asn_[a] > asn_[b] || (asn_[a] == asn_[b] && a >= b))
+      fail(where, "asn permutation index: not sorted by (ASN, canonical index) at "
+                  "position " +
+                      std::to_string(i));
+  }
+  for (const auto& blk : blocks_) {
+    for (std::size_t i = blk.begin; i < blk.end; ++i)
+      if (ip_perm_[i] < blk.begin || ip_perm_[i] >= blk.end)
+        fail(where, "ip permutation index: entry " + std::to_string(i) +
+                        " escapes its block's row range");
+    for (std::size_t i = blk.begin + 1; i < blk.end; ++i) {
+      const auto a = ip_perm_[i - 1];
+      const auto b = ip_perm_[i];
+      if (ip_[a] > ip_[b] || (ip_[a] == ip_[b] && a >= b))
+        fail(where, "ip permutation index: block of IXP ref " +
+                        std::to_string(blk.ixp) +
+                        " not sorted by (IP, canonical index)");
+    }
+  }
+}
+
+void catalog::audit() const {
+  const std::string where = "catalog";
+
+  // --- dictionaries and their lookup maps ------------------------------------
+  if (ixp_by_id_.size() != ixps_.size() || ixp_by_name_.size() != ixps_.size())
+    fail(where, "IXP dictionary lookup maps disagree with the dictionary size");
+  for (std::size_t r = 0; r < ixps_.size(); ++r) {
+    const auto it = ixp_by_id_.find(ixps_[r].id);
+    if (it == ixp_by_id_.end() || it->second != r)
+      fail(where, "IXP dictionary: id lookup does not map entry " +
+                      std::to_string(r) + " back to itself");
+    const auto nit = ixp_by_name_.find(ixps_[r].name);
+    if (nit == ixp_by_name_.end() || nit->second != r)
+      fail(where, "IXP dictionary: name lookup does not map \"" + ixps_[r].name +
+                      "\" back to entry " + std::to_string(r));
+    if (ixps_[r].metro != k_no_metro && ixps_[r].metro >= metros_.size())
+      fail(where, "IXP dictionary: entry " + std::to_string(r) +
+                      " has an out-of-range metro ref");
+  }
+  if (metro_by_name_.size() != metros_.size())
+    fail(where, "metro dictionary lookup map disagrees with the dictionary size");
+  for (std::size_t r = 0; r < metros_.size(); ++r) {
+    const auto it = metro_by_name_.find(metros_[r]);
+    if (it == metro_by_name_.end() || it->second != r)
+      fail(where, "metro dictionary: name lookup does not map \"" + metros_[r] +
+                      "\" back to entry " + std::to_string(r));
+  }
+
+  // --- epochs: labels unique, watermarks monotone ----------------------------
+  if (by_label_.size() != epochs_.size())
+    fail(where, "epoch label map size disagrees with the epoch count");
+  std::uint32_t prev_ixp_wm = 0;
+  std::uint32_t prev_metro_wm = 0;
+  for (std::size_t e = 0; e < epochs_.size(); ++e) {
+    const auto it = by_label_.find(epochs_[e].label());
+    if (it == by_label_.end() || it->second != e)
+      fail(where, "epoch label map does not map \"" + epochs_[e].label() +
+                      "\" to epoch " + std::to_string(e));
+    if (epochs_[e].ixp_watermark() < prev_ixp_wm ||
+        epochs_[e].metro_watermark() < prev_metro_wm)
+      fail(where, "dictionary watermarks are not monotone at epoch \"" +
+                      epochs_[e].label() + "\"");
+    prev_ixp_wm = epochs_[e].ixp_watermark();
+    prev_metro_wm = epochs_[e].metro_watermark();
+    epochs_[e].audit(*this);
+  }
+}
+
+}  // namespace opwat::serve

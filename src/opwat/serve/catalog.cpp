@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "opwat/util/contracts.hpp"
+
 namespace opwat::serve {
 
 // --- epoch -------------------------------------------------------------------
@@ -218,6 +220,11 @@ epoch_id catalog::ingest(const world::world& w, const db::merged_view& view,
   const auto id = static_cast<epoch_id>(epochs_.size());
   by_label_.emplace(std::string{label}, id);
   epochs_.push_back(std::move(ep));
+#if OPWAT_CONTRACTS_ACTIVE
+  // Debug / -DOPWAT_AUDIT=ON builds verify every freshly built index
+  // against the columns before the epoch becomes queryable.
+  epochs_.back().audit(*this);
+#endif
   return id;
 }
 

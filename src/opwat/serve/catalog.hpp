@@ -103,6 +103,8 @@ struct iface_row {
   [[nodiscard]] infer::iface_key key() const noexcept { return {ixp, ip}; }
 };
 
+class catalog;
+
 /// One ingested snapshot: columnar member rows plus per-IXP indexes.
 /// Row order is canonical and deterministic — IXPs in pipeline-scope
 /// order, interfaces in merged-view order — and every query result is
@@ -211,9 +213,22 @@ class epoch {
     return metro_watermark_;
   }
 
+  /// Deep consistency audit (opwat/serve/audit.cpp): every index must
+  /// agree with the columns — block framing contiguous and covering,
+  /// count indexes equal to a fresh recount, zone maps equal to a fresh
+  /// rebuild, the ASN/IP permutation indexes true permutations sorted
+  /// by their declared keys, every ref below this epoch's dictionary
+  /// watermark.  `owner` is the catalog the epoch lives in (its
+  /// dictionaries resolve the refs).  Throws store_error
+  /// (store_errc::corrupt) naming the epoch, the section and the first
+  /// violated invariant.  Always compiled; Debug and -DOPWAT_AUDIT=ON
+  /// builds also run it automatically after ingest / load / merge.
+  void audit(const catalog& owner) const;
+
  private:
   friend class catalog;
   friend class store;
+  friend struct epoch_test_access;  // corruption injection in tests/test_audit.cpp
 
   std::string label_;
   std::vector<std::uint32_t> ip_;
@@ -297,8 +312,16 @@ class catalog {
   /// Metro display name ("" for k_no_metro).
   [[nodiscard]] std::string_view metro_name(metro_ref m) const noexcept;
 
+  /// Catalog-wide audit (opwat/serve/audit.cpp): dictionary lookup maps
+  /// consistent with the dictionaries, epoch labels unique and mapped
+  /// to their ids, dictionary watermarks monotone across epochs and
+  /// bounded by the dictionary sizes — then every epoch's deep audit.
+  /// Throws store_error (store_errc::corrupt) on the first violation.
+  void audit() const;
+
  private:
   friend class store;
+  friend struct epoch_test_access;  // corruption injection in tests/test_audit.cpp
 
   metro_ref intern_metro(std::string_view name);
   ixp_ref intern_ixp(const world::world& w, world::ixp_id id);

@@ -283,6 +283,8 @@ std::vector<group_count> group_over(const catalog& cat, const epoch& ep,
       const auto* col = ep.asn_col().data();
       for (const auto i : sel) ++acc[col[i]];
       out.reserve(acc.size());
+      // opwat-lint: allow(unordered-iter): buckets are sorted by key (and
+      // key-collisions merged) below before anything is returned
       for (const auto& [v, n] : acc) out.push_back({net::to_string(net::asn{v}), n});
       break;
     }

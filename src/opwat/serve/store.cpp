@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "opwat/util/checksum.hpp"
+#include "opwat/util/contracts.hpp"
 
 namespace opwat::serve {
 
@@ -462,6 +463,13 @@ class store {
     }
     if (off != bytes.size())
       fail(store_errc::corrupt, "trailing bytes after the last epoch record");
+#if OPWAT_CONTRACTS_ACTIVE
+    // Debug / -DOPWAT_AUDIT=ON builds cross-check every re-derived
+    // index against the freshly decoded columns: a loader bug (or a
+    // corruption mode the framing checks miss) dies here, not three
+    // queries later.
+    c.audit();
+#endif
     return c;
   }
 
@@ -550,6 +558,11 @@ class store {
       dst.by_label_.emplace(ep.label_, static_cast<epoch_id>(dst.epochs_.size()));
       dst.epochs_.push_back(std::move(ep));
     }
+#if OPWAT_CONTRACTS_ACTIVE
+    // The re-interned refs and recomputed watermarks must leave the
+    // destination catalog as consistent as a from-scratch ingest.
+    dst.audit();
+#endif
   }
 };
 

@@ -1,0 +1,23 @@
+#include "opwat/util/contracts.hpp"
+
+namespace opwat::util {
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::string what;
+  what.reserve(64 + msg.size());
+  what += file;
+  what += ':';
+  what += std::to_string(line);
+  what += ": ";
+  what += kind;
+  what += " failed: ";
+  what += expr;
+  if (!msg.empty()) {
+    what += " — ";
+    what += msg;
+  }
+  throw contract_violation{what};
+}
+
+}  // namespace opwat::util

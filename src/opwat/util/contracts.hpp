@@ -1,0 +1,76 @@
+// Project-wide contract macros — the machine-checked replacement for
+// bare `assert(...)`, which silently compiles out in Release and gives
+// corruption three more queries to propagate before anything notices.
+//
+//   OPWAT_ASSERT(cond, msg)      precondition / call-contract check
+//   OPWAT_INVARIANT(cond, msg)   internal data-structure consistency
+//   OPWAT_UNREACHABLE(msg)       marks a branch that must never run
+//
+// Activation: OPWAT_ASSERT and OPWAT_INVARIANT are compiled in when
+// NDEBUG is off (any Debug build) OR when the build defines OPWAT_AUDIT
+// (the `-DOPWAT_AUDIT=ON` CMake option used by the CI Debug/sanitizer
+// lanes).  In plain Release builds they expand to `((void)0)` and the
+// condition is NOT evaluated, so checks may be arbitrarily deep as long
+// as they are side-effect-free.  OPWAT_UNREACHABLE is active in every
+// build: reaching it is a bug by definition, and throwing beats UB.
+//
+// A violated contract throws util::contract_violation carrying the
+// failed expression, the message and the file:line — tests assert on
+// it, and production code never catches it (it is a programming error,
+// not an input error; malformed *input* raises the typed errors in
+// opwat/serve/store.hpp instead).
+//
+// The in-tree linter (tools/opwat_lint) bans bare `assert(` in src/ so
+// new code cannot regress to checks that vanish in Release.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace opwat::util {
+
+/// A failed OPWAT_ASSERT / OPWAT_INVARIANT / OPWAT_UNREACHABLE.
+/// Derives std::logic_error: contract violations are programming
+/// errors, distinct from the runtime_error hierarchy used for bad
+/// input.
+class contract_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Builds the "file:line: <kind> failed: <expr> — <msg>" diagnostic and
+/// throws contract_violation.  Out-of-line so the macro expansion at
+/// every check site stays one call.
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& msg);
+
+}  // namespace opwat::util
+
+#if !defined(NDEBUG) || defined(OPWAT_AUDIT)
+#define OPWAT_CONTRACTS_ACTIVE 1
+#else
+#define OPWAT_CONTRACTS_ACTIVE 0
+#endif
+
+#if OPWAT_CONTRACTS_ACTIVE
+#define OPWAT_ASSERT(cond, msg)                                              \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::opwat::util::contract_fail("assertion", #cond, __FILE__,       \
+                                         __LINE__, (msg)))
+#define OPWAT_INVARIANT(cond, msg)                                           \
+  ((cond) ? static_cast<void>(0)                                             \
+          : ::opwat::util::contract_fail("invariant", #cond, __FILE__,       \
+                                         __LINE__, (msg)))
+#else
+// Inactive builds do not evaluate the condition or the message, so a
+// deep check (a whole recount lambda) costs nothing in Release.
+#define OPWAT_ASSERT(cond, msg) static_cast<void>(0)
+#define OPWAT_INVARIANT(cond, msg) static_cast<void>(0)
+#endif
+
+// Active in EVERY build type: a reached "unreachable" is never safe to
+// optimize away, and throwing keeps it defined behavior.
+#define OPWAT_UNREACHABLE(msg)                                               \
+  ::opwat::util::contract_fail("unreachable branch", "OPWAT_UNREACHABLE",    \
+                               __FILE__, __LINE__, (msg))

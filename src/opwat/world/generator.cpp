@@ -211,6 +211,8 @@ void make_resellers(gen_state& st) {
     const auto n_served = static_cast<std::size_t>(r.uniform_int(2, 6));
     for (std::size_t i = 0; i < n_served; ++i) {
       const auto pick = static_cast<ixp_id>(r.weighted_index(weights));
+      // opwat-lint: allow(float-compare): exact sentinel check — the only
+      // zero weights are the 0.0 literals assigned right below
       if (weights[pick] == 0.0) continue;
       weights[pick] = 0.0;  // no duplicates
       const auto& facs = st.w.ixps[pick].facilities;
@@ -668,6 +670,8 @@ void make_private_links(gen_state& st) {
   // Deterministic facility order.
   std::vector<facility_id> facs;
   facs.reserve(per_fac.size());
+  // opwat-lint: allow(unordered-iter): keys are sorted immediately below,
+  // so the visit order never reaches the generated world
   for (const auto& [f, _] : per_fac) facs.push_back(f);
   std::sort(facs.begin(), facs.end());
 

@@ -1,0 +1,253 @@
+// The contract/audit layer: OPWAT_ASSERT / OPWAT_INVARIANT /
+// OPWAT_UNREACHABLE (opwat/util/contracts.hpp) and the deep
+// epoch/catalog audits (opwat/serve/audit.cpp).  The injection tests
+// corrupt one derived structure at a time — a bad permutation, a stale
+// count index, an inconsistent zone map, broken watermarks — and assert
+// audit() throws store_error{corrupt} naming that structure, i.e. the
+// corruption is caught AT the invariant, not three queries later.
+
+// Force the contract macros on in this TU regardless of build type, so
+// the macro tests behave identically in Release and Debug suites.
+#ifndef OPWAT_AUDIT
+#define OPWAT_AUDIT 1
+#endif
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/serve/query.hpp"
+#include "opwat/serve/store.hpp"
+#include "opwat/util/contracts.hpp"
+
+namespace opwat::serve {
+
+/// Test-only backdoor (befriended by epoch and catalog) used to inject
+/// precise corruption into otherwise-immutable derived structures.
+struct epoch_test_access {
+  static std::vector<epoch>& epochs(catalog& c) { return c.epochs_; }
+  static std::vector<std::uint32_t>& asn_perm(epoch& e) { return e.asn_perm_; }
+  static std::vector<std::uint32_t>& ip_perm(epoch& e) { return e.ip_perm_; }
+  static std::vector<epoch::block>& blocks(epoch& e) { return e.blocks_; }
+  static std::array<std::size_t, infer::k_n_peering_classes>& totals(epoch& e) {
+    return e.totals_;
+  }
+  static std::uint32_t& ixp_watermark(epoch& e) { return e.ixp_watermark_; }
+  static std::vector<std::uint8_t>& cls(epoch& e) { return e.cls_; }
+};
+
+}  // namespace opwat::serve
+
+namespace {
+
+using namespace opwat;
+using serve::epoch_test_access;
+
+// --- contract macros ---------------------------------------------------------
+
+TEST(Contracts, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(OPWAT_ASSERT(1 + 1 == 2, "arithmetic"));
+  EXPECT_NO_THROW(OPWAT_INVARIANT(true, "trivially"));
+}
+
+TEST(Contracts, FailedAssertThrowsWithLocationAndMessage) {
+  try {
+    OPWAT_ASSERT(2 + 2 == 5, "ministry of truth");
+    FAIL() << "OPWAT_ASSERT did not throw";
+  } catch (const util::contract_violation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_audit.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("assertion failed"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("ministry of truth"), std::string::npos) << what;
+  }
+}
+
+TEST(Contracts, FailedInvariantThrows) {
+  EXPECT_THROW(OPWAT_INVARIANT(false, "broken"), util::contract_violation);
+}
+
+TEST(Contracts, UnreachableThrowsInEveryBuild) {
+  EXPECT_THROW(OPWAT_UNREACHABLE("cannot happen"), util::contract_violation);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  EXPECT_THROW(OPWAT_UNREACHABLE("typed"), std::logic_error);
+}
+
+// --- audit fixtures ----------------------------------------------------------
+
+/// A small two-epoch catalog; every test takes a fresh copy to corrupt.
+class AuditTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    s_ = new eval::scenario{eval::scenario::build(eval::small_scenario_config(17))};
+    cat_ = new serve::catalog{};
+    auto pcfg = s_->cfg.pipeline;
+    cat_->ingest(s_->w, s_->view, s_->run_inference(pcfg), "2018-03");
+    pcfg.seed += 1;
+    cat_->ingest(s_->w, s_->view, s_->run_inference(pcfg), "2018-04");
+  }
+  static void TearDownTestSuite() {
+    delete cat_;
+    delete s_;
+    cat_ = nullptr;
+    s_ = nullptr;
+  }
+
+  /// Asserts `corrupt(copy)` makes audit() throw store_error{corrupt}
+  /// whose message mentions `needle`.
+  template <typename Fn>
+  static void expect_caught(Fn&& corrupt, const std::string& needle) {
+    serve::catalog copy = *cat_;
+    corrupt(copy);
+    try {
+      copy.audit();
+      FAIL() << "audit() accepted corruption expected to mention: " << needle;
+    } catch (const serve::store_error& e) {
+      EXPECT_EQ(e.kind(), serve::store_errc::corrupt) << e.what();
+      EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos) << e.what();
+    }
+  }
+
+  static eval::scenario* s_;
+  static serve::catalog* cat_;
+};
+
+eval::scenario* AuditTest::s_ = nullptr;
+serve::catalog* AuditTest::cat_ = nullptr;
+
+TEST_F(AuditTest, CleanCatalogPassesEveryCheck) {
+  EXPECT_NO_THROW(cat_->audit());
+  for (std::uint32_t e = 0; e < cat_->epoch_count(); ++e)
+    EXPECT_NO_THROW(cat_->at(e).audit(*cat_));
+}
+
+TEST_F(AuditTest, RoundTrippedCatalogPassesAudit) {
+  const auto path = testing::TempDir() + "audit_roundtrip.opwatc";
+  cat_->save(path);
+  const auto loaded = serve::catalog::load(path);
+  EXPECT_NO_THROW(loaded.audit());
+}
+
+// --- injected corruption, one derived structure at a time -------------------
+
+TEST_F(AuditTest, SwappedAsnPermutationEntriesAreCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& perm = epoch_test_access::asn_perm(epoch_test_access::epochs(c)[0]);
+        ASSERT_GE(perm.size(), 2u);
+        // Swapping the first and last entries breaks the (ASN, index)
+        // sort order without breaking the permutation property.
+        std::swap(perm.front(), perm.back());
+      },
+      "asn permutation index");
+}
+
+TEST_F(AuditTest, DuplicatePermutationEntryIsCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& perm = epoch_test_access::ip_perm(epoch_test_access::epochs(c)[1]);
+        ASSERT_GE(perm.size(), 2u);
+        perm[1] = perm[0];  // no longer a bijection
+      },
+      "ip permutation index");
+}
+
+TEST_F(AuditTest, StalePerClassCountIndexIsCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& b = epoch_test_access::blocks(epoch_test_access::epochs(c)[0]).front();
+        ++b.by_class[static_cast<std::size_t>(infer::peering_class::remote)];
+      },
+      "per-class counts disagree");
+}
+
+TEST_F(AuditTest, StalePerStepCountIndexIsCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& b = epoch_test_access::blocks(epoch_test_access::epochs(c)[0]).back();
+        ++b.by_step[static_cast<std::size_t>(infer::method_step::rtt_colo)];
+      },
+      "per-step counts disagree");
+}
+
+TEST_F(AuditTest, StaleEpochTotalsAreCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& totals = epoch_test_access::totals(epoch_test_access::epochs(c)[1]);
+        ++totals[static_cast<std::size_t>(infer::peering_class::local)];
+      },
+      "epoch totals disagree");
+}
+
+TEST_F(AuditTest, InconsistentZoneMapRttBoundsAreCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& blocks = epoch_test_access::blocks(epoch_test_access::epochs(c)[0]);
+        for (auto& b : blocks)
+          if (b.zone.any_measured_rtt) {
+            b.zone.rtt_max_ms += 1.0;  // bounds no longer tight
+            return;
+          }
+        FAIL() << "fixture has no measured RTTs to corrupt";
+      },
+      "zone map: RTT bounds");
+}
+
+TEST_F(AuditTest, InconsistentZoneMapClassMaskIsCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& b = epoch_test_access::blocks(epoch_test_access::epochs(c)[0]).front();
+        b.zone.cls_mask = static_cast<std::uint8_t>(b.zone.cls_mask ^ 0x7);
+      },
+      "class/step masks");
+}
+
+TEST_F(AuditTest, BlockFramingGapIsCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& blocks = epoch_test_access::blocks(epoch_test_access::epochs(c)[0]);
+        ASSERT_GE(blocks.size(), 2u);
+        ++blocks[1].begin;  // rows [old begin, new begin) now belong nowhere
+      },
+      "begins at row");
+}
+
+TEST_F(AuditTest, OutOfRangeClassValueIsCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& cls = epoch_test_access::cls(epoch_test_access::epochs(c)[0]);
+        ASSERT_FALSE(cls.empty());
+        cls[0] = 0xff;
+      },
+      "class value");
+}
+
+TEST_F(AuditTest, WatermarkBeyondDictionaryIsCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& wm =
+            epoch_test_access::ixp_watermark(epoch_test_access::epochs(c).back());
+        wm = wm + 1000;
+      },
+      "exceeds dictionary size");
+}
+
+TEST_F(AuditTest, NonMonotoneWatermarksAreCaught) {
+  expect_caught(
+      [](serve::catalog& c) {
+        auto& wm =
+            epoch_test_access::ixp_watermark(epoch_test_access::epochs(c).front());
+        // Epoch 0 claiming a larger watermark than epoch 1 breaks the
+        // delta encoding append_epoch relies on.
+        wm = epoch_test_access::epochs(c).back().ixp_watermark() + 1;
+      },
+      "");  // either the monotonicity or the bound check fires first
+}
+
+}  // namespace

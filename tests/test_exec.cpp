@@ -216,6 +216,9 @@ void expect_spec_equivalent(const serve::catalog& ref_cat, const serve::catalog&
 // linearly from the columns.
 
 void expect_indexes_valid(const serve::catalog& cat) {
+  // First the library's own deep audit, then the independent linear
+  // recomputation below — the two must agree that the catalog is sound.
+  EXPECT_NO_THROW(cat.audit());
   for (std::size_t e = 0; e < cat.epoch_count(); ++e) {
     const auto& ep = cat.at(static_cast<serve::epoch_id>(e));
     for (const auto& b : ep.blocks()) {

@@ -1,0 +1,285 @@
+// The correctness tooling itself: tools/opwat_lint's rule engine, run
+// in-process over small fixture sources — one violation per rule, plus
+// suppressed variants — asserting the exact findings (rule, line), the
+// suppression contract (reason required, unknown rules rejected,
+// whole-line comments bind to the next code line), the lexical
+// stripping (strings/comments never trigger rules) and the JSON report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "opwat_lint/lint.hpp"
+
+namespace {
+
+using opwat::lint::classify;
+using opwat::lint::file_kind;
+using opwat::lint::finding;
+using opwat::lint::lint_files;
+using opwat::lint::lint_source;
+
+/// Findings of one rule, as their 1-based lines.
+std::vector<int> lines_of(const std::vector<finding>& fs, const std::string& rule) {
+  std::vector<int> out;
+  for (const auto& f : fs)
+    if (f.rule == rule) out.push_back(f.line);
+  return out;
+}
+
+constexpr const char* k_src = "src/opwat/infer/fixture.cpp";
+
+// --- classification ----------------------------------------------------------
+
+TEST(LintClassify, ByNearestKnownSegment) {
+  EXPECT_EQ(classify("src/opwat/infer/engine.cpp"), file_kind::source);
+  EXPECT_EQ(classify("/abs/repo/src/opwat/util/rng.hpp"), file_kind::source);
+  EXPECT_EQ(classify("tests/test_store.cpp"), file_kind::test);
+  EXPECT_EQ(classify("bench/bench_catalog_io.cpp"), file_kind::bench);
+  EXPECT_EQ(classify("examples/quickstart.cpp"), file_kind::example);
+  EXPECT_EQ(classify("tools/opwat_lint/lint.cpp"), file_kind::tool);
+  EXPECT_EQ(classify("README.md"), file_kind::other);
+}
+
+// --- nondeterminism ----------------------------------------------------------
+
+TEST(LintNondeterminism, FlagsEveryBannedSource) {
+  const std::string text =
+      "#include <random>\n"                          // 1: engine headers are fine
+      "int a() { return std::rand(); }\n"            // 2
+      "std::random_device dev;\n"                    // 3
+      "long b() { return time(nullptr); }\n"         // 4
+      "auto c = std::chrono::system_clock::now();\n" // 5
+      "int lifetime = 3; // not a time() call\n";    // 6: token boundaries
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "nondeterminism"), (std::vector<int>{2, 3, 4, 5}));
+}
+
+TEST(LintNondeterminism, IdentifiersInStringsAndCommentsAreIgnored) {
+  const std::string text =
+      "const char* s = \"std::rand() time( random_device\";\n"
+      "// std::rand() would be nondeterministic here\n"
+      "/* system_clock::now() too */\n";
+  EXPECT_TRUE(lint_source(k_src, text).empty());
+}
+
+TEST(LintNondeterminism, NotAppliedToBenchOrTests) {
+  const std::string text = "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(lint_source("bench/bench_x.cpp", text).empty());
+  EXPECT_TRUE(lint_source("tests/test_x.cpp", text).empty());
+  EXPECT_EQ(lint_source(k_src, text).size(), 1u);
+}
+
+// --- unordered-iter ----------------------------------------------------------
+
+TEST(LintUnorderedIter, FlagsRangeForOverUnorderedDeclaredInFile) {
+  const std::string text =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> acc;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : acc) use(k, v);\n"  // 4
+      "}\n";
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "unordered-iter"), (std::vector<int>{4}));
+}
+
+TEST(LintUnorderedIter, OrderedContainersAndPlainForsAreFine) {
+  const std::string text =
+      "std::map<int, int> acc;\n"
+      "std::unordered_map<int, int> lookup;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : acc) use(k, v);\n"
+      "  for (std::size_t i = 0; i < 3; ++i) use(i, lookup.at(i));\n"
+      "}\n";
+  EXPECT_TRUE(lint_source(k_src, text).empty());
+}
+
+TEST(LintUnorderedIter, SeesThroughLocalUsingAliases) {
+  const std::string text =
+      "template <typename T>\n"
+      "using string_map = std::unordered_map<std::string, T>;\n"
+      "string_map<int> by_label;\n"
+      "void f() {\n"
+      "  for (const auto& [k, v] : by_label) use(k, v);\n"  // 5
+      "}\n";
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "unordered-iter"), (std::vector<int>{5}));
+}
+
+TEST(LintUnorderedIter, CompanionHeaderMembersAreSeeded) {
+  const std::vector<opwat::lint::file_input> files = {
+      {"src/opwat/serve/thing.hpp",
+       "#pragma once\n"
+       "#include <unordered_map>\n"
+       "class thing {\n"
+       "  std::unordered_map<int, int> index_;\n"
+       "};\n"},
+      {"src/opwat/serve/thing.cpp",
+       "#include \"opwat/serve/thing.hpp\"\n"
+       "void thing_dump() {\n"
+       "  for (const auto& [k, v] : index_) use(k, v);\n"  // 3
+       "}\n"},
+  };
+  const auto fs = lint_files(files);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].file, "src/opwat/serve/thing.cpp");
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_EQ(fs[0].rule, "unordered-iter");
+}
+
+TEST(LintUnorderedIter, AppliesToTestsAndBenchesToo) {
+  const std::string text =
+      "std::unordered_set<int> seen;\n"
+      "void f() {\n"
+      "  for (const auto v : seen) use(v);\n"
+      "}\n";
+  EXPECT_EQ(lint_source("tests/test_x.cpp", text).size(), 1u);
+  EXPECT_EQ(lint_source("bench/bench_x.cpp", text).size(), 1u);
+}
+
+// --- float-compare -----------------------------------------------------------
+
+TEST(LintFloatCompare, FlagsLiteralComparisonsEitherSide) {
+  const std::string text =
+      "bool a(double x) { return x == 0.0; }\n"    // 1
+      "bool b(double x) { return 1.5f != x; }\n"   // 2
+      "bool c(double x) { return x == 1e-3; }\n"   // 3
+      "bool d(int x) { return x == 3; }\n"         // 4: integer, fine
+      "bool e(double x, double y) { return x == y; }\n";  // 5: no literal
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "float-compare"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(LintFloatCompare, CompoundOperatorsAreNotComparisons) {
+  const std::string text =
+      "void f(double& x) { x += 1.0; x -= 2.5; x *= 3.0; }\n"
+      "bool g(double x) { return x <= 1.0 || x >= 0.5; }\n";
+  EXPECT_TRUE(lint_source(k_src, text).empty());
+}
+
+// --- bare-assert -------------------------------------------------------------
+
+TEST(LintBareAssert, FlagsAssertCallAndCassertInclude) {
+  const std::string text =
+      "#include <cassert>\n"                        // 1
+      "void f(int x) {\n"
+      "  assert(x > 0);\n"                          // 3
+      "  static_assert(sizeof(int) == 4);\n"        // 4: distinct token
+      "  OPWAT_ASSERT(x > 0, \"positive\");\n"      // 5: the replacement
+      "}\n";
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "bare-assert"), (std::vector<int>{1, 3}));
+}
+
+TEST(LintBareAssert, GtestSourcesMayAssert) {
+  const std::string text = "void f(int x) { assert(x > 0); }\n";
+  EXPECT_TRUE(lint_source("tests/test_x.cpp", text).empty());
+}
+
+// --- include-hygiene ---------------------------------------------------------
+
+TEST(LintIncludeHygiene, HeaderMustOpenWithPragmaOnce) {
+  const auto fs = lint_source("src/opwat/util/fixture.hpp",
+                              "// licence text\n"
+                              "#include <vector>\n");
+  EXPECT_EQ(lines_of(fs, "include-hygiene"), (std::vector<int>{1}));
+  EXPECT_TRUE(lint_source("src/opwat/util/fixture.hpp",
+                          "// licence text\n"
+                          "#pragma once\n"
+                          "#include <vector>\n")
+                  .empty());
+}
+
+TEST(LintIncludeHygiene, ParentRelativeAndUnrootedIncludes) {
+  const std::string text =
+      "#include \"../util/rng.hpp\"\n"       // 1: parent-relative
+      "#include \"helpers.hpp\"\n"           // 2: not opwat/-rooted (src only)
+      "#include \"opwat/util/rng.hpp\"\n"    // 3: fine
+      "#include <vector>\n";                 // 4: fine
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "include-hygiene"), (std::vector<int>{1, 2}));
+  // Outside src/, only the parent-relative form is a finding.
+  const auto bench = lint_source("bench/bench_x.cpp", text);
+  EXPECT_EQ(lines_of(bench, "include-hygiene"), (std::vector<int>{1}));
+}
+
+// --- suppressions ------------------------------------------------------------
+
+TEST(LintSuppression, TrailingAndWholeLineCommentsWithReasons) {
+  const std::string text =
+      "std::unordered_map<int, int> acc;\n"
+      "void f(double x) {\n"
+      "  // opwat-lint: allow(unordered-iter): summed into a counter,\n"
+      "  // order-insensitive by construction\n"
+      "  for (const auto& [k, v] : acc) use(k, v);\n"
+      "  bool z = x == 0.0;  // opwat-lint: allow(float-compare): sentinel\n"
+      "  use(z);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source(k_src, text).empty());
+}
+
+TEST(LintSuppression, ReasonIsRequired) {
+  const std::string text =
+      "void f(double x) {\n"
+      "  bool z = x == 0.0;  // opwat-lint: allow(float-compare)\n"
+      "  use(z);\n"
+      "}\n";
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "bad-suppression"), (std::vector<int>{2}));
+  // The suppression is void, so the violation still reports.
+  EXPECT_EQ(lines_of(fs, "float-compare"), (std::vector<int>{2}));
+}
+
+TEST(LintSuppression, UnknownRuleIsRejected) {
+  const std::string text =
+      "void f(double x) {\n"
+      "  bool z = x == 0.0;  // opwat-lint: allow(flaot-compare): typo\n"
+      "  use(z);\n"
+      "}\n";
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "bad-suppression"), (std::vector<int>{2}));
+  EXPECT_EQ(lines_of(fs, "float-compare"), (std::vector<int>{2}));
+}
+
+TEST(LintSuppression, OnlyNamedRulesAreSuppressed) {
+  const std::string text =
+      "void f(double x) {\n"
+      "  assert(x == 0.0);  // opwat-lint: allow(float-compare): sentinel\n"
+      "}\n";
+  const auto fs = lint_source(k_src, text);
+  EXPECT_TRUE(lines_of(fs, "float-compare").empty());
+  EXPECT_EQ(lines_of(fs, "bare-assert"), (std::vector<int>{2}));
+}
+
+// --- report ------------------------------------------------------------------
+
+TEST(LintReport, JsonCarriesEveryFindingEscaped) {
+  const std::vector<finding> fs = {
+      {"src/a.cpp", 3, "float-compare", "say \"why\""},
+  };
+  const auto json = opwat::lint::to_json(fs);
+  EXPECT_NE(json.find("\"file\": \"src/a.cpp\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"float-compare\""), std::string::npos);
+  EXPECT_NE(json.find("say \\\"why\\\""), std::string::npos);
+  EXPECT_EQ(opwat::lint::to_json({}).find("\"findings\": []"), 4u);
+}
+
+TEST(LintReport, FindingsAreSortedByFileLineRule) {
+  const std::vector<opwat::lint::file_input> files = {
+      {"src/opwat/b.cpp", "bool f(double x) { return x == 0.0; }\n"},
+      {"src/opwat/a.cpp",
+       "bool f(double x) { return x == 0.0; }\n"
+       "void g(int x) { assert(x); }\n"},
+  };
+  const auto fs = lint_files(files);
+  ASSERT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].file, "src/opwat/a.cpp");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[1].file, "src/opwat/a.cpp");
+  EXPECT_EQ(fs[1].line, 2);
+  EXPECT_EQ(fs[2].file, "src/opwat/b.cpp");
+}
+
+}  // namespace

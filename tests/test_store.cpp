@@ -227,6 +227,10 @@ std::string* StoreTest::bytes_ = nullptr;
 
 TEST_F(StoreTest, RoundTripReproducesEveryQuery) {
   const auto loaded = serve::catalog::load(path_);
+  // The deep audit (zone maps, permutations, count indexes, watermark
+  // chain) must accept both sides before the query comparison runs.
+  EXPECT_NO_THROW(c_->cat.audit());
+  EXPECT_NO_THROW(loaded.audit());
   expect_catalogs_equivalent(c_->cat, loaded);
 }
 
@@ -285,6 +289,7 @@ TEST_F(StoreTest, IncrementalAppendMatchesFullSave) {
     else
       inc.append_epoch(p, eid);
   }
+  EXPECT_NO_THROW(inc.audit());
   EXPECT_EQ(read_bytes(p), *bytes_);
 }
 

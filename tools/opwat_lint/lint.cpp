@@ -1,0 +1,683 @@
+#include "opwat_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <tuple>
+#include <utility>
+
+namespace opwat::lint {
+
+namespace {
+
+// --- lexical stripping -------------------------------------------------------
+// Comments and string/char literals are replaced by spaces (lengths and
+// line structure preserved) so every rule scans real code only; comment
+// text is kept separately for suppression parsing.
+
+struct stripped_file {
+  std::vector<std::string> code;     ///< per line, literals/comments blanked
+  std::vector<std::string> comment;  ///< per line, comment text only
+  std::vector<std::string> raw;      ///< per line, untouched (include paths)
+};
+
+[[nodiscard]] bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+stripped_file strip(std::string_view text) {
+  stripped_file out;
+  out.code.emplace_back();
+  out.comment.emplace_back();
+  out.raw.emplace_back();
+  enum class state { code, line_comment, block_comment, str, chr, raw_str };
+  state st = state::code;
+  std::string raw_delim;  // raw-string delimiter incl. closing paren
+  const auto n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      // A line comment ends; every other state carries across lines.
+      if (st == state::line_comment) st = state::code;
+      out.code.emplace_back();
+      out.comment.emplace_back();
+      out.raw.emplace_back();
+      continue;
+    }
+    out.raw.back() += c;
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    switch (st) {
+      case state::code:
+        if (c == '/' && next == '/') {
+          st = state::line_comment;
+          out.code.back() += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = state::block_comment;
+          out.code.back() += "  ";
+          ++i;
+          out.raw.back() += '*';
+        } else if (c == 'R' && next == '"' &&
+                   (out.code.back().empty() ||
+                    !ident_char(out.code.back().back()))) {
+          // R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < n && text[j] != '(' && text[j] != '\n') delim += text[j++];
+          if (j < n && text[j] == '(') {
+            st = state::raw_str;
+            raw_delim = ")" + delim + "\"";
+            out.code.back() += ' ';
+            // consume up to and including '('
+            for (std::size_t k = i + 1; k <= j; ++k) {
+              out.code.back() += ' ';
+              if (k > i + 1) out.raw.back() += text[k - 1];
+            }
+            out.raw.back() += '(';
+            i = j;
+          } else {
+            out.code.back() += c;
+          }
+        } else if (c == '"') {
+          st = state::str;
+          out.code.back() += ' ';
+        } else if (c == '\'') {
+          st = state::chr;
+          out.code.back() += ' ';
+        } else {
+          out.code.back() += c;
+        }
+        break;
+      case state::line_comment:
+        out.comment.back() += c;
+        out.code.back() += ' ';
+        break;
+      case state::block_comment:
+        if (c == '*' && next == '/') {
+          st = state::code;
+          out.code.back() += "  ";
+          ++i;
+          out.raw.back() += '/';
+        } else {
+          out.comment.back() += c;
+          out.code.back() += ' ';
+        }
+        break;
+      case state::str:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          out.code.back() += "  ";
+          out.raw.back() += next;
+          ++i;
+        } else {
+          if (c == '"') st = state::code;
+          out.code.back() += ' ';
+        }
+        break;
+      case state::chr:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          out.code.back() += "  ";
+          out.raw.back() += next;
+          ++i;
+        } else {
+          if (c == '\'') st = state::code;
+          out.code.back() += ' ';
+        }
+        break;
+      case state::raw_str:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k)
+            out.raw.back() += text[i + k];
+          out.code.back().append(raw_delim.size(), ' ');
+          i += raw_delim.size() - 1;
+          st = state::code;
+        } else {
+          out.code.back() += ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+// --- joined code with line mapping -------------------------------------------
+
+struct joined_code {
+  std::string text;                 ///< all code lines joined with '\n'
+  std::vector<std::size_t> starts;  ///< offset of each line's first char
+
+  [[nodiscard]] int line_of(std::size_t off) const noexcept {
+    const auto it = std::upper_bound(starts.begin(), starts.end(), off);
+    return static_cast<int>(it - starts.begin());
+  }
+};
+
+joined_code join(const std::vector<std::string>& lines) {
+  joined_code j;
+  for (const auto& l : lines) {
+    j.starts.push_back(j.text.size());
+    j.text += l;
+    j.text += '\n';
+  }
+  return j;
+}
+
+[[nodiscard]] std::size_t skip_spaces(std::string_view t, std::size_t i) noexcept {
+  while (i < t.size() &&
+         std::isspace(static_cast<unsigned char>(t[i])) != 0)
+    ++i;
+  return i;
+}
+
+/// First non-space position at or before `i` (walking left); npos when none.
+[[nodiscard]] std::size_t prev_nonspace(std::string_view t, std::size_t i) noexcept {
+  while (i != std::string_view::npos &&
+         (i >= t.size() || std::isspace(static_cast<unsigned char>(t[i])) != 0))
+    i = i == 0 ? std::string_view::npos : i - 1;
+  return i;
+}
+
+/// Iterates identifier tokens of `t`, calling fn(token, start_offset).
+template <typename Fn>
+void for_each_ident(std::string_view t, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < t.size()) {
+    if (ident_char(t[i]) &&
+        std::isdigit(static_cast<unsigned char>(t[i])) == 0) {
+      std::size_t j = i;
+      while (j < t.size() && ident_char(t[j])) ++j;
+      fn(t.substr(i, j - i), i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(t[i])) != 0) {
+      while (i < t.size() && ident_char(t[i])) ++i;  // skip number tokens whole
+    } else {
+      ++i;
+    }
+  }
+}
+
+/// Matches a decimal floating-point literal at `i`; returns one past its
+/// end, or npos when `t[i...]` is not one.  (Hex floats are not used in
+/// this tree and are not matched.)
+[[nodiscard]] std::size_t match_float_literal(std::string_view t,
+                                              std::size_t i) noexcept {
+  std::size_t j = i;
+  bool digits = false;
+  bool dot = false;
+  bool exp = false;
+  while (j < t.size() && std::isdigit(static_cast<unsigned char>(t[j])) != 0) {
+    ++j;
+    digits = true;
+  }
+  if (j < t.size() && t[j] == '.') {
+    dot = true;
+    ++j;
+    while (j < t.size() && std::isdigit(static_cast<unsigned char>(t[j])) != 0) {
+      ++j;
+      digits = true;
+    }
+  }
+  if (digits && j < t.size() && (t[j] == 'e' || t[j] == 'E')) {
+    std::size_t k = j + 1;
+    if (k < t.size() && (t[k] == '+' || t[k] == '-')) ++k;
+    if (k < t.size() && std::isdigit(static_cast<unsigned char>(t[k])) != 0) {
+      while (k < t.size() && std::isdigit(static_cast<unsigned char>(t[k])) != 0)
+        ++k;
+      j = k;
+      exp = true;
+    }
+  }
+  if (!digits || !(dot || exp)) return std::string_view::npos;
+  while (j < t.size() && (t[j] == 'f' || t[j] == 'F' || t[j] == 'l' || t[j] == 'L'))
+    ++j;
+  return j;
+}
+
+// --- suppressions ------------------------------------------------------------
+
+struct suppressions {
+  /// line (1-based) -> rules allowed on that line.
+  std::map<int, std::set<std::string>> allowed;
+  std::vector<finding> bad;  ///< malformed suppression comments
+};
+
+suppressions parse_suppressions(std::string_view path, const stripped_file& f) {
+  suppressions s;
+  static constexpr std::string_view k_marker = "opwat-lint:";
+  for (std::size_t li = 0; li < f.comment.size(); ++li) {
+    const std::string& c = f.comment[li];
+    const auto m = c.find(k_marker);
+    if (m == std::string::npos) continue;
+    const int line = static_cast<int>(li) + 1;
+    const auto bad = [&](const std::string& why) {
+      s.bad.push_back({std::string{path}, line, "bad-suppression", why});
+    };
+    std::size_t i = skip_spaces(c, m + k_marker.size());
+    static constexpr std::string_view k_allow = "allow(";
+    if (c.compare(i, k_allow.size(), k_allow) != 0) {
+      bad("expected \"opwat-lint: allow(<rule>): <reason>\"");
+      continue;
+    }
+    i += k_allow.size();
+    const auto close = c.find(')', i);
+    if (close == std::string::npos) {
+      bad("unterminated allow(...) rule list");
+      continue;
+    }
+    // Split the comma-separated rule list.
+    std::set<std::string> rules;
+    bool ok = true;
+    std::size_t start = i;
+    for (std::size_t j = i; j <= close && ok; ++j) {
+      if (j == close || c[j] == ',') {
+        std::size_t b = skip_spaces(c, start);
+        std::size_t e = j;
+        while (e > b && std::isspace(static_cast<unsigned char>(c[e - 1])) != 0)
+          --e;
+        const std::string rule = c.substr(b, e - b);
+        const auto& known = rule_ids();
+        if (std::find(known.begin(), known.end(), rule) == known.end()) {
+          bad("unknown rule \"" + rule + "\" in allow(...)");
+          ok = false;
+        } else {
+          rules.insert(rule);
+        }
+        start = j + 1;
+      }
+    }
+    if (!ok) continue;
+    std::size_t r = skip_spaces(c, close + 1);
+    if (r >= c.size() || c[r] != ':' ||
+        skip_spaces(c, r + 1) >= c.size()) {
+      bad("suppression carries no reason — write \"allow(" +
+          *rules.begin() + "): <why this is safe>\"");
+      continue;
+    }
+    // A trailing comment suppresses its own line; a whole-line comment
+    // suppresses the next line that holds code (so a suppression whose
+    // reason wraps onto further comment lines still lands on the loop).
+    const bool whole_line =
+        skip_spaces(f.code[li], 0) >= f.code[li].size();
+    std::size_t target = li;
+    if (whole_line) {
+      target = li + 1;
+      while (target < f.code.size() &&
+             skip_spaces(f.code[target], 0) >= f.code[target].size())
+        ++target;
+    }
+    s.allowed[static_cast<int>(target) + 1].insert(rules.begin(), rules.end());
+  }
+  return s;
+}
+
+// --- rule helpers ------------------------------------------------------------
+
+struct rule_ctx {
+  std::string_view path;
+  file_kind kind = file_kind::other;
+  const stripped_file* file = nullptr;
+  const joined_code* code = nullptr;
+  const suppressions* supp = nullptr;
+  std::vector<finding>* out = nullptr;
+
+  void emit(int line, std::string rule, std::string message) const {
+    const auto it = supp->allowed.find(line);
+    if (it != supp->allowed.end() && it->second.count(rule) != 0) return;
+    out->push_back({std::string{path}, line, std::move(rule), std::move(message)});
+  }
+};
+
+void check_nondeterminism(const rule_ctx& ctx) {
+  static const std::set<std::string_view> banned = {
+      "rand",   "srand",   "rand_r",        "drand48",       "lrand48",
+      "mrand48", "random_shuffle", "random_device",
+  };
+  const auto& t = ctx.code->text;
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    const int line = ctx.code->line_of(off);
+    if (banned.count(id) != 0) {
+      ctx.emit(line, "nondeterminism",
+               "banned randomness source \"" + std::string{id} +
+                   "\" — draw from a util::rng stream instead");
+    } else if (id == "system_clock") {
+      ctx.emit(line, "nondeterminism",
+               "std::chrono::system_clock reads the wall clock — pass "
+               "timestamps in as explicit inputs");
+    } else if (id == "time") {
+      const auto nx = skip_spaces(t, off + id.size());
+      if (nx < t.size() && t[nx] == '(')
+        ctx.emit(line, "nondeterminism",
+                 "time() reads the wall clock — pass timestamps in as "
+                 "explicit inputs");
+    }
+  });
+}
+
+void check_bare_assert(const rule_ctx& ctx) {
+  const auto& t = ctx.code->text;
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    if (id != "assert") return;
+    const auto nx = skip_spaces(t, off + id.size());
+    if (nx < t.size() && t[nx] == '(')
+      ctx.emit(ctx.code->line_of(off), "bare-assert",
+               "bare assert() compiles out in Release — use OPWAT_ASSERT / "
+               "OPWAT_INVARIANT from opwat/util/contracts.hpp");
+  });
+}
+
+void check_float_compare(const rule_ctx& ctx) {
+  const auto& t = ctx.code->text;
+  static constexpr std::string_view k_op_neighbors = "<>=!&|^+-*/%";
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!((t[i] == '=' || t[i] == '!') && t[i + 1] == '=')) continue;
+    if (i + 2 < t.size() && t[i + 2] == '=') continue;
+    if (i > 0 && k_op_neighbors.find(t[i - 1]) != std::string_view::npos)
+      continue;
+    bool literal = false;
+    // Right operand: a float literal directly after the operator?
+    const auto r = skip_spaces(t, i + 2);
+    if (r < t.size() && match_float_literal(t, r) != std::string_view::npos)
+      literal = true;
+    // Left operand: walk back over the token and re-match forward.
+    if (!literal && i >= 1) {
+      auto e = prev_nonspace(t, i - 1);
+      if (e != std::string_view::npos) {
+        auto b = e;
+        static constexpr std::string_view k_lit_chars = "0123456789.eEfFlL+-";
+        while (b > 0 && k_lit_chars.find(t[b - 1]) != std::string_view::npos)
+          --b;
+        for (std::size_t p = b; p <= e && !literal; ++p)
+          literal = match_float_literal(t, p) == e + 1;
+      }
+    }
+    if (literal)
+      ctx.emit(ctx.code->line_of(i), "float-compare",
+               "exact floating-point comparison against a literal — compare "
+               "with a tolerance, or annotate why exactness is intended");
+  }
+}
+
+/// Balanced <...> skip starting at the '<'; returns one past the
+/// matching '>', or npos when unbalanced.
+[[nodiscard]] std::size_t skip_template_args(std::string_view t,
+                                             std::size_t i) noexcept {
+  int depth = 0;
+  for (; i < t.size(); ++i) {
+    if (t[i] == '<') ++depth;
+    else if (t[i] == '>' && --depth == 0) return i + 1;
+    else if (t[i] == ';') break;  // a stray '<' was a comparison, bail
+  }
+  return std::string_view::npos;
+}
+
+std::set<std::string> collect_unordered_names(const joined_code& code) {
+  const auto& t = code.text;
+  std::set<std::string> type_tokens = {"unordered_map", "unordered_set",
+                                       "unordered_multimap",
+                                       "unordered_multiset"};
+  // Aliases: `using X = ...unordered_...;` (covers template aliases).
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    if (id != "using") return;
+    auto i = skip_spaces(t, off + id.size());
+    std::size_t j = i;
+    while (j < t.size() && ident_char(t[j])) ++j;
+    if (j == i) return;
+    const std::string alias{t.substr(i, j - i)};
+    const auto eq = skip_spaces(t, j);
+    if (eq >= t.size() || t[eq] != '=') return;
+    const auto semi = t.find(';', eq);
+    if (semi == std::string_view::npos) return;
+    if (t.substr(eq, semi - eq).find("unordered_") != std::string_view::npos)
+      type_tokens.insert(alias);
+  });
+  // Declarations: <type-token> [<...>] [&*]* name  where name is
+  // followed by ; = { ( , or ).
+  std::set<std::string> names;
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    if (type_tokens.count(std::string{id}) == 0) return;
+    auto i = skip_spaces(t, off + id.size());
+    if (i < t.size() && t[i] == '<') {
+      i = skip_template_args(t, i);
+      if (i == std::string_view::npos) return;
+      i = skip_spaces(t, i);
+    }
+    while (i < t.size() && (t[i] == '&' || t[i] == '*')) i = skip_spaces(t, i + 1);
+    if (i >= t.size() || !ident_char(t[i]) ||
+        std::isdigit(static_cast<unsigned char>(t[i])) != 0)
+      return;
+    std::size_t j = i;
+    while (j < t.size() && ident_char(t[j])) ++j;
+    const auto nx = skip_spaces(t, j);
+    if (nx < t.size() && (t[nx] == ';' || t[nx] == '=' || t[nx] == '{' ||
+                          t[nx] == '(' || t[nx] == ',' || t[nx] == ')'))
+      names.insert(std::string{t.substr(i, j - i)});
+  });
+  names.insert(type_tokens.begin(), type_tokens.end());
+  return names;
+}
+
+void check_unordered_iter(const rule_ctx& ctx,
+                          const std::set<std::string>& unordered) {
+  const auto& t = ctx.code->text;
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    if (id != "for") return;
+    auto open = skip_spaces(t, off + id.size());
+    if (open >= t.size() || t[open] != '(') return;
+    // Find the matching ')' and a top-level ':' (range-for separator).
+    int depth = 0;
+    std::size_t colon = std::string_view::npos;
+    std::size_t close = std::string_view::npos;
+    for (std::size_t i = open; i < t.size(); ++i) {
+      const char c = t[i];
+      if (c == '(' || c == '[' || c == '{') ++depth;
+      else if (c == ')' || c == ']' || c == '}') {
+        if (--depth == 0 && c == ')') {
+          close = i;
+          break;
+        }
+      } else if (c == ':' && depth == 1 && colon == std::string_view::npos) {
+        const bool dbl = (i > 0 && t[i - 1] == ':') ||
+                         (i + 1 < t.size() && t[i + 1] == ':');
+        if (!dbl) colon = i;
+      }
+    }
+    if (close == std::string_view::npos || colon == std::string_view::npos)
+      return;  // classic for, or unterminated
+    const auto range_expr = t.substr(colon + 1, close - colon - 1);
+    std::string hit;
+    for_each_ident(range_expr, [&](std::string_view rid, std::size_t) {
+      if (hit.empty() && unordered.count(std::string{rid}) != 0)
+        hit = std::string{rid};
+    });
+    if (!hit.empty())
+      ctx.emit(ctx.code->line_of(off), "unordered-iter",
+               "range-for over unordered container \"" + hit +
+                   "\" — iteration order is unspecified; accumulate into an "
+                   "ordered structure or sort the results, then annotate why "
+                   "the loop is order-insensitive");
+  });
+}
+
+void check_include_hygiene(const rule_ctx& ctx) {
+  const auto& f = *ctx.file;
+  const bool is_header = ctx.path.size() >= 4 &&
+                         (ctx.path.ends_with(".hpp") || ctx.path.ends_with(".h"));
+  // Headers must open with #pragma once (comments/blank lines aside).
+  if (is_header) {
+    bool ok = false;
+    for (const auto& l : f.code) {
+      const auto i = skip_spaces(l, 0);
+      if (i >= l.size()) continue;
+      ok = l.compare(i, 12, "#pragma once") == 0;
+      break;
+    }
+    if (!ok)
+      ctx.emit(1, "include-hygiene",
+               "header's first directive must be #pragma once");
+  }
+  for (std::size_t li = 0; li < f.code.size(); ++li) {
+    // The path in an #include is a literal (blanked in code), so detect
+    // the directive in code and read the path from the raw line.
+    const auto& cl = f.code[li];
+    auto i = skip_spaces(cl, 0);
+    if (i >= cl.size() || cl[i] != '#') continue;
+    i = skip_spaces(cl, i + 1);
+    if (cl.compare(i, 7, "include") != 0) continue;
+    const auto& raw = f.raw[li];
+    const int line = static_cast<int>(li) + 1;
+    const auto q1 = raw.find_first_of("\"<", i + 7);
+    if (q1 == std::string::npos) continue;
+    const char closing = raw[q1] == '"' ? '"' : '>';
+    const auto q2 = raw.find(closing, q1 + 1);
+    if (q2 == std::string::npos) continue;
+    const std::string inc = raw.substr(q1 + 1, q2 - q1 - 1);
+    if (inc.rfind("../", 0) == 0 || inc.find("/../") != std::string::npos)
+      ctx.emit(line, "include-hygiene",
+               "parent-relative #include \"" + inc +
+                   "\" — include from the source root instead");
+    else if (ctx.kind == file_kind::source && closing == '"' &&
+             inc.rfind("opwat/", 0) != 0)
+      ctx.emit(line, "include-hygiene",
+               "quoted include \"" + inc +
+                   "\" in src/ must be rooted at opwat/");
+    if ((ctx.kind == file_kind::source || ctx.kind == file_kind::tool) &&
+        (inc == "cassert" || inc == "assert.h"))
+      ctx.emit(line, "bare-assert",
+               "#include <" + inc +
+                   "> — use opwat/util/contracts.hpp (OPWAT_ASSERT) instead");
+  }
+}
+
+[[nodiscard]] std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+file_kind classify(std::string_view path) noexcept {
+  file_kind kind = file_kind::other;
+  std::size_t best = std::string_view::npos;
+  const auto consider = [&](std::string_view seg, file_kind k) {
+    // Match "seg/" as a full path segment (start of path or after '/').
+    std::size_t pos = 0;
+    while ((pos = path.find(seg, pos)) != std::string_view::npos) {
+      const bool starts = pos == 0 || path[pos - 1] == '/';
+      const bool ends = pos + seg.size() < path.size() &&
+                        path[pos + seg.size()] == '/';
+      if (starts && ends && (best == std::string_view::npos || pos > best)) {
+        best = pos;
+        kind = k;
+      }
+      ++pos;
+    }
+  };
+  consider("src", file_kind::source);
+  consider("tests", file_kind::test);
+  consider("bench", file_kind::bench);
+  consider("examples", file_kind::example);
+  consider("tools", file_kind::tool);
+  return kind;
+}
+
+const std::vector<std::string>& rule_ids() {
+  static const std::vector<std::string> ids = {
+      "nondeterminism",  "unordered-iter", "float-compare",
+      "bare-assert",     "include-hygiene", "bad-suppression",
+  };
+  return ids;
+}
+
+std::set<std::string> unordered_names(std::string_view text) {
+  const auto f = strip(text);
+  return collect_unordered_names(join(f.code));
+}
+
+std::vector<finding> lint_source(std::string_view path, std::string_view text,
+                                 const std::set<std::string>& seeded_names) {
+  const auto kind = classify(path);
+  const auto f = strip(text);
+  const auto code = join(f.code);
+  const auto supp = parse_suppressions(path, f);
+
+  std::vector<finding> out;
+  rule_ctx ctx{path, kind, &f, &code, &supp, &out};
+
+  if (kind == file_kind::source || kind == file_kind::tool) {
+    check_nondeterminism(ctx);
+    check_bare_assert(ctx);
+    check_float_compare(ctx);
+  }
+  auto names = collect_unordered_names(code);
+  names.insert(seeded_names.begin(), seeded_names.end());
+  check_unordered_iter(ctx, names);
+  check_include_hygiene(ctx);
+
+  out.insert(out.end(), supp.bad.begin(), supp.bad.end());
+  std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::vector<finding> lint_files(const std::vector<file_input>& files) {
+  // Companion-header lookup: path minus extension -> unordered names.
+  std::map<std::string, std::set<std::string>> header_names;
+  for (const auto& f : files) {
+    const auto dot = f.path.rfind('.');
+    if (dot == std::string::npos) continue;
+    const auto ext = f.path.substr(dot);
+    if (ext == ".hpp" || ext == ".h")
+      header_names[f.path.substr(0, dot)] = unordered_names(f.text);
+  }
+  std::vector<finding> out;
+  for (const auto& f : files) {
+    std::set<std::string> seeded;
+    const auto dot = f.path.rfind('.');
+    if (dot != std::string::npos) {
+      const auto it = header_names.find(f.path.substr(0, dot));
+      if (it != header_names.end()) seeded = it->second;
+    }
+    auto fs = lint_source(f.path, f.text, seeded);
+    out.insert(out.end(), fs.begin(), fs.end());
+  }
+  std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
+    return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+  });
+  return out;
+}
+
+std::string to_json(const std::vector<finding>& findings) {
+  std::string out = "{\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"" + json_escape(f.file) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"message\": \"" + json_escape(f.message) +
+           "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace opwat::lint

@@ -1,0 +1,115 @@
+// opwat_lint — in-tree static analyzer for the project-specific
+// correctness rules that generic tooling cannot know about.  The repo's
+// load-bearing property is bit-identical determinism (parallel ≡
+// serial, vectorized ≡ reference, append ≡ full-save); these rules
+// statically defend it:
+//
+//   nondeterminism    banned wall-clock / libc-randomness sources in
+//                     src/ (std::rand & friends, std::random_device,
+//                     time(), std::chrono::system_clock) — randomness
+//                     flows through util::rng streams, time through
+//                     explicit inputs.
+//   unordered-iter    range-for over a std::unordered_{map,set,...}:
+//                     iteration order is unspecified, so any
+//                     accumulation that feeds merged / serialized /
+//                     displayed output silently becomes
+//                     order-dependent.  Annotate provably
+//                     order-insensitive loops (see below).
+//   float-compare     == / != against a floating-point literal; exact
+//                     comparisons are only rarely right (exact-zero
+//                     guards) and must say why.
+//   bare-assert       assert( in src/ compiles out in Release; use
+//                     OPWAT_ASSERT / OPWAT_INVARIANT
+//                     (opwat/util/contracts.hpp), which also cover
+//                     -DOPWAT_AUDIT=ON optimized builds.
+//   include-hygiene   headers start with #pragma once, no
+//                     parent-relative includes, src/ quoted includes
+//                     are rooted at opwat/ (plus the <cassert> ban,
+//                     reported under bare-assert).
+//
+// Per-line suppression: a comment of the shape shown below, naming the
+// allowed rule(s) with a required reason after the closing colon.  A
+// trailing comment suppresses its own line; a whole-line comment
+// suppresses the next line that holds code:
+//
+//   code();  // opwat-lint: allow(float-compare): exact sentinel check
+//   // opwat-lint: allow(unordered-iter): results are sorted below
+//   code();
+//
+// A suppression without a reason (or naming an unknown rule) is itself
+// a finding (rule "bad-suppression"), so every exception in the tree
+// carries a written justification.
+//
+// The analysis is lexical: comments, string/char literals and raw
+// strings are stripped with real tokenization, but there is no
+// preprocessor or type system.  Unordered-container variables are
+// recognized from their declarations in the same file plus the
+// companion header of a .cpp (and through `using X = ...unordered...`
+// aliases); a container smuggled through typedefs in a third header is
+// missed.  That trade keeps the tool dependency-free, fast enough to
+// run as a ctest, and false-positive-poor — the rules err toward
+// requiring an annotation over silently passing.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opwat::lint {
+
+/// Which tree a file belongs to — selects the active rule set.
+enum class file_kind {
+  source,   ///< src/ (and the library proper): every rule
+  tool,     ///< tools/: every rule (the linter lints itself)
+  test,     ///< tests/: determinism + hygiene rules, gtest asserts allowed
+  bench,    ///< bench/: timers allowed, hygiene + unordered-iter kept
+  example,  ///< examples/: same as bench
+  other,    ///< unknown location: hygiene rules only
+};
+
+/// Classifies by the nearest known path segment (src/tests/bench/
+/// examples/tools), so absolute and repo-relative paths agree.
+[[nodiscard]] file_kind classify(std::string_view path) noexcept;
+
+/// One rule violation.
+struct finding {
+  std::string file;
+  int line = 0;  ///< 1-based
+  std::string rule;
+  std::string message;
+
+  [[nodiscard]] bool operator==(const finding&) const = default;
+};
+
+/// Every rule id the tool can emit (suppression comments are validated
+/// against this list).
+[[nodiscard]] const std::vector<std::string>& rule_ids();
+
+/// Names of variables/members declared (directly or through a local
+/// `using` alias) with an unordered container type in `text` — exposed
+/// so a .cpp can be linted with its companion header's members seeded.
+[[nodiscard]] std::set<std::string> unordered_names(std::string_view text);
+
+/// Lints one file's contents.  `seeded_names` augments the
+/// unordered-container name set (typically unordered_names() of the
+/// companion header).
+[[nodiscard]] std::vector<finding> lint_source(
+    std::string_view path, std::string_view text,
+    const std::set<std::string>& seeded_names = {});
+
+/// A file handed to lint_files (path + contents, already read).
+struct file_input {
+  std::string path;
+  std::string text;
+};
+
+/// Lints a file set; a .cpp automatically inherits the unordered
+/// names of a same-stem .hpp/.h present in the set.  Findings come
+/// back sorted by (file, line, rule).
+[[nodiscard]] std::vector<finding> lint_files(const std::vector<file_input>& files);
+
+/// Machine-readable report: {"findings": [{file, line, rule, message}...]}.
+[[nodiscard]] std::string to_json(const std::vector<finding>& findings);
+
+}  // namespace opwat::lint

@@ -1,0 +1,123 @@
+// opwat_lint CLI — scans files / directories (recursively, *.cpp *.cc
+// *.hpp *.h; build trees skipped), prints findings as
+// "path:line: [rule] message", optionally writes the machine-readable
+// JSON report, and exits non-zero when the tree is not clean.
+//
+//   opwat_lint [--json <out.json>] [--quiet] <file-or-dir>...
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.  Registered as the
+// `lint_tree` ctest and run by the CI lint job over src/, tests/,
+// bench/, examples/ and tools/.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "opwat_lint/lint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+bool skipped_dir(const fs::path& p) {
+  const auto name = p.filename().string();
+  return name == "build" || name == ".git" || name.rfind("cmake-build", 0) == 0;
+}
+
+int usage() {
+  std::cerr << "usage: opwat_lint [--json <out.json>] [--quiet] <file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      if (++i >= argc) return usage();
+      json_path = argv[i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<fs::path> paths;
+  for (const auto& r : roots) {
+    std::error_code ec;
+    if (fs::is_directory(r, ec)) {
+      auto it = fs::recursive_directory_iterator(
+          r, fs::directory_options::skip_permission_denied, ec);
+      if (ec) {
+        std::cerr << "opwat_lint: cannot scan " << r << ": " << ec.message()
+                  << "\n";
+        return 2;
+      }
+      for (; it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_directory() && skipped_dir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable(it->path()))
+          paths.push_back(it->path());
+      }
+    } else if (fs::is_regular_file(r, ec)) {
+      paths.push_back(r);
+    } else {
+      std::cerr << "opwat_lint: no such file or directory: " << r << "\n";
+      return 2;
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<opwat::lint::file_input> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    std::ifstream f{p, std::ios::binary};
+    if (!f) {
+      std::cerr << "opwat_lint: cannot read " << p << "\n";
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    files.push_back({p.generic_string(), ss.str()});
+  }
+
+  const auto findings = opwat::lint::lint_files(files);
+  if (!quiet) {
+    for (const auto& f : findings)
+      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+    std::cout << "opwat_lint: " << findings.size() << " finding"
+              << (findings.size() == 1 ? "" : "s") << " in " << files.size()
+              << " files scanned\n";
+  }
+  if (!json_path.empty()) {
+    std::ofstream out{json_path, std::ios::trunc};
+    if (!out) {
+      std::cerr << "opwat_lint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << opwat::lint::to_json(findings);
+  }
+  return findings.empty() ? 0 : 1;
+}
