@@ -1,0 +1,447 @@
+// Loopback load harness for the portal server (ISSUE 7 tentpole): drives
+// opwat::portal::server with the deterministic portal::workload and
+// reports sustained QPS, p50/p99/p999 latency, shed-rate and cache
+// hit-rate — the serving-tier numbers behind the ROADMAP's "heavy
+// traffic from millions of users" north star.
+//
+// Two phases:
+//   closed loop   each client keeps a fixed window of pipelined requests
+//                 in flight; throughput-bound.  Latency is send→receive
+//                 per request id (responses arrive out of order under
+//                 the worker pool).
+//   open loop     requests fire on the workload's bursty arrival
+//                 schedule (gap_s); latency is measured from the
+//                 *scheduled* arrival, so queueing delay under bursts is
+//                 charged to the server (no coordinated omission).
+//
+// By default the server runs in-process on an ephemeral loopback port
+// over a three-epoch shared_catalog.  The CI load-smoke lane instead
+// points the harness at a live opwatd via
+//   OPWAT_PORTAL_CONNECT=host:port   (external server)
+//   OPWAT_PORTAL_SNAPSHOT=path       (.opwatc the server serves — the
+//                                     workload reads its shape from it)
+//
+// Knobs (env): OPWAT_PORTAL_CLIENTS, OPWAT_PORTAL_WORKERS,
+// OPWAT_PORTAL_WINDOW, OPWAT_PORTAL_DURATION_S, OPWAT_PORTAL_QPS
+// (open-loop target), OPWAT_BENCH_SCALE=tiny for the CI smoke shape.
+//
+// JSON schema (stable; consumed by tools/ci/bench_summary.py):
+//   {bench:"portal_load", scale, server, workers, clients, window,
+//    phases:[{mode, duration_s, requests, responses_ok, shed, errors,
+//             protocol_errors, qps, p50_us, p99_us, p999_us, max_us,
+//             target_qps}],
+//    server_stats:{...}, cache_hit_rate}
+#include "common.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "opwat/portal/client.hpp"
+#include "opwat/portal/server.hpp"
+#include "opwat/portal/workload.hpp"
+#include "opwat/serve/shared_catalog.hpp"
+#include "opwat/util/json.hpp"
+#include "opwat/util/latency.hpp"
+
+namespace {
+
+using opwat::util::fmt_double;
+using clock_t_ = std::chrono::steady_clock;
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atof(v) : fallback;
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v ? static_cast<std::size_t>(std::atoll(v)) : fallback;
+}
+
+bool tiny_scale() {
+  const char* scale = std::getenv("OPWAT_BENCH_SCALE");
+  return scale && std::string_view{scale} == "tiny";
+}
+
+struct phase_result {
+  std::string mode;
+  double duration_s = 0;    ///< configured measurement window
+  double elapsed_s = 0;     ///< actual wall time incl. final drain
+  double target_qps = 0;    ///< open loop only
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t errors = 0;          ///< non-ok, non-shed statuses
+  std::uint64_t protocol_errors = 0; ///< framing/encoding-level failures
+  opwat::util::latency_recorder lat;
+
+  [[nodiscard]] double qps() const {
+    const std::uint64_t done = ok + shed + errors;
+    return elapsed_s > 0 ? static_cast<double>(done) / elapsed_s : 0.0;
+  }
+  void merge(const phase_result& o) {
+    sent += o.sent;
+    ok += o.ok;
+    shed += o.shed;
+    errors += o.errors;
+    protocol_errors += o.protocol_errors;
+    lat.merge(o.lat);
+  }
+};
+
+/// Classifies one response into the phase counters.
+void account(phase_result& r, const opwat::portal::response& resp,
+             const std::unordered_map<std::uint32_t, clock_t_::time_point>& pending) {
+  using opwat::portal::portal_errc;
+  if (resp.status == portal_errc::ok) {
+    r.ok++;
+  } else if (resp.status == portal_errc::overloaded) {
+    r.shed++;
+  } else {
+    r.errors++;
+    if (resp.status == portal_errc::bad_version ||
+        resp.status == portal_errc::bad_frame ||
+        resp.status == portal_errc::truncated ||
+        resp.status == portal_errc::oversized ||
+        resp.status == portal_errc::internal)
+      r.protocol_errors++;
+  }
+  const auto it = pending.find(resp.id);
+  if (it != pending.end()) {
+    const auto dt = clock_t_::now() - it->second;
+    r.lat.record_ns(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+  }
+}
+
+/// One closed-loop client: keep `window` requests in flight until the
+/// deadline, then drain.  Request indices stride by n_clients from
+/// base + idx so client streams are disjoint and deterministic.
+phase_result closed_loop_client(const std::string& addr, std::uint16_t port,
+                                const opwat::portal::workload& wl,
+                                std::uint64_t base, std::size_t idx,
+                                std::size_t n_clients, std::size_t window,
+                                double duration_s, bool record) {
+  phase_result r;
+  opwat::portal::client c{addr, port};
+  std::unordered_map<std::uint32_t, clock_t_::time_point> pending;
+  pending.reserve(window * 2);
+  std::uint64_t i = base + idx;
+  const auto deadline =
+      clock_t_::now() + std::chrono::duration_cast<clock_t_::duration>(
+                            std::chrono::duration<double>(duration_s));
+  while (clock_t_::now() < deadline) {
+    while (pending.size() < window) {
+      auto req = wl.nth(i);
+      i += n_clients;
+      c.send(req);
+      pending.emplace(req.id, clock_t_::now());
+      r.sent++;
+    }
+    if (auto resp = c.receive(50)) {
+      account(r, *resp, pending);
+      pending.erase(resp->id);
+    }
+    while (auto resp = c.try_receive()) {
+      account(r, *resp, pending);
+      pending.erase(resp->id);
+    }
+  }
+  // Drain what is still in flight (graceful-drain guarantee: every
+  // admitted request gets its response).
+  while (!pending.empty()) {
+    auto resp = c.receive(2000);
+    if (!resp) break;  // server wedged — counted as missing below
+    account(r, *resp, pending);
+    pending.erase(resp->id);
+  }
+  r.protocol_errors += pending.size();  // never answered
+  (void)record;
+  return r;
+}
+
+/// One open-loop client: fire on the workload's arrival schedule.  The
+/// shared arrival stream is thinned across clients by scaling each gap
+/// by n_clients, approximating a split of one target_qps process.
+phase_result open_loop_client(const std::string& addr, std::uint16_t port,
+                              const opwat::portal::workload& wl,
+                              std::uint64_t base, std::size_t idx,
+                              std::size_t n_clients, double duration_s) {
+  phase_result r;
+  opwat::portal::client c{addr, port};
+  std::unordered_map<std::uint32_t, clock_t_::time_point> pending;
+  std::uint64_t i = base + idx;
+  const auto t0 = clock_t_::now();
+  const auto deadline =
+      t0 + std::chrono::duration_cast<clock_t_::duration>(
+               std::chrono::duration<double>(duration_s));
+  double t = 0.0;
+  while (true) {
+    t += wl.gap_s(i) * static_cast<double>(n_clients);
+    const auto due = t0 + std::chrono::duration_cast<clock_t_::duration>(
+                              std::chrono::duration<double>(t));
+    if (due > deadline) break;
+    // Wait for the scheduled instant, draining responses meanwhile.
+    while (clock_t_::now() < due) {
+      bool got = false;
+      while (auto resp = c.try_receive()) {
+        account(r, *resp, pending);
+        pending.erase(resp->id);
+        got = true;
+      }
+      if (!got && due - clock_t_::now() > std::chrono::microseconds{300})
+        std::this_thread::sleep_for(std::chrono::microseconds{100});
+    }
+    auto req = wl.nth(i);
+    i += n_clients;
+    c.send(req);
+    // Latency is charged from the scheduled arrival, not the actual
+    // send: a late send because the previous burst backed us up is the
+    // server's queueing delay, not omitted time.
+    pending.emplace(req.id, due);
+    r.sent++;
+    while (auto resp = c.try_receive()) {
+      account(r, *resp, pending);
+      pending.erase(resp->id);
+    }
+  }
+  while (!pending.empty()) {
+    auto resp = c.receive(2000);
+    if (!resp) break;
+    account(r, *resp, pending);
+    pending.erase(resp->id);
+  }
+  r.protocol_errors += pending.size();
+  return r;
+}
+
+template <class Fn>
+phase_result run_clients(std::size_t n_clients, Fn&& per_client) {
+  std::vector<phase_result> parts(n_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(n_clients);
+  const auto t0 = clock_t_::now();
+  for (std::size_t k = 0; k < n_clients; ++k)
+    threads.emplace_back([&, k] { parts[k] = per_client(k); });
+  for (auto& th : threads) th.join();
+  phase_result total;
+  for (const auto& p : parts) total.merge(p);
+  total.elapsed_s =
+      std::chrono::duration<double>(clock_t_::now() - t0).count();
+  return total;
+}
+
+/// Pulls the server's counter map via the stats op.
+std::unordered_map<std::string, std::uint64_t> fetch_stats(
+    const std::string& addr, std::uint16_t port) {
+  opwat::portal::client c{addr, port};
+  opwat::portal::request req;
+  req.op = opwat::portal::op_code::stats;
+  req.id = 1;
+  const auto resp = c.call(req);
+  std::unordered_map<std::string, std::uint64_t> out;
+  for (const auto& g : resp.groups) out.emplace(g.key, g.count);
+  return out;
+}
+
+void print_portal_load() {
+  using namespace opwat;
+  const bool tiny = tiny_scale();
+
+  // ---- target: in-process server, or an external opwatd ----
+  std::string addr = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string server_desc = "in-process";
+  std::unique_ptr<serve::shared_catalog> shared;
+  std::unique_ptr<portal::server> srv;
+  std::unique_ptr<portal::workload> wl;
+  const std::size_t workers = env_size("OPWAT_PORTAL_WORKERS", 2);
+
+  portal::workload_config wcfg;
+  wcfg.seed = 7;
+  wcfg.limit = tiny ? 20 : 50;
+  wcfg.target_qps = env_double("OPWAT_PORTAL_QPS", tiny ? 20000.0 : 40000.0);
+
+  if (const char* connect = std::getenv("OPWAT_PORTAL_CONNECT")) {
+    const std::string spec{connect};
+    const auto colon = spec.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "OPWAT_PORTAL_CONNECT must be host:port\n";
+      std::exit(2);
+    }
+    addr = spec.substr(0, colon);
+    port = static_cast<std::uint16_t>(std::stoi(spec.substr(colon + 1)));
+    server_desc = spec;
+    const char* snap = std::getenv("OPWAT_PORTAL_SNAPSHOT");
+    if (!snap) {
+      std::cerr << "OPWAT_PORTAL_CONNECT requires OPWAT_PORTAL_SNAPSHOT "
+                   "(the .opwatc the server serves) for workload shape\n";
+      std::exit(2);
+    }
+    const serve::catalog shape = serve::catalog::load(snap);
+    wl = std::make_unique<portal::workload>(shape, wcfg);
+  } else {
+    // Three identical epochs so diff / historical-epoch query shapes are
+    // exercised (diffs between identical epochs are cheap but run the
+    // full diff path).
+    shared = std::make_unique<serve::shared_catalog>();
+    const auto& s = benchx::shared_scenario();
+    const auto& pr = benchx::shared_pipeline();
+    shared->ingest(s.w, s.view, pr, "bench-2018-04");
+    shared->ingest(s.w, s.view, pr, "bench-2018-05");
+    shared->ingest(s.w, s.view, pr, "bench-2018-06");
+    portal::server_config scfg;
+    scfg.workers = workers;
+    srv = std::make_unique<portal::server>(*shared, scfg);
+    srv->start();
+    port = srv->port();
+    wl = std::make_unique<portal::workload>(*shared->snapshot(), wcfg);
+  }
+
+  const std::size_t clients = env_size("OPWAT_PORTAL_CLIENTS", 2);
+  const std::size_t window = env_size("OPWAT_PORTAL_WINDOW", 32);
+  const double duration_s =
+      env_double("OPWAT_PORTAL_DURATION_S", tiny ? 2.0 : 4.0);
+
+  // Warm-up (fills the result cache; not reported).
+  run_clients(1, [&](std::size_t k) {
+    return closed_loop_client(addr, port, *wl, 0, k, 1, window,
+                              std::min(0.5, duration_s / 4), false);
+  });
+
+  // Phase 1: closed loop (throughput).
+  phase_result closed = run_clients(clients, [&](std::size_t k) {
+    return closed_loop_client(addr, port, *wl, 10'000'000, k, clients, window,
+                              duration_s, true);
+  });
+  closed.mode = "closed_loop";
+  closed.duration_s = duration_s;
+
+  // Phase 2: open loop (bursty arrivals; shed behavior).
+  phase_result open = run_clients(clients, [&](std::size_t k) {
+    return open_loop_client(addr, port, *wl, 20'000'000, k, clients,
+                            duration_s);
+  });
+  open.mode = "open_loop";
+  open.duration_s = duration_s;
+  open.target_qps = wcfg.target_qps;
+
+  const auto stats = fetch_stats(addr, port);
+  const auto stat = [&](const char* k) -> std::uint64_t {
+    const auto it = stats.find(k);
+    return it == stats.end() ? 0 : it->second;
+  };
+  const std::uint64_t hits = stat("cache_hits");
+  const std::uint64_t misses = stat("cache_misses");
+  const double hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+
+  // ---- report ----
+  const auto us = [](std::uint64_t ns) {
+    return fmt_double(static_cast<double>(ns) / 1000.0, 1);
+  };
+  util::text_table t{"portal load (" + server_desc + ", " +
+                     std::to_string(clients) + " clients, window " +
+                     std::to_string(window) + ")"};
+  t.header({"phase", "requests", "qps", "p50 us", "p99 us", "p999 us",
+            "max us", "shed", "errors"});
+  for (const phase_result* p : {&closed, &open}) {
+    t.row({p->mode, std::to_string(p->sent), fmt_double(p->qps(), 0),
+           us(p->lat.p50_ns()), us(p->lat.p99_ns()), us(p->lat.p999_ns()),
+           us(p->lat.max_ns()), std::to_string(p->shed),
+           std::to_string(p->errors)});
+  }
+  t.footer("cache hit rate " + fmt_double(hit_rate * 100.0, 1) +
+           "%; open-loop target " + fmt_double(wcfg.target_qps, 0) + " qps");
+  t.print(std::cout);
+
+  util::json_writer w;
+  w.begin_object();
+  w.key("bench").value("portal_load");
+  w.key("scale").value(tiny ? "tiny" : "paper");
+  w.key("server").value(server_desc);
+  w.key("workers").value(static_cast<std::uint64_t>(workers));
+  w.key("clients").value(static_cast<std::uint64_t>(clients));
+  w.key("window").value(static_cast<std::uint64_t>(window));
+  w.key("phases").begin_array();
+  for (const phase_result* p : {&closed, &open}) {
+    w.begin_object();
+    w.key("mode").value(p->mode);
+    w.key("duration_s").value(p->duration_s);
+    w.key("target_qps").value(p->target_qps);
+    w.key("requests").value(p->sent);
+    w.key("responses_ok").value(p->ok);
+    w.key("shed").value(p->shed);
+    w.key("errors").value(p->errors);
+    w.key("protocol_errors").value(p->protocol_errors);
+    w.key("qps").value(p->qps());
+    w.key("p50_us").value(static_cast<double>(p->lat.p50_ns()) / 1000.0);
+    w.key("p99_us").value(static_cast<double>(p->lat.p99_ns()) / 1000.0);
+    w.key("p999_us").value(static_cast<double>(p->lat.p999_ns()) / 1000.0);
+    w.key("max_us").value(static_cast<double>(p->lat.max_ns()) / 1000.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("server_stats").begin_object();
+  for (const char* k :
+       {"connections_accepted", "connections_refused", "requests_admitted",
+        "responses_ok", "responses_error", "shed_queue_full", "shed_pipeline",
+        "protocol_errors", "cache_hits", "cache_misses", "catalog_version"})
+    w.key(k).value(stat(k));
+  w.end_object();
+  w.key("cache_hit_rate").value(hit_rate);
+  w.end_object();
+  std::cout << "\nJSON: " << w.str() << "\n";
+  if (const char* path = std::getenv("OPWAT_BENCH_JSON")) {
+    std::ofstream out{path};
+    out << w.str() << "\n";
+  }
+
+  if (srv) srv->stop();
+}
+
+// Micro-benchmarks on the protocol hot path (frame encode/decode and
+// cache-key derivation), timed by google-benchmark after the load run.
+void BM_request_roundtrip(benchmark::State& state) {
+  opwat::portal::request q;
+  q.op = opwat::portal::op_code::rtt_band;
+  q.id = 42;
+  q.epoch = "bench-2018-06";
+  q.rtt_lo_ms = 1.0;
+  q.rtt_hi_ms = 12.5;
+  q.ixp_id = 7;
+  for (auto _ : state) {
+    const auto frame = opwat::portal::encode_request(q);
+    const auto back = opwat::portal::decode_request(
+        std::string_view{frame}.substr(opwat::portal::k_frame_prefix_bytes));
+    benchmark::DoNotOptimize(back);
+  }
+}
+BENCHMARK(BM_request_roundtrip);
+
+void BM_cache_key(benchmark::State& state) {
+  opwat::portal::request q;
+  q.op = opwat::portal::op_code::group_by;
+  q.id = 42;
+  q.dim = opwat::portal::group_dim::cls;
+  q.ixp_id = 7;
+  for (auto _ : state) {
+    auto key = opwat::portal::cache_key(q);
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_cache_key);
+
+}  // namespace
+
+OPWAT_BENCH_MAIN(print_portal_load)

@@ -1,0 +1,169 @@
+// opwatd: the portal daemon — serves a catalog of peering inference
+// snapshots over the portal binary protocol (plus the HTTP/JSON debug
+// surface) until SIGINT/SIGTERM, then drains in-flight requests and
+// exits cleanly.  This is the process the CI load-smoke lane boots
+// against catalog_tiny.opwatc and the piece a deployment would run.
+//
+//   $ ./opwatd --gen small --port 9417            # synthetic catalog
+//   $ ./opwatd --load catalog.opwatc --port 9417  # serve a snapshot
+//   $ ./opwatd --gen small --save catalog.opwatc  # generate + persist
+//   $ curl http://127.0.0.1:9417/stats            # HTTP debug surface
+//
+// Prints "opwatd listening on ADDR:PORT" once ready (stdout, flushed) —
+// scripts wait for that line.  On SIGINT/SIGTERM it stops accepting,
+// drains every admitted request, joins all threads and prints the final
+// counter snapshot.
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/portal/server.hpp"
+#include "opwat/serve/shared_catalog.hpp"
+#include "opwat/serve/store.hpp"
+
+namespace {
+
+// Written by the signal handler, polled by the main loop.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void on_signal(int) { g_stop = 1; }
+
+void usage(std::ostream& os, const char* argv0) {
+  os << "usage: " << argv0
+     << " [--load FILE | --gen small|paper] [--save FILE]\n"
+        "       [--addr A] [--port N] [--workers N] [--seed N] [--help]\n"
+        "\n"
+        "  --load FILE    serve the epochs of a .opwatc snapshot\n"
+        "  --gen S        build a synthetic catalog instead: scenario\n"
+        "                 scale small (default) or paper\n"
+        "  --save FILE    after --gen, persist the catalog as .opwatc\n"
+        "  --addr A       bind address (default 127.0.0.1)\n"
+        "  --port N       bind port (default 9417; 0 = ephemeral)\n"
+        "  --workers N    query worker threads (default 2)\n"
+        "  --seed N       --gen scenario seed (default 42)\n"
+        "  --help         this text\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace opwat;
+
+  std::string load_path;
+  std::string save_path;
+  std::string gen_scale = "small";
+  bool gen = false;
+  portal::server_config cfg;
+  cfg.port = 9417;
+  std::uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage(std::cerr, argv[0]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--load") {
+      load_path = next();
+    } else if (arg == "--gen") {
+      gen = true;
+      gen_scale = next();
+    } else if (arg == "--save") {
+      save_path = next();
+    } else if (arg == "--addr") {
+      cfg.bind_addr = next();
+    } else if (arg == "--port") {
+      cfg.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--workers") {
+      cfg.workers = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout, argv[0]);
+      return 0;
+    } else {
+      usage(std::cerr, argv[0]);
+      return 2;
+    }
+  }
+  if (load_path.empty() && !gen) gen = true;  // default: synthetic small
+  if (!load_path.empty() && gen) {
+    std::cerr << argv[0] << ": --load and --gen are exclusive\n";
+    return 2;
+  }
+  if (gen && gen_scale != "small" && gen_scale != "paper") {
+    usage(std::cerr, argv[0]);
+    return 2;
+  }
+
+  serve::shared_catalog cat;
+  try {
+    if (!load_path.empty()) {
+      cat.load(load_path);
+      if (cat.snapshot()->epoch_count() == 0) {
+        std::cerr << argv[0] << ": " << load_path << " holds no epochs\n";
+        return 1;
+      }
+    } else {
+      eval::scenario_config scfg;
+      if (gen_scale == "small") {
+        scfg = eval::small_scenario_config(seed);
+      } else {
+        scfg = eval::default_scenario_config();
+        scfg.world.seed = seed;
+      }
+      const auto scenario = eval::scenario::build(scfg);
+      const auto result = scenario.run_inference();
+      cat.ingest(scenario.w, scenario.view, result, "2018-04");
+      if (!save_path.empty()) cat.save(save_path);
+    }
+  } catch (const serve::store_error& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  portal::server srv{cat, cfg};
+  try {
+    srv.start();
+  } catch (const net::socket_error& e) {
+    std::cerr << argv[0] << ": " << e.what() << "\n";
+    return 1;
+  }
+
+  struct sigaction sa {};
+  sa.sa_handler = on_signal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  {
+    const auto snap = cat.snapshot();
+    std::cout << "opwatd serving " << snap->epoch_count() << " epoch(s), "
+              << cfg.workers << " worker(s)\n";
+  }
+  std::cout << "opwatd listening on " << cfg.bind_addr << ":" << srv.port()
+            << std::endl;  // flushed: readiness line scripts wait for
+
+  while (!g_stop)
+    std::this_thread::sleep_for(std::chrono::milliseconds{50});
+
+  std::cout << "opwatd: signal received, draining\n";
+  srv.stop();  // graceful: every admitted request gets its response
+
+  const auto s = srv.stats();
+  std::cout << "opwatd: served ok=" << s.responses_ok
+            << " error=" << s.responses_error
+            << " shed=" << (s.shed_queue_full + s.shed_pipeline)
+            << " protocol_errors=" << s.protocol_errors
+            << " cache_hits=" << s.cache_hits << "/"
+            << (s.cache_hits + s.cache_misses)
+            << " connections=" << s.connections_accepted << "\n";
+  return 0;
+}

@@ -1,0 +1,188 @@
+#include "opwat/net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace opwat::net {
+
+namespace {
+
+[[noreturn]] void fail(const char* call) {
+  throw socket_error{std::string{call} + ": " + std::strerror(errno)};
+}
+
+sockaddr_in make_addr(const std::string& addr, std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (::inet_pton(AF_INET, addr.c_str(), &sa.sin_addr) != 1)
+    throw socket_error{"inet_pton: not a dotted-quad address: " + addr};
+  return sa;
+}
+
+}  // namespace
+
+void unique_fd::reset() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+unique_fd listen_tcp(const std::string& addr, std::uint16_t port, int backlog) {
+  unique_fd fd{::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0)};
+  if (!fd.valid()) fail("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0)
+    fail("setsockopt(SO_REUSEADDR)");
+  const sockaddr_in sa = make_addr(addr, port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0)
+    fail("bind");
+  if (::listen(fd.get(), backlog) != 0) fail("listen");
+  return fd;
+}
+
+unique_fd connect_tcp(const std::string& addr, std::uint16_t port) {
+  unique_fd fd{::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0)};
+  if (!fd.valid()) fail("socket");
+  const sockaddr_in sa = make_addr(addr, port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0)
+    fail("connect");
+  set_nodelay(fd.get());
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
+    fail("getsockname");
+  return ntohs(sa.sin_port);
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) fail("fcntl(F_GETFL)");
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) != 0) fail("fcntl(F_SETFL)");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one) != 0)
+    fail("setsockopt(TCP_NODELAY)");
+}
+
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, -1);
+      if (pr < 0 && errno != EINTR) fail("poll");
+      if (pr > 0 && (pfd.revents & (POLLERR | POLLHUP)) != 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
+    fail("send");
+  }
+  return true;
+}
+
+std::ptrdiff_t recv_some(int fd, std::span<char> buf) {
+  while (true) {
+    const auto n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    if (errno == ECONNRESET) return 0;  // peer vanished == EOF for us
+    fail("recv");
+  }
+}
+
+bool recv_exact(int fd, std::span<char> buf) {
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    const auto n = recv_some(fd, buf.subspan(off));
+    if (n == 0) return false;
+    if (n < 0) {
+      pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, -1) < 0 && errno != EINTR) fail("poll");
+      continue;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+epoll_io::epoll_io() : ep_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!ep_.valid()) fail("epoll_create1");
+}
+
+void epoll_io::add(int fd) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | EPOLLRDHUP;
+  ev.data.fd = fd;
+  if (::epoll_ctl(ep_.get(), EPOLL_CTL_ADD, fd, &ev) != 0) fail("epoll_ctl(ADD)");
+}
+
+void epoll_io::del(int fd) {
+  if (::epoll_ctl(ep_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0) fail("epoll_ctl(DEL)");
+}
+
+std::vector<io_event> epoll_io::wait(int timeout_ms) {
+  std::array<epoll_event, 64> evs{};
+  const int n = ::epoll_wait(ep_.get(), evs.data(), static_cast<int>(evs.size()),
+                             timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return {};
+    fail("epoll_wait");
+  }
+  std::vector<io_event> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    io_event e;
+    e.fd = evs[static_cast<std::size_t>(i)].data.fd;
+    const auto bits = evs[static_cast<std::size_t>(i)].events;
+    e.readable = (bits & EPOLLIN) != 0;
+    e.hangup = (bits & (EPOLLHUP | EPOLLERR | EPOLLRDHUP)) != 0;
+    out.push_back(e);
+  }
+  return out;
+}
+
+wakeup_pipe::wakeup_pipe() : efd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (!efd_.valid()) fail("eventfd");
+}
+
+void wakeup_pipe::signal() {
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the waiter; EAGAIN is fine.
+  if (::write(efd_.get(), &one, sizeof one) < 0 && errno != EAGAIN) fail("write(eventfd)");
+}
+
+void wakeup_pipe::drain() {
+  std::uint64_t v = 0;
+  while (::read(efd_.get(), &v, sizeof v) > 0) {
+  }
+}
+
+}  // namespace opwat::net

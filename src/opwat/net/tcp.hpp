@@ -1,0 +1,133 @@
+// Thin RAII layer over POSIX TCP sockets and epoll — just enough
+// plumbing for the portal server (opwat/portal/server.hpp) and its
+// loopback clients, kept separate so no networking syscall appears
+// inline in server logic.
+//
+// Everything here is mechanism, not policy: descriptors close
+// themselves, errors become typed net::socket_error (errno captured in
+// the message), and the epoll wrapper is a literal add/del/wait veneer.
+// Nothing in this header owns threads or buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace opwat::net {
+
+/// A socket / epoll syscall failed; what() carries the call name and
+/// strerror(errno) text.
+struct socket_error : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Owning file descriptor (close-on-destroy, move-only).
+class unique_fd {
+ public:
+  unique_fd() noexcept = default;
+  explicit unique_fd(int fd) noexcept : fd_(fd) {}
+  ~unique_fd() { reset(); }
+
+  unique_fd(unique_fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  unique_fd& operator=(unique_fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  unique_fd(const unique_fd&) = delete;
+  unique_fd& operator=(const unique_fd&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Closes the held descriptor (idempotent).
+  void reset() noexcept;
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to `addr:port` (dotted-quad
+/// only; port 0 picks an ephemeral port — read it back with
+/// local_port).  SO_REUSEADDR is set so a restart can rebind
+/// immediately.  Throws socket_error on any failure.
+[[nodiscard]] unique_fd listen_tcp(const std::string& addr, std::uint16_t port,
+                                   int backlog = 128);
+
+/// Blocking TCP connect to `addr:port` (dotted-quad).  Throws
+/// socket_error on failure.
+[[nodiscard]] unique_fd connect_tcp(const std::string& addr, std::uint16_t port);
+
+/// The locally bound port of a socket (the answer to "which ephemeral
+/// port did listen_tcp(_, 0) get?").
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Switches O_NONBLOCK on or off.
+void set_nonblocking(int fd, bool nonblocking);
+/// Disables Nagle (TCP_NODELAY) — small request/response frames must
+/// not wait for ACK coalescing.
+void set_nodelay(int fd);
+
+/// Writes the whole buffer, retrying short writes and EINTR, and
+/// poll()-waiting for writability on EAGAIN (works on blocking and
+/// nonblocking descriptors alike).  Returns false when the peer went
+/// away (EPIPE / ECONNRESET / poll hangup); throws socket_error on any
+/// other failure.
+bool send_all(int fd, std::string_view data);
+
+/// Reads up to `buf.size()` bytes once.  Returns the byte count, 0 on
+/// orderly EOF, -1 when the read would block (EAGAIN on a nonblocking
+/// descriptor); throws socket_error on any other failure, with
+/// ECONNRESET mapped to EOF rather than an error.
+[[nodiscard]] std::ptrdiff_t recv_some(int fd, std::span<char> buf);
+
+/// Blocks until exactly `buf.size()` bytes arrived.  Returns false on
+/// EOF before the buffer filled.
+[[nodiscard]] bool recv_exact(int fd, std::span<char> buf);
+
+/// One readiness event from epoll_io::wait.
+struct io_event {
+  int fd = -1;
+  bool readable = false;
+  bool hangup = false;  ///< EPOLLHUP / EPOLLERR / EPOLLRDHUP
+};
+
+/// Level-triggered epoll instance (read-interest only — the portal
+/// serializes writes per connection instead of registering write
+/// interest).
+class epoll_io {
+ public:
+  epoll_io();
+
+  void add(int fd);
+  void del(int fd);
+
+  /// Waits up to timeout_ms (-1 = forever) and returns the ready set.
+  [[nodiscard]] std::vector<io_event> wait(int timeout_ms);
+
+ private:
+  unique_fd ep_;
+};
+
+/// An eventfd used as a wakeup doorbell for an epoll loop: signal()
+/// makes the descriptor readable, drain() resets it.
+class wakeup_pipe {
+ public:
+  wakeup_pipe();
+  [[nodiscard]] int fd() const noexcept { return efd_.get(); }
+  void signal();
+  void drain();
+
+ private:
+  unique_fd efd_;
+};
+
+}  // namespace opwat::net

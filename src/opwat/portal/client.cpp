@@ -1,0 +1,74 @@
+#include "opwat/portal/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+
+namespace opwat::portal {
+
+client::client(const std::string& addr, std::uint16_t port)
+    : fd_(net::connect_tcp(addr, port)) {
+  net::set_nonblocking(fd_.get(), true);
+}
+
+void client::send(const request& r) {
+  if (!net::send_all(fd_.get(), encode_request(r)))
+    throw net::socket_error{"portal client: connection closed while sending"};
+}
+
+std::optional<response> client::extract() {
+  const auto total = frame_size(inbuf_);  // may throw oversized
+  if (!total || inbuf_.size() < *total) return std::nullopt;
+  const std::string_view payload{inbuf_.data() + k_frame_prefix_bytes,
+                                 *total - k_frame_prefix_bytes};
+  response r = decode_response(payload);
+  inbuf_.erase(0, *total);
+  return r;
+}
+
+std::optional<response> client::receive(int timeout_ms) {
+  std::array<char, 64 * 1024> buf;
+  while (true) {
+    if (auto r = extract()) return r;
+    const auto n = net::recv_some(fd_.get(), buf);
+    if (n > 0) {
+      inbuf_.append(buf.data(), static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0)
+      throw net::socket_error{"portal client: connection closed by server"};
+    pollfd pfd{fd_.get(), POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr == 0) return std::nullopt;  // timeout
+    if (pr < 0 && errno != EINTR)
+      throw net::socket_error{std::string{"poll: "} + std::strerror(errno)};
+  }
+}
+
+std::optional<response> client::try_receive() {
+  if (auto r = extract()) return r;
+  std::array<char, 64 * 1024> buf;
+  const auto n = net::recv_some(fd_.get(), buf);
+  if (n > 0) {
+    inbuf_.append(buf.data(), static_cast<std::size_t>(n));
+    return extract();
+  }
+  if (n == 0)
+    throw net::socket_error{"portal client: connection closed by server"};
+  return std::nullopt;  // would block
+}
+
+response client::call(const request& r) {
+  send(r);
+  auto resp = receive(-1);
+  // receive(-1) only returns without a value on timeout, which cannot
+  // happen with an infinite timeout.
+  return std::move(*resp);
+}
+
+void client::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+}  // namespace opwat::portal

@@ -1,0 +1,55 @@
+// Blocking / pipelined client for the portal's binary protocol — the
+// counterpart opwat_query, the load harness and the tests all drive.
+//
+// One client owns one TCP connection.  call() is the simple
+// request/response path; send() + receive()/try_receive() decouple the
+// two sides so a load generator can keep a window of requests in
+// flight (responses may arrive out of order under the server's worker
+// pool — correlate by request id).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "opwat/net/tcp.hpp"
+#include "opwat/portal/protocol.hpp"
+
+namespace opwat::portal {
+
+class client {
+ public:
+  /// Connects immediately; throws net::socket_error on failure.
+  client(const std::string& addr, std::uint16_t port);
+
+  /// Sends one request frame (blocks until fully written).  Throws
+  /// net::socket_error when the connection is gone.
+  void send(const request& r);
+
+  /// Receives the next response frame.  Blocks up to timeout_ms
+  /// (-1 = forever); nullopt on timeout.  Throws net::socket_error when
+  /// the server closed the connection, protocol_error on malformed
+  /// bytes.
+  [[nodiscard]] std::optional<response> receive(int timeout_ms = -1);
+
+  /// Non-blocking receive: a response if one is already buffered /
+  /// readable, nullopt otherwise.
+  [[nodiscard]] std::optional<response> try_receive();
+
+  /// send() + receive(): the one-outstanding-request convenience.
+  [[nodiscard]] response call(const request& r);
+
+  /// Half-closes the write side (the server drains what it admitted).
+  void shutdown_write();
+  void close() { fd_.reset(); }
+  [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+
+ private:
+  /// Decodes one complete frame out of inbuf_, if buffered.
+  [[nodiscard]] std::optional<response> extract();
+
+  net::unique_fd fd_;
+  std::string inbuf_;
+};
+
+}  // namespace opwat::portal

@@ -1,0 +1,326 @@
+#include "opwat/portal/protocol.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace opwat::portal {
+
+std::string_view to_string(portal_errc e) noexcept {
+  switch (e) {
+    case portal_errc::ok: return "ok";
+    case portal_errc::bad_version: return "bad-version";
+    case portal_errc::bad_frame: return "bad-frame";
+    case portal_errc::truncated: return "truncated";
+    case portal_errc::oversized: return "oversized";
+    case portal_errc::bad_request: return "bad-request";
+    case portal_errc::unknown_epoch: return "unknown-epoch";
+    case portal_errc::unknown_ixp: return "unknown-ixp";
+    case portal_errc::overloaded: return "overloaded";
+    case portal_errc::shutting_down: return "shutting-down";
+    case portal_errc::internal: return "internal";
+  }
+  return "?";
+}
+
+protocol_error::protocol_error(portal_errc kind, const std::string& msg)
+    : std::runtime_error("portal protocol error (" + std::string{to_string(kind)} +
+                         "): " + msg),
+      kind_(kind) {}
+
+namespace wire {
+
+void put_u8(std::string& out, std::uint8_t v) { out.push_back(static_cast<char>(v)); }
+
+void put_u16(std::string& out, std::uint16_t v) {
+  put_u8(out, static_cast<std::uint8_t>(v & 0xff));
+  put_u8(out, static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f64(std::string& out, double v) { put_u64(out, std::bit_cast<std::uint64_t>(v)); }
+
+void put_str(std::string& out, std::string_view s) {
+  if (s.size() > 0xffff)
+    throw protocol_error{portal_errc::bad_frame,
+                         "string field exceeds 65535 bytes"};
+  put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+const char* reader::take(std::size_t n) {
+  if (remaining() < n)
+    throw protocol_error{portal_errc::truncated,
+                         "payload ends inside a field"};
+  const char* p = data_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t reader::get_u8() {
+  return static_cast<std::uint8_t>(*take(1));
+}
+
+std::uint16_t reader::get_u16() {
+  const char* p = take(2);
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[0]) |
+                                    (std::uint16_t{static_cast<std::uint8_t>(p[1])}
+                                     << 8));
+}
+
+std::uint32_t reader::get_u32() {
+  const char* p = take(4);
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  return v;
+}
+
+std::uint64_t reader::get_u64() {
+  const char* p = take(8);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  return v;
+}
+
+double reader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string reader::get_str() {
+  const std::size_t n = get_u16();
+  const char* p = take(n);
+  return std::string{p, n};
+}
+
+}  // namespace wire
+
+namespace {
+
+enum class msg_kind : std::uint8_t { request = 0, response = 1 };
+
+/// Prepends the length prefix once the payload is assembled.
+std::string frame(std::string payload) {
+  if (payload.size() > k_max_payload_bytes)
+    throw protocol_error{portal_errc::oversized, "payload exceeds frame cap"};
+  std::string out;
+  out.reserve(k_frame_prefix_bytes + payload.size());
+  wire::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+void check_header(wire::reader& rd, msg_kind want) {
+  const auto version = rd.get_u8();
+  if (version != k_wire_version)
+    throw protocol_error{portal_errc::bad_version,
+                         "wire version " + std::to_string(version) +
+                             " (this build speaks " +
+                             std::to_string(k_wire_version) + ")"};
+  const auto kind = rd.get_u8();
+  if (kind != static_cast<std::uint8_t>(want))
+    throw protocol_error{portal_errc::bad_frame,
+                         "unexpected message kind " + std::to_string(kind)};
+}
+
+void check_drained(const wire::reader& rd) {
+  if (rd.remaining() != 0)
+    throw protocol_error{portal_errc::bad_frame,
+                         std::to_string(rd.remaining()) +
+                             " trailing payload bytes"};
+}
+
+}  // namespace
+
+std::string encode_request(const request& r) {
+  std::string p;
+  wire::put_u8(p, k_wire_version);
+  wire::put_u8(p, static_cast<std::uint8_t>(msg_kind::request));
+  wire::put_u32(p, r.id);
+  wire::put_u8(p, static_cast<std::uint8_t>(r.op));
+  wire::put_str(p, r.epoch);
+  wire::put_str(p, r.epoch_to);
+  wire::put_u32(p, r.ixp_id);
+  wire::put_u32(p, r.asn);
+  wire::put_f64(p, r.rtt_lo_ms);
+  wire::put_f64(p, r.rtt_hi_ms);
+  wire::put_u8(p, static_cast<std::uint8_t>(r.dim));
+  wire::put_u8(p, r.cls_filter);
+  wire::put_u32(p, r.limit);
+  return frame(std::move(p));
+}
+
+request decode_request(std::string_view payload) {
+  wire::reader rd{payload};
+  check_header(rd, msg_kind::request);
+  request r;
+  r.id = rd.get_u32();
+  const auto op = rd.get_u8();
+  if (op >= k_n_op_codes)
+    throw protocol_error{portal_errc::bad_frame,
+                         "unknown opcode " + std::to_string(op)};
+  r.op = static_cast<op_code>(op);
+  r.epoch = rd.get_str();
+  r.epoch_to = rd.get_str();
+  r.ixp_id = rd.get_u32();
+  r.asn = rd.get_u32();
+  r.rtt_lo_ms = rd.get_f64();
+  r.rtt_hi_ms = rd.get_f64();
+  const auto dim = rd.get_u8();
+  if (dim >= k_n_group_dims)
+    throw protocol_error{portal_errc::bad_frame,
+                         "unknown group dimension " + std::to_string(dim)};
+  r.dim = static_cast<group_dim>(dim);
+  r.cls_filter = rd.get_u8();
+  r.limit = rd.get_u32();
+  check_drained(rd);
+  return r;
+}
+
+std::string encode_response(const response& r) {
+  std::string p;
+  wire::put_u8(p, k_wire_version);
+  wire::put_u8(p, static_cast<std::uint8_t>(msg_kind::response));
+  wire::put_u32(p, r.id);
+  wire::put_u8(p, static_cast<std::uint8_t>(r.status));
+  wire::put_u8(p, r.cache_hit ? 1 : 0);
+  wire::put_str(p, r.epoch);
+  wire::put_str(p, r.message);
+  wire::put_u64(p, r.total);
+  wire::put_u32(p, static_cast<std::uint32_t>(r.rows.size()));
+  for (const auto& row : r.rows) {
+    wire::put_u32(p, row.ip);
+    wire::put_u32(p, row.ixp);
+    wire::put_u32(p, row.asn);
+    wire::put_u8(p, row.cls);
+    wire::put_u8(p, row.step);
+    wire::put_f64(p, row.rtt_ms);
+  }
+  wire::put_u32(p, static_cast<std::uint32_t>(r.groups.size()));
+  for (const auto& g : r.groups) {
+    wire::put_str(p, g.key);
+    wire::put_u64(p, g.count);
+  }
+  wire::put_u64(p, r.appeared);
+  wire::put_u64(p, r.disappeared);
+  wire::put_u64(p, r.reclassified);
+  wire::put_u32(p, static_cast<std::uint32_t>(r.labels.size()));
+  for (const auto& l : r.labels) wire::put_str(p, l);
+  return frame(std::move(p));
+}
+
+response decode_response(std::string_view payload) {
+  wire::reader rd{payload};
+  check_header(rd, msg_kind::response);
+  response r;
+  r.id = rd.get_u32();
+  const auto status = rd.get_u8();
+  if (status > static_cast<std::uint8_t>(portal_errc::internal))
+    throw protocol_error{portal_errc::bad_frame,
+                         "unknown status " + std::to_string(status)};
+  r.status = static_cast<portal_errc>(status);
+  r.cache_hit = rd.get_u8() != 0;
+  r.epoch = rd.get_str();
+  r.message = rd.get_str();
+  r.total = rd.get_u64();
+  const auto n_rows = rd.get_u32();
+  // A count field larger than the bytes that could back it is caught
+  // here instead of by a giant allocation.
+  if (std::size_t{n_rows} * 22 > rd.remaining())
+    throw protocol_error{portal_errc::truncated, "row count exceeds payload"};
+  r.rows.reserve(n_rows);
+  for (std::uint32_t i = 0; i < n_rows; ++i) {
+    row_record row;
+    row.ip = rd.get_u32();
+    row.ixp = rd.get_u32();
+    row.asn = rd.get_u32();
+    row.cls = rd.get_u8();
+    row.step = rd.get_u8();
+    row.rtt_ms = rd.get_f64();
+    r.rows.push_back(row);
+  }
+  const auto n_groups = rd.get_u32();
+  if (std::size_t{n_groups} * 10 > rd.remaining())
+    throw protocol_error{portal_errc::truncated, "group count exceeds payload"};
+  r.groups.reserve(n_groups);
+  for (std::uint32_t i = 0; i < n_groups; ++i) {
+    group_record g;
+    g.key = rd.get_str();
+    g.count = rd.get_u64();
+    r.groups.push_back(std::move(g));
+  }
+  r.appeared = rd.get_u64();
+  r.disappeared = rd.get_u64();
+  r.reclassified = rd.get_u64();
+  const auto n_labels = rd.get_u32();
+  if (std::size_t{n_labels} * 2 > rd.remaining())
+    throw protocol_error{portal_errc::truncated, "label count exceeds payload"};
+  r.labels.reserve(n_labels);
+  for (std::uint32_t i = 0; i < n_labels; ++i) r.labels.push_back(rd.get_str());
+  check_drained(rd);
+  return r;
+}
+
+std::optional<std::size_t> frame_size(std::string_view buffered) {
+  if (buffered.size() < k_frame_prefix_bytes) return std::nullopt;
+  wire::reader rd{buffered};
+  const auto len = rd.get_u32();
+  if (len > k_max_payload_bytes)
+    throw protocol_error{portal_errc::oversized,
+                         "frame payload of " + std::to_string(len) +
+                             " bytes exceeds the " +
+                             std::to_string(k_max_payload_bytes) + "-byte cap"};
+  return k_frame_prefix_bytes + len;
+}
+
+std::string cache_key(const request& r) {
+  // Normalize: keep exactly the fields the op's executor reads, reset
+  // the rest, zero the id — two requests with identical semantics yield
+  // identical bytes.
+  request n;
+  n.op = r.op;
+  n.limit = r.limit;
+  switch (r.op) {
+    case op_code::ping:
+    case op_code::stats:
+      n.limit = 0;
+      break;
+    case op_code::epochs:
+      n.limit = 0;
+      break;
+    case op_code::member:
+      n.epoch = r.epoch;
+      n.ixp_id = r.ixp_id;
+      n.asn = r.asn;
+      break;
+    case op_code::rtt_band:
+      n.epoch = r.epoch;
+      n.ixp_id = r.ixp_id;
+      n.rtt_lo_ms = r.rtt_lo_ms;
+      n.rtt_hi_ms = r.rtt_hi_ms;
+      break;
+    case op_code::group_by:
+      n.epoch = r.epoch;
+      n.ixp_id = r.ixp_id;
+      n.dim = r.dim;
+      n.cls_filter = r.cls_filter;
+      break;
+    case op_code::diff:
+      n.epoch = r.epoch;
+      n.epoch_to = r.epoch_to;
+      n.limit = 0;
+      break;
+  }
+  // The frame prefix is constant-length, so the framed bytes are as
+  // canonical as the payload; reuse the encoder directly.
+  return encode_request(n);
+}
+
+}  // namespace opwat::portal

@@ -1,0 +1,207 @@
+// Wire protocol of the opwat portal (§9): a small length-prefixed
+// binary framing carrying typed query requests and responses between
+// `opwat_query` / the load harness and `opwatd` (opwat/portal/server.hpp).
+//
+// Frame:    payload_len u32 (little-endian) | payload
+// Payload:  wire version u8 | message kind u8 (request / response) |
+//           request id u32 | fixed field block (+ two length-prefixed
+//           strings) — the exact layouts are in the encode/decode
+//           functions below; every multi-byte integer is little-endian
+//           and floats travel as IEEE-754 bit patterns.
+//
+// Error philosophy mirrors the snapshot store (opwat/serve/store.hpp):
+// every malformed input raises the typed `protocol_error` below — a
+// truncated payload, an oversized length prefix, an unknown opcode or
+// enum value are all distinct `portal_errc` kinds, never UB and never a
+// silent best-effort parse.  The server turns decode failures into
+// error responses carrying the same errc, so a misbehaving client sees
+// *what* it sent wrong; `overloaded` and `shutting_down` are ordinary
+// typed responses, which is what makes load-shedding observable (and
+// testable) instead of a hang.
+//
+// Requests are a closed set of portal query shapes over the catalog
+// (member lookup, RTT band, group-by, epoch diff) plus introspection
+// (ping, server stats, epoch labels).  One struct carries every shape;
+// fields irrelevant to an op are ignored by the executor and zeroed by
+// cache_key(), which produces the canonical bytes used as the server's
+// result-cache key ("normalized query").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opwat::portal {
+
+/// Why a frame / payload could not be handled.  Values are wire-stable:
+/// they travel as the response status byte.
+enum class portal_errc : std::uint8_t {
+  ok = 0,
+  bad_version,    ///< wire version this build does not speak
+  bad_frame,      ///< payload malformed (unknown kind / opcode / enum)
+  truncated,      ///< payload ends inside a field
+  oversized,      ///< length prefix exceeds k_max_payload_bytes
+  bad_request,    ///< fields valid but semantically impossible (NaN band…)
+  unknown_epoch,  ///< epoch label not in the served catalog
+  unknown_ixp,    ///< IXP id not in the served catalog
+  overloaded,     ///< admission control shed this request (retry later)
+  shutting_down,  ///< server is draining; connection closes after this
+  internal,       ///< unexpected server-side failure
+};
+
+[[nodiscard]] std::string_view to_string(portal_errc e) noexcept;
+
+/// Typed decode error; kind() is the errc the server echoes back.
+class protocol_error : public std::runtime_error {
+ public:
+  protocol_error(portal_errc kind, const std::string& msg);
+  [[nodiscard]] portal_errc kind() const noexcept { return kind_; }
+
+ private:
+  portal_errc kind_;
+};
+
+inline constexpr std::uint8_t k_wire_version = 1;
+/// Hard cap on a frame payload; a length prefix beyond this is
+/// `oversized` (it also cleanly rejects accidental HTTP/TLS bytes).
+inline constexpr std::size_t k_max_payload_bytes = std::size_t{1} << 20;
+inline constexpr std::size_t k_frame_prefix_bytes = 4;
+
+/// The portal query shapes.
+enum class op_code : std::uint8_t {
+  ping = 0,      ///< liveness no-op, echoes the id
+  member = 1,    ///< rows of one member ASN (optionally at one IXP)
+  rtt_band = 2,  ///< rows with lo <= RTT <= hi, RTT-sorted
+  group_by = 3,  ///< group counts by `dim` (optional class filter)
+  diff = 4,      ///< appeared/disappeared/reclassified between two epochs
+  stats = 5,     ///< server counters as key/value groups
+  epochs = 6,    ///< served epoch labels
+};
+inline constexpr std::uint8_t k_n_op_codes = 7;
+
+/// Group-by dimension for op_code::group_by.
+enum class group_dim : std::uint8_t { ixp = 0, asn = 1, metro = 2, cls = 3, step = 4 };
+inline constexpr std::uint8_t k_n_group_dims = 5;
+
+inline constexpr std::uint32_t k_no_ixp_filter = 0xffffffffu;
+inline constexpr std::uint8_t k_no_cls_filter = 0xff;
+
+/// One request; fields beyond an op's shape are ignored (and zeroed in
+/// the cache key).  `epoch` empty selects the latest published epoch.
+struct request {
+  op_code op = op_code::ping;
+  std::uint32_t id = 0;
+  std::string epoch;     ///< "" = latest
+  std::string epoch_to;  ///< diff only
+  std::uint32_t ixp_id = k_no_ixp_filter;  ///< world IXP id filter
+  std::uint32_t asn = 0;                   ///< member op
+  double rtt_lo_ms = 0.0;                  ///< rtt_band op
+  double rtt_hi_ms = 0.0;
+  group_dim dim = group_dim::ixp;               ///< group_by op
+  std::uint8_t cls_filter = k_no_cls_filter;    ///< group_by op
+  std::uint32_t limit = 100;                    ///< row / group cap
+
+  [[nodiscard]] bool operator==(const request&) const = default;
+};
+
+/// One materialized member row on the wire.
+struct row_record {
+  std::uint32_t ip = 0;       ///< IPv4, host byte order
+  std::uint32_t ixp = 0;      ///< world IXP id
+  std::uint32_t asn = 0;
+  std::uint8_t cls = 0;       ///< infer::peering_class
+  std::uint8_t step = 0;      ///< infer::method_step
+  double rtt_ms = 0.0;        ///< NaN when unmeasured
+
+  [[nodiscard]] bool operator==(const row_record&) const = default;
+};
+
+/// One group-count (also reused as the stats op's key/value pair).
+struct group_record {
+  std::string key;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] bool operator==(const group_record&) const = default;
+};
+
+/// One response; which payload fields are populated depends on the op —
+/// unpopulated ones encode as empty/zero.
+struct response {
+  portal_errc status = portal_errc::ok;
+  std::uint32_t id = 0;
+  bool cache_hit = false;
+  std::string epoch;    ///< resolved epoch label ("" for ping/stats)
+  std::string message;  ///< error detail when status != ok
+  std::uint64_t total = 0;  ///< matching count before `limit`
+  std::vector<row_record> rows;
+  std::vector<group_record> groups;
+  std::uint64_t appeared = 0;  ///< diff op
+  std::uint64_t disappeared = 0;
+  std::uint64_t reclassified = 0;
+  std::vector<std::string> labels;  ///< epochs op
+
+  [[nodiscard]] bool operator==(const response&) const = default;
+};
+
+/// Encodes a full frame (length prefix included).
+[[nodiscard]] std::string encode_request(const request& r);
+[[nodiscard]] std::string encode_response(const response& r);
+
+/// Decodes a frame payload (the bytes AFTER the length prefix).  Throws
+/// protocol_error on any malformation; trailing garbage is bad_frame.
+[[nodiscard]] request decode_request(std::string_view payload);
+[[nodiscard]] response decode_response(std::string_view payload);
+
+/// Total frame size (prefix + payload) once the length prefix is
+/// readable; std::nullopt while fewer than 4 bytes are buffered.
+/// Throws protocol_error{oversized} when the prefix exceeds
+/// k_max_payload_bytes.
+[[nodiscard]] std::optional<std::size_t> frame_size(std::string_view buffered);
+
+/// Canonical cache-key bytes of a request: id zeroed, fields outside
+/// the op's shape reset to defaults.  Two requests that must return the
+/// same payload produce identical keys.  The server keys its result
+/// cache on this AFTER resolving an empty epoch to the concrete latest
+/// label, so "latest" entries invalidate naturally on publish.
+[[nodiscard]] std::string cache_key(const request& r);
+
+namespace wire {
+
+// Little-endian primitive append/read helpers, exposed so tests can
+// build malformed payloads surgically.
+void put_u8(std::string& out, std::uint8_t v);
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+void put_f64(std::string& out, double v);
+/// u16 length + bytes; throws protocol_error{bad_frame} beyond 65535.
+void put_str(std::string& out, std::string_view s);
+
+/// Checked sequential reader over a payload; every get throws
+/// protocol_error{truncated} when the remaining bytes are short.
+class reader {
+ public:
+  explicit reader(std::string_view data) : data_(data) {}
+
+  [[nodiscard]] std::uint8_t get_u8();
+  [[nodiscard]] std::uint16_t get_u16();
+  [[nodiscard]] std::uint32_t get_u32();
+  [[nodiscard]] std::uint64_t get_u64();
+  [[nodiscard]] double get_f64();
+  [[nodiscard]] std::string get_str();
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+ private:
+  [[nodiscard]] const char* take(std::size_t n);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace wire
+
+}  // namespace opwat::portal

@@ -1,0 +1,120 @@
+#include "opwat/portal/workload.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace opwat::portal {
+
+workload::workload(const serve::catalog& cat, workload_config cfg)
+    : cfg_(cfg), root_(cfg.seed) {
+  // IXP popularity ranks: the dictionary order shuffled by the seed, so
+  // different seeds make different IXPs "hot" while one seed is stable.
+  ixps_by_popularity_.reserve(cat.ixps().size());
+  for (const auto& e : cat.ixps()) ixps_by_popularity_.push_back(e.id);
+  auto shuffle_rng = root_.fork("ixp-popularity");
+  shuffle_rng.shuffle(ixps_by_popularity_);
+
+  labels_ = cat.labels();
+
+  // ASN pool: every distinct member ASN of the latest epoch (capped by
+  // stride-sampling, not truncation, so the pool spans the whole
+  // range).  Queries for these mostly hit real rows; a small slice of
+  // misses is added by nth() itself.
+  if (cat.epoch_count() > 0) {
+    const auto& ep = cat.at(static_cast<serve::epoch_id>(cat.epoch_count() - 1));
+    std::vector<std::uint32_t> asns = ep.asn_col();
+    std::sort(asns.begin(), asns.end());
+    asns.erase(std::unique(asns.begin(), asns.end()), asns.end());
+    constexpr std::size_t k_pool_cap = 4096;
+    const std::size_t stride = std::max<std::size_t>(1, asns.size() / k_pool_cap);
+    for (std::size_t i = 0; i < asns.size(); i += stride)
+      asn_pool_.push_back(asns[i]);
+  }
+}
+
+request workload::nth(std::uint64_t i) const {
+  auto r = root_.stream("req", i);
+  request q;
+  q.id = static_cast<std::uint32_t>(i);
+  q.limit = cfg_.limit;
+
+  // Epoch: mostly the latest (sent as "", the protocol's latest
+  // selector, so the stream stays valid as new epochs publish), with a
+  // configurable tail of explicit historical labels.
+  const bool old_epoch = !labels_.empty() && r.bernoulli(cfg_.old_epoch_p);
+  if (old_epoch) {
+    const auto j = static_cast<std::size_t>(
+        r.uniform_int(0, static_cast<std::int64_t>(labels_.size()) - 1));
+    q.epoch = labels_[j];
+  }
+
+  const auto pick_ixp = [&]() -> std::uint32_t {
+    if (ixps_by_popularity_.empty()) return k_no_ixp_filter;
+    const auto rank = static_cast<std::size_t>(
+        r.zipf(static_cast<std::int64_t>(ixps_by_popularity_.size()), cfg_.zipf_s));
+    return ixps_by_popularity_[rank - 1];  // zipf is 1-based
+  };
+
+  const std::array<double, 4> weights{cfg_.member_weight, cfg_.rtt_band_weight,
+                                      cfg_.group_by_weight, cfg_.diff_weight};
+  switch (r.weighted_index(weights)) {
+    case 0: {  // member
+      q.op = op_code::member;
+      if (!asn_pool_.empty() && r.bernoulli(0.95)) {
+        const auto j = static_cast<std::size_t>(
+            r.uniform_int(0, static_cast<std::int64_t>(asn_pool_.size()) - 1));
+        q.asn = asn_pool_[j];
+      } else {
+        // A miss slice: ASNs beyond the simulated range return empty.
+        q.asn = static_cast<std::uint32_t>(r.uniform_int(900000, 999999));
+      }
+      if (r.bernoulli(0.5)) q.ixp_id = pick_ixp();
+      break;
+    }
+    case 1: {  // rtt_band
+      q.op = op_code::rtt_band;
+      q.rtt_lo_ms = r.uniform(0.0, 40.0);
+      q.rtt_hi_ms = q.rtt_lo_ms + r.uniform(1.0, 20.0);
+      if (r.bernoulli(0.7)) q.ixp_id = pick_ixp();
+      break;
+    }
+    case 2: {  // group_by
+      q.op = op_code::group_by;
+      q.dim = static_cast<group_dim>(r.uniform_int(0, k_n_group_dims - 1));
+      if (r.bernoulli(0.3))
+        q.cls_filter = static_cast<std::uint8_t>(r.uniform_int(0, 2));
+      if (q.dim != group_dim::ixp && r.bernoulli(0.3)) q.ixp_id = pick_ixp();
+      break;
+    }
+    default: {  // diff: adjacent epoch pair, the longitudinal view
+      q.op = op_code::diff;
+      if (labels_.size() >= 2) {
+        const auto j = static_cast<std::size_t>(
+            r.uniform_int(0, static_cast<std::int64_t>(labels_.size()) - 2));
+        q.epoch = labels_[j];
+        q.epoch_to = labels_[j + 1];
+      } else {
+        // Degenerate single-epoch catalog: diff latest against itself.
+        q.epoch.clear();
+        q.epoch_to.clear();
+      }
+      break;
+    }
+  }
+  return q;
+}
+
+double workload::gap_s(std::uint64_t i) const {
+  if (cfg_.target_qps <= 0.0) return 0.0;
+  // Per-block intensity: block b of 64 requests runs at
+  // target_qps * exp(normal(0, burstiness)) — bursts and lulls on a
+  // ~block timescale, smooth Poisson within a block.
+  constexpr std::uint64_t k_block = 64;
+  auto block_rng = root_.stream("burst", i / k_block);
+  const double intensity = std::exp(block_rng.normal(0.0, cfg_.burstiness));
+  auto gap_rng = root_.stream("gap", i);
+  return gap_rng.exponential(1.0 / (cfg_.target_qps * intensity));
+}
+
+}  // namespace opwat::portal

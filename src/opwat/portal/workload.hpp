@@ -1,0 +1,80 @@
+// Deterministic synthetic portal workload — the "millions of users"
+// stand-in the load harness (bench/bench_portal_load.cpp) replays
+// against opwatd.
+//
+// Modeled on the synthetic netflow generators of the SAM streaming
+// analytics repo (SNIPPETS.md Snippet 2), with the project's
+// determinism discipline instead of libc rand(): every request is
+// derived from util::rng streams keyed by (seed, request index), so
+// request i has the same bytes no matter which thread generates it, in
+// what order, or how many exist — the property the workload-determinism
+// test pins (same seed ⇒ byte-identical request stream).
+//
+// Shape mix: member lookups, RTT-band scans, group-bys and epoch diffs
+// in configurable proportions.  IXP popularity is zipfian over a
+// seed-shuffled rank order (a handful of IXPs absorb most queries, like
+// real portal traffic), epochs skew to the latest snapshot, and member
+// ASNs are drawn from the catalog's own dictionary so most queries hit
+// real rows.
+//
+// Arrival process (open loop): inter-arrival gaps are exponential at a
+// per-block modulated rate — each block of 64 requests draws a
+// log-normal intensity multiplier, so traffic arrives in bursts rather
+// than a perfectly smooth Poisson stream.  gap_s(i) is deterministic
+// per index; closed-loop harnesses simply ignore it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opwat/portal/protocol.hpp"
+#include "opwat/serve/catalog.hpp"
+#include "opwat/util/rng.hpp"
+
+namespace opwat::portal {
+
+struct workload_config {
+  std::uint64_t seed = 1;
+  /// Relative shape mix (need not sum to 1).
+  double member_weight = 0.45;
+  double rtt_band_weight = 0.25;
+  double group_by_weight = 0.20;
+  double diff_weight = 0.10;
+  /// Zipf exponent of IXP popularity (higher = more skew).
+  double zipf_s = 1.1;
+  /// Probability a query names an explicit (non-latest) epoch.
+  double old_epoch_p = 0.2;
+  /// Row / group cap each request asks for.
+  std::uint32_t limit = 50;
+  /// Open-loop target arrival rate and burstiness (log-normal sigma of
+  /// the per-block intensity multiplier; 0 = smooth Poisson).
+  double target_qps = 10000.0;
+  double burstiness = 0.7;
+};
+
+class workload {
+ public:
+  /// Captures the catalog's shape (IXP ids, ASN pool, epoch labels).
+  /// The catalog is only read during construction — a snapshot from
+  /// shared_catalog works and need not outlive the workload.
+  workload(const serve::catalog& cat, workload_config cfg);
+
+  /// The i-th request of the stream (deterministic, thread-safe).
+  [[nodiscard]] request nth(std::uint64_t i) const;
+
+  /// Open-loop inter-arrival gap before request i, in seconds
+  /// (deterministic, thread-safe).  Sum gaps for the absolute schedule.
+  [[nodiscard]] double gap_s(std::uint64_t i) const;
+
+  [[nodiscard]] const workload_config& config() const noexcept { return cfg_; }
+
+ private:
+  workload_config cfg_;
+  util::rng root_;
+  std::vector<std::uint32_t> ixps_by_popularity_;  ///< world ids, rank order
+  std::vector<std::uint32_t> asn_pool_;
+  std::vector<std::string> labels_;
+};
+
+}  // namespace opwat::portal

@@ -16,8 +16,19 @@ std::shared_ptr<const catalog> shared_catalog::snapshot() const {
 }
 
 void shared_catalog::publish(std::shared_ptr<const catalog> next) {
-  const std::unique_lock<std::shared_mutex> lock{ptr_lock_};
-  current_ = std::move(next);
+  {
+    const std::unique_lock<std::shared_mutex> lock{ptr_lock_};
+    current_ = std::move(next);
+  }
+  // Callers hold writer_, which also guards on_publish_; the hook runs
+  // outside ptr_lock_ so it can take snapshots without deadlocking.
+  const auto v = version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (on_publish_) on_publish_(v);
+}
+
+void shared_catalog::set_publish_hook(std::function<void(std::uint64_t)> hook) {
+  const std::lock_guard<std::mutex> writer{writer_};
+  on_publish_ = std::move(hook);
 }
 
 template <typename Fn>

@@ -36,6 +36,9 @@
 // prepares the next catalog copy.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -78,6 +81,23 @@ class shared_catalog {
   /// snapshot() for consistent multi-step reads).
   [[nodiscard]] std::size_t epoch_count() const;
 
+  /// Monotone publish counter: 0 at construction, incremented by every
+  /// successful publish (ingest / load / merge_from / clear).  A cache
+  /// keyed on query bytes can tag entries with the version they were
+  /// computed against and treat any mismatch as stale — the portal
+  /// server's result cache does exactly that.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Registers the hook invoked after every publish with the new
+  /// version number (replacing any previous hook; empty to unregister).
+  /// The hook runs on the publishing thread AFTER the swap — a
+  /// snapshot() taken inside it sees the new catalog — and outside the
+  /// pointer lock, so it may take snapshots and locks freely but must
+  /// not publish (that would self-deadlock on the writer mutex).
+  void set_publish_hook(std::function<void(std::uint64_t)> hook);
+
  private:
   /// Copy-mutate-publish: runs `fn(catalog&)` on a private copy of the
   /// current catalog under the writer lock, then swaps it in.
@@ -88,6 +108,10 @@ class shared_catalog {
   mutable std::shared_mutex ptr_lock_;  ///< guards ONLY the pointer swap/copy
   std::shared_ptr<const catalog> current_;
   std::mutex writer_;  ///< serializes copy-mutate-publish cycles
+  std::atomic<std::uint64_t> version_{0};
+  /// Publish hook; read/written only under writer_ (every publish path
+  /// holds it), so no separate synchronization is needed.
+  std::function<void(std::uint64_t)> on_publish_;
 };
 
 }  // namespace opwat::serve

@@ -1,0 +1,97 @@
+// A bounded multi-producer / multi-consumer queue with explicit
+// close-and-drain semantics — the admission buffer between the portal
+// server's network acceptor and its worker pool.
+//
+// The server's overload contract (opwat/portal/server.hpp) is built on
+// try_push: when the queue is full the acceptor does NOT block the
+// event loop and does NOT drop the request silently — try_push fails
+// immediately and the caller sheds load with a typed `overloaded`
+// response.  Consumers block in pop() until an item arrives or the
+// queue is closed; after close() every item still queued is drained
+// before pop() starts returning nullopt, which is exactly the graceful
+// shutdown story ("finish what was admitted, admit nothing new").
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace opwat::util {
+
+template <typename T>
+class bounded_queue {
+ public:
+  /// A queue admitting at most `capacity` queued items (capacity 0 is
+  /// legal and sheds every try_push — the degenerate test configuration).
+  explicit bounded_queue(std::size_t capacity) : capacity_(capacity) {}
+
+  bounded_queue(const bounded_queue&) = delete;
+  bounded_queue& operator=(const bounded_queue&) = delete;
+
+  /// Enqueues without blocking.  Returns false — and leaves `v` moved-from
+  /// only on success — when the queue is full or closed.
+  [[nodiscard]] bool try_push(T v) {
+    {
+      const std::lock_guard<std::mutex> lock{m_};
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(v));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Dequeues one item, blocking while the queue is open and empty.
+  /// After close(), remaining items are still handed out in FIFO order;
+  /// nullopt means closed AND fully drained (the consumer's exit signal).
+  [[nodiscard]] std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock{m_};
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Non-blocking dequeue; nullopt when nothing is queued right now.
+  [[nodiscard]] std::optional<T> try_pop() {
+    const std::lock_guard<std::mutex> lock{m_};
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  /// Rejects all future pushes and wakes every blocked consumer.  Items
+  /// already queued stay poppable (close-and-drain).
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock{m_};
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock{m_};
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock{m_};
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex m_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace opwat::util

@@ -1,0 +1,60 @@
+#include "opwat/util/latency.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace opwat::util {
+
+std::size_t latency_recorder::bucket_of(std::uint64_t ns) noexcept {
+  if (ns < k_sub) return static_cast<std::size_t>(ns);
+  // Keep the top (k_sub_bits + 1) significant bits: octave = position of
+  // the leading bit beyond the linear range, sub-bucket = the next
+  // k_sub_bits bits below it.
+  const int width = std::bit_width(ns);  // >= k_sub_bits + 1 here
+  const int shift = width - (k_sub_bits + 1);
+  const auto octave = static_cast<std::size_t>(shift);
+  const std::size_t sub = static_cast<std::size_t>(ns >> shift) - k_sub;
+  const std::size_t idx = (octave + 1) * k_sub + sub;
+  return std::min(idx, k_buckets - 1);
+}
+
+std::uint64_t latency_recorder::bucket_floor_ns(std::size_t i) noexcept {
+  if (i < k_sub) return i;
+  const std::size_t octave = i / k_sub - 1;
+  const std::size_t sub = i % k_sub;
+  return (k_sub + sub) << octave;
+}
+
+void latency_recorder::record_ns(std::uint64_t ns) noexcept {
+  counts_[bucket_of(ns)] += 1;
+  count_ += 1;
+  sum_ += ns;
+  max_ = std::max(max_, ns);
+}
+
+void latency_recorder::merge(const latency_recorder& other) noexcept {
+  for (std::size_t i = 0; i < k_buckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+std::uint64_t latency_recorder::quantile_ns(double q) const noexcept {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), with rank 0 mapped to the first occupied bucket.
+  const double target = q * static_cast<double>(count_);
+  auto rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) < target) rank += 1;
+  if (rank == 0) rank = 1;
+  if (rank >= count_) return max_;
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < k_buckets; ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bucket_floor_ns(i);
+  }
+  return max_;
+}
+
+}  // namespace opwat::util

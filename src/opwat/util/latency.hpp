@@ -1,0 +1,63 @@
+// Log-bucketed latency histogram (HDR-style) for the portal load
+// harness: constant-size, allocation-free record(), mergeable across
+// threads, with p50/p99/p999 extraction.
+//
+// Values are nanoseconds bucketed at 32 sub-buckets per octave
+// (~3% relative resolution), covering 1 ns to ~18 minutes — plenty for
+// request latencies while keeping the whole recorder a flat array a
+// per-client thread can own privately and merge at the end (no atomics
+// on the record path, no locks, no samples retained).
+//
+// Quantiles are deterministic: nearest-rank over the bucket sequence,
+// reporting the bucket's representative (lower-edge) value, so the same
+// recorded multiset always yields the same quantile bytes regardless of
+// record or merge order.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace opwat::util {
+
+class latency_recorder {
+ public:
+  /// Records one latency sample (values above the tracked range clamp
+  /// into the top bucket; the exact maximum is tracked separately).
+  void record_ns(std::uint64_t ns) noexcept;
+
+  /// Folds another recorder's samples into this one.
+  void merge(const latency_recorder& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t max_ns() const noexcept { return max_; }
+  [[nodiscard]] double mean_ns() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Nearest-rank quantile, q in [0, 1]; 0 for an empty recorder.
+  /// quantile_ns(1.0) reports the exact tracked maximum.
+  [[nodiscard]] std::uint64_t quantile_ns(double q) const noexcept;
+
+  [[nodiscard]] std::uint64_t p50_ns() const noexcept { return quantile_ns(0.50); }
+  [[nodiscard]] std::uint64_t p99_ns() const noexcept { return quantile_ns(0.99); }
+  [[nodiscard]] std::uint64_t p999_ns() const noexcept { return quantile_ns(0.999); }
+
+ private:
+  // 32 linear buckets for [0, 32), then 32 sub-buckets per octave.
+  static constexpr int k_sub_bits = 5;
+  static constexpr std::size_t k_sub = std::size_t{1} << k_sub_bits;
+  static constexpr std::size_t k_octaves = 35;  // top edge ~2^40 ns
+  static constexpr std::size_t k_buckets = k_sub * (k_octaves + 1);
+
+  [[nodiscard]] static std::size_t bucket_of(std::uint64_t ns) noexcept;
+  /// Representative (lower-edge) value of bucket `i`.
+  [[nodiscard]] static std::uint64_t bucket_floor_ns(std::size_t i) noexcept;
+
+  std::array<std::uint64_t, k_buckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace opwat::util

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Collects every bench JSON artifact into one bench_summary.json with a
+stable schema plus a markdown table for $GITHUB_STEP_SUMMARY.
+
+Input: a directory tree holding the OPWAT_BENCH_JSON outputs (the CI
+bench-summary job downloads all artifacts there).  Any *.json file whose
+top level carries a "bench" key is picked up; files without one (gbench
+dumps, result digests) are ignored.
+
+Output schema (consumed by trajectory tooling — keep it stable; bump
+"schema" on breaking changes):
+
+  {"schema": 1,
+   "sources": {
+     "<bench>": {
+       "<shape>": {"p50_us": float|null,
+                   "p99_us": float|null,
+                   "qps": float|null}}}}
+
+Per-bench shape extraction:
+  portal_load       one shape per load phase (closed_loop / open_loop)
+  catalog_query     one shape per query workload
+  catalog_io        save / load MB/s-style rows have no latency; only the
+                    concurrent-serving row carries qps
+  parallel_scaling  one shape per thread count (pipeline runs/sec)
+  anything else     top-level keys matching p50/p99/qps patterns
+
+Usage: bench_summary.py <input-dir> <output-json>
+"""
+
+import json
+import os
+import sys
+
+
+def row(p50_us=None, p99_us=None, qps=None):
+    return {
+        "p50_us": round(p50_us, 3) if p50_us is not None else None,
+        "p99_us": round(p99_us, 3) if p99_us is not None else None,
+        "qps": round(qps, 1) if qps is not None else None,
+    }
+
+
+def extract(data):
+    """bench JSON dict -> {shape: row}."""
+    bench = data["bench"]
+    shapes = {}
+    if bench == "portal_load":
+        for phase in data.get("phases", []):
+            shapes[phase.get("mode", "?")] = row(
+                p50_us=phase.get("p50_us"),
+                p99_us=phase.get("p99_us"),
+                qps=phase.get("qps"))
+    elif bench == "catalog_query":
+        for q in data.get("queries", []):
+            p50_ms, p99_ms = q.get("p50_ms"), q.get("p99_ms")
+            shapes[q.get("query", "?")] = row(
+                p50_us=p50_ms * 1000.0 if p50_ms is not None else None,
+                p99_us=p99_ms * 1000.0 if p99_ms is not None else None,
+                qps=q.get("queries_per_sec"))
+    elif bench == "catalog_io":
+        conc = data.get("concurrent", {})
+        if "queries_per_sec" in conc:
+            shapes["concurrent_serving"] = row(qps=conc["queries_per_sec"])
+    elif bench == "parallel_scaling":
+        for r in data.get("results", []):
+            ms = r.get("ms")
+            shapes[f"threads_{r.get('threads', '?')}"] = row(
+                qps=1000.0 / ms if ms else None)
+    else:
+        # Generic fallback: top-level latency/throughput keys.
+        p50 = data.get("p50_us")
+        p99 = data.get("p99_us")
+        qps = data.get("qps", data.get("queries_per_sec"))
+        if any(v is not None for v in (p50, p99, qps)):
+            shapes["default"] = row(p50_us=p50, p99_us=p99, qps=qps)
+    return shapes
+
+
+def fmt(v):
+    return "-" if v is None else f"{v:,.1f}"
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    in_dir, out_path = sys.argv[1], sys.argv[2]
+
+    sources = {}
+    for root, _dirs, files in sorted(os.walk(in_dir)):
+        for name in sorted(files):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(root, name)
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    data = json.load(fh)
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                continue
+            if not isinstance(data, dict) or "bench" not in data:
+                continue
+            shapes = extract(data)
+            if shapes:
+                sources.setdefault(data["bench"], {}).update(shapes)
+
+    summary = {"schema": 1, "sources": sources}
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    lines = ["# Bench trajectory", "",
+             "| bench | shape | p50 (us) | p99 (us) | qps |",
+             "|---|---|---:|---:|---:|"]
+    for bench in sorted(sources):
+        for shape in sorted(sources[bench]):
+            r = sources[bench][shape]
+            lines.append(f"| {bench} | {shape} | {fmt(r['p50_us'])} | "
+                         f"{fmt(r['p99_us'])} | {fmt(r['qps'])} |")
+    if not sources:
+        lines.append("| (no bench artifacts found) | | | | |")
+    table = "\n".join(lines) + "\n"
+    print(table)
+    step_summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if step_summary:
+        with open(step_summary, "a", encoding="utf-8") as fh:
+            fh.write(table)
+    print(f"wrote {out_path} ({sum(len(s) for s in sources.values())} shapes "
+          f"from {len(sources)} benches)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

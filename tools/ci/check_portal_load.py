@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Threshold gate for the CI load-smoke lane (bench_portal_load output).
+
+Hard failures (exit 1) — correctness, never flaky on slow runners:
+  * any phase reporting protocol_errors > 0 or errors > 0;
+  * any shed response at tiny scale (the open-loop target is set far
+    below capacity there, so a shed means admission control misfired).
+
+Soft failures (GitHub ::warning annotations, exit 0) — performance
+numbers that depend on runner hardware:
+  * closed-loop QPS below the floor (OPWAT_QPS_FLOOR, default 50000);
+  * closed-loop p99 above the ceiling (OPWAT_P99_CEILING_US, 5000).
+
+Usage: check_portal_load.py portal_load.json
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as fh:
+        data = json.load(fh)
+
+    qps_floor = float(os.environ.get("OPWAT_QPS_FLOOR", "50000"))
+    p99_ceiling_us = float(os.environ.get("OPWAT_P99_CEILING_US", "5000"))
+    tiny = data.get("scale") == "tiny"
+
+    hard_failures = []
+    for phase in data.get("phases", []):
+        mode = phase.get("mode", "?")
+        if phase.get("protocol_errors", 0) > 0:
+            hard_failures.append(
+                f"{mode}: {phase['protocol_errors']} protocol error(s)")
+        if phase.get("errors", 0) > 0:
+            hard_failures.append(f"{mode}: {phase['errors']} error response(s)")
+        if tiny and phase.get("shed", 0) > 0:
+            hard_failures.append(
+                f"{mode}: {phase['shed']} shed response(s) at tiny scale")
+        print(f"{mode}: qps={phase.get('qps', 0):.0f} "
+              f"p50={phase.get('p50_us', 0):.1f}us "
+              f"p99={phase.get('p99_us', 0):.1f}us "
+              f"p999={phase.get('p999_us', 0):.1f}us "
+              f"shed={phase.get('shed', 0)} errors={phase.get('errors', 0)}")
+
+    closed = next((p for p in data.get("phases", [])
+                   if p.get("mode") == "closed_loop"), None)
+    if closed is None:
+        hard_failures.append("no closed_loop phase in the report")
+    else:
+        if closed.get("qps", 0) < qps_floor:
+            print(f"::warning title=portal load below QPS floor::"
+                  f"closed-loop {closed['qps']:.0f} qps < floor "
+                  f"{qps_floor:.0f} (soft: runner-hardware dependent)")
+        if closed.get("p99_us", 0) > p99_ceiling_us:
+            print(f"::warning title=portal p99 above ceiling::"
+                  f"closed-loop p99 {closed['p99_us']:.0f}us > ceiling "
+                  f"{p99_ceiling_us:.0f}us (soft: runner-hardware dependent)")
+
+    if hard_failures:
+        for f in hard_failures:
+            print(f"::error title=portal load-smoke hard failure::{f}")
+        return 1
+    print("portal load-smoke thresholds OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
