@@ -168,6 +168,13 @@ phase_result closed_loop_client(const std::string& addr, std::uint16_t port,
   return r;
 }
 
+/// Open-loop in-flight cap, kept well under the server's default
+/// per-connection pipeline limit (server_config::max_pipeline = 128).
+/// A generator that has fallen behind schedule on a slow host would
+/// otherwise fire its whole backlog as one burst and get shed — which
+/// measures the generator's scheduling debt, not the server.
+constexpr std::size_t k_open_loop_inflight = 64;
+
 /// One open-loop client: fire on the workload's arrival schedule.  The
 /// shared arrival stream is thinned across clients by scaling each gap
 /// by n_clients, approximating a split of one target_qps process.
@@ -200,6 +207,20 @@ phase_result open_loop_client(const std::string& addr, std::uint16_t port,
       if (!got && due - clock_t_::now() > std::chrono::microseconds{300})
         std::this_thread::sleep_for(std::chrono::microseconds{100});
     }
+    // Bounded open loop: block for responses at the in-flight cap.
+    // The wait is still charged to latency — pending stores the
+    // scheduled arrival — so this does not hide queueing delay.
+    bool wedged = false;
+    while (pending.size() >= k_open_loop_inflight) {
+      auto resp = c.receive(2000);
+      if (!resp) {
+        wedged = true;  // server unresponsive; the drain below accounts
+        break;
+      }
+      account(r, *resp, pending);
+      pending.erase(resp->id);
+    }
+    if (wedged) break;
     auto req = wl.nth(i);
     i += n_clients;
     c.send(req);

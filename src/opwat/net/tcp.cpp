@@ -10,9 +10,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 namespace opwat::net {
 
@@ -84,7 +87,11 @@ void set_nodelay(int fd) {
     fail("setsockopt(TCP_NODELAY)");
 }
 
-bool send_all(int fd, std::string_view data) {
+bool send_all(int fd, std::string_view data, int timeout_ms) {
+  namespace ch = std::chrono;
+  const auto deadline =
+      timeout_ms >= 0 ? ch::steady_clock::now() + ch::milliseconds{timeout_ms}
+                      : ch::steady_clock::time_point::max();
   std::size_t off = 0;
   while (off < data.size()) {
     const auto n =
@@ -93,16 +100,29 @@ bool send_all(int fd, std::string_view data) {
       off += static_cast<std::size_t>(n);
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        const auto left =
+            ch::ceil<ch::milliseconds>(deadline - ch::steady_clock::now())
+                .count();
+        if (left <= 0) return false;  // stalled past the write budget
+        wait_ms = static_cast<int>(std::min<long long>(
+            left, std::numeric_limits<int>::max()));
+      }
       pollfd pfd{fd, POLLOUT, 0};
-      const int pr = ::poll(&pfd, 1, -1);
-      if (pr < 0 && errno != EINTR) fail("poll");
+      const int pr = ::poll(&pfd, 1, wait_ms);
+      if (pr == 0) return false;  // stalled past the write budget
+      if (pr < 0 && errno != EINTR) return false;
       if (pr > 0 && (pfd.revents & (POLLERR | POLLHUP)) != 0) return false;
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) return false;
-    fail("send");
+    // ETIMEDOUT, EHOSTUNREACH, ENETDOWN, ... — every remaining send
+    // errno means the connection is dead to us, same as EPIPE.  Callers
+    // hold sockets for remote peers who can vanish at any time; that
+    // must never surface as an exception.
+    return false;
   }
   return true;
 }

@@ -78,10 +78,12 @@ void set_nodelay(int fd);
 
 /// Writes the whole buffer, retrying short writes and EINTR, and
 /// poll()-waiting for writability on EAGAIN (works on blocking and
-/// nonblocking descriptors alike).  Returns false when the peer went
-/// away (EPIPE / ECONNRESET / poll hangup); throws socket_error on any
-/// other failure.
-bool send_all(int fd, std::string_view data);
+/// nonblocking descriptors alike).  timeout_ms bounds the TOTAL time
+/// spent stalled across all waits (-1 = wait forever).  Returns false —
+/// never throws — when the connection is unusable: peer gone (EPIPE /
+/// ECONNRESET / poll hangup), any other send error (ETIMEDOUT,
+/// EHOSTUNREACH, ...), or the write stalled past the deadline.
+bool send_all(int fd, std::string_view data, int timeout_ms = -1);
 
 /// Reads up to `buf.size()` bytes once.  Returns the byte count, 0 on
 /// orderly EOF, -1 when the read would block (EAGAIN on a nonblocking

@@ -3,9 +3,12 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <limits>
 
 namespace opwat::portal {
 
@@ -30,6 +33,12 @@ std::optional<response> client::extract() {
 }
 
 std::optional<response> client::receive(int timeout_ms) {
+  namespace ch = std::chrono;
+  // A fixed deadline, not a per-poll timeout: a peer trickling partial
+  // frames must not stretch a bounded call past timeout_ms.
+  const auto deadline =
+      timeout_ms >= 0 ? ch::steady_clock::now() + ch::milliseconds{timeout_ms}
+                      : ch::steady_clock::time_point::max();
   std::array<char, 64 * 1024> buf;
   while (true) {
     if (auto r = extract()) return r;
@@ -40,8 +49,17 @@ std::optional<response> client::receive(int timeout_ms) {
     }
     if (n == 0)
       throw net::socket_error{"portal client: connection closed by server"};
+    int wait_ms = -1;
+    if (timeout_ms >= 0) {
+      const auto left =
+          ch::ceil<ch::milliseconds>(deadline - ch::steady_clock::now())
+              .count();
+      if (left <= 0) return std::nullopt;  // deadline passed
+      wait_ms = static_cast<int>(
+          std::min<long long>(left, std::numeric_limits<int>::max()));
+    }
     pollfd pfd{fd_.get(), POLLIN, 0};
-    const int pr = ::poll(&pfd, 1, timeout_ms);
+    const int pr = ::poll(&pfd, 1, wait_ms);
     if (pr == 0) return std::nullopt;  // timeout
     if (pr < 0 && errno != EINTR)
       throw net::socket_error{std::string{"poll: "} + std::strerror(errno)};

@@ -26,8 +26,9 @@ class client {
   /// net::socket_error when the connection is gone.
   void send(const request& r);
 
-  /// Receives the next response frame.  Blocks up to timeout_ms
-  /// (-1 = forever); nullopt on timeout.  Throws net::socket_error when
+  /// Receives the next response frame.  Blocks up to timeout_ms total
+  /// (-1 = forever) — a single deadline, regardless of how many partial
+  /// reads arrive; nullopt on timeout.  Throws net::socket_error when
   /// the server closed the connection, protocol_error on malformed
   /// bytes.
   [[nodiscard]] std::optional<response> receive(int timeout_ms = -1);

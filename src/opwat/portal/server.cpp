@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <mutex>
 #include <optional>
@@ -42,6 +44,11 @@ response error_response(portal_errc status, std::string msg) {
   return r;
 }
 
+/// How long the listen fd stays parked out of epoll after accept4 hit
+/// descriptor exhaustion (effective granularity is the acceptor's
+/// 200 ms epoll tick).
+constexpr auto k_accept_backoff = std::chrono::milliseconds{100};
+
 row_record to_record(const serve::iface_row& row) {
   row_record rec;
   rec.ip = row.ip.value();
@@ -67,6 +74,7 @@ struct server::counters {
   std::atomic<std::uint64_t> shed_queue_full{0};
   std::atomic<std::uint64_t> shed_pipeline{0};
   std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> accept_errors{0};
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> http_requests{0};
@@ -82,6 +90,9 @@ struct server::connection {
   /// Response frames from workers and acceptor interleave here.
   std::mutex write_mu;
   std::atomic<std::size_t> in_flight{0};
+  /// Set once a write failed or stalled past the budget: later
+  /// responses are dropped instead of written to a socket known bad.
+  std::atomic<bool> dead{false};
 };
 
 struct server::job {
@@ -190,6 +201,7 @@ server_stats server::stats() const {
   s.shed_queue_full = stats_->shed_queue_full.load(std::memory_order_relaxed);
   s.shed_pipeline = stats_->shed_pipeline.load(std::memory_order_relaxed);
   s.protocol_errors = stats_->protocol_errors.load(std::memory_order_relaxed);
+  s.accept_errors = stats_->accept_errors.load(std::memory_order_relaxed);
   s.cache_hits = stats_->cache_hits.load(std::memory_order_relaxed);
   s.cache_misses = stats_->cache_misses.load(std::memory_order_relaxed);
   s.http_requests = stats_->http_requests.load(std::memory_order_relaxed);
@@ -205,6 +217,11 @@ void server::acceptor_loop() {
   ep.add(wake_.fd());
 
   while (!stopping_.load(std::memory_order_acquire)) {
+    if (listen_parked_ &&
+        std::chrono::steady_clock::now() >= rearm_listen_at_) {
+      ep.add(listen_fd_.get());
+      listen_parked_ = false;
+    }
     const auto events = ep.wait(200);
     for (const auto& e : events) {
       if (e.fd == wake_.fd()) {
@@ -230,14 +247,29 @@ void server::on_accept(net::epoll_io& ep) {
   while (true) {
     net::unique_fd fd{::accept4(listen_fd_.get(), nullptr, nullptr,
                                 SOCK_NONBLOCK | SOCK_CLOEXEC)};
-    if (!fd.valid()) return;  // EAGAIN or transient: next epoll round
+    if (!fd.valid()) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      stats_->accept_errors.fetch_add(1, std::memory_order_relaxed);
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Descriptor/buffer exhaustion: the listen fd stays readable, so
+        // a plain return would make level-triggered epoll spin at 100%
+        // CPU.  Park it; acceptor_loop re-arms after the backoff.
+        ep.del(listen_fd_.get());
+        listen_parked_ = true;
+        rearm_listen_at_ = std::chrono::steady_clock::now() + k_accept_backoff;
+        return;
+      }
+      continue;  // ECONNABORTED etc.: that connection only, keep accepting
+    }
     if (conns_.size() >= cfg_.max_connections) {
       // One typed refusal, then close: the client learns WHY instantly
       // instead of timing out against a silent drop.
       stats_->refused.fetch_add(1, std::memory_order_relaxed);
       response r = error_response(portal_errc::overloaded,
                                   "connection limit reached");
-      (void)net::send_all(fd.get(), encode_response(r));
+      (void)net::send_all(fd.get(), encode_response(r), cfg_.write_timeout_ms);
       continue;
     }
     net::set_nodelay(fd.get());
@@ -277,11 +309,16 @@ bool server::on_readable(const std::shared_ptr<connection>& conn, bool hangup) {
     return true;
   }
 
-  // Binary framing: admit every complete frame buffered so far.
+  // Binary framing: admit every complete frame buffered so far.  One
+  // cursor and one erase at the end — erasing per frame would make
+  // draining a deeply pipelined buffer quadratic in its size.
+  std::size_t consumed = 0;
   while (true) {
+    const std::string_view rest{conn->inbuf.data() + consumed,
+                                conn->inbuf.size() - consumed};
     std::optional<std::size_t> total;
     try {
-      total = frame_size(conn->inbuf);
+      total = frame_size(rest);
     } catch (const protocol_error& e) {
       // The stream itself is unsynchronized after a bad prefix: answer
       // once, then drop the connection.
@@ -289,9 +326,9 @@ bool server::on_readable(const std::shared_ptr<connection>& conn, bool hangup) {
       respond(conn, error_response(e.kind(), e.what()));
       return false;
     }
-    if (!total || conn->inbuf.size() < *total) break;
-    const std::string_view payload{conn->inbuf.data() + k_frame_prefix_bytes,
-                                   *total - k_frame_prefix_bytes};
+    if (!total || rest.size() < *total) break;
+    const std::string_view payload =
+        rest.substr(k_frame_prefix_bytes, *total - k_frame_prefix_bytes);
     try {
       request req = decode_request(payload);
       admit(conn, std::move(req));
@@ -306,8 +343,9 @@ bool server::on_readable(const std::shared_ptr<connection>& conn, bool hangup) {
       }
       respond(conn, r);
     }
-    conn->inbuf.erase(0, *total);
+    consumed += *total;
   }
+  conn->inbuf.erase(0, consumed);
 
   if (saw_eof || hangup) {
     // Keep serving what was already admitted (workers hold the
@@ -375,6 +413,7 @@ void server::handle_http(const std::shared_ptr<connection>& conn) {
     w.key("shed_queue_full").value(s.shed_queue_full);
     w.key("shed_pipeline").value(s.shed_pipeline);
     w.key("protocol_errors").value(s.protocol_errors);
+    w.key("accept_errors").value(s.accept_errors);
     w.key("cache_hits").value(s.cache_hits);
     w.key("cache_misses").value(s.cache_misses);
     w.key("http_requests").value(s.http_requests);
@@ -400,22 +439,32 @@ void server::handle_http(const std::shared_ptr<connection>& conn) {
                      "\r\nContent-Type: application/json\r\nContent-Length: " +
                      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
   const std::lock_guard<std::mutex> lock{conn->write_mu};
-  (void)net::send_all(conn->fd.get(), head + body);
+  (void)net::send_all(conn->fd.get(), head + body, cfg_.write_timeout_ms);
 }
 
 // --- workers -----------------------------------------------------------------
 
 void server::worker_loop() {
+  // Absolute backstop: a worker must never die (an escaped exception
+  // would shrink the pool for good and terminate the process at stop()),
+  // so the error-response attempt itself may not throw, and in_flight
+  // must come back down no matter what.
+  const auto backstop = [this](job& j, const char* what) noexcept {
+    try {
+      response r = error_response(portal_errc::internal, what);
+      r.id = j.req.id;
+      respond(j.conn, r);
+    } catch (...) {
+    }
+    j.conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+  };
   while (auto j = queue_->pop()) {
     try {
       process(*j);
     } catch (const std::exception& e) {
-      // Absolute backstop: a worker must never die and never leave a
-      // request unanswered.
-      response r = error_response(portal_errc::internal, e.what());
-      r.id = j->req.id;
-      respond(j->conn, r);
-      j->conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
+      backstop(*j, e.what());
+    } catch (...) {
+      backstop(*j, "unknown internal error");
     }
   }
 }
@@ -559,12 +608,16 @@ response server::execute(const request& req, const serve::catalog& snap) const {
           case group_dim::cls: q.by_class(); break;
           case group_dim::step: q.by_step(); break;
         }
-        q.top(req.limit);
+        // total is the FULL group count, the response window is
+        // limit-capped — same split member/rtt_band get from count() +
+        // page().
         const auto groups = q.group_counts();
         resp.total = groups.size();
-        resp.groups.reserve(groups.size());
-        for (const auto& g : groups)
-          resp.groups.push_back(group_record{g.key, g.count});
+        const std::size_t n_groups =
+            std::min<std::size_t>(groups.size(), req.limit);
+        resp.groups.reserve(n_groups);
+        for (std::size_t i = 0; i < n_groups; ++i)
+          resp.groups.push_back(group_record{groups[i].key, groups[i].count});
         break;
       }
 
@@ -599,6 +652,7 @@ response server::execute(const request& req, const serve::catalog& snap) const {
         put("shed_queue_full", s.shed_queue_full);
         put("shed_pipeline", s.shed_pipeline);
         put("protocol_errors", s.protocol_errors);
+        put("accept_errors", s.accept_errors);
         put("cache_hits", s.cache_hits);
         put("cache_misses", s.cache_misses);
         put("http_requests", s.http_requests);
@@ -617,9 +671,17 @@ void server::respond(const std::shared_ptr<connection>& conn, const response& r)
     stats_->responses_ok.fetch_add(1, std::memory_order_relaxed);
   else
     stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
+  if (conn->dead.load(std::memory_order_acquire)) return;
   const std::string frame = encode_response(r);
   const std::lock_guard<std::mutex> lock{conn->write_mu};
-  (void)net::send_all(conn->fd.get(), frame);
+  if (conn->dead.load(std::memory_order_relaxed)) return;
+  if (!net::send_all(conn->fd.get(), frame, cfg_.write_timeout_ms)) {
+    // Peer gone or stalled past the write budget.  Mark the connection
+    // dead so no thread writes (or waits) on it again, and shut the
+    // socket down so the acceptor's epoll sees EOF and reaps it.
+    conn->dead.store(true, std::memory_order_release);
+    ::shutdown(conn->fd.get(), SHUT_RDWR);
+  }
 }
 
 }  // namespace opwat::portal

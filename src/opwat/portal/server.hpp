@@ -10,8 +10,11 @@
 //                          assembles length-prefixed frames, decodes
 //                          requests, applies ADMISSION CONTROL, and
 //                          hands admitted jobs to the worker queue.
-//                          Never executes a query and never blocks on a
-//                          slow client.
+//                          Never executes a query; its writes (shed /
+//                          protocol-error frames, HTTP debug replies)
+//                          are bounded by cfg.write_timeout_ms, so a
+//                          slow client can stall it only briefly, never
+//                          forever.
 //   worker pool            cfg.workers threads on a util::thread_pool,
 //                          each looping pop → execute → respond.  Every
 //                          query runs lock-free against a
@@ -27,6 +30,13 @@
 // `overloaded` frame and a close), per-connection in-flight cap
 // (pipelining beyond cfg.max_pipeline sheds), queue capacity (full
 // queue sheds).  Every shed is counted and visible in the stats op.
+//
+// Write policy: response frames are written inline under a
+// per-connection mutex with a bounded budget (cfg.write_timeout_ms).  A
+// peer that stalls a write past the budget — or errors the socket in
+// any way — is marked dead: the connection is shut down so the epoll
+// loop reaps it, later responses to it are dropped, and no acceptor or
+// worker thread ever blocks indefinitely on a slow client.
 //
 // Result cache: responses of the pure query ops are cached under their
 // canonical request bytes (protocol.hpp cache_key) with the epoch label
@@ -48,6 +58,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -81,6 +92,11 @@ struct server_config {
   /// Rows/groups per response are clamped to this, bounding frames well
   /// below the protocol's 1 MiB payload cap.
   std::uint32_t max_limit = 10000;
+  /// Budget for writing one response frame; a peer that stalls a write
+  /// longer than this is dropped.  Keeps every server thread's writes
+  /// bounded — -1 (wait forever) is only sane for trusted loopback
+  /// peers.
+  int write_timeout_ms = 5000;
   /// Test instrumentation: when set, workers call this before executing
   /// each admitted request (tests block it to make overload and
   /// admission-limit behavior deterministic).  Leave empty in
@@ -99,6 +115,7 @@ struct server_stats {
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_pipeline = 0;
   std::uint64_t protocol_errors = 0;
+  std::uint64_t accept_errors = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t http_requests = 0;
@@ -166,6 +183,13 @@ class server {
 
   /// Live connections; acceptor-thread-only between start and join.
   std::unordered_map<int, std::shared_ptr<connection>> conns_;
+
+  /// Accept-backoff state (acceptor thread only): under fd exhaustion
+  /// (EMFILE/ENFILE) the listen fd is parked out of epoll until
+  /// rearm_listen_at_, else level-triggered epoll would busy-spin on
+  /// the still-readable listen socket.
+  bool listen_parked_ = false;
+  std::chrono::steady_clock::time_point rearm_listen_at_{};
 
   std::unique_ptr<counters> stats_;
   std::unique_ptr<result_cache> cache_;

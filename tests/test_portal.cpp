@@ -15,13 +15,20 @@
 //     start/serve/stop cycle leaks no file descriptors;
 //   - concurrent clients racing an epoch-publishing writer (the TSan CI
 //     lane runs this suite): every response is a consistent snapshot;
-//   - workload determinism: same seed ⇒ byte-identical request stream.
+//   - workload determinism: same seed ⇒ byte-identical request stream;
+//   - write-side robustness: send_all never throws and honors its
+//     deadline against a stalled peer, a client that pipelines without
+//     reading is dropped without wedging the acceptor, and
+//     client::receive's timeout is one deadline even under trickled
+//     bytes.
 #include <gtest/gtest.h>
 
 #include <poll.h>
+#include <sys/socket.h>
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdint>
@@ -787,6 +794,128 @@ TEST_F(PortalTest, WorkloadIsDeterministicPerSeed) {
     EXPECT_EQ(r.status, portal_errc::ok) << "request " << i << ": " << r.message;
   }
   srv.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Write-side robustness: bounded writes, stalled peers, receive deadline.
+
+TEST_F(PortalTest, GroupByTotalIsFullCountWhenLimitTruncates) {
+  serve::shared_catalog cat;
+  fill(cat, 1);
+  server srv{cat};
+  srv.start();
+  client c{"127.0.0.1", srv.port()};
+
+  serve::query direct{*cat.snapshot()};
+  direct.epoch("e0").by_asn();
+  const auto all = direct.group_counts();
+  ASSERT_GT(all.size(), 1u);
+
+  request q;
+  q.op = op_code::group_by;
+  q.dim = group_dim::asn;
+  q.limit = 1;
+  q.id = 1;
+  const auto r = c.call(q);
+  ASSERT_EQ(r.status, portal_errc::ok);
+  ASSERT_EQ(r.groups.size(), 1u);
+  // total reports the FULL group count, like member/rtt_band do for
+  // rows; the group list itself is the limit-capped window.
+  EXPECT_EQ(r.total, all.size());
+  EXPECT_EQ(r.groups[0].key, all[0].key);
+  EXPECT_EQ(r.groups[0].count, all[0].count);
+  srv.stop();
+}
+
+TEST(NetSendAll, HonorsDeadlineAndNeverThrowsOnDeadPeer) {
+  auto listen = net::listen_tcp("127.0.0.1", 0);
+  auto sender = net::connect_tcp("127.0.0.1", net::local_port(listen.get()));
+  net::unique_fd receiver{
+      ::accept4(listen.get(), nullptr, nullptr, SOCK_CLOEXEC)};
+  ASSERT_TRUE(receiver.valid());
+  net::set_nonblocking(sender.get(), true);
+  const int small = 4096;
+  ::setsockopt(sender.get(), SOL_SOCKET, SO_SNDBUF, &small, sizeof small);
+
+  // The receiver never reads: an 8 MiB write must stall, and the
+  // deadline must turn the stall into `false`, not an indefinite poll.
+  const std::string big(8 * 1024 * 1024, 'x');
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(net::send_all(sender.get(), big, 200));
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, std::chrono::seconds{5});
+
+  // A vanished peer (RST on close with unread data) is `false` too —
+  // never an exception, whatever errno the kernel picks.
+  receiver.reset();
+  EXPECT_FALSE(net::send_all(sender.get(), big, 200));
+}
+
+TEST_F(PortalTest, StalledReaderIsDroppedAndServerStaysResponsive) {
+  serve::shared_catalog cat;
+  fill(cat, 1);
+  server_config cfg;
+  cfg.workers = 1;
+  cfg.max_pipeline = 4;
+  cfg.cache_entries = 0;
+  cfg.write_timeout_ms = 50;
+  server srv{cat, cfg};
+  srv.start();
+
+  // A misbehaving peer: pipelines thousands of pings and never reads a
+  // byte.  Its responses (mostly acceptor-written pipeline sheds) fill
+  // the socket until the server's bounded write stalls; the server must
+  // drop it instead of wedging the acceptor in that write.
+  auto bad = net::connect_tcp("127.0.0.1", srv.port());
+  net::set_nonblocking(bad.get(), true);
+  const auto frame = encode_request(make_ping(1));
+  // Wall-clock bound, not just an iteration cap: under sanitizers a
+  // slow server can keep each send just under its budget for a long
+  // time without ever stalling one outright.
+  const auto flood_until =
+      std::chrono::steady_clock::now() + std::chrono::seconds{2};
+  for (int i = 0;
+       i < 200'000 && std::chrono::steady_clock::now() < flood_until; ++i)
+    if (!net::send_all(bad.get(), frame, 50)) break;  // server dropped us
+
+  // The acceptor is alive: a well-behaved client still gets served.
+  // (Before bounded writes this hung forever, so the generous timeout
+  // costs nothing in the passing case.)
+  client good{"127.0.0.1", srv.port()};
+  good.send(make_ping(7));
+  const auto r = good.receive(30'000);
+  ASSERT_TRUE(r.has_value()) << "server wedged behind the stalled reader";
+  EXPECT_EQ(r->status, portal_errc::ok);
+  EXPECT_EQ(r->id, 7u);
+  srv.stop();
+}
+
+TEST(PortalClient, ReceiveTimeoutIsOneDeadlineUnderTrickledBytes) {
+  auto listen = net::listen_tcp("127.0.0.1", 0);
+  client c{"127.0.0.1", net::local_port(listen.get())};
+  net::unique_fd peer{::accept4(listen.get(), nullptr, nullptr, SOCK_CLOEXEC)};
+  ASSERT_TRUE(peer.valid());
+
+  std::atomic<bool> stop{false};
+  std::thread trickler{[&] {
+    std::string prefix;
+    wire::put_u32(prefix, 64);  // a frame that never completes in time
+    (void)net::send_all(peer.get(), prefix);
+    for (int i = 0; i < 40 && !stop.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+      (void)net::send_all(peer.get(), "x");
+    }
+  }};
+
+  // Bytes landing every 50 ms must not keep resetting a 300 ms timeout:
+  // the call times out once, roughly on schedule.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto r = c.receive(300);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  stop.store(true);
+  trickler.join();
+  EXPECT_FALSE(r.has_value());
+  EXPECT_GE(elapsed, std::chrono::milliseconds{290});
+  EXPECT_LT(elapsed, std::chrono::milliseconds{1500});
 }
 
 // ---------------------------------------------------------------------------
