@@ -1,0 +1,163 @@
+// Standalone driver shared by the fuzz harnesses (fuzz/fuzz_*.cpp).
+//
+// Each harness defines the libFuzzer entry point
+// LLVMFuzzerTestOneInput plus fuzz_seeds(), the valid inputs that seed
+// the corpus.  Built two ways by CMake:
+//
+//   fuzz_<name>            this driver provides main(); no fuzzing
+//                          runtime needed, so it builds under gcc and
+//                          runs as a ctest (--selftest pushes every
+//                          seed plus deterministic truncations and
+//                          bit flips through the harness).
+//   fuzz_<name>_libfuzzer  -DOPWAT_LIBFUZZER + -fsanitize=fuzzer
+//                          (clang): main() comes from libFuzzer, this
+//                          header contributes nothing.  The CI
+//                          fuzz-smoke lane runs these under ASan.
+//
+// Driver modes:
+//   fuzz_<name> --make-corpus <dir>   write the seeds as files
+//   fuzz_<name> --selftest            seeds + deterministic mutations
+//   fuzz_<name> <file>...             replay saved inputs (crash repro)
+//   fuzz_<name>                       run the bare seeds only
+//
+// The selftest mutations use a fixed-seed xorshift stream: identical
+// inputs on every run and machine, so a failure is always reproducible.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+/// The harness's seed inputs — written verbatim by --make-corpus and
+/// used as mutation bases by --selftest.
+std::vector<std::string> fuzz_seeds();
+
+#if !defined(OPWAT_LIBFUZZER)
+
+namespace opwat::fuzzdrv {
+
+inline void run_one(const std::string& bytes) {
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+}
+
+/// xorshift64* with a fixed seed: the selftest input stream is part of
+/// the test's identity, not a source of run-to-run variance.
+struct det_rng {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545f4914f6cdd1dULL;
+  }
+};
+
+inline int make_corpus(const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  const auto seeds = fuzz_seeds();
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    char name[32];
+    std::snprintf(name, sizeof name, "seed_%03zu.bin", i);
+    std::ofstream out{std::filesystem::path{dir} / name,
+                      std::ios::binary | std::ios::trunc};
+    out.write(seeds[i].data(),
+              static_cast<std::streamsize>(seeds[i].size()));
+    if (!out) {
+      std::fprintf(stderr, "make-corpus: cannot write %s/%s\n", dir.c_str(),
+                   name);
+      return 1;
+    }
+  }
+  std::printf("make-corpus: %zu seeds written to %s\n", seeds.size(),
+              dir.c_str());
+  return 0;
+}
+
+inline int selftest() {
+  const auto seeds = fuzz_seeds();
+  std::size_t executed = 0;
+  run_one(std::string{});
+  ++executed;
+  for (const auto& seed : seeds) {
+    run_one(seed);
+    ++executed;
+    if (seed.empty()) continue;
+    // Every truncation point of a small seed, an even stride otherwise.
+    const std::size_t step = seed.size() <= 256 ? 1 : seed.size() / 256;
+    for (std::size_t cut = 0; cut < seed.size(); cut += step) {
+      run_one(seed.substr(0, cut));
+      ++executed;
+    }
+    // Deterministic single-byte mutations: bit flips, byte stomps, and
+    // short appended tails (length-prefix confusion).
+    det_rng rng{0x9e3779b97f4a7c15ULL ^ seed.size()};
+    for (int i = 0; i < 2048; ++i) {
+      std::string m = seed;
+      const auto pos = static_cast<std::size_t>(rng.next() % m.size());
+      switch (rng.next() % 3) {
+        case 0:
+          m[pos] = static_cast<char>(
+              static_cast<std::uint8_t>(m[pos]) ^ (1u << (rng.next() % 8)));
+          break;
+        case 1:
+          m[pos] = static_cast<char>(rng.next() & 0xff);
+          break;
+        default:
+          m.append(1 + rng.next() % 8, static_cast<char>(rng.next() & 0xff));
+          break;
+      }
+      run_one(m);
+      ++executed;
+    }
+  }
+  std::printf("selftest: %zu inputs executed, no crashes\n", executed);
+  return 0;
+}
+
+inline int replay(const char* path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in) {
+    std::fprintf(stderr, "replay: cannot read %s\n", path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  run_one(buf.str());
+  std::printf("replay: %s ok\n", path);
+  return 0;
+}
+
+}  // namespace opwat::fuzzdrv
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode == "--make-corpus" && argc == 3)
+    return opwat::fuzzdrv::make_corpus(argv[2]);
+  if (mode == "--selftest") return opwat::fuzzdrv::selftest();
+  if (!mode.empty() && mode[0] == '-') {
+    std::fprintf(stderr,
+                 "usage: %s [--make-corpus <dir> | --selftest | <file>...]\n",
+                 argv[0]);
+    return 2;
+  }
+  if (argc == 1) {
+    for (const auto& seed : fuzz_seeds()) opwat::fuzzdrv::run_one(seed);
+    std::printf("seeds ok\n");
+    return 0;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const int rc = opwat::fuzzdrv::replay(argv[i]);
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+#endif  // !OPWAT_LIBFUZZER

@@ -1,0 +1,109 @@
+// Fuzz harness for the .opwatc snapshot store (opwat/serve/store.hpp).
+//
+// Arbitrary bytes go through both loader surfaces:
+//
+//   * store_section_boundaries — the framing walk the corruption tests
+//     and opwatc_fsck use; must throw store_error on unwalkable
+//     framing, never UB;
+//   * catalog::load — the CRC-verified full decode, via a scratch file
+//     (the loader API is path-based).  Rejection must be a typed
+//     store_error.
+//
+// When a mutated file does load, the save-of-loaded invariant from the
+// format header is enforced as a fixed point: save(load(f)) must
+// reload, and its own re-save must be byte-identical.
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/serve/catalog.hpp"
+#include "opwat/serve/store.hpp"
+
+#include "driver.hpp"
+
+namespace {
+
+namespace stdfs = std::filesystem;
+
+const stdfs::path& scratch_dir() {
+  static const stdfs::path dir = [] {
+    const auto d = stdfs::temp_directory_path() /
+                   ("opwat_fuzz_store_" + std::to_string(::getpid()));
+    stdfs::create_directories(d);
+    return d;
+  }();
+  return dir;
+}
+
+std::string slurp(const stdfs::path& p) {
+  std::ifstream in{p, std::ios::binary};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void spit(const stdfs::path& p, std::string_view bytes) {
+  std::ofstream out{p, std::ios::binary | std::ios::trunc};
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes{reinterpret_cast<const char*>(data), size};
+  try {
+    (void)opwat::serve::store_section_boundaries(bytes);
+  } catch (const opwat::serve::store_error&) {
+  }
+
+  const auto in = scratch_dir() / "input.opwatc";
+  spit(in, bytes);
+  std::optional<opwat::serve::catalog> cat;
+  try {
+    cat.emplace(opwat::serve::catalog::load(in.string()));
+  } catch (const opwat::serve::store_error&) {
+    return 0;  // typed rejection is the expected path
+  }
+  // Loaded => must save, reload, and re-save byte-identically (the
+  // format's canonical-bytes guarantee).  Any throw from here escapes
+  // and crashes the harness — that's the finding.
+  const auto resave1 = scratch_dir() / "resave1.opwatc";
+  const auto resave2 = scratch_dir() / "resave2.opwatc";
+  cat->save(resave1.string());
+  const auto reloaded = opwat::serve::catalog::load(resave1.string());
+  reloaded.save(resave2.string());
+  if (slurp(resave1) != slurp(resave2)) __builtin_trap();
+  return 0;
+}
+
+std::vector<std::string> fuzz_seeds() {
+  std::vector<std::string> seeds;
+  const auto save_bytes = [](const opwat::serve::catalog& cat,
+                             const char* name) {
+    const auto p = scratch_dir() / name;
+    cat.save(p.string());
+    return slurp(p);
+  };
+  // The minimal valid file: header only, zero epochs.
+  seeds.push_back(save_bytes(opwat::serve::catalog{}, "seed_empty.opwatc"));
+  // A real two-epoch snapshot from the tiny deterministic scenario, so
+  // the mutation stream hits dictionary deltas, blocks and columns.
+  const auto s =
+      opwat::eval::scenario::build(opwat::eval::small_scenario_config(7));
+  auto pcfg = s.cfg.pipeline;
+  opwat::serve::catalog cat;
+  cat.ingest(s.w, s.view, s.run_inference(pcfg), "e00");
+  pcfg.seed += 1;
+  cat.ingest(s.w, s.view, s.run_inference(pcfg), "e01");
+  seeds.push_back(save_bytes(cat, "seed_two_epochs.opwatc"));
+  return seeds;
+}

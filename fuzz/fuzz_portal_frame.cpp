@@ -1,0 +1,142 @@
+// Fuzz harness for the portal wire protocol (opwat/portal/protocol.hpp).
+//
+// Feeds arbitrary bytes to every decode surface the server and client
+// expose to the network — frame_size over buffered prefixes,
+// decode_request / decode_response over frame payloads, and cache_key
+// over whatever decodes — and checks the protocol's contracts:
+//
+//   * malformed input raises protocol_error, never UB (ASan/UBSan in
+//     the CI fuzz-smoke lane turn any violation into a crash);
+//   * encode∘decode is idempotent: re-encoding a decoded message and
+//     decoding it again must reproduce the same canonical bytes
+//     (cache_hit is the one lossy field — any nonzero byte decodes to
+//     true — which is why the check compares canonical encodings, not
+//     raw input bytes);
+//   * cache_key of any decodable request is itself a decodable frame.
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opwat/portal/protocol.hpp"
+
+#include "driver.hpp"
+
+namespace portal = opwat::portal;
+
+namespace {
+
+template <typename Decoded, Decoded (*decode)(std::string_view),
+          std::string (*encode)(const Decoded&)>
+void check_canonical(std::string_view payload) {
+  Decoded first;
+  try {
+    first = decode(payload);
+  } catch (const portal::protocol_error&) {
+    return;  // rejection is the expected path for junk
+  }
+  // The canonical payload must decode (an exception here escapes and
+  // crashes the harness — that's the finding), and re-encoding the
+  // result must be a fixed point.
+  const std::string framed = encode(first);
+  const auto canonical =
+      std::string_view{framed}.substr(portal::k_frame_prefix_bytes);
+  const Decoded second = decode(canonical);
+  if (encode(second) != framed) __builtin_trap();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view bytes{reinterpret_cast<const char*>(data), size};
+  try {
+    (void)portal::frame_size(bytes);
+  } catch (const portal::protocol_error&) {
+  }
+  check_canonical<portal::request, portal::decode_request,
+                  portal::encode_request>(bytes);
+  check_canonical<portal::response, portal::decode_response,
+                  portal::encode_response>(bytes);
+  try {
+    const auto req = portal::decode_request(bytes);
+    const std::string key = portal::cache_key(req);
+    (void)portal::decode_request(
+        std::string_view{key}.substr(portal::k_frame_prefix_bytes));
+  } catch (const portal::protocol_error&) {
+  }
+  return 0;
+}
+
+std::vector<std::string> fuzz_seeds() {
+  std::vector<std::string> seeds;
+  const auto payload = [](const std::string& framed) {
+    return framed.substr(portal::k_frame_prefix_bytes);
+  };
+  {
+    portal::request r;
+    r.id = 7;
+    seeds.push_back(payload(portal::encode_request(r)));  // ping
+  }
+  {
+    portal::request r;
+    r.op = portal::op_code::member;
+    r.id = 8;
+    r.epoch = "e00";
+    r.asn = 64512;
+    r.ixp_id = 3;
+    seeds.push_back(payload(portal::encode_request(r)));
+  }
+  {
+    portal::request r;
+    r.op = portal::op_code::rtt_band;
+    r.id = 9;
+    r.rtt_lo_ms = 0.5;
+    r.rtt_hi_ms = 10.25;
+    r.limit = 32;
+    seeds.push_back(payload(portal::encode_request(r)));
+  }
+  {
+    portal::request r;
+    r.op = portal::op_code::group_by;
+    r.id = 10;
+    r.dim = portal::group_dim::cls;
+    r.cls_filter = 1;
+    seeds.push_back(payload(portal::encode_request(r)));
+  }
+  {
+    portal::request r;
+    r.op = portal::op_code::diff;
+    r.id = 11;
+    r.epoch = "e00";
+    r.epoch_to = "e01";
+    seeds.push_back(payload(portal::encode_request(r)));
+  }
+  {
+    portal::response r;
+    r.id = 7;
+    r.epoch = "e00";
+    r.total = 2;
+    r.rows.push_back({0x0a000001u, 3, 64512, 1, 2, 7.5});
+    r.rows.push_back({0x0a000002u, 3, 64513, 0, 1, 0.25});
+    r.groups.push_back({"remote", 12});
+    r.labels = {"e00", "e01"};
+    seeds.push_back(payload(portal::encode_response(r)));
+  }
+  {
+    portal::response r;
+    r.id = 8;
+    r.status = portal::portal_errc::unknown_epoch;
+    r.message = "epoch label not served";
+    seeds.push_back(payload(portal::encode_response(r)));
+  }
+  {
+    // A full frame (prefix included) so frame_size sees valid prefixes
+    // too, not only the payload-shaped seeds above.
+    portal::request r;
+    r.op = portal::op_code::stats;
+    r.id = 12;
+    seeds.push_back(portal::encode_request(r));
+  }
+  return seeds;
+}

@@ -50,6 +50,7 @@ unique_fd listen_tcp(const std::string& addr, std::uint16_t port, int backlog) {
   if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one) != 0)
     fail("setsockopt(SO_REUSEADDR)");
   const sockaddr_in sa = make_addr(addr, port);
+  // opwat-lint: allow(wire-safety): sockaddr_in -> sockaddr is the POSIX-mandated cast at the kernel API boundary, not wire decoding
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0)
     fail("bind");
   if (::listen(fd.get(), backlog) != 0) fail("listen");
@@ -60,6 +61,7 @@ unique_fd connect_tcp(const std::string& addr, std::uint16_t port) {
   unique_fd fd{::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0)};
   if (!fd.valid()) fail("socket");
   const sockaddr_in sa = make_addr(addr, port);
+  // opwat-lint: allow(wire-safety): sockaddr_in -> sockaddr is the POSIX-mandated cast at the kernel API boundary, not wire decoding
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0)
     fail("connect");
   set_nodelay(fd.get());
@@ -69,6 +71,7 @@ unique_fd connect_tcp(const std::string& addr, std::uint16_t port) {
 std::uint16_t local_port(int fd) {
   sockaddr_in sa{};
   socklen_t len = sizeof sa;
+  // opwat-lint: allow(wire-safety): sockaddr out-parameter for the kernel, length checked by getsockname itself
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0)
     fail("getsockname");
   return ntohs(sa.sin_port);
@@ -94,8 +97,9 @@ bool send_all(int fd, std::string_view data, int timeout_ms) {
                       : ch::steady_clock::time_point::max();
   std::size_t off = 0;
   while (off < data.size()) {
-    const auto n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    // opwat-lint: allow(wire-safety): resume cursor into the caller's buffer; off < data.size() by the loop condition
+    const auto n = ::send(fd, data.data() + off, data.size() - off,
+                          MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<std::size_t>(n);
       continue;

@@ -25,6 +25,7 @@ void client::send(const request& r) {
 std::optional<response> client::extract() {
   const auto total = frame_size(inbuf_);  // may throw oversized
   if (!total || inbuf_.size() < *total) return std::nullopt;
+  // opwat-lint: allow(wire-safety): skips the length prefix frame_size just validated; inbuf_.size() >= *total >= prefix here
   const std::string_view payload{inbuf_.data() + k_frame_prefix_bytes,
                                  *total - k_frame_prefix_bytes};
   response r = decode_response(payload);

@@ -60,6 +60,7 @@ const char* reader::take(std::size_t n) {
   if (remaining() < n)
     throw protocol_error{portal_errc::truncated,
                          "payload ends inside a field"};
+  // opwat-lint: allow(wire-safety): this IS the checked reader core — the remaining() guard above bounds pos_ + n
   const char* p = data_.data() + pos_;
   pos_ += n;
   return p;

@@ -7,12 +7,11 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <utility>
 
 #include "opwat/serve/query.hpp"
+#include "opwat/util/annotations.hpp"
 #include "opwat/util/contracts.hpp"
 #include "opwat/util/json.hpp"
 
@@ -88,7 +87,7 @@ struct server::connection {
   std::string inbuf;
   bool http = false;
   /// Response frames from workers and acceptor interleave here.
-  std::mutex write_mu;
+  util::annotated_mutex write_mu;
   std::atomic<std::size_t> in_flight{0};
   /// Set once a write failed or stalled past the budget: later
   /// responses are dropped instead of written to a socket known bad.
@@ -110,20 +109,20 @@ class server::result_cache {
 
   [[nodiscard]] std::optional<response> find(const std::string& key,
                                              std::uint64_t version) const {
-    const std::shared_lock<std::shared_mutex> lock{mu_};
+    const util::reader_lock lock{mu_};
     const auto it = map_.find(key);
     if (it == map_.end() || it->second.version != version) return std::nullopt;
     return it->second.resp;
   }
 
   void insert(std::string key, std::uint64_t version, const response& resp) {
-    const std::unique_lock<std::shared_mutex> lock{mu_};
+    const util::writer_lock lock{mu_};
     if (map_.size() >= cap_) map_.clear();  // coarse but bounded
     map_.insert_or_assign(std::move(key), entry{version, resp});
   }
 
   void clear() {
-    const std::unique_lock<std::shared_mutex> lock{mu_};
+    const util::writer_lock lock{mu_};
     map_.clear();
   }
 
@@ -134,8 +133,8 @@ class server::result_cache {
   };
 
   const std::size_t cap_;
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, entry> map_;
+  mutable util::annotated_shared_mutex mu_;
+  std::unordered_map<std::string, entry> map_ OPWAT_GUARDED_BY(mu_);
 };
 
 // --- lifecycle ---------------------------------------------------------------
@@ -243,6 +242,9 @@ void server::acceptor_loop() {
   }
 }
 
+// opwat-lint: region(nonblocking): acceptor-thread event handlers — a blocked
+// acceptor stalls every connection, so only bounded net::send_all/recv_some
+// calls may touch the network here (enforced by the blocking-in-handler rule).
 void server::on_accept(net::epoll_io& ep) {
   while (true) {
     net::unique_fd fd{::accept4(listen_fd_.get(), nullptr, nullptr,
@@ -314,6 +316,7 @@ bool server::on_readable(const std::shared_ptr<connection>& conn, bool hangup) {
   // draining a deeply pipelined buffer quadratic in its size.
   std::size_t consumed = 0;
   while (true) {
+    // opwat-lint: allow(wire-safety): cursor over the connection buffer; consumed <= inbuf.size() by construction and all decoding below goes through frame_size/wire::reader
     const std::string_view rest{conn->inbuf.data() + consumed,
                                 conn->inbuf.size() - consumed};
     std::optional<std::size_t> total;
@@ -438,9 +441,10 @@ void server::handle_http(const std::shared_ptr<connection>& conn) {
   std::string head = "HTTP/1.0 " + std::string{http_status} +
                      "\r\nContent-Type: application/json\r\nContent-Length: " +
                      std::to_string(body.size()) + "\r\nConnection: close\r\n\r\n";
-  const std::lock_guard<std::mutex> lock{conn->write_mu};
+  const util::mutex_lock lock{conn->write_mu};
   (void)net::send_all(conn->fd.get(), head + body, cfg_.write_timeout_ms);
 }
+// opwat-lint: endregion(nonblocking)
 
 // --- workers -----------------------------------------------------------------
 
@@ -469,6 +473,9 @@ void server::worker_loop() {
   }
 }
 
+// opwat-lint: region(nonblocking): worker request path — workers must drain
+// the admitted backlog even under shutdown, so everything from dequeue to the
+// response write is bounded (send_all carries cfg_.write_timeout_ms).
 void server::process(job& j) {
   if (cfg_.before_execute) cfg_.before_execute();
 
@@ -673,7 +680,7 @@ void server::respond(const std::shared_ptr<connection>& conn, const response& r)
     stats_->responses_error.fetch_add(1, std::memory_order_relaxed);
   if (conn->dead.load(std::memory_order_acquire)) return;
   const std::string frame = encode_response(r);
-  const std::lock_guard<std::mutex> lock{conn->write_mu};
+  const util::mutex_lock lock{conn->write_mu};
   if (conn->dead.load(std::memory_order_relaxed)) return;
   if (!net::send_all(conn->fd.get(), frame, cfg_.write_timeout_ms)) {
     // Peer gone or stalled past the write budget.  Mark the connection
@@ -683,5 +690,6 @@ void server::respond(const std::shared_ptr<connection>& conn, const response& r)
     ::shutdown(conn->fd.get(), SHUT_RDWR);
   }
 }
+// opwat-lint: endregion(nonblocking)
 
 }  // namespace opwat::portal

@@ -11,13 +11,13 @@ shared_catalog::shared_catalog(catalog initial)
     : current_(std::make_shared<const catalog>(std::move(initial))) {}
 
 std::shared_ptr<const catalog> shared_catalog::snapshot() const {
-  const std::shared_lock<std::shared_mutex> lock{ptr_lock_};
+  const util::reader_lock lock{ptr_lock_};
   return current_;
 }
 
 void shared_catalog::publish(std::shared_ptr<const catalog> next) {
   {
-    const std::unique_lock<std::shared_mutex> lock{ptr_lock_};
+    const util::writer_lock lock{ptr_lock_};
     current_ = std::move(next);
   }
   // Callers hold writer_, which also guards on_publish_; the hook runs
@@ -27,7 +27,7 @@ void shared_catalog::publish(std::shared_ptr<const catalog> next) {
 }
 
 void shared_catalog::set_publish_hook(std::function<void(std::uint64_t)> hook) {
-  const std::lock_guard<std::mutex> writer{writer_};
+  const util::mutex_lock writer{writer_};
   on_publish_ = std::move(hook);
 }
 
@@ -37,7 +37,7 @@ auto shared_catalog::update(Fn&& fn) {
   // lock so two concurrent ingests compose instead of losing one, and
   // the (potentially large) catalog copy + mutation happen while
   // readers are completely unimpeded.
-  const std::lock_guard<std::mutex> writer{writer_};
+  const util::mutex_lock writer{writer_};
   auto next = std::make_shared<catalog>(*snapshot());
   if constexpr (std::is_void_v<decltype(fn(*next))>) {
     fn(*next);
@@ -59,7 +59,7 @@ void shared_catalog::load(const std::string& path) {
   // The file is parsed before anything is published: a malformed
   // snapshot throws out of catalog::load and readers keep the old view.
   auto loaded = std::make_shared<const catalog>(catalog::load(path));
-  const std::lock_guard<std::mutex> writer{writer_};
+  const util::mutex_lock writer{writer_};
   publish(std::move(loaded));
 }
 
@@ -70,7 +70,7 @@ void shared_catalog::merge_from(const std::string& path) {
 void shared_catalog::save(const std::string& path) const { snapshot()->save(path); }
 
 void shared_catalog::clear() {
-  const std::lock_guard<std::mutex> writer{writer_};
+  const util::mutex_lock writer{writer_};
   publish(std::make_shared<const catalog>());
 }
 

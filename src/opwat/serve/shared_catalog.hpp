@@ -40,11 +40,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 
 #include "opwat/serve/catalog.hpp"
+#include "opwat/util/annotations.hpp"
 
 namespace opwat::serve {
 
@@ -103,15 +102,19 @@ class shared_catalog {
   /// current catalog under the writer lock, then swaps it in.
   template <typename Fn>
   auto update(Fn&& fn);
-  void publish(std::shared_ptr<const catalog> next);
+  /// Swaps the pointer and runs the publish hook; every caller must be
+  /// inside a writer_ critical section (clang-enforced).
+  void publish(std::shared_ptr<const catalog> next) OPWAT_REQUIRES(writer_);
 
-  mutable std::shared_mutex ptr_lock_;  ///< guards ONLY the pointer swap/copy
-  std::shared_ptr<const catalog> current_;
-  std::mutex writer_;  ///< serializes copy-mutate-publish cycles
+  /// Guards ONLY the pointer swap/copy.
+  mutable util::annotated_shared_mutex ptr_lock_;
+  std::shared_ptr<const catalog> current_ OPWAT_GUARDED_BY(ptr_lock_);
+  /// Serializes copy-mutate-publish cycles.
+  util::annotated_mutex writer_;
   std::atomic<std::uint64_t> version_{0};
   /// Publish hook; read/written only under writer_ (every publish path
   /// holds it), so no separate synchronization is needed.
-  std::function<void(std::uint64_t)> on_publish_;
+  std::function<void(std::uint64_t)> on_publish_ OPWAT_GUARDED_BY(writer_);
 };
 
 }  // namespace opwat::serve

@@ -1,0 +1,172 @@
+// Clang thread-safety capability annotations, plus the annotated lock
+// types the rest of the tree is required to use (tools/opwat_lint's
+// raw-lock rule bans manual .lock()/.unlock() everywhere else).
+//
+// The macros wrap the attributes documented in
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and expand to
+// nothing under compilers without the analysis (gcc), so annotations
+// cost nothing outside the clang `-Wthread-safety -Werror` CI lane.
+//
+// Conventions:
+//   - every mutex-guarded member is declared `T x_ OPWAT_GUARDED_BY(m_);`
+//   - functions that must be entered with a capability held say
+//     `OPWAT_REQUIRES(m_)` on the declaration,
+//   - locks are only ever taken through the scoped guards below
+//     (util::mutex_lock / util::writer_lock / util::reader_lock);
+//     condition-variable waits go through std::condition_variable_any
+//     waiting on the guard itself, so the capability is never released
+//     behind the analysis's back by a raw unlock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define OPWAT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef OPWAT_THREAD_ANNOTATION
+#define OPWAT_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define OPWAT_CAPABILITY(x) OPWAT_THREAD_ANNOTATION(capability(x))
+#define OPWAT_SCOPED_CAPABILITY OPWAT_THREAD_ANNOTATION(scoped_lockable)
+#define OPWAT_GUARDED_BY(x) OPWAT_THREAD_ANNOTATION(guarded_by(x))
+#define OPWAT_PT_GUARDED_BY(x) OPWAT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define OPWAT_REQUIRES(...) \
+  OPWAT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define OPWAT_REQUIRES_SHARED(...) \
+  OPWAT_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define OPWAT_ACQUIRE(...) \
+  OPWAT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define OPWAT_ACQUIRE_SHARED(...) \
+  OPWAT_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+#define OPWAT_RELEASE(...) \
+  OPWAT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define OPWAT_RELEASE_SHARED(...) \
+  OPWAT_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+#define OPWAT_RELEASE_GENERIC(...) \
+  OPWAT_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+#define OPWAT_TRY_ACQUIRE(...) \
+  OPWAT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define OPWAT_EXCLUDES(...) OPWAT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define OPWAT_RETURN_CAPABILITY(x) OPWAT_THREAD_ANNOTATION(lock_returned(x))
+#define OPWAT_NO_THREAD_SAFETY_ANALYSIS \
+  OPWAT_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace opwat::util {
+
+/// std::mutex with the `capability` attribute so clang can track who
+/// holds it.  Lock only via util::mutex_lock.
+class OPWAT_CAPABILITY("mutex") annotated_mutex {
+ public:
+  annotated_mutex() = default;
+  annotated_mutex(const annotated_mutex&) = delete;
+  annotated_mutex& operator=(const annotated_mutex&) = delete;
+
+  // The wrapper IS the RAII boundary; these three forward to the std
+  // type and exist only so the scoped guards (and clang) can see the
+  // acquisition.
+  void lock() OPWAT_ACQUIRE() { m_.lock(); }        // opwat-lint: allow(raw-lock): the annotated wrapper itself forwards to std::mutex
+  void unlock() OPWAT_RELEASE() { m_.unlock(); }    // opwat-lint: allow(raw-lock): the annotated wrapper itself forwards to std::mutex
+  [[nodiscard]] bool try_lock() OPWAT_TRY_ACQUIRE(true) {
+    return m_.try_lock();  // opwat-lint: allow(raw-lock): the annotated wrapper itself forwards to std::mutex
+  }
+
+ private:
+  std::mutex m_;
+};
+
+/// std::shared_mutex with the `capability` attribute.  Lock only via
+/// util::writer_lock / util::reader_lock.
+class OPWAT_CAPABILITY("shared_mutex") annotated_shared_mutex {
+ public:
+  annotated_shared_mutex() = default;
+  annotated_shared_mutex(const annotated_shared_mutex&) = delete;
+  annotated_shared_mutex& operator=(const annotated_shared_mutex&) = delete;
+
+  void lock() OPWAT_ACQUIRE() { m_.lock(); }      // opwat-lint: allow(raw-lock): the annotated wrapper itself forwards to std::shared_mutex
+  void unlock() OPWAT_RELEASE() { m_.unlock(); }  // opwat-lint: allow(raw-lock): the annotated wrapper itself forwards to std::shared_mutex
+  void lock_shared() OPWAT_ACQUIRE_SHARED() {
+    m_.lock_shared();  // opwat-lint: allow(raw-lock): the annotated wrapper itself forwards to std::shared_mutex
+  }
+  void unlock_shared() OPWAT_RELEASE_SHARED() {
+    m_.unlock_shared();  // opwat-lint: allow(raw-lock): the annotated wrapper itself forwards to std::shared_mutex
+  }
+
+ private:
+  std::shared_mutex m_;
+};
+
+/// Scoped exclusive lock over annotated_mutex (the tree's only way to
+/// hold one).  Models BasicLockable so std::condition_variable_any can
+/// wait on the guard itself: `cv.wait(lock)` releases and reacquires
+/// through the annotated mutex, which keeps clang's view of the held
+/// capability consistent across the wait.
+class OPWAT_SCOPED_CAPABILITY mutex_lock {
+ public:
+  explicit mutex_lock(annotated_mutex& m) OPWAT_ACQUIRE(m) : m_(m) {
+    m_.lock();  // opwat-lint: allow(raw-lock): scoped-guard implementation
+  }
+  ~mutex_lock() OPWAT_RELEASE() {
+    m_.unlock();  // opwat-lint: allow(raw-lock): scoped-guard implementation
+  }
+
+  mutex_lock(const mutex_lock&) = delete;
+  mutex_lock& operator=(const mutex_lock&) = delete;
+
+  // BasicLockable, for std::condition_variable_any::wait(*this) only.
+  // The cv releases and reacquires around the sleep; from the analysis's
+  // point of view the capability is held throughout the wait, which is
+  // exactly the guarantee the post-wait code relies on.
+  void lock() OPWAT_NO_THREAD_SAFETY_ANALYSIS {
+    m_.lock();  // opwat-lint: allow(raw-lock): condition_variable_any reacquire path
+  }
+  void unlock() OPWAT_NO_THREAD_SAFETY_ANALYSIS {
+    m_.unlock();  // opwat-lint: allow(raw-lock): condition_variable_any release path
+  }
+
+ private:
+  annotated_mutex& m_;
+};
+
+/// Scoped exclusive lock over annotated_shared_mutex.
+class OPWAT_SCOPED_CAPABILITY writer_lock {
+ public:
+  explicit writer_lock(annotated_shared_mutex& m) OPWAT_ACQUIRE(m) : m_(m) {
+    m_.lock();  // opwat-lint: allow(raw-lock): scoped-guard implementation
+  }
+  ~writer_lock() OPWAT_RELEASE() {
+    m_.unlock();  // opwat-lint: allow(raw-lock): scoped-guard implementation
+  }
+
+  writer_lock(const writer_lock&) = delete;
+  writer_lock& operator=(const writer_lock&) = delete;
+
+ private:
+  annotated_shared_mutex& m_;
+};
+
+/// Scoped shared (reader) lock over annotated_shared_mutex.
+class OPWAT_SCOPED_CAPABILITY reader_lock {
+ public:
+  explicit reader_lock(annotated_shared_mutex& m) OPWAT_ACQUIRE_SHARED(m)
+      : m_(m) {
+    m_.lock_shared();  // opwat-lint: allow(raw-lock): scoped-guard implementation
+  }
+  // Generic release: the scoped object acquired shared, and clang's
+  // scoped-capability destructor check wants the kind-agnostic form.
+  ~reader_lock() OPWAT_RELEASE_GENERIC() {
+    m_.unlock_shared();  // opwat-lint: allow(raw-lock): scoped-guard implementation
+  }
+
+  reader_lock(const reader_lock&) = delete;
+  reader_lock& operator=(const reader_lock&) = delete;
+
+ private:
+  annotated_shared_mutex& m_;
+};
+
+}  // namespace opwat::util

@@ -10,14 +10,18 @@
 // queue is closed; after close() every item still queued is drained
 // before pop() starts returning nullopt, which is exactly the graceful
 // shutdown story ("finish what was admitted, admit nothing new").
+//
+// All mutable state is guarded by the annotated mutex (checked by the
+// clang thread-safety lane; see util/annotations.hpp).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "opwat/util/annotations.hpp"
 
 namespace opwat::util {
 
@@ -35,7 +39,7 @@ class bounded_queue {
   /// only on success — when the queue is full or closed.
   [[nodiscard]] bool try_push(T v) {
     {
-      const std::lock_guard<std::mutex> lock{m_};
+      const mutex_lock lock{m_};
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(v));
     }
@@ -47,8 +51,8 @@ class bounded_queue {
   /// After close(), remaining items are still handed out in FIFO order;
   /// nullopt means closed AND fully drained (the consumer's exit signal).
   [[nodiscard]] std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock{m_};
-    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    mutex_lock lock{m_};
+    while (!closed_ && items_.empty()) ready_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -57,7 +61,7 @@ class bounded_queue {
 
   /// Non-blocking dequeue; nullopt when nothing is queued right now.
   [[nodiscard]] std::optional<T> try_pop() {
-    const std::lock_guard<std::mutex> lock{m_};
+    const mutex_lock lock{m_};
     if (items_.empty()) return std::nullopt;
     T v = std::move(items_.front());
     items_.pop_front();
@@ -68,19 +72,19 @@ class bounded_queue {
   /// already queued stay poppable (close-and-drain).
   void close() {
     {
-      const std::lock_guard<std::mutex> lock{m_};
+      const mutex_lock lock{m_};
       closed_ = true;
     }
     ready_.notify_all();
   }
 
   [[nodiscard]] bool closed() const {
-    const std::lock_guard<std::mutex> lock{m_};
+    const mutex_lock lock{m_};
     return closed_;
   }
 
   [[nodiscard]] std::size_t size() const {
-    const std::lock_guard<std::mutex> lock{m_};
+    const mutex_lock lock{m_};
     return items_.size();
   }
 
@@ -88,10 +92,10 @@ class bounded_queue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex m_;
-  std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable annotated_mutex m_;
+  std::condition_variable_any ready_;
+  std::deque<T> items_ OPWAT_GUARDED_BY(m_);
+  bool closed_ OPWAT_GUARDED_BY(m_) = false;
 };
 
 }  // namespace opwat::util

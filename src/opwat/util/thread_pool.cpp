@@ -13,7 +13,7 @@ thread_pool::thread_pool(std::size_t threads) {
 
 thread_pool::~thread_pool() {
   {
-    const std::lock_guard lock{m_};
+    const mutex_lock lock{m_};
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -23,11 +23,18 @@ thread_pool::~thread_pool() {
 void thread_pool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
+    // Copy the job out under the lock; the epoch protocol guarantees
+    // the caller cannot republish body_/n_ until every worker has
+    // checked back in below, so the copies stay valid for the drain.
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t n = 0;
     {
-      std::unique_lock lock{m_};
-      start_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      mutex_lock lock{m_};
+      while (!stop_ && epoch_ == seen) start_cv_.wait(lock);
       if (stop_) return;
       seen = epoch_;
+      body = body_;
+      n = n_;
     }
     // Drain the ticket counter.  Every worker runs until no indices are
     // left, then checks in; the caller resumes only after all check-ins,
@@ -35,16 +42,16 @@ void thread_pool::worker_loop() {
     // parallel_for republishes it.
     for (;;) {
       const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-      if (i >= n_) break;
+      if (i >= n) break;
       try {
-        (*body_)(i);
+        (*body)(i);
       } catch (...) {
-        const std::lock_guard lock{m_};
+        const mutex_lock lock{m_};
         if (!error_) error_ = std::current_exception();
       }
     }
     {
-      const std::lock_guard lock{m_};
+      const mutex_lock lock{m_};
       ++workers_done_;
     }
     done_cv_.notify_one();
@@ -54,20 +61,25 @@ void thread_pool::worker_loop() {
 void thread_pool::parallel_for(std::size_t n,
                                const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  std::unique_lock lock{m_};
-  body_ = &body;
-  n_ = n;
-  next_.store(0, std::memory_order_relaxed);
-  workers_done_ = 0;
-  error_ = nullptr;
-  ++epoch_;
-  lock.unlock();
+  {
+    const mutex_lock lock{m_};
+    body_ = &body;
+    n_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    error_ = nullptr;
+    ++epoch_;
+  }
   start_cv_.notify_all();
 
-  lock.lock();
-  done_cv_.wait(lock, [&] { return workers_done_ == workers_.size(); });
-  body_ = nullptr;
-  if (error_) std::rethrow_exception(error_);
+  std::exception_ptr err;
+  {
+    mutex_lock lock{m_};
+    while (workers_done_ != workers_.size()) done_cv_.wait(lock);
+    body_ = nullptr;
+    err = error_;
+  }
+  if (err) std::rethrow_exception(err);
 }
 
 }  // namespace opwat::util

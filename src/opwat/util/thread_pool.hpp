@@ -12,16 +12,23 @@
 // checked back in, so shard state written inside the body is safely
 // visible to the caller afterwards (release on the latch, acquire on the
 // wait).
+//
+// All shared state is guarded by the annotated mutex below and checked
+// by clang's thread-safety analysis (util/annotations.hpp); workers copy
+// the job pointer out under the lock before running it, so nothing
+// guarded is ever touched outside m_.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "opwat/util/annotations.hpp"
 
 namespace opwat::util {
 
@@ -41,25 +48,27 @@ class thread_pool {
   /// first exception is rethrown here after the loop has drained (the
   /// remaining indices still run).  Reentrant calls from inside a body
   /// are not supported.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body)
+      OPWAT_EXCLUDES(m_);
 
  private:
   void worker_loop();
 
   std::vector<std::thread> workers_;
 
-  std::mutex m_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  bool stop_ = false;
+  annotated_mutex m_;
+  std::condition_variable_any start_cv_;
+  std::condition_variable_any done_cv_;
+  bool stop_ OPWAT_GUARDED_BY(m_) = false;
 
-  // Current job: published under m_, indices then claimed lock-free.
-  std::uint64_t epoch_ = 0;  ///< bumped per parallel_for; workers wait on it
-  const std::function<void(std::size_t)>* body_ = nullptr;
-  std::size_t n_ = 0;
+  // Current job: published under m_ (workers copy body_/n_ out while
+  // holding the lock), indices then claimed lock-free via next_.
+  std::uint64_t epoch_ OPWAT_GUARDED_BY(m_) = 0;  ///< bumped per parallel_for
+  const std::function<void(std::size_t)>* body_ OPWAT_GUARDED_BY(m_) = nullptr;
+  std::size_t n_ OPWAT_GUARDED_BY(m_) = 0;
   std::atomic<std::size_t> next_{0};
-  std::size_t workers_done_ = 0;
-  std::exception_ptr error_;
+  std::size_t workers_done_ OPWAT_GUARDED_BY(m_) = 0;
+  std::exception_ptr error_ OPWAT_GUARDED_BY(m_);
 };
 
 }  // namespace opwat::util

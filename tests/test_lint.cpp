@@ -282,4 +282,279 @@ TEST(LintReport, FindingsAreSortedByFileLineRule) {
   EXPECT_EQ(fs[2].file, "src/opwat/b.cpp");
 }
 
+// --- raw-lock ----------------------------------------------------------------
+
+TEST(LintRawLock, FlagsManualLockCalls) {
+  const std::string text =
+      "void f() {\n"                         // 1
+      "  mu.lock();\n"                       // 2
+      "  ptr->unlock();\n"                   // 3
+      "  if (mu.try_lock()) {}\n"            // 4
+      "  rw.lock_shared();\n"                // 5
+      "  rw.unlock_shared();\n"              // 6
+      "}\n";
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "raw-lock"), (std::vector<int>{2, 3, 4, 5, 6}));
+}
+
+TEST(LintRawLock, RaiiGuardsAndNonMemberTokensPass) {
+  const std::string text =
+      "void f() {\n"
+      "  const util::mutex_lock lock{m_};\n"
+      "  std::lock_guard<std::mutex> g{mu};\n"
+      "  my_unlock();\n"            // free function, not a member call
+      "  int lock = 3; (void)lock;\n"  // not a call at all
+      "}\n";
+  EXPECT_TRUE(lines_of(lint_source(k_src, text), "raw-lock").empty());
+}
+
+TEST(LintRawLock, SuppressionWithReasonSilences) {
+  const std::string text =
+      "void f() {\n"
+      "  m_.lock();  // opwat-lint: allow(raw-lock): wrapper implementation\n"
+      "}\n";
+  EXPECT_TRUE(lines_of(lint_source(k_src, text), "raw-lock").empty());
+}
+
+TEST(LintRawLock, ActiveInEveryFileKind) {
+  const std::string text = "void f() { mu.lock(); }\n";
+  for (const char* path : {"src/opwat/x.cpp", "tests/test_x.cpp",
+                           "bench/bench_x.cpp", "examples/x.cpp",
+                           "tools/t/x.cpp"})
+    EXPECT_EQ(lines_of(lint_source(path, text), "raw-lock").size(), 1u) << path;
+}
+
+// --- blocking-in-handler -----------------------------------------------------
+
+TEST(LintBlockingInHandler, FlagsBlockingCallsOnlyInsideRegion) {
+  const std::string text =
+      "void before() { poll(fds, 1, -1); }\n"                  // 1: outside
+      "// opwat-lint: region(nonblocking): acceptor hot path\n" // 2
+      "void handler() {\n"                                     // 3
+      "  std::this_thread::sleep_for(t);\n"                    // 4
+      "  ::send(fd, p, n, 0);\n"                               // 5
+      "  worker.join();\n"                                     // 6
+      "  std::ifstream in{path};\n"                            // 7
+      "  net::send_all(fd, data, budget_ms);\n"                // 8: bounded, ok
+      "}\n"                                                    // 9
+      "// opwat-lint: endregion(nonblocking)\n"                // 10
+      "void after() { cv.wait(lk); }\n";                       // 11: outside
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "blocking-in-handler"), (std::vector<int>{4, 5, 6, 7}));
+  EXPECT_TRUE(lines_of(fs, "bad-suppression").empty());
+}
+
+TEST(LintBlockingInHandler, SuppressionAndRegionHygiene) {
+  const std::string with_allow =
+      "// opwat-lint: region(nonblocking): worker path\n"
+      "void h() {\n"
+      "  q.wait(lk);  // opwat-lint: allow(blocking-in-handler): bounded by test harness timeout\n"
+      "}\n"
+      "// opwat-lint: endregion(nonblocking)\n";
+  EXPECT_TRUE(
+      lines_of(lint_source(k_src, with_allow), "blocking-in-handler").empty());
+
+  // A region without a reason, an unknown region name, an unmatched
+  // endregion and an unclosed region are each bad-suppression findings.
+  EXPECT_EQ(lines_of(lint_source(k_src,
+                                 "// opwat-lint: region(nonblocking)\n"),
+                     "bad-suppression"),
+            (std::vector<int>{1}));
+  EXPECT_EQ(lines_of(lint_source(k_src,
+                                 "// opwat-lint: region(fast): why\n"),
+                     "bad-suppression"),
+            (std::vector<int>{1}));
+  EXPECT_EQ(lines_of(lint_source(k_src,
+                                 "// opwat-lint: endregion(nonblocking)\n"),
+                     "bad-suppression"),
+            (std::vector<int>{1}));
+  EXPECT_EQ(lines_of(lint_source(
+                         k_src,
+                         "// opwat-lint: region(nonblocking): never closed\n"
+                         "void f() {}\n"),
+                     "bad-suppression"),
+            (std::vector<int>{1}));
+}
+
+// --- throw-in-noexcept -------------------------------------------------------
+
+TEST(LintThrowInNoexcept, FlagsThrowInNoexceptBody) {
+  const std::string text =
+      "void f() noexcept {\n"                          // 1
+      "  if (bad) throw std::runtime_error{\"x\"};\n"  // 2
+      "}\n"
+      "void ok() { throw std::runtime_error{\"y\"}; }\n"  // 4: not noexcept
+      "void decl_only() noexcept;\n"                        // 5: no body
+      "void defaulted() noexcept = delete;\n"               // 6
+      "bool g() { return noexcept(f()); }\n";               // 7: operator form
+  const auto fs = lint_source(k_src, text);
+  EXPECT_EQ(lines_of(fs, "throw-in-noexcept"), (std::vector<int>{2}));
+}
+
+TEST(LintThrowInNoexcept, CtorInitListBracesDoNotHideTheBody) {
+  const std::string text =
+      "struct s {\n"
+      "  explicit s(int v) noexcept : a_{v}, b_(v) {\n"  // 2
+      "    throw v;\n"                                   // 3
+      "  }\n"
+      "  int a_; int b_;\n"
+      "};\n";
+  EXPECT_EQ(lines_of(lint_source(k_src, text), "throw-in-noexcept"),
+            (std::vector<int>{3}));
+}
+
+TEST(LintThrowInNoexcept, FlagsThrowInNonblockingRegionAndHonorsAllow) {
+  const std::string text =
+      "// opwat-lint: region(nonblocking): acceptor path\n"
+      "void h() {\n"
+      "  throw std::runtime_error{\"no\"};\n"  // 3
+      "}\n"
+      "// opwat-lint: endregion(nonblocking)\n";
+  EXPECT_EQ(lines_of(lint_source(k_src, text), "throw-in-noexcept"),
+            (std::vector<int>{3}));
+
+  const std::string allowed =
+      "void f() noexcept {\n"
+      "  throw 1;  // opwat-lint: allow(throw-in-noexcept): unreachable terminate-on-purpose path\n"
+      "}\n";
+  EXPECT_TRUE(lines_of(lint_source(k_src, allowed), "throw-in-noexcept").empty());
+}
+
+// --- wire-safety -------------------------------------------------------------
+
+TEST(LintWireSafety, FlagsRawByteHandlingInNetAndPortal) {
+  const std::string text =
+      "void f(std::string_view b) {\n"                          // 1
+      "  const auto* h = reinterpret_cast<const hdr*>(b.data());\n"  // 2
+      "  memcpy(&v, b.data(), 4);\n"                            // 3
+      "  const char* p = b.data() + off;\n"                     // 4
+      "  auto ok = b.substr(4);\n"                              // 5: checked slice
+      "  int sum = count + offset;\n"                           // 6: plain arithmetic
+      "}\n";
+  const auto fs = lint_source("src/opwat/portal/fixture.cpp", text);
+  EXPECT_EQ(lines_of(fs, "wire-safety"), (std::vector<int>{2, 3, 4}));
+}
+
+TEST(LintWireSafety, ScopedToNetAndPortalPathSegments) {
+  const std::string text = "void f() { memcpy(dst, src, n); }\n";
+  EXPECT_EQ(lines_of(lint_source("src/opwat/net/t.cpp", text), "wire-safety")
+                .size(),
+            1u);
+  EXPECT_TRUE(
+      lines_of(lint_source("src/opwat/serve/t.cpp", text), "wire-safety")
+          .empty());
+  EXPECT_TRUE(
+      lines_of(lint_source("src/opwat/infer/t.cpp", text), "wire-safety")
+          .empty());
+}
+
+TEST(LintWireSafety, SuppressionWithReasonSilences) {
+  const std::string text =
+      "// opwat-lint: allow(wire-safety): kernel API boundary, not decoding\n"
+      "bind(fd, reinterpret_cast<const sockaddr*>(&sa), sizeof sa);\n";
+  EXPECT_TRUE(
+      lines_of(lint_source("src/opwat/net/t.cpp", text), "wire-safety").empty());
+}
+
+// --- lock-order --------------------------------------------------------------
+
+TEST(LintLockOrder, ExtractsNestedAcquisitionEdges) {
+  const std::string text =
+      "void f() {\n"
+      "  std::lock_guard<std::mutex> a{mu_a};\n"     // 2
+      "  {\n"
+      "    const util::mutex_lock b{obj->mu_b};\n"   // 4: a -> b
+      "  }\n"
+      "  std::lock_guard<std::mutex> c{mu_c};\n"     // 6: a -> c (b released)
+      "}\n"
+      "void g() {\n"
+      "  std::scoped_lock d{mu_d, mu_e};\n"          // 9: both at once, no d->e edge ordering issue
+      "}\n";
+  const auto es = opwat::lint::lock_edges(k_src, text);
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0].held, "mu_a");
+  EXPECT_EQ(es[0].acquired, "mu_b");
+  EXPECT_EQ(es[0].line, 4);
+  EXPECT_EQ(es[1].held, "mu_a");
+  EXPECT_EQ(es[1].acquired, "mu_c");
+  EXPECT_EQ(es[1].line, 6);
+  // scoped_lock over two mutexes: the second is "acquired under" the
+  // first within one statement (deadlock-free by std::lock, but the
+  // extraction is conservative and keeps the edge).
+  EXPECT_EQ(es[2].held, "mu_d");
+  EXPECT_EQ(es[2].acquired, "mu_e");
+}
+
+TEST(LintLockOrder, TwoTuInversionIsFlaggedAtBothWitnesses) {
+  const std::vector<opwat::lint::file_input> files = {
+      {"src/opwat/serve/a.cpp",
+       "void f() {\n"
+       "  const util::mutex_lock g1{mu_catalog};\n"
+       "  const util::mutex_lock g2{mu_cache};\n"  // 3: catalog -> cache
+       "}\n"},
+      {"src/opwat/portal/b.cpp",
+       "void g() {\n"
+       "  const util::mutex_lock g1{mu_cache};\n"
+       "  const util::mutex_lock g2{mu_catalog};\n"  // 3: cache -> catalog
+       "}\n"},
+  };
+  const auto fs = lint_files(files);
+  const auto a_hits = lines_of(fs, "lock-order");
+  ASSERT_EQ(a_hits.size(), 2u);
+  // One finding per witness site, each naming the other in its message.
+  EXPECT_EQ(fs[0].file, "src/opwat/portal/b.cpp");
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_NE(fs[0].message.find("src/opwat/serve/a.cpp:3"), std::string::npos);
+  EXPECT_EQ(fs[1].file, "src/opwat/serve/a.cpp");
+  EXPECT_EQ(fs[1].line, 3);
+  EXPECT_NE(fs[1].message.find("src/opwat/portal/b.cpp:3"), std::string::npos);
+}
+
+TEST(LintLockOrder, ConsistentOrderAcrossTusIsClean) {
+  const std::vector<opwat::lint::file_input> files = {
+      {"src/opwat/serve/a.cpp",
+       "void f() { std::lock_guard<std::mutex> g1{m1};"
+       " std::lock_guard<std::mutex> g2{m2}; }\n"},
+      {"src/opwat/portal/b.cpp",
+       "void g() { std::lock_guard<std::mutex> g1{m1};"
+       " std::lock_guard<std::mutex> g2{m2}; }\n"},
+  };
+  EXPECT_TRUE(lines_of(lint_files(files), "lock-order").empty());
+}
+
+TEST(LintLockOrder, ThreeTuCycleNamesEveryHop) {
+  const std::vector<opwat::lint::file_input> files = {
+      {"src/opwat/a.cpp", "void f() { util::mutex_lock g1{ma};"
+                          " util::mutex_lock g2{mb}; }\n"},
+      {"src/opwat/b.cpp", "void g() { util::mutex_lock g1{mb};"
+                          " util::mutex_lock g2{mc}; }\n"},
+      {"src/opwat/c.cpp", "void h() { util::mutex_lock g1{mc};"
+                          " util::mutex_lock g2{ma}; }\n"},
+  };
+  const auto fs = lint_files(files);
+  const auto hits = lines_of(fs, "lock-order");
+  EXPECT_EQ(hits.size(), 3u);  // every edge of the cycle is a witness
+}
+
+TEST(LintLockOrder, SuppressedEdgeBreaksTheCycle) {
+  const std::vector<opwat::lint::file_input> files = {
+      {"src/opwat/a.cpp",
+       "void f() {\n"
+       "  util::mutex_lock g1{mu_x};\n"
+       "  // opwat-lint: allow(lock-order): init path, single-threaded by construction\n"
+       "  util::mutex_lock g2{mu_y};\n"
+       "}\n"},
+      {"src/opwat/b.cpp",
+       "void g() { util::mutex_lock g1{mu_y}; util::mutex_lock g2{mu_x}; }\n"},
+  };
+  EXPECT_TRUE(lines_of(lint_files(files), "lock-order").empty());
+}
+
+TEST(LintRuleIds, NewRulesAreRegisteredForSuppressionValidation) {
+  const auto& ids = opwat::lint::rule_ids();
+  for (const char* r : {"raw-lock", "blocking-in-handler", "throw-in-noexcept",
+                        "wire-safety", "lock-order"})
+    EXPECT_NE(std::find(ids.begin(), ids.end(), r), ids.end()) << r;
+}
+
 }  // namespace

@@ -5,7 +5,11 @@ stable schema plus a markdown table for $GITHUB_STEP_SUMMARY.
 Input: a directory tree holding the OPWAT_BENCH_JSON outputs (the CI
 bench-summary job downloads all artifacts there).  Any *.json file whose
 top level carries a "bench" key is picked up; files without one (gbench
-dumps, result digests) are ignored.
+dumps, result digests) are ignored.  A missing input directory, a
+malformed JSON file, or a bench file whose fields have unexpected types
+each produce a ::warning and are skipped — a partial artifact download
+must degrade the table, never crash the job (the summary is a gating
+step behind every bench lane).
 
 Output schema (consumed by trajectory tooling — keep it stable; bump
 "schema" on breaking changes):
@@ -81,11 +85,20 @@ def fmt(v):
     return "-" if v is None else f"{v:,.1f}"
 
 
+def warn(title, message):
+    print(f"::warning title={title}::{message}")
+
+
 def main() -> int:
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2
     in_dir, out_path = sys.argv[1], sys.argv[2]
+
+    if not os.path.isdir(in_dir):
+        warn("bench-summary input missing",
+             f"input directory {in_dir!r} does not exist; "
+             "writing an empty summary")
 
     sources = {}
     for root, _dirs, files in sorted(os.walk(in_dir)):
@@ -96,13 +109,20 @@ def main() -> int:
             try:
                 with open(path, encoding="utf-8") as fh:
                     data = json.load(fh)
-            except (json.JSONDecodeError, UnicodeDecodeError):
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+                warn("bench-summary skipped a file",
+                     f"{path}: unreadable or malformed JSON ({exc})")
                 continue
             if not isinstance(data, dict) or "bench" not in data:
+                continue  # gbench dumps, digests: expected, no warning
+            try:
+                shapes = extract(data)
+            except (TypeError, ValueError, AttributeError, KeyError) as exc:
+                warn("bench-summary skipped a file",
+                     f"{path}: bench payload has unexpected shape ({exc})")
                 continue
-            shapes = extract(data)
             if shapes:
-                sources.setdefault(data["bench"], {}).update(shapes)
+                sources.setdefault(str(data["bench"]), {}).update(shapes)
 
     summary = {"schema": 1, "sources": sources}
     with open(out_path, "w", encoding="utf-8") as fh:

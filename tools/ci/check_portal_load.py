@@ -11,16 +11,53 @@ numbers that depend on runner hardware:
   * closed-loop QPS below the floor (OPWAT_QPS_FLOOR, default 50000);
   * closed-loop p99 above the ceiling (OPWAT_P99_CEILING_US, 5000).
 
-Usage: check_portal_load.py portal_load.json
+With the optional second argument (the server's /stats JSON, captured
+by the workflow while opwatd is still up), the server-side counters are
+gated too: every expected counter key must be present, and
+accept_errors must be exactly 0 — an EMFILE/ENFILE burst in the
+acceptor is a correctness failure even when every client-side request
+still succeeded.
+
+Usage: check_portal_load.py portal_load.json [server_stats.json]
 """
 
 import json
 import os
 import sys
 
+# Counters the portal server's /stats endpoint must expose; a missing
+# key means the debug surface regressed, which would blind this gate.
+SERVER_COUNTER_KEYS = (
+    "connections_accepted",
+    "requests_admitted",
+    "responses_ok",
+    "responses_error",
+    "shed_queue_full",
+    "shed_pipeline",
+    "protocol_errors",
+    "accept_errors",
+    "cache_hits",
+    "cache_misses",
+)
+
+
+def check_server_stats(path, hard_failures):
+    """Gate the opwatd /stats counters captured during the load run."""
+    with open(path, encoding="utf-8") as fh:
+        stats = json.load(fh)
+    for key in SERVER_COUNTER_KEYS:
+        if key not in stats:
+            hard_failures.append(f"server stats: counter {key!r} missing")
+    if stats.get("accept_errors", 0) > 0:
+        hard_failures.append(
+            f"server stats: {stats['accept_errors']} accept error(s) — "
+            "the acceptor hit accept()/fd failures during the run")
+    print("server: " + " ".join(
+        f"{k}={stats[k]}" for k in SERVER_COUNTER_KEYS if k in stats))
+
 
 def main() -> int:
-    if len(sys.argv) != 2:
+    if len(sys.argv) not in (2, 3):
         print(__doc__, file=sys.stderr)
         return 2
     with open(sys.argv[1], encoding="utf-8") as fh:
@@ -60,6 +97,9 @@ def main() -> int:
             print(f"::warning title=portal p99 above ceiling::"
                   f"closed-loop p99 {closed['p99_us']:.0f}us > ceiling "
                   f"{p99_ceiling_us:.0f}us (soft: runner-hardware dependent)")
+
+    if len(sys.argv) == 3:
+        check_server_stats(sys.argv[2], hard_failures)
 
     if hard_failures:
         for f in hard_failures:

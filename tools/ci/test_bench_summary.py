@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/ci/bench_summary.py.
+
+Covers the hardening contract: a partial or corrupted artifact download
+(missing directory, malformed JSON, bench files with unexpected field
+types) degrades the summary with ::warning lines and exit 0 — it never
+crashes the gating CI step — while well-formed artifacts still land in
+the schema-stable output.
+
+Run directly (python3 tools/ci/test_bench_summary.py) or via ctest
+(bench_summary_py).
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      "bench_summary.py")
+
+
+def run_summary(in_dir, out_path):
+    return subprocess.run(
+        [sys.executable, SCRIPT, in_dir, out_path],
+        capture_output=True, text=True, check=False)
+
+
+class BenchSummaryTest(unittest.TestCase):
+    def setUp(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.addCleanup(self.tmp.cleanup)
+        self.in_dir = os.path.join(self.tmp.name, "collected")
+        self.out = os.path.join(self.tmp.name, "bench_summary.json")
+        os.makedirs(self.in_dir)
+
+    def write(self, name, content):
+        path = os.path.join(self.in_dir, name)
+        with open(path, "w", encoding="utf-8") as fh:
+            if isinstance(content, str):
+                fh.write(content)
+            else:
+                json.dump(content, fh)
+        return path
+
+    def summary(self):
+        with open(self.out, encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def test_happy_path_portal_load(self):
+        self.write("portal_load.json", {
+            "bench": "portal_load",
+            "phases": [
+                {"mode": "closed_loop", "p50_us": 110.0, "p99_us": 420.0,
+                 "qps": 81234.5},
+                {"mode": "open_loop", "p50_us": 95.0, "p99_us": 300.0,
+                 "qps": 8000.0},
+            ],
+        })
+        res = run_summary(self.in_dir, self.out)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        shapes = self.summary()["sources"]["portal_load"]
+        self.assertEqual(sorted(shapes), ["closed_loop", "open_loop"])
+        self.assertAlmostEqual(shapes["closed_loop"]["qps"], 81234.5)
+
+    def test_missing_input_dir_warns_and_writes_empty_summary(self):
+        res = run_summary(os.path.join(self.tmp.name, "nope"), self.out)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("::warning", res.stdout)
+        self.assertEqual(self.summary(), {"schema": 1, "sources": {}})
+
+    def test_malformed_json_is_skipped_with_warning(self):
+        self.write("broken.json", "{not json at all")
+        self.write("ok.json", {"bench": "x", "p50_us": 1.0, "p99_us": 2.0,
+                               "qps": 3.0})
+        res = run_summary(self.in_dir, self.out)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("::warning", res.stdout)
+        self.assertIn("broken.json", res.stdout)
+        # The well-formed file still lands in the summary.
+        self.assertIn("x", self.summary()["sources"])
+
+    def test_wrong_field_types_are_skipped_with_warning(self):
+        self.write("bad_types.json", {
+            "bench": "catalog_query",
+            "queries": [{"query": "member", "p50_ms": "fast",
+                         "p99_ms": 2.0, "queries_per_sec": 10.0}],
+        })
+        res = run_summary(self.in_dir, self.out)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("::warning", res.stdout)
+        self.assertNotIn("catalog_query", self.summary()["sources"])
+
+    def test_non_bench_json_is_silently_ignored(self):
+        self.write("gbench_dump.json", {"context": {}, "benchmarks": []})
+        res = run_summary(self.in_dir, self.out)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertNotIn("::warning", res.stdout)
+        self.assertEqual(self.summary()["sources"], {})
+
+    def test_empty_tree_exits_zero_with_placeholder_table(self):
+        res = run_summary(self.in_dir, self.out)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("no bench artifacts found", res.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -237,12 +237,26 @@ void for_each_ident(std::string_view t, Fn&& fn) {
 struct suppressions {
   /// line (1-based) -> rules allowed on that line.
   std::map<int, std::set<std::string>> allowed;
+  /// Inclusive [open, close] line spans declared nonblocking via
+  /// region(nonblocking) / endregion(nonblocking) markers.
+  std::vector<std::pair<int, int>> nonblocking;
   std::vector<finding> bad;  ///< malformed suppression comments
+
+  [[nodiscard]] bool allows(int line, std::string_view rule) const {
+    const auto it = allowed.find(line);
+    return it != allowed.end() && it->second.count(std::string{rule}) != 0;
+  }
+  [[nodiscard]] bool in_nonblocking(int line) const noexcept {
+    for (const auto& [b, e] : nonblocking)
+      if (line >= b && line <= e) return true;
+    return false;
+  }
 };
 
 suppressions parse_suppressions(std::string_view path, const stripped_file& f) {
   suppressions s;
   static constexpr std::string_view k_marker = "opwat-lint:";
+  std::vector<int> region_stack;  // open lines of region(nonblocking)
   for (std::size_t li = 0; li < f.comment.size(); ++li) {
     const std::string& c = f.comment[li];
     const auto m = c.find(k_marker);
@@ -253,8 +267,46 @@ suppressions parse_suppressions(std::string_view path, const stripped_file& f) {
     };
     std::size_t i = skip_spaces(c, m + k_marker.size());
     static constexpr std::string_view k_allow = "allow(";
+    static constexpr std::string_view k_region = "region(";
+    static constexpr std::string_view k_endregion = "endregion(";
+    // Region markers: "region(nonblocking): <reason>" opens a span in
+    // which the blocking-in-handler and throw-in-noexcept rules are
+    // active; "endregion(nonblocking)" closes it.
+    if (c.compare(i, k_region.size(), k_region) == 0 ||
+        c.compare(i, k_endregion.size(), k_endregion) == 0) {
+      const bool opening = c.compare(i, k_region.size(), k_region) == 0;
+      i += opening ? k_region.size() : k_endregion.size();
+      const auto close = c.find(')', i);
+      if (close == std::string::npos) {
+        bad("unterminated region(...) marker");
+        continue;
+      }
+      const std::string name = c.substr(i, close - i);
+      if (name != "nonblocking") {
+        bad("unknown region \"" + name + "\" — only region(nonblocking) exists");
+        continue;
+      }
+      if (opening) {
+        const std::size_t r = skip_spaces(c, close + 1);
+        if (r >= c.size() || c[r] != ':' || skip_spaces(c, r + 1) >= c.size()) {
+          bad("region(nonblocking) carries no reason — write "
+              "\"region(nonblocking): <what this span guarantees>\"");
+          continue;
+        }
+        region_stack.push_back(line);
+      } else {
+        if (region_stack.empty()) {
+          bad("endregion(nonblocking) without a matching region marker");
+          continue;
+        }
+        s.nonblocking.emplace_back(region_stack.back(), line);
+        region_stack.pop_back();
+      }
+      continue;
+    }
     if (c.compare(i, k_allow.size(), k_allow) != 0) {
-      bad("expected \"opwat-lint: allow(<rule>): <reason>\"");
+      bad("expected \"opwat-lint: allow(<rule>): <reason>\" or a "
+          "region(nonblocking) marker");
       continue;
     }
     i += k_allow.size();
@@ -306,6 +358,10 @@ suppressions parse_suppressions(std::string_view path, const stripped_file& f) {
     }
     s.allowed[static_cast<int>(target) + 1].insert(rules.begin(), rules.end());
   }
+  for (const int open : region_stack)
+    s.bad.push_back({std::string{path}, open, "bad-suppression",
+                     "region(nonblocking) is never closed — add "
+                     "\"opwat-lint: endregion(nonblocking)\""});
   return s;
 }
 
@@ -547,6 +603,403 @@ void check_include_hygiene(const rule_ctx& ctx) {
   }
 }
 
+// --- concurrency / wire-safety rules -----------------------------------------
+
+/// raw-lock: manual .lock()/.unlock() (and the shared/try variants) are
+/// banned everywhere — locks are held through the RAII guards in
+/// opwat/util/annotations.hpp, which clang's thread-safety analysis can
+/// follow.  The guard implementations themselves carry allow()s.
+void check_raw_lock(const rule_ctx& ctx) {
+  static const std::set<std::string_view> methods = {
+      "lock",        "unlock",        "try_lock",
+      "lock_shared", "unlock_shared", "try_lock_shared",
+  };
+  const auto& t = ctx.code->text;
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    if (methods.count(id) == 0) return;
+    // Must be a member call: `.lock(` or `->lock(`.
+    if (off == 0) return;
+    const auto p = prev_nonspace(t, off - 1);
+    if (p == std::string_view::npos) return;
+    const bool member = t[p] == '.' || (t[p] == '>' && p > 0 && t[p - 1] == '-');
+    if (!member) return;
+    const auto nx = skip_spaces(t, off + id.size());
+    if (nx >= t.size() || t[nx] != '(') return;
+    ctx.emit(ctx.code->line_of(off), "raw-lock",
+             "manual ." + std::string{id} +
+                 "() — hold locks through the RAII guards in "
+                 "opwat/util/annotations.hpp (util::mutex_lock / "
+                 "writer_lock / reader_lock) so the thread-safety "
+                 "analysis can see the critical section");
+  });
+}
+
+/// blocking-in-handler: inside a declared `region(nonblocking)` span
+/// (the portal acceptor and worker hot paths), unbounded blocking
+/// primitives are banned.  The bounded wrappers net::send_all /
+/// net::recv_some tokenize differently and pass.
+void check_blocking_in_handler(const rule_ctx& ctx) {
+  static const std::set<std::string_view> calls = {
+      "poll",      "ppoll",     "select",     "pselect",  "epoll_wait",
+      "sleep",     "usleep",    "nanosleep",  "sleep_for", "sleep_until",
+      "join",      "wait",      "wait_for",   "wait_until",
+      "system",    "popen",     "fopen",      "fread",    "fwrite",
+      "fsync",     "getline",   "read",       "write",    "pread",
+      "pwrite",    "send",      "recv",       "sendto",   "recvfrom",
+      "sendmsg",   "recvmsg",   "connect",
+  };
+  static const std::set<std::string_view> types = {"ifstream", "ofstream",
+                                                   "fstream"};
+  if (ctx.supp->nonblocking.empty()) return;
+  const auto& t = ctx.code->text;
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    const int line = ctx.code->line_of(off);
+    if (!ctx.supp->in_nonblocking(line)) return;
+    if (types.count(id) != 0) {
+      ctx.emit(line, "blocking-in-handler",
+               "file stream \"" + std::string{id} +
+                   "\" inside a nonblocking region — handlers may not do "
+                   "file I/O");
+      return;
+    }
+    if (calls.count(id) == 0) return;
+    const auto nx = skip_spaces(t, off + id.size());
+    if (nx >= t.size() || t[nx] != '(') return;
+    ctx.emit(line, "blocking-in-handler",
+             "call to \"" + std::string{id} +
+                 "\" inside a nonblocking region — only bounded "
+                 "primitives (net::send_all / net::recv_some with a "
+                 "timeout) may block here");
+  });
+}
+
+/// throw-in-noexcept: a lexical `throw` inside the body of a noexcept
+/// function is std::terminate waiting to happen (the PR 7 send_all bug
+/// class); a `throw` inside a nonblocking region violates the acceptor
+/// and worker never-throw contracts.  Direct throws only — a callee
+/// that throws through a noexcept frame is the thread-safety lane's and
+/// the fuzzers' job to catch.
+void check_throw_in_noexcept(const rule_ctx& ctx) {
+  const auto& t = ctx.code->text;
+  const bool full = ctx.kind == file_kind::source || ctx.kind == file_kind::tool;
+  // Part 1: throw inside a declared nonblocking region (any file kind).
+  if (!ctx.supp->nonblocking.empty()) {
+    for_each_ident(t, [&](std::string_view id, std::size_t off) {
+      if (id != "throw") return;
+      const int line = ctx.code->line_of(off);
+      if (ctx.supp->in_nonblocking(line))
+        ctx.emit(line, "throw-in-noexcept",
+                 "throw inside a nonblocking region — these handlers run "
+                 "under a never-throw contract; return a typed error "
+                 "instead");
+    });
+  }
+  if (!full) return;
+  // Part 2: throw lexically inside a noexcept function body.
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    if (id != "noexcept") return;
+    std::size_t i = skip_spaces(t, off + id.size());
+    // noexcept(expr) — the conditional specifier or the operator; both
+    // are out of scope for the lexical pass.
+    if (i < t.size() && t[i] == '(') return;
+    // Scan ahead for the function body's '{' at paren depth 0; a ';' or
+    // '=' first means declaration-only / =default / =delete.
+    int pdepth = 0;
+    std::size_t body = std::string_view::npos;
+    for (; i < t.size(); ++i) {
+      const char c = t[i];
+      if (c == '(') ++pdepth;
+      else if (c == ')') --pdepth;
+      else if (pdepth == 0 && (c == ';' || c == '=')) return;
+      else if (pdepth == 0 && c == '{') {
+        body = i;
+        break;
+      }
+    }
+    if (body == std::string_view::npos) return;
+    // A ctor's member-init list puts brace-initializers before the real
+    // body: keep consuming balanced groups while another '{' (or a ','
+    // leading to one) follows; the last group is the body.
+    std::size_t open = body;
+    std::size_t close = std::string_view::npos;
+    while (true) {
+      int bdepth = 0;
+      std::size_t j = open;
+      for (; j < t.size(); ++j) {
+        if (t[j] == '{') ++bdepth;
+        else if (t[j] == '}' && --bdepth == 0) break;
+      }
+      if (j >= t.size()) return;  // unbalanced; bail
+      close = j;
+      std::size_t nx = skip_spaces(t, j + 1);
+      if (nx < t.size() && t[nx] == ',') nx = skip_spaces(t, nx + 1);
+      if (nx < t.size() && t[nx] == '{') {
+        open = nx;
+        continue;
+      }
+      // Also step over `name{init}` member initializers after a ','.
+      if (nx < t.size() && ident_char(t[nx])) {
+        std::size_t k = nx;
+        while (k < t.size() && (ident_char(t[k]) || t[k] == ':')) ++k;
+        k = skip_spaces(t, k);
+        if (k < t.size() && (t[k] == '{' || t[k] == '(')) {
+          // another initializer; find its '{' and keep going
+          const auto nb = t.find('{', nx);
+          if (nb == std::string_view::npos) break;
+          open = nb;
+          continue;
+        }
+      }
+      break;
+    }
+    const auto body_text = t.substr(open + 1, close - open - 1);
+    for_each_ident(body_text, [&](std::string_view bid, std::size_t boff) {
+      if (bid != "throw") return;
+      ctx.emit(ctx.code->line_of(open + 1 + boff), "throw-in-noexcept",
+               "throw inside a noexcept function — an escaping exception "
+               "is std::terminate; return an error value or drop the "
+               "noexcept");
+    });
+  });
+}
+
+/// wire-safety: in net/ and portal/ (the code that touches bytes from
+/// the network), reinterpret_cast, raw memcpy/memmove and unchecked
+/// `.data() + offset` pointer arithmetic are banned — decoding goes
+/// through the bounds-checked wire::reader.  The handful of kernel-API
+/// boundaries carry allow()s with written justification.
+[[nodiscard]] bool wire_scope(std::string_view path) noexcept {
+  const auto has_segment = [&](std::string_view seg) {
+    std::size_t pos = 0;
+    while ((pos = path.find(seg, pos)) != std::string_view::npos) {
+      const bool starts = pos == 0 || path[pos - 1] == '/';
+      const bool ends =
+          pos + seg.size() < path.size() && path[pos + seg.size()] == '/';
+      if (starts && ends) return true;
+      ++pos;
+    }
+    return false;
+  };
+  return has_segment("net") || has_segment("portal");
+}
+
+void check_wire_safety(const rule_ctx& ctx) {
+  if (!wire_scope(ctx.path)) return;
+  const auto& t = ctx.code->text;
+  for_each_ident(t, [&](std::string_view id, std::size_t off) {
+    const int line = ctx.code->line_of(off);
+    if (id == "reinterpret_cast") {
+      ctx.emit(line, "wire-safety",
+               "reinterpret_cast in wire-handling code — decode through "
+               "wire::reader / std::bit_cast, or justify the cast with an "
+               "allow()");
+      return;
+    }
+    if (id == "memcpy" || id == "memmove") {
+      ctx.emit(line, "wire-safety",
+               std::string{id} +
+                   " from a wire buffer — use wire::reader (bounds-checked) "
+                   "or std::bit_cast for fixed-size values");
+      return;
+    }
+    if (id != "data") return;
+    // `.data() + k` / `->data() + k`: unchecked pointer arithmetic.
+    if (off == 0) return;
+    const auto p = prev_nonspace(t, off - 1);
+    if (p == std::string_view::npos ||
+        !(t[p] == '.' || (t[p] == '>' && p > 0 && t[p - 1] == '-')))
+      return;
+    auto i = skip_spaces(t, off + id.size());
+    if (i >= t.size() || t[i] != '(') return;
+    i = skip_spaces(t, i + 1);
+    if (i >= t.size() || t[i] != ')') return;
+    i = skip_spaces(t, i + 1);
+    if (i < t.size() && t[i] == '+' && (i + 1 >= t.size() || t[i + 1] != '+'))
+      ctx.emit(line, "wire-safety",
+               ".data() + offset arithmetic on a wire buffer — slice with "
+               "substr()/subspan() or decode through wire::reader, or "
+               "justify the cursor with an allow()");
+  });
+}
+
+// --- lock-order extraction ---------------------------------------------------
+
+/// RAII guard constructions recognized as mutex acquisitions.
+[[nodiscard]] bool guard_type(std::string_view id) noexcept {
+  static const std::set<std::string_view> guards = {
+      "lock_guard", "unique_lock", "shared_lock", "scoped_lock",
+      "mutex_lock", "writer_lock", "reader_lock",
+  };
+  return guards.count(id) != 0;
+}
+
+std::vector<lock_edge> extract_lock_edges(std::string_view path,
+                                          const joined_code& code,
+                                          const suppressions& supp) {
+  static const std::set<std::string_view> tags = {"std", "adopt_lock",
+                                                  "defer_lock", "try_to_lock"};
+  const auto& t = code.text;
+  struct acq {
+    std::string name;
+    int depth;
+  };
+  std::vector<acq> active;
+  std::vector<lock_edge> edges;
+  int depth = 0;
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const char c = t[i];
+    if (c == '{') {
+      ++depth;
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      --depth;
+      while (!active.empty() && active.back().depth > depth) active.pop_back();
+      ++i;
+      continue;
+    }
+    if (!ident_char(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (i > 0 && ident_char(t[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < t.size() && ident_char(t[j])) ++j;
+    const auto id = t.substr(i, j - i);
+    if (!guard_type(id)) {
+      i = j;
+      continue;
+    }
+    // <template args>?  variable-name  ( or {  args  ) or }
+    std::size_t k = skip_spaces(t, j);
+    if (k < t.size() && t[k] == '<') {
+      const auto e = skip_template_args(t, k);
+      if (e == std::string_view::npos) {
+        i = j;
+        continue;
+      }
+      k = skip_spaces(t, e);
+    }
+    if (k >= t.size() || !ident_char(t[k]) ||
+        std::isdigit(static_cast<unsigned char>(t[k])) != 0) {
+      i = j;
+      continue;
+    }
+    std::size_t ne = k;
+    while (ne < t.size() && ident_char(t[ne])) ++ne;
+    const std::size_t open = skip_spaces(t, ne);
+    if (open >= t.size() || (t[open] != '{' && t[open] != '(')) {
+      i = j;
+      continue;
+    }
+    // Walk the constructor arguments (nesting tracked so the main
+    // depth counter never sees these braces), splitting top-level ','.
+    // Slice through a view of `t` — std::string::substr would hand the
+    // vector views of destroyed temporaries.
+    const std::string_view tv{t};
+    int d2 = 0;
+    std::size_t p = open;
+    std::size_t arg_start = open + 1;
+    std::vector<std::string_view> args;
+    for (; p < t.size(); ++p) {
+      const char a = t[p];
+      if (a == '(' || a == '{' || a == '[') {
+        ++d2;
+      } else if (a == ')' || a == '}' || a == ']') {
+        if (--d2 == 0) {
+          args.push_back(tv.substr(arg_start, p - arg_start));
+          break;
+        }
+      } else if (a == ',' && d2 == 1) {
+        args.push_back(tv.substr(arg_start, p - arg_start));
+        arg_start = p + 1;
+      }
+    }
+    if (p >= t.size()) {
+      i = j;
+      continue;
+    }
+    const int line = code.line_of(i);
+    const bool suppressed = supp.allows(line, "lock-order");
+    for (const auto arg : args) {
+      // The mutex's identity is the last identifier of the argument
+      // expression (`m_`, `conn->write_mu` -> write_mu), skipping the
+      // std lock tags.
+      std::string name;
+      for_each_ident(arg, [&](std::string_view aid, std::size_t) {
+        if (tags.count(aid) == 0) name = std::string{aid};
+      });
+      if (name.empty()) continue;
+      for (const auto& h : active)
+        if (h.name != name)
+          edges.push_back({h.name, name, std::string{path}, line, suppressed});
+      active.push_back({std::move(name), depth});
+    }
+    i = p + 1;
+  }
+  return edges;
+}
+
+/// Cross-TU lock-order pass over the per-file acquisition edges: build
+/// the acquisition graph and report every edge that closes a cycle,
+/// with the witness chain completing it.
+void check_lock_order(const std::vector<lock_edge>& all,
+                      std::vector<finding>& out) {
+  // One witness per (held, acquired) pair — the lexicographically first
+  // site keeps reports deterministic.  Suppressed edges are removed
+  // from the graph entirely, so one justified allow() breaks its cycle.
+  std::map<std::pair<std::string, std::string>, const lock_edge*> witness;
+  for (const auto& e : all) {
+    if (e.suppressed) continue;
+    auto& w = witness[{e.held, e.acquired}];
+    if (w == nullptr || std::tie(e.file, e.line) < std::tie(w->file, w->line))
+      w = &e;
+  }
+  std::map<std::string, std::set<std::string>> adj;
+  for (const auto& [key, e] : witness) adj[key.first].insert(key.second);
+
+  for (const auto& [key, e] : witness) {
+    const auto& [held, acquired] = key;
+    // Does a path acquired ->* held exist?  BFS with parent tracking so
+    // the report can name every hop's witness site.
+    std::map<std::string, std::string> parent;
+    std::vector<std::string> queue{acquired};
+    parent[acquired] = acquired;
+    bool found = false;
+    for (std::size_t qi = 0; qi < queue.size() && !found; ++qi) {
+      const auto cur = queue[qi];
+      const auto it = adj.find(cur);
+      if (it == adj.end()) continue;
+      for (const auto& nx : it->second) {
+        if (parent.count(nx) != 0) continue;
+        parent[nx] = cur;
+        if (nx == held) {
+          found = true;
+          break;
+        }
+        queue.push_back(nx);
+      }
+    }
+    if (!found) continue;
+    // Reconstruct acquired -> ... -> held and describe each hop.
+    std::vector<std::string> path{held};
+    while (path.back() != acquired) path.push_back(parent[path.back()]);
+    std::string chain;
+    for (std::size_t hop = path.size() - 1; hop > 0; --hop) {
+      const auto* w = witness[{path[hop], path[hop - 1]}];
+      chain += " \"" + path[hop] + "\" -> \"" + path[hop - 1] + "\" (" +
+               w->file + ":" + std::to_string(w->line) + ")";
+    }
+    out.push_back(
+        {e->file, e->line, "lock-order",
+         "lock-order cycle: \"" + acquired + "\" is acquired while \"" + held +
+             "\" is held here, but the reverse order exists:" + chain +
+             " — pick one global order or justify with allow(lock-order)"});
+  }
+}
+
 [[nodiscard]] std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -600,8 +1053,12 @@ file_kind classify(std::string_view path) noexcept {
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> ids = {
-      "nondeterminism",  "unordered-iter", "float-compare",
-      "bare-assert",     "include-hygiene", "bad-suppression",
+      "nondeterminism",      "unordered-iter",
+      "float-compare",       "bare-assert",
+      "include-hygiene",     "bad-suppression",
+      "raw-lock",            "blocking-in-handler",
+      "throw-in-noexcept",   "wire-safety",
+      "lock-order",
   };
   return ids;
 }
@@ -630,12 +1087,27 @@ std::vector<finding> lint_source(std::string_view path, std::string_view text,
   names.insert(seeded_names.begin(), seeded_names.end());
   check_unordered_iter(ctx, names);
   check_include_hygiene(ctx);
+  // The concurrency and wire rules run for every file kind: locking and
+  // byte-handling discipline hold in benches, examples and tests too
+  // (nonblocking regions and wire scope are opt-in by marker / path, so
+  // they cost nothing where they don't apply).
+  check_raw_lock(ctx);
+  check_blocking_in_handler(ctx);
+  check_throw_in_noexcept(ctx);
+  check_wire_safety(ctx);
 
   out.insert(out.end(), supp.bad.begin(), supp.bad.end());
   std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
   });
   return out;
+}
+
+std::vector<lock_edge> lock_edges(std::string_view path, std::string_view text) {
+  const auto f = strip(text);
+  const auto code = join(f.code);
+  const auto supp = parse_suppressions(path, f);
+  return extract_lock_edges(path, code, supp);
 }
 
 std::vector<finding> lint_files(const std::vector<file_input>& files) {
@@ -649,6 +1121,7 @@ std::vector<finding> lint_files(const std::vector<file_input>& files) {
       header_names[f.path.substr(0, dot)] = unordered_names(f.text);
   }
   std::vector<finding> out;
+  std::vector<lock_edge> edges;
   for (const auto& f : files) {
     std::set<std::string> seeded;
     const auto dot = f.path.rfind('.');
@@ -658,7 +1131,13 @@ std::vector<finding> lint_files(const std::vector<file_input>& files) {
     }
     auto fs = lint_source(f.path, f.text, seeded);
     out.insert(out.end(), fs.begin(), fs.end());
+    auto es = lock_edges(f.path, f.text);
+    edges.insert(edges.end(), es.begin(), es.end());
   }
+  // The cross-TU pass: per-function acquisition nesting from every file
+  // composes into one graph; an inversion split across TUs is exactly
+  // the deadlock a per-file view cannot see.
+  check_lock_order(edges, out);
   std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
   });

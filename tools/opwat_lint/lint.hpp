@@ -27,6 +27,41 @@
 //                     are rooted at opwat/ (plus the <cassert> ban,
 //                     reported under bare-assert).
 //
+// Concurrency / wire-safety rules (every file kind — locking and
+// byte-handling discipline hold tree-wide):
+//
+//   raw-lock            manual .lock()/.unlock()/.try_lock() (and the
+//                       _shared variants) banned; critical sections go
+//                       through the RAII guards of
+//                       opwat/util/annotations.hpp so clang's
+//                       -Wthread-safety analysis can follow them.
+//   blocking-in-handler inside a span opened by a comment of the form
+//                       "region(nonblocking): <reason>" and closed by
+//                       "endregion(nonblocking)" — both carrying the
+//                       usual opwat-lint comment prefix — unbounded
+//                       blocking calls (poll/select/sleep*/join/wait*/
+//                       send/recv/file I/O...) are banned — only the
+//                       bounded net::send_all / net::recv_some wrappers
+//                       touch the network there.  The portal acceptor
+//                       and worker hot paths declare such spans.
+//   throw-in-noexcept   a lexical `throw` in a noexcept function body
+//                       (std::terminate waiting to happen) or anywhere
+//                       in a nonblocking region (never-throw contract).
+//                       Direct throws only; throwing callees are the
+//                       sanitizer lanes' and fuzzers' job.
+//   wire-safety         in net/ and portal/ path segments:
+//                       reinterpret_cast, raw memcpy/memmove, and
+//                       unchecked `.data() + offset` arithmetic are
+//                       banned — decoding goes through the
+//                       bounds-checked wire::reader.  Kernel-API
+//                       boundaries carry allow()s.
+//   lock-order          cross-TU: per-function RAII-guard nesting is
+//                       extracted from every file (lock_edges below),
+//                       composed into one acquisition graph, and every
+//                       cycle is reported with the witness site of each
+//                       hop.  Emitted by lint_files (the pass needs the
+//                       whole file set), not lint_source.
+//
 // Per-line suppression: a comment of the shape shown below, naming the
 // allowed rule(s) with a required reason after the closing colon.  A
 // trailing comment suppresses its own line; a whole-line comment
@@ -97,6 +132,30 @@ struct finding {
 [[nodiscard]] std::vector<finding> lint_source(
     std::string_view path, std::string_view text,
     const std::set<std::string>& seeded_names = {});
+
+/// One "mutex B acquired while mutex A is held" site, extracted from
+/// RAII-guard nesting inside a single function.  Mutex identity is the
+/// final identifier of the guard's constructor argument (`m_`,
+/// `conn->write_mu` -> "write_mu") — lexical, so two unrelated mutexes
+/// sharing a member name merge into one node (conservative for cycle
+/// detection; rename one or annotate if a false cycle ever appears).
+struct lock_edge {
+  std::string held;      ///< mutex already held
+  std::string acquired;  ///< mutex acquired under it
+  std::string file;
+  int line = 0;  ///< 1-based acquisition (witness) site
+  /// allow(lock-order) at the witness line: the edge is dropped from
+  /// the graph, so one justified annotation breaks its cycle.
+  bool suppressed = false;
+
+  [[nodiscard]] bool operator==(const lock_edge&) const = default;
+};
+
+/// The acquisition edges of one file — exposed for tests and for
+/// external graph consumers; lint_files aggregates these across the
+/// whole file set for the cycle report.
+[[nodiscard]] std::vector<lock_edge> lock_edges(std::string_view path,
+                                                std::string_view text);
 
 /// A file handed to lint_files (path + contents, already read).
 struct file_input {
