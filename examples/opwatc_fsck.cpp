@@ -23,6 +23,7 @@
 #include <sstream>
 #include <string>
 
+#include "opwat/serve/compress.hpp"
 #include "opwat/serve/query.hpp"
 #include "opwat/serve/store.hpp"
 
@@ -71,6 +72,26 @@ int main(int argc, char** argv) {
                            std::to_string(bytes.size()) + " bytes");
   } catch (const serve::store_error& e) {
     fail_section("framing", e);
+  }
+
+  // 1b. Format version + column codecs (shallow walk; v1 records report
+  //     all columns raw).
+  try {
+    const auto info = serve::store_inspect(bytes);
+    std::size_t by_codec[4] = {0, 0, 0, 0};
+    for (const auto& rec : info.column_codecs)
+      for (const auto c : rec)
+        if (c < 4) ++by_codec[c];
+    std::string detail = "v" + std::to_string(info.version);
+    for (std::uint8_t c = 0; c < 4; ++c)
+      if (by_codec[c] > 0)
+        detail += std::string{", "} +
+                  std::string{serve::compress::to_string(
+                      static_cast<serve::compress::column_codec>(c))} +
+                  "×" + std::to_string(by_codec[c]);
+    section("format", detail);
+  } catch (const serve::store_error& e) {
+    fail_section("format", e);
   }
 
   // 2. Full decode: magic, version, per-section CRC-32, payload shapes.

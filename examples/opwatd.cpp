@@ -35,7 +35,8 @@ extern "C" void on_signal(int) { g_stop = 1; }
 void usage(std::ostream& os, const char* argv0) {
   os << "usage: " << argv0
      << " [--load FILE | --gen small|paper] [--save FILE]\n"
-        "       [--addr A] [--port N] [--workers N] [--seed N] [--help]\n"
+        "       [--addr A] [--port N] [--workers N] [--scan-threads N]\n"
+        "       [--seed N] [--help]\n"
         "\n"
         "  --load FILE    serve the epochs of a .opwatc snapshot\n"
         "  --gen S        build a synthetic catalog instead: scenario\n"
@@ -44,6 +45,8 @@ void usage(std::ostream& os, const char* argv0) {
         "  --addr A       bind address (default 127.0.0.1)\n"
         "  --port N       bind port (default 9417; 0 = ephemeral)\n"
         "  --workers N    query worker threads (default 2)\n"
+        "  --scan-threads N  morsel-parallel scan threads per worker\n"
+        "                 (default 0 = serial scans)\n"
         "  --seed N       --gen scenario seed (default 42)\n"
         "  --help         this text\n";
 }
@@ -83,6 +86,8 @@ int main(int argc, char** argv) {
       cfg.port = static_cast<std::uint16_t>(std::atoi(next()));
     } else if (arg == "--workers") {
       cfg.workers = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--scan-threads") {
+      cfg.scan_threads = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
@@ -146,7 +151,8 @@ int main(int argc, char** argv) {
   {
     const auto snap = cat.snapshot();
     std::cout << "opwatd serving " << snap->epoch_count() << " epoch(s), "
-              << cfg.workers << " worker(s)\n";
+              << cfg.workers << " worker(s), " << cfg.scan_threads
+              << " scan thread(s)/worker\n";
   }
   std::cout << "opwatd listening on " << cfg.bind_addr << ":" << srv.port()
             << std::endl;  // flushed: readiness line scripts wait for

@@ -105,5 +105,11 @@ std::vector<std::string> fuzz_seeds() {
   pcfg.seed += 1;
   cat.ingest(s.w, s.view, s.run_inference(pcfg), "e01");
   seeds.push_back(save_bytes(cat, "seed_two_epochs.opwatc"));
+  // The same snapshot pinned to the v1 writer (raw columns), so the
+  // mutation stream keeps BOTH column-section formats alive — save()
+  // above writes v2 with compressed frames.
+  const auto v1 = scratch_dir() / "seed_two_epochs_v1.opwatc";
+  cat.save(v1.string(), 1);
+  seeds.push_back(slurp(v1));
   return seeds;
 }

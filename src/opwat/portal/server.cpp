@@ -77,6 +77,8 @@ struct server::counters {
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
   std::atomic<std::uint64_t> http_requests{0};
+  std::atomic<std::uint64_t> parallel_scans{0};
+  std::atomic<std::uint64_t> morsels_executed{0};
 };
 
 struct server::connection {
@@ -161,6 +163,12 @@ void server::start() {
 
   queue_ = std::make_unique<util::bounded_queue<job>>(cfg_.queue_capacity);
   pool_ = std::make_unique<util::thread_pool>(cfg_.workers);
+  if (cfg_.scan_threads > 0) {
+    scan_scheds_.reserve(cfg_.workers);
+    for (std::size_t w = 0; w < cfg_.workers; ++w)
+      scan_scheds_.push_back(
+          std::make_unique<serve::exec::morsel_scheduler>(cfg_.scan_threads));
+  }
 
   if (cache_) {
     cat_.set_publish_hook([this](std::uint64_t) { cache_->clear(); });
@@ -168,7 +176,7 @@ void server::start() {
 
   acceptor_ = std::thread{[this] { acceptor_loop(); }};
   dispatcher_ = std::thread{[this] {
-    pool_->parallel_for(cfg_.workers, [this](std::size_t) { worker_loop(); });
+    pool_->parallel_for(cfg_.workers, [this](std::size_t w) { worker_loop(w); });
   }};
 }
 
@@ -204,6 +212,8 @@ server_stats server::stats() const {
   s.cache_hits = stats_->cache_hits.load(std::memory_order_relaxed);
   s.cache_misses = stats_->cache_misses.load(std::memory_order_relaxed);
   s.http_requests = stats_->http_requests.load(std::memory_order_relaxed);
+  s.parallel_scans = stats_->parallel_scans.load(std::memory_order_relaxed);
+  s.morsels_executed = stats_->morsels_executed.load(std::memory_order_relaxed);
   s.catalog_version = cat_.version();
   return s;
 }
@@ -420,6 +430,8 @@ void server::handle_http(const std::shared_ptr<connection>& conn) {
     w.key("cache_hits").value(s.cache_hits);
     w.key("cache_misses").value(s.cache_misses);
     w.key("http_requests").value(s.http_requests);
+    w.key("parallel_scans").value(s.parallel_scans);
+    w.key("morsels_executed").value(s.morsels_executed);
     w.key("catalog_version").value(s.catalog_version);
     w.end_object();
   } else if (path == "/epochs") {
@@ -448,7 +460,7 @@ void server::handle_http(const std::shared_ptr<connection>& conn) {
 
 // --- workers -----------------------------------------------------------------
 
-void server::worker_loop() {
+void server::worker_loop(std::size_t w) {
   // Absolute backstop: a worker must never die (an escaped exception
   // would shrink the pool for good and terminate the process at stop()),
   // so the error-response attempt itself may not throw, and in_flight
@@ -464,7 +476,7 @@ void server::worker_loop() {
   };
   while (auto j = queue_->pop()) {
     try {
-      process(*j);
+      process(*j, w);
     } catch (const std::exception& e) {
       backstop(*j, e.what());
     } catch (...) {
@@ -476,7 +488,7 @@ void server::worker_loop() {
 // opwat-lint: region(nonblocking): worker request path — workers must drain
 // the admitted backlog even under shutdown, so everything from dequeue to the
 // response write is bounded (send_all carries cfg_.write_timeout_ms).
-void server::process(job& j) {
+void server::process(job& j, std::size_t w) {
   if (cfg_.before_execute) cfg_.before_execute();
 
   // Version BEFORE snapshot: if a publish lands in between, results
@@ -532,7 +544,7 @@ void server::process(job& j) {
   }
 
   if (!done) {
-    resp = execute(req, *snap);
+    resp = execute(req, *snap, w);
     if (cacheable && resp.status == portal_errc::ok)
       cache_->insert(std::move(key), version, resp);
   }
@@ -542,8 +554,15 @@ void server::process(job& j) {
   j.conn->in_flight.fetch_sub(1, std::memory_order_relaxed);
 }
 
-response server::execute(const request& req, const serve::catalog& snap) const {
+response server::execute(const request& req, const serve::catalog& snap,
+                         std::size_t w) const {
   response resp;
+  // The worker's private scheduler (null = serial scans).  Injected into
+  // every query this op builds; byte-identical results either way, so
+  // callers cannot observe the difference except through the stats op.
+  serve::exec::morsel_scheduler* sched =
+      scan_scheds_.empty() ? nullptr : scan_scheds_[w].get();
+  serve::exec::stats scan_st;
   try {
     switch (req.op) {
       case op_code::ping:
@@ -551,6 +570,7 @@ response server::execute(const request& req, const serve::catalog& snap) const {
 
       case op_code::member: {
         serve::query q{snap};
+        q.scheduler(sched).collect_stats(&scan_st);
         q.epoch(req.epoch);
         resp.epoch = req.epoch;
         if (req.ixp_id != k_no_ixp_filter) {
@@ -574,6 +594,7 @@ response server::execute(const request& req, const serve::catalog& snap) const {
           return error_response(portal_errc::bad_request,
                                 "rtt_band needs lo <= hi, both numbers");
         serve::query q{snap};
+        q.scheduler(sched).collect_stats(&scan_st);
         q.epoch(req.epoch);
         resp.epoch = req.epoch;
         if (req.ixp_id != k_no_ixp_filter) {
@@ -593,6 +614,7 @@ response server::execute(const request& req, const serve::catalog& snap) const {
 
       case op_code::group_by: {
         serve::query q{snap};
+        q.scheduler(sched).collect_stats(&scan_st);
         q.epoch(req.epoch);
         resp.epoch = req.epoch;
         if (req.ixp_id != k_no_ixp_filter) {
@@ -663,12 +685,20 @@ response server::execute(const request& req, const serve::catalog& snap) const {
         put("cache_hits", s.cache_hits);
         put("cache_misses", s.cache_misses);
         put("http_requests", s.http_requests);
+        put("parallel_scans", s.parallel_scans);
+        put("morsels_executed", s.morsels_executed);
         put("catalog_version", s.catalog_version);
         break;
       }
     }
   } catch (const std::invalid_argument& e) {
     return error_response(portal_errc::bad_request, e.what());
+  }
+  // A query that ran at least one morsel went through the parallel path.
+  if (sched != nullptr && scan_st.morsels > 0) {
+    stats_->parallel_scans.fetch_add(1, std::memory_order_relaxed);
+    stats_->morsels_executed.fetch_add(scan_st.morsels,
+                                       std::memory_order_relaxed);
   }
   return resp;
 }

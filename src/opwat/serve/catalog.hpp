@@ -279,6 +279,11 @@ class catalog {
   /// Writes the whole catalog to `path`, replacing any existing file.
   /// Saving the same catalog twice produces byte-identical files.
   void save(const std::string& path) const;
+  /// Same, pinning the on-disk format version (1 = uncompressed legacy
+  /// columns, 2 = compressed — the default).  Tests and migration
+  /// tooling use this to emulate the old writer; throws store_error
+  /// (bad_version) for versions this build cannot write.
+  void save(const std::string& path, std::uint32_t version) const;
   /// Reads a catalog back from `path`.  Throws store_error on malformed
   /// input (bad magic/version, truncation, checksum mismatch) and
   /// catalog_error when the file itself carries duplicate epoch labels.

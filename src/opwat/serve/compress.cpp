@@ -1,0 +1,289 @@
+// Codec implementations for the .opwatc v2 columns section.  Every
+// decoder path is bounds-checked and validates the canonical-form rules
+// documented in compress.hpp, so a chunk that passed its section CRC but
+// carries inconsistent encoded data still raises the typed store_error
+// instead of producing wrong columns.
+#include "opwat/serve/compress.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "opwat/serve/store.hpp"
+
+namespace opwat::serve::compress {
+
+std::string_view to_string(column_codec c) noexcept {
+  switch (c) {
+    case column_codec::raw: return "raw";
+    case column_codec::for_bitpack: return "for_bitpack";
+    case column_codec::rle8: return "rle8";
+    case column_codec::rle64: return "rle64";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void fail(const std::string& ctx, const std::string& msg) {
+  throw store_error(store_errc::corrupt, ctx + ": " + msg);
+}
+
+void put_u8(std::string& b, std::uint8_t v) { b.push_back(static_cast<char>(v)); }
+
+void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) b.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint32_t get_u32_at(std::string_view b, std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= std::uint32_t{static_cast<unsigned char>(b[off + i])} << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64_at(std::string_view b, std::size_t off) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= std::uint64_t{static_cast<unsigned char>(b[off + i])} << (8 * i);
+  return v;
+}
+
+/// Longest run an RLE record can carry; a longer run is split, and the
+/// canonical "adjacent runs differ" rule is relaxed exactly at splits.
+constexpr std::uint32_t k_max_run = std::numeric_limits<std::uint32_t>::max();
+
+template <typename T, typename PutValue>
+void rle_encode(std::string& out, const T* v, std::size_t n, PutValue put_value) {
+  std::string runs;
+  std::uint64_t nruns = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i + 1;
+    while (j < n && v[j] == v[i]) ++j;
+    for (std::size_t len = j - i; len > 0;) {
+      const auto piece = static_cast<std::uint32_t>(std::min<std::size_t>(len, k_max_run));
+      put_value(runs, v[i]);
+      put_u32(runs, piece);
+      ++nruns;
+      len -= piece;
+    }
+    i = j;
+  }
+  put_u64(out, n);
+  put_u64(out, nruns);
+  out += runs;
+}
+
+rle_chunk_view rle_parse_chunk(std::string_view bytes, std::size_t& off,
+                               std::size_t expect, unsigned value_bytes,
+                               const std::string& ctx) {
+  if (bytes.size() - off < 16) fail(ctx, "RLE chunk header ends early");
+  rle_chunk_view c;
+  c.value_bytes = value_bytes;
+  const auto count = get_u64_at(bytes, off);
+  const auto nruns = get_u64_at(bytes, off + 8);
+  off += 16;
+  if (count != expect)
+    fail(ctx, "RLE chunk row count does not match its block");
+  const std::size_t rec = value_bytes + 4;
+  if (nruns > (bytes.size() - off) / rec)
+    fail(ctx, "RLE runs extend past the encoded column");
+  c.count = static_cast<std::size_t>(count);
+  c.nruns = static_cast<std::size_t>(nruns);
+  c.runs = bytes.substr(off, c.nruns * rec);
+  off += c.nruns * rec;
+
+  // Canonical-form walk: positive lengths summing to count, adjacent
+  // runs differing in value except straight after a split-length run.
+  std::uint64_t sum = 0;
+  std::uint64_t prev_value = 0;
+  std::uint32_t prev_len = 0;
+  for (std::size_t r = 0; r < c.nruns; ++r) {
+    const std::size_t at = r * rec;
+    const std::uint64_t value = value_bytes == 1
+        ? static_cast<unsigned char>(c.runs[at])
+        : get_u64_at(c.runs, at);
+    const auto len = get_u32_at(c.runs, at + value_bytes);
+    if (len == 0) fail(ctx, "RLE run with zero length");
+    if (r > 0 && value == prev_value && prev_len != k_max_run)
+      fail(ctx, "adjacent RLE runs with equal values");
+    sum += len;
+    if (sum > count) fail(ctx, "RLE run lengths exceed the row count");
+    prev_value = value;
+    prev_len = len;
+  }
+  if (sum != count) fail(ctx, "RLE run lengths do not sum to the row count");
+  return c;
+}
+
+}  // namespace
+
+// --- frame-of-reference / bit-packing ---------------------------------------
+
+void for_encode_chunk(std::string& out, const std::uint32_t* v, std::size_t n) {
+  std::uint32_t mn = n > 0 ? v[0] : 0;
+  std::uint32_t mx = mn;
+  for (std::size_t i = 1; i < n; ++i) {
+    mn = std::min(mn, v[i]);
+    mx = std::max(mx, v[i]);
+  }
+  const unsigned width = static_cast<unsigned>(std::bit_width(mx - mn));
+  put_u64(out, n);
+  put_u32(out, mn);
+  put_u32(out, mx);
+  put_u8(out, static_cast<std::uint8_t>(width));
+  std::uint64_t acc = 0;
+  unsigned nbits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= std::uint64_t{v[i] - mn} << nbits;
+    nbits += width;
+    while (nbits >= 8) {
+      out.push_back(static_cast<char>(acc & 0xFF));
+      acc >>= 8;
+      nbits -= 8;
+    }
+  }
+  if (nbits > 0) out.push_back(static_cast<char>(acc & 0xFF));
+}
+
+for_chunk_view for_parse_chunk(std::string_view bytes, std::size_t& off,
+                               std::size_t expect, const std::string& ctx) {
+  if (bytes.size() - off < 17) fail(ctx, "FOR chunk header ends early");
+  for_chunk_view c;
+  const auto count = get_u64_at(bytes, off);
+  c.min = get_u32_at(bytes, off + 8);
+  c.max = get_u32_at(bytes, off + 12);
+  c.width = static_cast<unsigned char>(bytes[off + 16]);
+  off += 17;
+  if (count != expect)
+    fail(ctx, "FOR chunk row count does not match its block");
+  c.count = static_cast<std::size_t>(count);
+  if (c.min > c.max) fail(ctx, "FOR chunk min exceeds max");
+  if (c.width > 32 ||
+      c.width != static_cast<unsigned>(std::bit_width(c.max - c.min)))
+    fail(ctx, "invalid bit width for FOR chunk range");
+  const std::size_t nbytes = (c.count * c.width + 7) / 8;
+  if (bytes.size() - off < nbytes)
+    fail(ctx, "FOR packed bits extend past the encoded column");
+  c.bits = bytes.substr(off, nbytes);
+  off += nbytes;
+  // Trailing bits beyond count*width must be zero (canonical form).
+  if (const unsigned spare = static_cast<unsigned>(nbytes * 8 - c.count * c.width);
+      spare > 0 && nbytes > 0) {
+    const auto last = static_cast<unsigned char>(c.bits[nbytes - 1]);
+    if ((last >> (8 - spare)) != 0) fail(ctx, "nonzero trailing bits in FOR chunk");
+  }
+  // The header's min/max must be achieved and every delta must stay in
+  // range — otherwise re-encoding would not reproduce these bytes.
+  if (c.count > 0) {
+    std::uint32_t seen_min = for_value_at(c, 0);
+    std::uint32_t seen_max = seen_min;
+    for (std::size_t i = 1; i < c.count; ++i) {
+      const auto val = for_value_at(c, i);
+      seen_min = std::min(seen_min, val);
+      seen_max = std::max(seen_max, val);
+    }
+    if (seen_min != c.min || seen_max != c.max)
+      fail(ctx, "FOR chunk min/max not achieved by its values");
+  } else if (c.min != 0 || c.max != 0) {
+    fail(ctx, "empty FOR chunk with nonzero range");
+  }
+  return c;
+}
+
+std::uint32_t for_value_at(const for_chunk_view& c, std::size_t i) noexcept {
+  if (c.width == 0) return c.min;
+  const std::size_t bit = i * c.width;
+  const std::size_t byte = bit >> 3;
+  const unsigned shift = static_cast<unsigned>(bit & 7);
+  std::uint64_t window = 0;
+  const std::size_t nb = std::min<std::size_t>(8, c.bits.size() - byte);
+  for (std::size_t k = 0; k < nb; ++k)
+    window |= std::uint64_t{static_cast<unsigned char>(c.bits[byte + k])} << (8 * k);
+  const std::uint64_t mask = (std::uint64_t{1} << c.width) - 1;
+  return c.min + static_cast<std::uint32_t>((window >> shift) & mask);
+}
+
+std::size_t for_count_in_range(const for_chunk_view& c, std::uint32_t lo,
+                               std::uint32_t hi) noexcept {
+  if (lo > hi || c.count == 0) return 0;
+  if (c.max < lo || c.min > hi) return 0;       // zone miss: header only
+  if (lo <= c.min && c.max <= hi) return c.count;  // zone hit: header only
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < c.count; ++i) {
+    const auto v = for_value_at(c, i);
+    if (v >= lo && v <= hi) ++n;
+  }
+  return n;
+}
+
+void for_decode_chunk(std::string_view bytes, std::size_t& off,
+                      std::size_t expect, std::vector<std::uint32_t>& out,
+                      const std::string& ctx) {
+  const auto c = for_parse_chunk(bytes, off, expect, ctx);
+  for (std::size_t i = 0; i < c.count; ++i) out.push_back(for_value_at(c, i));
+}
+
+// --- run-length encodings ---------------------------------------------------
+
+void rle8_encode_chunk(std::string& out, const std::uint8_t* v, std::size_t n) {
+  rle_encode(out, v, n, [](std::string& b, std::uint8_t value) { put_u8(b, value); });
+}
+
+void rle64_encode_chunk(std::string& out, const std::uint64_t* v, std::size_t n) {
+  rle_encode(out, v, n, [](std::string& b, std::uint64_t value) { put_u64(b, value); });
+}
+
+rle_chunk_view rle8_parse_chunk(std::string_view bytes, std::size_t& off,
+                                std::size_t expect, const std::string& ctx) {
+  return rle_parse_chunk(bytes, off, expect, 1, ctx);
+}
+
+rle_chunk_view rle64_parse_chunk(std::string_view bytes, std::size_t& off,
+                                 std::size_t expect, const std::string& ctx) {
+  return rle_parse_chunk(bytes, off, expect, 8, ctx);
+}
+
+std::size_t rle_count_eq(const rle_chunk_view& c, std::uint64_t value) noexcept {
+  const std::size_t rec = c.value_bytes + 4;
+  std::size_t n = 0;
+  for (std::size_t r = 0; r < c.nruns; ++r) {
+    const std::size_t at = r * rec;
+    const std::uint64_t run_value = c.value_bytes == 1
+        ? static_cast<unsigned char>(c.runs[at])
+        : get_u64_at(c.runs, at);
+    if (run_value == value) n += get_u32_at(c.runs, at + c.value_bytes);
+  }
+  return n;
+}
+
+void rle8_decode_chunk(std::string_view bytes, std::size_t& off,
+                       std::size_t expect, std::vector<std::uint8_t>& out,
+                       const std::string& ctx) {
+  const auto c = rle8_parse_chunk(bytes, off, expect, ctx);
+  for (std::size_t r = 0; r < c.nruns; ++r) {
+    const std::size_t at = r * 5;
+    const auto value = static_cast<std::uint8_t>(c.runs[at]);
+    const auto len = get_u32_at(c.runs, at + 1);
+    out.insert(out.end(), len, value);
+  }
+}
+
+void rle64_decode_chunk(std::string_view bytes, std::size_t& off,
+                        std::size_t expect, std::vector<std::uint64_t>& out,
+                        const std::string& ctx) {
+  const auto c = rle64_parse_chunk(bytes, off, expect, ctx);
+  for (std::size_t r = 0; r < c.nruns; ++r) {
+    const std::size_t at = r * 12;
+    const auto value = get_u64_at(c.runs, at);
+    const auto len = get_u32_at(c.runs, at + 8);
+    out.insert(out.end(), len, value);
+  }
+}
+
+}  // namespace opwat::serve::compress

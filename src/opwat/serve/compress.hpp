@@ -1,0 +1,125 @@
+// Lightweight column codecs for the .opwatc v2 columns section.
+//
+// Three encodings, all chunked per catalog block so a block can be
+// decoded (or predicate-evaluated) independently:
+//
+//   for_bitpack  frame-of-reference + bit-packing for u32 columns
+//                (ip, ixp, asn, metro, feasible).  Chunk wire format:
+//                  count u64 | min u32 | max u32 | width u8 |
+//                  ceil(count*width/8) packed bytes, LSB-first
+//                width MUST equal bit_width(max - min) (canonical), the
+//                achieved min/max MUST match the header, and unused
+//                trailing bits MUST be zero — so encoding is a pure
+//                function of the values and re-saving a loaded file is
+//                byte-stable.
+//   rle8         run-length encoding for u8 columns (class, step):
+//                  count u64 | nruns u64 | (value u8, len u32)*
+//   rle64        run-length encoding over raw 64-bit patterns for f64
+//                columns (rtt, port) — runs compare bit patterns, so
+//                NaN runs compress and round-trip exactly:
+//                  count u64 | nruns u64 | (value u64, len u32)*
+//                Both RLE forms are canonical: no zero-length run,
+//                adjacent runs differ in value, lengths sum to count.
+//
+// Decoders validate every canonical rule and throw the store's typed
+// store_error(store_errc::corrupt) on violation; the section CRC has
+// already been checked by the caller, so a malformed chunk here means
+// the encoded data itself is inconsistent.
+//
+// The *_view kernels evaluate predicates on an encoded chunk without
+// materializing it: a FOR chunk answers range counts straight from its
+// header when [min, max] is entirely inside or outside the probe range,
+// and an RLE chunk answers equality counts by summing run lengths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace opwat::serve::compress {
+
+/// Codec ids as stored in the v2 columns section (one byte per column).
+enum class column_codec : std::uint8_t {
+  raw = 0,          ///< the column's v1 byte layout, unchanged
+  for_bitpack = 1,  ///< u32 columns
+  rle8 = 2,         ///< u8 columns
+  rle64 = 3,        ///< f64 columns (bit patterns)
+};
+
+[[nodiscard]] std::string_view to_string(column_codec c) noexcept;
+
+// --- encoders (append one chunk to `out`) -----------------------------------
+
+void for_encode_chunk(std::string& out, const std::uint32_t* v, std::size_t n);
+void rle8_encode_chunk(std::string& out, const std::uint8_t* v, std::size_t n);
+void rle64_encode_chunk(std::string& out, const std::uint64_t* v, std::size_t n);
+
+// --- decoded-on-demand views + predicate kernels ----------------------------
+
+/// One FOR chunk, header parsed and validated, bits still packed.
+struct for_chunk_view {
+  std::size_t count = 0;
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+  unsigned width = 0;       ///< bits per delta, == bit_width(max - min)
+  std::string_view bits;    ///< the packed payload
+};
+
+/// Parses (and fully validates) the FOR chunk starting at bytes[off],
+/// advancing off past it.  `expect` is the row count of the catalog
+/// block this chunk encodes; a disagreeing count is corruption.  Throws
+/// store_error(store_errc::corrupt) with `ctx` in the message on any
+/// violation: short header, invalid bit width (width !=
+/// bit_width(max - min), or > 32), min > max, payload size mismatch,
+/// nonzero trailing bits, or header min/max not achieved by the data.
+[[nodiscard]] for_chunk_view for_parse_chunk(std::string_view bytes,
+                                             std::size_t& off,
+                                             std::size_t expect,
+                                             const std::string& ctx);
+
+/// Random access into a parsed FOR chunk (no materialization).
+[[nodiscard]] std::uint32_t for_value_at(const for_chunk_view& c,
+                                         std::size_t i) noexcept;
+
+/// Values in [lo, hi] — answered from the chunk header alone when the
+/// chunk's [min, max] lies entirely inside or outside the probe range.
+[[nodiscard]] std::size_t for_count_in_range(const for_chunk_view& c,
+                                             std::uint32_t lo,
+                                             std::uint32_t hi) noexcept;
+
+/// One RLE chunk (8- or 64-bit values), runs validated but not expanded.
+struct rle_chunk_view {
+  std::size_t count = 0;
+  std::size_t nruns = 0;
+  std::string_view runs;  ///< nruns × (value, len u32) records
+  unsigned value_bytes = 0;  ///< 1 (rle8) or 8 (rle64)
+};
+
+[[nodiscard]] rle_chunk_view rle8_parse_chunk(std::string_view bytes,
+                                              std::size_t& off,
+                                              std::size_t expect,
+                                              const std::string& ctx);
+[[nodiscard]] rle_chunk_view rle64_parse_chunk(std::string_view bytes,
+                                               std::size_t& off,
+                                               std::size_t expect,
+                                               const std::string& ctx);
+
+/// Rows equal to `value` — sums matching run lengths, never expands.
+[[nodiscard]] std::size_t rle_count_eq(const rle_chunk_view& c,
+                                       std::uint64_t value) noexcept;
+
+// --- full-chunk decode (append `expect` values to `out`) --------------------
+
+void for_decode_chunk(std::string_view bytes, std::size_t& off,
+                      std::size_t expect, std::vector<std::uint32_t>& out,
+                      const std::string& ctx);
+void rle8_decode_chunk(std::string_view bytes, std::size_t& off,
+                       std::size_t expect, std::vector<std::uint8_t>& out,
+                       const std::string& ctx);
+void rle64_decode_chunk(std::string_view bytes, std::size_t& off,
+                        std::size_t expect, std::vector<std::uint64_t>& out,
+                        const std::string& ctx);
+
+}  // namespace opwat::serve::compress

@@ -13,6 +13,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "opwat/serve/compress.hpp"
 #include "opwat/util/checksum.hpp"
 #include "opwat/util/contracts.hpp"
 
@@ -110,6 +111,7 @@ class reader {
     const auto n = u32();
     return {take(n), n};
   }
+  std::string_view view(std::size_t n) { return {take(n), n}; }
 
   [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - off_; }
   void expect_exhausted() const {
@@ -130,23 +132,30 @@ class reader {
   std::string ctx_;
 };
 
-std::string encode_header(std::uint32_t epoch_count) {
+std::string encode_header(std::uint32_t epoch_count, std::uint32_t version) {
   std::string b{k_store_magic};
-  put_u32(b, k_store_version);
+  put_u32(b, version);
   put_u32(b, epoch_count);
   put_u32(b, util::crc32(b.data(), b.size()));
   return b;
 }
 
 /// Patches the epoch count (and the header CRC) of an already-written
-/// header in place — the append_epoch publish step.
-void patch_header_count(std::fstream& f, std::uint32_t epoch_count) {
-  const auto header = encode_header(epoch_count);
+/// header in place — the append_epoch publish step.  The file's own
+/// format version is preserved.
+void patch_header_count(std::fstream& f, std::uint32_t epoch_count,
+                        std::uint32_t version) {
+  const auto header = encode_header(epoch_count, version);
   f.seekp(0);
   f.write(header.data(), static_cast<std::streamsize>(header.size()));
 }
 
-std::uint32_t parse_header(std::string_view bytes) {
+struct header_info {
+  std::uint32_t version = 0;
+  std::uint32_t epoch_count = 0;
+};
+
+header_info parse_header(std::string_view bytes) {
   if (bytes.size() < k_store_header_size)
     fail(store_errc::truncated, "file smaller than the header");
   if (bytes.substr(0, k_store_magic.size()) != k_store_magic)
@@ -155,11 +164,12 @@ std::uint32_t parse_header(std::string_view bytes) {
   if (stored_crc != util::crc32(bytes.data(), 16))
     fail(store_errc::checksum_mismatch, "header checksum mismatch");
   const auto version = get_u32_at(bytes, 8);
-  if (version != k_store_version)
+  if (version < k_store_oldest_version || version > k_store_version)
     fail(store_errc::bad_version,
-         "format version " + std::to_string(version) + " (this build reads version " +
+         "format version " + std::to_string(version) + " (this build reads versions " +
+             std::to_string(k_store_oldest_version) + ".." +
              std::to_string(k_store_version) + ")");
-  return get_u32_at(bytes, 12);  // epoch count
+  return {version, get_u32_at(bytes, 12)};
 }
 
 void append_section(std::string& out, std::uint32_t id, std::string_view payload) {
@@ -211,9 +221,86 @@ std::string read_file(const std::string& path) {
 // The friend of catalog/epoch that implements the persistence members.
 class store {
  public:
+  /// Non-empty block row ranges — the chunk boundaries every v2 column
+  /// codec encodes and decodes along.
+  static std::vector<std::pair<std::size_t, std::size_t>> chunk_ranges(
+      const epoch& ep) {
+    std::vector<std::pair<std::size_t, std::size_t>> ranges;
+    ranges.reserve(ep.blocks_.size());
+    for (const auto& b : ep.blocks_)
+      if (b.end > b.begin) ranges.emplace_back(b.begin, b.end);
+    return ranges;
+  }
+
+  /// v2 columns payload: nine (codec u8 | length u64 | payload) frames
+  /// in column order.  Each codec chunks per non-empty block; the
+  /// encoded form is kept only when strictly smaller than the raw v1
+  /// bytes, so the choice is a pure function of the column data and
+  /// re-saving a loaded catalog is byte-stable.
+  static std::string encode_columns_v2(const epoch& ep) {
+    const auto ranges = chunk_ranges(ep);
+    std::string cols;
+    const auto pick = [&cols](std::string_view raw, std::string_view encoded,
+                              compress::column_codec codec) {
+      const bool keep = encoded.size() < raw.size();
+      const auto payload = keep ? encoded : raw;
+      put_u8(cols, static_cast<std::uint8_t>(keep ? codec
+                                                  : compress::column_codec::raw));
+      put_u64(cols, payload.size());
+      cols.append(payload);
+    };
+
+    const auto u32_col = [&](const std::vector<std::uint32_t>& col) {
+      std::string raw;
+      raw.reserve(col.size() * 4);
+      for (const auto v : col) put_u32(raw, v);
+      std::string enc;
+      for (const auto& [b, e] : ranges)
+        compress::for_encode_chunk(enc, col.data() + b, e - b);
+      pick(raw, enc, compress::column_codec::for_bitpack);
+    };
+    const auto u8_col = [&](const std::vector<std::uint8_t>& col) {
+      std::string raw;
+      raw.reserve(col.size());
+      for (const auto v : col) put_u8(raw, v);
+      std::string enc;
+      for (const auto& [b, e] : ranges)
+        compress::rle8_encode_chunk(enc, col.data() + b, e - b);
+      pick(raw, enc, compress::column_codec::rle8);
+    };
+    const auto f64_col = [&](const std::vector<double>& col) {
+      std::string raw;
+      raw.reserve(col.size() * 8);
+      for (const auto v : col) put_f64(raw, v);
+      std::vector<std::uint64_t> pattern;
+      pattern.reserve(col.size());
+      for (const auto v : col) pattern.push_back(std::bit_cast<std::uint64_t>(v));
+      std::string enc;
+      for (const auto& [b, e] : ranges)
+        compress::rle64_encode_chunk(enc, pattern.data() + b, e - b);
+      pick(raw, enc, compress::column_codec::rle64);
+    };
+
+    u32_col(ep.ip_);
+    u32_col(ep.ixp_);
+    u32_col(ep.asn_);
+    u32_col(ep.metro_);
+    u8_col(ep.cls_);
+    u8_col(ep.step_);
+    f64_col(ep.rtt_);
+    std::vector<std::uint32_t> feasible_bits;
+    feasible_bits.reserve(ep.feasible_.size());
+    for (const auto v : ep.feasible_)
+      feasible_bits.push_back(static_cast<std::uint32_t>(v));
+    u32_col(feasible_bits);
+    f64_col(ep.port_);
+    return cols;
+  }
+
   static std::string encode_record(const catalog& c, const epoch& ep,
                                    std::uint32_t prev_ixp_wm,
-                                   std::uint32_t prev_metro_wm) {
+                                   std::uint32_t prev_metro_wm,
+                                   std::uint32_t version) {
     std::string out;
 
     std::string meta;
@@ -259,26 +346,140 @@ class store {
     }
     append_section(out, k_sec_blocks, blocks);
 
-    std::string cols;
-    cols.reserve(ep.ip_.size() * k_row_bytes);
-    for (const auto v : ep.ip_) put_u32(cols, v);
-    for (const auto v : ep.ixp_) put_u32(cols, v);
-    for (const auto v : ep.asn_) put_u32(cols, v);
-    for (const auto v : ep.metro_) put_u32(cols, v);
-    for (const auto v : ep.cls_) put_u8(cols, v);
-    for (const auto v : ep.step_) put_u8(cols, v);
-    for (const auto v : ep.rtt_) put_f64(cols, v);
-    for (const auto v : ep.feasible_) put_u32(cols, static_cast<std::uint32_t>(v));
-    for (const auto v : ep.port_) put_f64(cols, v);
-    append_section(out, k_sec_columns, cols);
+    if (version == 1) {
+      std::string cols;
+      cols.reserve(ep.ip_.size() * k_row_bytes);
+      for (const auto v : ep.ip_) put_u32(cols, v);
+      for (const auto v : ep.ixp_) put_u32(cols, v);
+      for (const auto v : ep.asn_) put_u32(cols, v);
+      for (const auto v : ep.metro_) put_u32(cols, v);
+      for (const auto v : ep.cls_) put_u8(cols, v);
+      for (const auto v : ep.step_) put_u8(cols, v);
+      for (const auto v : ep.rtt_) put_f64(cols, v);
+      for (const auto v : ep.feasible_) put_u32(cols, static_cast<std::uint32_t>(v));
+      for (const auto v : ep.port_) put_f64(cols, v);
+      append_section(out, k_sec_columns, cols);
+    } else {
+      append_section(out, k_sec_columns, encode_columns_v2(ep));
+    }
 
     return out;
+  }
+
+  /// v2 columns decode: the inverse of encode_columns_v2.  Every frame
+  /// is validated — codec legality per column, payload chunked exactly
+  /// along the block ranges, canonical-form rules inside each chunk
+  /// (compress.cpp), and no trailing bytes anywhere.
+  static void decode_columns_v2(epoch& ep, std::string_view payload,
+                                std::size_t rows, const std::string& ctx) {
+    const auto ranges = chunk_ranges(ep);
+    reader r{payload, store_errc::corrupt, ctx + " (columns)"};
+    constexpr auto k_raw = static_cast<std::uint8_t>(compress::column_codec::raw);
+    constexpr auto k_for =
+        static_cast<std::uint8_t>(compress::column_codec::for_bitpack);
+    constexpr auto k_rle8 = static_cast<std::uint8_t>(compress::column_codec::rle8);
+    constexpr auto k_rle64 =
+        static_cast<std::uint8_t>(compress::column_codec::rle64);
+
+    const auto frame = [&](const char* name, std::uint8_t allowed) {
+      const auto codec = r.u8();
+      const auto len = r.u64();
+      if (len > r.remaining())
+        fail(store_errc::corrupt,
+             ctx + " (columns: " + name + "): encoded length exceeds the section");
+      const auto body = r.view(static_cast<std::size_t>(len));
+      if (codec != k_raw && codec != allowed)
+        fail(store_errc::corrupt, ctx + " (columns: " + name +
+                                      "): codec id " + std::to_string(codec) +
+                                      " is not valid for this column");
+      return std::pair<std::uint8_t, std::string_view>{codec, body};
+    };
+    const auto chunk_walk = [&](std::string_view body, const std::string& cctx,
+                                const auto& decode_one) {
+      std::size_t off2 = 0;
+      for (const auto& [b, e] : ranges) decode_one(body, off2, e - b, cctx);
+      if (off2 != body.size())
+        fail(store_errc::corrupt, cctx + ": trailing bytes after the last chunk");
+    };
+
+    const auto u32_col = [&](std::vector<std::uint32_t>& col, const char* name) {
+      const auto [codec, body] = frame(name, k_for);
+      const std::string cctx = ctx + " (columns: " + std::string{name} + ")";
+      col.clear();
+      col.reserve(rows);
+      if (codec == k_raw) {
+        if (body.size() != rows * 4)
+          fail(store_errc::corrupt, cctx + ": raw size does not match the row count");
+        for (std::size_t i = 0; i < rows; ++i) col.push_back(get_u32_at(body, i * 4));
+      } else {
+        chunk_walk(body, cctx,
+                   [&col](std::string_view b, std::size_t& o, std::size_t n,
+                          const std::string& cc) {
+                     compress::for_decode_chunk(b, o, n, col, cc);
+                   });
+      }
+    };
+    const auto u8_col = [&](std::vector<std::uint8_t>& col, const char* name) {
+      const auto [codec, body] = frame(name, k_rle8);
+      const std::string cctx = ctx + " (columns: " + std::string{name} + ")";
+      col.clear();
+      col.reserve(rows);
+      if (codec == k_raw) {
+        if (body.size() != rows)
+          fail(store_errc::corrupt, cctx + ": raw size does not match the row count");
+        for (std::size_t i = 0; i < rows; ++i)
+          col.push_back(static_cast<unsigned char>(body[i]));
+      } else {
+        chunk_walk(body, cctx,
+                   [&col](std::string_view b, std::size_t& o, std::size_t n,
+                          const std::string& cc) {
+                     compress::rle8_decode_chunk(b, o, n, col, cc);
+                   });
+      }
+    };
+    const auto f64_col = [&](std::vector<double>& col, const char* name) {
+      const auto [codec, body] = frame(name, k_rle64);
+      const std::string cctx = ctx + " (columns: " + std::string{name} + ")";
+      col.clear();
+      col.reserve(rows);
+      if (codec == k_raw) {
+        if (body.size() != rows * 8)
+          fail(store_errc::corrupt, cctx + ": raw size does not match the row count");
+        for (std::size_t i = 0; i < rows; ++i)
+          col.push_back(std::bit_cast<double>(get_u64_at(body, i * 8)));
+      } else {
+        std::vector<std::uint64_t> pattern;
+        pattern.reserve(rows);
+        chunk_walk(body, cctx,
+                   [&pattern](std::string_view b, std::size_t& o, std::size_t n,
+                              const std::string& cc) {
+                     compress::rle64_decode_chunk(b, o, n, pattern, cc);
+                   });
+        for (const auto v : pattern) col.push_back(std::bit_cast<double>(v));
+      }
+    };
+
+    u32_col(ep.ip_, "ip");
+    u32_col(ep.ixp_, "ixp");
+    u32_col(ep.asn_, "asn");
+    u32_col(ep.metro_, "metro");
+    u8_col(ep.cls_, "class");
+    u8_col(ep.step_, "step");
+    f64_col(ep.rtt_, "rtt");
+    std::vector<std::uint32_t> feasible_bits;
+    u32_col(feasible_bits, "feasible");
+    ep.feasible_.clear();
+    ep.feasible_.reserve(rows);
+    for (const auto v : feasible_bits)
+      ep.feasible_.push_back(static_cast<std::int32_t>(v));
+    f64_col(ep.port_, "port");
+    r.expect_exhausted();
   }
 
   /// Decodes one epoch record at `off`, interning its dictionary deltas
   /// into `c` and validating every ref/enum against them.
   static epoch decode_record(catalog& c, std::string_view bytes, std::size_t& off,
-                             std::size_t index) {
+                             std::size_t index, std::uint32_t version) {
     const std::string ctx = "epoch record " + std::to_string(index);
     const auto bad = [&](const std::string& msg) -> void {
       fail(store_errc::corrupt, ctx + ": " + msg);
@@ -386,32 +587,36 @@ class store {
     // --- columns --------------------------------------------------------
     {
       const auto payload = read_section(bytes, off, k_sec_columns, ctx);
-      if (payload.size() % k_row_bytes != 0 || payload.size() / k_row_bytes != rows)
-        bad("columns section size does not match the row count");
-      reader r{payload, store_errc::corrupt, ctx + " (columns)"};
-      const auto fill_u32 = [&](std::vector<std::uint32_t>& col) {
-        col.resize(rows);
-        for (auto& v : col) v = r.u32();
-      };
-      const auto fill_u8 = [&](std::vector<std::uint8_t>& col) {
-        col.resize(rows);
-        for (auto& v : col) v = r.u8();
-      };
-      const auto fill_f64 = [&](std::vector<double>& col) {
-        col.resize(rows);
-        for (auto& v : col) v = r.f64();
-      };
-      fill_u32(ep.ip_);
-      fill_u32(ep.ixp_);
-      fill_u32(ep.asn_);
-      fill_u32(ep.metro_);
-      fill_u8(ep.cls_);
-      fill_u8(ep.step_);
-      fill_f64(ep.rtt_);
-      ep.feasible_.resize(rows);
-      for (auto& v : ep.feasible_) v = static_cast<std::int32_t>(r.u32());
-      fill_f64(ep.port_);
-      r.expect_exhausted();
+      if (version == 1) {
+        if (payload.size() % k_row_bytes != 0 || payload.size() / k_row_bytes != rows)
+          bad("columns section size does not match the row count");
+        reader r{payload, store_errc::corrupt, ctx + " (columns)"};
+        const auto fill_u32 = [&](std::vector<std::uint32_t>& col) {
+          col.resize(rows);
+          for (auto& v : col) v = r.u32();
+        };
+        const auto fill_u8 = [&](std::vector<std::uint8_t>& col) {
+          col.resize(rows);
+          for (auto& v : col) v = r.u8();
+        };
+        const auto fill_f64 = [&](std::vector<double>& col) {
+          col.resize(rows);
+          for (auto& v : col) v = r.f64();
+        };
+        fill_u32(ep.ip_);
+        fill_u32(ep.ixp_);
+        fill_u32(ep.asn_);
+        fill_u32(ep.metro_);
+        fill_u8(ep.cls_);
+        fill_u8(ep.step_);
+        fill_f64(ep.rtt_);
+        ep.feasible_.resize(rows);
+        for (auto& v : ep.feasible_) v = static_cast<std::int32_t>(r.u32());
+        fill_f64(ep.port_);
+        r.expect_exhausted();
+      } else {
+        decode_columns_v2(ep, payload, rows, ctx);
+      }
 
       for (std::size_t i = 0; i < rows; ++i) {
         if (ep.cls_[i] >= infer::k_n_peering_classes) bad("peering class out of range");
@@ -433,12 +638,16 @@ class store {
     return ep;
   }
 
-  static void save(const catalog& c, const std::string& path) {
-    std::string bytes = encode_header(static_cast<std::uint32_t>(c.epochs_.size()));
+  static void save(const catalog& c, const std::string& path, std::uint32_t version) {
+    if (version < k_store_oldest_version || version > k_store_version)
+      fail(store_errc::bad_version,
+           "cannot write format version " + std::to_string(version));
+    std::string bytes =
+        encode_header(static_cast<std::uint32_t>(c.epochs_.size()), version);
     std::uint32_t prev_ixp = 0;
     std::uint32_t prev_metro = 0;
     for (const auto& ep : c.epochs_) {
-      bytes += encode_record(c, ep, prev_ixp, prev_metro);
+      bytes += encode_record(c, ep, prev_ixp, prev_metro, version);
       prev_ixp = ep.ixp_watermark_;
       prev_metro = ep.metro_watermark_;
     }
@@ -451,11 +660,11 @@ class store {
 
   static catalog load(const std::string& path) {
     const std::string bytes = read_file(path);
-    const auto epoch_count = parse_header(bytes);
+    const auto header = parse_header(bytes);
     catalog c;
     std::size_t off = k_store_header_size;
-    for (std::uint32_t i = 0; i < epoch_count; ++i) {
-      epoch ep = decode_record(c, bytes, off, i);
+    for (std::uint32_t i = 0; i < header.epoch_count; ++i) {
+      epoch ep = decode_record(c, bytes, off, i, header.version);
       if (c.by_label_.find(ep.label_) != c.by_label_.end())
         throw catalog_error("opwatc: duplicate epoch label in snapshot: " + ep.label_);
       c.by_label_.emplace(ep.label_, static_cast<epoch_id>(c.epochs_.size()));
@@ -477,7 +686,8 @@ class store {
     if (e >= c.epochs_.size())
       throw std::out_of_range("append_epoch: catalog has no epoch " + std::to_string(e));
     const std::string bytes = read_file(path);
-    const auto file_epochs = parse_header(bytes);
+    const auto header = parse_header(bytes);
+    const auto file_epochs = header.epoch_count;
     if (file_epochs != e)
       fail(store_errc::mismatch, "file holds " + std::to_string(file_epochs) +
                                      " epochs; appending epoch " + std::to_string(e) +
@@ -509,9 +719,13 @@ class store {
     if (off != bytes.size())
       fail(store_errc::corrupt, "trailing bytes after the last epoch record");
 
+    // Encode in the FILE's version, not the build default: appending a
+    // new epoch to a v1 snapshot keeps it a valid v1 snapshot that a
+    // full v1 save() would have produced byte for byte.
     const std::uint32_t prev_ixp = e == 0 ? 0 : c.epochs_[e - 1].ixp_watermark_;
     const std::uint32_t prev_metro = e == 0 ? 0 : c.epochs_[e - 1].metro_watermark_;
-    const auto record = encode_record(c, c.epochs_[e], prev_ixp, prev_metro);
+    const auto record =
+        encode_record(c, c.epochs_[e], prev_ixp, prev_metro, header.version);
 
     std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
     if (!f) fail(store_errc::io, "cannot open " + path + " for appending");
@@ -520,7 +734,7 @@ class store {
     // Publish: the epoch count (under the header CRC) is patched last,
     // so a crash mid-append leaves a file whose count ignores the
     // partial record — load() then reports the trailing bytes.
-    patch_header_count(f, static_cast<std::uint32_t>(e) + 1);
+    patch_header_count(f, static_cast<std::uint32_t>(e) + 1, header.version);
     f.flush();
     if (!f.good()) fail(store_errc::io, "write error on " + path);
   }
@@ -566,7 +780,13 @@ class store {
   }
 };
 
-void catalog::save(const std::string& path) const { store::save(*this, path); }
+void catalog::save(const std::string& path) const {
+  store::save(*this, path, k_store_version);
+}
+
+void catalog::save(const std::string& path, std::uint32_t version) const {
+  store::save(*this, path, version);
+}
 
 catalog catalog::load(const std::string& path) { return store::load(path); }
 
@@ -590,6 +810,36 @@ std::vector<std::size_t> store_section_boundaries(std::string_view bytes) {
     out.push_back(off);
   }
   return out;
+}
+
+store_file_info store_inspect(std::string_view bytes) {
+  const auto header = parse_header(bytes);
+  store_file_info info;
+  info.version = header.version;
+  info.epoch_count = header.epoch_count;
+  std::size_t off = k_store_header_size;
+  for (std::uint32_t i = 0; i < header.epoch_count; ++i) {
+    const std::string ctx = "epoch record " + std::to_string(i);
+    for (const auto id : {k_sec_meta, k_sec_ixp_dict, k_sec_metro_dict, k_sec_blocks})
+      read_section(bytes, off, id, ctx);
+    const auto payload = read_section(bytes, off, k_sec_columns, ctx);
+    std::vector<std::uint8_t> codecs;
+    if (header.version == 1) {
+      codecs.assign(9, static_cast<std::uint8_t>(compress::column_codec::raw));
+    } else {
+      reader r{payload, store_errc::corrupt, ctx + " (columns)"};
+      for (int col = 0; col < 9; ++col) {
+        codecs.push_back(r.u8());
+        const auto len = r.u64();
+        if (len > r.remaining())
+          fail(store_errc::corrupt,
+               ctx + " (columns): encoded length exceeds the section");
+        r.view(static_cast<std::size_t>(len));
+      }
+    }
+    info.column_codecs.push_back(std::move(codecs));
+  }
+  return info;
 }
 
 }  // namespace opwat::serve

@@ -24,6 +24,21 @@
 //                                 another (ip, ixp, asn, metro, class,
 //                                 step, rtt, feasible, port)
 //
+// Columns section, by format version:
+//   v1  raw little-endian vectors back to back (rows × 42 bytes).
+//   v2  each column is framed as  codec u8 | encoded length u64 |
+//       payload.  codec 0 (raw) keeps the column's v1 bytes; codec 1
+//       bit-packs u32 columns per block (frame-of-reference), codecs
+//       2/3 run-length-encode the u8 / f64 columns per block — see
+//       serve/compress.hpp for the chunk wire formats and canonical
+//       rules.  The writer picks the encoded form only when it is
+//       strictly smaller than raw, a pure function of the column data,
+//       so re-saving a loaded file stays byte-identical.
+//
+// Both versions load; save() writes v2 unless the caller pins v1, and
+// append_epoch() encodes in the file's own version so appending never
+// rewrites or reinterprets existing records.
+//
 // Every section is framed as  id u32 | payload length u64 | payload
 // CRC-32 u32 | payload  — so a bit flip anywhere is caught by a
 // checksum, a truncation by a bounds check, and an oversized length by
@@ -81,7 +96,9 @@ class store_error : public std::runtime_error {
 
 /// Format constants, exposed for tests and tooling.
 inline constexpr std::string_view k_store_magic = "OPWATCAT";
-inline constexpr std::uint32_t k_store_version = 1;
+inline constexpr std::uint32_t k_store_version = 2;
+/// Oldest format version load() still accepts.
+inline constexpr std::uint32_t k_store_oldest_version = 1;
 /// magic + version + epoch count + header CRC.
 inline constexpr std::size_t k_store_header_size = 20;
 /// section id + payload length + payload CRC.
@@ -94,5 +111,20 @@ inline constexpr std::size_t k_store_section_header_size = 16;
 /// the framing itself is unwalkable.
 [[nodiscard]] std::vector<std::size_t> store_section_boundaries(
     std::string_view bytes);
+
+/// Shallow inspection of a snapshot for tooling (opwatc_fsck): the
+/// format version, epoch count, and — for v2 files — the codec byte of
+/// each of the nine column vectors per epoch record (v1 records report
+/// all-raw).  Walks the framing only; throws store_error when the
+/// framing is unwalkable.
+struct store_file_info {
+  std::uint32_t version = 0;
+  std::uint32_t epoch_count = 0;
+  /// One entry per epoch record: nine codec ids in column order
+  /// (ip, ixp, asn, metro, class, step, rtt, feasible, port).
+  std::vector<std::vector<std::uint8_t>> column_codecs;
+};
+
+[[nodiscard]] store_file_info store_inspect(std::string_view bytes);
 
 }  // namespace opwat::serve

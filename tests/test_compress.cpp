@@ -1,0 +1,656 @@
+// The column codecs (opwat/serve/compress.hpp) and the .opwatc v2
+// columns section built on them (opwat/serve/store.hpp).  Pins
+//   - encode ∘ decode round-trips per codec across randomized value
+//     distributions: constant columns, dense sequential values, and
+//     adversarial outliers (one huge value forcing a wide bit width);
+//   - the on-encoded predicate kernels (for_value_at,
+//     for_count_in_range, rle_count_eq) against naive recomputation
+//     over the decoded values;
+//   - canonical-form rejection: non-minimal bit widths, unachieved
+//     header min/max, nonzero trailing bits, zero-length and
+//     mergeable runs, and run-length sums that disagree with the
+//     count all raise store_error(store_errc::corrupt);
+//   - compressed-vs-uncompressed query parity: a v2 save/load round
+//     trip answers every query shape identically to the in-memory
+//     catalog and to a v1 save/load of the same catalog;
+//   - version compatibility: a v1 file loads, re-saves byte-stably in
+//     v1, and appends in its own version; v2 save → load → save is
+//     byte-identical; store_inspect reports versions and codecs;
+//   - corruption injection for compressed sections: bit flips inside
+//     codec payloads (with the section CRC re-patched so the flip
+//     reaches the codec validator), truncation at compressed-chunk
+//     boundaries, and invalid codec / bit-width bytes all raise the
+//     typed store_error — never UB (ASan/UBSan watch this suite).
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <limits>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/serve/compress.hpp"
+#include "opwat/serve/query.hpp"
+#include "opwat/serve/store.hpp"
+#include "opwat/util/checksum.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::serve::compress;
+
+std::string temp_path(const std::string& name) { return testing::TempDir() + name; }
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  EXPECT_TRUE(f.good()) << path;
+  return {std::istreambuf_iterator<char>{f}, std::istreambuf_iterator<char>{}};
+}
+
+void write_bytes(const std::string& path, std::string_view bytes) {
+  std::ofstream f{path, std::ios::binary | std::ios::trunc};
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good()) << path;
+}
+
+// --- value distributions -----------------------------------------------------
+
+std::vector<std::uint32_t> u32_values(std::mt19937_64& rng, int kind,
+                                      std::size_t n) {
+  std::vector<std::uint32_t> v(n);
+  switch (kind) {
+    case 0:  // constant
+      std::fill(v.begin(), v.end(),
+                static_cast<std::uint32_t>(rng() & 0xFFFFFFFFu));
+      break;
+    case 1:  // dense sequential around a base
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = 1000000u + static_cast<std::uint32_t>(i) + (rng() % 3);
+      break;
+    case 2:  // adversarial: small values plus one huge outlier
+      for (std::size_t i = 0; i < n; ++i) v[i] = rng() % 16;
+      if (n > 0) v[rng() % n] = std::numeric_limits<std::uint32_t>::max();
+      break;
+    default:  // uniform random
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint32_t>(rng() & 0xFFFFFFFFu);
+      break;
+  }
+  return v;
+}
+
+std::vector<std::uint8_t> u8_values(std::mt19937_64& rng, int kind,
+                                    std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  switch (kind) {
+    case 0:  // constant
+      std::fill(v.begin(), v.end(), static_cast<std::uint8_t>(rng() % 7));
+      break;
+    case 1:  // long runs
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>((i / 37) % 3);
+      break;
+    default:  // adversarial: alternating, no run longer than 1
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::uint8_t>(i % 2 == 0 ? rng() % 3 : 3 + rng() % 3);
+      break;
+  }
+  return v;
+}
+
+std::vector<std::uint64_t> u64_values(std::mt19937_64& rng, int kind,
+                                      std::size_t n) {
+  std::vector<std::uint64_t> v(n);
+  const auto nan_bits = std::bit_cast<std::uint64_t>(
+      std::numeric_limits<double>::quiet_NaN());
+  switch (kind) {
+    case 0:  // constant NaN pattern (the unmeasured-RTT column shape)
+      std::fill(v.begin(), v.end(), nan_bits);
+      break;
+    case 1:  // runs of a few distinct doubles + NaN stretches
+      for (std::size_t i = 0; i < n; ++i)
+        v[i] = (i / 23) % 4 == 3
+                   ? nan_bits
+                   : std::bit_cast<std::uint64_t>(0.25 * double((i / 23) % 4));
+      break;
+    default:  // adversarial: all-distinct bit patterns
+      for (std::size_t i = 0; i < n; ++i) v[i] = rng();
+      break;
+  }
+  return v;
+}
+
+// --- codec round-trips -------------------------------------------------------
+
+TEST(Compress, ForRoundTripAcrossDistributions) {
+  std::mt19937_64 rng{20180427};
+  for (int kind = 0; kind < 4; ++kind) {
+    for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                                std::size_t{64}, std::size_t{1000}}) {
+      const auto v = u32_values(rng, kind, n);
+      std::string buf;
+      for_encode_chunk(buf, v.data(), v.size());
+
+      // Encoding the same values twice is byte-identical (pure function).
+      std::string buf2;
+      for_encode_chunk(buf2, v.data(), v.size());
+      EXPECT_EQ(buf, buf2);
+
+      std::size_t off = 0;
+      std::vector<std::uint32_t> out;
+      for_decode_chunk(buf, off, n, out, "test");
+      EXPECT_EQ(off, buf.size()) << "kind " << kind << " n " << n;
+      EXPECT_EQ(out, v) << "kind " << kind << " n " << n;
+    }
+  }
+}
+
+TEST(Compress, ForKernelsMatchNaiveRecomputation) {
+  std::mt19937_64 rng{11};
+  for (int kind = 0; kind < 4; ++kind) {
+    const auto v = u32_values(rng, kind, 500);
+    std::string buf;
+    for_encode_chunk(buf, v.data(), v.size());
+    std::size_t off = 0;
+    const auto view = for_parse_chunk(buf, off, v.size(), "test");
+
+    for (std::size_t i = 0; i < v.size(); i += 13)
+      EXPECT_EQ(for_value_at(view, i), v[i]) << "kind " << kind << " i " << i;
+
+    const auto naive = [&](std::uint32_t lo, std::uint32_t hi) {
+      std::size_t c = 0;
+      for (const auto x : v) c += (x >= lo && x <= hi) ? 1 : 0;
+      return c;
+    };
+    // Probe ranges that are fully inside, fully outside, and straddling
+    // the chunk's [min, max] — the header short-circuit must agree with
+    // the scan on all of them.
+    const std::uint32_t probes[][2] = {
+        {0, std::numeric_limits<std::uint32_t>::max()},
+        {view.min, view.max},
+        {view.min, view.min},
+        {view.max, view.max},
+        {0, view.min > 0 ? view.min - 1 : 0},
+        {view.min / 2, view.min + (view.max - view.min) / 2},
+    };
+    for (const auto& p : probes)
+      EXPECT_EQ(for_count_in_range(view, p[0], p[1]), naive(p[0], p[1]))
+          << "kind " << kind << " [" << p[0] << "," << p[1] << "]";
+  }
+}
+
+TEST(Compress, Rle8RoundTripAndCountEq) {
+  std::mt19937_64 rng{12};
+  for (int kind = 0; kind < 3; ++kind) {
+    for (const std::size_t n :
+         {std::size_t{0}, std::size_t{1}, std::size_t{501}}) {
+      const auto v = u8_values(rng, kind, n);
+      std::string buf;
+      rle8_encode_chunk(buf, v.data(), v.size());
+      std::size_t off = 0;
+      std::vector<std::uint8_t> out;
+      rle8_decode_chunk(buf, off, n, out, "test");
+      EXPECT_EQ(off, buf.size());
+      EXPECT_EQ(out, v) << "kind " << kind << " n " << n;
+
+      off = 0;
+      const auto view = rle8_parse_chunk(buf, off, n, "test");
+      for (std::uint8_t probe = 0; probe < 8; ++probe) {
+        std::size_t naive = 0;
+        for (const auto x : v) naive += x == probe ? 1 : 0;
+        EXPECT_EQ(rle_count_eq(view, probe), naive)
+            << "kind " << kind << " probe " << int(probe);
+      }
+    }
+  }
+}
+
+TEST(Compress, Rle64RoundTripPreservesNanPatterns) {
+  std::mt19937_64 rng{13};
+  for (int kind = 0; kind < 3; ++kind) {
+    const auto v = u64_values(rng, kind, 400);
+    std::string buf;
+    rle64_encode_chunk(buf, v.data(), v.size());
+    std::size_t off = 0;
+    std::vector<std::uint64_t> out;
+    rle64_decode_chunk(buf, off, v.size(), out, "test");
+    EXPECT_EQ(off, buf.size());
+    EXPECT_EQ(out, v) << "kind " << kind;  // exact bit patterns, NaNs included
+
+    off = 0;
+    const auto view = rle64_parse_chunk(buf, off, v.size(), "test");
+    const auto probe = v.empty() ? 0 : v[v.size() / 2];
+    std::size_t naive = 0;
+    for (const auto x : v) naive += x == probe ? 1 : 0;
+    EXPECT_EQ(rle_count_eq(view, probe), naive) << "kind " << kind;
+  }
+}
+
+// --- canonical-form rejection ------------------------------------------------
+
+void expect_corrupt_for(const std::string& chunk, std::size_t expect,
+                        const std::string& what) {
+  std::size_t off = 0;
+  std::vector<std::uint32_t> out;
+  try {
+    for_decode_chunk(chunk, off, expect, out, "test");
+    FAIL() << "decoder accepted " << what;
+  } catch (const serve::store_error& e) {
+    EXPECT_EQ(e.kind(), serve::store_errc::corrupt) << what;
+  }
+}
+
+void expect_corrupt_rle8(const std::string& chunk, std::size_t expect,
+                         const std::string& what) {
+  std::size_t off = 0;
+  std::vector<std::uint8_t> out;
+  try {
+    rle8_decode_chunk(chunk, off, expect, out, "test");
+    FAIL() << "decoder accepted " << what;
+  } catch (const serve::store_error& e) {
+    EXPECT_EQ(e.kind(), serve::store_errc::corrupt) << what;
+  }
+}
+
+TEST(Compress, NonCanonicalForChunksAreRejected) {
+  // A canonical chunk to mutate: values 5..11, so min=5, max=11,
+  // width=3, 21 packed bits — three spare trailing bits in the last
+  // payload byte.
+  std::vector<std::uint32_t> v;
+  for (std::uint32_t i = 5; i <= 11; ++i) v.push_back(i);
+  std::string good;
+  for_encode_chunk(good, v.data(), v.size());
+
+  // Header layout: count u64 | min u32 | max u32 | width u8 | bits.
+  const std::size_t width_at = 16;
+
+  {  // width larger than bit_width(max - min): non-minimal, rejected
+    std::string bad = good;
+    bad[width_at] = 4;
+    expect_corrupt_for(bad, v.size(), "non-minimal bit width");
+  }
+  {  // width > 32 is structurally invalid
+    std::string bad = good;
+    bad[width_at] = 33;
+    expect_corrupt_for(bad, v.size(), "bit width over 32");
+  }
+  {  // min > max
+    std::string bad = good;
+    bad[8] = 12;  // min low byte: 12 > max 11
+    expect_corrupt_for(bad, v.size(), "min above max");
+  }
+  {  // header max not achieved by the data: claiming min=4 keeps
+     // bit_width(11 - 4) == 3 and the deltas still decode, but the
+     // largest decoded value becomes 4 + 6 = 10, not the header's 11 —
+     // the achieved-extrema check fires
+    std::string bad = good;
+    bad[8] = 4;
+    expect_corrupt_for(bad, v.size(), "unachieved header max");
+  }
+  {  // nonzero trailing bits in the last payload byte
+    std::string bad = good;
+    bad.back() = static_cast<char>(static_cast<unsigned char>(bad.back()) |
+                                   0x80u);
+    expect_corrupt_for(bad, v.size(), "nonzero trailing bits");
+  }
+  {  // count disagreeing with the block's row count
+    expect_corrupt_for(good, v.size() + 1, "count/expect mismatch");
+  }
+  {  // truncated payload
+    expect_corrupt_for(good.substr(0, good.size() - 1), v.size(),
+                       "truncated payload");
+  }
+  {  // truncated header
+    expect_corrupt_for(good.substr(0, 10), v.size(), "truncated header");
+  }
+}
+
+TEST(Compress, NonCanonicalRleChunksAreRejected) {
+  const std::vector<std::uint8_t> v{1, 1, 1, 2, 2, 0};
+  std::string good;
+  rle8_encode_chunk(good, v.data(), v.size());
+  // Layout: count u64 | nruns u64 | (value u8, len u32)*; runs are
+  // (1,3) (2,2) (0,1) at offset 16, 5 bytes each.
+
+  {  // zero-length run
+    std::string bad = good;
+    bad[16 + 1] = 0;  // first run's len -> 0
+    expect_corrupt_rle8(bad, v.size(), "zero-length run");
+  }
+  {  // adjacent runs with equal values (should have merged)
+    std::string bad = good;
+    bad[16 + 5] = 1;  // second run's value -> 1, same as the first
+    expect_corrupt_rle8(bad, v.size(), "mergeable adjacent runs");
+  }
+  {  // lengths no longer sum to count
+    std::string bad = good;
+    bad[16 + 1] = 4;  // first run len 3 -> 4
+    expect_corrupt_rle8(bad, v.size(), "run-length sum mismatch");
+  }
+  {  // truncated mid-run
+    expect_corrupt_rle8(good.substr(0, good.size() - 2), v.size(),
+                        "truncated run record");
+  }
+}
+
+// --- catalog-level: v2 store parity and version compatibility ----------------
+
+serve::catalog build_catalog(std::uint64_t seed, std::size_t epochs) {
+  const auto s = eval::scenario::build(eval::small_scenario_config(seed));
+  serve::catalog cat;
+  auto pcfg = s.cfg.pipeline;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    cat.ingest(s.w, s.view, s.run_inference(pcfg), "e0" + std::to_string(e));
+    pcfg.seed += 1;
+  }
+  return cat;
+}
+
+/// A battery of query shapes asked of both catalogs and compared —
+/// compressed persistence must be invisible to the query layer.
+void expect_query_parity(const serve::catalog& a, const serve::catalog& b) {
+  ASSERT_EQ(a.labels(), b.labels());
+  for (const auto& label : a.labels()) {
+    const auto qa = [&] { return serve::query(a).epoch(label); };
+    const auto qb = [&] { return serve::query(b).epoch(label); };
+    EXPECT_EQ(qa().count(), qb().count()) << label;
+    EXPECT_EQ(qa().cls(infer::peering_class::remote).count(),
+              qb().cls(infer::peering_class::remote).count())
+        << label;
+    EXPECT_EQ(qa().rtt_between(0.0, 2.0).count(),
+              qb().rtt_between(0.0, 2.0).count())
+        << label;
+    const auto ga = qa().by_step().group_counts();
+    const auto gb = qb().by_step().group_counts();
+    ASSERT_EQ(ga.size(), gb.size()) << label;
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+      EXPECT_EQ(ga[i].key, gb[i].key) << label;
+      EXPECT_EQ(ga[i].count, gb[i].count) << label;
+    }
+    const auto ra = qa().sort_by_rtt().page(2, 9).rows();
+    const auto rb = qb().sort_by_rtt().page(2, 9).rows();
+    ASSERT_EQ(ra.size(), rb.size()) << label;
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].ip.value(), rb[i].ip.value()) << label;
+      EXPECT_EQ(ra[i].cls, rb[i].cls) << label;
+    }
+  }
+}
+
+TEST(CompressStore, V2RoundTripMatchesMemoryAndV1) {
+  const auto cat = build_catalog(91, 3);
+  const auto p2 = temp_path("compress_v2.opwatc");
+  const auto p1 = temp_path("compress_v1.opwatc");
+  cat.save(p2);     // default writer: v2
+  cat.save(p1, 1);  // pinned v1 writer
+
+  const auto info2 = serve::store_inspect(read_bytes(p2));
+  EXPECT_EQ(info2.version, 2u);
+  ASSERT_EQ(info2.column_codecs.size(), 3u);
+  // At least one column of the realistic snapshot actually compresses
+  // (class/step columns are runs of a few values).
+  std::size_t encoded = 0;
+  for (const auto& rec : info2.column_codecs)
+    for (const auto c : rec)
+      encoded += c != 0 ? 1 : 0;
+  EXPECT_GT(encoded, 0u);
+
+  const auto info1 = serve::store_inspect(read_bytes(p1));
+  EXPECT_EQ(info1.version, 1u);
+  for (const auto& rec : info1.column_codecs)
+    for (const auto c : rec) EXPECT_EQ(c, 0u);
+
+  // Compression pays: the v2 image is smaller than the raw v1 image.
+  EXPECT_LT(read_bytes(p2).size(), read_bytes(p1).size());
+
+  const auto from_v2 = serve::catalog::load(p2);
+  const auto from_v1 = serve::catalog::load(p1);
+  expect_query_parity(cat, from_v2);
+  expect_query_parity(from_v1, from_v2);
+}
+
+TEST(CompressStore, BothVersionsResaveByteStably) {
+  const auto cat = build_catalog(17, 2);
+  for (const std::uint32_t ver : {1u, 2u}) {
+    const auto p = temp_path("resave_a_v" + std::to_string(ver) + ".opwatc");
+    const auto q = temp_path("resave_b_v" + std::to_string(ver) + ".opwatc");
+    cat.save(p, ver);
+    serve::catalog::load(p).save(q, ver);
+    EXPECT_EQ(read_bytes(p), read_bytes(q)) << "version " << ver;
+  }
+}
+
+TEST(CompressStore, AppendWritesTheFilesOwnVersion) {
+  const auto s = eval::scenario::build(eval::small_scenario_config(5));
+  serve::catalog cat;
+  auto pcfg = s.cfg.pipeline;
+  cat.ingest(s.w, s.view, s.run_inference(pcfg), "e00");
+
+  for (const std::uint32_t ver : {1u, 2u}) {
+    const auto p = temp_path("append_v" + std::to_string(ver) + ".opwatc");
+    cat.save(p, ver);
+
+    serve::catalog grown = serve::catalog::load(p);
+    pcfg.seed += 1;
+    const auto eid = grown.ingest(s.w, s.view, s.run_inference(pcfg), "e01");
+    grown.append_epoch(p, eid);
+    pcfg.seed -= 1;
+
+    // The appended file stays in its own version and equals a full
+    // save of the grown catalog in that version.
+    const auto full = temp_path("append_full_v" + std::to_string(ver) +
+                                ".opwatc");
+    grown.save(full, ver);
+    EXPECT_EQ(read_bytes(p), read_bytes(full)) << "version " << ver;
+    EXPECT_EQ(serve::store_inspect(read_bytes(p)).version, ver);
+  }
+}
+
+// --- corruption injection in compressed sections -----------------------------
+
+constexpr std::uint32_t k_sec_columns = 5;
+
+/// Offsets of every columns-section header in a v2 image, via the
+/// framing walk (section id is the first u32 of each header).
+std::vector<std::size_t> columns_sections(const std::string& bytes) {
+  std::vector<std::size_t> out;
+  for (const auto b : serve::store_section_boundaries(bytes)) {
+    if (b + serve::k_store_section_header_size > bytes.size()) continue;
+    std::uint32_t id = 0;
+    for (int i = 3; i >= 0; --i)
+      id = (id << 8) | static_cast<unsigned char>(bytes[b + std::size_t(i)]);
+    if (id == k_sec_columns) out.push_back(b);
+  }
+  return out;
+}
+
+std::uint64_t read_u64(const std::string& bytes, std::size_t at) {
+  std::uint64_t x = 0;
+  for (int i = 7; i >= 0; --i)
+    x = (x << 8) | static_cast<unsigned char>(bytes[at + std::size_t(i)]);
+  return x;
+}
+
+/// Re-computes the section's payload CRC after a payload mutation, so
+/// the corruption reaches the codec validators instead of being caught
+/// by the checksum layer.
+void repatch_section_crc(std::string& bytes, std::size_t sec_at) {
+  const auto len = read_u64(bytes, sec_at + 4);
+  const auto payload_at = sec_at + serve::k_store_section_header_size;
+  const auto crc = util::crc32(bytes.data() + payload_at, len);
+  for (int i = 0; i < 4; ++i)
+    bytes[sec_at + 12 + std::size_t(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xFF);
+}
+
+void expect_typed_load_failure(const std::string& bytes,
+                               const std::string& what) {
+  const auto p = temp_path("compress_corrupt.opwatc");
+  write_bytes(p, bytes);
+  try {
+    const auto loaded = serve::catalog::load(p);
+    FAIL() << "load accepted corrupt input: " << what;
+  } catch (const serve::store_error& e) {
+    EXPECT_GT(std::string_view{e.what()}.size(), 10u) << what;
+  } catch (const serve::catalog_error& e) {
+    EXPECT_GT(std::string_view{e.what()}.size(), 10u) << what;
+  }
+}
+
+class CompressCorruptTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto cat = build_catalog(91, 2);
+    const auto p = temp_path("compress_corrupt_base.opwatc");
+    cat.save(p);  // v2
+    bytes_ = new std::string{read_bytes(p)};
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    bytes_ = nullptr;
+  }
+  static std::string* bytes_;
+};
+
+std::string* CompressCorruptTest::bytes_ = nullptr;
+
+TEST_F(CompressCorruptTest, RepatchedPayloadFlipsNeverEscapeTheTypedTaxonomy) {
+  // With the section CRC repaired, a payload flip reaches the codec
+  // validators.  The outcome must be one of exactly two things: a
+  // typed store/catalog error (structural rule violated) or a clean
+  // load of different data (e.g. a flipped raw byte) — never UB or an
+  // untyped escape.  The canonical rules must also have teeth: across
+  // the stride, a healthy share of flips is rejected even though the
+  // checksum no longer disagrees.
+  const auto secs = columns_sections(*bytes_);
+  ASSERT_FALSE(secs.empty());
+  const auto p = temp_path("compress_flip.opwatc");
+  std::size_t rejected = 0;
+  std::size_t accepted = 0;
+  for (const auto sec : secs) {
+    const auto len = read_u64(*bytes_, sec + 4);
+    const auto payload_at = sec + serve::k_store_section_header_size;
+    for (std::size_t o = 0; o < len; o += 17) {
+      std::string flipped = *bytes_;
+      flipped[payload_at + o] = static_cast<char>(
+          static_cast<unsigned char>(flipped[payload_at + o]) ^ 0x40u);
+      repatch_section_crc(flipped, sec);
+      write_bytes(p, flipped);
+      try {
+        (void)serve::catalog::load(p);
+        ++accepted;
+      } catch (const serve::store_error&) {
+        ++rejected;
+      } catch (const serve::catalog_error&) {
+        ++rejected;
+      }
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  // Sanity on the harness itself: the stride covered real payload.
+  EXPECT_GT(rejected + accepted, 20u);
+}
+
+/// Walks the nine `codec u8 | length u64 | payload` column frames of a
+/// v2 columns section, returning (frame offset, codec) pairs.
+std::vector<std::pair<std::size_t, std::uint8_t>> column_frames(
+    const std::string& bytes, std::size_t sec_at) {
+  const auto len = read_u64(bytes, sec_at + 4);
+  std::size_t off = sec_at + serve::k_store_section_header_size;
+  const auto end = off + len;
+  std::vector<std::pair<std::size_t, std::uint8_t>> frames;
+  for (int col = 0; col < 9; ++col) {
+    frames.emplace_back(off, static_cast<std::uint8_t>(
+                                 static_cast<unsigned char>(bytes[off])));
+    off += 1 + 8 + read_u64(bytes, off + 1);
+  }
+  EXPECT_EQ(off, end);
+  return frames;
+}
+
+TEST_F(CompressCorruptTest, ChunkCountFlipsInEncodedFramesAreTypedErrors) {
+  const auto secs = columns_sections(*bytes_);
+  ASSERT_FALSE(secs.empty());
+  std::size_t encoded_frames = 0;
+  for (const auto& [off, codec] : column_frames(*bytes_, secs[0])) {
+    if (codec == 0) continue;  // raw: no chunk structure to violate
+    ++encoded_frames;
+    // Every encoded frame starts with its first chunk's count u64; a
+    // flipped low byte disagrees with the block's row count.
+    std::string bad = *bytes_;
+    bad[off + 9] = static_cast<char>(
+        static_cast<unsigned char>(bad[off + 9]) ^ 0x01u);
+    repatch_section_crc(bad, secs[0]);
+    expect_typed_load_failure(bad, "chunk count flip at frame +" +
+                                       std::to_string(off));
+  }
+  EXPECT_GT(encoded_frames, 0u);
+}
+
+TEST_F(CompressCorruptTest, InvalidBitWidthIsTypedError) {
+  const auto secs = columns_sections(*bytes_);
+  ASSERT_FALSE(secs.empty());
+  bool found = false;
+  for (const auto sec : secs) {
+    for (const auto& [off, codec] : column_frames(*bytes_, sec)) {
+      if (codec != 1) continue;  // want a FOR frame
+      found = true;
+      // FOR chunk: count u64 | min u32 | max u32 | width u8 — the
+      // width byte sits 16 bytes into the chunk.
+      std::string bad = *bytes_;
+      bad[off + 9 + 16] = 33;  // no u32 delta needs 33 bits
+      repatch_section_crc(bad, sec);
+      const auto p = temp_path("compress_badwidth.opwatc");
+      write_bytes(p, bad);
+      try {
+        (void)serve::catalog::load(p);
+        FAIL() << "load accepted an invalid bit width";
+      } catch (const serve::store_error& e) {
+        EXPECT_EQ(e.kind(), serve::store_errc::corrupt);
+        EXPECT_NE(std::string_view{e.what()}.find("bit width"),
+                  std::string_view::npos);
+      }
+    }
+  }
+  EXPECT_TRUE(found) << "no FOR-compressed column in the v2 snapshot";
+}
+
+TEST_F(CompressCorruptTest, InvalidCodecByteIsTypedError) {
+  const auto secs = columns_sections(*bytes_);
+  ASSERT_FALSE(secs.empty());
+  // The first byte of the columns payload is the ip column's codec id.
+  for (const std::uint8_t bad : {std::uint8_t{2},     // rle8 on a u32 column
+                                 std::uint8_t{3},     // rle64 on a u32 column
+                                 std::uint8_t{9},     // unknown codec
+                                 std::uint8_t{255}}) {
+    std::string flipped = *bytes_;
+    flipped[secs[0] + serve::k_store_section_header_size] =
+        static_cast<char>(bad);
+    repatch_section_crc(flipped, secs[0]);
+    expect_typed_load_failure(flipped, "codec byte " + std::to_string(bad));
+  }
+}
+
+TEST_F(CompressCorruptTest, TruncationInsideCompressedPayloadIsTypedError) {
+  const auto secs = columns_sections(*bytes_);
+  ASSERT_FALSE(secs.empty());
+  const auto payload_at = secs[0] + serve::k_store_section_header_size;
+  const auto len = read_u64(*bytes_, secs[0] + 4);
+  // Cut the file inside the compressed payload — including right after
+  // a codec byte and mid-chunk — leaving the recorded section length
+  // pointing past EOF.
+  for (const std::size_t cut :
+       {payload_at + 1, payload_at + 9, payload_at + len / 2,
+        payload_at + len - 1}) {
+    expect_typed_load_failure(bytes_->substr(0, cut),
+                              "truncated at " + std::to_string(cut));
+  }
+}
+
+}  // namespace

@@ -403,6 +403,22 @@ TEST(LintThrowInNoexcept, CtorInitListBracesDoNotHideTheBody) {
             (std::vector<int>{3}));
 }
 
+TEST(LintThrowInNoexcept, DeclarationAfterNoexceptBodyIsNotTheBody) {
+  // A noexcept function followed by an anonymous namespace (or any
+  // `ident {` block) must not have that block mistaken for a ctor
+  // member-initializer continuation of its body — the regression that
+  // flagged serve/compress.cpp's throwing helper.
+  const std::string text =
+      "const char* name() noexcept {\n"  // 1
+      "  return \"x\";\n"
+      "}\n"
+      "namespace {\n"
+      "[[noreturn]] void fail() { throw 1; }\n"  // 5: not noexcept
+      "}\n";
+  EXPECT_EQ(lines_of(lint_source(k_src, text), "throw-in-noexcept"),
+            (std::vector<int>{}));
+}
+
 TEST(LintThrowInNoexcept, FlagsThrowInNonblockingRegionAndHonorsAllow) {
   const std::string text =
       "// opwat-lint: region(nonblocking): acceptor path\n"

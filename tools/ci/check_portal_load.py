@@ -38,6 +38,8 @@ SERVER_COUNTER_KEYS = (
     "accept_errors",
     "cache_hits",
     "cache_misses",
+    "parallel_scans",
+    "morsels_executed",
 )
 
 

@@ -732,13 +732,21 @@ void check_throw_in_noexcept(const rule_ctx& ctx) {
       if (j >= t.size()) return;  // unbalanced; bail
       close = j;
       std::size_t nx = skip_spaces(t, j + 1);
-      if (nx < t.size() && t[nx] == ',') nx = skip_spaces(t, nx + 1);
+      bool comma = false;
+      if (nx < t.size() && t[nx] == ',') {
+        comma = true;
+        nx = skip_spaces(t, nx + 1);
+      }
       if (nx < t.size() && t[nx] == '{') {
         open = nx;
         continue;
       }
-      // Also step over `name{init}` member initializers after a ','.
-      if (nx < t.size() && ident_char(t[nx])) {
+      // Also step over `name{init}` member initializers after a ',' —
+      // only after one: initializers are comma-separated, so an ident
+      // right after a close brace with no comma is the next declaration
+      // (e.g. `namespace {` after a noexcept function), not more of
+      // this function.
+      if (comma && nx < t.size() && ident_char(t[nx])) {
         std::size_t k = nx;
         while (k < t.size() && (ident_char(t[k]) || t[k] == ':')) ++k;
         k = skip_spaces(t, k);
