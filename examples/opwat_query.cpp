@@ -38,6 +38,11 @@ void usage(std::ostream& os, const char* argv0) {
         "  --epoch S      epoch label (default: latest)\n"
         "  --to S         diff: the newer epoch\n"
         "  --limit N      row/group cap (default 100)\n"
+        "  --retry N      self-healing mode: up to N attempts with\n"
+        "                 reconnect + backoff on transient failures\n"
+        "                 (default 1 = fail fast)\n"
+        "  --repeat K     send the request K times (default 1); with\n"
+        "                 --retry, prints the client's retry stats\n"
         "  --json         machine-readable output\n"
         "  --help         this text\n";
 }
@@ -131,6 +136,8 @@ int main(int argc, char** argv) {
   std::string op_name;
   portal::request req;
   bool json = false;
+  std::uint32_t retry = 1;
+  std::uint32_t repeat = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -174,6 +181,12 @@ int main(int argc, char** argv) {
       req.epoch_to = next();
     } else if (arg == "--limit") {
       req.limit = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--retry") {
+      retry = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (retry == 0) retry = 1;
+    } else if (arg == "--repeat") {
+      repeat = static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+      if (repeat == 0) repeat = 1;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -208,11 +221,28 @@ int main(int argc, char** argv) {
     portal::client c{connect.substr(0, colon),
                      static_cast<std::uint16_t>(
                          std::stoi(connect.substr(colon + 1)))};
-    const auto resp = c.call(req);
+    portal::retry_config rcfg;
+    rcfg.max_attempts = retry;
+    portal::response resp;
+    for (std::uint32_t k = 0; k < repeat; ++k) {
+      req.id = k + 1;
+      resp = retry > 1 ? c.call_retry(req, rcfg) : c.call(req);
+      // Only the last response is printed; --repeat exists to exercise
+      // the connection (chaos smoke), not to spam K copies of the same
+      // rows.
+    }
     if (json)
       print_json(resp);
     else
       print_text(resp);
+    if (retry > 1) {
+      const auto& rs = c.stats();
+      std::cerr << "retry: attempts=" << rs.attempts
+                << " retries=" << rs.retries
+                << " reconnects=" << rs.reconnects
+                << " transient_errors=" << rs.transient_errors
+                << " giveups=" << rs.giveups << "\n";
+    }
     return resp.status == portal::portal_errc::ok ? 0 : 1;
   } catch (const net::socket_error& e) {
     std::cerr << argv[0] << ": " << e.what() << "\n";

@@ -1,6 +1,7 @@
 // opwatc_fsck: offline integrity checker for .opwatc catalog snapshots.
 //
 //   $ ./opwatc_fsck catalog.opwatc
+//   $ ./opwatc_fsck --repair catalog.opwatc
 //
 // Walks the snapshot through every defensive layer the library has —
 // section framing, CRC-verified decode, then the full deep audit
@@ -11,8 +12,15 @@
 // always runs the deep checks, so a Release build of this binary is a
 // complete verifier.
 //
+// --repair rewrites a damaged snapshot in place (atomically: tmp +
+// fsync + rename) to its longest valid epoch prefix — the same salvage
+// walk catalog::load(path, recovery_policy::recover) runs in memory —
+// then re-verifies the result with the full check sequence.  An intact
+// file is left byte-identical; an unrecoverable file (wrong magic /
+// version) is refused with its store_errc exit code.
+//
 // Exit status encodes the failure kind so scripts can branch on it:
-//   0            snapshot is fully consistent
+//   0            snapshot is fully consistent (after repair, if asked)
 //   2            usage / file-system error
 //   10 + errc    store_error with that store_errc (10 = io, 11 =
 //                bad_magic, 12 = bad_version, 13 = truncated, 14 =
@@ -47,12 +55,45 @@ void section(const std::string& name, const std::string& detail) {
 int main(int argc, char** argv) {
   using namespace opwat;
 
-  if (argc != 2) {
-    std::cerr << "usage: opwatc_fsck <catalog.opwatc>\n";
+  bool repair = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--repair") {
+      repair = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "usage: opwatc_fsck [--repair] <catalog.opwatc>\n";
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::cerr << "usage: opwatc_fsck [--repair] <catalog.opwatc>\n";
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::cerr << "usage: opwatc_fsck [--repair] <catalog.opwatc>\n";
     return 2;
   }
-  const std::string path = argv[1];
   std::cout << "opwatc_fsck: " << path << "\n";
+
+  if (repair) {
+    try {
+      const auto rep = serve::store_repair(path);
+      if (rep.recovered) {
+        section("repair", "kept " + std::to_string(rep.epochs_kept) +
+                              " epoch(s), dropped " +
+                              std::to_string(rep.epochs_dropped) +
+                              ", truncated " +
+                              std::to_string(rep.bytes_truncated) +
+                              " byte(s) — " + rep.detail);
+      } else {
+        section("repair", "file intact, nothing to do");
+      }
+    } catch (const serve::store_error& e) {
+      fail_section("repair", e);
+    }
+  }
 
   // 1. Raw bytes + section framing (lengths only, no checksums yet).
   std::string bytes;

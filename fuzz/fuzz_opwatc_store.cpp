@@ -8,6 +8,9 @@
 //   * catalog::load — the CRC-verified full decode, via a scratch file
 //     (the loader API is path-based).  Rejection must be a typed
 //     store_error.
+//   * catalog::load in recovery mode — must NEVER throw for content
+//     damage, whatever the bytes (only store_errc::io may escape), and
+//     whatever it salvages must round-trip as a valid file.
 //
 // When a mutated file does load, the save-of-loaded invariant from the
 // format header is enforced as a fixed point: save(load(f)) must
@@ -67,6 +70,22 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
 
   const auto in = scratch_dir() / "input.opwatc";
   spit(in, bytes);
+
+  // Recovery mode first: the self-healing boot path sees exactly these
+  // bytes after a crash, and its contract is "content damage never
+  // throws" — only real I/O errors (store_errc::io) may escape.  The
+  // salvaged prefix must itself be a valid, reloadable file.
+  try {
+    opwat::serve::recovery_report rep;
+    const auto rec = opwat::serve::catalog::load(
+        in.string(), opwat::serve::recovery_policy::recover, &rep);
+    const auto salvaged = scratch_dir() / "salvaged.opwatc";
+    rec.save(salvaged.string());
+    (void)opwat::serve::catalog::load(salvaged.string());
+  } catch (const opwat::serve::store_error& e) {
+    if (e.kind() != opwat::serve::store_errc::io) __builtin_trap();
+  }
+
   std::optional<opwat::serve::catalog> cat;
   try {
     cat.emplace(opwat::serve::catalog::load(in.string()));
@@ -111,5 +130,14 @@ std::vector<std::string> fuzz_seeds() {
   const auto v1 = scratch_dir() / "seed_two_epochs_v1.opwatc";
   cat.save(v1.string(), 1);
   seeds.push_back(slurp(v1));
+  // Torn tails: the v2 snapshot truncated at (and one byte past) every
+  // section boundary — exactly the shapes a writer killed mid-append
+  // leaves behind, seeding the recovery corpus at the format's joints.
+  const std::string full = seeds[1];
+  for (const auto off : opwat::serve::store_section_boundaries(full)) {
+    if (off == 0 || off >= full.size()) continue;
+    seeds.push_back(full.substr(0, off));
+    if (off + 1 < full.size()) seeds.push_back(full.substr(0, off + 1));
+  }
   return seeds;
 }

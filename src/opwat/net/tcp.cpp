@@ -17,6 +17,8 @@
 #include <cstring>
 #include <limits>
 
+#include "opwat/util/failpoint.hpp"
+
 namespace opwat::net {
 
 namespace {
@@ -58,14 +60,53 @@ unique_fd listen_tcp(const std::string& addr, std::uint16_t port, int backlog) {
 }
 
 unique_fd connect_tcp(const std::string& addr, std::uint16_t port) {
+  if (OPWAT_FAILPOINT("net-connect")) {
+    errno = ECONNREFUSED;
+    fail("connect");
+  }
   unique_fd fd{::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0)};
   if (!fd.valid()) fail("socket");
   const sockaddr_in sa = make_addr(addr, port);
   // opwat-lint: allow(wire-safety): sockaddr_in -> sockaddr is the POSIX-mandated cast at the kernel API boundary, not wire decoding
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0)
-    fail("connect");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    // EINTR does not abort a connect: the attempt keeps running in the
+    // kernel, and calling connect() again would fail with EALREADY.
+    // The portable completion protocol is poll-for-writable, then read
+    // the final status out of SO_ERROR.
+    if (errno != EINTR) fail("connect");
+    while (true) {
+      pollfd pfd{fd.get(), POLLOUT, 0};
+      const int pr = ::poll(&pfd, 1, -1);
+      if (pr > 0) break;
+      if (pr < 0 && errno != EINTR) fail("poll(connect)");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof soerr;
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soerr, &len) != 0)
+      fail("getsockopt(SO_ERROR)");
+    if (soerr != 0) {
+      errno = soerr;
+      fail("connect");
+    }
+  }
   set_nodelay(fd.get());
   return fd;
+}
+
+unique_fd accept_conn(int listen_fd) noexcept {
+  if (OPWAT_FAILPOINT("net-accept")) {
+    // ECONNABORTED is the benign per-connection accept failure — the
+    // acceptor logs it and moves on, which is exactly the path chaos
+    // testing wants exercised.
+    errno = ECONNABORTED;
+    return unique_fd{};
+  }
+  while (true) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return unique_fd{fd};
+    if (errno != EINTR) return unique_fd{};
+  }
 }
 
 std::uint16_t local_port(int fd) {
@@ -91,6 +132,23 @@ void set_nodelay(int fd) {
 }
 
 bool send_all(int fd, std::string_view data, int timeout_ms) {
+  if (const auto fp = OPWAT_FAILPOINT("net-send")) {
+    (void)fp;
+    return false;  // injected: connection dead before any byte left
+  }
+  if (const auto fp = OPWAT_FAILPOINT("net-send-partial")) {
+    // Injected torn write: push a prefix onto the wire so the peer sees
+    // a truncated frame, then report the connection dead.
+    const auto cap = std::min<std::size_t>(fp.arg, data.size());
+    std::size_t sent = 0;
+    while (sent < cap) {
+      const auto chunk = data.substr(sent, cap - sent);
+      const auto n = ::send(fd, chunk.data(), chunk.size(), MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+    return false;
+  }
   namespace ch = std::chrono;
   const auto deadline =
       timeout_ms >= 0 ? ch::steady_clock::now() + ch::milliseconds{timeout_ms}
@@ -132,6 +190,17 @@ bool send_all(int fd, std::string_view data, int timeout_ms) {
 }
 
 std::ptrdiff_t recv_some(int fd, std::span<char> buf) {
+  if (OPWAT_FAILPOINT("net-recv")) {
+    errno = EIO;
+    fail("recv");
+  }
+  if (const auto fp = OPWAT_FAILPOINT("net-recv-partial")) {
+    // Injected short read: deliver at most fp.arg bytes this call.  The
+    // caller's reassembly loop must cope, exactly as with real TCP
+    // segmentation.
+    if (fp.arg > 0 && fp.arg < buf.size())
+      buf = buf.first(static_cast<std::size_t>(fp.arg));
+  }
   while (true) {
     const auto n = ::recv(fd, buf.data(), buf.size(), 0);
     if (n >= 0) return n;

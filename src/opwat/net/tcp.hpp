@@ -63,8 +63,17 @@ class unique_fd {
                                    int backlog = 128);
 
 /// Blocking TCP connect to `addr:port` (dotted-quad).  Throws
-/// socket_error on failure.
+/// socket_error on failure.  A signal landing mid-connect (EINTR) does
+/// NOT fail the call: the connection attempt keeps running in the
+/// kernel, so this waits for writability and reads SO_ERROR back —
+/// retrying connect() itself would misreport EALREADY as a failure.
 [[nodiscard]] unique_fd connect_tcp(const std::string& addr, std::uint16_t port);
+
+/// accept4(SOCK_NONBLOCK | SOCK_CLOEXEC) with EINTR retried.  Returns
+/// an invalid fd — with errno preserved for the caller's triage
+/// (EAGAIN, EMFILE, ECONNABORTED...) — instead of throwing: the
+/// acceptor loop must keep running through every accept failure mode.
+[[nodiscard]] unique_fd accept_conn(int listen_fd) noexcept;
 
 /// The locally bound port of a socket (the answer to "which ephemeral
 /// port did listen_tcp(_, 0) get?").

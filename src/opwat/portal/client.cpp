@@ -9,12 +9,33 @@
 #include <chrono>
 #include <cstring>
 #include <limits>
+#include <thread>
+
+#include "opwat/util/rng.hpp"
 
 namespace opwat::portal {
 
+namespace {
+
+/// Transient server states worth retrying; everything else is a verdict
+/// on the request itself and retrying cannot change it.
+bool retryable_status(portal_errc s) noexcept {
+  return s == portal_errc::overloaded || s == portal_errc::shutting_down;
+}
+
+}  // namespace
+
 client::client(const std::string& addr, std::uint16_t port)
-    : fd_(net::connect_tcp(addr, port)) {
+    : addr_(addr), port_(port), fd_(net::connect_tcp(addr, port)) {
   net::set_nonblocking(fd_.get(), true);
+}
+
+void client::reconnect() {
+  fd_.reset();
+  inbuf_.clear();
+  fd_ = net::connect_tcp(addr_, port_);
+  net::set_nonblocking(fd_.get(), true);
+  ++rstats_.reconnects;
 }
 
 void client::send(const request& r) {
@@ -86,6 +107,76 @@ response client::call(const request& r) {
   // receive(-1) only returns without a value on timeout, which cannot
   // happen with an infinite timeout.
   return std::move(*resp);
+}
+
+response client::call_retry(const request& r, const retry_config& cfg) {
+  namespace ch = std::chrono;
+  const auto deadline = cfg.deadline_ms >= 0
+                            ? ch::steady_clock::now() +
+                                  ch::milliseconds{cfg.deadline_ms}
+                            : ch::steady_clock::time_point::max();
+  // Remaining whole milliseconds of the call budget; 0 = spent, -1 =
+  // unbounded.
+  const auto left_ms = [&]() -> long long {
+    if (cfg.deadline_ms < 0) return -1;
+    const auto left =
+        ch::floor<ch::milliseconds>(deadline - ch::steady_clock::now()).count();
+    return std::max<long long>(left, 0);
+  };
+
+  // Per-call jitter stream: replaying a seed replays the exact backoff
+  // schedule, which is what deterministic chaos tests need.
+  util::rng jitter{cfg.jitter_seed};
+  std::optional<response> last_transient;
+  const std::uint32_t attempts = std::max<std::uint32_t>(cfg.max_attempts, 1);
+
+  for (std::uint32_t attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++rstats_.retries;
+      // Exponential backoff, capped, plus jitter in [0, backoff/2] so
+      // concurrent clients spread out — but never sleep past the
+      // deadline.
+      const std::uint64_t shift = std::min<std::uint32_t>(attempt - 1, 20);
+      std::uint64_t backoff = std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(cfg.base_backoff_ms) << shift,
+          cfg.max_backoff_ms);
+      backoff += jitter.next() % (backoff / 2 + 1);
+      if (const auto left = left_ms(); left >= 0)
+        backoff = std::min<std::uint64_t>(backoff,
+                                          static_cast<std::uint64_t>(left));
+      if (backoff > 0)
+        std::this_thread::sleep_for(ch::milliseconds{backoff});
+    }
+    if (const auto left = left_ms(); left == 0 && attempt > 0) break;
+
+    ++rstats_.attempts;
+    try {
+      if (!fd_.valid()) reconnect();
+      send(r);
+      const auto left = left_ms();
+      auto resp = receive(left < 0 ? -1 : static_cast<int>(std::min<long long>(
+                                              left, std::numeric_limits<int>::max())));
+      if (!resp) break;  // deadline expired mid-receive
+      if (!retryable_status(resp->status)) return std::move(*resp);
+      ++rstats_.transient_errors;
+      last_transient = std::move(*resp);
+    } catch (const net::socket_error&) {
+      // Connection-level failure: drop the socket so the next attempt
+      // redials, and remember nothing typed came back.
+      ++rstats_.transient_errors;
+      fd_.reset();
+      inbuf_.clear();
+      if (attempt + 1 == attempts && !last_transient) {
+        ++rstats_.giveups;
+        throw;
+      }
+    }
+  }
+
+  ++rstats_.giveups;
+  if (last_transient) return std::move(*last_transient);
+  throw net::socket_error{"portal client: retry budget exhausted before any "
+                          "typed response arrived"};
 }
 
 void client::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }

@@ -17,6 +17,32 @@
 
 namespace opwat::portal {
 
+/// Knobs for call_retry().  Defaults suit a loopback portal: four
+/// attempts, 10 ms → 1 s exponential backoff, no overall deadline.
+struct retry_config {
+  /// Total tries including the first (1 = no retries).
+  std::uint32_t max_attempts = 4;
+  /// Backoff before retry k is min(base << k, max) plus jitter.
+  std::uint32_t base_backoff_ms = 10;
+  std::uint32_t max_backoff_ms = 1000;
+  /// Budget for the WHOLE call — every receive() wait and every backoff
+  /// sleep is clamped to what remains of it.  -1 = unbounded.
+  int deadline_ms = -1;
+  /// Seed for the deterministic jitter stream (util::rng): two clients
+  /// given different seeds desynchronize their retry storms, while a
+  /// test replaying one seed sees the exact same backoff schedule.
+  std::uint64_t jitter_seed = 0x5eed;
+};
+
+/// What call_retry() did, cumulative per client.
+struct retry_stats {
+  std::uint64_t attempts = 0;          ///< tries sent (first + retries)
+  std::uint64_t retries = 0;           ///< attempts after the first
+  std::uint64_t reconnects = 0;        ///< sockets re-established
+  std::uint64_t giveups = 0;           ///< calls that exhausted the budget
+  std::uint64_t transient_errors = 0;  ///< retryable failures seen
+};
+
 class client {
  public:
   /// Connects immediately; throws net::socket_error on failure.
@@ -40,17 +66,41 @@ class client {
   /// send() + receive(): the one-outstanding-request convenience.
   [[nodiscard]] response call(const request& r);
 
+  /// Self-healing call(): retries transient failures — socket errors
+  /// (with an automatic reconnect) and `overloaded` / `shutting_down`
+  /// responses — under exponential backoff with deterministic jitter,
+  /// all bounded by cfg.deadline_ms.  Permanent failures (`bad_request`,
+  /// `unknown_epoch`, ...) return immediately: retrying a request the
+  /// server already rejected as wrong only amplifies load.  All ops in
+  /// the current protocol are reads, hence idempotent and safe to
+  /// resend; a future mutating op must be fenced out here.  When the
+  /// budget runs out, returns the last typed transient response if one
+  /// arrived, else rethrows the connection error.
+  [[nodiscard]] response call_retry(const request& r,
+                                    const retry_config& cfg = {});
+
+  /// Drops the current connection (if any) and dials again; clears any
+  /// half-received bytes.  Throws net::socket_error on failure.
+  void reconnect();
+
+  /// Cumulative call_retry() bookkeeping for this client.
+  [[nodiscard]] const retry_stats& stats() const noexcept { return rstats_; }
+
   /// Half-closes the write side (the server drains what it admitted).
   void shutdown_write();
   void close() { fd_.reset(); }
   [[nodiscard]] int fd() const noexcept { return fd_.get(); }
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
 
  private:
   /// Decodes one complete frame out of inbuf_, if buffered.
   [[nodiscard]] std::optional<response> extract();
 
+  std::string addr_;
+  std::uint16_t port_ = 0;
   net::unique_fd fd_;
   std::string inbuf_;
+  retry_stats rstats_;
 };
 
 }  // namespace opwat::portal

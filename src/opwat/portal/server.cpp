@@ -186,11 +186,14 @@ void server::stop() {
 
   stopping_.store(true, std::memory_order_release);
   wake_.signal();
-  acceptor_.join();
+  // The joins and queue are guarded: a start() that threw (bind
+  // failure) leaves started_ set with no threads launched, and the
+  // destructor still runs this path.
+  if (acceptor_.joinable()) acceptor_.join();
   // Admitted jobs drain: close() lets pop() hand out the backlog, then
   // return nullopt to every worker.
-  queue_->close();
-  dispatcher_.join();
+  if (queue_) queue_->close();
+  if (dispatcher_.joinable()) dispatcher_.join();
   // All threads are gone; destroying the connections closes their fds.
   conns_.clear();
   listen_fd_.reset();
@@ -215,7 +218,22 @@ server_stats server::stats() const {
   s.parallel_scans = stats_->parallel_scans.load(std::memory_order_relaxed);
   s.morsels_executed = stats_->morsels_executed.load(std::memory_order_relaxed);
   s.catalog_version = cat_.version();
+  const auto h = health();
+  s.degraded = h.degraded ? 1 : 0;
+  s.quarantined_epochs = h.quarantined_epochs;
+  s.bytes_truncated = h.bytes_truncated;
+  s.reload_failures = h.reload_failures;
   return s;
+}
+
+void server::set_health(const health_status& h) {
+  const util::mutex_lock lock{health_mu_};
+  health_ = h;
+}
+
+health_status server::health() const {
+  const util::mutex_lock lock{health_mu_};
+  return health_;
 }
 
 // --- acceptor ----------------------------------------------------------------
@@ -257,11 +275,9 @@ void server::acceptor_loop() {
 // calls may touch the network here (enforced by the blocking-in-handler rule).
 void server::on_accept(net::epoll_io& ep) {
   while (true) {
-    net::unique_fd fd{::accept4(listen_fd_.get(), nullptr, nullptr,
-                                SOCK_NONBLOCK | SOCK_CLOEXEC)};
+    net::unique_fd fd = net::accept_conn(listen_fd_.get());
     if (!fd.valid()) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EINTR) continue;
       stats_->accept_errors.fetch_add(1, std::memory_order_relaxed);
       if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
           errno == ENOMEM) {
@@ -296,15 +312,23 @@ void server::on_accept(net::epoll_io& ep) {
 bool server::on_readable(const std::shared_ptr<connection>& conn, bool hangup) {
   std::array<char, 64 * 1024> buf;
   bool saw_eof = false;
-  while (true) {
-    const auto n = net::recv_some(conn->fd.get(), buf);
-    if (n > 0) {
-      conn->inbuf.append(buf.data(), static_cast<std::size_t>(n));
-      if (static_cast<std::size_t>(n) < buf.size()) break;
-      continue;
+  try {
+    while (true) {
+      const auto n = net::recv_some(conn->fd.get(), buf);
+      if (n > 0) {
+        conn->inbuf.append(buf.data(), static_cast<std::size_t>(n));
+        if (static_cast<std::size_t>(n) < buf.size()) break;
+        continue;
+      }
+      if (n == 0) saw_eof = true;
+      break;  // EOF or EAGAIN
     }
-    if (n == 0) saw_eof = true;
-    break;  // EOF or EAGAIN
+  } catch (const net::socket_error&) {
+    // A hard recv error (EIO, ENOTCONN, injected net-recv fault...) is
+    // fatal to this connection only; escaping here would take down the
+    // whole acceptor thread.  Treat it as EOF: already-admitted requests
+    // still get their responses, the read side is reaped now.
+    saw_eof = true;
   }
 
   // HTTP debug mode: a connection opening with "GET " is one JSON
@@ -411,8 +435,10 @@ void server::handle_http(const std::shared_ptr<connection>& conn) {
   util::json_writer w;
   const char* http_status = "200 OK";
   if (path == "/healthz") {
+    const auto h = health();
     w.begin_object();
     w.key("ok").value(true);
+    w.key("degraded").value(h.degraded);
     w.end_object();
   } else if (path == "/stats") {
     const auto s = stats();
@@ -433,6 +459,10 @@ void server::handle_http(const std::shared_ptr<connection>& conn) {
     w.key("parallel_scans").value(s.parallel_scans);
     w.key("morsels_executed").value(s.morsels_executed);
     w.key("catalog_version").value(s.catalog_version);
+    w.key("degraded").value(s.degraded);
+    w.key("quarantined_epochs").value(s.quarantined_epochs);
+    w.key("bytes_truncated").value(s.bytes_truncated);
+    w.key("reload_failures").value(s.reload_failures);
     w.end_object();
   } else if (path == "/epochs") {
     const auto snap = cat_.snapshot();
@@ -688,6 +718,10 @@ response server::execute(const request& req, const serve::catalog& snap,
         put("parallel_scans", s.parallel_scans);
         put("morsels_executed", s.morsels_executed);
         put("catalog_version", s.catalog_version);
+        put("degraded", s.degraded);
+        put("quarantined_epochs", s.quarantined_epochs);
+        put("bytes_truncated", s.bytes_truncated);
+        put("reload_failures", s.reload_failures);
         break;
       }
     }

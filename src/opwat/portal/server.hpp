@@ -71,6 +71,7 @@
 #include "opwat/portal/protocol.hpp"
 #include "opwat/serve/exec.hpp"
 #include "opwat/serve/shared_catalog.hpp"
+#include "opwat/util/annotations.hpp"
 #include "opwat/util/bounded_queue.hpp"
 #include "opwat/util/thread_pool.hpp"
 
@@ -133,6 +134,28 @@ struct server_stats {
   /// Total morsels those parallel scans executed.
   std::uint64_t morsels_executed = 0;
   std::uint64_t catalog_version = 0;
+  /// Health mirror (set_health): 1 when the served snapshot is not the
+  /// full intact store — epochs were quarantined by a recover-mode load,
+  /// or a reload was rejected and the previous snapshot is still up.
+  std::uint64_t degraded = 0;
+  /// Epoch records a recover-mode load dropped (corrupt / torn tail).
+  std::uint64_t quarantined_epochs = 0;
+  /// Bytes the salvage walk discarded from the store file's tail.
+  std::uint64_t bytes_truncated = 0;
+  /// Reloads (SIGHUP) rejected while the server kept the old snapshot.
+  std::uint64_t reload_failures = 0;
+};
+
+/// What the operator of a self-healing portal needs to see: is the
+/// served catalog the whole intact store, or did recovery/quarantine
+/// shrink it?  Owned by whoever loads the store (opwatd, tests) and
+/// pushed into the server with set_health(); surfaced through
+/// GET /healthz ("degraded"), GET /stats and the binary stats op.
+struct health_status {
+  bool degraded = false;
+  std::uint64_t quarantined_epochs = 0;
+  std::uint64_t bytes_truncated = 0;
+  std::uint64_t reload_failures = 0;
 };
 
 class server {
@@ -157,6 +180,12 @@ class server {
   /// The bound port (valid after start()).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   [[nodiscard]] server_stats stats() const;
+
+  /// Replaces the published health mirror (thread-safe; callable before
+  /// start() and while serving — opwatd updates it after every load and
+  /// SIGHUP reload attempt).
+  void set_health(const health_status& h);
+  [[nodiscard]] health_status health() const;
 
  private:
   struct counters;
@@ -212,6 +241,9 @@ class server {
 
   std::unique_ptr<counters> stats_;
   std::unique_ptr<result_cache> cache_;
+
+  mutable util::annotated_mutex health_mu_;
+  health_status health_ OPWAT_GUARDED_BY(health_mu_);
 };
 
 }  // namespace opwat::portal

@@ -52,6 +52,42 @@ struct string_hash {
 template <typename T>
 using string_map = std::unordered_map<std::string, T, string_hash, std::equal_to<>>;
 
+/// How catalog::load treats a damaged snapshot.
+enum class recovery_policy : std::uint8_t {
+  /// Today's contract: any corruption raises the typed store_error.
+  strict,
+  /// Salvage the longest CRC-valid epoch prefix: a torn/corrupt
+  /// *trailing* record (the crash-mid-append signature) is dropped, a
+  /// torn header whose records are intact is rolled forward, and the
+  /// damage is described in a recovery_report instead of thrown.  Only
+  /// real I/O failures (store_errc::io) still throw.
+  recover,
+};
+
+/// What a recover-mode load (or opwatc_fsck --repair) did to the
+/// snapshot.  `recovered == false` means the file was fully intact.
+struct recovery_report {
+  /// Something was dropped, truncated or repaired.
+  bool recovered = false;
+  /// Nothing could be salvaged (bad magic, unreadable header, or an
+  /// unsupported version): the returned catalog is empty.
+  bool unrecoverable = false;
+  /// The header CRC was torn mid-publish but every record it was about
+  /// to commit is intact — the epoch count was rolled FORWARD to the
+  /// record walk (append fsyncs the record before patching the header,
+  /// so roll-forward never resurrects unsynced data).
+  bool header_repaired = false;
+  std::uint32_t epochs_kept = 0;
+  /// Committed epochs lost to corruption (quarantined from serving).
+  std::uint32_t epochs_dropped = 0;
+  /// Bytes past the last valid epoch boundary (partial/uncommitted
+  /// trailing record data).
+  std::uint64_t bytes_truncated = 0;
+  /// Human-readable description of the first problem found ("" when
+  /// the file was intact).
+  std::string detail;
+};
+
 using epoch_id = std::uint32_t;
 /// Index into the catalog-wide IXP dictionary (interned across epochs).
 using ixp_ref = std::uint32_t;
@@ -288,6 +324,14 @@ class catalog {
   /// input (bad magic/version, truncation, checksum mismatch) and
   /// catalog_error when the file itself carries duplicate epoch labels.
   [[nodiscard]] static catalog load(const std::string& path);
+  /// Same, with an explicit recovery policy.  `strict` is the overload
+  /// above; `recover` salvages the longest valid epoch prefix and
+  /// reports the damage through `*report` (when non-null) instead of
+  /// throwing — only store_errc::io still raises.  The file itself is
+  /// NOT modified (store_repair / opwatc_fsck --repair do that).
+  [[nodiscard]] static catalog load(const std::string& path,
+                                    recovery_policy policy,
+                                    recovery_report* report = nullptr);
   /// Appends epoch `e` of this catalog to the snapshot at `path` — the
   /// longitudinal extend-one-month-at-a-time path.  The file must
   /// contain exactly this catalog's epochs [0, e) (labels are checked);

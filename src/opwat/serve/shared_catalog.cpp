@@ -3,6 +3,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "opwat/serve/store.hpp"
+
 namespace opwat::serve {
 
 shared_catalog::shared_catalog() : current_(std::make_shared<const catalog>()) {}
@@ -61,6 +63,24 @@ void shared_catalog::load(const std::string& path) {
   auto loaded = std::make_shared<const catalog>(catalog::load(path));
   const util::mutex_lock writer{writer_};
   publish(std::move(loaded));
+}
+
+recovery_report shared_catalog::load(const std::string& path,
+                                     recovery_policy policy) {
+  // Parse + salvage happen before any publish, same as plain load():
+  // on a throw (strict-mode damage, I/O failure, unrecoverable file)
+  // readers keep the old view untouched.
+  recovery_report report;
+  auto loaded =
+      std::make_shared<const catalog>(catalog::load(path, policy, &report));
+  if (report.unrecoverable)
+    throw store_error{store_errc::corrupt,
+                      "refusing to publish an empty catalog for "
+                      "unrecoverable file " +
+                          path + ": " + report.detail};
+  const util::mutex_lock writer{writer_};
+  publish(std::move(loaded));
+  return report;
 }
 
 void shared_catalog::merge_from(const std::string& path) {

@@ -69,6 +69,14 @@ class shared_catalog {
 
   /// Replaces the published catalog with the snapshot file at `path`.
   void load(const std::string& path);
+  /// load() with an explicit recovery policy (catalog::load overload).
+  /// Under `recover`, a damaged file publishes its longest valid epoch
+  /// prefix — the quarantined tail is visible in the returned report so
+  /// the server can mark itself degraded.  An UNRECOVERABLE file
+  /// (wrong magic/version) throws store_error instead of publishing an
+  /// empty catalog: a reload must never silently evict the snapshot
+  /// readers already depend on.
+  recovery_report load(const std::string& path, recovery_policy policy);
   /// Merges the snapshot file at `path` into the published catalog
   /// (see catalog::merge_from) and publishes the result.
   void merge_from(const std::string& path);

@@ -7,7 +7,14 @@
 // corrupting the process.
 #include "opwat/serve/store.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <unordered_set>
@@ -16,6 +23,7 @@
 #include "opwat/serve/compress.hpp"
 #include "opwat/util/checksum.hpp"
 #include "opwat/util/contracts.hpp"
+#include "opwat/util/failpoint.hpp"
 
 namespace opwat::serve {
 
@@ -140,14 +148,91 @@ std::string encode_header(std::uint32_t epoch_count, std::uint32_t version) {
   return b;
 }
 
-/// Patches the epoch count (and the header CRC) of an already-written
-/// header in place — the append_epoch publish step.  The file's own
-/// format version is preserved.
-void patch_header_count(std::fstream& f, std::uint32_t epoch_count,
-                        std::uint32_t version) {
-  const auto header = encode_header(epoch_count, version);
-  f.seekp(0);
-  f.write(header.data(), static_cast<std::streamsize>(header.size()));
+// --- crash-safe file I/O (fd-based so fsync ordering is explicit) -----------
+
+/// Closes the held descriptor on scope exit (error paths included).
+struct fd_guard {
+  int fd = -1;
+  ~fd_guard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Writes `bytes` at `off`, retrying EINTR and short kernel writes.
+/// `site` names the failpoint covering the write: action `error` fails
+/// before any byte lands, `short-write:k` writes exactly the first k
+/// bytes and then fails — the byte-offset crash-sweep primitive (one
+/// logical write per wrapped call, so a sweep over k covers every
+/// offset of the operation).
+void checked_pwrite(int fd, std::string_view bytes, std::uint64_t off,
+                    const char* site, const std::string& path) {
+  std::string_view data = bytes;
+  bool injected = false;
+  // opwat-lint: allow(failpoint-naming): site is forwarded from literal call sites below
+  if (const auto fp = OPWAT_FAILPOINT(site); fp) {
+    if (fp.action == util::failpoint_action::error)
+      fail(store_errc::io,
+           "injected write failure (" + std::string{site} + ") on " + path);
+    data = data.substr(
+        0, std::min<std::size_t>(static_cast<std::size_t>(fp.arg), data.size()));
+    injected = true;
+  }
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const auto n = ::pwrite(fd, data.data() + done, data.size() - done,
+                            static_cast<off_t>(off + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(store_errc::io,
+           "write error on " + path + ": " + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (injected)
+    fail(store_errc::io,
+         "injected short write (" + std::string{site} + ") on " + path);
+}
+
+void checked_fsync(int fd, const char* site, const std::string& path) {
+  // opwat-lint: allow(failpoint-naming): site is forwarded from literal call sites below
+  if (const auto fp = OPWAT_FAILPOINT(site); fp)
+    fail(store_errc::io,
+         "injected fsync failure (" + std::string{site} + ") on " + path);
+  if (::fsync(fd) != 0)
+    fail(store_errc::io,
+         "fsync error on " + path + ": " + std::strerror(errno));
+}
+
+/// Makes a rename in `path`'s directory durable.  Best-effort: some
+/// filesystems reject fsync on directories (the data itself is already
+/// synced, so a refusal only weakens rename durability, never
+/// integrity).
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const fd_guard d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  if (d.fd >= 0) (void)::fsync(d.fd);
+}
+
+/// Atomic whole-file replace: write to `path + ".tmp"`, fsync, rename
+/// over `path`, fsync the parent directory.  A crash anywhere before
+/// the rename leaves the previous `path` byte-identical (the tmp file
+/// may linger; the next save truncates it).
+void write_file_atomic(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const fd_guard f{
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644)};
+  if (f.fd < 0)
+    fail(store_errc::io, "cannot open " + tmp + " for writing: " +
+                             std::strerror(errno));
+  checked_pwrite(f.fd, bytes, 0, "store-save-write", tmp);
+  checked_fsync(f.fd, "store-save-fsync", tmp);
+  if (const auto fp = OPWAT_FAILPOINT("store-save-rename"); fp)
+    fail(store_errc::io, "injected rename failure (store-save-rename) on " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    fail(store_errc::io,
+         "cannot rename " + tmp + " over " + path + ": " + std::strerror(errno));
+  fsync_parent_dir(path);
 }
 
 struct header_info {
@@ -209,6 +294,8 @@ std::string_view read_section(std::string_view bytes, std::size_t& off,
 constexpr std::size_t k_row_bytes = 4 * 4 + 2 * 1 + 8 + 4 + 8;
 
 std::string read_file(const std::string& path) {
+  if (const auto fp = OPWAT_FAILPOINT("store-read"); fp)
+    fail(store_errc::io, "injected read failure (store-read) on " + path);
   std::ifstream f{path, std::ios::binary};
   if (!f) fail(store_errc::io, "cannot open " + path);
   std::string bytes{std::istreambuf_iterator<char>{f}, std::istreambuf_iterator<char>{}};
@@ -651,11 +738,10 @@ class store {
       prev_ixp = ep.ixp_watermark_;
       prev_metro = ep.metro_watermark_;
     }
-    std::ofstream f{path, std::ios::binary | std::ios::trunc};
-    if (!f) fail(store_errc::io, "cannot open " + path + " for writing");
-    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    f.flush();
-    if (!f.good()) fail(store_errc::io, "write error on " + path);
+    // Atomic: a crash at ANY byte offset of the write (or before the
+    // rename) leaves an existing `path` byte-identical — readers only
+    // ever see the old complete file or the new complete file.
+    write_file_atomic(path, bytes);
   }
 
   static catalog load(const std::string& path) {
@@ -727,16 +813,153 @@ class store {
     const auto record =
         encode_record(c, c.epochs_[e], prev_ixp, prev_metro, header.version);
 
-    std::fstream f{path, std::ios::in | std::ios::out | std::ios::binary};
-    if (!f) fail(store_errc::io, "cannot open " + path + " for appending");
-    f.seekp(0, std::ios::end);
-    f.write(record.data(), static_cast<std::streamsize>(record.size()));
-    // Publish: the epoch count (under the header CRC) is patched last,
-    // so a crash mid-append leaves a file whose count ignores the
-    // partial record — load() then reports the trailing bytes.
-    patch_header_count(f, static_cast<std::uint32_t>(e) + 1, header.version);
-    f.flush();
-    if (!f.good()) fail(store_errc::io, "write error on " + path);
+    const fd_guard f{::open(path.c_str(), O_RDWR | O_CLOEXEC)};
+    if (f.fd < 0)
+      fail(store_errc::io,
+           "cannot open " + path + " for appending: " + std::strerror(errno));
+    // Crash-safe ordering: (1) the record lands past the committed end,
+    // (2) it is fsynced, (3) the header's epoch count + CRC are patched
+    // (the publish), (4) the publish is fsynced.  A crash before (3)
+    // leaves a valid file whose count ignores the partial record —
+    // load(strict) reports the trailing bytes, load(recover) truncates
+    // them.  A crash INSIDE (3) can only tear the 20-byte header: the
+    // record is already durable, so recovery rolls the count forward.
+    checked_pwrite(f.fd, record, bytes.size(), "store-append-write", path);
+    checked_fsync(f.fd, "store-append-fsync", path);
+    const auto published =
+        encode_header(static_cast<std::uint32_t>(e) + 1, header.version);
+    checked_pwrite(f.fd, published, 0, "store-append-publish", path);
+    if (::fsync(f.fd) != 0)
+      fail(store_errc::io,
+           "fsync error on " + path + ": " + std::strerror(errno));
+  }
+
+  /// The recover-mode salvage walk shared by catalog::load(recover) and
+  /// store_repair: the longest decodable epoch prefix, the byte
+  /// boundary it ends at, and a report of everything dropped.
+  struct salvage_result {
+    catalog cat;
+    recovery_report report;
+    std::uint32_t version = 0;
+    /// End offset of the valid prefix (header included) in the file.
+    std::size_t keep_bytes = 0;
+  };
+
+  static salvage_result salvage(std::string_view bytes) {
+    salvage_result s;
+    const auto give_up = [&s](const std::string& why) {
+      s.report.unrecoverable = true;
+      s.report.recovered = false;
+      s.report.detail = why;
+      return s;
+    };
+
+    if (bytes.size() < k_store_header_size)
+      return give_up("file smaller than the header");
+    if (bytes.substr(0, k_store_magic.size()) != k_store_magic)
+      return give_up("not an .opwatc snapshot (bad magic)");
+    const auto version = get_u32_at(bytes, 8);
+    if (version < k_store_oldest_version || version > k_store_version)
+      return give_up("unsupported format version " + std::to_string(version));
+    s.version = version;
+    const bool header_ok =
+        get_u32_at(bytes, 16) == util::crc32(bytes.data(), 16);
+    // A torn header (magic + version intact, CRC not) is the
+    // crash-inside-publish signature: append fsyncs the record BEFORE
+    // patching the count, so every complete record present was meant to
+    // be committed — the walk below rolls the count forward to them.
+    const std::uint32_t committed = header_ok ? get_u32_at(bytes, 12) : 0;
+
+    catalog c;
+    std::size_t off = k_store_header_size;
+    std::uint32_t kept = 0;
+    while (off < bytes.size()) {
+      if (header_ok && kept == committed) {
+        // Valid records beyond the committed count: an append that
+        // crashed after the record fsync but before the publish began.
+        // The count is authoritative — truncate the uncommitted tail.
+        s.report.recovered = true;
+        s.report.bytes_truncated = bytes.size() - off;
+        if (s.report.detail.empty())
+          s.report.detail = "uncommitted trailing record data (" +
+                            std::to_string(s.report.bytes_truncated) +
+                            " bytes past epoch " + std::to_string(kept) + ")";
+        break;
+      }
+      // Decode into a CLONE: a record that fails halfway may already
+      // have interned dictionary entries, which would taint every later
+      // save of the salvaged prefix.
+      catalog trial = c;
+      std::size_t next = off;
+      std::string problem;
+      try {
+        epoch ep = decode_record(trial, bytes, next, kept, version);
+        if (trial.by_label_.find(ep.label_) != trial.by_label_.end())
+          throw catalog_error("duplicate epoch label in snapshot: " + ep.label_);
+        trial.by_label_.emplace(ep.label_,
+                                static_cast<epoch_id>(trial.epochs_.size()));
+        trial.epochs_.push_back(std::move(ep));
+      } catch (const store_error& e) {
+        problem = e.what();
+      } catch (const catalog_error& e) {
+        problem = e.what();
+      }
+      if (!problem.empty()) {
+        s.report.recovered = true;
+        s.report.bytes_truncated = bytes.size() - off;
+        s.report.detail = "epoch record " + std::to_string(kept) + " damaged (" +
+                          problem + "); truncated " +
+                          std::to_string(s.report.bytes_truncated) + " bytes";
+        break;
+      }
+      c = std::move(trial);
+      off = next;
+      ++kept;
+    }
+
+    s.report.epochs_kept = kept;
+    if (header_ok && kept < committed)
+      s.report.epochs_dropped = committed - kept;
+    if (!header_ok) {
+      s.report.recovered = true;
+      s.report.header_repaired = true;
+      if (s.report.detail.empty())
+        s.report.detail = "header checksum torn mid-publish; epoch count "
+                          "rolled forward to " +
+                          std::to_string(kept);
+    }
+    s.keep_bytes = off;
+    s.cat = std::move(c);
+#if OPWAT_CONTRACTS_ACTIVE
+    // Whatever prefix survived must be as consistent as a strict load —
+    // an audit failure here is a salvage-walk bug, not input damage.
+    s.cat.audit();
+#endif
+    return s;
+  }
+
+  static catalog load_recover(const std::string& path, recovery_report* report) {
+    const std::string bytes = read_file(path);
+    auto s = salvage(bytes);
+    if (report != nullptr) *report = std::move(s.report);
+    return std::move(s.cat);
+  }
+
+  static recovery_report repair(const std::string& path) {
+    const std::string bytes = read_file(path);
+    auto s = salvage(bytes);
+    if (s.report.unrecoverable)
+      fail(store_errc::corrupt, "cannot repair " + path + ": " + s.report.detail);
+    if (!s.report.recovered) return s.report;  // intact: leave the file alone
+    // Rebuild the exact bytes a save() of the salvaged prefix would
+    // write: patched header + the surviving records, replaced
+    // atomically.  For a crash-mid-append file this reproduces the
+    // pre-append snapshot byte for byte (or, for a torn header over a
+    // durable record, the completed append).
+    std::string out = encode_header(s.report.epochs_kept, s.version);
+    out.append(bytes, k_store_header_size, s.keep_bytes - k_store_header_size);
+    write_file_atomic(path, out);
+    return s.report;
   }
 
   static void merge(catalog& dst, const std::string& path) {
@@ -789,6 +1012,19 @@ void catalog::save(const std::string& path, std::uint32_t version) const {
 }
 
 catalog catalog::load(const std::string& path) { return store::load(path); }
+
+catalog catalog::load(const std::string& path, recovery_policy policy,
+                      recovery_report* report) {
+  if (policy == recovery_policy::strict) {
+    if (report != nullptr) *report = {};
+    return store::load(path);
+  }
+  return store::load_recover(path, report);
+}
+
+recovery_report store_repair(const std::string& path) {
+  return store::repair(path);
+}
 
 void catalog::append_epoch(const std::string& path, epoch_id e) const {
   store::append(*this, path, e);

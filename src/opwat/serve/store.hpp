@@ -127,4 +127,16 @@ struct store_file_info {
 
 [[nodiscard]] store_file_info store_inspect(std::string_view bytes);
 
+/// Repairs a damaged snapshot IN PLACE using the same salvage walk as
+/// catalog::load(path, recovery_policy::recover): the file is rewritten
+/// (atomically — tmp + fsync + rename) to hold exactly the longest
+/// valid epoch prefix, with the header count/CRC patched to match.  A
+/// crash-mid-append file comes back byte-identical to the pre-append
+/// snapshot (or, for a torn header over intact records, to the
+/// completed append).  An intact file is left untouched.  Returns the
+/// recovery_report of the salvage walk; throws store_error only for
+/// real I/O failures and for unrecoverable files (nothing to write
+/// back).  opwatc_fsck --repair is a thin wrapper over this.
+recovery_report store_repair(const std::string& path);
+
 }  // namespace opwat::serve

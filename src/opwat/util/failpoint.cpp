@@ -1,0 +1,199 @@
+#include "opwat/util/failpoint.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "opwat/util/failpoint_sites.hpp"
+
+namespace opwat::util {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, const std::string& why) {
+  throw std::invalid_argument("failpoint spec \"" + std::string{spec} +
+                              "\": " + why);
+}
+
+/// Parses a decimal u64; throws via bad_spec on anything else.
+std::uint64_t parse_u64(std::string_view spec, std::string_view token,
+                        const char* what) {
+  if (token.empty()) bad_spec(spec, std::string{what} + " is empty");
+  std::uint64_t v = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9')
+      bad_spec(spec, std::string{what} + " \"" + std::string{token} +
+                         "\" is not a number");
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+failpoint_registry& failpoint_registry::instance() {
+  static failpoint_registry r;
+  return r;
+}
+
+void failpoint_registry::configure(std::string_view spec, std::uint64_t seed) {
+  std::vector<site_state> parsed;
+  const rng root{seed};
+
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const auto end = std::min(spec.find(';', pos), spec.size());
+    const std::string_view one = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (one.empty()) continue;
+
+    const auto eq = one.find('=');
+    if (eq == std::string_view::npos) bad_spec(one, "missing '='");
+    const std::string_view site = one.substr(0, eq);
+    if (!is_failpoint_site(site))
+      bad_spec(one, "\"" + std::string{site} +
+                        "\" is not a registered site (see "
+                        "opwat/util/failpoint_sites.hpp)");
+    for (const auto& s : parsed)
+      if (s.name == site) bad_spec(one, "site configured twice");
+
+    // policy:action[:arg] — split on ':'.
+    std::vector<std::string_view> parts;
+    std::string_view rest = one.substr(eq + 1);
+    while (true) {
+      const auto colon = rest.find(':');
+      if (colon == std::string_view::npos) {
+        parts.push_back(rest);
+        break;
+      }
+      parts.push_back(rest.substr(0, colon));
+      rest = rest.substr(colon + 1);
+    }
+    if (parts.size() < 2) bad_spec(one, "want <policy>:<action>[:<arg>]");
+
+    site_state st;
+    st.name = std::string{site};
+    const std::string_view pol = parts[0];
+    if (pol == "always") {
+      st.pol = policy::always;
+    } else if (pol.starts_with("one-in-")) {
+      st.pol = policy::one_in;
+      st.pol_n = parse_u64(one, pol.substr(7), "one-in-N count");
+      if (st.pol_n == 0) bad_spec(one, "one-in-0 never fires");
+    } else if (pol.starts_with("after-")) {
+      st.pol = policy::after;
+      st.pol_n = parse_u64(one, pol.substr(6), "after-K count");
+    } else if (pol.ends_with("-times")) {
+      st.pol = policy::times;
+      st.pol_n = parse_u64(one, pol.substr(0, pol.size() - 6), "K-times count");
+    } else {
+      bad_spec(one, "unknown policy \"" + std::string{pol} + "\"");
+    }
+
+    const std::string_view act = parts[1];
+    const bool has_arg = parts.size() >= 3;
+    if (parts.size() > 3) bad_spec(one, "too many ':' fields");
+    if (act == "error") {
+      st.act = action::error;
+      if (has_arg) bad_spec(one, "error takes no argument");
+    } else if (act == "short-write") {
+      st.act = action::short_write;
+      if (!has_arg) bad_spec(one, "short-write wants a byte cap");
+      st.arg = parse_u64(one, parts[2], "short-write byte cap");
+    } else if (act == "delay-ms") {
+      st.act = action::delay_ms;
+      if (!has_arg) bad_spec(one, "delay-ms wants a duration");
+      st.arg = parse_u64(one, parts[2], "delay-ms duration");
+    } else if (act == "abort") {
+      st.act = action::abort_process;
+      if (has_arg) bad_spec(one, "abort takes no argument");
+    } else {
+      bad_spec(one, "unknown action \"" + std::string{act} + "\"");
+    }
+
+    // Decision stream keyed on (seed, site): the one-in-N schedule is a
+    // pure function of the configure() seed and the site's hit sequence.
+    st.decide = root.stream(st.name, 0);
+    parsed.push_back(std::move(st));
+  }
+
+  const mutex_lock lock{mu_};
+  sites_ = std::move(parsed);
+  armed_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+void failpoint_registry::configure_from_env() {
+  const char* spec = std::getenv("OPWAT_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return;
+  std::uint64_t seed = 0x5eed;
+  if (const char* s = std::getenv("OPWAT_FAILPOINTS_SEED"))
+    seed = std::strtoull(s, nullptr, 10);
+  configure(spec, seed);
+}
+
+void failpoint_registry::clear() {
+  const mutex_lock lock{mu_};
+  sites_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+failpoint_fire failpoint_registry::evaluate(std::string_view site) {
+  std::uint64_t delay = 0;
+  failpoint_fire out;
+  bool abort_now = false;
+  {
+    const mutex_lock lock{mu_};
+    site_state* st = nullptr;
+    for (auto& s : sites_)
+      if (s.name == site) {
+        st = &s;
+        break;
+      }
+    if (st == nullptr) return {};
+
+    const auto hit = ++st->hit_count;
+    bool fire = false;
+    switch (st->pol) {
+      case policy::always: fire = true; break;
+      case policy::one_in: fire = st->decide.next() % st->pol_n == 0; break;
+      case policy::after: fire = hit > st->pol_n; break;
+      case policy::times: fire = hit <= st->pol_n; break;
+    }
+    if (!fire) return {};
+    ++st->fire_count;
+
+    switch (st->act) {
+      case action::error: out.action = failpoint_action::error; break;
+      case action::short_write:
+        out.action = failpoint_action::short_write;
+        out.arg = st->arg;
+        break;
+      case action::delay_ms: delay = st->arg; break;
+      case action::abort_process: abort_now = true; break;
+    }
+  }
+  // Side effects run outside the lock so a long delay never serializes
+  // unrelated sites.
+  if (abort_now) std::abort();
+  if (delay > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds{delay});
+  return out;
+}
+
+std::uint64_t failpoint_registry::hits(std::string_view site) const {
+  const mutex_lock lock{mu_};
+  for (const auto& s : sites_)
+    if (s.name == site) return s.hit_count;
+  return 0;
+}
+
+std::uint64_t failpoint_registry::fires(std::string_view site) const {
+  const mutex_lock lock{mu_};
+  for (const auto& s : sites_)
+    if (s.name == site) return s.fire_count;
+  return 0;
+}
+
+}  // namespace opwat::util

@@ -1,0 +1,138 @@
+// Deterministic fault injection: named failpoints compiled into the
+// I/O paths of the store (opwat/serve/store.cpp) and the socket
+// wrappers (opwat/net/tcp.cpp), armed at runtime from the
+// OPWAT_FAILPOINTS environment variable or the programmatic API.
+//
+// A site is zero-cost when nothing is configured: OPWAT_FAILPOINT(site)
+// compiles to one relaxed atomic load of the global "armed" flag, and
+// only an armed registry takes the lock to evaluate trigger policies.
+//
+// Spec syntax (one spec per site, ';'-separated):
+//
+//   OPWAT_FAILPOINTS="<site>=<policy>:<action>[:<arg>][;...]"
+//
+//   policy    always       fire on every hit
+//             one-in-N     fire each hit with probability 1/N, decided
+//                          by a util::rng stream keyed on (seed, site,
+//                          hit index) — the schedule is a pure function
+//                          of the seed, so chaos runs replay exactly
+//             after-K      fire on every hit after the first K
+//             K-times      fire on the first K hits, then never again
+//                          (faults that clear by themselves — the chaos
+//                          lane's recovery phases rely on this)
+//   action    error        the wrapped operation fails the way its real
+//                          failure mode does (typed store_error io /
+//                          net::socket_error / errno, per site)
+//             short-write  only the first <arg> bytes of the operation
+//                          happen, then it fails — the crash-mid-write
+//                          primitive behind the byte-offset sweep tests
+//             delay-ms     sleep <arg> milliseconds, then proceed
+//             abort        std::abort() — a real crash, for tests that
+//                          kill the writer process
+//
+// Site names must be registered in opwat/util/failpoint_sites.hpp;
+// configure() rejects unknown names (and the opwat_lint
+// `failpoint-naming` rule checks call sites statically).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "opwat/util/annotations.hpp"
+#include "opwat/util/rng.hpp"
+
+namespace opwat::util {
+
+/// What an armed site told the call site to do.  `delay-ms` and `abort`
+/// are handled inside evaluate() (the caller never sees them), so call
+/// sites only branch on error / short_write.
+enum class failpoint_action : std::uint8_t {
+  off,          ///< proceed normally
+  error,        ///< fail the operation the way its real failure would
+  short_write,  ///< perform only the first `arg` bytes, then fail
+};
+
+struct failpoint_fire {
+  failpoint_action action = failpoint_action::off;
+  /// short_write: the byte cap.
+  std::uint64_t arg = 0;
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return action != failpoint_action::off;
+  }
+};
+
+/// Process-wide registry of armed failpoints.  Thread-safe: evaluate()
+/// may race with configure()/clear() from other threads (the chaos
+/// harness re-arms sites while the server is serving).
+class failpoint_registry {
+ public:
+  /// The process-wide instance every OPWAT_FAILPOINT site consults.
+  [[nodiscard]] static failpoint_registry& instance();
+
+  /// Parses a spec string (syntax above) and replaces the armed set.
+  /// `seed` keys the one-in-N decision streams.  Throws
+  /// std::invalid_argument naming the offending token on syntax errors
+  /// or unregistered site names; on throw the previous configuration is
+  /// kept.
+  void configure(std::string_view spec, std::uint64_t seed = 0x5eed);
+
+  /// configure() from $OPWAT_FAILPOINTS (seed from
+  /// $OPWAT_FAILPOINTS_SEED when set).  Unset/empty is a no-op.
+  void configure_from_env();
+
+  /// Disarms every site (counters reset too).
+  void clear();
+
+  /// Fast-path check: false means no site is armed and evaluate() must
+  /// not be called (OPWAT_FAILPOINT does this; call sites never need to).
+  [[nodiscard]] bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a hit on `site` and returns what the call site must do.
+  /// delay-ms sleeps here; abort aborts here.
+  [[nodiscard]] failpoint_fire evaluate(std::string_view site);
+
+  /// Diagnostics: hits (times the site was reached while armed) and
+  /// fires (times the policy triggered) since the last configure/clear.
+  [[nodiscard]] std::uint64_t hits(std::string_view site) const;
+  [[nodiscard]] std::uint64_t fires(std::string_view site) const;
+
+ private:
+  enum class policy : std::uint8_t { always, one_in, after, times };
+  enum class action : std::uint8_t { error, short_write, delay_ms, abort_process };
+
+  struct site_state {
+    std::string name;
+    policy pol = policy::always;
+    std::uint64_t pol_n = 0;  ///< N of one-in-N / K of after-K / K-times
+    action act = action::error;
+    std::uint64_t arg = 0;  ///< short-write byte cap / delay ms
+    rng decide{0};          ///< one-in-N decision stream (per site)
+    std::uint64_t hit_count = 0;
+    std::uint64_t fire_count = 0;
+  };
+
+  mutable annotated_mutex mu_;
+  std::vector<site_state> sites_ OPWAT_GUARDED_BY(mu_);
+  std::atomic<bool> armed_{false};
+};
+
+/// The injection-site macro.  Usage:
+///
+///   if (const auto fp = OPWAT_FAILPOINT("store-save-write"); fp) { ... }
+///
+/// Disarmed cost: one relaxed atomic load.  The argument must be a
+/// string literal naming a site from failpoint_sites.hpp (statically
+/// linted).
+#define OPWAT_FAILPOINT(site)                                    \
+  (::opwat::util::failpoint_registry::instance().armed()         \
+       ? ::opwat::util::failpoint_registry::instance().evaluate( \
+             (site))                                             \
+       : ::opwat::util::failpoint_fire{})
+
+}  // namespace opwat::util

@@ -1,0 +1,44 @@
+// The single registry of failpoint site names (see
+// opwat/util/failpoint.hpp).  Every OPWAT_FAILPOINT(...) call site in
+// the tree must name one of these — failpoint_registry::configure
+// rejects unknown names so a typo in OPWAT_FAILPOINTS fails loudly
+// instead of silently never firing, and the opwat_lint
+// `failpoint-naming` rule statically checks call sites against this
+// list (names must be unique and kebab-case, and this header is the
+// one place they may be declared).
+//
+// Naming convention: `<module>-<operation>[-<variant>]`, kebab-case.
+// The `-partial` variants inject short I/O (a truncated read/write that
+// is NOT an error at the syscall level); the bare names inject hard
+// failures.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace opwat::util {
+
+inline constexpr std::array<std::string_view, 13> k_failpoint_sites{
+    "net-accept",            // accept_conn: injected accept failure
+    "net-connect",           // connect_tcp: injected connect failure
+    "net-recv",              // recv_some: injected receive error
+    "net-recv-partial",      // recv_some: cap one read at N bytes
+    "net-send",              // send_all: connection dies mid-send
+    "net-send-partial",      // send_all: N bytes leave, then the peer is gone
+    "store-append-fsync",    // append_epoch: crash before the record fsync
+    "store-append-publish",  // append_epoch: crash inside the header patch
+    "store-append-write",    // append_epoch: crash inside the record write
+    "store-read",            // read_file: injected read failure
+    "store-save-fsync",      // save: crash before the tmp-file fsync
+    "store-save-rename",     // save: crash before the tmp -> target rename
+    "store-save-write",      // save: crash inside the tmp-file write
+};
+
+/// Whether `name` is a registered failpoint site.
+[[nodiscard]] constexpr bool is_failpoint_site(std::string_view name) noexcept {
+  for (const auto s : k_failpoint_sites)
+    if (s == name) return true;
+  return false;
+}
+
+}  // namespace opwat::util

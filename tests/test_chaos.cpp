@@ -1,0 +1,332 @@
+// Chaos harness: the portal serving stack under deterministic fault
+// injection (util::failpoint) and signal storms.  The contract being
+// proven, end to end:
+//
+//   - no fault ever hangs or crashes the server — the acceptor survives
+//     injected accept/recv failures, workers survive send failures;
+//   - every client call terminates with a TYPED outcome: an ok
+//     response, a typed portal_errc, or a net::socket_error — never a
+//     silent wedge;
+//   - client::call_retry heals transient faults (reconnect + backoff)
+//     and refuses to retry permanent ones;
+//   - counters stay monotone through the storm, and after the faults
+//     clear the SAME server serves a zero-error workload — full
+//     recovery, no restart;
+//   - a failed catalog reload never evicts the serving snapshot.
+//
+// tools/ci/chaos_smoke.py runs the same scenario against a real opwatd
+// process; this file is the in-process, sanitizer-friendly version.
+#include <gtest/gtest.h>
+
+#include <sys/time.h>
+
+#include <csignal>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/net/tcp.hpp"
+#include "opwat/portal/client.hpp"
+#include "opwat/portal/server.hpp"
+#include "opwat/serve/shared_catalog.hpp"
+#include "opwat/serve/store.hpp"
+#include "opwat/util/failpoint.hpp"
+
+namespace {
+
+using namespace opwat;
+using namespace opwat::portal;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+/// Fast backoff so fault legs don't dominate wall-clock.
+retry_config fast_retry(std::uint32_t attempts) {
+  retry_config cfg;
+  cfg.max_attempts = attempts;
+  cfg.base_backoff_ms = 1;
+  cfg.max_backoff_ms = 8;
+  return cfg;
+}
+
+/// The cumulative counters that must never decrease (gauges like
+/// connections_active and the health mirror are excluded).
+std::vector<std::uint64_t> cumulative(const server_stats& s) {
+  return {s.connections_accepted, s.connections_refused, s.requests_admitted,
+          s.responses_ok,         s.responses_error,     s.shed_queue_full,
+          s.shed_pipeline,        s.protocol_errors,     s.accept_errors,
+          s.cache_hits,           s.cache_misses,        s.http_requests};
+}
+
+void expect_monotone(const server_stats& before, const server_stats& after) {
+  const auto a = cumulative(before);
+  const auto b = cumulative(after);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_LE(a[i], b[i]) << "counter " << i << " went backwards";
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto cfg = eval::small_scenario_config(53);
+    cfg.world.n_ases = 400;
+    cfg.world.largest_ixp_members = 120;
+    const auto s = eval::scenario::build(cfg);
+    const auto pr = s.run_inference();
+    cat_ = new serve::shared_catalog;
+    cat_->ingest(s.w, s.view, pr, "2018-04");
+
+    server_config scfg;
+    scfg.workers = 2;
+    scfg.write_timeout_ms = 2000;
+    srv_ = new server{*cat_, scfg};
+    srv_->start();
+  }
+  static void TearDownTestSuite() {
+    util::failpoint_registry::instance().clear();
+    delete srv_;  // stops and drains
+    delete cat_;
+    srv_ = nullptr;
+    cat_ = nullptr;
+  }
+  void TearDown() override { util::failpoint_registry::instance().clear(); }
+
+  static request ping() {
+    request r;
+    r.op = op_code::ping;
+    r.id = 1;
+    return r;
+  }
+
+  static serve::shared_catalog* cat_;
+  static server* srv_;
+};
+
+serve::shared_catalog* ChaosTest::cat_ = nullptr;
+server* ChaosTest::srv_ = nullptr;
+
+TEST_F(ChaosTest, ConnectFaultsRetryDeterministically) {
+  auto& reg = util::failpoint_registry::instance();
+  reg.configure("net-connect=2-times:error");
+  // Exactly the first two dials fail; the construction itself has no
+  // retry loop, call_retry's reconnect does.
+  EXPECT_THROW((client{"127.0.0.1", srv_->port()}), net::socket_error);
+  EXPECT_THROW((client{"127.0.0.1", srv_->port()}), net::socket_error);
+  client c{"127.0.0.1", srv_->port()};
+  const auto resp = c.call(ping());
+  EXPECT_EQ(resp.status, portal_errc::ok);
+}
+
+TEST_F(ChaosTest, SendFaultsHealThroughReconnect) {
+  client c{"127.0.0.1", srv_->port()};
+  // Pre-fault sanity so the connection is established and idle.
+  EXPECT_EQ(c.call(ping()).status, portal_errc::ok);
+
+  // The only traffic is this client's sends, so the two injected send
+  // failures land on its first two attempts, deterministically.
+  util::failpoint_registry::instance().configure("net-send=2-times:error");
+  const auto resp = c.call_retry(ping(), fast_retry(6));
+  EXPECT_EQ(resp.status, portal_errc::ok);
+  const auto& rs = c.stats();
+  EXPECT_EQ(rs.attempts, 3u);
+  EXPECT_EQ(rs.retries, 2u);
+  EXPECT_EQ(rs.reconnects, 2u);
+  EXPECT_EQ(rs.transient_errors, 2u);
+  EXPECT_EQ(rs.giveups, 0u);
+}
+
+TEST_F(ChaosTest, ServerRecvFaultsDropOnlyTheConnection) {
+  const auto before = srv_->stats();
+  util::failpoint_registry::instance().configure("net-recv=2-times:error");
+  // The injected recv failures hit the server's acceptor when these
+  // connections first turn readable; before the on_readable try/catch
+  // they would have killed the acceptor thread and wedged everything.
+  client a{"127.0.0.1", srv_->port()};
+  const auto ra = a.call_retry(ping(), fast_retry(8));
+  EXPECT_EQ(ra.status, portal_errc::ok);
+  util::failpoint_registry::instance().clear();
+  // The server is still fully alive for a fresh client.
+  client b{"127.0.0.1", srv_->port()};
+  EXPECT_EQ(b.call(ping()).status, portal_errc::ok);
+  expect_monotone(before, srv_->stats());
+}
+
+TEST_F(ChaosTest, AcceptFaultsAreCountedAndSurvived) {
+  const auto before = srv_->stats();
+  util::failpoint_registry::instance().configure("net-accept=2-times:error");
+  // The kernel keeps the pending connection queued across the injected
+  // accept failures, so the dial itself succeeds and a later sweep of
+  // the (still readable) listen socket picks it up.
+  client c{"127.0.0.1", srv_->port()};
+  const auto resp = c.call_retry(ping(), fast_retry(8));
+  EXPECT_EQ(resp.status, portal_errc::ok);
+  const auto after = srv_->stats();
+  EXPECT_GE(after.accept_errors, before.accept_errors + 2);
+  expect_monotone(before, after);
+}
+
+TEST_F(ChaosTest, PartialIoReassemblesEverywhere) {
+  // Every recv on both sides delivers at most 3 bytes for a while:
+  // frames arrive heavily fragmented and the reassembly loops must
+  // still produce intact responses.
+  util::failpoint_registry::instance().configure(
+      "net-recv-partial=64-times:short-write:3");
+  client c{"127.0.0.1", srv_->port()};
+  request epochs_req;
+  epochs_req.op = op_code::epochs;
+  epochs_req.id = 7;
+  const auto resp = c.call_retry(epochs_req, fast_retry(4));
+  EXPECT_EQ(resp.status, portal_errc::ok);
+  ASSERT_EQ(resp.labels.size(), 1u);
+  EXPECT_EQ(resp.labels[0], "2018-04");
+}
+
+TEST_F(ChaosTest, PermanentErrorsAreNeverRetried) {
+  client c{"127.0.0.1", srv_->port()};
+  request bad;
+  bad.op = op_code::rtt_band;
+  bad.rtt_lo_ms = 9.0;
+  bad.rtt_hi_ms = 1.0;  // lo > hi: bad_request, a verdict not a fault
+  bad.id = 3;
+  const auto resp = c.call_retry(bad, fast_retry(8));
+  EXPECT_EQ(resp.status, portal_errc::bad_request);
+  EXPECT_EQ(c.stats().attempts, 1u);  // no second attempt
+  EXPECT_EQ(c.stats().retries, 0u);
+}
+
+TEST_F(ChaosTest, RandomizedStormThenFullRecovery) {
+  // The storm leg: 1-in-5 send failures on BOTH sides (client sends and
+  // server responses draw from the same site), seeded, while a client
+  // hammers the same query.  Every call must end typed; with 12
+  // attempts per call a giveup is possible only at ~1e-5 odds.
+  const auto before = srv_->stats();
+  util::failpoint_registry::instance().configure("net-send=one-in-5:error", 7);
+  client c{"127.0.0.1", srv_->port()};
+  for (int i = 0; i < 30; ++i) {
+    const auto resp = c.call_retry(ping(), fast_retry(12));
+    EXPECT_EQ(resp.status, portal_errc::ok) << "call " << i;
+  }
+  EXPECT_EQ(c.stats().giveups, 0u);
+  const auto mid = srv_->stats();
+  expect_monotone(before, mid);
+
+  // Faults clear: the SAME server serves a zero-error run — full
+  // recovery without restart.
+  util::failpoint_registry::instance().clear();
+  client clean{"127.0.0.1", srv_->port()};
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(clean.call(ping()).status, portal_errc::ok) << "call " << i;
+  EXPECT_EQ(clean.stats().attempts, 0u);  // plain call(), no retries used
+  expect_monotone(mid, srv_->stats());
+}
+
+// --- EINTR storm -------------------------------------------------------------
+
+extern "C" void chaos_noop_handler(int) {}
+
+TEST_F(ChaosTest, SignalStormNeverBreaksACall) {
+  // A 2 ms interval timer peppers the process with SIGALRM while calls
+  // run: every blocking send/recv/poll/connect on both sides keeps
+  // getting EINTR and must transparently resume.
+  struct sigaction sa {};
+  sa.sa_handler = chaos_noop_handler;
+  ::sigemptyset(&sa.sa_mask);
+  struct sigaction old {};
+  ASSERT_EQ(::sigaction(SIGALRM, &sa, &old), 0);
+  itimerval storm{};
+  storm.it_interval.tv_usec = 2000;
+  storm.it_value.tv_usec = 2000;
+  itimerval off{};
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, nullptr), 0);
+
+  for (int i = 0; i < 100; ++i) {
+    client c{"127.0.0.1", srv_->port()};
+    EXPECT_EQ(c.call(ping()).status, portal_errc::ok) << "call " << i;
+  }
+
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &off, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &old, nullptr), 0);
+}
+
+// --- self-healing reload -----------------------------------------------------
+
+TEST_F(ChaosTest, FailedReloadKeepsTheServingSnapshot) {
+  const auto good = temp_path("chaos_good.opwatc");
+  cat_->save(good);
+  const auto v0 = cat_->version();
+
+  // Unrecoverable garbage: both policies refuse, nothing is published.
+  const auto junk = temp_path("chaos_junk.opwatc");
+  {
+    std::ofstream f{junk, std::ios::binary};
+    f << "this is not an opwatc file at all";
+  }
+  EXPECT_THROW(cat_->load(junk), serve::store_error);
+  EXPECT_THROW((void)cat_->load(junk, serve::recovery_policy::recover),
+               serve::store_error);
+  EXPECT_EQ(cat_->version(), v0);
+  EXPECT_EQ(cat_->snapshot()->epoch_count(), 1u);
+
+  // The server kept serving through both failed reloads.
+  client c{"127.0.0.1", srv_->port()};
+  EXPECT_EQ(c.call(ping()).status, portal_errc::ok);
+
+  // A torn-tail file under `recover` publishes the valid prefix and
+  // reports what was quarantined — the degraded-but-serving path.
+  std::string bytes;
+  {
+    std::ifstream f{good, std::ios::binary};
+    bytes.assign(std::istreambuf_iterator<char>{f},
+                 std::istreambuf_iterator<char>{});
+  }
+  const auto torn = temp_path("chaos_torn.opwatc");
+  {
+    std::ofstream f{torn, std::ios::binary};
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    f << "garbage tail that never finished writing";
+  }
+  EXPECT_THROW(cat_->load(torn), serve::store_error);  // strict refuses
+  const auto rep = cat_->load(torn, serve::recovery_policy::recover);
+  EXPECT_TRUE(rep.recovered);
+  EXPECT_GT(rep.bytes_truncated, 0u);
+  EXPECT_EQ(cat_->snapshot()->epoch_count(), 1u);
+
+  // Health mirror: what opwatd pushes after such a reload is what the
+  // stats surfaces report.
+  health_status h;
+  h.degraded = true;
+  h.bytes_truncated = rep.bytes_truncated;
+  h.reload_failures = 2;
+  srv_->set_health(h);
+  const auto s = srv_->stats();
+  EXPECT_EQ(s.degraded, 1u);
+  EXPECT_EQ(s.bytes_truncated, rep.bytes_truncated);
+  EXPECT_EQ(s.reload_failures, 2u);
+  srv_->set_health({});
+  EXPECT_EQ(srv_->stats().degraded, 0u);
+}
+
+TEST_F(ChaosTest, StatsOpReportsHealthFields) {
+  health_status h;
+  h.degraded = true;
+  h.quarantined_epochs = 3;
+  srv_->set_health(h);
+  client c{"127.0.0.1", srv_->port()};
+  request r;
+  r.op = op_code::stats;
+  r.id = 9;
+  const auto resp = c.call(r);
+  ASSERT_EQ(resp.status, portal_errc::ok);
+  std::uint64_t degraded = 99, quarantined = 99;
+  for (const auto& g : resp.groups) {
+    if (g.key == "degraded") degraded = g.count;
+    if (g.key == "quarantined_epochs") quarantined = g.count;
+  }
+  EXPECT_EQ(degraded, 1u);
+  EXPECT_EQ(quarantined, 3u);
+  srv_->set_health({});
+}
+
+}  // namespace

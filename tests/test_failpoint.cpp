@@ -1,0 +1,195 @@
+// util::failpoint — deterministic fault injection.
+//
+// What is nailed down here:
+//   - the spec grammar: every malformed spec is a typed
+//     std::invalid_argument naming the offending token, and a spec
+//     naming an unregistered site is rejected outright (fault schedules
+//     must not silently no-op because of a typo);
+//   - trigger policies: always, K-times, after-K, and the
+//     deterministic one-in-N stream — same seed, same schedule;
+//   - hit/fire accounting, the action payloads (short-write byte cap),
+//     and clear() disarming the registry;
+//   - the OPWAT_FAILPOINT macro contract: evaluates to "off" for
+//     unconfigured sites and when the registry is empty.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "opwat/util/failpoint.hpp"
+#include "opwat/util/failpoint_sites.hpp"
+
+namespace {
+
+using namespace opwat;
+using util::failpoint_action;
+using util::failpoint_registry;
+
+/// Every test leaves the process-global registry disarmed.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint_registry::instance().clear(); }
+};
+
+TEST_F(FailpointTest, SiteTableIsKebabCaseAndSorted) {
+  // The registry of names is itself load-bearing: configure() and the
+  // lint rule both key off it.
+  for (const auto site : util::k_failpoint_sites) {
+    EXPECT_FALSE(site.empty());
+    for (const char c : site)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-')
+          << site;
+    EXPECT_NE(site.front(), '-');
+    EXPECT_NE(site.back(), '-');
+    EXPECT_TRUE(util::is_failpoint_site(site));
+  }
+  for (std::size_t i = 1; i < util::k_failpoint_sites.size(); ++i)
+    EXPECT_LT(util::k_failpoint_sites[i - 1], util::k_failpoint_sites[i]);
+  EXPECT_FALSE(util::is_failpoint_site("no-such-site"));
+  EXPECT_FALSE(util::is_failpoint_site(""));
+}
+
+TEST_F(FailpointTest, MalformedSpecsAreTypedErrors) {
+  auto& reg = failpoint_registry::instance();
+  const char* bad[] = {
+      "net-send",                              // missing '='
+      "net-send=",                             // missing policy:action
+      "net-send=always",                       // missing action
+      "no-such-site=always:error",             // unregistered site
+      "net-send=always:explode",               // unknown action
+      "net-send=sometimes:error",              // unknown policy
+      "net-send=one-in-0:error",               // never fires
+      "net-send=one-in-x:error",               // not a number
+      "net-send=always:error:7",               // error takes no arg
+      "net-send=always:short-write",           // short-write wants a cap
+      "net-send=always:delay-ms",              // delay-ms wants a duration
+      "net-send=always:abort:1",               // abort takes no arg
+      "net-send=always:short-write:8:9",       // too many fields
+      "net-send=always:error;net-send=always:error",  // duplicate site
+  };
+  for (const char* spec : bad) {
+    EXPECT_THROW(reg.configure(spec), std::invalid_argument) << spec;
+    // A rejected spec must not half-arm the registry.
+    EXPECT_FALSE(reg.armed()) << spec;
+  }
+}
+
+TEST_F(FailpointTest, EmptySpecDisarms) {
+  auto& reg = failpoint_registry::instance();
+  reg.configure("net-send=always:error");
+  EXPECT_TRUE(reg.armed());
+  reg.configure("");
+  EXPECT_FALSE(reg.armed());
+  EXPECT_FALSE(OPWAT_FAILPOINT("net-send"));
+}
+
+TEST_F(FailpointTest, AlwaysErrorFiresEveryHit) {
+  auto& reg = failpoint_registry::instance();
+  reg.configure("net-send=always:error");
+  for (int i = 0; i < 5; ++i) {
+    const auto fire = OPWAT_FAILPOINT("net-send");
+    EXPECT_TRUE(static_cast<bool>(fire));
+    EXPECT_EQ(fire.action, failpoint_action::error);
+  }
+  EXPECT_EQ(reg.hits("net-send"), 5u);
+  EXPECT_EQ(reg.fires("net-send"), 5u);
+  // Sites not in the spec never fire and are not counted.
+  EXPECT_FALSE(OPWAT_FAILPOINT("net-recv"));
+  EXPECT_EQ(reg.hits("net-recv"), 0u);
+}
+
+TEST_F(FailpointTest, KTimesFiresExactlyK) {
+  auto& reg = failpoint_registry::instance();
+  reg.configure("store-read=3-times:error");
+  int fired = 0;
+  for (int i = 0; i < 10; ++i)
+    if (OPWAT_FAILPOINT("store-read")) ++fired;
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(reg.hits("store-read"), 10u);
+  EXPECT_EQ(reg.fires("store-read"), 3u);
+}
+
+TEST_F(FailpointTest, AfterKSkipsTheFirstK) {
+  auto& reg = failpoint_registry::instance();
+  reg.configure("store-read=after-4:error");
+  std::vector<bool> pattern;
+  for (int i = 0; i < 8; ++i)
+    pattern.push_back(static_cast<bool>(OPWAT_FAILPOINT("store-read")));
+  EXPECT_EQ(pattern, (std::vector<bool>{false, false, false, false, true, true,
+                                        true, true}));
+}
+
+TEST_F(FailpointTest, OneInNIsDeterministicPerSeed) {
+  auto& reg = failpoint_registry::instance();
+  const auto schedule = [&](std::uint64_t seed) {
+    reg.configure("net-send=one-in-3:error", seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i)
+      fired.push_back(static_cast<bool>(OPWAT_FAILPOINT("net-send")));
+    return fired;
+  };
+  const auto a = schedule(1);
+  const auto b = schedule(1);
+  EXPECT_EQ(a, b);  // replayable: the whole point of seeded injection
+  const auto c = schedule(2);
+  EXPECT_NE(a, c);  // a different seed is a different schedule
+  // The rate is roughly 1/3 — loose bounds, the stream is pseudorandom.
+  const auto fires = static_cast<std::size_t>(
+      std::count(a.begin(), a.end(), true));
+  EXPECT_GT(fires, 200u / 6);
+  EXPECT_LT(fires, 200u / 2);
+}
+
+TEST_F(FailpointTest, ShortWriteCarriesItsByteCap) {
+  failpoint_registry::instance().configure(
+      "store-save-write=always:short-write:17");
+  const auto fire = OPWAT_FAILPOINT("store-save-write");
+  EXPECT_TRUE(static_cast<bool>(fire));
+  EXPECT_EQ(fire.action, failpoint_action::short_write);
+  EXPECT_EQ(fire.arg, 17u);
+}
+
+TEST_F(FailpointTest, DelayMsBlocksThenReturnsOff) {
+  failpoint_registry::instance().configure("net-recv=1-times:delay-ms:30");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fire = OPWAT_FAILPOINT("net-recv");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  // A delay is not an error: the caller proceeds normally, only later.
+  EXPECT_FALSE(static_cast<bool>(fire));
+  EXPECT_GE(elapsed, std::chrono::milliseconds{30});
+}
+
+TEST_F(FailpointTest, MultiSiteSpecsConfigureIndependently) {
+  auto& reg = failpoint_registry::instance();
+  reg.configure("net-send=2-times:error;store-read=always:short-write:4;");
+  EXPECT_TRUE(OPWAT_FAILPOINT("net-send"));
+  EXPECT_TRUE(OPWAT_FAILPOINT("net-send"));
+  EXPECT_FALSE(OPWAT_FAILPOINT("net-send"));
+  const auto fire = OPWAT_FAILPOINT("store-read");
+  EXPECT_EQ(fire.action, failpoint_action::short_write);
+  EXPECT_EQ(fire.arg, 4u);
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvReadsSpecAndSeed) {
+  auto& reg = failpoint_registry::instance();
+  ::setenv("OPWAT_FAILPOINTS", "net-send=1-times:error", 1);
+  ::setenv("OPWAT_FAILPOINTS_SEED", "99", 1);
+  reg.configure_from_env();
+  EXPECT_TRUE(reg.armed());
+  EXPECT_TRUE(OPWAT_FAILPOINT("net-send"));
+  EXPECT_FALSE(OPWAT_FAILPOINT("net-send"));
+
+  // Unset / empty: a no-op, NOT a clear — production processes call
+  // configure_from_env unconditionally at startup.
+  ::unsetenv("OPWAT_FAILPOINTS");
+  ::unsetenv("OPWAT_FAILPOINTS_SEED");
+  reg.configure("store-read=always:error");
+  reg.configure_from_env();
+  EXPECT_TRUE(reg.armed());
+  EXPECT_TRUE(OPWAT_FAILPOINT("store-read"));
+}
+
+}  // namespace

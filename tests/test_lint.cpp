@@ -569,8 +569,89 @@ TEST(LintLockOrder, SuppressedEdgeBreaksTheCycle) {
 TEST(LintRuleIds, NewRulesAreRegisteredForSuppressionValidation) {
   const auto& ids = opwat::lint::rule_ids();
   for (const char* r : {"raw-lock", "blocking-in-handler", "throw-in-noexcept",
-                        "wire-safety", "lock-order"})
+                        "wire-safety", "lock-order", "failpoint-naming"})
     EXPECT_NE(std::find(ids.begin(), ids.end(), r), ids.end()) << r;
+}
+
+// --- failpoint-naming --------------------------------------------------------
+
+constexpr const char* k_registry_path = "src/opwat/util/failpoint_sites.hpp";
+constexpr const char* k_registry_text =
+    "#pragma once\n"
+    "#include <array>\n"
+    "inline constexpr std::array<std::string_view, 2> k_failpoint_sites{\n"
+    "    \"net-send\",\n"
+    "    \"store-read\",\n"
+    "};\n";
+
+TEST(LintFailpointNaming, TypoedSiteIsCaughtAcrossTus) {
+  const std::vector<opwat::lint::file_input> files = {
+      {k_registry_path, k_registry_text},
+      {"src/opwat/net/x.cpp",
+       "void f() {\n"
+       "  if (OPWAT_FAILPOINT(\"net-send\")) {}\n"   // 2: registered, clean
+       "  if (OPWAT_FAILPOINT(\"net-sned\")) {}\n"   // 3: typo
+       "}\n"},
+  };
+  const auto fs = lint_files(files);
+  ASSERT_EQ(lines_of(fs, "failpoint-naming"), (std::vector<int>{3}));
+  const auto hit = std::find_if(fs.begin(), fs.end(), [](const finding& f) {
+    return f.rule == "failpoint-naming";
+  });
+  EXPECT_NE(hit->message.find("net-sned"), std::string::npos);
+}
+
+TEST(LintFailpointNaming, RegistryNamesMustBeKebabAndUnique) {
+  const std::vector<opwat::lint::file_input> files = {
+      {k_registry_path,
+       "#pragma once\n"
+       "inline constexpr std::array<std::string_view, 3> k_failpoint_sites{\n"
+       "    \"net-send\",\n"      // 3: fine
+       "    \"Net_Send\",\n"      // 4: not kebab-case
+       "    \"net-send\",\n"      // 5: duplicate
+       "};\n"},
+  };
+  EXPECT_EQ(lines_of(lint_files(files), "failpoint-naming"),
+            (std::vector<int>{4, 5}));
+}
+
+TEST(LintFailpointNaming, NonLiteralArgumentNeedsAnAllow) {
+  const std::vector<opwat::lint::file_input> files = {
+      {k_registry_path, k_registry_text},
+      {"src/opwat/serve/x.cpp",
+       "void f(const char* site) {\n"
+       "  if (OPWAT_FAILPOINT(site)) {}\n"  // 2: forwarded name, no allow
+       "  // opwat-lint: allow(failpoint-naming): forwarded from literal call sites\n"
+       "  if (OPWAT_FAILPOINT(site)) {}\n"  // 4: same, justified
+       "}\n"},
+  };
+  EXPECT_EQ(lines_of(lint_files(files), "failpoint-naming"),
+            (std::vector<int>{2}));
+}
+
+TEST(LintFailpointNaming, WithoutTheRegistryOnlyShapeIsChecked) {
+  // Partial file lists (e.g. linting one file) cannot check membership,
+  // but kebab-case still holds.
+  const std::vector<opwat::lint::file_input> files = {
+      {"src/opwat/net/x.cpp",
+       "void f() {\n"
+       "  if (OPWAT_FAILPOINT(\"not-in-any-registry\")) {}\n"  // 2: clean
+       "  if (OPWAT_FAILPOINT(\"Bad_Name\")) {}\n"             // 3: shape
+       "}\n"},
+  };
+  EXPECT_EQ(lines_of(lint_files(files), "failpoint-naming"),
+            (std::vector<int>{3}));
+}
+
+TEST(LintFailpointNaming, CommentsAndDefinesNeverTrigger) {
+  const std::vector<opwat::lint::file_input> files = {
+      {k_registry_path, k_registry_text},
+      {"src/opwat/util/failpoint.hpp",
+       "// usage: OPWAT_FAILPOINT(\"no-such-site\")\n"
+       "#define OPWAT_FAILPOINT(site) (evaluate((site)))\n"
+       "void f() { /* OPWAT_FAILPOINT(\"also-not-real\") */ }\n"},
+  };
+  EXPECT_TRUE(lines_of(lint_files(files), "failpoint-naming").empty());
 }
 
 }  // namespace

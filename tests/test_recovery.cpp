@@ -1,0 +1,321 @@
+// Crash-safety of the .opwatc store: append ordering, atomic save, and
+// the recover-mode loader / repair tool.
+//
+// The central property test simulates killing the writer at EVERY byte
+// offset of an append_epoch (the record bytes, then each of the 20
+// header-publish bytes) and asserts the crash-recovery contract:
+//
+//   - before the header publish begins (any torn record tail), a
+//     recover-mode load yields EXACTLY the pre-append catalog — proven
+//     by re-saving it and comparing bytes — and a strict load raises a
+//     typed store_error;
+//   - once the record is durable and the header tear has made the new
+//     epoch count visible (offset >= magic+version+1 into the header),
+//     recovery rolls FORWARD to the completed append: the record was
+//     fsynced before the publish began, so adopting it never resurrects
+//     unsynced data.
+//
+// save() is covered by the complementary sweep: a crash at any offset
+// of the tmp-file write — or right before the rename — leaves the
+// original file byte-identical, because save never writes to the live
+// path at all.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "opwat/eval/scenario.hpp"
+#include "opwat/serve/store.hpp"
+#include "opwat/util/failpoint.hpp"
+
+namespace {
+
+using namespace opwat;
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream f{path, std::ios::binary};
+  EXPECT_TRUE(f.good()) << path;
+  return {std::istreambuf_iterator<char>{f}, std::istreambuf_iterator<char>{}};
+}
+
+void write_bytes(const std::string& path, std::string_view bytes) {
+  std::ofstream f{path, std::ios::binary | std::ios::trunc};
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(f.good()) << path;
+}
+
+/// Byte image a catalog would save — via a temp file, since save() is
+/// the only public encoder.
+std::string save_bytes(const serve::catalog& c, const std::string& name) {
+  const auto p = temp_path(name);
+  c.save(p);
+  return read_bytes(p);
+}
+
+/// The smallest world the generator supports comfortably: one base
+/// epoch plus one appended epoch, a few hundred rows total, so the
+/// whole-file sweep below stays fast.
+class RecoveryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto cfg = eval::small_scenario_config(17);
+    cfg.world.n_ases = 300;
+    cfg.world.largest_ixp_members = 90;
+    s_ = new eval::scenario{eval::scenario::build(cfg)};
+    auto pcfg = s_->cfg.pipeline;
+    const auto pr0 = s_->run_inference(pcfg);
+    pcfg.seed += 1;
+    const auto pr1 = s_->run_inference(pcfg);
+
+    pre_ = new serve::catalog;
+    pre_->ingest(s_->w, s_->view, pr0, "e00");
+    post_ = new serve::catalog;
+    post_->ingest(s_->w, s_->view, pr0, "e00");
+    post_->ingest(s_->w, s_->view, pr1, "e01");
+
+    pre_bytes_ = new std::string{save_bytes(*pre_, "recovery_pre.opwatc")};
+    post_bytes_ = new std::string{save_bytes(*post_, "recovery_post.opwatc")};
+  }
+  static void TearDownTestSuite() {
+    delete s_;
+    delete pre_;
+    delete post_;
+    delete pre_bytes_;
+    delete post_bytes_;
+    s_ = nullptr;
+    pre_ = nullptr;
+    post_ = nullptr;
+    pre_bytes_ = nullptr;
+    post_bytes_ = nullptr;
+  }
+  void TearDown() override { util::failpoint_registry::instance().clear(); }
+
+  static eval::scenario* s_;
+  static serve::catalog* pre_;
+  static serve::catalog* post_;
+  static std::string* pre_bytes_;   ///< one-epoch file image
+  static std::string* post_bytes_;  ///< two-epoch file image (== append)
+
+  /// What the file looks like when the appender dies after writing k
+  /// bytes of its total write sequence: first the record (appended past
+  /// the committed end), then the 20 header bytes (the publish).
+  static std::string crash_image(std::size_t k) {
+    const std::string& pre = *pre_bytes_;
+    const std::string& post = *post_bytes_;
+    const std::size_t record_len = post.size() - pre.size();
+    std::string img = pre;
+    if (k <= record_len) {
+      img += post.substr(pre.size(), k);
+    } else {
+      img += post.substr(pre.size(), record_len);
+      const std::size_t hk = k - record_len;  // header bytes published
+      img.replace(0, hk, post.substr(0, hk));
+    }
+    return img;
+  }
+};
+
+eval::scenario* RecoveryTest::s_ = nullptr;
+serve::catalog* RecoveryTest::pre_ = nullptr;
+serve::catalog* RecoveryTest::post_ = nullptr;
+std::string* RecoveryTest::pre_bytes_ = nullptr;
+std::string* RecoveryTest::post_bytes_ = nullptr;
+
+TEST_F(RecoveryTest, AppendIsFullSavePlusHeaderPatch) {
+  // The sweep below slices post_bytes_ on this structure; pin it.
+  ASSERT_GT(post_bytes_->size(), pre_bytes_->size());
+  const auto p = temp_path("recovery_append.opwatc");
+  write_bytes(p, *pre_bytes_);
+  post_->append_epoch(p, 1);
+  EXPECT_EQ(read_bytes(p), *post_bytes_);
+}
+
+TEST_F(RecoveryTest, WriterKilledAtEveryByteOffset) {
+  const std::size_t record_len = post_bytes_->size() - pre_bytes_->size();
+  const std::size_t total = record_len + serve::k_store_header_size;
+  const auto p = temp_path("recovery_sweep.opwatc");
+  // The header tear becomes visible once the first epoch-count byte
+  // (offset 12: after magic + version) has landed; from then on the
+  // durable record is adopted by roll-forward.
+  const std::size_t publish_edge = record_len + 13;
+
+  for (std::size_t k = 0; k <= total; ++k) {
+    write_bytes(p, crash_image(k));
+
+    serve::recovery_report rep;
+    serve::catalog rec;
+    ASSERT_NO_THROW(
+        rec = serve::catalog::load(p, serve::recovery_policy::recover, &rep))
+        << "offset " << k;
+    EXPECT_FALSE(rep.unrecoverable) << "offset " << k;
+
+    if (k == 0 || k == total) {
+      // Not a crash: the intact pre-/post-append file.
+      EXPECT_FALSE(rep.recovered) << "offset " << k;
+      EXPECT_NO_THROW((void)serve::catalog::load(p)) << "offset " << k;
+    } else if (k < publish_edge) {
+      // Crash before the publish took effect: recovery == pre-append,
+      // byte for byte.
+      EXPECT_TRUE(rep.recovered) << "offset " << k;
+      EXPECT_EQ(rep.epochs_kept, 1u) << "offset " << k;
+      EXPECT_EQ(save_bytes(rec, "recovery_out.opwatc"), *pre_bytes_)
+          << "offset " << k;
+      EXPECT_THROW((void)serve::catalog::load(p), serve::store_error)
+          << "offset " << k;
+    } else {
+      // Torn header over a durable record: roll forward to the
+      // completed append.
+      EXPECT_EQ(rep.epochs_kept, 2u) << "offset " << k;
+      EXPECT_EQ(save_bytes(rec, "recovery_out.opwatc"), *post_bytes_)
+          << "offset " << k;
+    }
+  }
+}
+
+TEST_F(RecoveryTest, RepairRewritesTheCrashImageInPlace) {
+  const std::size_t record_len = post_bytes_->size() - pre_bytes_->size();
+  const auto p = temp_path("recovery_repair.opwatc");
+  // Torn record tail → repaired file IS the pre-append snapshot.
+  write_bytes(p, crash_image(record_len / 2));
+  auto rep = serve::store_repair(p);
+  EXPECT_TRUE(rep.recovered);
+  EXPECT_EQ(read_bytes(p), *pre_bytes_);
+  // Torn header over a complete record → roll-forward to post-append.
+  write_bytes(p, crash_image(record_len + 15));
+  rep = serve::store_repair(p);
+  EXPECT_TRUE(rep.recovered);
+  EXPECT_TRUE(rep.header_repaired);
+  EXPECT_EQ(read_bytes(p), *post_bytes_);
+  // Intact file → untouched, report says so.
+  rep = serve::store_repair(p);
+  EXPECT_FALSE(rep.recovered);
+  EXPECT_EQ(read_bytes(p), *post_bytes_);
+}
+
+TEST_F(RecoveryTest, UnrecoverableFilesReportNotThrow) {
+  const auto p = temp_path("recovery_unrec.opwatc");
+  for (const std::string img :
+       {std::string{"short"}, std::string{"NOTMAGIC"} + std::string(20, 'x'),
+        std::string{}}) {
+    write_bytes(p, img);
+    serve::recovery_report rep;
+    serve::catalog rec;
+    ASSERT_NO_THROW(
+        rec = serve::catalog::load(p, serve::recovery_policy::recover, &rep));
+    EXPECT_TRUE(rep.unrecoverable);
+    EXPECT_EQ(rec.epoch_count(), 0u);
+    // --repair refuses: there is nothing safe to write back.
+    EXPECT_THROW((void)serve::store_repair(p), serve::store_error);
+  }
+}
+
+TEST_F(RecoveryTest, StrictLoadIsTheDefaultPolicy) {
+  const auto p = temp_path("recovery_strict.opwatc");
+  write_bytes(p, *pre_bytes_);
+  serve::recovery_report rep;
+  rep.recovered = true;  // must be reset by a strict load
+  const auto c =
+      serve::catalog::load(p, serve::recovery_policy::strict, &rep);
+  EXPECT_EQ(c.epoch_count(), 1u);
+  EXPECT_FALSE(rep.recovered);
+  // Strict on damage: the same typed errors plain load() raises.
+  write_bytes(p, crash_image(5));
+  EXPECT_THROW(
+      (void)serve::catalog::load(p, serve::recovery_policy::strict, nullptr),
+      serve::store_error);
+}
+
+// --- atomic save -------------------------------------------------------------
+
+TEST_F(RecoveryTest, SaveCrashNeverTouchesTheOldFile) {
+  auto& reg = util::failpoint_registry::instance();
+  const auto p = temp_path("recovery_atomic.opwatc");
+  write_bytes(p, *pre_bytes_);
+
+  // Crash right before the rename: tmp written and synced, live file
+  // untouched.
+  reg.configure("store-save-rename=always:error");
+  EXPECT_THROW(post_->save(p), serve::store_error);
+  EXPECT_EQ(read_bytes(p), *pre_bytes_);
+
+  // Crash mid-write of the tmp file, at several offsets including 0.
+  for (const std::size_t cap : {std::size_t{0}, std::size_t{1},
+                                std::size_t{100}, post_bytes_->size() - 1}) {
+    reg.configure("store-save-write=always:short-write:" +
+                  std::to_string(cap));
+    EXPECT_THROW(post_->save(p), serve::store_error) << cap;
+    EXPECT_EQ(read_bytes(p), *pre_bytes_) << cap;
+  }
+
+  // fsync failure is a failed save, not a corrupted live file.
+  reg.configure("store-save-fsync=always:error");
+  EXPECT_THROW(post_->save(p), serve::store_error);
+  EXPECT_EQ(read_bytes(p), *pre_bytes_);
+
+  // With the faults cleared the same save goes through.
+  reg.clear();
+  post_->save(p);
+  EXPECT_EQ(read_bytes(p), *post_bytes_);
+}
+
+TEST_F(RecoveryTest, AppendFaultsLeaveARecoverableFile) {
+  auto& reg = util::failpoint_registry::instance();
+  const auto p = temp_path("recovery_appendfault.opwatc");
+
+  // Short-write of the record, then a crash: recover-load gives the
+  // pre-append catalog back.
+  write_bytes(p, *pre_bytes_);
+  reg.configure("store-append-write=always:short-write:64");
+  EXPECT_THROW(post_->append_epoch(p, 1), serve::store_error);
+  reg.clear();
+  serve::recovery_report rep;
+  const auto rec =
+      serve::catalog::load(p, serve::recovery_policy::recover, &rep);
+  EXPECT_TRUE(rep.recovered);
+  EXPECT_EQ(save_bytes(rec, "recovery_out2.opwatc"), *pre_bytes_);
+
+  // Injected fsync failure aborts the append before the publish: the
+  // file still strict-loads as the pre-append catalog plus trailing
+  // bytes — i.e. recover-load, then retry the append cleanly.
+  write_bytes(p, *pre_bytes_);
+  reg.configure("store-append-fsync=always:error");
+  EXPECT_THROW(post_->append_epoch(p, 1), serve::store_error);
+  reg.clear();
+  EXPECT_THROW((void)serve::catalog::load(p), serve::store_error);
+  auto repaired = serve::store_repair(p);
+  EXPECT_TRUE(repaired.recovered);
+  post_->append_epoch(p, 1);
+  EXPECT_EQ(read_bytes(p), *post_bytes_);
+
+  // Publish-step failure: the record is durable, only the header patch
+  // is missing — recover-load truncates back to the committed prefix.
+  write_bytes(p, *pre_bytes_);
+  reg.configure("store-append-publish=always:error");
+  EXPECT_THROW(post_->append_epoch(p, 1), serve::store_error);
+  reg.clear();
+  const auto rec2 =
+      serve::catalog::load(p, serve::recovery_policy::recover, nullptr);
+  EXPECT_EQ(rec2.epoch_count(), 1u);
+}
+
+TEST_F(RecoveryTest, ReadFailpointSurfacesAsTypedIoError) {
+  const auto p = temp_path("recovery_read.opwatc");
+  write_bytes(p, *pre_bytes_);
+  util::failpoint_registry::instance().configure("store-read=1-times:error");
+  try {
+    (void)serve::catalog::load(p);
+    FAIL() << "expected store_error";
+  } catch (const serve::store_error& e) {
+    EXPECT_EQ(e.kind(), serve::store_errc::io);
+  }
+  // One-shot: the next load succeeds.
+  EXPECT_NO_THROW((void)serve::catalog::load(p));
+}
+
+}  // namespace

@@ -40,6 +40,12 @@ SERVER_COUNTER_KEYS = (
     "cache_misses",
     "parallel_scans",
     "morsels_executed",
+    # Self-healing surface: the load lane runs against a healthy
+    # snapshot, so beyond presence the degraded flag must be 0 here.
+    "degraded",
+    "quarantined_epochs",
+    "bytes_truncated",
+    "reload_failures",
 )
 
 
@@ -54,6 +60,10 @@ def check_server_stats(path, hard_failures):
         hard_failures.append(
             f"server stats: {stats['accept_errors']} accept error(s) — "
             "the acceptor hit accept()/fd failures during the run")
+    if stats.get("degraded", 0) != 0:
+        hard_failures.append(
+            "server stats: serving degraded — the load snapshot needed "
+            "recovery, which this lane never injects")
     print("server: " + " ".join(
         f"{k}={stats[k]}" for k in SERVER_COUNTER_KEYS if k in stats))
 

@@ -1008,6 +1008,180 @@ void check_lock_order(const std::vector<lock_edge>& all,
   }
 }
 
+// --- failpoint-naming (cross-TU) ---------------------------------------------
+// Fault-injection sites form a closed registry
+// (util/failpoint_sites.hpp): OPWAT_FAILPOINT("net-sned") compiles fine
+// and silently never fires — exactly the failure a chaos harness cannot
+// observe.  The rule reads the registry's literals (must be kebab-case
+// and unique) and checks every OPWAT_FAILPOINT(...) call site passes a
+// registered string literal.  A helper that forwards the site name as a
+// parameter carries an allow(failpoint-naming) with its reason.  When
+// the registry header is not part of the linted set (partial file
+// lists), call sites are still held to literal-ness and kebab-case,
+// just not to membership.
+
+[[nodiscard]] bool kebab_case(std::string_view s) noexcept {
+  if (s.empty() || s.front() == '-' || s.back() == '-') return false;
+  for (const char c : s)
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-'))
+      return false;
+  return s.find("--") == std::string_view::npos;
+}
+
+/// Every double-quoted string literal in `text` with its 1-based line —
+/// a tiny re-lex, because strip() blanks literal contents.  Char
+/// literals and comments never contribute; raw strings are not handled
+/// (the registry header has none).
+[[nodiscard]] std::vector<std::pair<int, std::string>> string_literals(
+    std::string_view text) {
+  std::vector<std::pair<int, std::string>> out;
+  int line = 1;
+  enum class st { code, line_c, block_c, str, chr };
+  st s = st::code;
+  std::string cur;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      if (s == st::line_c || s == st::str || s == st::chr) s = st::code;
+      continue;
+    }
+    const char nx = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (s) {
+      case st::code:
+        if (c == '/' && nx == '/') {
+          s = st::line_c;
+          ++i;
+        } else if (c == '/' && nx == '*') {
+          s = st::block_c;
+          ++i;
+        } else if (c == '"') {
+          s = st::str;
+          cur.clear();
+        } else if (c == '\'') {
+          s = st::chr;
+        }
+        break;
+      case st::line_c:
+        break;
+      case st::block_c:
+        if (c == '*' && nx == '/') {
+          s = st::code;
+          ++i;
+        }
+        break;
+      case st::str:
+        if (c == '\\' && nx != '\0') {
+          cur += nx;
+          ++i;
+        } else if (c == '"') {
+          out.emplace_back(line, cur);
+          s = st::code;
+        } else {
+          cur += c;
+        }
+        break;
+      case st::chr:
+        if (c == '\\' && nx != '\0') {
+          ++i;
+        } else if (c == '\'') {
+          s = st::code;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+/// Whether the registry header is this file (by basename, so absolute
+/// and repo-relative paths agree).
+[[nodiscard]] bool is_failpoint_registry(std::string_view path) noexcept {
+  const auto slash = path.rfind('/');
+  const auto base = slash == std::string_view::npos ? path : path.substr(slash + 1);
+  return base == "failpoint_sites.hpp";
+}
+
+void check_failpoint_naming(const std::vector<file_input>& files,
+                            std::vector<finding>& out) {
+  static constexpr std::string_view k_macro = "OPWAT_FAILPOINT(";
+  // Pass 1: the registry's own names — kebab-case and unique.
+  std::set<std::string> sites;
+  bool have_registry = false;
+  for (const auto& fi : files) {
+    if (!is_failpoint_registry(fi.path)) continue;
+    have_registry = true;
+    const auto f = strip(fi.text);
+    const auto supp = parse_suppressions(fi.path, f);
+    for (const auto& [line, lit] : string_literals(fi.text)) {
+      // Preprocessor lines (include paths) are not site names.
+      const std::string& cl = f.code[static_cast<std::size_t>(line) - 1];
+      const auto b = skip_spaces(cl, 0);
+      if (b < cl.size() && cl[b] == '#') continue;
+      if (supp.allows(line, "failpoint-naming")) continue;
+      if (!kebab_case(lit))
+        out.push_back({fi.path, line, "failpoint-naming",
+                       "failpoint site \"" + lit +
+                           "\" is not kebab-case — lower-case words joined "
+                           "by single '-'"});
+      else if (!sites.insert(lit).second)
+        out.push_back({fi.path, line, "failpoint-naming",
+                       "duplicate failpoint site \"" + lit + "\""});
+    }
+  }
+  // Pass 2: every call site names a registered literal.
+  for (const auto& fi : files) {
+    if (is_failpoint_registry(fi.path)) continue;
+    if (fi.text.find(k_macro) == std::string::npos) continue;
+    const auto f = strip(fi.text);
+    const auto supp = parse_suppressions(fi.path, f);
+    for (std::size_t li = 0; li < f.code.size(); ++li) {
+      const std::string& code = f.code[li];
+      const std::string& raw = f.raw[li];
+      const int line = static_cast<int>(li) + 1;
+      // The macro's own #define (and any conditional around it).
+      const auto first = skip_spaces(code, 0);
+      if (first < code.size() && code[first] == '#') continue;
+      std::size_t pos = 0;
+      while ((pos = code.find(k_macro, pos)) != std::string::npos) {
+        if (pos > 0 && ident_char(code[pos - 1])) {
+          ++pos;
+          continue;
+        }
+        const auto emit = [&](std::string msg) {
+          if (!supp.allows(line, "failpoint-naming"))
+            out.push_back({fi.path, line, "failpoint-naming", std::move(msg)});
+        };
+        // The argument starts right after '('; literals are blanked in
+        // `code`, so read it from the position-aligned `raw` line.
+        std::size_t j = pos + k_macro.size();
+        while (j < raw.size() && (raw[j] == ' ' || raw[j] == '\t')) ++j;
+        if (j >= raw.size() || raw[j] != '"') {
+          emit("OPWAT_FAILPOINT argument must be a string literal naming a "
+               "site from failpoint_sites.hpp — a forwarded name needs "
+               "allow(failpoint-naming) with the reason");
+          ++pos;
+          continue;
+        }
+        const auto close = raw.find('"', j + 1);
+        if (close == std::string::npos) {
+          ++pos;
+          continue;  // literal continues past the line — out of scope
+        }
+        const std::string name = raw.substr(j + 1, close - j - 1);
+        if (!kebab_case(name))
+          emit("failpoint site \"" + name +
+               "\" is not kebab-case — lower-case words joined by single "
+               "'-'");
+        else if (have_registry && sites.count(name) == 0)
+          emit("unknown failpoint site \"" + name +
+               "\" — register it in util/failpoint_sites.hpp or fix the "
+               "typo");
+        ++pos;
+      }
+    }
+  }
+}
+
 [[nodiscard]] std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -1066,7 +1240,7 @@ const std::vector<std::string>& rule_ids() {
       "include-hygiene",     "bad-suppression",
       "raw-lock",            "blocking-in-handler",
       "throw-in-noexcept",   "wire-safety",
-      "lock-order",
+      "lock-order",          "failpoint-naming",
   };
   return ids;
 }
@@ -1146,6 +1320,7 @@ std::vector<finding> lint_files(const std::vector<file_input>& files) {
   // composes into one graph; an inversion split across TUs is exactly
   // the deadlock a per-file view cannot see.
   check_lock_order(edges, out);
+  check_failpoint_naming(files, out);
   std::sort(out.begin(), out.end(), [](const finding& a, const finding& b) {
     return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
   });

@@ -61,6 +61,14 @@
 //                       cycle is reported with the witness site of each
 //                       hop.  Emitted by lint_files (the pass needs the
 //                       whole file set), not lint_source.
+//   failpoint-naming    cross-TU: every OPWAT_FAILPOINT(...) call site
+//                       must pass a string literal naming a site
+//                       registered in util/failpoint_sites.hpp (a typo
+//                       compiles and silently never fires); registry
+//                       names must be kebab-case and unique.  Helpers
+//                       that forward a site name as a parameter carry
+//                       an allow() with the reason.  Emitted by
+//                       lint_files, not lint_source.
 //
 // Per-line suppression: a comment of the shape shown below, naming the
 // allowed rule(s) with a required reason after the closing colon.  A
